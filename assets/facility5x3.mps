@@ -1,0 +1,117 @@
+NAME          facility-5x3-s2
+OBJSENSE
+    MIN
+ROWS
+ N  OBJ
+ E  serve0
+ E  serve1
+ E  serve2
+ E  serve3
+ E  serve4
+ L  link_0_0
+ L  link_0_1
+ L  link_0_2
+ L  link_1_0
+ L  link_1_1
+ L  link_1_2
+ L  link_2_0
+ L  link_2_1
+ L  link_2_2
+ L  link_3_0
+ L  link_3_1
+ L  link_3_2
+ L  link_4_0
+ L  link_4_1
+ L  link_4_2
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    x_0_0     OBJ       56
+    x_0_0     serve0    1
+    x_0_0     link_0_0  1
+    x_0_1     OBJ       83
+    x_0_1     serve0    1
+    x_0_1     link_0_1  1
+    x_0_2     OBJ       132
+    x_0_2     serve0    1
+    x_0_2     link_0_2  1
+    x_1_0     OBJ       16
+    x_1_0     serve1    1
+    x_1_0     link_1_0  1
+    x_1_1     OBJ       53
+    x_1_1     serve1    1
+    x_1_1     link_1_1  1
+    x_1_2     OBJ       154
+    x_1_2     serve1    1
+    x_1_2     link_1_2  1
+    x_2_0     OBJ       83
+    x_2_0     serve2    1
+    x_2_0     link_2_0  1
+    x_2_1     OBJ       22
+    x_2_1     serve2    1
+    x_2_1     link_2_1  1
+    x_2_2     OBJ       79
+    x_2_2     serve2    1
+    x_2_2     link_2_2  1
+    x_3_0     OBJ       114
+    x_3_0     serve3    1
+    x_3_0     link_3_0  1
+    x_3_1     OBJ       141
+    x_3_1     serve3    1
+    x_3_1     link_3_1  1
+    x_3_2     OBJ       101
+    x_3_2     serve3    1
+    x_3_2     link_3_2  1
+    x_4_0     OBJ       132
+    x_4_0     serve4    1
+    x_4_0     link_4_0  1
+    x_4_1     OBJ       71
+    x_4_1     serve4    1
+    x_4_1     link_4_1  1
+    x_4_2     OBJ       29
+    x_4_2     serve4    1
+    x_4_2     link_4_2  1
+    y_0       OBJ       35
+    y_0       link_0_0  -1
+    y_0       link_1_0  -1
+    y_0       link_2_0  -1
+    y_0       link_3_0  -1
+    y_0       link_4_0  -1
+    y_1       OBJ       35
+    y_1       link_0_1  -1
+    y_1       link_1_1  -1
+    y_1       link_2_1  -1
+    y_1       link_3_1  -1
+    y_1       link_4_1  -1
+    y_2       OBJ       35
+    y_2       link_0_2  -1
+    y_2       link_1_2  -1
+    y_2       link_2_2  -1
+    y_2       link_3_2  -1
+    y_2       link_4_2  -1
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       serve0    1
+    RHS       serve1    1
+    RHS       serve2    1
+    RHS       serve3    1
+    RHS       serve4    1
+BOUNDS
+ BV BND       x_0_0
+ BV BND       x_0_1
+ BV BND       x_0_2
+ BV BND       x_1_0
+ BV BND       x_1_1
+ BV BND       x_1_2
+ BV BND       x_2_0
+ BV BND       x_2_1
+ BV BND       x_2_2
+ BV BND       x_3_0
+ BV BND       x_3_1
+ BV BND       x_3_2
+ BV BND       x_4_0
+ BV BND       x_4_1
+ BV BND       x_4_2
+ BV BND       y_0
+ BV BND       y_1
+ BV BND       y_2
+ENDATA

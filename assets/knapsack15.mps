@@ -1,0 +1,58 @@
+NAME          knapsack-n15-s1
+OBJSENSE
+    MAX
+ROWS
+ N  OBJ
+ L  capacity
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    x0        OBJ       66
+    x0        capacity  46
+    x1        OBJ       105
+    x1        capacity  99
+    x2        OBJ       27
+    x2        capacity  17
+    x3        OBJ       39
+    x3        capacity  29
+    x4        OBJ       70
+    x4        capacity  64
+    x5        OBJ       60
+    x5        capacity  45
+    x6        OBJ       112
+    x6        capacity  93
+    x7        OBJ       80
+    x7        capacity  74
+    x8        OBJ       57
+    x8        capacity  55
+    x9        OBJ       79
+    x9        capacity  74
+    x10       OBJ       99
+    x10       capacity  89
+    x11       OBJ       78
+    x11       capacity  74
+    x12       OBJ       13
+    x12       capacity  12
+    x13       OBJ       101
+    x13       capacity  95
+    x14       OBJ       73
+    x14       capacity  62
+    MARKER                 'MARKER'                 'INTEND'
+RHS
+    RHS       capacity  464
+BOUNDS
+ BV BND       x0
+ BV BND       x1
+ BV BND       x2
+ BV BND       x3
+ BV BND       x4
+ BV BND       x5
+ BV BND       x6
+ BV BND       x7
+ BV BND       x8
+ BV BND       x9
+ BV BND       x10
+ BV BND       x11
+ BV BND       x12
+ BV BND       x13
+ BV BND       x14
+ENDATA

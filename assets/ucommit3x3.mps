@@ -1,0 +1,116 @@
+NAME          ucommit-g3-t3-s3
+OBJSENSE
+    MIN
+ROWS
+ N  OBJ
+ L  max_0_0
+ L  min_0_0
+ L  max_0_1
+ L  min_0_1
+ L  max_0_2
+ L  min_0_2
+ L  max_1_0
+ L  min_1_0
+ L  max_1_1
+ L  min_1_1
+ L  max_1_2
+ L  min_1_2
+ L  max_2_0
+ L  min_2_0
+ L  max_2_1
+ L  min_2_1
+ L  max_2_2
+ L  min_2_2
+ G  demand0
+ G  demand1
+ G  demand2
+COLUMNS
+    MARKER                 'MARKER'                 'INTORG'
+    u_0_0     OBJ       132
+    u_0_0     max_0_0   -66
+    u_0_0     min_0_0   13
+    u_0_1     OBJ       132
+    u_0_1     max_0_1   -66
+    u_0_1     min_0_1   13
+    u_0_2     OBJ       132
+    u_0_2     max_0_2   -66
+    u_0_2     min_0_2   13
+    u_1_0     OBJ       467
+    u_1_0     max_1_0   -144
+    u_1_0     min_1_0   29
+    u_1_1     OBJ       467
+    u_1_1     max_1_1   -144
+    u_1_1     min_1_1   29
+    u_1_2     OBJ       467
+    u_1_2     max_1_2   -144
+    u_1_2     min_1_2   29
+    u_2_0     OBJ       229
+    u_2_0     max_2_0   -146
+    u_2_0     min_2_0   29
+    u_2_1     OBJ       229
+    u_2_1     max_2_1   -146
+    u_2_1     min_2_1   29
+    u_2_2     OBJ       229
+    u_2_2     max_2_2   -146
+    u_2_2     min_2_2   29
+    MARKER                 'MARKER'                 'INTEND'
+    p_0_0     OBJ       25
+    p_0_0     max_0_0   1
+    p_0_0     min_0_0   -1
+    p_0_0     demand0   1
+    p_0_1     OBJ       25
+    p_0_1     max_0_1   1
+    p_0_1     min_0_1   -1
+    p_0_1     demand1   1
+    p_0_2     OBJ       25
+    p_0_2     max_0_2   1
+    p_0_2     min_0_2   -1
+    p_0_2     demand2   1
+    p_1_0     OBJ       7
+    p_1_0     max_1_0   1
+    p_1_0     min_1_0   -1
+    p_1_0     demand0   1
+    p_1_1     OBJ       7
+    p_1_1     max_1_1   1
+    p_1_1     min_1_1   -1
+    p_1_1     demand1   1
+    p_1_2     OBJ       7
+    p_1_2     max_1_2   1
+    p_1_2     min_1_2   -1
+    p_1_2     demand2   1
+    p_2_0     OBJ       25
+    p_2_0     max_2_0   1
+    p_2_0     min_2_0   -1
+    p_2_0     demand0   1
+    p_2_1     OBJ       25
+    p_2_1     max_2_1   1
+    p_2_1     min_2_1   -1
+    p_2_1     demand1   1
+    p_2_2     OBJ       25
+    p_2_2     max_2_2   1
+    p_2_2     min_2_2   -1
+    p_2_2     demand2   1
+RHS
+    RHS       demand0   160
+    RHS       demand1   162
+    RHS       demand2   229
+BOUNDS
+ BV BND       u_0_0
+ BV BND       u_0_1
+ BV BND       u_0_2
+ BV BND       u_1_0
+ BV BND       u_1_1
+ BV BND       u_1_2
+ BV BND       u_2_0
+ BV BND       u_2_1
+ BV BND       u_2_2
+ UP BND       p_0_0     66
+ UP BND       p_0_1     66
+ UP BND       p_0_2     66
+ UP BND       p_1_0     144
+ UP BND       p_1_1     144
+ UP BND       p_1_2     144
+ UP BND       p_2_0     146
+ UP BND       p_2_1     146
+ UP BND       p_2_2     146
+ENDATA

@@ -1,0 +1,88 @@
+//! Criterion wall-clock benchmarks of the linear-algebra kernels
+//! (the numerics behind every simulated device call).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmip_linalg::{batch, CsrMatrix, DenseMatrix, LuFactors, SparseLu};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn dd_matrix(n: usize, density: f64, seed: u64) -> DenseMatrix {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        a.set(i, i, n as f64 + rng.gen_range(1.0..3.0));
+        for j in 0..n {
+            if i != j && rng.gen_bool(density) {
+                a.set(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    a
+}
+
+fn bench_dense_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dense_lu");
+    g.sample_size(20);
+    for n in [32usize, 64, 128] {
+        let a = dd_matrix(n, 0.6, 1);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| LuFactors::factorize(black_box(a)).expect("nonsingular"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_lu");
+    g.sample_size(20);
+    for density in [0.05, 0.2] {
+        let a = CsrMatrix::from_dense(&dd_matrix(128, density, 2)).to_csc();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{density}")),
+            &a,
+            |b, a| b.iter(|| SparseLu::factorize(black_box(a)).expect("nonsingular")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    g.sample_size(30);
+    let a = CsrMatrix::from_dense(&dd_matrix(512, 0.05, 3));
+    let x = vec![1.0; 512];
+    g.bench_function("csr_512_d0.05", |b| {
+        b.iter(|| black_box(&a).matvec(black_box(&x)).expect("dims"))
+    });
+    let d = dd_matrix(512, 0.05, 3);
+    g.bench_function("dense_512", |b| {
+        b.iter(|| black_box(&d).matvec(black_box(&x)).expect("dims"))
+    });
+    g.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_lu_solve");
+    g.sample_size(15);
+    for count in [16usize, 64] {
+        let mats: Vec<DenseMatrix> = (0..count).map(|i| dd_matrix(24, 0.6, i as u64)).collect();
+        let rhs: Vec<Vec<f64>> = (0..count).map(|_| vec![1.0; 24]).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(count),
+            &(mats, rhs),
+            |b, (mats, rhs)| {
+                b.iter(|| batch::lu_factor_solve_batch(black_box(mats), black_box(rhs)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_lu,
+    bench_sparse_lu,
+    bench_spmv,
+    bench_batched
+);
+criterion_main!(benches);

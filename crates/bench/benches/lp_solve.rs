@@ -1,0 +1,121 @@
+//! Criterion wall-clock benchmarks of the LP engine: from-scratch two-phase
+//! solves and warm dual re-solves, on the host and device engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmip_gpu::Accel;
+use gmip_lp::{BoundChange, DeviceEngine, HostEngine, LpConfig, LpSolver, StandardLp};
+use gmip_problems::generators::{random_mip, RandomMipConfig};
+use std::hint::black_box;
+
+fn lp_instance(rows: usize, cols: usize) -> gmip_problems::MipInstance {
+    random_mip(&RandomMipConfig {
+        rows,
+        cols,
+        density: 0.6,
+        integral_fraction: 0.0,
+        seed: 11,
+    })
+}
+
+fn bench_scratch_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_scratch");
+    g.sample_size(15);
+    for (rows, cols) in [(10usize, 20usize), (30, 60)] {
+        let inst = lp_instance(rows, cols);
+        g.bench_with_input(
+            BenchmarkId::new("host", format!("{rows}x{cols}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let std = StandardLp::from_instance(black_box(inst), &[]);
+                    let mut lp =
+                        LpSolver::new(std, LpConfig::standard(), |a| HostEngine::new(a.clone()));
+                    lp.solve().expect("solve")
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("device", format!("{rows}x{cols}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let accel = Accel::gpu(1);
+                    let std = StandardLp::from_instance(black_box(inst), &[]);
+                    let mut lp = LpSolver::try_new(std, LpConfig::standard(), |a| {
+                        DeviceEngine::new(accel.clone(), a)
+                    })
+                    .expect("engine");
+                    lp.solve().expect("solve")
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sparse-device", format!("{rows}x{cols}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let accel = Accel::gpu(1);
+                    let std = StandardLp::from_instance(black_box(inst), &[]);
+                    let mut lp = LpSolver::try_new(std, LpConfig::standard(), |a| {
+                        gmip_lp::SparseDeviceEngine::new(accel.clone(), a)
+                    })
+                    .expect("engine");
+                    lp.solve().expect("solve")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_warm_resolve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_warm_resolve");
+    g.sample_size(20);
+    let inst = lp_instance(20, 40);
+    g.bench_function("host_bound_flip", |b| {
+        let std = StandardLp::from_instance(&inst, &[]);
+        let mut lp = LpSolver::new(std, LpConfig::standard(), |a| HostEngine::new(a.clone()));
+        lp.solve().expect("root solve");
+        let mut tight = true;
+        b.iter(|| {
+            let ub = if tight { 0.5 } else { 1.0 };
+            tight = !tight;
+            lp.apply_node_bounds(&[BoundChange {
+                var: 0,
+                lb: 0.0,
+                ub,
+            }])
+            .expect("bounds");
+            lp.resolve().expect("resolve")
+        })
+    });
+    g.finish();
+}
+
+fn bench_ipm_vs_simplex(c: &mut Criterion) {
+    use gmip_lp::{solve_ipm, IpmConfig};
+    let mut g = c.benchmark_group("lp_ipm_vs_simplex");
+    g.sample_size(10);
+    let inst = lp_instance(15, 30);
+    let std = StandardLp::from_instance(&inst, &[]);
+    g.bench_function("simplex_host", |b| {
+        b.iter(|| {
+            let mut lp = LpSolver::new(black_box(&std).clone(), LpConfig::standard(), |a| {
+                HostEngine::new(a.clone())
+            });
+            lp.solve().expect("solve")
+        })
+    });
+    g.bench_function("ipm_host", |b| {
+        b.iter(|| solve_ipm(black_box(&std), &IpmConfig::default(), None).expect("ipm"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scratch_solve,
+    bench_warm_resolve,
+    bench_ipm_vs_simplex
+);
+criterion_main!(benches);

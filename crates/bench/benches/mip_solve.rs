@@ -1,0 +1,136 @@
+//! Criterion wall-clock benchmarks of full branch-and-cut solves across the
+//! catalog suite and solver configurations (the harness's end-to-end cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmip_core::{MipConfig, MipSolver, PolicyKind};
+use gmip_problems::catalog::small_suite;
+use gmip_problems::generators::knapsack;
+use std::hint::black_box;
+
+fn bench_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mip_suite");
+    g.sample_size(10);
+    for entry in small_suite() {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(entry.id),
+            &entry.instance,
+            |b, inst| {
+                b.iter(|| {
+                    let mut s =
+                        MipSolver::host_baseline(black_box(inst).clone(), MipConfig::default());
+                    s.solve().expect("solve")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mip_policies");
+    g.sample_size(10);
+    let inst = knapsack(18, 0.5, 9);
+    for policy in [
+        PolicyKind::BestFirst,
+        PolicyKind::DepthFirst,
+        PolicyKind::ReuseAffinity,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let cfg = MipConfig {
+                        policy,
+                        ..Default::default()
+                    };
+                    let mut s = MipSolver::host_baseline(black_box(inst).clone(), cfg);
+                    s.solve().expect("solve")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_cut_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mip_cuts_ablation");
+    g.sample_size(10);
+    let inst = knapsack(20, 0.5, 5);
+    for cuts in [true, false] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if cuts { "with-cuts" } else { "no-cuts" }),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut cfg = MipConfig::default();
+                    cfg.cuts.enabled = cuts;
+                    let mut s = MipSolver::host_baseline(black_box(inst).clone(), cfg);
+                    s.solve().expect("solve")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_branch_rules(c: &mut Criterion) {
+    use gmip_core::BranchRule;
+    let mut g = c.benchmark_group("mip_branch_rules");
+    g.sample_size(10);
+    let inst = knapsack(18, 0.5, 11);
+    for rule in [
+        BranchRule::MostFractional,
+        BranchRule::PseudoCost,
+        BranchRule::Strong,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rule:?}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let cfg = MipConfig {
+                        branching: rule,
+                        ..Default::default()
+                    };
+                    let mut s = MipSolver::host_baseline(black_box(inst).clone(), cfg);
+                    s.solve().expect("solve")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_presolve_ablation(c: &mut Criterion) {
+    use gmip_core::presolve::solve_host_with_presolve;
+    let mut g = c.benchmark_group("mip_presolve_ablation");
+    g.sample_size(10);
+    let inst = gmip_problems::generators::set_cover(30, 25, 0.15, 7);
+    g.bench_with_input(BenchmarkId::from_parameter("direct"), &inst, |b, inst| {
+        b.iter(|| {
+            let mut s = MipSolver::host_baseline(black_box(inst).clone(), MipConfig::default());
+            s.solve().expect("solve")
+        })
+    });
+    g.bench_with_input(
+        BenchmarkId::from_parameter("presolved"),
+        &inst,
+        |b, inst| {
+            b.iter(|| {
+                solve_host_with_presolve(black_box(inst), MipConfig::default()).expect("solve")
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suite,
+    bench_policies,
+    bench_cut_ablation,
+    bench_branch_rules,
+    bench_presolve_ablation
+);
+criterion_main!(benches);

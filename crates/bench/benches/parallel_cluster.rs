@@ -1,0 +1,49 @@
+//! Criterion wall-clock benchmarks of the discrete-event cluster and the
+//! threaded backend (the harness cost of simulating/running a parallel
+//! solve, not the simulated makespan — that is experiment E6's job).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmip_parallel::{solve_parallel, solve_threaded, ParallelConfig};
+use gmip_problems::generators::knapsack;
+use std::hint::black_box;
+
+fn bench_des_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_cluster");
+    g.sample_size(10);
+    let inst = knapsack(18, 0.5, 3);
+    for workers in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &inst, |b, inst| {
+            b.iter(|| {
+                let cfg = ParallelConfig {
+                    workers,
+                    gpu_mem: 1 << 24,
+                    ..Default::default()
+                };
+                solve_parallel(black_box(inst), cfg).expect("solve")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_threaded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_cluster");
+    g.sample_size(10);
+    let inst = knapsack(16, 0.5, 3);
+    for workers in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &inst, |b, inst| {
+            b.iter(|| {
+                let cfg = ParallelConfig {
+                    workers,
+                    gpu_mem: 1 << 24,
+                    ..Default::default()
+                };
+                solve_threaded(black_box(inst), &cfg).expect("solve")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_des_workers, bench_threaded);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the reproduction's experiment tables.
+//!
+//! Usage: `report [all | <exp-id>...]` where exp ids are listed in
+//! `gmip_bench::experiments::ALL` (f1, e1, e2, e3a, e3b, e3c, e4–e8).
+
+use gmip_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for (i, id) in ids.iter().enumerate() {
+        match experiments::run(id) {
+            Some(text) => {
+                if i > 0 {
+                    println!("\n{}\n", "=".repeat(78));
+                }
+                print!("{text}");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; known: {:?}", experiments::ALL);
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! E4 — concurrent solution of many small problems on one device.
+//!
+//! Paper source: Section 5.5. Claims reproduced:
+//! * small node-LPs can be batched: "dozens of branch-and-cut nodes could
+//!   be solved simultaneously by the GPU" — one batched kernel launch beats
+//!   per-problem launches, with the win growing with batch size;
+//! * the feasible batch is sized by `device_memory / matrix_memory`;
+//! * the alternative structuring — multiple ranks each driving its own
+//!   serial stream — is also measured (the "multiple ranks per processor
+//!   core" option).
+
+use crate::experiments::gpu;
+use crate::table::{fmt_ns, Table};
+use gmip_gpu::DEFAULT_STREAM as S;
+use gmip_linalg::DenseMatrix;
+use rand::{Rng, SeedableRng};
+
+fn small_system(n: usize, rng: &mut impl Rng) -> (DenseMatrix, Vec<f64>) {
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a.set(
+                i,
+                j,
+                if i == j {
+                    n as f64 + rng.gen_range(1.0..3.0)
+                } else {
+                    rng.gen_range(-1.0..1.0)
+                },
+            );
+        }
+    }
+    (a, (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect())
+}
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("E4: batched small-problem solving (paper Section 5.5)\n\n");
+    let n = 32;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+    let mut t = Table::new(&["batch", "serial", "batched", "streams(4)", "speedup(batch)"]);
+    for batch in [1usize, 4, 16, 64, 256] {
+        let systems: Vec<(DenseMatrix, Vec<f64>)> =
+            (0..batch).map(|_| small_system(n, &mut rng)).collect();
+
+        // All three variants pre-stage the data (uploads amortized per
+        // Section 5's reuse doctrine) and we time the *compute* phase only,
+        // which is what batching accelerates.
+
+        // Serial: one launch per factor-solve on one stream.
+        let serial = gpu(1 << 30);
+        let serial_ns = serial
+            .with(|d| -> Result<f64, gmip_gpu::GpuError> {
+                let mut hs = Vec::new();
+                for (a, b) in &systems {
+                    hs.push((d.upload_matrix(a, S)?, d.upload_vector(b, S)?));
+                }
+                let t0 = d.synchronize();
+                for &(ah, bh) in &hs {
+                    let f = d.lu_factor(ah, S)?;
+                    d.lu_solve(f, bh, S)?;
+                }
+                Ok(d.synchronize() - t0)
+            })
+            .expect("serial");
+
+        // Batched: single launch.
+        let batched = gpu(1 << 30);
+        let batched_ns = batched
+            .with(|d| -> Result<f64, gmip_gpu::GpuError> {
+                let mut hs = Vec::new();
+                for (a, b) in &systems {
+                    hs.push((d.upload_matrix(a, S)?, d.upload_vector(b, S)?));
+                }
+                let t0 = d.synchronize();
+                d.batched_lu_solve(&hs, S)?;
+                Ok(d.synchronize() - t0)
+            })
+            .expect("batched");
+
+        // Streams: 4 concurrent streams, round-robin (the multi-rank
+        // alternative: concurrency without a batch API).
+        let streamed = gpu(1 << 30);
+        let streamed_ns = streamed
+            .with(|d| -> Result<f64, gmip_gpu::GpuError> {
+                let streams: Vec<_> = (0..4)
+                    .map(|k| if k == 0 { S } else { d.create_stream() })
+                    .collect();
+                let mut hs = Vec::new();
+                for (a, b) in &systems {
+                    hs.push((d.upload_matrix(a, S)?, d.upload_vector(b, S)?));
+                }
+                let t0 = d.synchronize();
+                for (i, &(ah, bh)) in hs.iter().enumerate() {
+                    let st = streams[i % streams.len()];
+                    let f = d.lu_factor(ah, st)?;
+                    d.lu_solve(f, bh, st)?;
+                }
+                Ok(d.synchronize() - t0)
+            })
+            .expect("streams");
+
+        t.row(vec![
+            batch.to_string(),
+            fmt_ns(serial_ns),
+            fmt_ns(batched_ns),
+            fmt_ns(streamed_ns),
+            format!("{:.1}x", serial_ns / batched_ns),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Part B: the same mechanism inside branch and bound — `lanes`
+    // independent engines (each with its own matrix copy and stream) on one
+    // device, dispatched wave by wave.
+    out.push_str("\npart B: concurrent node evaluation in branch and bound (one device)\n");
+    use gmip_core::{solve_concurrent, ConcurrentConfig};
+    use gmip_problems::generators::knapsack;
+    let inst = knapsack(20, 0.5, 4);
+    let mut t = Table::new(&[
+        "lanes",
+        "nodes",
+        "waves",
+        "makespan",
+        "speedup",
+        "peak dev mem",
+    ]);
+    let mut lane1_ns = 0.0;
+    for lanes in [1usize, 2, 4, 8] {
+        let r = solve_concurrent(
+            &inst,
+            &ConcurrentConfig {
+                lanes,
+                ..Default::default()
+            },
+            gpu(1 << 30),
+        )
+        .expect("concurrent solve");
+        if lanes == 1 {
+            lane1_ns = r.makespan_ns;
+        }
+        t.row(vec![
+            lanes.to_string(),
+            r.nodes.to_string(),
+            r.waves.to_string(),
+            fmt_ns(r.makespan_ns),
+            format!("{:.2}x", lane1_ns / r.makespan_ns),
+            crate::table::fmt_bytes(r.peak_device_bytes as u64),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let per_mat = n * n * 8;
+    let cap = 1usize << 30;
+    out.push_str(&format!(
+        "\nfeasible concurrent residency (paper's sizing rule): {} matrices of {} B in a {} GiB device\n",
+        cap / per_mat,
+        per_mat,
+        cap >> 30
+    ));
+    out.push_str(
+        "shape check: batching amortizes launch latency, growing with batch size; \
+         4 streams sit between serial and fully batched.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn batching_speedup_grows() {
+        let s = super::run();
+        let speedups: Vec<f64> = s
+            .lines()
+            .filter(|l| l.trim_end().ends_with('x'))
+            .filter_map(|l| {
+                l.split_whitespace()
+                    .last()
+                    .and_then(|v| v.trim_end_matches('x').parse().ok())
+            })
+            .collect();
+        assert!(speedups.len() >= 4);
+        let last = *speedups.last().expect("rows exist");
+        let first = speedups[0];
+        assert!(
+            last > first && last > 3.0,
+            "speedup should grow with batch: {speedups:?}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! E5 — consistent snapshots in parallel search: correctness and overhead.
+//!
+//! Paper source: Section 2.1. Claims reproduced:
+//! * a consistent snapshot "preserves the optimal solution" — restarting
+//!   from any captured snapshot reaches the same optimum;
+//! * in parallel it must account for nodes being evaluated and in transit —
+//!   the supervisor's snapshot does, and the experiment restarts from a
+//!   snapshot taken while work was genuinely outstanding;
+//! * snapshot frequency costs makespan (stop-the-world serialization).
+
+use crate::table::{fmt_ns, Table};
+use gmip_core::MipStatus;
+use gmip_parallel::{solve_parallel, ParallelConfig, Supervisor};
+use gmip_problems::generators::knapsack::{knapsack, knapsack_brute_force};
+
+/// Runs the experiment and returns the report text.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("E5: consistent snapshots — correctness and overhead (paper Section 2.1)\n\n");
+    let instance = knapsack(22, 0.5, 21);
+    let expected = knapsack_brute_force(&instance);
+
+    // Overhead sweep.
+    let mut t = Table::new(&["checkpoint every", "checkpoints", "makespan", "overhead"]);
+    let base_cfg = ParallelConfig {
+        workers: 4,
+        gpu_mem: 1 << 26,
+        ..Default::default()
+    };
+    let baseline = solve_parallel(&instance, base_cfg.clone()).expect("baseline");
+    assert!((baseline.objective - expected).abs() < 1e-6);
+    let base_ns = baseline.stats.makespan_ns;
+    t.row(vec![
+        "never".into(),
+        "0".into(),
+        fmt_ns(base_ns),
+        "-".into(),
+    ]);
+    for every in [32usize, 8, 2] {
+        let r = solve_parallel(
+            &instance,
+            ParallelConfig {
+                checkpoint_every: Some(every),
+                ..base_cfg.clone()
+            },
+        )
+        .expect("checkpointed run");
+        assert!((r.objective - expected).abs() < 1e-6);
+        t.row(vec![
+            every.to_string(),
+            r.stats.checkpoints.to_string(),
+            fmt_ns(r.stats.makespan_ns),
+            format!("{:+.2}%", 100.0 * (r.stats.makespan_ns - base_ns) / base_ns),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Correctness: restart from EVERY snapshot of a mid-search run.
+    let partial = solve_parallel(
+        &instance,
+        ParallelConfig {
+            node_limit: 12,
+            checkpoint_every: Some(3),
+            ..base_cfg.clone()
+        },
+    )
+    .expect("partial run");
+    let mut restarts_ok = 0;
+    let total = partial.snapshots.len();
+    for snap in &partial.snapshots {
+        let resumed = Supervisor::restore(
+            instance.clone(),
+            ParallelConfig {
+                node_limit: 1_000_000,
+                checkpoint_every: None,
+                ..base_cfg.clone()
+            },
+            snap,
+        )
+        .expect("restore")
+        .run()
+        .expect("resumed run");
+        if resumed.status == MipStatus::Optimal && (resumed.objective - expected).abs() < 1e-6 {
+            restarts_ok += 1;
+        }
+    }
+    out.push_str(&format!(
+        "\nrestart correctness: {restarts_ok}/{total} snapshots resumed to the optimum {expected}\n"
+    ));
+    assert_eq!(
+        restarts_ok, total,
+        "every snapshot must preserve the optimum"
+    );
+    out.push_str(
+        "shape check: snapshots are consistent (optimum preserved from every capture); \
+         higher frequency costs makespan.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_restarts_reach_optimum() {
+        let s = super::run();
+        let line = s
+            .lines()
+            .find(|l| l.contains("restart correctness"))
+            .expect("correctness line");
+        let frac = line
+            .split(':')
+            .nth(1)
+            .and_then(|t| t.split_whitespace().next())
+            .expect("fraction");
+        let (ok, total) = frac.split_once('/').expect("a/b");
+        assert_eq!(ok, total);
+        assert!(total.parse::<usize>().expect("count") > 0);
+    }
+}

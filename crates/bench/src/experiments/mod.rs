@@ -1,0 +1,70 @@
+//! One module per experiment in the DESIGN.md index.
+//!
+//! Every `run()` regenerates one table/figure of the reproduction and
+//! returns its report text; the `report` binary prints them. Workloads are
+//! deterministic (fixed seeds) so EXPERIMENTS.md numbers are reproducible.
+
+pub mod e1;
+pub mod e2;
+pub mod e3a;
+pub mod e3b;
+pub mod e3c;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod f1;
+
+use gmip_gpu::{Accel, CostModel, DeviceConfig};
+
+/// A GPU accel with the standard PCIe cost model and `mem` bytes.
+pub(crate) fn gpu(mem: usize) -> Accel {
+    Accel::gpu_with(DeviceConfig {
+        cost: CostModel::gpu_pcie(),
+        mem_capacity: mem,
+        streams: 1,
+    })
+}
+
+/// A deterministic diagonally-dominant dense matrix shared by kernel-level
+/// experiments.
+pub(crate) fn e2_matrix(n: usize) -> gmip_linalg::DenseMatrix {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(n as u64);
+    let mut a = gmip_linalg::DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = if i == j {
+                n as f64 + rng.gen_range(1.0..3.0)
+            } else {
+                rng.gen_range(-0.5..0.5)
+            };
+            a.set(i, j, v);
+        }
+    }
+    a
+}
+
+/// All experiment ids, in report order.
+pub const ALL: &[&str] = &[
+    "f1", "e1", "e2", "e3a", "e3b", "e3c", "e4", "e5", "e6", "e7", "e8",
+];
+
+/// Dispatches an experiment id to its runner.
+pub fn run(id: &str) -> Option<String> {
+    match id {
+        "f1" => Some(f1::run()),
+        "e1" => Some(e1::run()),
+        "e2" => Some(e2::run()),
+        "e3a" => Some(e3a::run()),
+        "e3b" => Some(e3b::run()),
+        "e3c" => Some(e3c::run()),
+        "e4" => Some(e4::run()),
+        "e5" => Some(e5::run()),
+        "e6" => Some(e6::run()),
+        "e7" => Some(e7::run()),
+        "e8" => Some(e8::run()),
+        _ => None,
+    }
+}

@@ -1,0 +1,18 @@
+//! # gmip-bench
+//!
+//! The experiment harness of the reproduction: one module per experiment in
+//! DESIGN.md's index ([`experiments`]), a table renderer ([`table`]), and
+//! the `report` binary that regenerates any experiment's table/figure:
+//!
+//! ```text
+//! cargo run --release -p gmip-bench --bin report -- all
+//! cargo run --release -p gmip-bench --bin report -- e1 e4
+//! ```
+//!
+//! Criterion microbenchmarks (wall-clock performance of the kernels, LP
+//! engine, and solver) live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

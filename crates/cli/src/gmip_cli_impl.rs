@@ -1,0 +1,475 @@
+//! Implementation of the `gmip` CLI: argument parsing, the `solve` and
+//! `generate` subcommands, and result formatting.
+
+use gmip_core::{
+    choose_path, plan, presolve, solve_with_dispatch, MipConfig, MipResult, MipSolver, PolicyKind,
+    Strategy,
+};
+use gmip_gpu::{Accel, CostModel};
+use gmip_problems::generators;
+use gmip_problems::mps::{read_mps, write_mps};
+use gmip_problems::MipInstance;
+use gmip_tree::render;
+
+/// The help text.
+pub const HELP: &str = "\
+gmip — MIP solving on a simulated GPU-accelerated platform
+
+USAGE:
+  gmip solve <file.mps> [options]
+  gmip generate <family> [options]
+  gmip help
+
+SOLVE OPTIONS:
+  --strategy <s>     host | cpu-orchestrated | gpu-only | hybrid |
+                     big-mip:<devices> | auto          (default: cpu-orchestrated)
+  --gpu-mem <GiB>    device memory per GPU             (default: 1)
+  --node-limit <n>   stop after n nodes                (default: 100000)
+  --policy <p>       best | depth | breadth | reuse    (default: best)
+  --gap <frac>       accept a relative optimality gap (e.g. 0.01)
+  --obj-limit <v>    stop at the first incumbent at least this good
+  --no-cuts          disable root cutting planes
+  --no-heur          disable primal heuristics
+  --presolve         presolve before solving
+  --tree             print the solution tree (small instances)
+  --stats            print the device/host cost ledger
+
+GENERATE OPTIONS:
+  --out <file.mps>   output path                       (default: stdout)
+  --seed <n>         RNG seed                          (default: 0)
+  families and their parameters:
+    knapsack <items>
+    setcover <elements> <sets> <density>
+    gap <agents> <tasks>
+    ucommit <generators> <periods>
+    netflow <nodes> <extra-arcs> <supply>
+    binpack <items>
+    facility <customers> <facilities> <open-cost>
+";
+
+/// Parsed option set shared by subcommands.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub positional: Vec<String>,
+    pub strategy: String,
+    pub gpu_mem_gib: usize,
+    pub node_limit: usize,
+    pub policy: PolicyKind,
+    pub cuts: bool,
+    pub heuristics: bool,
+    pub presolve: bool,
+    pub gap: f64,
+    pub obj_limit: Option<f64>,
+    pub tree: bool,
+    pub stats: bool,
+    pub out: Option<String>,
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            positional: Vec::new(),
+            strategy: "cpu-orchestrated".into(),
+            gpu_mem_gib: 1,
+            node_limit: 100_000,
+            policy: PolicyKind::BestFirst,
+            cuts: true,
+            heuristics: true,
+            presolve: false,
+            gap: 0.0,
+            obj_limit: None,
+            tree: false,
+            stats: false,
+            out: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Parses `args` (after the subcommand) into [`Options`].
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--strategy" => o.strategy = take("--strategy")?,
+            "--gpu-mem" => {
+                o.gpu_mem_gib = take("--gpu-mem")?
+                    .parse()
+                    .map_err(|_| "--gpu-mem must be an integer (GiB)".to_string())?
+            }
+            "--node-limit" => {
+                o.node_limit = take("--node-limit")?
+                    .parse()
+                    .map_err(|_| "--node-limit must be an integer".to_string())?
+            }
+            "--policy" => {
+                o.policy = match take("--policy")?.as_str() {
+                    "best" => PolicyKind::BestFirst,
+                    "depth" => PolicyKind::DepthFirst,
+                    "breadth" => PolicyKind::BreadthFirst,
+                    "reuse" => PolicyKind::ReuseAffinity,
+                    other => return Err(format!("unknown policy `{other}`")),
+                }
+            }
+            "--gap" => {
+                o.gap = take("--gap")?
+                    .parse()
+                    .map_err(|_| "--gap must be a number".to_string())?
+            }
+            "--obj-limit" => {
+                o.obj_limit = Some(
+                    take("--obj-limit")?
+                        .parse()
+                        .map_err(|_| "--obj-limit must be a number".to_string())?,
+                )
+            }
+            "--no-cuts" => o.cuts = false,
+            "--no-heur" => o.heuristics = false,
+            "--presolve" => o.presolve = true,
+            "--tree" => o.tree = true,
+            "--stats" => o.stats = true,
+            "--out" => o.out = Some(take("--out")?),
+            "--seed" => {
+                o.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}` (see `gmip help`)"))
+            }
+            positional => o.positional.push(positional.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn mip_config(o: &Options) -> MipConfig {
+    let mut cfg = MipConfig::default();
+    cfg.node_limit = o.node_limit;
+    cfg.policy = o.policy;
+    cfg.cuts.enabled = o.cuts;
+    cfg.heuristics.rounding = o.heuristics;
+    cfg.gap_rel = o.gap;
+    cfg.objective_limit = o.obj_limit;
+    cfg
+}
+
+/// Runs a parsed command line; returns the text to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args[0].as_str() {
+        "solve" => {
+            let o = parse_options(&args[1..])?;
+            let path = o.positional.first().ok_or("solve needs an MPS file path")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let instance = read_mps(&text).map_err(|e| format!("{e}"))?;
+            solve(instance, &o)
+        }
+        "generate" => {
+            let o = parse_options(&args[1..])?;
+            let instance = generate(&o)?;
+            let text = write_mps(&instance);
+            match &o.out {
+                Some(path) => {
+                    std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    Ok(format!(
+                        "wrote {} ({} vars, {} cons) to {path}\n",
+                        instance.name,
+                        instance.num_vars(),
+                        instance.num_cons()
+                    ))
+                }
+                None => Ok(text),
+            }
+        }
+        other => Err(format!("unknown command `{other}` (see `gmip help`)")),
+    }
+}
+
+/// Builds an instance from the `generate` arguments.
+pub fn generate(o: &Options) -> Result<MipInstance, String> {
+    let p = &o.positional;
+    let family = p.first().ok_or("generate needs a family name")?;
+    let num = |i: usize, what: &str| -> Result<usize, String> {
+        p.get(i)
+            .ok_or(format!("{family} needs {what}"))?
+            .parse()
+            .map_err(|_| format!("{what} must be an integer"))
+    };
+    let fnum = |i: usize, what: &str| -> Result<f64, String> {
+        p.get(i)
+            .ok_or(format!("{family} needs {what}"))?
+            .parse()
+            .map_err(|_| format!("{what} must be a number"))
+    };
+    Ok(match family.as_str() {
+        "knapsack" => generators::knapsack(num(1, "<items>")?, 0.5, o.seed),
+        "setcover" => generators::set_cover(
+            num(1, "<elements>")?,
+            num(2, "<sets>")?,
+            fnum(3, "<density>")?,
+            o.seed,
+        ),
+        "gap" => {
+            generators::generalized_assignment(num(1, "<agents>")?, num(2, "<tasks>")?, o.seed)
+        }
+        "ucommit" => {
+            generators::unit_commitment(num(1, "<generators>")?, num(2, "<periods>")?, o.seed)
+        }
+        "netflow" => generators::fixed_charge_flow(
+            num(1, "<nodes>")?,
+            num(2, "<extra-arcs>")?,
+            fnum(3, "<supply>")?,
+            o.seed,
+        ),
+        "binpack" => generators::bin_packing(num(1, "<items>")?, 1.0, o.seed),
+        "facility" => generators::facility_location(
+            num(1, "<customers>")?,
+            num(2, "<facilities>")?,
+            fnum(3, "<open-cost>")?,
+            o.seed,
+        ),
+        other => return Err(format!("unknown family `{other}` (see `gmip help`)")),
+    })
+}
+
+/// Solves an instance per the options; returns the formatted report.
+pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
+    instance.validate().map_err(|e| format!("{e}"))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "instance: {} ({} vars / {} integral, {} cons, density {:.3})\n",
+        instance.name,
+        instance.num_vars(),
+        instance.num_integral(),
+        instance.num_cons(),
+        instance.density()
+    ));
+
+    // Optional presolve.
+    let (work, pre) = if o.presolve {
+        let pre = presolve(&instance, 5);
+        if pre.infeasible {
+            out.push_str("presolve: proven infeasible\n");
+            return Ok(out);
+        }
+        out.push_str(&format!(
+            "presolve: {} vars fixed, {} rows dropped, {} bounds tightened\n",
+            pre.vars_fixed(),
+            pre.rows_dropped,
+            pre.bounds_tightened
+        ));
+        (pre.reduced.clone(), Some(pre))
+    } else {
+        (instance.clone(), None)
+    };
+
+    let cfg = mip_config(o);
+    let gpu_mem = o.gpu_mem_gib << 30;
+    let result: MipResult = match o.strategy.as_str() {
+        "host" => {
+            let mut s = MipSolver::host_baseline(work, cfg);
+            s.solve().map_err(|e| format!("{e}"))?
+        }
+        "auto" => {
+            let accel = Accel::gpu(o.gpu_mem_gib);
+            let path = choose_path(&work, &CostModel::gpu_pcie());
+            out.push_str(&format!("dispatch: {path:?}\n"));
+            let (_, r) = solve_with_dispatch(work, cfg, accel).map_err(|e| format!("{e}"))?;
+            r
+        }
+        name => {
+            let strategy = match name {
+                "cpu-orchestrated" => Strategy::CpuOrchestrated,
+                "gpu-only" => Strategy::GpuOnly,
+                "hybrid" => Strategy::Hybrid,
+                s if s.starts_with("big-mip:") => {
+                    let devices = s["big-mip:".len()..]
+                        .parse()
+                        .map_err(|_| "big-mip needs a device count, e.g. big-mip:4".to_string())?;
+                    Strategy::BigMip { devices }
+                }
+                other => return Err(format!("unknown strategy `{other}`")),
+            };
+            let p = plan(strategy, cfg, CostModel::gpu_pcie(), gpu_mem);
+            let mut s = MipSolver::with_plan(work, p);
+            s.solve().map_err(|e| format!("{e}"))?
+        }
+    };
+
+    // Map back through presolve if needed.
+    let (objective, x) = match (&pre, result.x.is_empty()) {
+        (_, true) => (result.objective, result.x.clone()),
+        (Some(pre), false) => {
+            let full = pre.postsolve(&result.x);
+            (instance.objective_value(&full), full)
+        }
+        (None, false) => (result.objective, result.x.clone()),
+    };
+
+    out.push_str(&format!("status: {:?}\n", result.status));
+    if !x.is_empty() {
+        out.push_str(&format!("objective: {objective}\n"));
+        let nonzero: Vec<String> = instance
+            .vars
+            .iter()
+            .zip(&x)
+            .filter(|(_, &v)| v.abs() > 1e-9)
+            .take(25)
+            .map(|(var, &v)| format!("{}={v}", var.name))
+            .collect();
+        out.push_str(&format!("solution (nonzeros): {}\n", nonzero.join(" ")));
+    }
+    out.push_str(&format!(
+        "nodes: {}   lp iterations: {}   cuts: {}\n",
+        result.stats.nodes, result.stats.lp_iterations, result.stats.cuts
+    ));
+    if o.stats {
+        let d = &result.stats.device;
+        out.push_str(&format!(
+            "device: {} kernels, {} H2D ({} B), {} D2H ({} B), spills {}\n",
+            d.kernel_launches,
+            d.h2d_transfers,
+            d.h2d_bytes,
+            d.d2h_transfers,
+            d.d2h_bytes,
+            result.stats.gpu_spills
+        ));
+        out.push_str(&format!(
+            "simulated time: {:.3} ms\n",
+            result.stats.sim_time_ns / 1e6
+        ));
+    }
+    if o.tree {
+        out.push('\n');
+        out.push_str(&render::render(&result.tree));
+        out.push_str(render::LEGEND);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = parse_options(&s(&["file.mps"])).unwrap();
+        assert_eq!(o.positional, vec!["file.mps"]);
+        assert_eq!(o.strategy, "cpu-orchestrated");
+        assert!(o.cuts);
+        let o = parse_options(&s(&[
+            "x.mps",
+            "--strategy",
+            "hybrid",
+            "--no-cuts",
+            "--policy",
+            "reuse",
+            "--node-limit",
+            "42",
+            "--stats",
+        ]))
+        .unwrap();
+        assert_eq!(o.strategy, "hybrid");
+        assert!(!o.cuts);
+        assert_eq!(o.policy, PolicyKind::ReuseAffinity);
+        assert_eq!(o.node_limit, 42);
+        assert!(o.stats);
+    }
+
+    #[test]
+    fn parse_gap_and_obj_limit() {
+        let o = parse_options(&s(&["x.mps", "--gap", "0.05", "--obj-limit", "12.5"])).unwrap();
+        assert_eq!(o.gap, 0.05);
+        assert_eq!(o.obj_limit, Some(12.5));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_options(&s(&["--bogus"])).is_err());
+        assert!(parse_options(&s(&["--node-limit"])).is_err());
+        assert!(parse_options(&s(&["--node-limit", "abc"])).is_err());
+        assert!(parse_options(&s(&["--policy", "zigzag"])).is_err());
+    }
+
+    #[test]
+    fn generate_families() {
+        let mut o = Options::default();
+        o.positional = s(&["knapsack", "8"]);
+        let m = generate(&o).unwrap();
+        assert_eq!(m.num_vars(), 8);
+        o.positional = s(&["facility", "3", "2", "25"]);
+        let m = generate(&o).unwrap();
+        assert_eq!(m.num_vars(), 3 * 2 + 2);
+        o.positional = s(&["unknown"]);
+        assert!(generate(&o).is_err());
+        o.positional = s(&["setcover", "5"]);
+        assert!(generate(&o).is_err(), "missing parameters rejected");
+    }
+
+    #[test]
+    fn end_to_end_generate_and_solve_roundtrip() {
+        // generate → MPS text → read back → solve with several strategies.
+        let mut o = Options::default();
+        o.positional = s(&["knapsack", "10"]);
+        o.seed = 3;
+        let instance = generate(&o).unwrap();
+        let text = write_mps(&instance);
+        let back = read_mps(&text).unwrap();
+
+        let mut host_opts = Options::default();
+        host_opts.strategy = "host".into();
+        host_opts.stats = true;
+        let host_out = solve(back.clone(), &host_opts).unwrap();
+        assert!(host_out.contains("status: Optimal"));
+
+        let mut dev_opts = Options::default();
+        dev_opts.strategy = "auto".into();
+        let dev_out = solve(back.clone(), &dev_opts).unwrap();
+        assert!(dev_out.contains("status: Optimal"));
+        // Same objective line in both.
+        let grab = |t: &str| {
+            t.lines()
+                .find(|l| l.starts_with("objective:"))
+                .expect("objective line")
+                .to_string()
+        };
+        assert_eq!(grab(&host_out), grab(&dev_out));
+    }
+
+    #[test]
+    fn solve_with_presolve_and_tree() {
+        let mut o = Options::default();
+        o.strategy = "host".into();
+        o.presolve = true;
+        o.tree = true;
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert!(out.contains("presolve:"));
+        assert!(out.contains("status: Optimal"));
+        assert!(out.contains("objective: 14"));
+        assert!(out.contains("root"));
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_errors() {
+        assert!(run(&s(&["bogus"])).is_err());
+        assert!(run(&s(&["solve"])).is_err());
+        assert!(run(&s(&["solve", "/nonexistent/x.mps"])).is_err());
+        // generate to stdout.
+        let out = run(&s(&["generate", "knapsack", "5"])).unwrap();
+        assert!(out.contains("NAME"));
+        assert!(out.contains("ENDATA"));
+    }
+}

@@ -1,0 +1,32 @@
+//! `gmip` — command-line MIP solving on the simulated accelerated platform.
+//!
+//! ```text
+//! gmip solve <file.mps> [options]      solve an MPS instance
+//! gmip generate <family> [options]     write a generated instance as MPS
+//! gmip help                            this text
+//! ```
+//!
+//! See `gmip help` for the option list.
+
+use gmip_cli_impl::{run, HELP};
+use std::process::ExitCode;
+
+mod gmip_cli_impl;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" || args[0] == "-h" {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Solver configuration.
+
+use gmip_lp::LpConfig;
+
+/// Node-selection policy choice (dispatches to `gmip_tree::policy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Best bound first (fewest nodes, poor locality).
+    BestFirst,
+    /// Depth first (fast incumbents, small active set).
+    DepthFirst,
+    /// Breadth first (baseline with the worst locality).
+    BreadthFirst,
+    /// The GPU-aware reuse-affinity policy of Section 5.3.
+    ReuseAffinity,
+}
+
+/// Branching-rule choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchRule {
+    /// Most-fractional variable (closest to 0.5).
+    MostFractional,
+    /// Pseudocost branching with most-fractional initialization.
+    PseudoCost,
+    /// Strong branching: probe the top candidates with iteration-capped
+    /// warm dual re-solves and pick the largest bound-degradation product.
+    /// Requires engine reuse + warm starts; falls back to most-fractional
+    /// otherwise. Knobs: [`MipConfig::strong_candidates`],
+    /// [`MipConfig::strong_iter_cap`].
+    Strong,
+}
+
+/// Cutting-plane configuration (root-only rounds; the generated cut
+/// families — GMI and knapsack covers — are globally valid).
+#[derive(Debug, Clone)]
+pub struct CutConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Maximum separation rounds at the root.
+    pub max_rounds: usize,
+    /// Maximum cuts added per round.
+    pub max_per_round: usize,
+    /// Minimum violation for a cut to be kept.
+    pub min_violation: f64,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_rounds: 5,
+            max_per_round: 10,
+            min_violation: 1e-4,
+        }
+    }
+}
+
+/// Primal-heuristic configuration.
+#[derive(Debug, Clone)]
+pub struct HeurConfig {
+    /// Try rounding every node LP solution.
+    pub rounding: bool,
+    /// Run a diving pass from the root relaxation.
+    pub diving: bool,
+    /// Maximum diving depth (variables fixed).
+    pub dive_depth: usize,
+}
+
+impl Default for HeurConfig {
+    fn default() -> Self {
+        Self {
+            rounding: true,
+            diving: false,
+            dive_depth: 20,
+        }
+    }
+}
+
+/// Full branch-and-cut configuration.
+#[derive(Debug, Clone)]
+pub struct MipConfig {
+    /// LP engine tolerances and limits.
+    pub lp: LpConfig,
+    /// Maximum nodes to evaluate before giving up with `NodeLimit`.
+    pub node_limit: usize,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Bound-domination tolerance for pruning.
+    pub prune_tol: f64,
+    /// Node-selection policy.
+    pub policy: PolicyKind,
+    /// Branching rule.
+    pub branching: BranchRule,
+    /// Cutting planes.
+    pub cuts: CutConfig,
+    /// Primal heuristics.
+    pub heuristics: HeurConfig,
+    /// Reuse one LP engine across tree nodes (Section 5.3). When false, a
+    /// fresh engine is built per node — on a device backend that re-uploads
+    /// the matrix every node, the costly baseline of experiment E3c/E8.
+    pub engine_reuse: bool,
+    /// Warm-start each node from its parent's basis.
+    pub warm_start: bool,
+    /// Stop early once the relative optimality gap
+    /// `(best open bound − incumbent) / max(1, |incumbent|)` falls to this
+    /// value (0.0 = prove optimality exactly).
+    pub gap_rel: f64,
+    /// Stop as soon as an incumbent at least this good (source sense) is
+    /// found.
+    pub objective_limit: Option<f64>,
+    /// Strong branching: number of most-fractional candidates probed.
+    pub strong_candidates: usize,
+    /// Strong branching: iteration cap per probe re-solve.
+    pub strong_iter_cap: usize,
+}
+
+impl Default for MipConfig {
+    fn default() -> Self {
+        Self {
+            lp: LpConfig::standard(),
+            node_limit: 100_000,
+            int_tol: 1e-6,
+            prune_tol: 1e-6,
+            policy: PolicyKind::BestFirst,
+            branching: BranchRule::MostFractional,
+            cuts: CutConfig::default(),
+            heuristics: HeurConfig::default(),
+            engine_reuse: true,
+            warm_start: true,
+            gap_rel: 0.0,
+            objective_limit: None,
+            strong_candidates: 4,
+            strong_iter_cap: 50,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MipConfig::default();
+        assert!(c.engine_reuse);
+        assert!(c.warm_start);
+        assert!(c.cuts.enabled);
+        assert!(c.heuristics.rounding);
+        assert!(!c.heuristics.diving);
+        assert!(c.int_tol > 0.0 && c.int_tol < 1e-3);
+        assert!(c.node_limit > 1000);
+        assert_eq!(c.gap_rel, 0.0);
+        assert!(c.objective_limit.is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! Knapsack cover cuts.
+//!
+//! For a constraint `Σ wⱼ xⱼ ≤ b` over binary variables with `wⱼ > 0`, any
+//! *cover* `C` (a set with `Σ_{j∈C} wⱼ > b`) yields the globally valid cut
+//! `Σ_{j∈C} xⱼ ≤ |C| − 1`. Separation is the standard greedy on the
+//! fractional point: prefer variables with large `xⱼ` (they contribute most
+//! to violation), accumulate until the weights exceed the capacity.
+
+use super::Cut;
+use gmip_problems::{MipInstance, Sense, VarType};
+
+/// Generates violated cover cuts at the fractional point `x`.
+///
+/// Only rows that are pure binary knapsacks (`≤` sense, all coefficients
+/// positive, all referenced variables binary) are separated. Returns at
+/// most `max_cuts` cuts with violation above `min_violation`, sorted by
+/// decreasing violation.
+pub fn generate_covers(
+    instance: &MipInstance,
+    x: &[f64],
+    max_cuts: usize,
+    min_violation: f64,
+) -> Vec<Cut> {
+    let mut cuts: Vec<(f64, Cut)> = Vec::new();
+    for con in &instance.cons {
+        if con.sense != Sense::Le || con.rhs <= 0.0 || con.coeffs.is_empty() {
+            continue;
+        }
+        let is_binary_knapsack = con
+            .coeffs
+            .iter()
+            .all(|&(j, w)| w > 0.0 && instance.vars[j].ty == VarType::Binary);
+        if !is_binary_knapsack {
+            continue;
+        }
+        // Greedy: order by x desc (tie: weight desc) and accumulate.
+        let mut order: Vec<(usize, f64)> = con.coeffs.clone();
+        order.sort_by(|a, b| {
+            x[b.0]
+                .partial_cmp(&x[a.0])
+                .expect("x is never NaN")
+                .then(b.1.partial_cmp(&a.1).expect("weights are never NaN"))
+        });
+        let mut cover: Vec<usize> = Vec::new();
+        let mut weight = 0.0;
+        for &(j, w) in &order {
+            cover.push(j);
+            weight += w;
+            if weight > con.rhs {
+                break;
+            }
+        }
+        if weight <= con.rhs {
+            continue; // the whole row fits: no cover exists
+        }
+        let lhs: f64 = cover.iter().map(|&j| x[j]).sum();
+        let rhs = (cover.len() - 1) as f64;
+        let viol = lhs - rhs;
+        if viol > min_violation {
+            let mut coeffs: Vec<(usize, f64)> = cover.iter().map(|&j| (j, 1.0)).collect();
+            coeffs.sort_unstable_by_key(|&(j, _)| j);
+            cuts.push((viol, (coeffs, rhs)));
+        }
+    }
+    cuts.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("violations are never NaN"));
+    cuts.truncate(max_cuts);
+    cuts.into_iter().map(|(_, c)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::violation;
+    use gmip_problems::{Constraint, MipInstance, Objective, Variable};
+
+    /// 3 binaries, 3x0 + 3x1 + 3x2 ≤ 5: any two items form a cover →
+    /// x_i + x_j ≤ 1 cuts.
+    fn knapsack3() -> MipInstance {
+        let mut m = MipInstance::new("k3", Objective::Maximize);
+        for i in 0..3 {
+            m.add_var(Variable::binary(format!("x{i}"), 1.0));
+        }
+        m.add_con(Constraint::new(
+            "cap",
+            vec![(0, 3.0), (1, 3.0), (2, 3.0)],
+            Sense::Le,
+            5.0,
+        ));
+        m
+    }
+
+    #[test]
+    fn violated_cover_found_at_fractional_point() {
+        let m = knapsack3();
+        // LP point 5/9 each: any pair sums to 10/9 > 1 → violated cover.
+        let x = [5.0 / 9.0, 5.0 / 9.0, 5.0 / 9.0];
+        let cuts = generate_covers(&m, &x, 5, 1e-4);
+        assert!(!cuts.is_empty());
+        let cut = &cuts[0];
+        assert!(violation(cut, &x) > 1e-4);
+        assert_eq!(cut.1, 1.0);
+        assert_eq!(cut.0.len(), 2);
+        // Globally valid: check against every feasible binary point.
+        for bits in 0u32..8 {
+            let p: Vec<f64> = (0..3).map(|i| ((bits >> i) & 1) as f64).collect();
+            if m.is_integer_feasible(&p, 1e-9) {
+                assert!(
+                    violation(cut, &p) <= 1e-9,
+                    "cut cuts off feasible point {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integral_point_yields_no_cuts() {
+        let m = knapsack3();
+        let cuts = generate_covers(&m, &[1.0, 0.0, 0.0], 5, 1e-4);
+        assert!(cuts.is_empty());
+    }
+
+    #[test]
+    fn non_knapsack_rows_skipped() {
+        let mut m = MipInstance::new("mixed", Objective::Maximize);
+        m.add_var(Variable::binary("b", 1.0));
+        m.add_var(Variable::continuous("c", 0.0, 10.0, 1.0));
+        // Mixed row: not a binary knapsack.
+        m.add_con(Constraint::new(
+            "r",
+            vec![(0, 2.0), (1, 1.0)],
+            Sense::Le,
+            1.0,
+        ));
+        // Negative-coefficient row: skipped.
+        m.add_con(Constraint::new("n", vec![(0, -1.0)], Sense::Le, 1.0));
+        // Ge row: skipped.
+        m.add_con(Constraint::new("g", vec![(0, 1.0)], Sense::Ge, 0.0));
+        assert!(generate_covers(&m, &[0.9, 5.0], 5, 1e-4).is_empty());
+    }
+
+    #[test]
+    fn max_cuts_respected() {
+        // Two knapsack rows, both violated.
+        let mut m = knapsack3();
+        m.add_con(Constraint::new(
+            "cap2",
+            vec![(0, 4.0), (1, 4.0), (2, 4.0)],
+            Sense::Le,
+            6.0,
+        ));
+        let x = [0.6, 0.6, 0.6];
+        let all = generate_covers(&m, &x, 10, 1e-4);
+        assert!(all.len() >= 2);
+        let one = generate_covers(&m, &x, 1, 1e-4);
+        assert_eq!(one.len(), 1);
+    }
+}

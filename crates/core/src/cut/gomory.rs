@@ -1,0 +1,308 @@
+//! Gomory mixed-integer (GMI) cuts from the simplex tableau.
+//!
+//! For a basic integral variable with fractional value `b̃` in tableau row
+//! `x_B + Σ ã_j x̃_j = b̃` (nonbasic variables shifted to their bounds so
+//! `x̃_j ≥ 0`), the GMI cut is `Σ γ_j x̃_j ≥ f₀` with `f₀ = frac(b̃)` and
+//!
+//! * integral nonbasic: `γ = frac(ã)` if `frac(ã) ≤ f₀`, else
+//!   `f₀·(1 − frac(ã))/(1 − f₀)`;
+//! * continuous nonbasic: `γ = ã` if `ã ≥ 0`, else `f₀·(−ã)/(1 − f₀)`.
+//!
+//! The shifted variables are then substituted back
+//! (`x̃ = x − lb` or `ub − x`), and slack variables are eliminated through
+//! their defining rows, yielding a cut purely over structural variables.
+//! Generated at the **root** (instance bounds), such cuts are globally
+//! valid.
+//!
+//! The tableau row is obtained through
+//! [`SimplexEngine::btran_row_host`] — on the device engine an honest
+//! device→host transfer, the traffic the paper's Section 5.2 calls out.
+
+use super::Cut;
+use gmip_lp::{ColKind, LpResult, LpSolver, SimplexEngine, VarStatus};
+use gmip_problems::MipInstance;
+
+/// Fractional part in `[0, 1)`.
+#[inline]
+fn frac(x: f64) -> f64 {
+    x - x.floor()
+}
+
+/// Generates GMI cuts at the current optimal basis of `lp`.
+///
+/// `x_structural` is the current LP point; cuts are returned in ≤ form over
+/// structural variables, most violated first, at most `max_cuts`, each
+/// violated by more than `min_violation`.
+pub fn generate_gmi<E: SimplexEngine>(
+    lp: &mut LpSolver<E>,
+    instance: &MipInstance,
+    x_structural: &[f64],
+    max_cuts: usize,
+    min_violation: f64,
+    int_tol: f64,
+) -> LpResult<Vec<Cut>> {
+    let Some(basis) = lp.basis().cloned() else {
+        return Ok(Vec::new());
+    };
+    let (lb, ub) = lp.bounds();
+    let (lb, ub) = (lb.to_vec(), ub.to_vec());
+    // Slack substitution tables.
+    let std = lp.standard();
+    let slack_rows: Vec<(usize, usize, f64)> = std.slacks.clone();
+    let row_coeffs: Vec<Vec<(usize, f64)>> = (0..std.m())
+        .map(|i| {
+            (0..std.n_structural)
+                .filter_map(|j| {
+                    let v = std.a.get(i, j);
+                    (v != 0.0).then_some((j, v))
+                })
+                .collect()
+        })
+        .collect();
+    let row_rhs: Vec<f64> = std.b.clone();
+    let cut_defs: Vec<(Vec<(usize, f64)>, f64)> = lp.cuts().to_vec();
+    let n_structural = std.n_structural;
+    let is_integral: Vec<bool> = (0..n_structural)
+        .map(|j| instance.vars[j].ty.is_integral())
+        .collect();
+
+    // Candidate rows: basic integral structural vars with fractional value.
+    let mut candidates: Vec<(usize, usize, f64)> = Vec::new(); // (var, row, value)
+    for j in 0..n_structural {
+        if !is_integral[j] {
+            continue;
+        }
+        if let VarStatus::Basic(i) = basis.status[j] {
+            let v = x_structural[j];
+            let f0 = frac(v);
+            if f0 > int_tol.max(0.01) && f0 < 1.0 - int_tol.max(0.01) {
+                candidates.push((j, i, v));
+            }
+        }
+    }
+    // Most fractional first.
+    candidates.sort_by(|a, b| {
+        let fa = (frac(a.2) - 0.5).abs();
+        let fb = (frac(b.2) - 0.5).abs();
+        fa.partial_cmp(&fb).expect("fractions are never NaN")
+    });
+
+    let mut cuts: Vec<(f64, Cut)> = Vec::new();
+    for (_, row_i, value) in candidates {
+        if cuts.len() >= max_cuts {
+            break;
+        }
+        let tableau = lp.engine_mut().btran_row_host(row_i)?;
+        let f0 = frac(value);
+        // Build the cut Σ γ_j x̃_j ≥ f0 and immediately substitute back to
+        // original coordinates: accumulate structural coefficients `w` and a
+        // running rhs.
+        let mut w = vec![0.0; n_structural];
+        let mut rhs = f0;
+        let mut ok = true;
+        for (j, &status) in basis.status.iter().enumerate() {
+            let at_lower = match status {
+                VarStatus::Basic(_) => continue,
+                VarStatus::AtLower => true,
+                VarStatus::AtUpper => false,
+            };
+            if lb[j] == ub[j] {
+                continue; // fixed (incl. artificials): x̃ ≡ 0
+            }
+            let a_tilde = if at_lower { tableau[j] } else { -tableau[j] };
+            if a_tilde.abs() < 1e-12 {
+                continue;
+            }
+            let kind = lp.col_kind(j);
+            let integral_col = kind == ColKind::Structural && is_integral[j];
+            let gamma = if integral_col {
+                let f = frac(a_tilde);
+                if f <= f0 {
+                    f
+                } else {
+                    f0 * (1.0 - f) / (1.0 - f0)
+                }
+            } else if a_tilde >= 0.0 {
+                a_tilde
+            } else {
+                f0 * (-a_tilde) / (1.0 - f0)
+            };
+            if gamma.abs() < 1e-12 {
+                continue;
+            }
+            // γ·x̃ with x̃ = x_j − lb_j (at lower) or ub_j − x_j (at upper):
+            // sign for the x_j term, constant folded into rhs.
+            let (sign, shift) = if at_lower {
+                (1.0, lb[j])
+            } else {
+                (-1.0, ub[j])
+            };
+            if !shift.is_finite() {
+                ok = false; // cannot shift against an infinite bound
+                break;
+            }
+            rhs += sign * gamma * shift;
+            let coeff = sign * gamma;
+            // Now express γ·x̃ in structural terms.
+            match kind {
+                ColKind::Structural => {
+                    w[j] += coeff;
+                }
+                ColKind::Slack => {
+                    // s = coef·(b_row − a_rowᵀ x): substitute.
+                    let &(_, row, coef) = slack_rows
+                        .iter()
+                        .find(|&&(col, _, _)| col == j)
+                        .expect("slack bookkeeping covers all slack columns");
+                    rhs -= coeff * coef * row_rhs[row];
+                    for &(k, v) in &row_coeffs[row] {
+                        w[k] -= coeff * coef * v;
+                    }
+                }
+                ColKind::CutSlack(k) => {
+                    let (coeffs, cut_rhs) = &cut_defs[k];
+                    rhs -= coeff * cut_rhs;
+                    for &(kk, v) in coeffs {
+                        w[kk] -= coeff * v;
+                    }
+                }
+                ColKind::Artificial => {
+                    unreachable!("artificials are fixed and skipped above");
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // We built  Σ w_j x_j ≥ rhs  (already negated signs folded in).
+        // Convert to ≤ form.
+        let coeffs: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.abs() > 1e-10)
+            .map(|(j, v)| (j, -v))
+            .collect();
+        let cut: Cut = (coeffs, -rhs);
+        if !super::is_numerically_sound(&cut) {
+            continue;
+        }
+        let viol = super::violation(&cut, x_structural);
+        if viol > min_violation {
+            cuts.push((viol, cut));
+        }
+    }
+    cuts.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("violations are never NaN"));
+    cuts.truncate(max_cuts);
+    Ok(cuts.into_iter().map(|(_, c)| c).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::violation;
+    use gmip_lp::{HostEngine, LpConfig, LpStatus, StandardLp};
+    use gmip_problems::catalog::textbook_mip;
+    use gmip_problems::generators::knapsack;
+
+    fn solve_root(instance: &MipInstance) -> (LpSolver<HostEngine>, gmip_lp::LpSolution) {
+        let std = StandardLp::from_instance(instance, &[]);
+        let mut lp = LpSolver::new(std, LpConfig::standard(), |a| HostEngine::new(a.clone()));
+        let sol = lp.solve().unwrap();
+        (lp, sol)
+    }
+
+    #[test]
+    fn gmi_cuts_off_fractional_root_of_textbook_mip() {
+        let m = textbook_mip();
+        let (mut lp, sol) = solve_root(&m);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // Root optimum (3, 1.5): y fractional.
+        let cuts = generate_gmi(&mut lp, &m, &sol.x, 5, 1e-4, 1e-6).unwrap();
+        assert!(!cuts.is_empty(), "expected at least one GMI cut");
+        for cut in &cuts {
+            // Violated at the fractional point.
+            assert!(violation(cut, &sol.x) > 1e-4);
+            // Valid at every integer-feasible point of this small box.
+            for x0 in 0..=4 {
+                for x1 in 0..=3 {
+                    let p = [x0 as f64, x1 as f64];
+                    if m.is_integer_feasible(&p, 1e-9) {
+                        assert!(
+                            violation(cut, &p) <= 1e-7,
+                            "GMI cut {cut:?} cuts off integer point {p:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gmi_then_resolve_tightens_bound() {
+        let m = textbook_mip();
+        let (mut lp, sol) = solve_root(&m);
+        let base_obj = sol.objective;
+        let cuts = generate_gmi(&mut lp, &m, &sol.x, 3, 1e-4, 1e-6).unwrap();
+        assert!(!cuts.is_empty());
+        for (coeffs, rhs) in &cuts {
+            lp.add_cut(coeffs, *rhs).unwrap();
+        }
+        let tightened = lp.resolve().unwrap();
+        assert_eq!(tightened.status, LpStatus::Optimal);
+        assert!(
+            tightened.objective < base_obj - 1e-6,
+            "bound did not improve: {} vs {}",
+            tightened.objective,
+            base_obj
+        );
+        // MIP optimum is 20; the bound must not cross it.
+        assert!(tightened.objective >= 20.0 - 1e-6);
+    }
+
+    #[test]
+    fn gmi_valid_on_knapsack_instances() {
+        for seed in 0..3 {
+            let m = knapsack(10, 0.5, seed);
+            let (mut lp, sol) = solve_root(&m);
+            if sol.status != LpStatus::Optimal {
+                continue;
+            }
+            let cuts = generate_gmi(&mut lp, &m, &sol.x, 5, 1e-4, 1e-6).unwrap();
+            // Validity: the integer optimum must satisfy every cut. Brute
+            // force the optimum point.
+            let n = m.num_vars();
+            let mut best = (f64::NEG_INFINITY, vec![0.0; n]);
+            for bits in 0u32..(1 << n) {
+                let p: Vec<f64> = (0..n).map(|i| ((bits >> i) & 1) as f64).collect();
+                if m.is_feasible(&p, 1e-9) {
+                    let v = m.objective_value(&p);
+                    if v > best.0 {
+                        best = (v, p);
+                    }
+                }
+            }
+            for cut in &cuts {
+                assert!(
+                    violation(cut, &best.1) <= 1e-7,
+                    "seed {seed}: GMI cut {cut:?} cuts off optimum {best:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn integral_root_yields_no_cuts() {
+        // An instance whose LP relaxation is integral: x ≤ 3, maximize x.
+        let mut m = MipInstance::new("int", gmip_problems::Objective::Maximize);
+        m.add_var(gmip_problems::Variable::integer("x", 0.0, 10.0, 1.0));
+        m.add_con(gmip_problems::Constraint::new(
+            "c",
+            vec![(0, 1.0)],
+            gmip_problems::Sense::Le,
+            3.0,
+        ));
+        let (mut lp, sol) = solve_root(&m);
+        let cuts = generate_gmi(&mut lp, &m, &sol.x, 5, 1e-4, 1e-6).unwrap();
+        assert!(cuts.is_empty());
+    }
+}

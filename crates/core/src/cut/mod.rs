@@ -1,0 +1,68 @@
+//! Cutting planes (Section 5.2).
+//!
+//! Two globally valid families, both generated **on the CPU** — the paper:
+//! "We are not aware of any GPU-based cut generator published in the
+//! literature. Until GPU-based cut generators are developed, the cut
+//! generation can be assumed to be performed on the CPU, which will require
+//! the latest copy of the matrix ... to be copied from the device to the
+//! host." The GMI separator pulls tableau rows through
+//! [`gmip_lp::SimplexEngine::btran_row_host`], which on the device engine
+//! is an honest device→host transfer; the resulting cut rows travel back
+//! host→device via `add_cut`. Experiment E3b measures exactly this traffic.
+
+pub mod cover;
+pub mod gomory;
+
+pub use cover::generate_covers;
+pub use gomory::generate_gmi;
+
+/// A cut in ≤ form over structural variables: `coeffsᵀ x ≤ rhs`.
+pub type Cut = (Vec<(usize, f64)>, f64);
+
+/// Evaluates a cut's violation at a structural point (positive = violated).
+pub fn violation(cut: &Cut, x: &[f64]) -> f64 {
+    let lhs: f64 = cut.0.iter().map(|&(j, v)| v * x[j]).sum();
+    lhs - cut.1
+}
+
+/// Numerical acceptability filter: drops cuts with tiny support, huge
+/// coefficient dynamic range, or non-finite entries.
+pub fn is_numerically_sound(cut: &Cut) -> bool {
+    if cut.0.is_empty() || !cut.1.is_finite() {
+        return false;
+    }
+    let mut max = 0.0f64;
+    let mut min = f64::INFINITY;
+    for &(_, v) in &cut.0 {
+        if !v.is_finite() {
+            return false;
+        }
+        let a = v.abs();
+        if a > 0.0 {
+            max = max.max(a);
+            min = min.min(a);
+        }
+    }
+    max > 1e-9 && max / min < 1e8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_sign() {
+        let cut: Cut = (vec![(0, 1.0), (1, 1.0)], 4.0);
+        assert!((violation(&cut, &[3.0, 1.5]) - 0.5).abs() < 1e-12);
+        assert!(violation(&cut, &[4.0, 0.0]) <= 0.0);
+    }
+
+    #[test]
+    fn soundness_filter() {
+        assert!(is_numerically_sound(&(vec![(0, 1.0)], 1.0)));
+        assert!(!is_numerically_sound(&(vec![], 1.0)));
+        assert!(!is_numerically_sound(&(vec![(0, f64::NAN)], 1.0)));
+        assert!(!is_numerically_sound(&(vec![(0, 1.0)], f64::INFINITY)));
+        assert!(!is_numerically_sound(&(vec![(0, 1e9), (1, 1e-9)], 1.0)));
+    }
+}

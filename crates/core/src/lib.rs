@@ -1,0 +1,48 @@
+//! # gmip-core
+//!
+//! The branch-and-cut MIP solver — the paper's primary contribution
+//! realized over the simulated accelerated platform:
+//!
+//! * [`solver`] — the branch-and-cut orchestrator ([`solver::MipSolver`]),
+//!   generic over the LP engine (host reference, simulated device, pooled
+//!   Big-MIP device);
+//! * [`strategy`] — the four parallel execution strategies of Section 3 and
+//!   their resource plans;
+//! * [`branch`] — branching rules (most-fractional, pseudocost);
+//! * [`cut`] — globally valid cutting planes (Gomory mixed-integer from the
+//!   tableau, knapsack covers), generated CPU-side per Section 5.2;
+//! * [`heur`] — primal heuristics (rounding, diving);
+//! * [`presolve`](mod@presolve) — activity-based row elimination, bound propagation, and
+//!   variable fixing ahead of the search;
+//! * [`dispatch`] — the runtime dense/sparse "super-MIP solver" decision of
+//!   Section 5.4 (dense-device / sparse-device / host paths);
+//! * [`concurrent`] — wave-based concurrent node evaluation on one device
+//!   via streams (Section 5.5);
+//! * [`colgen`] — column generation (cutting stock): the master LP's dual
+//!   prices feed a pricing knapsack solved by this crate's own
+//!   branch and cut (the Section 3 host-side technique list);
+//! * [`config`] — solver configuration.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod branch;
+pub mod colgen;
+pub mod concurrent;
+pub mod config;
+pub mod cut;
+pub mod dispatch;
+pub mod heur;
+pub mod presolve;
+pub mod solver;
+pub mod strategy;
+
+pub use colgen::{solve_cutting_stock, CuttingStockResult};
+pub use concurrent::{solve_concurrent, ConcurrentConfig, ConcurrentResult};
+pub use config::{BranchRule, CutConfig, HeurConfig, MipConfig, PolicyKind};
+pub use dispatch::{
+    break_even_density, choose_path, solve_with_dispatch, CodePath, MIN_DEVICE_NNZ,
+};
+pub use presolve::{presolve, solve_host_with_presolve, PresolveResult};
+pub use solver::{BranchInfo, MipResult, MipSolver, MipStatus, NodePayload, SolveStats};
+pub use strategy::{big_mip_cost, plan, Strategy, StrategyPlan};

@@ -1,0 +1,1087 @@
+//! The branch-and-cut orchestrator.
+//!
+//! This is the paper's Strategy-2/3 control loop: the tree lives in host
+//! memory, every node's LP relaxation is dispatched to the configured
+//! engine (host reference, simulated device, or pooled Big-MIP device), and
+//! the matrix is reused across nodes with warm-started dual re-solves
+//! (Section 5.3). Root-only cut rounds (Section 5.2) and host-side primal
+//! heuristics complete the branch-and-*cut* picture.
+
+use crate::branch::{self, PseudoCosts};
+use crate::config::{MipConfig, PolicyKind};
+use crate::cut::{self, Cut};
+use crate::heur;
+use gmip_gpu::{Accel, DeviceStats, DEFAULT_STREAM};
+use gmip_linalg::DenseMatrix;
+use gmip_lp::{
+    Basis, BoundChange, LpError, LpResult, LpSolution, LpSolver, LpStatus, SimplexEngine,
+    StandardLp,
+};
+use gmip_problems::{MipInstance, Objective};
+use gmip_tree::{
+    BestFirst, BreadthFirst, DepthFirst, NodeId, NodeSelection, NodeState, ReuseAffinity,
+    SearchTree,
+};
+
+/// How a child node was created (for pseudocost learning).
+#[derive(Debug, Clone, Copy)]
+pub struct BranchInfo {
+    /// Branching variable.
+    pub var: usize,
+    /// `true` for the up (`≥ ceil`) child.
+    pub up: bool,
+    /// Parent fractionality of the variable.
+    pub frac: f64,
+    /// Parent relaxation bound (internal maximize sense).
+    pub parent_bound: f64,
+}
+
+/// Payload stored per tree node.
+#[derive(Debug, Clone, Default)]
+pub struct NodePayload {
+    /// Cumulative bound changes from the root (applied in order).
+    pub bounds: Vec<BoundChange>,
+    /// Parent's optimal basis for warm starts.
+    pub parent_basis: Option<Basis>,
+    /// Branching provenance.
+    pub branch_info: Option<BranchInfo>,
+}
+
+/// Terminal status of a MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Search completed with an incumbent: it is optimal.
+    Optimal,
+    /// Search completed without any feasible point.
+    Infeasible,
+    /// The relaxation is unbounded in an improving integral direction.
+    Unbounded,
+    /// The node limit stopped the search early.
+    NodeLimit,
+    /// The relative optimality gap reached the configured tolerance; the
+    /// incumbent is optimal within that gap.
+    GapLimit,
+    /// An incumbent at least as good as the configured objective limit was
+    /// found.
+    ObjectiveLimit,
+}
+
+/// Counters and cost ledgers of a solve.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Nodes evaluated (LPs solved).
+    pub nodes: usize,
+    /// Total simplex iterations across all node LPs.
+    pub lp_iterations: usize,
+    /// Cuts added at the root.
+    pub cuts: usize,
+    /// Incumbents found by heuristics.
+    pub heur_incumbents: usize,
+    /// Strategy-1 tree spills (device memory exhausted; node evicted).
+    pub gpu_spills: usize,
+    /// Final tree counters.
+    pub tree: gmip_tree::TreeStats,
+    /// Host executor ledger.
+    pub host: DeviceStats,
+    /// LP-device ledger.
+    pub device: DeviceStats,
+    /// Modeled wall time: host + device simulated time, ns (the
+    /// orchestration is synchronous, so timelines add).
+    pub sim_time_ns: f64,
+    /// Final absolute gap (internal sense; 0 when optimal).
+    pub gap: f64,
+    /// Strategy name.
+    pub strategy: &'static str,
+}
+
+/// The result of a MIP solve.
+#[derive(Debug)]
+pub struct MipResult {
+    /// Terminal status.
+    pub status: MipStatus,
+    /// Incumbent objective in the source sense (`NaN` if none).
+    pub objective: f64,
+    /// Incumbent point (empty if none).
+    pub x: Vec<f64>,
+    /// Solve statistics.
+    pub stats: SolveStats,
+    /// The final search tree (for rendering and analysis).
+    pub tree: SearchTree<NodePayload>,
+}
+
+enum PolicyImpl {
+    Best(BestFirst),
+    Depth(DepthFirst),
+    Breadth(BreadthFirst),
+    Reuse(ReuseAffinity),
+}
+
+impl PolicyImpl {
+    fn new(kind: PolicyKind) -> Self {
+        match kind {
+            PolicyKind::BestFirst => PolicyImpl::Best(BestFirst),
+            PolicyKind::DepthFirst => PolicyImpl::Depth(DepthFirst),
+            PolicyKind::BreadthFirst => PolicyImpl::Breadth(BreadthFirst),
+            PolicyKind::ReuseAffinity => PolicyImpl::Reuse(ReuseAffinity::default()),
+        }
+    }
+
+    fn select(&mut self, tree: &SearchTree<NodePayload>) -> Option<NodeId> {
+        match self {
+            PolicyImpl::Best(p) => p.select(tree),
+            PolicyImpl::Depth(p) => p.select(tree),
+            PolicyImpl::Breadth(p) => p.select(tree),
+            PolicyImpl::Reuse(p) => p.select(tree),
+        }
+    }
+
+    fn notify(&mut self, id: NodeId) {
+        match self {
+            PolicyImpl::Best(p) => NodeSelection::<NodePayload>::notify_evaluated(p, id),
+            PolicyImpl::Depth(p) => NodeSelection::<NodePayload>::notify_evaluated(p, id),
+            PolicyImpl::Breadth(p) => NodeSelection::<NodePayload>::notify_evaluated(p, id),
+            PolicyImpl::Reuse(p) => NodeSelection::<NodePayload>::notify_evaluated(p, id),
+        }
+    }
+}
+
+/// The branch-and-cut MIP solver, generic over the LP engine.
+pub struct MipSolver<E: SimplexEngine> {
+    instance: MipInstance,
+    cfg: MipConfig,
+    factory: Box<dyn Fn(&DenseMatrix) -> LpResult<E>>,
+    host: Accel,
+    lp_accel: Option<Accel>,
+    tree_device: Option<Accel>,
+    node_bytes: usize,
+    strategy_name: &'static str,
+    /// Model host and device timelines as overlapped (Strategy 3: the CPU
+    /// runs heuristics/cuts concurrently with device LPs) instead of
+    /// serialized.
+    overlap_host: bool,
+}
+
+impl<E: SimplexEngine> std::fmt::Debug for MipSolver<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MipSolver")
+            .field("instance", &self.instance.name)
+            .field("strategy", &self.strategy_name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MipSolver<gmip_lp::HostEngine> {
+    /// A pure-host baseline solver (no simulated accelerator).
+    pub fn host_baseline(instance: MipInstance, cfg: MipConfig) -> Self {
+        MipSolver::with_factory(instance, cfg, "host-baseline", None, None, |a| {
+            Ok(gmip_lp::HostEngine::new(a.clone()))
+        })
+    }
+}
+
+impl MipSolver<gmip_lp::DeviceEngine> {
+    /// A solver whose LPs run on the given accelerator (any strategy plan
+    /// whose LP executor is a single device).
+    pub fn on_accel(instance: MipInstance, cfg: MipConfig, accel: Accel) -> Self {
+        let factory_accel = accel.clone();
+        MipSolver::with_factory(instance, cfg, "device", Some(accel), None, move |a| {
+            gmip_lp::DeviceEngine::new(factory_accel.clone(), a)
+        })
+    }
+
+    /// A solver resolved from a [`crate::strategy::StrategyPlan`].
+    pub fn with_plan(instance: MipInstance, plan: crate::strategy::StrategyPlan) -> Self {
+        let factory_accel = plan.lp_accel.clone();
+        let mut solver = MipSolver::with_factory(
+            instance,
+            plan.config,
+            plan.name,
+            Some(plan.lp_accel),
+            plan.tree_device,
+            move |a| gmip_lp::DeviceEngine::new(factory_accel.clone(), a),
+        );
+        solver.host = plan.host;
+        solver.overlap_host = plan.overlap_host;
+        solver
+    }
+}
+
+impl MipSolver<gmip_lp::SparseDeviceEngine> {
+    /// A solver whose LPs run through the **sparse** device engine — the
+    /// second "MIP solver version" of Section 5.4, for sparse inputs.
+    pub fn on_accel_sparse(instance: MipInstance, cfg: MipConfig, accel: Accel) -> Self {
+        let factory_accel = accel.clone();
+        MipSolver::with_factory(
+            instance,
+            cfg,
+            "device-sparse",
+            Some(accel),
+            None,
+            move |a| gmip_lp::SparseDeviceEngine::new(factory_accel.clone(), a),
+        )
+    }
+}
+
+impl<E: SimplexEngine> MipSolver<E> {
+    /// Generic constructor over an engine factory.
+    pub fn with_factory(
+        instance: MipInstance,
+        cfg: MipConfig,
+        strategy_name: &'static str,
+        lp_accel: Option<Accel>,
+        tree_device: Option<Accel>,
+        factory: impl Fn(&DenseMatrix) -> LpResult<E> + 'static,
+    ) -> Self {
+        // Per-node device footprint: branch bounds + a basis snapshot.
+        let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
+        Self {
+            instance,
+            cfg,
+            factory: Box::new(factory),
+            host: Accel::cpu(),
+            lp_accel,
+            tree_device,
+            node_bytes,
+            strategy_name,
+            overlap_host: false,
+        }
+    }
+
+    /// Enables overlapped host/device time accounting (Strategy 3).
+    pub fn set_overlap_host(&mut self, overlap: bool) {
+        self.overlap_host = overlap;
+    }
+
+    /// The instance being solved.
+    pub fn instance(&self) -> &MipInstance {
+        &self.instance
+    }
+
+    /// Converts a source-sense objective to the internal maximize sense.
+    fn internal(&self, source: f64) -> f64 {
+        match self.instance.objective {
+            Objective::Maximize => source,
+            Objective::Minimize => -source,
+        }
+    }
+
+    /// Converts an internal maximize-sense value back to the source sense.
+    fn to_source(&self, internal: f64) -> f64 {
+        match self.instance.objective {
+            Objective::Maximize => internal,
+            Objective::Minimize => -internal,
+        }
+    }
+
+    fn charge_host(&self, flops: f64, bytes: f64) {
+        self.host
+            .with(|d| d.charge_custom(flops, bytes, false, DEFAULT_STREAM));
+    }
+
+    /// Strategy-1 accounting: park a node's record in device memory, or
+    /// spill (evict to host with a transfer charge) when full. A working-set
+    /// reserve is kept free so the LP engine's own buffers never starve —
+    /// tree growth degrades to spilling instead of crashing the solve.
+    fn tree_alloc(&self, stats: &mut SolveStats) {
+        if let Some(dev) = &self.tree_device {
+            let bytes = self.node_bytes;
+            let reserve = 4 * self.instance.dense_matrix_bytes()
+                + 64 * (self.instance.num_vars() + self.instance.num_cons()) * 8
+                + (64 << 10);
+            let fits = dev.with(|d| d.memory().available()) >= bytes + reserve;
+            let ok = fits && dev.with(|d| d.alloc_raw(bytes)).is_ok();
+            if !ok {
+                stats.gpu_spills += 1;
+                dev.with(|d| d.charge_transfer(bytes, false, DEFAULT_STREAM));
+            }
+        }
+    }
+
+    /// Effective bounds of structural `var` under a node's cumulative
+    /// changes.
+    fn effective_bounds(&self, bounds: &[BoundChange], var: usize) -> (f64, f64) {
+        let mut lo = self.instance.vars[var].lb;
+        let mut hi = self.instance.vars[var].ub;
+        for bc in bounds {
+            if bc.var == var {
+                lo = bc.lb;
+                hi = bc.ub;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Root cut loop: separate → add → warm re-solve, bounded rounds.
+    fn cut_rounds(
+        &self,
+        lp: &mut LpSolver<E>,
+        sol: &mut LpSolution,
+        global_cuts: &mut Vec<Cut>,
+        stats: &mut SolveStats,
+    ) -> LpResult<()> {
+        if !self.cfg.cuts.enabled {
+            return Ok(());
+        }
+        let nnz: usize = self.instance.cons.iter().map(|c| c.coeffs.len()).sum();
+        for _round in 0..self.cfg.cuts.max_rounds {
+            if sol.status != LpStatus::Optimal {
+                break;
+            }
+            let frac = branch::fractional_vars(&self.instance, &sol.x, self.cfg.int_tol);
+            if frac.is_empty() {
+                break;
+            }
+            // CPU-side separation cost (Section 5.2).
+            self.charge_host(4.0 * nnz as f64, (nnz * 16) as f64);
+            let mut cuts = cut::generate_covers(
+                &self.instance,
+                &sol.x,
+                self.cfg.cuts.max_per_round,
+                self.cfg.cuts.min_violation,
+            );
+            if cuts.len() < self.cfg.cuts.max_per_round {
+                let gmi = cut::generate_gmi(
+                    lp,
+                    &self.instance,
+                    &sol.x,
+                    self.cfg.cuts.max_per_round - cuts.len(),
+                    self.cfg.cuts.min_violation,
+                    self.cfg.int_tol,
+                )?;
+                cuts.extend(gmi);
+            }
+            if cuts.is_empty() {
+                break;
+            }
+            for (coeffs, rhs) in &cuts {
+                lp.add_cut(coeffs, *rhs)?;
+                global_cuts.push((coeffs.clone(), *rhs));
+                stats.cuts += 1;
+            }
+            *sol = lp.resolve()?;
+            stats.lp_iterations += sol.iterations;
+        }
+        Ok(())
+    }
+
+    /// Evaluates one node, returning the LP solution and the post-solve
+    /// basis (for children warm starts).
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate(
+        &self,
+        lp_slot: &mut Option<LpSolver<E>>,
+        is_root: bool,
+        bounds: &[BoundChange],
+        parent_basis: Option<Basis>,
+        global_cuts: &mut Vec<Cut>,
+        stats: &mut SolveStats,
+    ) -> LpResult<(LpSolution, Option<Basis>)> {
+        if self.cfg.engine_reuse {
+            if is_root {
+                let std = StandardLp::from_instance(&self.instance, &[]);
+                let mut lp = LpSolver::try_new(std, self.cfg.lp.clone(), |a| (self.factory)(a))?;
+                let mut sol = lp.solve()?;
+                stats.lp_iterations += sol.iterations;
+                if sol.status == LpStatus::Optimal {
+                    self.cut_rounds(&mut lp, &mut sol, global_cuts, stats)?;
+                }
+                let basis = lp.basis().cloned();
+                // Root diving (Hybrid strategy).
+                if self.cfg.heuristics.diving && sol.status == LpStatus::Optimal {
+                    // handled by the caller via `dive_root`
+                }
+                *lp_slot = Some(lp);
+                Ok((sol, basis))
+            } else {
+                let lp = lp_slot.as_mut().expect("root evaluated first");
+                lp.apply_node_bounds(bounds)?;
+                let sol = if self.cfg.warm_start {
+                    if let Some(b) = parent_basis {
+                        lp.set_warm_basis(b)?;
+                    }
+                    lp.resolve()?
+                } else {
+                    lp.solve()?
+                };
+                stats.lp_iterations += sol.iterations;
+                Ok((sol.clone(), lp.basis().cloned()))
+            }
+        } else {
+            // Fresh engine per node: rebuild (re-uploading the matrix on
+            // device backends — the costly baseline the paper warns about).
+            let std = StandardLp::from_instance(&self.instance, bounds);
+            let mut lp = LpSolver::try_new(std, self.cfg.lp.clone(), |a| (self.factory)(a))?;
+            for (coeffs, rhs) in global_cuts.iter() {
+                lp.add_cut(coeffs, *rhs)?;
+            }
+            let mut sol = match parent_basis {
+                Some(b) if self.cfg.warm_start => {
+                    lp.set_warm_basis(b)?;
+                    lp.resolve()?
+                }
+                _ => lp.solve()?,
+            };
+            stats.lp_iterations += sol.iterations;
+            if is_root && sol.status == LpStatus::Optimal {
+                self.cut_rounds(&mut lp, &mut sol, global_cuts, stats)?;
+            }
+            let basis = lp.basis().cloned();
+            if is_root {
+                *lp_slot = Some(lp);
+            }
+            Ok((sol, basis))
+        }
+    }
+
+    /// Strong branching: probes the `strong_candidates` most-fractional
+    /// variables with iteration-capped warm dual re-solves on both children
+    /// and returns the variable with the best degradation product. Also
+    /// feeds the observed degradations into the pseudocost store.
+    #[allow(clippy::too_many_arguments)]
+    fn strong_branch(
+        &self,
+        lp: &mut LpSolver<E>,
+        bounds: &[BoundChange],
+        basis: &Basis,
+        frac: &[usize],
+        x: &[f64],
+        parent_internal: f64,
+        pseudo: &mut PseudoCosts,
+        stats: &mut SolveStats,
+    ) -> LpResult<usize> {
+        // Top-K most fractional candidates.
+        let mut candidates: Vec<usize> = frac.to_vec();
+        candidates.sort_by(|&a, &b| {
+            branch::fractionality(x[b])
+                .partial_cmp(&branch::fractionality(x[a]))
+                .expect("fractionality is never NaN")
+                .then(a.cmp(&b))
+        });
+        candidates.truncate(self.cfg.strong_candidates.max(1));
+
+        let mut best = (candidates[0], f64::NEG_INFINITY);
+        for &j in &candidates {
+            let (mut lo, mut hi) = self.effective_bounds(bounds, j);
+            if !lo.is_finite() {
+                lo = x[j].floor() - 1.0; // conservative finite box for probes
+            }
+            if !hi.is_finite() {
+                hi = x[j].ceil() + 1.0;
+            }
+            let mut degs = [0.0f64; 2];
+            for (side, deg_slot) in degs.iter_mut().enumerate() {
+                let up = side == 1;
+                let mut probe_bounds = bounds.to_vec();
+                probe_bounds.push(if up {
+                    BoundChange {
+                        var: j,
+                        lb: x[j].ceil(),
+                        ub: hi,
+                    }
+                } else {
+                    BoundChange {
+                        var: j,
+                        lb: lo,
+                        ub: x[j].floor(),
+                    }
+                });
+                lp.apply_node_bounds(&probe_bounds)?;
+                lp.set_warm_basis(basis.clone())?;
+                match lp.resolve_limited(self.cfg.strong_iter_cap) {
+                    Ok(sol) => match sol.status {
+                        LpStatus::Optimal => {
+                            stats.lp_iterations += sol.iterations;
+                            let child = self.internal(sol.objective);
+                            *deg_slot = (parent_internal - child).max(0.0);
+                            let f = x[j] - x[j].floor();
+                            pseudo.record(j, up, *deg_slot, f);
+                        }
+                        // Child closes entirely: maximal information.
+                        LpStatus::Infeasible => *deg_slot = 1e12,
+                        LpStatus::Unbounded => *deg_slot = 0.0,
+                    },
+                    // Probe truncated: no information from this side.
+                    Err(LpError::IterationLimit { iterations }) => {
+                        stats.lp_iterations += iterations;
+                        *deg_slot = 0.0;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let score = degs[0] * degs[1] + 1e-6 * (degs[0] + degs[1]);
+            if score > best.1 {
+                best = (j, score);
+            }
+        }
+        // Restore the node's own bounds for whoever touches `lp` next.
+        lp.apply_node_bounds(bounds)?;
+        Ok(best.0)
+    }
+
+    /// Runs branch and cut to completion (or the node limit).
+    pub fn solve(&mut self) -> LpResult<MipResult> {
+        let mut tree: SearchTree<NodePayload> =
+            SearchTree::with_root(NodePayload::default(), self.node_bytes);
+        let mut policy = PolicyImpl::new(self.cfg.policy);
+        let mut pseudo = PseudoCosts::default();
+        let mut stats = SolveStats {
+            strategy: self.strategy_name,
+            ..Default::default()
+        };
+        let mut incumbent: Option<(f64, Vec<f64>)> = None; // (internal, x)
+        let mut lp_slot: Option<LpSolver<E>> = None;
+        let mut global_cuts: Vec<Cut> = Vec::new();
+        let mut early_stop: Option<MipStatus> = None;
+        let nnz: usize = self.instance.cons.iter().map(|c| c.coeffs.len()).sum();
+
+        self.tree_alloc(&mut stats); // root record
+
+        while let Some(id) = policy.select(&tree) {
+            if stats.nodes >= self.cfg.node_limit {
+                early_stop = Some(MipStatus::NodeLimit);
+                break;
+            }
+            // Gap / objective-limit early termination.
+            if let Some((inc, _)) = &incumbent {
+                if let Some(limit) = self.cfg.objective_limit {
+                    if *inc >= self.internal(limit) - 1e-12 {
+                        early_stop = Some(MipStatus::ObjectiveLimit);
+                        break;
+                    }
+                }
+                if self.cfg.gap_rel > 0.0 {
+                    if let Some(bound) = tree.best_open_bound() {
+                        let rel = (bound - inc).max(0.0) / inc.abs().max(1.0);
+                        if rel <= self.cfg.gap_rel {
+                            early_stop = Some(MipStatus::GapLimit);
+                            break;
+                        }
+                    }
+                }
+            }
+            tree.begin_evaluation(id);
+            // Pre-LP bound pruning against the current incumbent.
+            let inherited = tree.node(id).bound;
+            if let Some((inc, _)) = &incumbent {
+                if inherited <= inc + self.cfg.prune_tol {
+                    tree.settle(id, NodeState::Pruned, inherited);
+                    policy.notify(id);
+                    continue;
+                }
+            }
+            stats.nodes += 1;
+            let is_root = id == tree.root();
+            let bounds = tree.node(id).data.bounds.clone();
+            let parent_basis = tree.node_mut(id).data.parent_basis.take();
+            let branch_info = tree.node(id).data.branch_info;
+
+            let (sol, basis) = self.evaluate(
+                &mut lp_slot,
+                is_root,
+                &bounds,
+                parent_basis,
+                &mut global_cuts,
+                &mut stats,
+            )?;
+            policy.notify(id);
+
+            match sol.status {
+                LpStatus::Infeasible => {
+                    tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY);
+                }
+                LpStatus::Unbounded => {
+                    if is_root {
+                        return Ok(self.finish(MipStatus::Unbounded, None, stats, tree));
+                    }
+                    return Err(LpError::Shape(
+                        "child LP unbounded under tightened bounds".into(),
+                    ));
+                }
+                LpStatus::Optimal => {
+                    let internal = self.internal(sol.objective);
+                    // Pseudocost learning from the parent bound.
+                    if let Some(bi) = branch_info {
+                        pseudo.record(
+                            bi.var,
+                            bi.up,
+                            (bi.parent_bound - internal).max(0.0),
+                            bi.frac,
+                        );
+                    }
+                    let inc_val = incumbent
+                        .as_ref()
+                        .map(|(v, _)| *v)
+                        .unwrap_or(f64::NEG_INFINITY);
+                    if internal <= inc_val + self.cfg.prune_tol {
+                        tree.settle(id, NodeState::Pruned, internal);
+                        continue;
+                    }
+                    let frac = branch::fractional_vars(&self.instance, &sol.x, self.cfg.int_tol);
+                    if frac.is_empty() {
+                        tree.settle(id, NodeState::Feasible, internal);
+                        self.accept_incumbent(&sol.x, internal, &mut incumbent);
+                        if let Some((inc, _)) = &incumbent {
+                            tree.prune_dominated(*inc, self.cfg.prune_tol);
+                        }
+                        continue;
+                    }
+                    // Heuristics.
+                    if self.cfg.heuristics.rounding {
+                        self.charge_host(2.0 * nnz as f64, (nnz * 16) as f64);
+                        if let Some((obj, p)) = heur::rounding(&self.instance, &sol.x, 1e-6) {
+                            let cand = self.internal(obj);
+                            let cur = incumbent
+                                .as_ref()
+                                .map(|(v, _)| *v)
+                                .unwrap_or(f64::NEG_INFINITY);
+                            if cand > cur + self.cfg.prune_tol {
+                                incumbent = Some((cand, p));
+                                stats.heur_incumbents += 1;
+                                tree.prune_dominated(cand, self.cfg.prune_tol);
+                            }
+                        }
+                    }
+                    if is_root && self.cfg.heuristics.diving && self.cfg.engine_reuse {
+                        let lp = lp_slot.as_mut().expect("root lp present");
+                        if let Some((obj, p)) = heur::dive(
+                            lp,
+                            &self.instance,
+                            &bounds,
+                            &sol.x,
+                            self.cfg.heuristics.dive_depth,
+                            self.cfg.int_tol,
+                        )? {
+                            let cand = self.internal(obj);
+                            let cur = incumbent
+                                .as_ref()
+                                .map(|(v, _)| *v)
+                                .unwrap_or(f64::NEG_INFINITY);
+                            if cand > cur + self.cfg.prune_tol {
+                                incumbent = Some((cand, p));
+                                stats.heur_incumbents += 1;
+                                tree.prune_dominated(cand, self.cfg.prune_tol);
+                            }
+                        }
+                    }
+                    // Branch.
+                    let mut decision =
+                        branch::decide(self.cfg.branching, &self.instance, &sol.x, &frac, &pseudo);
+                    if self.cfg.branching == crate::config::BranchRule::Strong
+                        && self.cfg.engine_reuse
+                        && self.cfg.warm_start
+                        && frac.len() > 1
+                    {
+                        if let (Some(lp), Some(b)) = (lp_slot.as_mut(), basis.as_ref()) {
+                            let var = self.strong_branch(
+                                lp,
+                                &bounds,
+                                b,
+                                &frac,
+                                &sol.x,
+                                internal,
+                                &mut pseudo,
+                                &mut stats,
+                            )?;
+                            decision = branch::BranchDecision {
+                                var,
+                                value: sol.x[var],
+                                down_ub: sol.x[var].floor(),
+                                up_lb: sol.x[var].ceil(),
+                            };
+                        }
+                    }
+                    let (cur_lb, cur_ub) = self.effective_bounds(&bounds, decision.var);
+                    let f = decision.value - decision.value.floor();
+                    let mk_child = |up: bool| {
+                        let mut child_bounds = bounds.clone();
+                        if up {
+                            child_bounds.push(BoundChange {
+                                var: decision.var,
+                                lb: decision.up_lb,
+                                ub: cur_ub,
+                            });
+                        } else {
+                            child_bounds.push(BoundChange {
+                                var: decision.var,
+                                lb: cur_lb,
+                                ub: decision.down_ub,
+                            });
+                        }
+                        let label = if up {
+                            format!(
+                                "{} ≥ {}",
+                                self.instance.vars[decision.var].name, decision.up_lb
+                            )
+                        } else {
+                            format!(
+                                "{} ≤ {}",
+                                self.instance.vars[decision.var].name, decision.down_ub
+                            )
+                        };
+                        (
+                            label,
+                            NodePayload {
+                                bounds: child_bounds,
+                                parent_basis: basis.clone(),
+                                branch_info: Some(BranchInfo {
+                                    var: decision.var,
+                                    up,
+                                    frac: f,
+                                    parent_bound: internal,
+                                }),
+                            },
+                        )
+                    };
+                    let children = vec![mk_child(false), mk_child(true)];
+                    tree.branch(id, internal, children);
+                    self.tree_alloc(&mut stats);
+                    self.tree_alloc(&mut stats);
+                }
+            }
+        }
+
+        let status = match early_stop {
+            Some(s) => s,
+            None if incumbent.is_some() => MipStatus::Optimal,
+            None => MipStatus::Infeasible,
+        };
+        // Gap for early stops.
+        if early_stop.is_some() {
+            let best_open = tree.best_open_bound().unwrap_or(f64::NEG_INFINITY);
+            let inc = incumbent
+                .as_ref()
+                .map(|(v, _)| *v)
+                .unwrap_or(f64::NEG_INFINITY);
+            stats.gap = (best_open - inc).max(0.0);
+        }
+        stats.tree = tree.stats().clone();
+        Ok(self.finish_with_incumbent(status, incumbent, stats, tree))
+    }
+
+    fn accept_incumbent(&self, x: &[f64], internal: f64, incumbent: &mut Option<(f64, Vec<f64>)>) {
+        // Round integral variables for exact reporting; verify.
+        let mut p = x.to_vec();
+        for j in self.instance.integral_indices() {
+            p[j] = p[j].round();
+        }
+        let point = if self.instance.is_integer_feasible(&p, 1e-5) {
+            p
+        } else {
+            x.to_vec()
+        };
+        let cur = incumbent
+            .as_ref()
+            .map(|(v, _)| *v)
+            .unwrap_or(f64::NEG_INFINITY);
+        if internal > cur {
+            *incumbent = Some((internal, point));
+        }
+    }
+
+    fn finish(
+        &self,
+        status: MipStatus,
+        incumbent: Option<(f64, Vec<f64>)>,
+        stats: SolveStats,
+        tree: SearchTree<NodePayload>,
+    ) -> MipResult {
+        self.finish_with_incumbent(status, incumbent, stats, tree)
+    }
+
+    fn finish_with_incumbent(
+        &self,
+        status: MipStatus,
+        incumbent: Option<(f64, Vec<f64>)>,
+        mut stats: SolveStats,
+        tree: SearchTree<NodePayload>,
+    ) -> MipResult {
+        stats.host = self.host.stats();
+        if let Some(a) = &self.lp_accel {
+            stats.device = a.stats();
+        }
+        let host_ns = self.host.elapsed_ns();
+        let dev_ns = self.lp_accel.as_ref().map(Accel::elapsed_ns).unwrap_or(0.0);
+        stats.sim_time_ns = if self.overlap_host {
+            // Strategy 3: many-core host work proceeds concurrently with the
+            // device's LP stream.
+            host_ns.max(dev_ns)
+        } else {
+            host_ns + dev_ns
+        };
+        if stats.tree.created == 0 {
+            stats.tree = tree.stats().clone();
+        }
+        let (objective, x) = match &incumbent {
+            Some((internal, p)) => (self.to_source(*internal), p.clone()),
+            None => (f64::NAN, Vec::new()),
+        };
+        MipResult {
+            status,
+            objective,
+            x,
+            stats,
+            tree,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmip_problems::catalog::{
+        figure1_knapsack, infeasible_instance, textbook_mip, unbounded_instance,
+    };
+    use gmip_problems::generators::knapsack::{knapsack, knapsack_brute_force};
+    use gmip_problems::generators::{generalized_assignment, set_cover, unit_commitment};
+
+    fn solve_host(instance: MipInstance) -> MipResult {
+        let mut s = MipSolver::host_baseline(instance, MipConfig::default());
+        s.solve().unwrap()
+    }
+
+    #[test]
+    fn textbook_mip_optimum_is_20() {
+        let r = solve_host(textbook_mip());
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 20.0).abs() < 1e-6, "obj = {}", r.objective);
+        assert!((r.x[0] - 4.0).abs() < 1e-6);
+        assert!(r.x[1].abs() < 1e-6);
+        assert!(r.tree.all_settled());
+    }
+
+    #[test]
+    fn figure1_knapsack_optimum_is_14() {
+        let r = solve_host(figure1_knapsack());
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn knapsacks_match_brute_force() {
+        for seed in 0..6 {
+            let m = knapsack(14, 0.5, seed);
+            let expected = knapsack_brute_force(&m);
+            let r = solve_host(m);
+            assert_eq!(r.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "seed {seed}: got {} expected {expected}",
+                r.objective
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_and_unbounded() {
+        let r = solve_host(infeasible_instance());
+        assert_eq!(r.status, MipStatus::Infeasible);
+        assert!(r.objective.is_nan());
+        let r = solve_host(unbounded_instance());
+        assert_eq!(r.status, MipStatus::Unbounded);
+    }
+
+    #[test]
+    fn minimize_set_cover_solves() {
+        let m = set_cover(10, 8, 0.35, 7);
+        let r = solve_host(m.clone());
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!(m.is_integer_feasible(&r.x, 1e-5));
+        // Sanity: optimal cost between the LP bound and the all-ones cost.
+        let all: f64 = m.obj_coeffs().iter().sum();
+        assert!(r.objective > 0.0 && r.objective <= all + 1e-9);
+    }
+
+    #[test]
+    fn mixed_unit_commitment_solves() {
+        let m = unit_commitment(2, 2, 3);
+        let r = solve_host(m.clone());
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!(m.is_integer_feasible(&r.x, 1e-5));
+    }
+
+    #[test]
+    fn equality_constrained_gap_solves() {
+        let m = generalized_assignment(2, 4, 11);
+        let r = solve_host(m.clone());
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!(m.is_integer_feasible(&r.x, 1e-5));
+    }
+
+    #[test]
+    fn node_limit_reports_gap() {
+        let m = knapsack(30, 0.5, 1);
+        let mut cfg = MipConfig::default();
+        cfg.node_limit = 3;
+        cfg.cuts.enabled = false;
+        cfg.heuristics.rounding = false;
+        let mut s = MipSolver::host_baseline(m, cfg);
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, MipStatus::NodeLimit);
+        assert!(r.stats.nodes <= 3);
+    }
+
+    #[test]
+    fn policies_agree_on_optimum() {
+        let m = knapsack(12, 0.5, 9);
+        let expected = knapsack_brute_force(&m);
+        for policy in [
+            PolicyKind::BestFirst,
+            PolicyKind::DepthFirst,
+            PolicyKind::BreadthFirst,
+            PolicyKind::ReuseAffinity,
+        ] {
+            let cfg = MipConfig {
+                policy,
+                ..Default::default()
+            };
+            let mut s = MipSolver::host_baseline(m.clone(), cfg);
+            let r = s.solve().unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "{policy:?}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "{policy:?}: {} vs {expected}",
+                r.objective
+            );
+        }
+    }
+
+    #[test]
+    fn branch_rules_agree_on_optimum() {
+        use crate::config::BranchRule;
+        let m = knapsack(12, 0.4, 4);
+        let expected = knapsack_brute_force(&m);
+        for rule in [BranchRule::MostFractional, BranchRule::PseudoCost] {
+            let cfg = MipConfig {
+                branching: rule,
+                ..Default::default()
+            };
+            let mut s = MipSolver::host_baseline(m.clone(), cfg);
+            let r = s.solve().unwrap();
+            assert!((r.objective - expected).abs() < 1e-6, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn cuts_reduce_node_count() {
+        // Aggregate across seeds: root cuts should not increase total nodes
+        // on knapsacks (cover cuts bite).
+        let mut with = 0usize;
+        let mut without = 0usize;
+        for seed in 0..4 {
+            let m = knapsack(16, 0.5, seed);
+            let mut cfg = MipConfig::default();
+            cfg.heuristics.rounding = false;
+            let mut s = MipSolver::host_baseline(m.clone(), cfg.clone());
+            let r1 = s.solve().unwrap();
+            with += r1.stats.nodes;
+            cfg.cuts.enabled = false;
+            let mut s = MipSolver::host_baseline(m, cfg);
+            let r2 = s.solve().unwrap();
+            without += r2.stats.nodes;
+            assert!((r1.objective - r2.objective).abs() < 1e-6, "seed {seed}");
+        }
+        assert!(with <= without, "cuts increased nodes: {with} vs {without}");
+    }
+
+    #[test]
+    fn fresh_engine_mode_matches_reuse() {
+        let m = knapsack(12, 0.5, 2);
+        let expected = knapsack_brute_force(&m);
+        let cfg = MipConfig {
+            engine_reuse: false,
+            ..Default::default()
+        };
+        let mut s = MipSolver::host_baseline(m, cfg);
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gap_limit_stops_early_within_tolerance() {
+        let m = knapsack(22, 0.5, 13);
+        let mut exact_cfg = MipConfig::default();
+        exact_cfg.heuristics.rounding = true;
+        let exact = MipSolver::host_baseline(m.clone(), exact_cfg)
+            .solve()
+            .unwrap();
+        let mut cfg = MipConfig::default();
+        cfg.gap_rel = 0.02; // 2% gap acceptable
+        let mut s = MipSolver::host_baseline(m, cfg);
+        let r = s.solve().unwrap();
+        assert!(matches!(r.status, MipStatus::GapLimit | MipStatus::Optimal));
+        // Within 2% of the true optimum.
+        assert!(
+            r.objective >= exact.objective * 0.98 - 1e-9,
+            "gap-limited {} vs exact {}",
+            r.objective,
+            exact.objective
+        );
+        if r.status == MipStatus::GapLimit {
+            assert!(r.stats.nodes <= exact.stats.nodes);
+        }
+    }
+
+    #[test]
+    fn objective_limit_stops_on_good_incumbent() {
+        let m = knapsack(18, 0.5, 6);
+        let exact = MipSolver::host_baseline(m.clone(), MipConfig::default())
+            .solve()
+            .unwrap();
+        let mut cfg = MipConfig::default();
+        // Ask for anything at least 80% of the optimum.
+        cfg.objective_limit = Some(0.8 * exact.objective);
+        let mut s = MipSolver::host_baseline(m, cfg);
+        let r = s.solve().unwrap();
+        assert!(matches!(
+            r.status,
+            MipStatus::ObjectiveLimit | MipStatus::Optimal
+        ));
+        assert!(r.objective >= 0.8 * exact.objective - 1e-9);
+    }
+
+    #[test]
+    fn strong_branching_matches_optimum_with_fewer_nodes() {
+        use crate::config::BranchRule;
+        let mut strong_nodes = 0usize;
+        let mut plain_nodes = 0usize;
+        for seed in 0..4 {
+            let m = knapsack(16, 0.5, seed + 40);
+            let expected = knapsack_brute_force(&m);
+            let mut cfg = MipConfig::default();
+            cfg.branching = BranchRule::Strong;
+            cfg.cuts.enabled = false;
+            cfg.heuristics.rounding = false;
+            let r_strong = MipSolver::host_baseline(m.clone(), cfg.clone())
+                .solve()
+                .unwrap();
+            assert_eq!(r_strong.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r_strong.objective - expected).abs() < 1e-6,
+                "seed {seed}: strong {} vs {expected}",
+                r_strong.objective
+            );
+            cfg.branching = BranchRule::MostFractional;
+            let r_plain = MipSolver::host_baseline(m, cfg).solve().unwrap();
+            strong_nodes += r_strong.stats.nodes;
+            plain_nodes += r_plain.stats.nodes;
+        }
+        assert!(
+            strong_nodes <= plain_nodes,
+            "strong branching used more nodes: {strong_nodes} vs {plain_nodes}"
+        );
+    }
+
+    #[test]
+    fn cold_start_mode_matches_warm() {
+        let m = knapsack(10, 0.5, 5);
+        let expected = knapsack_brute_force(&m);
+        let cfg = MipConfig {
+            warm_start: false,
+            ..Default::default()
+        };
+        let mut s = MipSolver::host_baseline(m, cfg);
+        let r = s.solve().unwrap();
+        assert!((r.objective - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,2314 @@
+//! The simulated GPU device.
+//!
+//! A [`GpuDevice`] owns device "memory" (byte-accounted; payloads live in
+//! host RAM since this is a simulator), a set of [`stream`](crate::stream)
+//! timelines, and cumulative [`DeviceStats`]. Every operation:
+//!
+//! 1. performs the *real* numerics by calling into `gmip-linalg`,
+//! 2. charges simulated time from the [`CostModel`] onto a stream, and
+//! 3. updates transfer/launch counters.
+//!
+//! The same type serves as the "CPU backend": construct it with
+//! [`CostModel::cpu_host`] and a large memory capacity, and host execution
+//! is simulated under the same accounting. This mirrors the paper's framing,
+//! where CPU and GPU execution differ in relative costs, not in kind.
+//!
+//! The kernel set is deliberately shaped around what a GPU-resident revised
+//! simplex needs (Section 5.1): basis gather, LU factor/solve, eta-file
+//! FTRAN/BTRAN, fused pricing, and masked argmin/ratio-test reductions that
+//! return only a scalar to the host.
+
+use crate::cost::{flops, CostModel};
+use crate::memory::{DeviceMemory, OutOfMemory};
+use crate::stats::DeviceStats;
+use crate::stream::{Event, StreamId, StreamSet};
+use gmip_linalg::{
+    batch as lbatch, CholeskyFactors, CsrMatrix, DenseMatrix, EtaFile, LinalgError, LuFactors,
+    SparseEtaFile, SparseLu,
+};
+use std::collections::HashMap;
+
+/// Errors surfaced by device operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// Device memory exhausted.
+    Oom(OutOfMemory),
+    /// A handle did not refer to a live object of the expected kind.
+    InvalidHandle(u64),
+    /// The underlying numerical kernel failed.
+    Linalg(LinalgError),
+}
+
+impl std::fmt::Display for GpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GpuError::Oom(o) => write!(f, "{o}"),
+            GpuError::InvalidHandle(h) => write!(f, "invalid device handle {h}"),
+            GpuError::Linalg(e) => write!(f, "kernel failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+impl From<OutOfMemory> for GpuError {
+    fn from(e: OutOfMemory) -> Self {
+        GpuError::Oom(e)
+    }
+}
+
+impl From<LinalgError> for GpuError {
+    fn from(e: LinalgError) -> Self {
+        GpuError::Linalg(e)
+    }
+}
+
+/// Device-operation result alias.
+pub type Result<T> = std::result::Result<T, GpuError>;
+
+/// The default stream (stream 0), always present.
+pub const DEFAULT_STREAM: StreamId = 0;
+
+macro_rules! handle_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub struct $name(pub(crate) u64);
+    };
+}
+
+handle_type!(
+    /// Handle to a device-resident dense matrix.
+    MatrixHandle
+);
+handle_type!(
+    /// Handle to a device-resident dense vector.
+    VectorHandle
+);
+handle_type!(
+    /// Handle to device-resident dense LU factors.
+    FactorHandle
+);
+handle_type!(
+    /// Handle to device-resident Cholesky factors.
+    CholeskyHandle
+);
+handle_type!(
+    /// Handle to a device-resident CSR sparse matrix.
+    SparseHandle
+);
+handle_type!(
+    /// Handle to device-resident sparse LU factors.
+    SparseFactorHandle
+);
+handle_type!(
+    /// Handle to a device-resident eta file (PFI basis representation).
+    EtaHandle
+);
+handle_type!(
+    /// Handle to a device-resident sparse eta file (sparse LU base + eta
+    /// updates — the sparse code path's basis representation).
+    SparseEtaHandle
+);
+handle_type!(
+    /// Handle to a raw byte allocation (used to account for non-matrix
+    /// structures parked in device memory, e.g. the B&B tree in Strategy 1).
+    RawHandle
+);
+
+#[derive(Debug)]
+enum Obj {
+    Matrix(DenseMatrix),
+    Cholesky(CholeskyFactors),
+    Vector(Vec<f64>),
+    Factors(LuFactors),
+    Sparse(CsrMatrix),
+    SparseFactors(SparseLu),
+    Eta(EtaFile),
+    SparseEta(SparseEtaFile),
+    Raw,
+}
+
+/// Configuration of a simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Cost model charged for every operation.
+    pub cost: CostModel,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: usize,
+    /// Initial number of streams.
+    pub streams: usize,
+}
+
+impl DeviceConfig {
+    /// A data-center GPU with `gib` GiB of memory on PCIe.
+    pub fn gpu(gib: usize) -> Self {
+        Self {
+            cost: CostModel::gpu_pcie(),
+            mem_capacity: gib << 30,
+            streams: 1,
+        }
+    }
+
+    /// A host CPU "device": cpu cost model, effectively unbounded memory.
+    pub fn cpu() -> Self {
+        Self {
+            cost: CostModel::cpu_host(),
+            mem_capacity: usize::MAX / 2,
+            streams: 1,
+        }
+    }
+}
+
+/// A simulated accelerator device.
+#[derive(Debug)]
+pub struct GpuDevice {
+    cost: CostModel,
+    mem: DeviceMemory,
+    streams: StreamSet,
+    stats: DeviceStats,
+    objects: HashMap<u64, (Obj, usize)>,
+    next_id: u64,
+}
+
+impl GpuDevice {
+    /// Creates a device from a configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            cost: config.cost,
+            mem: DeviceMemory::new(config.mem_capacity),
+            streams: StreamSet::new(config.streams),
+            stats: DeviceStats::default(),
+            objects: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The device's cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Memory accounting view.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Cumulative operation counters.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Simulated time at the device completion frontier, ns.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.streams.frontier()
+    }
+
+    /// Creates an additional stream; returns its id.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.create()
+    }
+
+    /// Records an event on `stream`.
+    pub fn record_event(&self, stream: StreamId) -> Event {
+        self.streams.record(stream)
+    }
+
+    /// Makes `stream` wait on `event`.
+    pub fn wait_event(&mut self, stream: StreamId, event: Event) {
+        self.streams.wait(stream, event)
+    }
+
+    /// Synchronizes all streams; returns the joined timestamp.
+    pub fn synchronize(&mut self) -> f64 {
+        self.streams.sync()
+    }
+
+    // ---- internal plumbing ----
+
+    fn insert(&mut self, obj: Obj, bytes: usize) -> Result<u64> {
+        self.mem.alloc(bytes)?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.objects.insert(id, (obj, bytes));
+        Ok(id)
+    }
+
+    fn charge_h2d(&mut self, bytes: usize, stream: StreamId) {
+        let t = self.cost.transfer_ns(bytes);
+        self.streams.enqueue(stream, t);
+        self.stats.h2d_transfers += 1;
+        self.stats.h2d_bytes += bytes as u64;
+        self.stats.transfer_ns += t;
+    }
+
+    fn charge_d2h(&mut self, bytes: usize, stream: StreamId) {
+        let t = self.cost.transfer_ns(bytes);
+        self.streams.enqueue(stream, t);
+        self.stats.d2h_transfers += 1;
+        self.stats.d2h_bytes += bytes as u64;
+        self.stats.transfer_ns += t;
+    }
+
+    fn charge_dense_kernel(&mut self, fl: f64, bytes: f64, stream: StreamId) {
+        let t = self.cost.dense_kernel_ns(fl, bytes);
+        self.streams.enqueue(stream, t);
+        self.stats.kernel_launches += 1;
+        self.stats.flops += fl;
+        self.stats.kernel_ns += t;
+    }
+
+    fn charge_sparse_kernel(&mut self, fl: f64, bytes: f64, stream: StreamId) {
+        let t = self.cost.sparse_kernel_ns(fl, bytes);
+        self.streams.enqueue(stream, t);
+        self.stats.kernel_launches += 1;
+        self.stats.flops += fl;
+        self.stats.kernel_ns += t;
+    }
+
+    fn matrix(&self, h: MatrixHandle) -> Result<&DenseMatrix> {
+        match self.objects.get(&h.0) {
+            Some((Obj::Matrix(m), _)) => Ok(m),
+            _ => Err(GpuError::InvalidHandle(h.0)),
+        }
+    }
+
+    fn vector(&self, h: VectorHandle) -> Result<&Vec<f64>> {
+        match self.objects.get(&h.0) {
+            Some((Obj::Vector(v), _)) => Ok(v),
+            _ => Err(GpuError::InvalidHandle(h.0)),
+        }
+    }
+
+    fn factors(&self, h: FactorHandle) -> Result<&LuFactors> {
+        match self.objects.get(&h.0) {
+            Some((Obj::Factors(f), _)) => Ok(f),
+            _ => Err(GpuError::InvalidHandle(h.0)),
+        }
+    }
+
+    fn sparse(&self, h: SparseHandle) -> Result<&CsrMatrix> {
+        match self.objects.get(&h.0) {
+            Some((Obj::Sparse(s), _)) => Ok(s),
+            _ => Err(GpuError::InvalidHandle(h.0)),
+        }
+    }
+
+    fn sparse_factors(&self, h: SparseFactorHandle) -> Result<&SparseLu> {
+        match self.objects.get(&h.0) {
+            Some((Obj::SparseFactors(f), _)) => Ok(f),
+            _ => Err(GpuError::InvalidHandle(h.0)),
+        }
+    }
+
+    fn eta(&self, h: EtaHandle) -> Result<&EtaFile> {
+        match self.objects.get(&h.0) {
+            Some((Obj::Eta(e), _)) => Ok(e),
+            _ => Err(GpuError::InvalidHandle(h.0)),
+        }
+    }
+
+    fn sparse_eta(&self, h: SparseEtaHandle) -> Result<&SparseEtaFile> {
+        match self.objects.get(&h.0) {
+            Some((Obj::SparseEta(e), _)) => Ok(e),
+            _ => Err(GpuError::InvalidHandle(h.0)),
+        }
+    }
+
+    /// Charges a host↔device transfer of `bytes` without moving payload —
+    /// used to model data movement of structures the simulator does not
+    /// materialize (e.g. Strategy 1 spilling tree nodes to the host when
+    /// device memory fills).
+    pub fn charge_transfer(&mut self, bytes: usize, h2d: bool, stream: StreamId) {
+        if h2d {
+            self.charge_h2d(bytes, stream);
+        } else {
+            self.charge_d2h(bytes, stream);
+        }
+    }
+
+    /// Charges an arbitrary modeled computation to this executor without
+    /// moving data — used to account for host-side work (cut generation,
+    /// heuristics) whose numerics run outside the kernel set, and for
+    /// modeling distributed collectives in the Big-MIP strategy.
+    pub fn charge_custom(&mut self, flops: f64, bytes: f64, sparse: bool, stream: StreamId) {
+        if sparse {
+            self.charge_sparse_kernel(flops, bytes, stream);
+        } else {
+            self.charge_dense_kernel(flops, bytes, stream);
+        }
+    }
+
+    // ---- memory & transfer operations ----
+
+    /// Uploads a dense matrix to the device (one H2D transfer).
+    pub fn upload_matrix(&mut self, m: &DenseMatrix, stream: StreamId) -> Result<MatrixHandle> {
+        let bytes = m.size_bytes();
+        let id = self.insert(Obj::Matrix(m.clone()), bytes)?;
+        self.charge_h2d(bytes, stream);
+        Ok(MatrixHandle(id))
+    }
+
+    /// Uploads a dense vector (one H2D transfer).
+    pub fn upload_vector(&mut self, v: &[f64], stream: StreamId) -> Result<VectorHandle> {
+        let bytes = std::mem::size_of_val(v);
+        let id = self.insert(Obj::Vector(v.to_vec()), bytes)?;
+        self.charge_h2d(bytes, stream);
+        Ok(VectorHandle(id))
+    }
+
+    /// Uploads a CSR sparse matrix (one H2D transfer of values + indices).
+    pub fn upload_sparse(&mut self, m: &CsrMatrix, stream: StreamId) -> Result<SparseHandle> {
+        let bytes = m.size_bytes();
+        let id = self.insert(Obj::Sparse(m.clone()), bytes)?;
+        self.charge_h2d(bytes, stream);
+        Ok(SparseHandle(id))
+    }
+
+    /// Reserves raw device bytes without payload (accounting for structures
+    /// like Strategy 1's on-device tree).
+    pub fn alloc_raw(&mut self, bytes: usize) -> Result<RawHandle> {
+        let id = self.insert(Obj::Raw, bytes)?;
+        Ok(RawHandle(id))
+    }
+
+    /// Downloads a device matrix to the host (one D2H transfer).
+    pub fn download_matrix(&mut self, h: MatrixHandle, stream: StreamId) -> Result<DenseMatrix> {
+        let m = self.matrix(h)?.clone();
+        self.charge_d2h(m.size_bytes(), stream);
+        Ok(m)
+    }
+
+    /// Downloads a device CSR matrix to the host (one D2H transfer) — the
+    /// Section 5.2 "latest copy of the matrix" leg for the sparse path.
+    pub fn download_matrix_sparse(
+        &mut self,
+        h: SparseHandle,
+        stream: StreamId,
+    ) -> Result<CsrMatrix> {
+        let m = self.sparse(h)?.clone();
+        self.charge_d2h(m.size_bytes(), stream);
+        Ok(m)
+    }
+
+    /// Downloads a device vector (one D2H transfer).
+    pub fn download_vector(&mut self, h: VectorHandle, stream: StreamId) -> Result<Vec<f64>> {
+        let v = self.vector(h)?.clone();
+        self.charge_d2h(std::mem::size_of_val(v.as_slice()), stream);
+        Ok(v)
+    }
+
+    /// Frees any device object by raw id (all handle types deref to ids).
+    pub fn free(&mut self, id: u64) -> Result<()> {
+        match self.objects.remove(&id) {
+            Some((_, bytes)) => {
+                self.mem.free(bytes);
+                Ok(())
+            }
+            None => Err(GpuError::InvalidHandle(id)),
+        }
+    }
+
+    /// Frees a matrix handle.
+    pub fn free_matrix(&mut self, h: MatrixHandle) -> Result<()> {
+        self.free(h.0)
+    }
+
+    /// Frees a vector handle.
+    pub fn free_vector(&mut self, h: VectorHandle) -> Result<()> {
+        self.free(h.0)
+    }
+
+    /// Frees a factor handle.
+    pub fn free_factors(&mut self, h: FactorHandle) -> Result<()> {
+        self.free(h.0)
+    }
+
+    /// Frees an eta-file handle.
+    pub fn free_eta(&mut self, h: EtaHandle) -> Result<()> {
+        self.free(h.0)
+    }
+
+    /// Frees a raw allocation.
+    pub fn free_raw(&mut self, h: RawHandle) -> Result<()> {
+        self.free(h.0)
+    }
+
+    /// Frees a sparse matrix handle.
+    pub fn free_sparse(&mut self, h: SparseHandle) -> Result<()> {
+        self.free(h.0)
+    }
+
+    // ---- dense kernels ----
+
+    /// Device-side gather of columns `cols` of matrix `h` into a new device
+    /// matrix (no host transfer — this is how the simplex assembles the basis
+    /// matrix `B` from the constraint matrix without leaving the device).
+    pub fn gather_columns(
+        &mut self,
+        h: MatrixHandle,
+        cols: &[usize],
+        stream: StreamId,
+    ) -> Result<MatrixHandle> {
+        let src = self.matrix(h)?;
+        let rows = src.rows();
+        for &c in cols {
+            if c >= src.cols() {
+                return Err(GpuError::Linalg(LinalgError::OutOfBounds {
+                    index: c,
+                    bound: src.cols(),
+                }));
+            }
+        }
+        let mut out = DenseMatrix::zeros(rows, cols.len());
+        for (jj, &c) in cols.iter().enumerate() {
+            for i in 0..rows {
+                out.set(i, jj, src.get(i, c));
+            }
+        }
+        let bytes = out.size_bytes();
+        // Memory-bound device kernel: read + write the gathered block.
+        self.charge_dense_kernel(0.0, 2.0 * bytes as f64, stream);
+        let id = self.insert(Obj::Matrix(out), bytes)?;
+        Ok(MatrixHandle(id))
+    }
+
+    /// LU-factorizes a device matrix (cuSOLVER `getrf`-class kernel).
+    pub fn lu_factor(&mut self, h: MatrixHandle, stream: StreamId) -> Result<FactorHandle> {
+        let m = self.matrix(h)?;
+        let n = m.rows();
+        let f = LuFactors::factorize(m)?;
+        let bytes = m.size_bytes() + n * std::mem::size_of::<usize>();
+        self.charge_dense_kernel(flops::lu(n), m.size_bytes() as f64, stream);
+        let id = self.insert(Obj::Factors(f), bytes)?;
+        Ok(FactorHandle(id))
+    }
+
+    /// Cholesky-factorizes a device-resident SPD matrix (the cuSOLVER
+    /// `potrf`-class kernel; (1/3)n³ flops — half of LU).
+    pub fn cholesky_factor(&mut self, h: MatrixHandle, stream: StreamId) -> Result<CholeskyHandle> {
+        let m = self.matrix(h)?;
+        let n = m.rows();
+        let mbytes = m.size_bytes();
+        let f = CholeskyFactors::factorize(m)?;
+        self.charge_dense_kernel(flops::cholesky(n), mbytes as f64, stream);
+        let id = self.insert(Obj::Cholesky(f), mbytes)?;
+        Ok(CholeskyHandle(id))
+    }
+
+    /// Solves an SPD system through device-resident Cholesky factors.
+    pub fn cholesky_solve(
+        &mut self,
+        f: CholeskyHandle,
+        b: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let x = {
+            let fac = match self.objects.get(&f.0) {
+                Some((Obj::Cholesky(c), _)) => c,
+                _ => return Err(GpuError::InvalidHandle(f.0)),
+            };
+            let rhs = self.vector(b)?;
+            fac.solve(rhs)?
+        };
+        let n = x.len();
+        self.charge_dense_kernel(flops::lu_solve(n), (n * n * 8) as f64, stream);
+        let id = self.insert(Obj::Vector(x), n * 8)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Solves `A x = b` for a device-resident rhs; result stays on device.
+    pub fn lu_solve(
+        &mut self,
+        f: FactorHandle,
+        b: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let x = {
+            let fac = self.factors(f)?;
+            let rhs = self.vector(b)?;
+            fac.solve(rhs)?
+        };
+        let n = x.len();
+        self.charge_dense_kernel(flops::lu_solve(n), (n * n * 8) as f64, stream);
+        let bytes = n * 8;
+        let id = self.insert(Obj::Vector(x), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Solves `Aᵀ x = b` (BTRAN-style) for a device-resident rhs.
+    pub fn lu_solve_transposed(
+        &mut self,
+        f: FactorHandle,
+        b: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let x = {
+            let fac = self.factors(f)?;
+            let rhs = self.vector(b)?;
+            fac.solve_transposed(rhs)?
+        };
+        let n = x.len();
+        self.charge_dense_kernel(flops::lu_solve(n), (n * n * 8) as f64, stream);
+        let id = self.insert(Obj::Vector(x), n * 8)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Dense matrix–vector product `y = A x`, all device-resident.
+    pub fn gemv(
+        &mut self,
+        a: MatrixHandle,
+        x: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let y = {
+            let m = self.matrix(a)?;
+            let v = self.vector(x)?;
+            m.matvec(v)?
+        };
+        let (rows, cols) = {
+            let m = self.matrix(a)?;
+            (m.rows(), m.cols())
+        };
+        self.charge_dense_kernel(flops::gemv(rows, cols), (rows * cols * 8) as f64, stream);
+        let bytes = y.len() * 8;
+        let id = self.insert(Obj::Vector(y), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Transposed product `y = Aᵀ x`, all device-resident.
+    pub fn gemv_transposed(
+        &mut self,
+        a: MatrixHandle,
+        x: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let y = {
+            let m = self.matrix(a)?;
+            let v = self.vector(x)?;
+            m.matvec_transposed(v)?
+        };
+        let (rows, cols) = {
+            let m = self.matrix(a)?;
+            (m.rows(), m.cols())
+        };
+        self.charge_dense_kernel(flops::gemv(rows, cols), (rows * cols * 8) as f64, stream);
+        let bytes = y.len() * 8;
+        let id = self.insert(Obj::Vector(y), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Fused pricing kernel: reduced costs `d = c − Aᵀ y` in one launch.
+    ///
+    /// This is the Section 5.1 "no transfer" iteration: the full reduced-cost
+    /// vector never leaves the device; only the argmin scalar does (see
+    /// [`Self::argmin_masked`]).
+    pub fn pricing(
+        &mut self,
+        a: MatrixHandle,
+        y: VectorHandle,
+        c: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let d = {
+            let m = self.matrix(a)?;
+            let yv = self.vector(y)?;
+            let cv = self.vector(c)?;
+            let mut d = m.matvec_transposed(yv)?;
+            if cv.len() != d.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("pricing: c {} vs AtY {}", cv.len(), d.len()),
+                }));
+            }
+            for (di, ci) in d.iter_mut().zip(cv.iter()) {
+                *di = ci - *di;
+            }
+            d
+        };
+        let (rows, cols) = {
+            let m = self.matrix(a)?;
+            (m.rows(), m.cols())
+        };
+        self.charge_dense_kernel(
+            flops::gemv(rows, cols) + cols as f64,
+            (rows * cols * 8) as f64,
+            stream,
+        );
+        let bytes = d.len() * 8;
+        let id = self.insert(Obj::Vector(d), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Device reduction: index and value of the minimum entry of `v` among
+    /// positions where `mask` is nonzero. Returns `None` if the mask is
+    /// empty. Charges one kernel plus a 16-byte D2H scalar readback.
+    pub fn argmin_masked(
+        &mut self,
+        v: VectorHandle,
+        mask: VectorHandle,
+        stream: StreamId,
+    ) -> Result<Option<(usize, f64)>> {
+        let result = {
+            let vv = self.vector(v)?;
+            let mm = self.vector(mask)?;
+            if vv.len() != mm.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("argmin_masked: {} vs {}", vv.len(), mm.len()),
+                }));
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for (i, (&x, &m)) in vv.iter().zip(mm.iter()).enumerate() {
+                if m != 0.0 && best.is_none_or(|(_, b)| x < b) {
+                    best = Some((i, x));
+                }
+            }
+            best
+        };
+        let n = self.vector(v)?.len();
+        self.charge_dense_kernel(n as f64, (2 * n * 8) as f64, stream);
+        self.charge_d2h(16, stream);
+        Ok(result)
+    }
+
+    /// Device ratio-test reduction for the primal simplex: over rows where
+    /// `alpha[i] > tol`, minimizes `xb[i] / alpha[i]`; returns the winning
+    /// row and ratio. One kernel + a 16-byte scalar readback.
+    pub fn ratio_argmin(
+        &mut self,
+        xb: VectorHandle,
+        alpha: VectorHandle,
+        tol: f64,
+        stream: StreamId,
+    ) -> Result<Option<(usize, f64)>> {
+        let result = {
+            let x = self.vector(xb)?;
+            let a = self.vector(alpha)?;
+            if x.len() != a.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("ratio_argmin: {} vs {}", x.len(), a.len()),
+                }));
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for i in 0..x.len() {
+                if a[i] > tol {
+                    let r = x[i] / a[i];
+                    // Tie-break on lower index for determinism (Bland-friendly).
+                    if best.is_none_or(|(_, br)| r < br - 1e-12) {
+                        best = Some((i, r));
+                    }
+                }
+            }
+            best
+        };
+        let n = self.vector(xb)?.len();
+        self.charge_dense_kernel((2 * n) as f64, (2 * n * 8) as f64, stream);
+        self.charge_d2h(16, stream);
+        Ok(result)
+    }
+
+    /// Sets one element of a device vector (tiny H2D write, as when flipping
+    /// a basis-membership mask entry after a pivot).
+    pub fn vec_set(
+        &mut self,
+        h: VectorHandle,
+        idx: usize,
+        value: f64,
+        stream: StreamId,
+    ) -> Result<()> {
+        let len = self.vector(h)?.len();
+        if idx >= len {
+            return Err(GpuError::Linalg(LinalgError::OutOfBounds {
+                index: idx,
+                bound: len,
+            }));
+        }
+        if let Some((Obj::Vector(v), _)) = self.objects.get_mut(&h.0) {
+            v[idx] = value;
+        }
+        self.charge_h2d(8, stream);
+        Ok(())
+    }
+
+    /// Reads one element of a device vector (tiny D2H readback).
+    pub fn vec_get(&mut self, h: VectorHandle, idx: usize, stream: StreamId) -> Result<f64> {
+        let v = self.vector(h)?;
+        let val = *v
+            .get(idx)
+            .ok_or(GpuError::Linalg(LinalgError::OutOfBounds {
+                index: idx,
+                bound: v.len(),
+            }))?;
+        self.charge_d2h(8, stream);
+        Ok(val)
+    }
+
+    /// Appends a row to a device matrix **from the host** (the Section 5.2
+    /// cut-incorporation path: generated on CPU, shipped H2D, spliced in by
+    /// a device kernel).
+    pub fn append_row(&mut self, h: MatrixHandle, row: &[f64], stream: StreamId) -> Result<()> {
+        let add_bytes = std::mem::size_of_val(row);
+        // Charge the transfer and the splice kernel before mutating.
+        self.charge_h2d(add_bytes, stream);
+        self.charge_dense_kernel(0.0, add_bytes as f64, stream);
+        self.mem.alloc(add_bytes)?;
+        match self.objects.get_mut(&h.0) {
+            Some((Obj::Matrix(m), bytes)) => {
+                m.push_row(row).map_err(GpuError::Linalg)?;
+                *bytes += add_bytes;
+                Ok(())
+            }
+            _ => {
+                self.mem.free(add_bytes);
+                Err(GpuError::InvalidHandle(h.0))
+            }
+        }
+    }
+
+    /// Copies column `j` of a device matrix into a new device vector
+    /// (memory-bound kernel, no host transfer).
+    pub fn extract_column(
+        &mut self,
+        h: MatrixHandle,
+        j: usize,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let col = {
+            let m = self.matrix(h)?;
+            if j >= m.cols() {
+                return Err(GpuError::Linalg(LinalgError::OutOfBounds {
+                    index: j,
+                    bound: m.cols(),
+                }));
+            }
+            m.col(j)
+        };
+        let bytes = col.len() * 8;
+        self.charge_dense_kernel(0.0, (2 * bytes) as f64, stream);
+        let id = self.insert(Obj::Vector(col), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Appends a column to a device matrix from the host (a cut's slack
+    /// column arriving with the cut row, Section 5.2).
+    pub fn append_column(&mut self, h: MatrixHandle, col: &[f64], stream: StreamId) -> Result<()> {
+        let add_bytes = std::mem::size_of_val(col);
+        self.charge_h2d(add_bytes, stream);
+        self.charge_dense_kernel(0.0, add_bytes as f64, stream);
+        self.mem.alloc(add_bytes)?;
+        match self.objects.get_mut(&h.0) {
+            Some((Obj::Matrix(m), bytes)) => {
+                m.push_col(col).map_err(GpuError::Linalg)?;
+                *bytes += add_bytes;
+                Ok(())
+            }
+            _ => {
+                self.mem.free(add_bytes);
+                Err(GpuError::InvalidHandle(h.0))
+            }
+        }
+    }
+
+    /// Fused residual kernel `r = b − A x`, all device-resident (used to
+    /// recompute basic values after a basis install without any transfer).
+    pub fn residual(
+        &mut self,
+        b: VectorHandle,
+        a: MatrixHandle,
+        x: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let r = {
+            let m = self.matrix(a)?;
+            let xv = self.vector(x)?;
+            let bv = self.vector(b)?;
+            let ax = m.matvec(xv)?;
+            if bv.len() != ax.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("residual: b {} vs Ax {}", bv.len(), ax.len()),
+                }));
+            }
+            bv.iter()
+                .zip(ax.iter())
+                .map(|(bi, ai)| bi - ai)
+                .collect::<Vec<f64>>()
+        };
+        let (rows, cols) = {
+            let m = self.matrix(a)?;
+            (m.rows(), m.cols())
+        };
+        self.charge_dense_kernel(
+            flops::gemv(rows, cols) + rows as f64,
+            (rows * cols * 8) as f64,
+            stream,
+        );
+        let bytes = r.len() * 8;
+        let id = self.insert(Obj::Vector(r), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Elementwise product `c = a ⊙ b` (used to score pricing candidates by
+    /// status sign before the argmin reduction).
+    pub fn vec_mul(
+        &mut self,
+        a: VectorHandle,
+        b: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let c = {
+            let av = self.vector(a)?;
+            let bv = self.vector(b)?;
+            if av.len() != bv.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("vec_mul: {} vs {}", av.len(), bv.len()),
+                }));
+            }
+            av.iter()
+                .zip(bv.iter())
+                .map(|(x, y)| x * y)
+                .collect::<Vec<f64>>()
+        };
+        let n = c.len();
+        self.charge_dense_kernel(n as f64, (3 * n * 8) as f64, stream);
+        let id = self.insert(Obj::Vector(c), n * 8)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Creates the unit vector `e_r` of length `n` directly on the device
+    /// (no host transfer — used by the dual simplex to form BTRAN rows).
+    pub fn alloc_unit_vector(
+        &mut self,
+        n: usize,
+        r: usize,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        if r >= n {
+            return Err(GpuError::Linalg(LinalgError::OutOfBounds {
+                index: r,
+                bound: n,
+            }));
+        }
+        let mut v = vec![0.0; n];
+        v[r] = 1.0;
+        self.charge_dense_kernel(0.0, (n * 8) as f64, stream);
+        let id = self.insert(Obj::Vector(v), n * 8)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Fused bounded-variable primal ratio-test kernel.
+    ///
+    /// With effective column `α_eff = dir · α`, finds over basic positions
+    /// `i` the smallest step `t ≥ 0` at which a basic variable hits a bound:
+    ///
+    /// * `α_eff[i] >  tol`: variable falls to its lower bound at
+    ///   `t = (xb[i] − lbb[i]) / α_eff[i]`;
+    /// * `α_eff[i] < −tol`: variable rises to its upper bound at
+    ///   `t = (xb[i] − ubb[i]) / α_eff[i]`.
+    ///
+    /// Returns `(row, t, leaves_at_upper)` or `None` when no basic variable
+    /// limits the step (unbounded direction / bound-flip only). Negative
+    /// ratios from degenerate positions are clamped to zero. One kernel plus
+    /// a scalar readback.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ratio_test_bounded(
+        &mut self,
+        xb: VectorHandle,
+        alpha: VectorHandle,
+        lbb: VectorHandle,
+        ubb: VectorHandle,
+        dir: f64,
+        tol: f64,
+        stream: StreamId,
+    ) -> Result<Option<(usize, f64, bool)>> {
+        let result = {
+            let x = self.vector(xb)?;
+            let a = self.vector(alpha)?;
+            let lb = self.vector(lbb)?;
+            let ub = self.vector(ubb)?;
+            let m = x.len();
+            if a.len() != m || lb.len() != m || ub.len() != m {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: "ratio_test_bounded: vector lengths".into(),
+                }));
+            }
+            let mut best: Option<(usize, f64, bool)> = None;
+            for i in 0..m {
+                let ae = dir * a[i];
+                let (t, upper) = if ae > tol {
+                    if lb[i].is_infinite() {
+                        continue;
+                    }
+                    (((x[i] - lb[i]) / ae).max(0.0), false)
+                } else if ae < -tol {
+                    if ub[i].is_infinite() {
+                        continue;
+                    }
+                    (((x[i] - ub[i]) / ae).max(0.0), true)
+                } else {
+                    continue;
+                };
+                if best.is_none_or(|(_, bt, _)| t < bt - 1e-12) {
+                    best = Some((i, t, upper));
+                }
+            }
+            best
+        };
+        let m = self.vector(xb)?.len();
+        self.charge_dense_kernel((4 * m) as f64, (4 * m * 8) as f64, stream);
+        self.charge_d2h(24, stream);
+        Ok(result)
+    }
+
+    /// Fused basic-solution update: `xb ← xb − dir·t·α`, then optionally
+    /// `xb[r] = new_val` (installing the entering variable's value in the
+    /// leaving slot). One kernel, no transfer.
+    pub fn basic_step(
+        &mut self,
+        xb: VectorHandle,
+        alpha: VectorHandle,
+        dir: f64,
+        t: f64,
+        set: Option<(usize, f64)>,
+        stream: StreamId,
+    ) -> Result<()> {
+        {
+            let alen = self.vector(alpha)?.len();
+            let xlen = self.vector(xb)?.len();
+            if alen != xlen {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("basic_step: {xlen} vs {alen}"),
+                }));
+            }
+            if let Some((r, _)) = set {
+                if r >= xlen {
+                    return Err(GpuError::Linalg(LinalgError::OutOfBounds {
+                        index: r,
+                        bound: xlen,
+                    }));
+                }
+            }
+        }
+        let a = self.vector(alpha)?.clone();
+        let n = a.len();
+        if let Some((Obj::Vector(x), _)) = self.objects.get_mut(&xb.0) {
+            for (xi, ai) in x.iter_mut().zip(a.iter()) {
+                *xi -= dir * t * ai;
+            }
+            if let Some((r, v)) = set {
+                x[r] = v;
+            }
+        }
+        self.charge_dense_kernel((2 * n) as f64, (2 * n * 8) as f64, stream);
+        Ok(())
+    }
+
+    /// Fused primal-infeasibility reduction for the dual simplex: over basic
+    /// positions, finds the largest bound violation of `xb` against
+    /// `[lbb, ubb]`. Returns `(row, violation, below_lower)` or `None` when
+    /// primal-feasible. One kernel plus a scalar readback.
+    pub fn primal_infeas_argmax(
+        &mut self,
+        xb: VectorHandle,
+        lbb: VectorHandle,
+        ubb: VectorHandle,
+        tol: f64,
+        stream: StreamId,
+    ) -> Result<Option<(usize, f64, bool)>> {
+        let result = {
+            let x = self.vector(xb)?;
+            let lb = self.vector(lbb)?;
+            let ub = self.vector(ubb)?;
+            if lb.len() != x.len() || ub.len() != x.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: "primal_infeas_argmax: vector lengths".into(),
+                }));
+            }
+            let mut best: Option<(usize, f64, bool)> = None;
+            for i in 0..x.len() {
+                let (viol, below) = if x[i] < lb[i] - tol {
+                    (lb[i] - x[i], true)
+                } else if x[i] > ub[i] + tol {
+                    (x[i] - ub[i], false)
+                } else {
+                    continue;
+                };
+                if best.is_none_or(|(_, bv, _)| viol > bv) {
+                    best = Some((i, viol, below));
+                }
+            }
+            best
+        };
+        let m = self.vector(xb)?.len();
+        self.charge_dense_kernel((2 * m) as f64, (3 * m * 8) as f64, stream);
+        self.charge_d2h(24, stream);
+        Ok(result)
+    }
+
+    /// Fused dual ratio-test kernel.
+    ///
+    /// `d` are reduced costs, `alpha_r` the BTRAN row, and `sigma` the status
+    /// vector (−1 at lower bound, +1 at upper bound, 0 basic). When the
+    /// leaving variable violates its **lower** bound (`leaving_below`),
+    /// eligible entering candidates are at-lower with `alpha_r < −tol` or
+    /// at-upper with `alpha_r > tol`; the signs flip otherwise. Minimizes
+    /// `|d_j / alpha_r[j]|`. Returns `(col, |ratio|)` or `None` (dual
+    /// unbounded ⇒ primal infeasible). One kernel plus a scalar readback.
+    pub fn dual_ratio_argmin(
+        &mut self,
+        d: VectorHandle,
+        alpha_r: VectorHandle,
+        sigma: VectorHandle,
+        leaving_below: bool,
+        tol: f64,
+        stream: StreamId,
+    ) -> Result<Option<(usize, f64)>> {
+        let result = {
+            let dv = self.vector(d)?;
+            let av = self.vector(alpha_r)?;
+            let sv = self.vector(sigma)?;
+            if av.len() != dv.len() || sv.len() != dv.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: "dual_ratio_argmin: vector lengths".into(),
+                }));
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..dv.len() {
+                let eligible = match (sv[j], leaving_below) {
+                    (s, true) if s < 0.0 => av[j] < -tol,
+                    (s, true) if s > 0.0 => av[j] > tol,
+                    (s, false) if s < 0.0 => av[j] > tol,
+                    (s, false) if s > 0.0 => av[j] < -tol,
+                    _ => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = (dv[j] / av[j]).abs();
+                if best.is_none_or(|(_, br)| ratio < br - 1e-12) {
+                    best = Some((j, ratio));
+                }
+            }
+            best
+        };
+        let n = self.vector(d)?.len();
+        self.charge_dense_kernel((3 * n) as f64, (3 * n * 8) as f64, stream);
+        self.charge_d2h(16, stream);
+        Ok(result)
+    }
+
+    /// Fused Devex pricing kernel: over eligible columns (σ_j ≠ 0 and
+    /// σ_j·d_j < −tol), maximizes the Devex merit `d_j² / γ_j`; returns the
+    /// winner's index and its σ·d score (compatible with the Dantzig
+    /// kernel's contract). One kernel + a 16-byte readback.
+    pub fn devex_argmax(
+        &mut self,
+        d: VectorHandle,
+        sigma: VectorHandle,
+        gamma: VectorHandle,
+        tol: f64,
+        stream: StreamId,
+    ) -> Result<Option<(usize, f64)>> {
+        let result = {
+            let dv = self.vector(d)?;
+            let sv = self.vector(sigma)?;
+            let gv = self.vector(gamma)?;
+            if sv.len() != dv.len() || gv.len() != dv.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: "devex_argmax: vector lengths".into(),
+                }));
+            }
+            let mut best: Option<(usize, f64, f64)> = None; // (j, merit, sigma_d)
+            for j in 0..dv.len() {
+                if sv[j] == 0.0 {
+                    continue;
+                }
+                let sd = sv[j] * dv[j];
+                if sd >= -tol {
+                    continue;
+                }
+                let merit = dv[j] * dv[j] / gv[j].max(1e-12);
+                if best.is_none_or(|(_, bm, _)| merit > bm) {
+                    best = Some((j, merit, sd));
+                }
+            }
+            best.map(|(j, _, sd)| (j, sd))
+        };
+        let n = self.vector(d)?.len();
+        self.charge_dense_kernel((3 * n) as f64, (3 * n * 8) as f64, stream);
+        self.charge_d2h(16, stream);
+        Ok(result)
+    }
+
+    /// Devex reference-weight update after a pivot: for every column,
+    /// `γ_j ← max(γ_j, (α_r[j]/α_rq)² · γ_q)`, then `γ_q` is re-anchored in
+    /// the leaving slot: the caller sets the leaving variable's weight via
+    /// [`Self::vec_set`]. One elementwise kernel, no transfer.
+    pub fn devex_weight_update(
+        &mut self,
+        gamma: VectorHandle,
+        alpha_r: VectorHandle,
+        alpha_rq: f64,
+        gamma_q: f64,
+        stream: StreamId,
+    ) -> Result<()> {
+        {
+            let glen = self.vector(gamma)?.len();
+            let alen = self.vector(alpha_r)?.len();
+            if glen != alen {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("devex_weight_update: {glen} vs {alen}"),
+                }));
+            }
+        }
+        if alpha_rq.abs() < 1e-12 {
+            return Err(GpuError::Linalg(LinalgError::Singular { column: 0 }));
+        }
+        let ar = self.vector(alpha_r)?.clone();
+        let n = ar.len();
+        if let Some((Obj::Vector(g), _)) = self.objects.get_mut(&gamma.0) {
+            for (gj, arj) in g.iter_mut().zip(ar.iter()) {
+                let ratio = arj / alpha_rq;
+                let cand = ratio * ratio * gamma_q;
+                if cand > *gj {
+                    *gj = cand;
+                }
+            }
+        }
+        self.charge_dense_kernel((3 * n) as f64, (2 * n * 8) as f64, stream);
+        Ok(())
+    }
+
+    // ---- eta-file (PFI) kernels: Section 5.1's rank-1 update path ----
+
+    /// Builds an eta file over a fresh LU factorization of a device matrix.
+    pub fn eta_factor(&mut self, basis: MatrixHandle, stream: StreamId) -> Result<EtaHandle> {
+        let m = self.matrix(basis)?;
+        let n = m.rows();
+        let mbytes = m.size_bytes();
+        let file = EtaFile::factorize(m)?;
+        self.charge_dense_kernel(flops::lu(n), mbytes as f64, stream);
+        // Account LU + headroom for eta growth (charged as it grows).
+        let bytes = mbytes + n * 8;
+        let id = self.insert(Obj::Eta(file), bytes)?;
+        Ok(EtaHandle(id))
+    }
+
+    /// FTRAN through the eta file: solves `B x = b` with b device-resident.
+    pub fn eta_ftran(
+        &mut self,
+        h: EtaHandle,
+        b: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let x = {
+            let file = self.eta(h)?;
+            let rhs = self.vector(b)?;
+            file.ftran(rhs)?
+        };
+        let (n, k) = {
+            let file = self.eta(h)?;
+            (file.dim(), file.eta_count())
+        };
+        self.charge_dense_kernel(
+            flops::lu_solve(n) + flops::eta_apply(k, n),
+            ((n * n + k * n) * 8) as f64,
+            stream,
+        );
+        let id = self.insert(Obj::Vector(x), n * 8)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// BTRAN through the eta file: solves `Bᵀ y = c`.
+    pub fn eta_btran(
+        &mut self,
+        h: EtaHandle,
+        c: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let y = {
+            let file = self.eta(h)?;
+            let rhs = self.vector(c)?;
+            file.btran(rhs)?
+        };
+        let (n, k) = {
+            let file = self.eta(h)?;
+            (file.dim(), file.eta_count())
+        };
+        self.charge_dense_kernel(
+            flops::lu_solve(n) + flops::eta_apply(k, n),
+            ((n * n + k * n) * 8) as f64,
+            stream,
+        );
+        let id = self.insert(Obj::Vector(y), n * 8)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Applies a basis-exchange rank-1 update: position `leaving_pos` of the
+    /// basis is replaced by the column whose FTRAN image is the device vector
+    /// `alpha`. No host transfer — the paper's "rank-1 updates ... with no
+    /// data transfer from host to device or vice versa".
+    pub fn eta_update(
+        &mut self,
+        h: EtaHandle,
+        leaving_pos: usize,
+        alpha: VectorHandle,
+        stream: StreamId,
+    ) -> Result<()> {
+        let alpha_v = self.vector(alpha)?.clone();
+        let n = alpha_v.len();
+        let add_bytes = n * 8;
+        self.mem.alloc(add_bytes)?;
+        match self.objects.get_mut(&h.0) {
+            Some((Obj::Eta(file), bytes)) => match file.update(leaving_pos, alpha_v) {
+                Ok(()) => {
+                    *bytes += add_bytes;
+                }
+                Err(e) => {
+                    self.mem.free(add_bytes);
+                    return Err(GpuError::Linalg(e));
+                }
+            },
+            _ => {
+                self.mem.free(add_bytes);
+                return Err(GpuError::InvalidHandle(h.0));
+            }
+        }
+        // A small device-side kernel appends the eta column.
+        self.charge_dense_kernel(n as f64, add_bytes as f64, stream);
+        Ok(())
+    }
+
+    /// Number of eta factors accumulated on a device eta file.
+    pub fn eta_count(&self, h: EtaHandle) -> Result<usize> {
+        Ok(self.eta(h)?.eta_count())
+    }
+
+    /// Refactorizes the eta file from a device basis matrix, clearing the
+    /// accumulated etas (periodic refactorization).
+    pub fn eta_refactorize(
+        &mut self,
+        h: EtaHandle,
+        basis: MatrixHandle,
+        stream: StreamId,
+    ) -> Result<()> {
+        let m = self.matrix(basis)?.clone();
+        let n = m.rows();
+        match self.objects.get_mut(&h.0) {
+            Some((Obj::Eta(file), bytes)) => {
+                file.refactorize(&m).map_err(GpuError::Linalg)?;
+                // Shrink accounting back to the base factorization size.
+                let new_bytes = m.size_bytes() + n * 8;
+                if *bytes > new_bytes {
+                    self.mem.free(*bytes - new_bytes);
+                }
+                *bytes = new_bytes;
+            }
+            _ => return Err(GpuError::InvalidHandle(h.0)),
+        }
+        self.charge_dense_kernel(flops::lu(n), (n * n * 8) as f64, stream);
+        Ok(())
+    }
+
+    // ---- sparse kernels (Section 5.4's second code path) ----
+
+    /// Sparse matrix–vector product `y = A x`.
+    pub fn spmv(
+        &mut self,
+        a: SparseHandle,
+        x: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let y = {
+            let m = self.sparse(a)?;
+            let v = self.vector(x)?;
+            m.matvec(v)?
+        };
+        let nnz = self.sparse(a)?.nnz();
+        self.charge_sparse_kernel(flops::spmv(nnz), (nnz * 16) as f64, stream);
+        let bytes = y.len() * 8;
+        let id = self.insert(Obj::Vector(y), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Transposed sparse product `y = Aᵀ x`.
+    pub fn spmv_transposed(
+        &mut self,
+        a: SparseHandle,
+        x: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let y = {
+            let m = self.sparse(a)?;
+            let v = self.vector(x)?;
+            m.matvec_transposed(v)?
+        };
+        let nnz = self.sparse(a)?.nnz();
+        self.charge_sparse_kernel(flops::spmv(nnz), (nnz * 16) as f64, stream);
+        let bytes = y.len() * 8;
+        let id = self.insert(Obj::Vector(y), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Sparse LU factorization (GLU-class kernel; charged at the sparse
+    /// throughput, which is what makes the dense path win at high density).
+    pub fn sparse_lu_factor(
+        &mut self,
+        a: SparseHandle,
+        stream: StreamId,
+    ) -> Result<SparseFactorHandle> {
+        let f = {
+            let m = self.sparse(a)?;
+            SparseLu::factorize(&m.to_csc())?
+        };
+        let fill = f.fill_nnz();
+        self.charge_sparse_kernel(flops::sparse_lu(fill), (fill * 16) as f64, stream);
+        let bytes = fill * 16;
+        let id = self.insert(Obj::SparseFactors(f), bytes)?;
+        Ok(SparseFactorHandle(id))
+    }
+
+    /// Solves through sparse LU factors, device-resident rhs.
+    pub fn sparse_solve(
+        &mut self,
+        f: SparseFactorHandle,
+        b: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let x = {
+            let fac = self.sparse_factors(f)?;
+            let rhs = self.vector(b)?;
+            fac.solve(rhs)?
+        };
+        let fill = self.sparse_factors(f)?.fill_nnz();
+        self.charge_sparse_kernel(flops::spmv(fill), (fill * 16) as f64, stream);
+        let bytes = x.len() * 8;
+        let id = self.insert(Obj::Vector(x), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    // ---- sparse-path kernels (Section 5.4's second code path) ----
+
+    /// Extracts column `j` of a device CSR matrix into a dense device
+    /// vector (sparse gather kernel; no host transfer).
+    pub fn extract_column_sparse(
+        &mut self,
+        a: SparseHandle,
+        j: usize,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let col = {
+            let m = self.sparse(a)?;
+            if j >= m.cols() {
+                return Err(GpuError::Linalg(LinalgError::OutOfBounds {
+                    index: j,
+                    bound: m.cols(),
+                }));
+            }
+            let mut col = vec![0.0; m.rows()];
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = m.get(i, j);
+            }
+            col
+        };
+        let bytes = col.len() * 8;
+        self.charge_sparse_kernel(col.len() as f64, (2 * bytes) as f64, stream);
+        let id = self.insert(Obj::Vector(col), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Fused sparse pricing kernel: reduced costs `d = c − Aᵀ y` with `A`
+    /// in CSR — the sparse path's analogue of [`Self::pricing`], charged at
+    /// sparse throughput over `nnz` instead of dense throughput over `m·n`.
+    pub fn pricing_sparse(
+        &mut self,
+        a: SparseHandle,
+        y: VectorHandle,
+        c: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let d = {
+            let m = self.sparse(a)?;
+            let yv = self.vector(y)?;
+            let cv = self.vector(c)?;
+            let mut d = m.matvec_transposed(yv)?;
+            if cv.len() != d.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("pricing_sparse: c {} vs AtY {}", cv.len(), d.len()),
+                }));
+            }
+            for (di, ci) in d.iter_mut().zip(cv.iter()) {
+                *di = ci - *di;
+            }
+            d
+        };
+        let nnz = self.sparse(a)?.nnz();
+        self.charge_sparse_kernel(flops::spmv(nnz) + d.len() as f64, (nnz * 16) as f64, stream);
+        let bytes = d.len() * 8;
+        let id = self.insert(Obj::Vector(d), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Fused sparse residual kernel `r = b − A x` (CSR).
+    pub fn residual_sparse(
+        &mut self,
+        b: VectorHandle,
+        a: SparseHandle,
+        x: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let r = {
+            let m = self.sparse(a)?;
+            let xv = self.vector(x)?;
+            let bv = self.vector(b)?;
+            let ax = m.matvec(xv)?;
+            if bv.len() != ax.len() {
+                return Err(GpuError::Linalg(LinalgError::DimensionMismatch {
+                    context: format!("residual_sparse: b {} vs Ax {}", bv.len(), ax.len()),
+                }));
+            }
+            bv.iter()
+                .zip(ax.iter())
+                .map(|(bi, ai)| bi - ai)
+                .collect::<Vec<f64>>()
+        };
+        let nnz = self.sparse(a)?.nnz();
+        self.charge_sparse_kernel(flops::spmv(nnz) + r.len() as f64, (nnz * 16) as f64, stream);
+        let bytes = r.len() * 8;
+        let id = self.insert(Obj::Vector(r), bytes)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Gathers basis columns from a CSR matrix and sparse-LU-factorizes
+    /// them, producing a sparse eta file (the sparse path's basis install:
+    /// gather + GLU-class factorization in one fused device operation).
+    pub fn sparse_eta_factor(
+        &mut self,
+        a: SparseHandle,
+        cols: &[usize],
+        stream: StreamId,
+    ) -> Result<SparseEtaHandle> {
+        let file = {
+            let m = self.sparse(a)?;
+            let basis = m.to_csc().select_columns(cols)?;
+            SparseEtaFile::factorize(&basis)?
+        };
+        let fill = file.fill_nnz();
+        // Gather traffic + factorization work, all at sparse throughput.
+        self.charge_sparse_kernel(flops::sparse_lu(fill), (fill * 16) as f64, stream);
+        let bytes = fill * 16 + cols.len() * 8;
+        let id = self.insert(Obj::SparseEta(file), bytes)?;
+        Ok(SparseEtaHandle(id))
+    }
+
+    /// FTRAN through a sparse eta file.
+    pub fn sparse_eta_ftran(
+        &mut self,
+        h: SparseEtaHandle,
+        b: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let x = {
+            let file = self.sparse_eta(h)?;
+            let rhs = self.vector(b)?;
+            file.ftran(rhs)?
+        };
+        let (n, k, fill) = {
+            let file = self.sparse_eta(h)?;
+            (file.dim(), file.eta_count(), file.fill_nnz())
+        };
+        self.charge_sparse_kernel(
+            flops::spmv(fill) + flops::eta_apply(k, n),
+            (fill * 16 + k * n * 8) as f64,
+            stream,
+        );
+        let id = self.insert(Obj::Vector(x), n * 8)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// BTRAN through a sparse eta file.
+    pub fn sparse_eta_btran(
+        &mut self,
+        h: SparseEtaHandle,
+        c: VectorHandle,
+        stream: StreamId,
+    ) -> Result<VectorHandle> {
+        let y = {
+            let file = self.sparse_eta(h)?;
+            let rhs = self.vector(c)?;
+            file.btran(rhs)?
+        };
+        let (n, k, fill) = {
+            let file = self.sparse_eta(h)?;
+            (file.dim(), file.eta_count(), file.fill_nnz())
+        };
+        self.charge_sparse_kernel(
+            flops::spmv(fill) + flops::eta_apply(k, n),
+            (fill * 16 + k * n * 8) as f64,
+            stream,
+        );
+        let id = self.insert(Obj::Vector(y), n * 8)?;
+        Ok(VectorHandle(id))
+    }
+
+    /// Rank-1 basis update on a sparse eta file (no host transfer).
+    pub fn sparse_eta_update(
+        &mut self,
+        h: SparseEtaHandle,
+        leaving_pos: usize,
+        alpha: VectorHandle,
+        stream: StreamId,
+    ) -> Result<()> {
+        let alpha_v = self.vector(alpha)?.clone();
+        let n = alpha_v.len();
+        let add_bytes = n * 8;
+        self.mem.alloc(add_bytes)?;
+        match self.objects.get_mut(&h.0) {
+            Some((Obj::SparseEta(file), bytes)) => match file.update(leaving_pos, alpha_v) {
+                Ok(()) => {
+                    *bytes += add_bytes;
+                }
+                Err(e) => {
+                    self.mem.free(add_bytes);
+                    return Err(GpuError::Linalg(e));
+                }
+            },
+            _ => {
+                self.mem.free(add_bytes);
+                return Err(GpuError::InvalidHandle(h.0));
+            }
+        }
+        self.charge_dense_kernel(n as f64, add_bytes as f64, stream);
+        Ok(())
+    }
+
+    /// Refactorizes a sparse eta file from basis columns of the CSR matrix.
+    pub fn sparse_eta_refactorize(
+        &mut self,
+        h: SparseEtaHandle,
+        a: SparseHandle,
+        cols: &[usize],
+        stream: StreamId,
+    ) -> Result<()> {
+        let basis = {
+            let m = self.sparse(a)?;
+            m.to_csc().select_columns(cols)?
+        };
+        let fill;
+        match self.objects.get_mut(&h.0) {
+            Some((Obj::SparseEta(file), bytes)) => {
+                file.refactorize(&basis).map_err(GpuError::Linalg)?;
+                fill = file.fill_nnz();
+                let new_bytes = fill * 16 + cols.len() * 8;
+                if *bytes > new_bytes {
+                    self.mem.free(*bytes - new_bytes);
+                } else {
+                    self.mem.alloc(new_bytes - *bytes)?;
+                }
+                *bytes = new_bytes;
+            }
+            _ => return Err(GpuError::InvalidHandle(h.0)),
+        }
+        self.charge_sparse_kernel(flops::sparse_lu(fill), (fill * 16) as f64, stream);
+        Ok(())
+    }
+
+    /// Eta count of a sparse eta file.
+    pub fn sparse_eta_count(&self, h: SparseEtaHandle) -> Result<usize> {
+        Ok(self.sparse_eta(h)?.eta_count())
+    }
+
+    /// Frees a sparse eta handle.
+    pub fn free_sparse_eta(&mut self, h: SparseEtaHandle) -> Result<()> {
+        self.free(h.0)
+    }
+
+    /// Appends a cut row to a device CSR matrix, growing the column count
+    /// for the cut's slack (H2D transfer of the sparse row, Section 5.2).
+    pub fn append_row_sparse(
+        &mut self,
+        h: SparseHandle,
+        entries: &[(usize, f64)],
+        new_cols: usize,
+        stream: StreamId,
+    ) -> Result<()> {
+        let add_bytes = entries.len() * 16 + 8;
+        self.charge_h2d(add_bytes, stream);
+        self.charge_sparse_kernel(0.0, add_bytes as f64, stream);
+        self.mem.alloc(add_bytes)?;
+        match self.objects.get_mut(&h.0) {
+            Some((Obj::Sparse(m), bytes)) => {
+                m.push_row_grow(entries, new_cols)
+                    .map_err(GpuError::Linalg)?;
+                *bytes += add_bytes;
+                Ok(())
+            }
+            _ => {
+                self.mem.free(add_bytes);
+                Err(GpuError::InvalidHandle(h.0))
+            }
+        }
+    }
+
+    // ---- batched kernels (Sections 4.3, 5.5) ----
+
+    /// Batched factor-and-solve: one launch covering `systems.len()`
+    /// independent small dense systems already resident on the device.
+    /// Results are new device vectors, one per system.
+    pub fn batched_lu_solve(
+        &mut self,
+        systems: &[(MatrixHandle, VectorHandle)],
+        stream: StreamId,
+    ) -> Result<Vec<VectorHandle>> {
+        if systems.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut mats = Vec::with_capacity(systems.len());
+        let mut rhs = Vec::with_capacity(systems.len());
+        for &(mh, vh) in systems {
+            mats.push(self.matrix(mh)?.clone());
+            rhs.push(self.vector(vh)?.clone());
+        }
+        let xs = lbatch::lu_factor_solve_batch(&mats, &rhs);
+        // Per-problem execution time without launch latency; the batch pays
+        // one launch and runs problems `concurrency` at a time.
+        let per_op_ns = mats
+            .iter()
+            .map(|m| {
+                let n = m.rows();
+                (flops::lu(n) + flops::lu_solve(n)) / self.cost.dense_flops_per_ns
+            })
+            .fold(0.0, f64::max);
+        let t = self.cost.batched_kernel_ns(mats.len(), per_op_ns);
+        self.streams.enqueue(stream, t);
+        self.stats.kernel_launches += 1;
+        self.stats.kernel_ns += t;
+        self.stats.flops += mats
+            .iter()
+            .map(|m| flops::lu(m.rows()) + flops::lu_solve(m.rows()))
+            .sum::<f64>();
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            let x = x.map_err(GpuError::Linalg)?;
+            let bytes = x.len() * 8;
+            let id = self.insert(Obj::Vector(x), bytes)?;
+            out.push(VectorHandle(id));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_gpu() -> GpuDevice {
+        GpuDevice::new(DeviceConfig {
+            cost: CostModel::gpu_pcie(),
+            mem_capacity: 1 << 20,
+            streams: 1,
+        })
+    }
+
+    fn test_matrix() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn upload_download_roundtrip_charges_transfers() {
+        let mut dev = small_gpu();
+        let m = test_matrix();
+        let h = dev.upload_matrix(&m, DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.stats().h2d_transfers, 1);
+        assert_eq!(dev.stats().h2d_bytes, 72);
+        let back = dev.download_matrix(h, DEFAULT_STREAM).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(dev.stats().d2h_transfers, 1);
+        assert!(dev.elapsed_ns() > 0.0);
+    }
+
+    #[test]
+    fn oom_on_small_device() {
+        let mut dev = GpuDevice::new(DeviceConfig {
+            cost: CostModel::gpu_pcie(),
+            mem_capacity: 64,
+            streams: 1,
+        });
+        let m = test_matrix(); // 72 bytes > 64
+        assert!(matches!(
+            dev.upload_matrix(&m, DEFAULT_STREAM),
+            Err(GpuError::Oom(_))
+        ));
+    }
+
+    #[test]
+    fn free_releases_memory() {
+        let mut dev = small_gpu();
+        let h = dev.upload_matrix(&test_matrix(), DEFAULT_STREAM).unwrap();
+        let used = dev.memory().used();
+        dev.free_matrix(h).unwrap();
+        assert_eq!(dev.memory().used(), used - 72);
+        assert!(matches!(
+            dev.download_matrix(h, DEFAULT_STREAM),
+            Err(GpuError::InvalidHandle(_))
+        ));
+        assert!(dev.free(h.0).is_err());
+    }
+
+    #[test]
+    fn device_lu_solves_system() {
+        let mut dev = small_gpu();
+        let a = test_matrix();
+        let ah = dev.upload_matrix(&a, DEFAULT_STREAM).unwrap();
+        let f = dev.lu_factor(ah, DEFAULT_STREAM).unwrap();
+        let b = dev
+            .upload_vector(&[5.0, -2.0, 9.0], DEFAULT_STREAM)
+            .unwrap();
+        let x = dev.lu_solve(f, b, DEFAULT_STREAM).unwrap();
+        let xs = dev.download_vector(x, DEFAULT_STREAM).unwrap();
+        let ax = a.matvec(&xs).unwrap();
+        for (got, want) in ax.iter().zip(&[5.0, -2.0, 9.0]) {
+            assert!((got - want).abs() < 1e-9);
+        }
+        assert!(dev.stats().kernel_launches >= 2);
+    }
+
+    #[test]
+    fn gather_columns_builds_basis_without_transfer() {
+        let mut dev = small_gpu();
+        let a = test_matrix();
+        let ah = dev.upload_matrix(&a, DEFAULT_STREAM).unwrap();
+        let transfers_before = dev.stats().total_transfers();
+        let b = dev.gather_columns(ah, &[2, 0], DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.stats().total_transfers(), transfers_before);
+        let bm = dev.download_matrix(b, DEFAULT_STREAM).unwrap();
+        assert_eq!(bm.cols(), 2);
+        assert_eq!(bm.get(0, 0), 1.0); // col 2 of A
+        assert_eq!(bm.get(0, 1), 2.0); // col 0 of A
+        assert!(dev.gather_columns(ah, &[99], DEFAULT_STREAM).is_err());
+    }
+
+    #[test]
+    fn pricing_and_argmin() {
+        let mut dev = small_gpu();
+        let a = DenseMatrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 1.0, 1.0]]).unwrap();
+        let ah = dev.upload_matrix(&a, DEFAULT_STREAM).unwrap();
+        let y = dev.upload_vector(&[1.0, 1.0], DEFAULT_STREAM).unwrap();
+        let c = dev.upload_vector(&[3.0, 0.5, 4.0], DEFAULT_STREAM).unwrap();
+        let d = dev.pricing(ah, y, c, DEFAULT_STREAM).unwrap();
+        // d = c - At y = [3-1, 0.5-1, 4-3] = [2, -0.5, 1]
+        let dv = dev.download_vector(d, DEFAULT_STREAM).unwrap();
+        assert_eq!(dv, vec![2.0, -0.5, 1.0]);
+        let mask = dev.upload_vector(&[1.0, 1.0, 1.0], DEFAULT_STREAM).unwrap();
+        let (idx, val) = dev.argmin_masked(d, mask, DEFAULT_STREAM).unwrap().unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(val, -0.5);
+        // Masked out: only index 0 and 2 eligible.
+        let mask2 = dev.upload_vector(&[1.0, 0.0, 1.0], DEFAULT_STREAM).unwrap();
+        let (idx2, _) = dev
+            .argmin_masked(d, mask2, DEFAULT_STREAM)
+            .unwrap()
+            .unwrap();
+        assert_eq!(idx2, 2);
+        // Empty mask.
+        let mask3 = dev.upload_vector(&[0.0, 0.0, 0.0], DEFAULT_STREAM).unwrap();
+        assert!(dev
+            .argmin_masked(d, mask3, DEFAULT_STREAM)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn ratio_test_reduction() {
+        let mut dev = small_gpu();
+        let xb = dev.upload_vector(&[4.0, 3.0, 8.0], DEFAULT_STREAM).unwrap();
+        let alpha = dev
+            .upload_vector(&[2.0, -1.0, 4.0], DEFAULT_STREAM)
+            .unwrap();
+        let (row, ratio) = dev
+            .ratio_argmin(xb, alpha, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .unwrap();
+        // Ratios: 4/2=2 (row 0), row 1 ineligible, 8/4=2 (row 2) → tie, lowest index.
+        assert_eq!(row, 0);
+        assert!((ratio - 2.0).abs() < 1e-12);
+        // All ineligible → unbounded signal.
+        let neg = dev
+            .upload_vector(&[-1.0, -1.0, -1.0], DEFAULT_STREAM)
+            .unwrap();
+        assert!(dev
+            .ratio_argmin(xb, neg, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn eta_workflow_on_device() {
+        let mut dev = small_gpu();
+        let b0 = DenseMatrix::identity(3);
+        let bh = dev.upload_matrix(&b0, DEFAULT_STREAM).unwrap();
+        let eta = dev.eta_factor(bh, DEFAULT_STREAM).unwrap();
+        let col = dev.upload_vector(&[2.0, 1.0, 0.0], DEFAULT_STREAM).unwrap();
+        let alpha = dev.eta_ftran(eta, col, DEFAULT_STREAM).unwrap();
+        dev.eta_update(eta, 0, alpha, DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.eta_count(eta).unwrap(), 1);
+        // Solve B x = [2,1,0] where B has column 0 replaced by [2,1,0]:
+        // x should be e0.
+        let rhs = dev.upload_vector(&[2.0, 1.0, 0.0], DEFAULT_STREAM).unwrap();
+        let x = dev.eta_ftran(eta, rhs, DEFAULT_STREAM).unwrap();
+        let xv = dev.download_vector(x, DEFAULT_STREAM).unwrap();
+        assert!((xv[0] - 1.0).abs() < 1e-9);
+        assert!(xv[1].abs() < 1e-9);
+        // Refactorize clears etas.
+        let mut b1 = DenseMatrix::identity(3);
+        b1.set(0, 0, 2.0);
+        b1.set(1, 0, 1.0);
+        let b1h = dev.upload_matrix(&b1, DEFAULT_STREAM).unwrap();
+        dev.eta_refactorize(eta, b1h, DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.eta_count(eta).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_row_charges_h2d_and_grows() {
+        let mut dev = small_gpu();
+        let a = test_matrix();
+        let ah = dev.upload_matrix(&a, DEFAULT_STREAM).unwrap();
+        let h2d_before = dev.stats().h2d_transfers;
+        let used_before = dev.memory().used();
+        dev.append_row(ah, &[1.0, 1.0, 1.0], DEFAULT_STREAM)
+            .unwrap();
+        assert_eq!(dev.stats().h2d_transfers, h2d_before + 1);
+        assert_eq!(dev.memory().used(), used_before + 24);
+        let m = dev.download_matrix(ah, DEFAULT_STREAM).unwrap();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.row(3), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sparse_kernels() {
+        let mut dev = small_gpu();
+        let d = DenseMatrix::from_rows(&[
+            vec![4.0, 0.0, -1.0],
+            vec![0.0, 5.0, 0.0],
+            vec![-1.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let s = CsrMatrix::from_dense(&d);
+        let sh = dev.upload_sparse(&s, DEFAULT_STREAM).unwrap();
+        let x = dev.upload_vector(&[1.0, 1.0, 1.0], DEFAULT_STREAM).unwrap();
+        let y = dev.spmv(sh, x, DEFAULT_STREAM).unwrap();
+        assert_eq!(
+            dev.download_vector(y, DEFAULT_STREAM).unwrap(),
+            vec![3.0, 5.0, 2.0]
+        );
+        let f = dev.sparse_lu_factor(sh, DEFAULT_STREAM).unwrap();
+        let b = dev.upload_vector(&[3.0, 5.0, 2.0], DEFAULT_STREAM).unwrap();
+        let xs = dev.sparse_solve(f, b, DEFAULT_STREAM).unwrap();
+        let xv = dev.download_vector(xs, DEFAULT_STREAM).unwrap();
+        for v in &xv {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_slower_than_dense_same_size() {
+        // Same numeric problem through both paths; with launch latency zeroed
+        // out, the sparse path's lower effective throughput (the Section 5.4
+        // premise) must make it slower per flop.
+        let mut cost = CostModel::gpu_pcie();
+        cost.launch_latency_ns = 0.0;
+        let cfg = DeviceConfig {
+            cost,
+            mem_capacity: 1 << 20,
+            streams: 1,
+        };
+        // A 32x32 tridiagonal system: large enough that per-flop throughput,
+        // not fixed overhead, decides the comparison.
+        let n = 32;
+        let mut d = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            d.set(i, i, 4.0);
+            if i > 0 {
+                d.set(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                d.set(i, i + 1, -1.0);
+            }
+        }
+        let mut dev_dense = GpuDevice::new(cfg.clone());
+        let ah = dev_dense.upload_matrix(&d, DEFAULT_STREAM).unwrap();
+        dev_dense.lu_factor(ah, DEFAULT_STREAM).unwrap();
+        let dense_per_flop = dev_dense.stats().kernel_ns / dev_dense.stats().flops;
+
+        let mut dev_sparse = GpuDevice::new(cfg);
+        let sh = dev_sparse
+            .upload_sparse(&CsrMatrix::from_dense(&d), DEFAULT_STREAM)
+            .unwrap();
+        dev_sparse.sparse_lu_factor(sh, DEFAULT_STREAM).unwrap();
+        let sparse_per_flop = dev_sparse.stats().kernel_ns / dev_sparse.stats().flops;
+        assert!(
+            sparse_per_flop > 10.0 * dense_per_flop,
+            "sparse {sparse_per_flop} vs dense {dense_per_flop}"
+        );
+    }
+
+    #[test]
+    fn batched_solve_single_launch() {
+        let mut dev = small_gpu();
+        let mut systems = Vec::new();
+        let mats: Vec<DenseMatrix> = (0..6)
+            .map(|i| DenseMatrix::from_rows(&[vec![3.0 + i as f64, 1.0], vec![1.0, 4.0]]).unwrap())
+            .collect();
+        for m in &mats {
+            let mh = dev.upload_matrix(m, DEFAULT_STREAM).unwrap();
+            let bh = dev.upload_vector(&[1.0, 2.0], DEFAULT_STREAM).unwrap();
+            systems.push((mh, bh));
+        }
+        let launches_before = dev.stats().kernel_launches;
+        let xs = dev.batched_lu_solve(&systems, DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.stats().kernel_launches, launches_before + 1);
+        assert_eq!(xs.len(), 6);
+        for (i, xh) in xs.iter().enumerate() {
+            let x = dev.download_vector(*xh, DEFAULT_STREAM).unwrap();
+            let ax = mats[i].matvec(&x).unwrap();
+            assert!((ax[0] - 1.0).abs() < 1e-9);
+            assert!((ax[1] - 2.0).abs() < 1e-9);
+        }
+        // Empty batch is a no-op.
+        assert!(dev
+            .batched_lu_solve(&[], DEFAULT_STREAM)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn cholesky_kernel() {
+        let mut dev = small_gpu();
+        // SPD: L0 L0t for L0 = [[2,0],[1,3]].
+        let a = DenseMatrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 10.0]]).unwrap();
+        let ah = dev.upload_matrix(&a, DEFAULT_STREAM).unwrap();
+        let f = dev.cholesky_factor(ah, DEFAULT_STREAM).unwrap();
+        let b = dev.upload_vector(&[6.0, 12.0], DEFAULT_STREAM).unwrap();
+        let x = dev.cholesky_solve(f, b, DEFAULT_STREAM).unwrap();
+        let xv = dev.download_vector(x, DEFAULT_STREAM).unwrap();
+        let ax = a.matvec(&xv).unwrap();
+        assert!((ax[0] - 6.0).abs() < 1e-9 && (ax[1] - 12.0).abs() < 1e-9);
+        // Indefinite rejected.
+        let bad = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        let bh = dev.upload_matrix(&bad, DEFAULT_STREAM).unwrap();
+        assert!(dev.cholesky_factor(bh, DEFAULT_STREAM).is_err());
+    }
+
+    #[test]
+    fn sparse_path_kernels() {
+        let mut dev = small_gpu();
+        // A = [[4, 0, -1, 1], [0, 5, 0, 0], [-1, 0, 3, 0]] (3x4 CSR).
+        let d = DenseMatrix::from_rows(&[
+            vec![4.0, 0.0, -1.0, 1.0],
+            vec![0.0, 5.0, 0.0, 0.0],
+            vec![-1.0, 0.0, 3.0, 0.0],
+        ])
+        .unwrap();
+        let a = CsrMatrix::from_dense(&d);
+        let ah = dev.upload_sparse(&a, DEFAULT_STREAM).unwrap();
+
+        // Column extraction.
+        let c2 = dev.extract_column_sparse(ah, 2, DEFAULT_STREAM).unwrap();
+        assert_eq!(
+            dev.download_vector(c2, DEFAULT_STREAM).unwrap(),
+            vec![-1.0, 0.0, 3.0]
+        );
+        assert!(dev.extract_column_sparse(ah, 9, DEFAULT_STREAM).is_err());
+
+        // Sparse pricing: d = c - At y.
+        let y = dev.upload_vector(&[1.0, 1.0, 1.0], DEFAULT_STREAM).unwrap();
+        let c = dev
+            .upload_vector(&[5.0, 6.0, 3.0, 2.0], DEFAULT_STREAM)
+            .unwrap();
+        let dvec = dev.pricing_sparse(ah, y, c, DEFAULT_STREAM).unwrap();
+        assert_eq!(
+            dev.download_vector(dvec, DEFAULT_STREAM).unwrap(),
+            vec![2.0, 1.0, 1.0, 1.0]
+        );
+
+        // Sparse residual: r = b - A x with x = e0.
+        let x = dev
+            .upload_vector(&[1.0, 0.0, 0.0, 0.0], DEFAULT_STREAM)
+            .unwrap();
+        let b = dev.upload_vector(&[5.0, 5.0, 5.0], DEFAULT_STREAM).unwrap();
+        let r = dev.residual_sparse(b, ah, x, DEFAULT_STREAM).unwrap();
+        assert_eq!(
+            dev.download_vector(r, DEFAULT_STREAM).unwrap(),
+            vec![1.0, 5.0, 6.0]
+        );
+
+        // Basis gather + sparse eta factorization over cols [0,1,2].
+        let eta = dev
+            .sparse_eta_factor(ah, &[0, 1, 2], DEFAULT_STREAM)
+            .unwrap();
+        assert_eq!(dev.sparse_eta_count(eta).unwrap(), 0);
+        // Solve B z = col 0 of A -> z = e0.
+        let rhs = dev
+            .upload_vector(&[4.0, 0.0, -1.0], DEFAULT_STREAM)
+            .unwrap();
+        let z = dev.sparse_eta_ftran(eta, rhs, DEFAULT_STREAM).unwrap();
+        let zv = dev.download_vector(z, DEFAULT_STREAM).unwrap();
+        assert!((zv[0] - 1.0).abs() < 1e-9 && zv[1].abs() < 1e-9 && zv[2].abs() < 1e-9);
+        // BTRAN against e1: check Bt w = e1.
+        let e1 = dev.alloc_unit_vector(3, 1, DEFAULT_STREAM).unwrap();
+        let w = dev.sparse_eta_btran(eta, e1, DEFAULT_STREAM).unwrap();
+        let wv = dev.download_vector(w, DEFAULT_STREAM).unwrap();
+        let bt = DenseMatrix::from_rows(&[
+            vec![4.0, 0.0, -1.0],
+            vec![0.0, 5.0, 0.0],
+            vec![-1.0, 0.0, 3.0],
+        ])
+        .unwrap()
+        .transpose();
+        let btw = bt.matvec(&wv).unwrap();
+        assert!((btw[1] - 1.0).abs() < 1e-9 && btw[0].abs() < 1e-9);
+
+        // Update: replace basis position 2 with column 3 of A (= e0).
+        let col3 = dev.extract_column_sparse(ah, 3, DEFAULT_STREAM).unwrap();
+        let alpha = dev.sparse_eta_ftran(eta, col3, DEFAULT_STREAM).unwrap();
+        dev.sparse_eta_update(eta, 2, alpha, DEFAULT_STREAM)
+            .unwrap();
+        assert_eq!(dev.sparse_eta_count(eta).unwrap(), 1);
+        // Refactorize from the true new basis [0, 1, 3].
+        dev.sparse_eta_refactorize(eta, ah, &[0, 1, 3], DEFAULT_STREAM)
+            .unwrap();
+        assert_eq!(dev.sparse_eta_count(eta).unwrap(), 0);
+
+        // Cut append: row over cols 0..4 plus new slack col 4.
+        dev.append_row_sparse(ah, &[(0, 1.0), (4, 1.0)], 5, DEFAULT_STREAM)
+            .unwrap();
+        let m = dev.download_matrix_sparse(ah, DEFAULT_STREAM).unwrap();
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+        assert_eq!(m.get(3, 4), 1.0);
+
+        dev.free_sparse_eta(eta).unwrap();
+    }
+
+    #[test]
+    fn raw_alloc_models_tree_storage() {
+        let mut dev = GpuDevice::new(DeviceConfig {
+            cost: CostModel::gpu_pcie(),
+            mem_capacity: 1000,
+            streams: 1,
+        });
+        let h = dev.alloc_raw(800).unwrap();
+        assert!(dev.alloc_raw(300).is_err());
+        dev.free_raw(h).unwrap();
+        assert!(dev.alloc_raw(300).is_ok());
+    }
+
+    #[test]
+    fn vec_set_get() {
+        let mut dev = small_gpu();
+        let v = dev.upload_vector(&[1.0, 2.0, 3.0], DEFAULT_STREAM).unwrap();
+        dev.vec_set(v, 1, 9.0, DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.vec_get(v, 1, DEFAULT_STREAM).unwrap(), 9.0);
+        assert!(dev.vec_set(v, 5, 0.0, DEFAULT_STREAM).is_err());
+        assert!(dev.vec_get(v, 5, DEFAULT_STREAM).is_err());
+    }
+
+    #[test]
+    fn extract_append_residual() {
+        let mut dev = small_gpu();
+        let a = test_matrix();
+        let ah = dev.upload_matrix(&a, DEFAULT_STREAM).unwrap();
+        // Column extraction needs no transfer.
+        let transfers = dev.stats().total_transfers();
+        let c1 = dev.extract_column(ah, 1, DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.stats().total_transfers(), transfers);
+        assert_eq!(
+            dev.download_vector(c1, DEFAULT_STREAM).unwrap(),
+            vec![1.0, -6.0, 7.0]
+        );
+        assert!(dev.extract_column(ah, 9, DEFAULT_STREAM).is_err());
+
+        dev.append_column(ah, &[1.0, 0.0, 0.0], DEFAULT_STREAM)
+            .unwrap();
+        let m = dev.download_matrix(ah, DEFAULT_STREAM).unwrap();
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(0, 3), 1.0);
+
+        // r = b - A x with x = e3 (the new column): r = b - [1,0,0].
+        let x = dev
+            .upload_vector(&[0.0, 0.0, 0.0, 1.0], DEFAULT_STREAM)
+            .unwrap();
+        let b = dev.upload_vector(&[5.0, 5.0, 5.0], DEFAULT_STREAM).unwrap();
+        let r = dev.residual(b, ah, x, DEFAULT_STREAM).unwrap();
+        assert_eq!(
+            dev.download_vector(r, DEFAULT_STREAM).unwrap(),
+            vec![4.0, 5.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn vec_mul_and_unit_vector() {
+        let mut dev = small_gpu();
+        let a = dev
+            .upload_vector(&[1.0, -2.0, 3.0], DEFAULT_STREAM)
+            .unwrap();
+        let b = dev.upload_vector(&[2.0, 2.0, 0.0], DEFAULT_STREAM).unwrap();
+        let c = dev.vec_mul(a, b, DEFAULT_STREAM).unwrap();
+        assert_eq!(
+            dev.download_vector(c, DEFAULT_STREAM).unwrap(),
+            vec![2.0, -4.0, 0.0]
+        );
+        let short = dev.upload_vector(&[1.0], DEFAULT_STREAM).unwrap();
+        assert!(dev.vec_mul(a, short, DEFAULT_STREAM).is_err());
+
+        let transfers_before = dev.stats().h2d_transfers;
+        let e = dev.alloc_unit_vector(4, 2, DEFAULT_STREAM).unwrap();
+        assert_eq!(dev.stats().h2d_transfers, transfers_before);
+        assert_eq!(
+            dev.download_vector(e, DEFAULT_STREAM).unwrap(),
+            vec![0.0, 0.0, 1.0, 0.0]
+        );
+        assert!(dev.alloc_unit_vector(4, 9, DEFAULT_STREAM).is_err());
+    }
+
+    #[test]
+    fn bounded_ratio_test_kernel() {
+        let mut dev = small_gpu();
+        let xb = dev.upload_vector(&[4.0, 5.0, 1.0], DEFAULT_STREAM).unwrap();
+        let alpha = dev
+            .upload_vector(&[2.0, -1.0, 0.0], DEFAULT_STREAM)
+            .unwrap();
+        let lbb = dev.upload_vector(&[0.0, 0.0, 0.0], DEFAULT_STREAM).unwrap();
+        let ubb = dev
+            .upload_vector(&[10.0, 6.0, 10.0], DEFAULT_STREAM)
+            .unwrap();
+        // dir=+1: row 0 drops to lb at t = 4/2 = 2; row 1 rises to ub at
+        // t = (5-6)/(-1) = 1 → row 1 wins, leaves at upper.
+        let (row, t, upper) = dev
+            .ratio_test_bounded(xb, alpha, lbb, ubb, 1.0, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .unwrap();
+        assert_eq!(row, 1);
+        assert!((t - 1.0).abs() < 1e-12);
+        assert!(upper);
+        // dir=-1 flips the roles: row 0 now rises toward ub at t=(4-10)/(-2)=3,
+        // row 1 drops to lb at t=5/1=5 → row 0 wins.
+        let (row2, t2, upper2) = dev
+            .ratio_test_bounded(xb, alpha, lbb, ubb, -1.0, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .unwrap();
+        assert_eq!(row2, 0);
+        assert!((t2 - 3.0).abs() < 1e-12);
+        assert!(upper2);
+        // Infinite bounds in the blocking direction → no limit.
+        let inf_lb = dev
+            .upload_vector(&[f64::NEG_INFINITY; 3], DEFAULT_STREAM)
+            .unwrap();
+        let inf_ub = dev
+            .upload_vector(&[f64::INFINITY; 3], DEFAULT_STREAM)
+            .unwrap();
+        assert!(dev
+            .ratio_test_bounded(xb, alpha, inf_lb, inf_ub, 1.0, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn basic_step_kernel() {
+        let mut dev = small_gpu();
+        let xb = dev.upload_vector(&[4.0, 5.0, 1.0], DEFAULT_STREAM).unwrap();
+        let alpha = dev
+            .upload_vector(&[2.0, -1.0, 0.5], DEFAULT_STREAM)
+            .unwrap();
+        dev.basic_step(xb, alpha, 1.0, 2.0, Some((0, 7.5)), DEFAULT_STREAM)
+            .unwrap();
+        // xb - 2*alpha = [0, 7, 0]; then xb[0] = 7.5.
+        assert_eq!(
+            dev.download_vector(xb, DEFAULT_STREAM).unwrap(),
+            vec![7.5, 7.0, 0.0]
+        );
+        assert!(dev
+            .basic_step(xb, alpha, 1.0, 0.0, Some((9, 0.0)), DEFAULT_STREAM)
+            .is_err());
+    }
+
+    #[test]
+    fn dual_simplex_reductions() {
+        let mut dev = small_gpu();
+        let xb = dev
+            .upload_vector(&[-2.0, 0.5, 9.0], DEFAULT_STREAM)
+            .unwrap();
+        let lbb = dev.upload_vector(&[0.0, 0.0, 0.0], DEFAULT_STREAM).unwrap();
+        let ubb = dev.upload_vector(&[5.0, 5.0, 5.0], DEFAULT_STREAM).unwrap();
+        let (row, viol, below) = dev
+            .primal_infeas_argmax(xb, lbb, ubb, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .unwrap();
+        // Violations: row 0 below by 2, row 2 above by 4 → row 2 wins.
+        assert_eq!(row, 2);
+        assert!((viol - 4.0).abs() < 1e-12);
+        assert!(!below);
+        // Feasible xb → None.
+        let ok = dev.upload_vector(&[1.0, 1.0, 1.0], DEFAULT_STREAM).unwrap();
+        assert!(dev
+            .primal_infeas_argmax(ok, lbb, ubb, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .is_none());
+
+        // Dual ratio: d = [-3, 2, 0], alpha_r = [-1, 4, 1], sigma = [-1, 1, 0].
+        // leaving_below=true: at-lower j0 needs alpha<-tol (yes, ratio 3);
+        // at-upper j1 needs alpha>tol (yes, ratio 0.5) → j1 wins.
+        let d = dev
+            .upload_vector(&[-3.0, 2.0, 0.0], DEFAULT_STREAM)
+            .unwrap();
+        let ar = dev
+            .upload_vector(&[-1.0, 4.0, 1.0], DEFAULT_STREAM)
+            .unwrap();
+        let sigma = dev
+            .upload_vector(&[-1.0, 1.0, 0.0], DEFAULT_STREAM)
+            .unwrap();
+        let (col, ratio) = dev
+            .dual_ratio_argmin(d, ar, sigma, true, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .unwrap();
+        assert_eq!(col, 1);
+        assert!((ratio - 0.5).abs() < 1e-12);
+        // leaving_below=false: j0 needs alpha>tol (no), j1 needs alpha<-tol
+        // (no) → dual unbounded.
+        assert!(dev
+            .dual_ratio_argmin(d, ar, sigma, false, 1e-9, DEFAULT_STREAM)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn streams_overlap_in_device_time() {
+        let mut dev = GpuDevice::new(DeviceConfig {
+            cost: CostModel::gpu_pcie(),
+            mem_capacity: 1 << 20,
+            streams: 1,
+        });
+        let s1 = dev.create_stream();
+        let m = test_matrix();
+        let h0 = dev.upload_matrix(&m, DEFAULT_STREAM).unwrap();
+        let h1 = dev.upload_matrix(&m, s1).unwrap();
+        dev.lu_factor(h0, DEFAULT_STREAM).unwrap();
+        dev.lu_factor(h1, s1).unwrap();
+        let overlapped = dev.elapsed_ns();
+        // Serial on one stream would be ~2x; with two streams the frontier is
+        // roughly one pipeline deep.
+        let mut serial = GpuDevice::new(DeviceConfig {
+            cost: CostModel::gpu_pcie(),
+            mem_capacity: 1 << 20,
+            streams: 1,
+        });
+        let a0 = serial.upload_matrix(&m, DEFAULT_STREAM).unwrap();
+        let a1 = serial.upload_matrix(&m, DEFAULT_STREAM).unwrap();
+        serial.lu_factor(a0, DEFAULT_STREAM).unwrap();
+        serial.lu_factor(a1, DEFAULT_STREAM).unwrap();
+        assert!(overlapped < serial.elapsed_ns());
+    }
+}

@@ -1,0 +1,44 @@
+//! # gmip-gpu
+//!
+//! A simulated GPU accelerator for the `gmip` MIP solver stack.
+//!
+//! This crate is the substitution substrate for the hardware the paper
+//! targets (V100/MI100-class devices in Summit/Frontier-class systems). No
+//! GPU is required: kernels perform their real numerics on the CPU via
+//! `gmip-linalg`, while a [`cost::CostModel`] charges *simulated* time for
+//! compute, memory traffic, host↔device transfers, and kernel launches, and
+//! [`memory::DeviceMemory`] enforces device capacity exactly.
+//!
+//! The design intent is that every architectural claim in the paper becomes
+//! a measurable quantity here:
+//!
+//! * dense vs. sparse efficiency (Sections 3, 5.4) — two throughput knobs;
+//! * host↔device transfer minimization (Section 5) — counted and charged;
+//! * kernel-launch amortization via batching (Sections 4.3, 5.5) —
+//!   [`device::GpuDevice::batched_lu_solve`] pays one launch per batch;
+//! * streams (Section 5.5) — per-stream logical timelines that overlap;
+//! * device memory capacity as a regime boundary (Section 3) — allocation
+//!   failures are real errors the solver strategies must handle.
+//!
+//! The "CPU backend" is the same device type under a CPU cost model
+//! ([`node::Accel::cpu`]), so CPU-vs-GPU comparisons run identical code.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod device;
+pub mod memory;
+pub mod node;
+pub mod stats;
+pub mod stream;
+
+pub use cost::CostModel;
+pub use device::{
+    CholeskyHandle, DeviceConfig, EtaHandle, FactorHandle, GpuDevice, GpuError, MatrixHandle,
+    RawHandle, SparseEtaHandle, SparseFactorHandle, SparseHandle, VectorHandle, DEFAULT_STREAM,
+};
+pub use memory::{DeviceMemory, OutOfMemory};
+pub use node::{Accel, AccelKind, ComputeNode};
+pub use stats::DeviceStats;
+pub use stream::{Event, StreamId, StreamSet};

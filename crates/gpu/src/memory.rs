@@ -1,0 +1,153 @@
+//! Device memory accounting.
+//!
+//! GPU memory capacity is the central architectural constraint in the
+//! paper's strategy analysis (Section 3): Strategy 1 fails when the
+//! branch-and-cut tree outgrows device memory, Strategy 2 works when the LP
+//! matrix fits on one device, Strategy 4 exists for matrices that don't fit
+//! anywhere. The allocator here tracks bytes only — the simulated device
+//! stores actual payloads host-side — but enforces capacity exactly so those
+//! regime boundaries are real in the experiments.
+
+/// Byte-accurate device memory allocator.
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    capacity: usize,
+    used: usize,
+    /// High-water mark, for reporting.
+    peak: usize,
+    allocations: usize,
+}
+
+/// Error returned when an allocation exceeds the remaining device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes still available.
+    pub available: usize,
+    /// Total device capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B, available {} B of {} B",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+impl DeviceMemory {
+    /// Creates an allocator over `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            peak: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Reserves `bytes`, failing if capacity would be exceeded.
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), OutOfMemory> {
+        let available = self.capacity - self.used;
+        if bytes > available {
+            return Err(OutOfMemory {
+                requested: bytes,
+                available,
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.allocations += 1;
+        Ok(())
+    }
+
+    /// Releases `bytes` previously allocated.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if more is freed than is in use — that is a
+    /// device bookkeeping bug, not a recoverable condition.
+    pub fn free(&mut self, bytes: usize) {
+        debug_assert!(
+            bytes <= self.used,
+            "freeing {} of {} used",
+            bytes,
+            self.used
+        );
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently in use.
+    #[inline]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes currently free.
+    #[inline]
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of usage.
+    #[inline]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of successful allocations performed.
+    #[inline]
+    pub fn allocation_count(&self) -> usize {
+        self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut mem = DeviceMemory::new(1000);
+        mem.alloc(400).unwrap();
+        assert_eq!(mem.used(), 400);
+        assert_eq!(mem.available(), 600);
+        mem.alloc(600).unwrap();
+        assert_eq!(mem.available(), 0);
+        mem.free(400);
+        assert_eq!(mem.used(), 600);
+        assert_eq!(mem.peak(), 1000);
+        assert_eq!(mem.allocation_count(), 2);
+    }
+
+    #[test]
+    fn oom_reports_shortfall() {
+        let mut mem = DeviceMemory::new(100);
+        mem.alloc(80).unwrap();
+        let err = mem.alloc(50).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.available, 20);
+        assert_eq!(err.capacity, 100);
+        // Failed allocation must not change state.
+        assert_eq!(mem.used(), 80);
+    }
+
+    #[test]
+    fn zero_byte_alloc_is_fine() {
+        let mut mem = DeviceMemory::new(0);
+        mem.alloc(0).unwrap();
+        assert!(mem.alloc(1).is_err());
+    }
+}

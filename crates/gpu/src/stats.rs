@@ -1,0 +1,89 @@
+//! Operation counters for a simulated device.
+//!
+//! Every experiment in the reproduction reports some subset of these: E3a–E3c
+//! count host↔device transfers (Section 5's reuse arguments), E4 counts
+//! kernel launches (batching), E1/E8 report simulated busy time.
+
+/// Cumulative counters maintained by a [`crate::device::GpuDevice`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceStats {
+    /// Host→device transfer count.
+    pub h2d_transfers: u64,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host transfer count.
+    pub d2h_transfers: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+    /// Kernel launches issued (a batched launch counts once).
+    pub kernel_launches: u64,
+    /// Floating-point operations charged to the device.
+    pub flops: f64,
+    /// Simulated nanoseconds spent in transfers.
+    pub transfer_ns: f64,
+    /// Simulated nanoseconds spent in kernels.
+    pub kernel_ns: f64,
+}
+
+impl DeviceStats {
+    /// Total transfers in both directions.
+    pub fn total_transfers(&self) -> u64 {
+        self.h2d_transfers + self.d2h_transfers
+    }
+
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Total simulated busy time (transfers + kernels), ns.
+    pub fn busy_ns(&self) -> f64 {
+        self.transfer_ns + self.kernel_ns
+    }
+
+    /// Adds another stats block into this one (aggregating multiple devices
+    /// or workers).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.h2d_transfers += other.h2d_transfers;
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_transfers += other.d2h_transfers;
+        self.d2h_bytes += other.d2h_bytes;
+        self.kernel_launches += other.kernel_launches;
+        self.flops += other.flops;
+        self.transfer_ns += other.transfer_ns;
+        self.kernel_ns += other.kernel_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DeviceStats {
+            h2d_transfers: 1,
+            h2d_bytes: 100,
+            d2h_transfers: 2,
+            d2h_bytes: 50,
+            kernel_launches: 3,
+            flops: 10.0,
+            transfer_ns: 5.0,
+            kernel_ns: 7.0,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.h2d_transfers, 2);
+        assert_eq!(a.total_transfers(), 6);
+        assert_eq!(a.total_bytes(), 300);
+        assert_eq!(a.kernel_launches, 6);
+        assert_eq!(a.busy_ns(), 24.0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = DeviceStats::default();
+        assert_eq!(s.total_transfers(), 0);
+        assert_eq!(s.busy_ns(), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Batched operations over many small independent matrices.
+//!
+//! Section 4.3 / 5.5 of the paper: modern GPUs are fed most efficiently by
+//! *batch* routines that apply the same BLAS/LAPACK operation to a large
+//! number of small matrices at once (MAGMA's batched mode, Rennich et al.'s
+//! batched assembly for sparse Cholesky). Here the batch is executed with
+//! `rayon` data parallelism on the host; the simulated device in `gmip-gpu`
+//! charges a *single* kernel-launch latency for the whole batch, which is
+//! what makes batching win in experiment E4.
+
+use crate::dense::DenseMatrix;
+use crate::lu::LuFactors;
+use crate::Result;
+use rayon::prelude::*;
+
+/// Factorizes every matrix in the batch. The `i`-th result corresponds to
+/// the `i`-th input; an individual singular matrix yields an `Err` in its
+/// slot without failing the rest of the batch.
+pub fn lu_factorize_batch(mats: &[DenseMatrix]) -> Vec<Result<LuFactors>> {
+    mats.par_iter().map(LuFactors::factorize).collect()
+}
+
+/// Solves `Aᵢ xᵢ = bᵢ` for every factored system in the batch.
+pub fn lu_solve_batch(factors: &[LuFactors], rhs: &[Vec<f64>]) -> Vec<Result<Vec<f64>>> {
+    factors
+        .par_iter()
+        .zip(rhs.par_iter())
+        .map(|(f, b)| f.solve(b))
+        .collect()
+}
+
+/// One-shot batched factor+solve: returns `xᵢ` with `Aᵢ xᵢ = bᵢ`.
+///
+/// This is the granularity at which Section 5.5's "dozens of branch-and-cut
+/// nodes solved simultaneously" maps onto a single batched kernel launch.
+pub fn lu_factor_solve_batch(mats: &[DenseMatrix], rhs: &[Vec<f64>]) -> Vec<Result<Vec<f64>>> {
+    mats.par_iter()
+        .zip(rhs.par_iter())
+        .map(|(a, b)| LuFactors::factorize(a)?.solve(b))
+        .collect()
+}
+
+/// Batched matrix–vector products `yᵢ = Aᵢ xᵢ`.
+pub fn matvec_batch(mats: &[DenseMatrix], xs: &[Vec<f64>]) -> Vec<Result<Vec<f64>>> {
+    mats.par_iter()
+        .zip(xs.par_iter())
+        .map(|(a, x)| a.matvec(x))
+        .collect()
+}
+
+/// Total bytes of a batch of matrices (device memory accounting: Section 5.5
+/// sizes the feasible batch as `device_mem / matrix_mem`).
+pub fn batch_size_bytes(mats: &[DenseMatrix]) -> usize {
+    mats.iter().map(DenseMatrix::size_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+
+    fn spd_like(seed: f64) -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![4.0 + seed, 1.0, 0.5],
+            vec![1.0, 5.0 + seed, 2.0],
+            vec![0.5, 2.0, 6.0 + seed],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_factor_solve_matches_individual() {
+        let mats: Vec<_> = (0..8).map(|i| spd_like(i as f64 * 0.25)).collect();
+        let rhs: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![1.0 + i as f64, -1.0, 0.5 * i as f64])
+            .collect();
+        let batch = lu_factor_solve_batch(&mats, &rhs);
+        for ((a, b), x) in mats.iter().zip(&rhs).zip(&batch) {
+            let x = x.as_ref().unwrap();
+            let individual = LuFactors::factorize(a).unwrap().solve(b).unwrap();
+            assert!(max_abs_diff(x, &individual) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_slot_does_not_poison_batch() {
+        let good = spd_like(0.0);
+        let singular = DenseMatrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let results = lu_factorize_batch(&[good.clone(), singular, good]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn separate_factor_then_solve() {
+        let mats: Vec<_> = (0..4).map(|i| spd_like(i as f64)).collect();
+        let factors: Vec<LuFactors> = lu_factorize_batch(&mats)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let rhs: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64, 1.0, 2.0]).collect();
+        let xs = lu_solve_batch(&factors, &rhs);
+        for ((a, b), x) in mats.iter().zip(&rhs).zip(&xs) {
+            let ax = a.matvec(x.as_ref().unwrap()).unwrap();
+            assert!(max_abs_diff(&ax, b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn batched_matvec() {
+        let mats = vec![DenseMatrix::identity(2), spd_like(1.0)];
+        let xs = vec![vec![3.0, 4.0], vec![1.0, 0.0, 0.0]];
+        let ys = matvec_batch(&mats, &xs);
+        assert_eq!(ys[0].as_ref().unwrap(), &vec![3.0, 4.0]);
+        assert_eq!(ys[1].as_ref().unwrap(), &vec![5.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mats = vec![DenseMatrix::zeros(2, 2), DenseMatrix::zeros(3, 3)];
+        assert_eq!(batch_size_bytes(&mats), (4 + 9) * 8);
+        assert_eq!(batch_size_bytes(&[]), 0);
+    }
+}

@@ -1,0 +1,583 @@
+//! Dense matrices and vectors with BLAS-style operations.
+//!
+//! [`DenseMatrix`] is stored row-major in a single contiguous `Vec<f64>`,
+//! which matches the access pattern of the blocked kernels in [`crate::lu`]
+//! and keeps host↔device transfers in `gmip-gpu` a single contiguous copy.
+
+use crate::{LinalgError, Result};
+
+/// A dense column vector of `f64` entries.
+///
+/// Thin wrapper over `Vec<f64>` adding the BLAS-1 operations the simplex and
+/// factorization kernels need, with checked dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseVector {
+    data: Vec<f64>,
+}
+
+impl DenseVector {
+    /// Creates a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector from existing data.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Self { data }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the vector has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning its storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product `self · other`.
+    pub fn dot(&self, other: &DenseVector) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("dot: {} vs {}", self.len(), other.len()),
+            });
+        }
+        Ok(dot(&self.data, &other.data))
+    }
+
+    /// `self ← self + alpha * other` (BLAS `axpy`).
+    pub fn axpy(&mut self, alpha: f64, other: &DenseVector) -> Result<()> {
+        if self.len() != other.len() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("axpy: {} vs {}", self.len(), other.len()),
+            });
+        }
+        axpy(alpha, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// Scales every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm2(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (largest absolute entry); 0 for the empty vector.
+    pub fn norm_inf(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, x| acc.max(x.abs()))
+    }
+}
+
+impl std::ops::Index<usize> for DenseVector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for DenseVector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+/// Raw slice dot product; the hot inner loop of pricing and FTRAN/BTRAN.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Manual 4-way unroll: keeps independent accumulator chains so the
+    // compiler can vectorize without needing -ffast-math style reassociation.
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += a[j] * b[j];
+        acc1 += a[j + 1] * b[j + 1];
+        acc2 += a[j + 2] * b[j + 2];
+        acc3 += a[j + 3] * b[j + 3];
+    }
+    let mut acc = acc0 + acc1 + acc2 + acc3;
+    for j in chunks * 4..a.len() {
+        acc += a[j] * b[j];
+    }
+    acc
+}
+
+/// `y ← y + alpha * x` on raw slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// A dense row-major matrix of `f64` entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data. `data.len()` must equal
+    /// `rows * cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "from_row_major: {} entries for {}x{} matrix",
+                    data.len(),
+                    rows,
+                    cols
+                ),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix from a slice of rows (each row a `Vec<f64>` of equal
+    /// length). Convenient in tests.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(LinalgError::InvalidFormat {
+                    context: "ragged rows".into(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Entry accessor (checked in debug builds only; hot path).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        debug_assert!(j < self.cols);
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Number of bytes occupied by the value data (used by the device memory
+    /// accounting in `gmip-gpu`).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Swap rows `a` and `b` in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        debug_assert!(a < self.rows && b < self.rows);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Matrix transpose (allocates).
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product `y = A x` (BLAS `gemv` with alpha=1, beta=0).
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "matvec: A is {}x{}, x has {}",
+                    self.rows,
+                    self.cols,
+                    x.len()
+                ),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            y[i] = dot(self.row(i), x);
+        }
+        Ok(y)
+    }
+
+    /// Transposed matrix–vector product `y = Aᵀ x`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "matvec_transposed: A is {}x{}, x has {}",
+                    self.rows,
+                    self.cols,
+                    x.len()
+                ),
+            });
+        }
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            axpy(x[i], self.row(i), &mut y);
+        }
+        Ok(y)
+    }
+
+    /// Matrix–matrix product `C = A B` (BLAS `gemm` with alpha=1, beta=0).
+    ///
+    /// Uses the i-k-j loop order so the inner loop streams both `B`'s row and
+    /// `C`'s row contiguously.
+    pub fn matmul(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != b.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "matmul: {}x{} * {}x{}",
+                    self.rows, self.cols, b.rows, b.cols
+                ),
+            });
+        }
+        let mut c = DenseMatrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+                let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+                axpy(aik, brow, crow);
+            }
+        }
+        Ok(c)
+    }
+
+    /// Appends a row to the bottom of the matrix (used when cuts are added to
+    /// the constraint matrix, Section 5.2).
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if self.rows > 0 && row.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("push_row: row of {} onto {} cols", row.len(), self.cols),
+            });
+        }
+        if self.rows == 0 {
+            self.cols = row.len();
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Appends a column on the right of the matrix (used when a cut's slack
+    /// variable extends the equality-form system).
+    pub fn push_col(&mut self, col: &[f64]) -> Result<()> {
+        if self.rows > 0 && col.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("push_col: column of {} onto {} rows", col.len(), self.rows),
+            });
+        }
+        if self.rows == 0 {
+            self.rows = col.len();
+            self.cols = 1;
+            self.data = col.to_vec();
+            return Ok(());
+        }
+        let new_cols = self.cols + 1;
+        let mut data = Vec::with_capacity(self.rows * new_cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.push(col[i]);
+        }
+        self.data = data;
+        self.cols = new_cols;
+        Ok(())
+    }
+
+    /// Fraction of entries whose magnitude exceeds [`crate::ZERO_TOL`];
+    /// drives the dense/sparse runtime dispatch of Section 5.4.
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let nnz = self
+            .data
+            .iter()
+            .filter(|x| x.abs() > crate::ZERO_TOL)
+            .count();
+        nnz as f64 / self.data.len() as f64
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry; 0 for an empty matrix.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc: f64, x| acc.max(x.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_basics() {
+        let mut v = DenseVector::zeros(3);
+        assert_eq!(v.len(), 3);
+        v[1] = 2.0;
+        assert_eq!(v.as_slice(), &[0.0, 2.0, 0.0]);
+        v.scale(2.0);
+        assert_eq!(v[1], 4.0);
+    }
+
+    #[test]
+    fn vector_dot_and_axpy() {
+        let a = DenseVector::from_vec(vec![1.0, 2.0, 3.0]);
+        let b = DenseVector::from_vec(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        let mut c = a.clone();
+        c.axpy(2.0, &b).unwrap();
+        assert_eq!(c.as_slice(), &[9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn vector_dim_mismatch() {
+        let a = DenseVector::zeros(2);
+        let b = DenseVector::zeros(3);
+        assert!(a.dot(&b).is_err());
+        let mut a = a;
+        assert!(a.axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn dot_unrolled_matches_naive() {
+        // Length 11 exercises both the unrolled body and the remainder loop.
+        let a: Vec<f64> = (0..11).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..11).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_identity_and_get_set() {
+        let mut m = DenseMatrix::identity(3);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        m.set(0, 1, 5.0);
+        assert_eq!(m.get(0, 1), 5.0);
+        assert!(m.is_square());
+    }
+
+    #[test]
+    fn matrix_from_rows_and_ragged() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let y = m.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0, 11.0]);
+        let z = m.matvec_transposed(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(z, vec![9.0, 12.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_against_identity_and_hand_case() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn swap_rows_works_both_orders() {
+        let mut a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        a.swap_rows(0, 1);
+        assert_eq!(a.row(0), &[3.0, 4.0]);
+        a.swap_rows(1, 0);
+        assert_eq!(a.row(0), &[1.0, 2.0]);
+        a.swap_rows(1, 1); // no-op
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = DenseMatrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0]).unwrap();
+        m.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert!(m.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn push_col_grows_matrix() {
+        let mut m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        m.push_col(&[9.0, 8.0]).unwrap();
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[1.0, 2.0, 9.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0, 8.0]);
+        assert!(m.push_col(&[1.0]).is_err());
+        // From empty.
+        let mut e = DenseMatrix::zeros(0, 0);
+        e.push_col(&[5.0, 6.0]).unwrap();
+        assert_eq!((e.rows(), e.cols()), (2, 1));
+    }
+
+    #[test]
+    fn density_counts_structural_nonzeros() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        assert_eq!(m.density(), 0.0);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 1e-15); // below ZERO_TOL: not counted
+        assert!((m.density() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        let m = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]).unwrap();
+        assert!((m.norm_frobenius() - 5.0).abs() < 1e-12);
+        assert_eq!(m.norm_max(), 4.0);
+        let v = DenseVector::from_vec(vec![3.0, -4.0]);
+        assert!((v.norm2() - 5.0).abs() < 1e-12);
+        assert_eq!(v.norm_inf(), 4.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Product-form-of-inverse (PFI) basis representation with FTRAN/BTRAN.
+//!
+//! The revised simplex method replaces one basis column per iteration. Rather
+//! than refactorizing the basis matrix `B` each time, the PFI represents
+//! `B⁻¹ = Eₖ⁻¹ ⋯ E₁⁻¹ B₀⁻¹`, where `B₀` has a full LU factorization and each
+//! `Eᵢ` is an *eta matrix* — the identity with a single column replaced.
+//!
+//! Section 5.1 of the paper: "the GPU linear algebra will be exercised in
+//! this portion with rank-1 updates and resolving the updated matrix
+//! repeatedly with no data transfer from host to device". The eta file is the
+//! classic realization of that, and the one used by the GPU simplex
+//! implementations the paper cites (\[28\], \[31\] use a *modified* product form
+//! of inverse). The number of accumulated eta factors is the refactorization
+//! trigger knob exposed to the solver.
+
+use crate::lu::LuFactors;
+use crate::{DenseMatrix, LinalgError, Result, PIVOT_TOL};
+
+/// One eta matrix: the identity with column [`col`](Self::col) replaced by
+/// [`eta`](Self::eta).
+#[derive(Debug, Clone)]
+pub struct EtaFactor {
+    /// The replaced column index.
+    pub col: usize,
+    /// The replacement column (length = basis dimension). The diagonal entry
+    /// `eta[col]` must be bounded away from zero.
+    pub eta: Vec<f64>,
+}
+
+impl EtaFactor {
+    /// Applies `E⁻¹` to `x` in place.
+    ///
+    /// With `E = I + (η − e_r) e_rᵀ`, the inverse application is
+    /// `x_r ← x_r / η_r`, then `x_i ← x_i − η_i · x_r` for `i ≠ r`.
+    pub fn apply_inverse(&self, x: &mut [f64]) {
+        let r = self.col;
+        let xr = x[r] / self.eta[r];
+        for (i, (&ei, xi)) in self.eta.iter().zip(x.iter_mut()).enumerate() {
+            if i != r {
+                *xi -= ei * xr;
+            }
+        }
+        x[r] = xr;
+    }
+
+    /// Applies `E⁻ᵀ` to `y` in place:
+    /// `y_r ← (y_r − Σ_{i≠r} η_i y_i) / η_r`, other entries unchanged.
+    pub fn apply_inverse_transposed(&self, y: &mut [f64]) {
+        let r = self.col;
+        let mut acc = y[r];
+        for (i, (&ei, &yi)) in self.eta.iter().zip(y.iter()).enumerate() {
+            if i != r {
+                acc -= ei * yi;
+            }
+        }
+        y[r] = acc / self.eta[r];
+    }
+}
+
+/// A factored basis: LU of the initial basis plus a file of eta updates.
+#[derive(Debug, Clone)]
+pub struct EtaFile {
+    base: LuFactors,
+    etas: Vec<EtaFactor>,
+}
+
+impl EtaFile {
+    /// Factorizes the initial basis matrix `b0`.
+    pub fn factorize(b0: &DenseMatrix) -> Result<Self> {
+        Ok(Self {
+            base: LuFactors::factorize(b0)?,
+            etas: Vec::new(),
+        })
+    }
+
+    /// Basis dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    /// Number of accumulated eta factors since the last refactorization —
+    /// the solver refactorizes when this passes its threshold, trading
+    /// FTRAN/BTRAN cost against factorization cost.
+    #[inline]
+    pub fn eta_count(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// FTRAN: solves `B x = b` through the base LU and the eta file.
+    pub fn ftran(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = self.base.solve(b)?;
+        for e in &self.etas {
+            e.apply_inverse(&mut x);
+        }
+        Ok(x)
+    }
+
+    /// BTRAN: solves `Bᵀ y = c` (eta transposes in reverse, then base).
+    pub fn btran(&self, c: &[f64]) -> Result<Vec<f64>> {
+        let mut y = c.to_vec();
+        for e in self.etas.iter().rev() {
+            e.apply_inverse_transposed(&mut y);
+        }
+        self.base.solve_transposed(&y)
+    }
+
+    /// Records the basis change "column `leaving_pos` replaced by a column
+    /// whose FTRAN image is `alpha`" (i.e. `alpha = B⁻¹ a_entering`, computed
+    /// *before* the update).
+    ///
+    /// Fails if the pivot element `alpha[leaving_pos]` is numerically zero —
+    /// such an exchange would make the basis singular.
+    pub fn update(&mut self, leaving_pos: usize, alpha: Vec<f64>) -> Result<()> {
+        if alpha.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("eta update: basis {}, alpha {}", self.dim(), alpha.len()),
+            });
+        }
+        if leaving_pos >= self.dim() {
+            return Err(LinalgError::OutOfBounds {
+                index: leaving_pos,
+                bound: self.dim(),
+            });
+        }
+        if alpha[leaving_pos].abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular {
+                column: leaving_pos,
+            });
+        }
+        self.etas.push(EtaFactor {
+            col: leaving_pos,
+            eta: alpha,
+        });
+        Ok(())
+    }
+
+    /// Replaces the factorization with a fresh LU of `b` and clears the eta
+    /// file (periodic refactorization for numerical hygiene).
+    pub fn refactorize(&mut self, b: &DenseMatrix) -> Result<()> {
+        self.base = LuFactors::factorize(b)?;
+        self.etas.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+
+    /// Builds B0 = I(3) and then swaps in columns one at a time, checking the
+    /// eta-file solves against a fresh dense LU of the explicit basis.
+    #[test]
+    fn eta_updates_agree_with_refactorization() {
+        let n = 3;
+        let mut explicit = DenseMatrix::identity(n);
+        let mut file = EtaFile::factorize(&explicit).unwrap();
+
+        let new_cols = [
+            (0usize, vec![2.0, 1.0, 0.0]),
+            (2usize, vec![0.5, 0.0, 3.0]),
+            (1usize, vec![1.0, 4.0, 1.0]),
+        ];
+        for (pos, col) in new_cols {
+            // alpha = B⁻¹ a_new computed with the *current* representation.
+            let alpha = file.ftran(&col).unwrap();
+            file.update(pos, alpha).unwrap();
+            for i in 0..n {
+                explicit.set(i, pos, col[i]);
+            }
+            let fresh = LuFactors::factorize(&explicit).unwrap();
+            let b = vec![1.0, -2.0, 0.5];
+            let x_eta = file.ftran(&b).unwrap();
+            let x_lu = fresh.solve(&b).unwrap();
+            assert!(
+                max_abs_diff(&x_eta, &x_lu) < 1e-9,
+                "ftran diverged after update at {pos}"
+            );
+            let y_eta = file.btran(&b).unwrap();
+            let y_lu = fresh.solve_transposed(&b).unwrap();
+            assert!(
+                max_abs_diff(&y_eta, &y_lu) < 1e-9,
+                "btran diverged after update at {pos}"
+            );
+        }
+        assert_eq!(file.eta_count(), 3);
+    }
+
+    #[test]
+    fn refactorize_clears_etas() {
+        let b0 = DenseMatrix::identity(2);
+        let mut file = EtaFile::factorize(&b0).unwrap();
+        let alpha = file.ftran(&[3.0, 1.0]).unwrap();
+        file.update(0, alpha).unwrap();
+        assert_eq!(file.eta_count(), 1);
+        let mut b1 = DenseMatrix::identity(2);
+        b1.set(0, 0, 3.0);
+        b1.set(1, 0, 1.0);
+        file.refactorize(&b1).unwrap();
+        assert_eq!(file.eta_count(), 0);
+        let x = file.ftran(&[3.0, 1.0]).unwrap();
+        assert!(max_abs_diff(&x, &[1.0, 0.0]) < 1e-12);
+    }
+
+    #[test]
+    fn zero_pivot_update_rejected() {
+        let b0 = DenseMatrix::identity(2);
+        let mut file = EtaFile::factorize(&b0).unwrap();
+        // alpha with zero at the leaving position → singular basis.
+        assert!(matches!(
+            file.update(0, vec![0.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+        // Wrong length.
+        assert!(file.update(0, vec![1.0]).is_err());
+        // Out-of-range position.
+        assert!(file.update(5, vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn eta_factor_inverse_roundtrip() {
+        // E x, then E⁻¹ should restore x.
+        let e = EtaFactor {
+            col: 1,
+            eta: vec![0.5, 2.0, -1.0],
+        };
+        let x0 = [1.0, 2.0, 3.0];
+        // Compute E x0 explicitly: (E x)_i = x_i + eta_i * x_r for i != r,
+        // (E x)_r = eta_r * x_r.
+        let mut ex = [0.0; 3];
+        for i in 0..3 {
+            if i == e.col {
+                ex[i] = e.eta[i] * x0[i];
+            } else {
+                ex[i] = x0[i] + e.eta[i] * x0[e.col];
+            }
+        }
+        let mut back = ex;
+        e.apply_inverse(&mut back);
+        assert!(max_abs_diff(&back, &x0) < 1e-12);
+    }
+
+    #[test]
+    fn eta_transpose_consistent_with_inverse() {
+        // For any x, y: (E⁻ᵀ y) · x == y · (E⁻¹ x).
+        let e = EtaFactor {
+            col: 0,
+            eta: vec![4.0, 1.0, -2.0],
+        };
+        let x = [1.0, -1.0, 2.0];
+        let y = [0.5, 3.0, 1.0];
+        let mut ex = x;
+        e.apply_inverse(&mut ex);
+        let mut ey = y;
+        e.apply_inverse_transposed(&mut ey);
+        let lhs: f64 = ey.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f64 = y.iter().zip(ex.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+}

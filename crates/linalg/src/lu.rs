@@ -1,0 +1,307 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! `PA = LU` with `L` unit lower triangular and `U` upper triangular, packed
+//! into a single matrix as LAPACK's `getrf` does. This is the workhorse dense
+//! factorization of Section 4.1 (cuSOLVER/MAGMA `getrf`-class routine); the
+//! simulated accelerator charges its cost model for calls into this kernel.
+
+use crate::dense::DenseMatrix;
+use crate::triangular;
+use crate::{LinalgError, Result, PIVOT_TOL};
+
+/// The result of an LU factorization with partial pivoting.
+///
+/// Both factors are packed into `lu`: the strictly lower part holds `L`
+/// (unit diagonal implied) and the upper part (with diagonal) holds `U`.
+/// `perm[i]` gives the original row index that ended up in position `i`,
+/// i.e. `(PA)[i][j] = A[perm[i]][j]`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: DenseMatrix,
+    perm: Vec<usize>,
+    /// Number of row interchanges performed (parity gives the determinant
+    /// sign flip).
+    swaps: usize,
+}
+
+impl LuFactors {
+    /// Factorizes `a` (which must be square) with partial pivoting.
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot below [`PIVOT_TOL`] is
+    /// encountered.
+    pub fn factorize(a: &DenseMatrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("LU of {}x{} matrix", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut swaps = 0usize;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest |entry| in column k at or
+            // below the diagonal.
+            let mut piv_row = k;
+            let mut piv_val = lu.get(k, k).abs();
+            for i in k + 1..n {
+                let v = lu.get(i, k).abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = i;
+                }
+            }
+            if piv_val < PIVOT_TOL {
+                return Err(LinalgError::Singular { column: k });
+            }
+            if piv_row != k {
+                lu.swap_rows(piv_row, k);
+                perm.swap(piv_row, k);
+                swaps += 1;
+            }
+            let pivot = lu.get(k, k);
+            // Eliminate below the pivot; the multiplier is stored in place
+            // (that is the L entry).
+            for i in k + 1..n {
+                let m = lu.get(i, k) / pivot;
+                lu.set(i, k, m);
+                if m == 0.0 {
+                    continue;
+                }
+                // row_i ← row_i − m · row_k for columns k+1..n.
+                // Split borrows: row k is strictly before row i.
+                let cols = lu.cols();
+                let data = lu.as_mut_slice();
+                let (head, tail) = data.split_at_mut(i * cols);
+                let row_k = &head[k * cols..(k + 1) * cols];
+                let row_i = &mut tail[..cols];
+                for j in k + 1..cols {
+                    row_i[j] -= m * row_k[j];
+                }
+            }
+        }
+        Ok(Self { lu, perm, swaps })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// The packed LU matrix (L strictly lower with unit diagonal, U upper).
+    #[inline]
+    pub fn packed(&self) -> &DenseMatrix {
+        &self.lu
+    }
+
+    /// Row permutation: position `i` of the permuted system holds original
+    /// row `perm()[i]`.
+    #[inline]
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Solves `A x = b`, returning `x`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("solve: system of {}, rhs of {}", n, b.len()),
+            });
+        }
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        triangular::forward_subst_unit(&self.lu, &mut x)?;
+        triangular::backward_subst(&self.lu, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `Aᵀ x = b`, returning `x`. Needed for BTRAN in the revised
+    /// simplex method (computing dual prices).
+    pub fn solve_transposed(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("solve_transposed: system of {}, rhs of {}", n, b.len()),
+            });
+        }
+        // Aᵀ = (P⁻¹ L U)ᵀ = Uᵀ Lᵀ P⁻ᵀ, so solve Uᵀ z = b, then Lᵀ w = z,
+        // then x = Pᵀ w (scatter w back through the permutation).
+        let mut z = b.to_vec();
+        triangular::backward_subst_transposed(&self.lu, &mut z)?;
+        triangular::forward_subst_unit_transposed(&self.lu, &mut z)?;
+        let mut x = vec![0.0; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            x[p] = z[i];
+        }
+        Ok(x)
+    }
+
+    /// Solves for multiple right-hand sides, each a column of `b`.
+    pub fn solve_matrix(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if b.rows() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!(
+                    "solve_matrix: system {}, rhs {}x{}",
+                    self.dim(),
+                    b.rows(),
+                    b.cols()
+                ),
+            });
+        }
+        let mut out = DenseMatrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..b.rows() {
+                out.set(i, j, x[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the original matrix, computed from the product of `U`'s
+    /// diagonal and the permutation parity.
+    pub fn determinant(&self) -> f64 {
+        let mut det = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
+        for i in 0..self.dim() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+
+    /// Explicit inverse (for tests and small matrices only; solves against
+    /// the identity column by column).
+    pub fn inverse(&self) -> Result<DenseMatrix> {
+        self.solve_matrix(&DenseMatrix::identity(self.dim()))
+    }
+
+    /// Reconstructs `P A` as `L U` — used by property tests to verify the
+    /// factorization invariant.
+    pub fn reconstruct_permuted(&self) -> DenseMatrix {
+        let n = self.dim();
+        let mut out = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                // (LU)[i][j] = sum_k L[i][k] U[k][j], k <= min(i, j)
+                let kmax = i.min(j);
+                let mut acc = 0.0;
+                for k in 0..=kmax {
+                    let l = if k == i { 1.0 } else { self.lu.get(i, k) };
+                    let u = if k <= j { self.lu.get(k, j) } else { 0.0 };
+                    acc += l * u;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+
+    fn well_conditioned_3x3() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factorize_and_solve() {
+        let a = well_conditioned_3x3();
+        let f = LuFactors::factorize(&a).unwrap();
+        let b = vec![5.0, -2.0, 9.0];
+        let x = f.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-10, "Ax={ax:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_permuted_a() {
+        let a = well_conditioned_3x3();
+        let f = LuFactors::factorize(&a).unwrap();
+        let pa_rows: Vec<Vec<f64>> = f.perm().iter().map(|&p| a.row(p).to_vec()).collect();
+        let pa = DenseMatrix::from_rows(&pa_rows).unwrap();
+        let lu = f.reconstruct_permuted();
+        assert!(max_abs_diff(pa.as_slice(), lu.as_slice()) < 1e-12);
+    }
+
+    #[test]
+    fn transposed_solve() {
+        let a = well_conditioned_3x3();
+        let f = LuFactors::factorize(&a).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let x = f.solve_transposed(&b).unwrap();
+        let atx = a.transpose().matvec(&x).unwrap();
+        for (got, want) in atx.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        // det = 2*(-6*2 - 0*7) - 1*(4*2 - 0*(-2)) + 1*(4*7 - (-6)*(-2)) = -16
+        let a = well_conditioned_3x3();
+        let f = LuFactors::factorize(&a).unwrap();
+        assert!((f.determinant() - (-16.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = well_conditioned_3x3();
+        let f = LuFactors::factorize(&a).unwrap();
+        let inv = f.inverse().unwrap();
+        let prod = inv.matmul(&a).unwrap();
+        let id = DenseMatrix::identity(3);
+        assert!(max_abs_diff(prod.as_slice(), id.as_slice()) < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuFactors::factorize(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(LuFactors::factorize(&a).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let f = LuFactors::factorize(&a).unwrap();
+        let x = f.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = well_conditioned_3x3();
+        let f = LuFactors::factorize(&a).unwrap();
+        let rhs =
+            DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let x = f.solve_matrix(&rhs).unwrap();
+        let ax = a.matmul(&x).unwrap();
+        assert!(max_abs_diff(ax.as_slice(), rhs.as_slice()) < 1e-9);
+    }
+}

@@ -1,0 +1,211 @@
+//! Householder QR factorization.
+//!
+//! `A = Q R` with `Q` orthogonal and `R` upper triangular. Listed in
+//! Section 4 among the factorization classes ("Cholesky, LU, and QR
+//! decomposition") a MIP-oriented linear-algebra substrate must offer; in the
+//! solver stack it backs least-squares subproblems (e.g. steepest-edge
+//! reference weights) and serves as an accuracy cross-check for LU solves.
+
+use crate::dense::DenseMatrix;
+use crate::{LinalgError, Result, PIVOT_TOL};
+
+/// Householder QR factorization of an `m × n` matrix with `m ≥ n`.
+///
+/// Stores `R` in the upper triangle and the Householder vectors in compact
+/// form below the diagonal (LAPACK `geqrf` layout, with separate `tau`).
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    qr: DenseMatrix,
+    tau: Vec<f64>,
+}
+
+impl QrFactors {
+    /// Factorizes `a` (`m × n`, `m ≥ n`).
+    pub fn factorize(a: &DenseMatrix) -> Result<Self> {
+        let m = a.rows();
+        let n = a.cols();
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("QR requires m >= n, got {m}x{n}"),
+            });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Compute the Householder reflector for column k below the diagonal.
+            let mut norm = 0.0;
+            for i in k..m {
+                let v = qr.get(i, k);
+                norm += v * v;
+            }
+            let norm = norm.sqrt();
+            if norm < PIVOT_TOL {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr.get(k, k) >= 0.0 { -norm } else { norm };
+            // v = x - alpha e1, normalized so v[k] = 1.
+            let v_k = qr.get(k, k) - alpha;
+            for i in k + 1..m {
+                let scaled = qr.get(i, k) / v_k;
+                qr.set(i, k, scaled);
+            }
+            tau[k] = -v_k / alpha;
+            qr.set(k, k, alpha);
+
+            // Apply the reflector to the trailing columns: A ← (I − tau v vᵀ) A.
+            for j in k + 1..n {
+                // w = vᵀ a_j  (v[k] = 1 implicitly)
+                let mut w = qr.get(k, j);
+                for i in k + 1..m {
+                    w += qr.get(i, k) * qr.get(i, j);
+                }
+                w *= tau[k];
+                let new_kj = qr.get(k, j) - w;
+                qr.set(k, j, new_kj);
+                for i in k + 1..m {
+                    let new = qr.get(i, j) - qr.get(i, k) * w;
+                    qr.set(i, j, new);
+                }
+            }
+        }
+        Ok(Self { qr, tau })
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Applies `Qᵀ` to a vector in place.
+    pub fn apply_q_transpose(&self, b: &mut [f64]) -> Result<()> {
+        let m = self.rows();
+        if b.len() != m {
+            return Err(LinalgError::DimensionMismatch {
+                context: format!("apply_q_transpose: {} vs {}", b.len(), m),
+            });
+        }
+        for k in 0..self.cols() {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut w = b[k];
+            for i in k + 1..m {
+                w += self.qr.get(i, k) * b[i];
+            }
+            w *= self.tau[k];
+            b[k] -= w;
+            for i in k + 1..m {
+                b[i] -= self.qr.get(i, k) * w;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂`, returning `x`
+    /// (length `n`). For square nonsingular `A` this is the exact solve.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.cols();
+        let mut y = b.to_vec();
+        self.apply_q_transpose(&mut y)?;
+        // Back substitution on the R factor (top n rows of qr).
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.qr.get(i, j) * x[j];
+            }
+            let diag = self.qr.get(i, i);
+            if diag.abs() < PIVOT_TOL {
+                return Err(LinalgError::Singular { column: i });
+            }
+            x[i] = acc / diag;
+        }
+        Ok(x)
+    }
+
+    /// The `R` factor as an explicit `n × n` upper-triangular matrix.
+    pub fn r(&self) -> DenseMatrix {
+        let n = self.cols();
+        let mut r = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r.set(i, j, self.qr.get(i, j));
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_solve_matches_direct() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, 1.0],
+            vec![4.0, -6.0, 0.0],
+            vec![-2.0, 7.0, 2.0],
+        ])
+        .unwrap();
+        let f = QrFactors::factorize(&a).unwrap();
+        let b = vec![5.0, -2.0, 9.0];
+        let x = f.solve_least_squares(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overdetermined_least_squares() {
+        // Fit y = c0 + c1 t through points (0,1), (1,3), (2,5): exact line 1 + 2t.
+        let a = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let f = QrFactors::factorize(&a).unwrap();
+        let x = f.solve_least_squares(&[1.0, 3.0, 5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inconsistent_least_squares_minimizes() {
+        // Points (0,0), (1,1), (2,1): LS line via normal equations is
+        // c = (1/6, 1/2).
+        let a = DenseMatrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let f = QrFactors::factorize(&a).unwrap();
+        let x = f.solve_least_squares(&[0.0, 1.0, 1.0]).unwrap();
+        assert!((x[0] - 1.0 / 6.0).abs() < 1e-10);
+        assert!((x[1] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_correct_norms() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 1.0], vec![4.0, 2.0]]).unwrap();
+        let f = QrFactors::factorize(&a).unwrap();
+        let r = f.r();
+        // |r00| = column norm of first column = 5.
+        assert!((r.get(0, 0).abs() - 5.0).abs() < 1e-10);
+        assert_eq!(r.get(1, 0), 0.0);
+        // QR preserves Frobenius norm: ‖R‖F = ‖A‖F.
+        assert!((r.norm_frobenius() - a.norm_frobenius()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(QrFactors::factorize(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_detected_at_solve() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let f = QrFactors::factorize(&a).unwrap();
+        assert!(f.solve_least_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

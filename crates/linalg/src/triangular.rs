@@ -1,0 +1,168 @@
+//! Forward and backward substitution on dense triangular systems.
+//!
+//! These are the building blocks of every LU-based solve in the crate and of
+//! the FTRAN/BTRAN operations in the revised simplex method ([`crate::eta`]).
+
+use crate::dense::DenseMatrix;
+use crate::{LinalgError, Result, PIVOT_TOL};
+
+/// Solves `L y = b` in place, where `L` is the *unit* lower-triangular factor
+/// stored in the strictly-lower part of `lu` (diagonal implicitly 1).
+///
+/// This is the layout produced by [`crate::lu::LuFactors`], which packs both
+/// factors into one matrix.
+pub fn forward_subst_unit(lu: &DenseMatrix, b: &mut [f64]) -> Result<()> {
+    let n = lu.rows();
+    check_square_and_len(lu, b.len())?;
+    for i in 0..n {
+        let row = lu.row(i);
+        let mut acc = b[i];
+        for (j, lij) in row[..i].iter().enumerate() {
+            acc -= lij * b[j];
+        }
+        b[i] = acc;
+    }
+    Ok(())
+}
+
+/// Solves `U x = y` in place, where `U` is the upper-triangular part of `lu`
+/// (including the diagonal).
+pub fn backward_subst(lu: &DenseMatrix, y: &mut [f64]) -> Result<()> {
+    let n = lu.rows();
+    check_square_and_len(lu, y.len())?;
+    for i in (0..n).rev() {
+        let row = lu.row(i);
+        let mut acc = y[i];
+        for (j, uij) in row[i + 1..].iter().enumerate() {
+            acc -= uij * y[i + 1 + j];
+        }
+        let diag = row[i];
+        if diag.abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular { column: i });
+        }
+        y[i] = acc / diag;
+    }
+    Ok(())
+}
+
+/// Solves `Lᵀ x = b` in place for the unit lower factor packed in `lu`.
+pub fn forward_subst_unit_transposed(lu: &DenseMatrix, b: &mut [f64]) -> Result<()> {
+    let n = lu.rows();
+    check_square_and_len(lu, b.len())?;
+    // Lᵀ is unit upper triangular: iterate rows bottom-up.
+    for i in (0..n).rev() {
+        let xi = b[i];
+        // Subtract contribution of x_i from earlier equations: (Lᵀ)_{j,i} = L_{i,j}.
+        let row = lu.row(i);
+        for (j, lij) in row[..i].iter().enumerate() {
+            b[j] -= lij * xi;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `Uᵀ y = c` in place for the upper factor packed in `lu`.
+pub fn backward_subst_transposed(lu: &DenseMatrix, c: &mut [f64]) -> Result<()> {
+    let n = lu.rows();
+    check_square_and_len(lu, c.len())?;
+    // Uᵀ is lower triangular: iterate rows top-down.
+    for i in 0..n {
+        let diag = lu.get(i, i);
+        if diag.abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular { column: i });
+        }
+        let yi = c[i] / diag;
+        c[i] = yi;
+        let row = lu.row(i);
+        for (j, uij) in row[i + 1..].iter().enumerate() {
+            c[i + 1 + j] -= uij * yi;
+        }
+    }
+    Ok(())
+}
+
+fn check_square_and_len(m: &DenseMatrix, len: usize) -> Result<()> {
+    if !m.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!("triangular solve on {}x{} matrix", m.rows(), m.cols()),
+        });
+    }
+    if m.rows() != len {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!(
+                "triangular solve: matrix {}x{}, rhs {}",
+                m.rows(),
+                m.cols(),
+                len
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    /// Packed LU for L = [[1,0],[0.5,1]], U = [[2,1],[0,3]].
+    fn packed() -> DenseMatrix {
+        DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![0.5, 3.0]]).unwrap()
+    }
+
+    #[test]
+    fn forward_unit() {
+        let lu = packed();
+        let mut b = vec![2.0, 4.0];
+        forward_subst_unit(&lu, &mut b).unwrap();
+        // y0 = 2; y1 = 4 - 0.5*2 = 3
+        assert_eq!(b, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn backward() {
+        let lu = packed();
+        let mut y = vec![2.0, 3.0];
+        backward_subst(&lu, &mut y).unwrap();
+        // x1 = 3/3 = 1; x0 = (2 - 1*1)/2 = 0.5
+        assert_eq!(y, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn transposed_solves_match_explicit_transpose() {
+        let lu = packed();
+        // Solve LT x = b where L = [[1,0],[0.5,1]] so LT = [[1,0.5],[0,1]].
+        let mut b = vec![2.0, 4.0];
+        forward_subst_unit_transposed(&lu, &mut b).unwrap();
+        // x1 = 4; x0 = 2 - 0.5*4 = 0
+        assert_eq!(b, vec![0.0, 4.0]);
+
+        // Solve UT y = c where U = [[2,1],[0,3]] so UT = [[2,0],[1,3]].
+        let mut c = vec![2.0, 4.0];
+        backward_subst_transposed(&lu, &mut c).unwrap();
+        // y0 = 1; y1 = (4 - 1*1)/3 = 1
+        assert_eq!(c, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn singular_diagonal_detected() {
+        let lu = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![0.5, 3.0]]).unwrap();
+        let mut y = vec![1.0, 1.0];
+        assert!(matches!(
+            backward_subst(&lu, &mut y),
+            Err(LinalgError::Singular { column: 0 })
+        ));
+        let mut c = vec![1.0, 1.0];
+        assert!(backward_subst_transposed(&lu, &mut c).is_err());
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let lu = packed();
+        let mut b = vec![1.0; 3];
+        assert!(forward_subst_unit(&lu, &mut b).is_err());
+        let rect = DenseMatrix::zeros(2, 3);
+        let mut b2 = vec![1.0; 2];
+        assert!(backward_subst(&rect, &mut b2).is_err());
+    }
+}

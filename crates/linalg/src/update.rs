@@ -1,0 +1,191 @@
+//! Rank-1 update helpers.
+//!
+//! Section 4.3 of the paper: after `Ax = b` has been solved once, the MIP
+//! solver needs to re-solve *slightly updated* versions — rank-1 updates from
+//! basis exchanges, appended cut rows, and per-child bound changes. Vendor
+//! BLAS libraries don't offer "update the factorization" primitives, so the
+//! solver layer uses the Sherman–Morrison identity against a frozen
+//! factorization, or the eta file of [`crate::eta`].
+
+use crate::lu::LuFactors;
+use crate::{LinalgError, Result, PIVOT_TOL};
+
+/// Solves `(A + u vᵀ) x = b` given a factorization of `A`, via the
+/// Sherman–Morrison formula:
+///
+/// `x = A⁻¹b − (vᵀA⁻¹b / (1 + vᵀA⁻¹u)) · A⁻¹u`
+///
+/// Cost: two triangular solves against the existing factors instead of a
+/// fresh O(n³) factorization — the "reuse" mode of Section 5.1.
+pub fn sherman_morrison_solve(
+    factors: &LuFactors,
+    u: &[f64],
+    v: &[f64],
+    b: &[f64],
+) -> Result<Vec<f64>> {
+    let n = factors.dim();
+    if u.len() != n || v.len() != n || b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: format!(
+                "sherman_morrison: n={n}, u={}, v={}, b={}",
+                u.len(),
+                v.len(),
+                b.len()
+            ),
+        });
+    }
+    let ainv_b = factors.solve(b)?;
+    let ainv_u = factors.solve(u)?;
+    let denom = 1.0 + dotp(v, &ainv_u);
+    if denom.abs() < PIVOT_TOL {
+        // The update makes the matrix singular.
+        return Err(LinalgError::Singular { column: 0 });
+    }
+    let scale = dotp(v, &ainv_b) / denom;
+    let mut x = ainv_b;
+    for (xi, ui) in x.iter_mut().zip(ainv_u.iter()) {
+        *xi -= scale * ui;
+    }
+    Ok(x)
+}
+
+/// Solves the system after *k* successive rank-1 updates
+/// `(A + Σ uᵢvᵢᵀ) x = b` by recursive Sherman–Morrison (a small
+/// Sherman–Morrison–Woodbury specialization that avoids forming the k×k
+/// capacitance matrix; adequate for the handful of bound-change updates a
+/// child tree node applies, Section 5.3).
+pub fn sequential_rank1_solve(
+    factors: &LuFactors,
+    updates: &[(Vec<f64>, Vec<f64>)],
+    b: &[f64],
+) -> Result<Vec<f64>> {
+    // Build solution iteratively: maintain solve(·) against A_k. We implement
+    // it by materializing the action of A_k⁻¹ on the needed vectors only.
+    // For small k this is k+1 base solves plus O(k²n) vector work.
+    let n = factors.dim();
+    for (u, v) in updates {
+        if u.len() != n || v.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "sequential_rank1: update vector length".into(),
+            });
+        }
+    }
+    // ainv_u[i] starts as A⁻¹ uᵢ, then gets corrected through previous updates.
+    let mut corrected_u: Vec<Vec<f64>> = Vec::with_capacity(updates.len());
+    let mut x = factors.solve(b)?;
+    for (i, (u, v)) in updates.iter().enumerate() {
+        let mut au = factors.solve(u)?;
+        // Correct au through updates 0..i.
+        for j in 0..i {
+            let (_, vj) = &updates[j];
+            let denom = 1.0 + dotp(vj, &corrected_u[j]);
+            let scale = dotp(vj, &au) / denom;
+            for (a, c) in au.iter_mut().zip(corrected_u[j].iter()) {
+                *a -= scale * c;
+            }
+        }
+        let denom = 1.0 + dotp(v, &au);
+        if denom.abs() < PIVOT_TOL {
+            return Err(LinalgError::Singular { column: i });
+        }
+        let scale = dotp(v, &x) / denom;
+        for (xi, ai) in x.iter_mut().zip(au.iter()) {
+            *xi -= scale * ai;
+        }
+        corrected_u.push(au);
+    }
+    Ok(x)
+}
+
+#[inline]
+fn dotp(a: &[f64], b: &[f64]) -> f64 {
+    crate::dense::dot(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms::max_abs_diff;
+    use crate::DenseMatrix;
+
+    fn base() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 5.0, 2.0],
+            vec![0.0, 2.0, 6.0],
+        ])
+        .unwrap()
+    }
+
+    /// Forms A + u vᵀ explicitly.
+    fn updated(a: &DenseMatrix, u: &[f64], v: &[f64]) -> DenseMatrix {
+        let n = a.rows();
+        let mut m = a.clone();
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, m.get(i, j) + u[i] * v[j]);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn sherman_morrison_matches_direct_solve() {
+        let a = base();
+        let f = LuFactors::factorize(&a).unwrap();
+        let u = vec![1.0, 0.0, 2.0];
+        let v = vec![0.5, 1.0, 0.0];
+        let b = vec![1.0, 2.0, 3.0];
+        let x = sherman_morrison_solve(&f, &u, &v, &b).unwrap();
+        let direct = LuFactors::factorize(&updated(&a, &u, &v))
+            .unwrap()
+            .solve(&b)
+            .unwrap();
+        assert!(max_abs_diff(&x, &direct) < 1e-9);
+    }
+
+    #[test]
+    fn singular_update_detected() {
+        // A = I, u = -e1, v = e1 → A + uvᵀ has a zero row ⇒ singular.
+        let a = DenseMatrix::identity(2);
+        let f = LuFactors::factorize(&a).unwrap();
+        assert!(matches!(
+            sherman_morrison_solve(&f, &[-1.0, 0.0], &[1.0, 0.0], &[1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let f = LuFactors::factorize(&base()).unwrap();
+        assert!(sherman_morrison_solve(&f, &[1.0], &[1.0, 0.0, 0.0], &[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn sequential_rank1_matches_direct() {
+        let a = base();
+        let f = LuFactors::factorize(&a).unwrap();
+        let updates = vec![
+            (vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]),
+            (vec![0.0, 2.0, 1.0], vec![1.0, 0.0, 0.5]),
+            (vec![0.5, 0.5, 0.5], vec![0.0, 0.0, 1.0]),
+        ];
+        let b = vec![3.0, -1.0, 2.0];
+        let x = sequential_rank1_solve(&f, &updates, &b).unwrap();
+        let mut m = a.clone();
+        for (u, v) in &updates {
+            m = updated(&m, u, v);
+        }
+        let direct = LuFactors::factorize(&m).unwrap().solve(&b).unwrap();
+        assert!(max_abs_diff(&x, &direct) < 1e-8);
+    }
+
+    #[test]
+    fn sequential_with_no_updates_is_plain_solve() {
+        let a = base();
+        let f = LuFactors::factorize(&a).unwrap();
+        let b = vec![1.0, 1.0, 1.0];
+        let x = sequential_rank1_solve(&f, &[], &b).unwrap();
+        assert!(max_abs_diff(&x, &f.solve(&b).unwrap()) < 1e-12);
+    }
+}

@@ -1,0 +1,712 @@
+//! The simplex *engine* abstraction and its host implementation.
+//!
+//! The revised simplex driver ([`crate::simplex`], [`crate::dual`]) is
+//! written once against [`SimplexEngine`], which exposes exactly the
+//! numerical steps of an iteration. Two implementations exist:
+//!
+//! * [`HostEngine`] — plain vectors and a host eta file; the reference
+//!   implementation used for correctness cross-checks;
+//! * [`crate::device_engine::DeviceEngine`] — the same steps as simulated
+//!   device kernels on a `gmip_gpu::Accel`, with the constraint matrix
+//!   resident on the device and only scalars crossing the link per
+//!   iteration (the Section 5.1 execution model).
+//!
+//! Equivalence of the two under identical pivoting rules is a property test
+//! in the crate's test suite.
+
+use crate::basis::{Basis, VarStatus};
+use crate::{LpError, LpResult};
+use gmip_linalg::{DenseMatrix, EtaFile};
+
+/// A read-only view of the (possibly cut-extended) problem data the engine
+/// needs at basis-install time. The constraint matrix itself lives inside
+/// the engine (it was loaded at construction and only grows via
+/// [`SimplexEngine::append_cut`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemView<'a> {
+    /// Objective (maximize).
+    pub c: &'a [f64],
+    /// Lower bounds.
+    pub lb: &'a [f64],
+    /// Upper bounds.
+    pub ub: &'a [f64],
+    /// Right-hand side.
+    pub b: &'a [f64],
+}
+
+/// Everything the engine must change when a pivot is applied.
+#[derive(Debug, Clone, Copy)]
+pub struct PivotPlan {
+    /// Leaving basis row.
+    pub r: usize,
+    /// Entering column.
+    pub q: usize,
+    /// Column previously basic in row `r`.
+    pub leaving_j: usize,
+    /// Step direction of the entering variable (+1 increasing, −1
+    /// decreasing); the basic update is `x_B ← x_B − dir·t·α`.
+    pub dir: f64,
+    /// Step length (dual pivots pass a signed step with `dir = 1`).
+    pub t: f64,
+    /// Value the entering variable takes (installed in slot `r`).
+    pub entering_val: f64,
+    /// σ weight for the leaving variable (−1 to lower, +1 to upper, 0 if it
+    /// becomes ineligible, e.g. a fixed artificial).
+    pub leaving_sigma: f64,
+    /// Objective coefficient of the entering column.
+    pub c_q: f64,
+    /// Lower bound of the entering column.
+    pub lb_q: f64,
+    /// Upper bound of the entering column.
+    pub ub_q: f64,
+}
+
+/// The per-iteration numerical interface of the revised simplex.
+///
+/// State machine expectations: [`install`](Self::install) before anything
+/// else; [`ftran_column`](Self::ftran_column) before
+/// [`ratio_test`](Self::ratio_test)/[`apply_pivot`](Self::apply_pivot);
+/// [`btran_row`](Self::btran_row) before [`dual_ratio`](Self::dual_ratio)/
+/// [`alpha_r_entry`](Self::alpha_r_entry).
+pub trait SimplexEngine {
+    /// Rows of the engine's matrix.
+    fn m(&self) -> usize;
+    /// Columns of the engine's matrix.
+    fn n(&self) -> usize;
+
+    /// Installs a basis: factorizes `B`, computes basic values
+    /// `x_B = B⁻¹(b − N x_N)`, and loads objective/status/bound state.
+    /// σ is 0 for basic columns *and* for fixed columns (`lb == ub`), which
+    /// excludes both from pricing.
+    fn install(&mut self, view: ProblemView<'_>, basis: &Basis) -> LpResult<()>;
+
+    /// Appends a cut: `row` spans the current columns, `col` is the new
+    /// slack column spanning `m()+1` rows.
+    fn append_cut(&mut self, row: &[f64], col: &[f64]) -> LpResult<()>;
+
+    /// Dantzig pricing: the most negative score `σ_j · d_j` over eligible
+    /// columns, or `None` when no column prices out (σ-weighted optimality).
+    fn price(&mut self) -> LpResult<Option<(usize, f64)>>;
+
+    /// Full reduced-cost vector on the host (Bland fallback; on the device
+    /// engine this is an honest n-vector D2H transfer).
+    fn reduced_costs_host(&mut self) -> LpResult<Vec<f64>>;
+
+    /// FTRAN of column `q`: `α = B⁻¹ a_q`, kept engine-resident.
+    fn ftran_column(&mut self, q: usize) -> LpResult<()>;
+
+    /// Entry `i` of the current FTRAN column (scalar readback).
+    fn alpha_entry(&mut self, i: usize) -> LpResult<f64>;
+
+    /// Bounded primal ratio test on the current FTRAN column; returns
+    /// `(row, t, leaves_at_upper)` or `None` if no basic variable blocks.
+    fn ratio_test(&mut self, dir: f64, tol: f64) -> LpResult<Option<(usize, f64, bool)>>;
+
+    /// Bound flip of the entering column: `x_B ← x_B − dir·t·α`, σ_q set to
+    /// `new_sigma`.
+    fn apply_flip(&mut self, q: usize, dir: f64, t: f64, new_sigma: f64) -> LpResult<()>;
+
+    /// Applies a pivot (basic update, eta update, σ/c_B/bound bookkeeping).
+    fn apply_pivot(&mut self, plan: &PivotPlan) -> LpResult<()>;
+
+    /// Basic values `x_B` (full readback — end of solve).
+    fn basic_values(&mut self) -> LpResult<Vec<f64>>;
+
+    /// Entry `i` of `x_B` (scalar readback — dual iterations).
+    fn basic_entry(&mut self, i: usize) -> LpResult<f64>;
+
+    /// Number of eta factors accumulated since the last factorization.
+    fn eta_count(&self) -> usize;
+
+    /// Largest primal bound violation among basic variables, as
+    /// `(row, violation, below_lower)`.
+    fn primal_infeas(&mut self, tol: f64) -> LpResult<Option<(usize, f64, bool)>>;
+
+    /// BTRAN row `r`: `ρ = B⁻ᵀ e_r`, then `α_r = Aᵀ ρ`, kept engine-resident.
+    fn btran_row(&mut self, r: usize) -> LpResult<()>;
+
+    /// Dual ratio test on the current BTRAN row.
+    fn dual_ratio(&mut self, leaving_below: bool, tol: f64) -> LpResult<Option<(usize, f64)>>;
+
+    /// Entry `j` of the current BTRAN row (scalar readback).
+    fn alpha_r_entry(&mut self, j: usize) -> LpResult<f64>;
+
+    /// BTRAN row `r` downloaded to the host in one piece — the tableau row
+    /// needed by CPU-side cut generation (Section 5.2's device→host leg; on
+    /// the device engine this is an honest full-vector transfer).
+    fn btran_row_host(&mut self, r: usize) -> LpResult<Vec<f64>>;
+
+    /// The dual prices `y` of the current basis (`Bᵀ y = c_B`), downloaded
+    /// to the host — what a column-generation master hands its pricing
+    /// subproblem (an honest m-vector transfer on the device engines).
+    fn dual_prices(&mut self) -> LpResult<Vec<f64>>;
+
+    /// Devex pricing: among eligible columns (σ_j·d_j < −tol implied by the
+    /// caller's threshold check on the returned score), maximizes the Devex
+    /// merit `d_j²/γ_j`. Returns `(column, σ·d score)` like
+    /// [`price`](Self::price). Engines reset the reference weights γ to 1 at
+    /// every [`install`](Self::install).
+    fn price_devex(&mut self) -> LpResult<Option<(usize, f64)>>;
+
+    /// Devex reference-weight update for the pivot `(entering q, leaving
+    /// row's occupant leaving_j)`. Requires a fresh
+    /// [`btran_row`](Self::btran_row) of the leaving row (old basis):
+    /// `γ_j ← max(γ_j, (α_r[j]/α_r[q])²·γ_q)` for all columns, then the
+    /// leaving variable is re-anchored at `max(γ_q/α_r[q]², 1)`.
+    fn devex_update(&mut self, q: usize, leaving_j: usize) -> LpResult<()>;
+}
+
+/// Pure-host engine: the reference implementation.
+#[derive(Debug)]
+pub struct HostEngine {
+    a: DenseMatrix,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    sigma: Vec<f64>,
+    cb: Vec<f64>,
+    lbb: Vec<f64>,
+    ubb: Vec<f64>,
+    xb: Vec<f64>,
+    gamma: Vec<f64>,
+    eta: Option<EtaFile>,
+    alpha: Option<Vec<f64>>,
+    alpha_r: Option<Vec<f64>>,
+}
+
+impl HostEngine {
+    /// Creates a host engine over the given constraint matrix.
+    pub fn new(a: DenseMatrix) -> Self {
+        Self {
+            a,
+            b: Vec::new(),
+            c: Vec::new(),
+            lb: Vec::new(),
+            ub: Vec::new(),
+            sigma: Vec::new(),
+            cb: Vec::new(),
+            lbb: Vec::new(),
+            ubb: Vec::new(),
+            xb: Vec::new(),
+            gamma: Vec::new(),
+            eta: None,
+            alpha: None,
+            alpha_r: None,
+        }
+    }
+
+    fn eta(&self) -> LpResult<&EtaFile> {
+        self.eta.as_ref().ok_or(LpError::NotInstalled)
+    }
+
+    fn alpha(&self) -> LpResult<&Vec<f64>> {
+        self.alpha.as_ref().ok_or(LpError::NotInstalled)
+    }
+}
+
+impl SimplexEngine for HostEngine {
+    fn m(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn n(&self) -> usize {
+        self.a.cols()
+    }
+
+    fn install(&mut self, view: ProblemView<'_>, basis: &Basis) -> LpResult<()> {
+        let m = self.m();
+        let n = self.n();
+        if view.c.len() != n || view.lb.len() != n || view.ub.len() != n || view.b.len() != m {
+            return Err(LpError::Shape(format!(
+                "install: engine {}x{}, view c={} b={}",
+                m,
+                n,
+                view.c.len(),
+                view.b.len()
+            )));
+        }
+        self.b = view.b.to_vec();
+        self.c = view.c.to_vec();
+        self.lb = view.lb.to_vec();
+        self.ub = view.ub.to_vec();
+        self.sigma = basis
+            .status
+            .iter()
+            .enumerate()
+            .map(|(j, s)| {
+                if self.lb[j] == self.ub[j] {
+                    0.0
+                } else {
+                    s.sigma()
+                }
+            })
+            .collect();
+        // Nonbasic point and residual.
+        let mut x_nb = vec![0.0; n];
+        for (j, s) in basis.status.iter().enumerate() {
+            match s {
+                VarStatus::AtLower => x_nb[j] = self.lb[j],
+                VarStatus::AtUpper => x_nb[j] = self.ub[j],
+                VarStatus::Basic(_) => {}
+            }
+            if !matches!(s, VarStatus::Basic(_)) && !x_nb[j].is_finite() {
+                return Err(LpError::FreeVariable(j));
+            }
+        }
+        let ax = self.a.matvec(&x_nb)?;
+        let w: Vec<f64> = self.b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        // Factorize the basis.
+        let mut bmat = DenseMatrix::zeros(m, m);
+        for (i, &j) in basis.cols.iter().enumerate() {
+            for r in 0..m {
+                bmat.set(r, i, self.a.get(r, j));
+            }
+        }
+        let eta = EtaFile::factorize(&bmat)?;
+        self.xb = eta.ftran(&w)?;
+        self.eta = Some(eta);
+        self.cb = basis.cols.iter().map(|&j| self.c[j]).collect();
+        self.lbb = basis.cols.iter().map(|&j| self.lb[j]).collect();
+        self.ubb = basis.cols.iter().map(|&j| self.ub[j]).collect();
+        self.gamma = vec![1.0; n];
+        self.alpha = None;
+        self.alpha_r = None;
+        Ok(())
+    }
+
+    fn append_cut(&mut self, row: &[f64], col: &[f64]) -> LpResult<()> {
+        self.a.push_row(row)?;
+        self.a.push_col(col)?;
+        Ok(())
+    }
+
+    fn price(&mut self) -> LpResult<Option<(usize, f64)>> {
+        let y = self.eta()?.btran(&self.cb)?;
+        let aty = self.a.matvec_transposed(&y)?;
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.n() {
+            if self.sigma[j] == 0.0 {
+                continue;
+            }
+            let d = self.c[j] - aty[j];
+            let score = self.sigma[j] * d;
+            if best.is_none_or(|(_, b)| score < b) {
+                best = Some((j, score));
+            }
+        }
+        Ok(best)
+    }
+
+    fn reduced_costs_host(&mut self) -> LpResult<Vec<f64>> {
+        let y = self.eta()?.btran(&self.cb)?;
+        let aty = self.a.matvec_transposed(&y)?;
+        Ok(self.c.iter().zip(&aty).map(|(ci, ai)| ci - ai).collect())
+    }
+
+    fn ftran_column(&mut self, q: usize) -> LpResult<()> {
+        let col = self.a.col(q);
+        self.alpha = Some(self.eta()?.ftran(&col)?);
+        Ok(())
+    }
+
+    fn alpha_entry(&mut self, i: usize) -> LpResult<f64> {
+        Ok(self.alpha()?[i])
+    }
+
+    fn ratio_test(&mut self, dir: f64, tol: f64) -> LpResult<Option<(usize, f64, bool)>> {
+        let alpha = self.alpha()?;
+        let mut best: Option<(usize, f64, bool)> = None;
+        for i in 0..self.m() {
+            let ae = dir * alpha[i];
+            let (t, upper) = if ae > tol {
+                if self.lbb[i].is_infinite() {
+                    continue;
+                }
+                (((self.xb[i] - self.lbb[i]) / ae).max(0.0), false)
+            } else if ae < -tol {
+                if self.ubb[i].is_infinite() {
+                    continue;
+                }
+                (((self.xb[i] - self.ubb[i]) / ae).max(0.0), true)
+            } else {
+                continue;
+            };
+            if best.is_none_or(|(_, bt, _)| t < bt - 1e-12) {
+                best = Some((i, t, upper));
+            }
+        }
+        Ok(best)
+    }
+
+    fn apply_flip(&mut self, q: usize, dir: f64, t: f64, new_sigma: f64) -> LpResult<()> {
+        let alpha = self.alpha()?.clone();
+        for (xi, ai) in self.xb.iter_mut().zip(&alpha) {
+            *xi -= dir * t * ai;
+        }
+        self.sigma[q] = new_sigma;
+        Ok(())
+    }
+
+    fn apply_pivot(&mut self, plan: &PivotPlan) -> LpResult<()> {
+        let alpha = self.alpha()?.clone();
+        for (xi, ai) in self.xb.iter_mut().zip(&alpha) {
+            *xi -= plan.dir * plan.t * ai;
+        }
+        self.xb[plan.r] = plan.entering_val;
+        self.eta
+            .as_mut()
+            .ok_or(LpError::NotInstalled)?
+            .update(plan.r, alpha)?;
+        self.sigma[plan.leaving_j] = if self.lb[plan.leaving_j] == self.ub[plan.leaving_j] {
+            0.0
+        } else {
+            plan.leaving_sigma
+        };
+        self.sigma[plan.q] = 0.0;
+        self.cb[plan.r] = plan.c_q;
+        self.lbb[plan.r] = plan.lb_q;
+        self.ubb[plan.r] = plan.ub_q;
+        self.alpha = None;
+        self.alpha_r = None;
+        Ok(())
+    }
+
+    fn basic_values(&mut self) -> LpResult<Vec<f64>> {
+        Ok(self.xb.clone())
+    }
+
+    fn basic_entry(&mut self, i: usize) -> LpResult<f64> {
+        self.xb.get(i).copied().ok_or(LpError::Shape(format!(
+            "basic_entry {i} of {}",
+            self.xb.len()
+        )))
+    }
+
+    fn eta_count(&self) -> usize {
+        self.eta.as_ref().map_or(0, EtaFile::eta_count)
+    }
+
+    fn primal_infeas(&mut self, tol: f64) -> LpResult<Option<(usize, f64, bool)>> {
+        let mut best: Option<(usize, f64, bool)> = None;
+        for i in 0..self.m() {
+            let (viol, below) = if self.xb[i] < self.lbb[i] - tol {
+                (self.lbb[i] - self.xb[i], true)
+            } else if self.xb[i] > self.ubb[i] + tol {
+                (self.xb[i] - self.ubb[i], false)
+            } else {
+                continue;
+            };
+            if best.is_none_or(|(_, bv, _)| viol > bv) {
+                best = Some((i, viol, below));
+            }
+        }
+        Ok(best)
+    }
+
+    fn btran_row(&mut self, r: usize) -> LpResult<()> {
+        let m = self.m();
+        let mut e = vec![0.0; m];
+        e[r] = 1.0;
+        let rho = self.eta()?.btran(&e)?;
+        self.alpha_r = Some(self.a.matvec_transposed(&rho)?);
+        Ok(())
+    }
+
+    fn dual_ratio(&mut self, leaving_below: bool, tol: f64) -> LpResult<Option<(usize, f64)>> {
+        let d = self.reduced_costs_host()?;
+        let ar = self.alpha_r.as_ref().ok_or(LpError::NotInstalled)?;
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..self.n() {
+            let eligible = match (self.sigma[j], leaving_below) {
+                (s, true) if s < 0.0 => ar[j] < -tol,
+                (s, true) if s > 0.0 => ar[j] > tol,
+                (s, false) if s < 0.0 => ar[j] > tol,
+                (s, false) if s > 0.0 => ar[j] < -tol,
+                _ => false,
+            };
+            if !eligible {
+                continue;
+            }
+            let ratio = (d[j] / ar[j]).abs();
+            if best.is_none_or(|(_, br)| ratio < br - 1e-12) {
+                best = Some((j, ratio));
+            }
+        }
+        Ok(best)
+    }
+
+    fn alpha_r_entry(&mut self, j: usize) -> LpResult<f64> {
+        Ok(self.alpha_r.as_ref().ok_or(LpError::NotInstalled)?[j])
+    }
+
+    fn btran_row_host(&mut self, r: usize) -> LpResult<Vec<f64>> {
+        self.btran_row(r)?;
+        Ok(self.alpha_r.clone().expect("btran_row just set alpha_r"))
+    }
+
+    fn dual_prices(&mut self) -> LpResult<Vec<f64>> {
+        self.eta()?.btran(&self.cb).map_err(LpError::from)
+    }
+
+    fn price_devex(&mut self) -> LpResult<Option<(usize, f64)>> {
+        let y = self.eta()?.btran(&self.cb)?;
+        let aty = self.a.matvec_transposed(&y)?;
+        let mut best: Option<(usize, f64, f64)> = None; // (j, merit, sigma_d)
+        for j in 0..self.n() {
+            if self.sigma[j] == 0.0 {
+                continue;
+            }
+            let d = self.c[j] - aty[j];
+            let sd = self.sigma[j] * d;
+            if sd >= 0.0 {
+                continue;
+            }
+            let merit = d * d / self.gamma[j].max(1e-12);
+            if best.is_none_or(|(_, bm, _)| merit > bm) {
+                best = Some((j, merit, sd));
+            }
+        }
+        Ok(best.map(|(j, _, sd)| (j, sd)))
+    }
+
+    fn devex_update(&mut self, q: usize, leaving_j: usize) -> LpResult<()> {
+        let ar = self.alpha_r.as_ref().ok_or(LpError::NotInstalled)?;
+        let arq = ar[q];
+        if arq.abs() < 1e-12 {
+            return Err(LpError::Shape("devex update with zero pivot".into()));
+        }
+        let gamma_q = self.gamma[q];
+        for (gj, arj) in self.gamma.iter_mut().zip(ar.iter()) {
+            let ratio = arj / arq;
+            let cand = ratio * ratio * gamma_q;
+            if cand > *gj {
+                *gj = cand;
+            }
+        }
+        self.gamma[leaving_j] = (gamma_q / (arq * arq)).max(1.0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2x4 system: x0 + x2 = 4, x1 + x3 = 3 (identity slack basis on cols
+    /// 2,3). c = [3, 2, 0, 0], all lb 0, ub inf.
+    fn setup() -> (HostEngine, Basis, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let a =
+            DenseMatrix::from_rows(&[vec![1.0, 0.0, 1.0, 0.0], vec![0.0, 1.0, 0.0, 1.0]]).unwrap();
+        let engine = HostEngine::new(a);
+        let basis = Basis::with_basic_cols(vec![2, 3], 4);
+        let c = vec![3.0, 2.0, 0.0, 0.0];
+        let lb = vec![0.0; 4];
+        let ub = vec![f64::INFINITY; 4];
+        let b = vec![4.0, 3.0];
+        (engine, basis, c, lb, ub, b)
+    }
+
+    #[test]
+    fn install_computes_slack_basics() {
+        let (mut e, basis, c, lb, ub, b) = setup();
+        e.install(
+            ProblemView {
+                c: &c,
+                lb: &lb,
+                ub: &ub,
+                b: &b,
+            },
+            &basis,
+        )
+        .unwrap();
+        assert_eq!(e.basic_values().unwrap(), vec![4.0, 3.0]);
+        assert_eq!(e.eta_count(), 0);
+    }
+
+    #[test]
+    fn price_picks_most_improving() {
+        let (mut e, basis, c, lb, ub, b) = setup();
+        e.install(
+            ProblemView {
+                c: &c,
+                lb: &lb,
+                ub: &ub,
+                b: &b,
+            },
+            &basis,
+        )
+        .unwrap();
+        // d = c (y = 0); scores: sigma=-1 → -3 for x0, -2 for x1.
+        let (j, score) = e.price().unwrap().unwrap();
+        assert_eq!(j, 0);
+        assert!((score + 3.0).abs() < 1e-12);
+        let d = e.reduced_costs_host().unwrap();
+        assert_eq!(d, vec![3.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ftran_ratio_pivot_cycle() {
+        let (mut e, mut basis, c, lb, ub, b) = setup();
+        e.install(
+            ProblemView {
+                c: &c,
+                lb: &lb,
+                ub: &ub,
+                b: &b,
+            },
+            &basis,
+        )
+        .unwrap();
+        e.ftran_column(0).unwrap();
+        assert_eq!(e.alpha_entry(0).unwrap(), 1.0);
+        assert_eq!(e.alpha_entry(1).unwrap(), 0.0);
+        let (r, t, upper) = e.ratio_test(1.0, 1e-9).unwrap().unwrap();
+        assert_eq!(r, 0);
+        assert_eq!(t, 4.0);
+        assert!(!upper);
+        e.apply_pivot(&PivotPlan {
+            r,
+            q: 0,
+            leaving_j: 2,
+            dir: 1.0,
+            t,
+            entering_val: 4.0,
+            leaving_sigma: -1.0,
+            c_q: 3.0,
+            lb_q: 0.0,
+            ub_q: f64::INFINITY,
+        })
+        .unwrap();
+        basis.pivot(r, 0, VarStatus::AtLower);
+        assert_eq!(e.basic_values().unwrap(), vec![4.0, 3.0]);
+        assert_eq!(e.eta_count(), 1);
+        // x0 now basic; pricing should propose x1.
+        let (j, _) = e.price().unwrap().unwrap();
+        assert_eq!(j, 1);
+    }
+
+    #[test]
+    fn primal_infeasibility_detection() {
+        let (mut e, basis, c, lb, mut ub, b) = setup();
+        // Force slack 2's upper bound below its basic value 4.
+        ub[2] = 1.0;
+        e.install(
+            ProblemView {
+                c: &c,
+                lb: &lb,
+                ub: &ub,
+                b: &b,
+            },
+            &basis,
+        )
+        .unwrap();
+        let (r, viol, below) = e.primal_infeas(1e-9).unwrap().unwrap();
+        assert_eq!(r, 0);
+        assert!((viol - 3.0).abs() < 1e-12);
+        assert!(!below);
+        // BTRAN row of the violated row: identity basis → row 0 of A.
+        e.btran_row(0).unwrap();
+        assert_eq!(e.alpha_r_entry(0).unwrap(), 1.0);
+        assert_eq!(e.alpha_r_entry(1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn install_shape_checked() {
+        let (mut e, basis, c, lb, ub, _) = setup();
+        let bad_b = vec![1.0];
+        assert!(e
+            .install(
+                ProblemView {
+                    c: &c,
+                    lb: &lb,
+                    ub: &ub,
+                    b: &bad_b
+                },
+                &basis
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn not_installed_errors() {
+        let (mut e, _, _, _, _, _) = setup();
+        assert!(matches!(e.price(), Err(LpError::NotInstalled)));
+        assert!(e.ftran_column(0).is_err());
+    }
+
+    #[test]
+    fn state_machine_misuse_is_reported_not_panicking() {
+        let (mut e, basis, c, lb, ub, b) = setup();
+        e.install(
+            ProblemView {
+                c: &c,
+                lb: &lb,
+                ub: &ub,
+                b: &b,
+            },
+            &basis,
+        )
+        .unwrap();
+        // Ratio test / pivot / alpha access before any FTRAN.
+        assert!(matches!(
+            e.ratio_test(1.0, 1e-9),
+            Err(LpError::NotInstalled)
+        ));
+        assert!(matches!(e.alpha_entry(0), Err(LpError::NotInstalled)));
+        assert!(e
+            .apply_pivot(&PivotPlan {
+                r: 0,
+                q: 0,
+                leaving_j: 2,
+                dir: 1.0,
+                t: 0.0,
+                entering_val: 0.0,
+                leaving_sigma: -1.0,
+                c_q: 0.0,
+                lb_q: 0.0,
+                ub_q: 1.0,
+            })
+            .is_err());
+        // Dual accessors before btran_row.
+        assert!(matches!(e.alpha_r_entry(0), Err(LpError::NotInstalled)));
+        assert!(e.dual_ratio(true, 1e-9).is_err());
+        // Devex update before btran_row.
+        assert!(e.devex_update(0, 2).is_err());
+        // After a proper FTRAN/BTRAN everything works again.
+        e.ftran_column(0).unwrap();
+        assert!(e.ratio_test(1.0, 1e-9).is_ok());
+        e.btran_row(0).unwrap();
+        assert!(e.alpha_r_entry(0).is_ok());
+    }
+
+    #[test]
+    fn devex_pricing_agrees_with_dantzig_on_direction() {
+        let (mut e, basis, c, lb, ub, b) = setup();
+        e.install(
+            ProblemView {
+                c: &c,
+                lb: &lb,
+                ub: &ub,
+                b: &b,
+            },
+            &basis,
+        )
+        .unwrap();
+        // Fresh weights are all 1, so Devex merit d² picks the same column
+        // as Dantzig's |σd| here (d = [3,2,0,0], all at lower).
+        let (jd, sd) = e.price().unwrap().unwrap();
+        let (jx, sx) = e.price_devex().unwrap().unwrap();
+        assert_eq!(jd, jx);
+        assert_eq!(sd, sx);
+    }
+
+    #[test]
+    fn append_cut_grows_engine() {
+        let (mut e, _, _, _, _, _) = setup();
+        e.append_cut(&[1.0, 1.0, 0.0, 0.0], &[0.0, 0.0, 1.0])
+            .unwrap();
+        assert_eq!(e.m(), 3);
+        assert_eq!(e.n(), 5);
+    }
+}

@@ -1,0 +1,333 @@
+//! A primal-dual path-following interior-point method (IPM) for LP.
+//!
+//! The paper's related work (Section 2.3): "Linear programming solvers using
+//! an interior point method is the preferred method for solving sparse
+//! problems, which are prevalent in real-world scenarios. GPU based
+//! implementations of interior point methods have been proposed in
+//! [10, 17, 23]." This module provides that alternative algorithm next to
+//! the simplex engines: each iteration forms the normal-equations matrix
+//! `A D Aᵀ` and solves it with the Cholesky factorization of
+//! [`gmip_linalg::cholesky`] — exactly the dense-factorization workload
+//! Section 4.1 says GPUs are good at. When an accelerator is supplied, the
+//! per-iteration kernels (scaling, the `A D Aᵀ` product, `potrf`, solves)
+//! are charged to its cost ledger.
+//!
+//! Scope: solves bounded-feasible LPs in the [`StandardLp`] equality form
+//! with finite lower bounds (all instances produced by `gmip-problems`
+//! qualify). Unlike the simplex path it needs no basis and no phase 1 — an
+//! interior point is synthesized directly — but it yields no warm-startable
+//! basis, which is why branch and cut keeps simplex for node re-solves and
+//! IPM serves as an alternative root solver.
+
+use crate::problem::StandardLp;
+use crate::{LpError, LpResult};
+use gmip_gpu::{Accel, DEFAULT_STREAM};
+use gmip_linalg::cholesky::CholeskyFactors;
+use gmip_linalg::DenseMatrix;
+
+/// IPM tuning parameters.
+#[derive(Debug, Clone)]
+pub struct IpmConfig {
+    /// Convergence tolerance on (relative) primal/dual residuals and the
+    /// complementarity measure µ.
+    pub tol: f64,
+    /// Centering parameter σ ∈ (0, 1).
+    pub sigma: f64,
+    /// Fraction-to-boundary step damping.
+    pub step_frac: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for IpmConfig {
+    fn default() -> Self {
+        Self {
+            tol: 1e-8,
+            sigma: 0.1,
+            step_frac: 0.9995,
+            max_iters: 200,
+        }
+    }
+}
+
+/// Result of an IPM solve.
+#[derive(Debug, Clone)]
+pub struct IpmSolution {
+    /// Objective in the source sense.
+    pub objective: f64,
+    /// Structural variable values.
+    pub x: Vec<f64>,
+    /// Interior-point iterations performed.
+    pub iterations: usize,
+    /// Final complementarity measure µ.
+    pub mu: f64,
+}
+
+/// Solves the LP with a primal-dual path-following IPM. If `accel` is
+/// given, per-iteration kernel costs are charged to it.
+pub fn solve_ipm(lp: &StandardLp, cfg: &IpmConfig, accel: Option<&Accel>) -> LpResult<IpmSolution> {
+    let m = lp.m();
+    let n = lp.n();
+    // Shift to x̃ = x − lb ∈ [0, ũ]; internal sense: minimize −c.
+    for (j, &l) in lp.lb.iter().enumerate() {
+        if !l.is_finite() {
+            return Err(LpError::FreeVariable(j));
+        }
+    }
+    let u_shift: Vec<f64> = lp
+        .ub
+        .iter()
+        .zip(&lp.lb)
+        .map(|(&u, &l)| if u.is_finite() { u - l } else { f64::INFINITY })
+        .collect();
+    for (j, &u) in u_shift.iter().enumerate() {
+        if u < 1e-12 {
+            return Err(LpError::Shape(format!(
+                "IPM requires non-degenerate bounds; variable {j} is fixed"
+            )));
+        }
+    }
+    let c_min: Vec<f64> = lp.c.iter().map(|&c| -c).collect();
+    let a_lb = lp.a.matvec(&lp.lb)?;
+    let b_shift: Vec<f64> = lp.b.iter().zip(&a_lb).map(|(&b, &al)| b - al).collect();
+
+    // Interior start.
+    let mut x: Vec<f64> = u_shift
+        .iter()
+        .map(|&u| {
+            if u.is_finite() {
+                (u / 2.0).clamp(1e-3, 1.0)
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let mut y = vec![0.0; m];
+    let mut z = vec![1.0; n];
+    let mut w: Vec<f64> = u_shift
+        .iter()
+        .map(|&u| if u.is_finite() { 1.0 } else { 0.0 })
+        .collect();
+    let n_upper = u_shift.iter().filter(|u| u.is_finite()).count();
+
+    let norm_b = 1.0 + b_shift.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+    let norm_c = 1.0 + c_min.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+
+    let charge = |fl: f64, bytes: f64| {
+        if let Some(acc) = accel {
+            acc.with(|d| d.charge_custom(fl, bytes, false, DEFAULT_STREAM));
+        }
+    };
+
+    let mut mu;
+    for iter in 0..cfg.max_iters {
+        // Residuals.
+        let ax = lp.a.matvec(&x)?;
+        let rp: Vec<f64> = b_shift.iter().zip(&ax).map(|(&b, &v)| b - v).collect();
+        let aty = lp.a.matvec_transposed(&y)?;
+        let rd: Vec<f64> = (0..n).map(|j| c_min[j] - aty[j] - z[j] + w[j]).collect();
+        // Complementarity.
+        let mut comp = 0.0;
+        for j in 0..n {
+            comp += x[j] * z[j];
+            if u_shift[j].is_finite() {
+                comp += (u_shift[j] - x[j]) * w[j];
+            }
+        }
+        mu = comp / (n + n_upper) as f64;
+        let rp_norm = rp.iter().fold(0.0f64, |a, &v| a.max(v.abs())) / norm_b;
+        let rd_norm = rd.iter().fold(0.0f64, |a, &v| a.max(v.abs())) / norm_c;
+        if rp_norm < cfg.tol && rd_norm < cfg.tol && mu < cfg.tol {
+            let x_orig: Vec<f64> = x.iter().zip(&lp.lb).map(|(&xt, &l)| xt + l).collect();
+            let structural = x_orig[..lp.n_structural].to_vec();
+            let objective = lp.source_objective(&structural);
+            return Ok(IpmSolution {
+                objective,
+                x: structural,
+                iterations: iter,
+                mu,
+            });
+        }
+
+        // Scaling D and the reduced dual residual r̂.
+        let target = cfg.sigma * mu;
+        let mut d = vec![0.0; n];
+        let mut r_hat = vec![0.0; n];
+        for j in 0..n {
+            let mut dinv = z[j] / x[j];
+            let mut rh = rd[j] - target / x[j] + z[j];
+            if u_shift[j].is_finite() {
+                let s = u_shift[j] - x[j];
+                dinv += w[j] / s;
+                rh += target / s - w[j];
+            }
+            d[j] = 1.0 / dinv;
+            r_hat[j] = rh;
+        }
+
+        // Normal equations: (A D Aᵀ) Δy = rp + A D r̂.
+        let mut adat = DenseMatrix::zeros(m, m);
+        for i in 0..m {
+            for k in i..m {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += lp.a.get(i, j) * d[j] * lp.a.get(k, j);
+                }
+                adat.set(i, k, acc);
+                adat.set(k, i, acc);
+            }
+        }
+        let mut rhs = rp.clone();
+        for i in 0..m {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += lp.a.get(i, j) * d[j] * r_hat[j];
+            }
+            rhs[i] += acc;
+        }
+        // Device charging: scaling + ADAᵀ assembly + Cholesky + 2 solves.
+        charge(
+            (m * m) as f64 * n as f64
+                + (m * n) as f64 * 3.0
+                + (m as f64).powi(3) / 3.0
+                + 2.0 * (m * m) as f64,
+            (m * n * 8) as f64,
+        );
+        let chol = CholeskyFactors::factorize(&adat).map_err(LpError::Numerics)?;
+        let dy = chol.solve(&rhs).map_err(LpError::Numerics)?;
+
+        // Recover Δx, Δz, Δw.
+        let at_dy = lp.a.matvec_transposed(&dy)?;
+        let mut dx = vec![0.0; n];
+        let mut dz = vec![0.0; n];
+        let mut dw = vec![0.0; n];
+        for j in 0..n {
+            dx[j] = d[j] * (at_dy[j] - r_hat[j]);
+            dz[j] = (target - x[j] * z[j] - z[j] * dx[j]) / x[j];
+            if u_shift[j].is_finite() {
+                let s = u_shift[j] - x[j];
+                dw[j] = (target - s * w[j] + w[j] * dx[j]) / s;
+            }
+        }
+
+        // Fraction-to-boundary step lengths.
+        let mut alpha_p = 1.0f64;
+        let mut alpha_d = 1.0f64;
+        for j in 0..n {
+            if dx[j] < 0.0 {
+                alpha_p = alpha_p.min(-x[j] / dx[j]);
+            }
+            if u_shift[j].is_finite() && dx[j] > 0.0 {
+                alpha_p = alpha_p.min((u_shift[j] - x[j]) / dx[j]);
+            }
+            if dz[j] < 0.0 {
+                alpha_d = alpha_d.min(-z[j] / dz[j]);
+            }
+            if u_shift[j].is_finite() && dw[j] < 0.0 {
+                alpha_d = alpha_d.min(-w[j] / dw[j]);
+            }
+        }
+        let alpha_p = (cfg.step_frac * alpha_p).min(1.0);
+        let alpha_d = (cfg.step_frac * alpha_d).min(1.0);
+
+        for j in 0..n {
+            x[j] += alpha_p * dx[j];
+            z[j] += alpha_d * dz[j];
+            if u_shift[j].is_finite() {
+                w[j] += alpha_d * dw[j];
+            }
+        }
+        for i in 0..m {
+            y[i] += alpha_d * dy[i];
+        }
+    }
+    Err(LpError::IterationLimit {
+        iterations: cfg.max_iters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::HostEngine;
+    use crate::solver::{LpConfig, LpSolver, LpStatus};
+    use gmip_problems::catalog::textbook_lp;
+    use gmip_problems::generators::{random_mip, set_cover, RandomMipConfig};
+
+    fn simplex_objective(inst: &gmip_problems::MipInstance) -> f64 {
+        let std = StandardLp::from_instance(inst, &[]);
+        let mut lp = LpSolver::new(std, LpConfig::standard(), |a| HostEngine::new(a.clone()));
+        let sol = lp.solve().expect("simplex");
+        assert_eq!(sol.status, LpStatus::Optimal);
+        sol.objective
+    }
+
+    #[test]
+    fn ipm_matches_simplex_on_textbook_lp() {
+        let inst = textbook_lp();
+        let std = StandardLp::from_instance(&inst, &[]);
+        let sol = solve_ipm(&std, &IpmConfig::default(), None).expect("ipm");
+        assert!(
+            (sol.objective - 21.0).abs() < 1e-5,
+            "obj = {}",
+            sol.objective
+        );
+        assert!((sol.x[0] - 3.0).abs() < 1e-4);
+        assert!((sol.x[1] - 1.5).abs() < 1e-4);
+        assert!(sol.mu < 1e-7);
+    }
+
+    #[test]
+    fn ipm_matches_simplex_on_random_lps() {
+        for seed in 0..5 {
+            let inst = random_mip(&RandomMipConfig {
+                rows: 6,
+                cols: 12,
+                density: 0.6,
+                integral_fraction: 0.0,
+                seed,
+            });
+            let expected = simplex_objective(&inst);
+            let std = StandardLp::from_instance(&inst, &[]);
+            let sol = solve_ipm(&std, &IpmConfig::default(), None).expect("ipm");
+            assert!(
+                (sol.objective - expected).abs() < 1e-4 * (1.0 + expected.abs()),
+                "seed {seed}: ipm {} vs simplex {expected}",
+                sol.objective
+            );
+        }
+    }
+
+    #[test]
+    fn ipm_handles_minimize_and_sparse_rows() {
+        let inst = set_cover(8, 8, 0.4, 2);
+        let expected = simplex_objective(&inst);
+        let std = StandardLp::from_instance(&inst, &[]);
+        let sol = solve_ipm(&std, &IpmConfig::default(), None).expect("ipm");
+        assert!(
+            (sol.objective - expected).abs() < 1e-4 * (1.0 + expected.abs()),
+            "ipm {} vs simplex {expected}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn ipm_charges_device_when_given() {
+        let inst = textbook_lp();
+        let std = StandardLp::from_instance(&inst, &[]);
+        let accel = Accel::gpu(1);
+        let sol = solve_ipm(&std, &IpmConfig::default(), Some(&accel)).expect("ipm");
+        assert!((sol.objective - 21.0).abs() < 1e-5);
+        let s = accel.stats();
+        assert_eq!(s.kernel_launches as usize, sol.iterations);
+        assert!(s.flops > 0.0);
+    }
+
+    #[test]
+    fn fixed_variable_rejected() {
+        let inst = textbook_lp();
+        let mut std = StandardLp::from_instance(&inst, &[]);
+        std.ub[0] = std.lb[0]; // degenerate
+        assert!(solve_ipm(&std, &IpmConfig::default(), None).is_err());
+    }
+}

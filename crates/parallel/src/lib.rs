@@ -1,0 +1,35 @@
+//! # gmip-parallel
+//!
+//! Simulated-cluster parallel branch and bound: the UG-style
+//! Supervisor–Worker coordination of the paper's Section 2.3, realized two
+//! ways over the same message/worker substrate:
+//!
+//! * [`supervisor`] — a deterministic **discrete-event** cluster: worker
+//!   devices charge simulated time, messages pay a [`comm::NetworkModel`],
+//!   and the makespan is a logical clock (experiments E5/E6);
+//! * [`threaded`] — the same coordination over real OS threads and
+//!   crossbeam channels (true MIMD host parallelism, nondeterministic
+//!   scheduling, deterministic answers);
+//! * [`worker`] — a worker rank: one simulated device, matrix uploaded
+//!   once, warm dual re-solves per assignment (Sections 5.1/5.3);
+//! * [`comm`] — typed messages with byte-accurate transfer charging;
+//! * [`checkpoint`] — distributed consistent snapshots and restart
+//!   (Section 2.1's parallel-snapshot problem + UG's checkpointing).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod checkpoint;
+pub mod comm;
+pub mod supervisor;
+pub mod threaded;
+pub mod worker;
+
+pub use checkpoint::Checkpoint;
+pub use comm::{Assignment, NetworkModel, NodeOutcome, NodeReport};
+pub use supervisor::{
+    solve_parallel, LoadBalance, ParPayload, ParallelConfig, ParallelResult, ParallelStats,
+    Supervisor,
+};
+pub use threaded::{solve_threaded, ThreadedResult};
+pub use worker::Worker;

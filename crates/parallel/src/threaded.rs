@@ -1,0 +1,284 @@
+//! Real-thread execution of the supervisor–worker pattern.
+//!
+//! The discrete-event [`crate::supervisor`] gives deterministic *simulated*
+//! makespans; this module runs the same coordination over actual OS threads
+//! and crossbeam channels — true MIMD host parallelism with asynchronous
+//! report arrival, the way a Pthreads-based `FiberSCIP`-style deployment
+//! would behave (Section 2.3). Results are nondeterministic in *path* but
+//! must be deterministic in *answer*; the tests assert exactly that.
+
+use crate::comm::{Assignment, NodeOutcome, NodeReport};
+use crate::supervisor::{ParPayload, ParallelConfig};
+use crate::worker::Worker;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gmip_core::MipStatus;
+use gmip_lp::{BoundChange, LpError, LpResult};
+use gmip_problems::{MipInstance, Objective};
+use gmip_tree::{NodeState, SearchTree};
+use std::collections::HashMap;
+
+enum WorkerMsg {
+    Work(Assignment),
+    Shutdown,
+}
+
+/// Result of a threaded parallel solve.
+#[derive(Debug)]
+pub struct ThreadedResult {
+    /// Terminal status.
+    pub status: MipStatus,
+    /// Incumbent objective (source sense; NaN if none).
+    pub objective: f64,
+    /// Incumbent point.
+    pub x: Vec<f64>,
+    /// Nodes evaluated.
+    pub nodes: usize,
+    /// Wall-clock milliseconds of the parallel section.
+    pub wall_ms: f64,
+}
+
+/// Solves `instance` with `cfg.workers` OS threads.
+pub fn solve_threaded(instance: &MipInstance, cfg: &ParallelConfig) -> LpResult<ThreadedResult> {
+    let started = std::time::Instant::now();
+
+    let (report_tx, report_rx): (Sender<Result<NodeReport, LpError>>, Receiver<_>) = unbounded();
+    let mut work_txs: Vec<Sender<WorkerMsg>> = Vec::new();
+    let mut handles = Vec::new();
+    for id in 0..cfg.workers {
+        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+        work_txs.push(tx);
+        let rtx = report_tx.clone();
+        let inst = instance.clone();
+        let gpu_cost = cfg.gpu_cost.clone();
+        let (gpu_mem, lp_cfg, int_tol) = (cfg.gpu_mem, cfg.lp.clone(), cfg.int_tol);
+        handles.push(std::thread::spawn(move || {
+            let mut worker = match Worker::new(id, &inst, gpu_cost, gpu_mem, lp_cfg, int_tol) {
+                Ok(w) => w,
+                Err(e) => {
+                    let _ = rtx.send(Err(e));
+                    return;
+                }
+            };
+            while let Ok(WorkerMsg::Work(a)) = rx.recv() {
+                if rtx.send(worker.evaluate(&a)).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    drop(report_tx);
+
+    let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
+    let mut tree: SearchTree<ParPayload> = SearchTree::with_root(ParPayload::default(), node_bytes);
+    let mut idle: Vec<usize> = (0..cfg.workers).collect();
+    let mut assigned: HashMap<usize, usize> = HashMap::new(); // node → worker
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut nodes = 0usize;
+    let mut worker_error: Option<LpError> = None;
+
+    loop {
+        // Dispatch best-bound nodes to idle workers.
+        while !idle.is_empty() && nodes + assigned.len() < cfg.node_limit {
+            let Some(id) = tree.active_ids().iter().copied().min_by(|&a, &b| {
+                tree.node(b)
+                    .bound
+                    .partial_cmp(&tree.node(a).bound)
+                    .expect("bounds are never NaN")
+                    .then(a.cmp(&b))
+            }) else {
+                break;
+            };
+            let w = idle.pop().expect("checked non-empty");
+            tree.begin_evaluation(id);
+            let node = tree.node(id);
+            let a = Assignment {
+                node_id: id,
+                bounds: node.data.bounds.clone(),
+                warm_basis: if cfg.warm_start {
+                    node.data.warm_basis.clone()
+                } else {
+                    None
+                },
+                incumbent: incumbent
+                    .as_ref()
+                    .map(|(v, _)| *v)
+                    .unwrap_or(f64::NEG_INFINITY),
+            };
+            assigned.insert(id, w);
+            work_txs[w]
+                .send(WorkerMsg::Work(a))
+                .expect("worker thread alive");
+        }
+        if assigned.is_empty() {
+            break; // nothing running, nothing dispatchable
+        }
+        // Block for the next report.
+        let report = match report_rx.recv().expect("workers alive while in flight") {
+            Ok(r) => r,
+            Err(e) => {
+                worker_error = Some(e);
+                break;
+            }
+        };
+        nodes += 1;
+        let id = report.node_id;
+        let w = assigned.remove(&id).expect("node was assigned");
+        idle.push(w);
+
+        match report.outcome {
+            NodeOutcome::Infeasible => tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY),
+            NodeOutcome::Pruned { bound } => tree.settle(id, NodeState::Pruned, bound),
+            NodeOutcome::IntegerFeasible { internal: iv, x } => {
+                tree.settle(id, NodeState::Feasible, iv);
+                let cur = incumbent
+                    .as_ref()
+                    .map(|(v, _)| *v)
+                    .unwrap_or(f64::NEG_INFINITY);
+                if iv > cur {
+                    incumbent = Some((iv, x));
+                    tree.prune_dominated(iv, cfg.prune_tol);
+                }
+            }
+            NodeOutcome::Branch {
+                bound,
+                var,
+                value,
+                basis,
+            } => {
+                let cur = incumbent
+                    .as_ref()
+                    .map(|(v, _)| *v)
+                    .unwrap_or(f64::NEG_INFINITY);
+                if bound <= cur + cfg.prune_tol {
+                    tree.settle(id, NodeState::Pruned, bound);
+                } else {
+                    let parent_bounds = tree.node(id).data.bounds.clone();
+                    let (mut lo, mut hi) = (instance.vars[var].lb, instance.vars[var].ub);
+                    for bc in &parent_bounds {
+                        if bc.var == var {
+                            lo = bc.lb;
+                            hi = bc.ub;
+                        }
+                    }
+                    let mk = |up: bool| {
+                        let mut b = parent_bounds.clone();
+                        let label = if up {
+                            b.push(BoundChange {
+                                var,
+                                lb: value.ceil(),
+                                ub: hi,
+                            });
+                            format!("x{var} ≥ {}", value.ceil())
+                        } else {
+                            b.push(BoundChange {
+                                var,
+                                lb: lo,
+                                ub: value.floor(),
+                            });
+                            format!("x{var} ≤ {}", value.floor())
+                        };
+                        (
+                            label,
+                            ParPayload {
+                                bounds: b,
+                                warm_basis: basis.clone(),
+                                partition: 0,
+                            },
+                        )
+                    };
+                    tree.branch(id, bound, vec![mk(false), mk(true)]);
+                }
+            }
+        }
+    }
+
+    for tx in &work_txs {
+        let _ = tx.send(WorkerMsg::Shutdown);
+    }
+    drop(work_txs);
+    for h in handles {
+        let _ = h.join();
+    }
+    if let Some(e) = worker_error {
+        return Err(e);
+    }
+
+    let status = if tree.has_active() {
+        MipStatus::NodeLimit
+    } else if incumbent.is_some() {
+        MipStatus::Optimal
+    } else {
+        MipStatus::Infeasible
+    };
+    let (objective, x) = match incumbent {
+        Some((v, p)) => (
+            match instance.objective {
+                Objective::Maximize => v,
+                Objective::Minimize => -v,
+            },
+            p,
+        ),
+        None => (f64::NAN, Vec::new()),
+    };
+    Ok(ThreadedResult {
+        status,
+        objective,
+        x,
+        nodes,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmip_problems::catalog::{infeasible_instance, textbook_mip};
+    use gmip_problems::generators::knapsack::{knapsack, knapsack_brute_force};
+
+    fn cfg(workers: usize) -> ParallelConfig {
+        ParallelConfig {
+            workers,
+            gpu_mem: 1 << 24,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn threaded_matches_brute_force() {
+        let m = knapsack(12, 0.5, 3);
+        let expected = knapsack_brute_force(&m);
+        let r = solve_threaded(&m, &cfg(2)).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - expected).abs() < 1e-6);
+        assert!(r.nodes > 0);
+        assert!(r.wall_ms >= 0.0);
+    }
+
+    #[test]
+    fn threaded_textbook_and_infeasible() {
+        let r = solve_threaded(&textbook_mip(), &cfg(2)).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 20.0).abs() < 1e-6);
+        let r = solve_threaded(&infeasible_instance(), &cfg(2)).unwrap();
+        assert_eq!(r.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn answer_stable_across_repeated_nondeterministic_runs() {
+        let m = knapsack(14, 0.5, 8);
+        let expected = knapsack_brute_force(&m);
+        for _ in 0..3 {
+            let r = solve_threaded(&m, &cfg(4)).unwrap();
+            assert!((r.objective - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn node_limit_respected_threaded() {
+        let m = knapsack(24, 0.5, 2);
+        let mut c = cfg(2);
+        c.node_limit = 4;
+        let r = solve_threaded(&m, &c).unwrap();
+        assert_eq!(r.status, MipStatus::NodeLimit);
+    }
+}

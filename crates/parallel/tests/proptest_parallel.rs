@@ -1,0 +1,81 @@
+//! Property-based invariants of the parallel cluster.
+//!
+//! * The discrete-event supervisor–worker solve reaches the same optimum as
+//!   the sequential host solver on random instances;
+//! * worker count never changes the answer;
+//! * every mid-run snapshot restarts to the same optimum;
+//! * message/byte accounting is self-consistent (two messages per node).
+
+use gmip_core::{MipConfig, MipSolver, MipStatus};
+use gmip_parallel::{solve_parallel, ParallelConfig, Supervisor};
+use gmip_problems::generators::{random_mip, RandomMipConfig};
+use proptest::prelude::*;
+
+fn instance_strategy() -> impl Strategy<Value = gmip_problems::MipInstance> {
+    (2usize..5, 5usize..10, 0.4f64..0.9, 0u64..10_000).prop_map(|(rows, cols, density, seed)| {
+        random_mip(&RandomMipConfig {
+            rows,
+            cols,
+            density,
+            integral_fraction: 1.0,
+            seed,
+        })
+    })
+}
+
+fn host_optimum(inst: &gmip_problems::MipInstance) -> (MipStatus, f64) {
+    let mut s = MipSolver::host_baseline(inst.clone(), MipConfig::default());
+    let r = s.solve().expect("host solve");
+    (r.status, r.objective)
+}
+
+fn par_cfg(workers: usize) -> ParallelConfig {
+    ParallelConfig {
+        workers,
+        gpu_mem: 1 << 24,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cluster_matches_host(inst in instance_strategy(), workers in 1usize..5) {
+        let (hstatus, hobj) = host_optimum(&inst);
+        let r = solve_parallel(&inst, par_cfg(workers)).expect("parallel solve");
+        prop_assert_eq!(hstatus, r.status);
+        if hstatus == MipStatus::Optimal {
+            prop_assert!((hobj - r.objective).abs() < 1e-6,
+                "host {} vs cluster({workers}) {}", hobj, r.objective);
+        }
+        // Accounting: one assignment + one report per evaluated node.
+        prop_assert_eq!(r.stats.messages, 2 * r.stats.nodes);
+        prop_assert!(r.stats.message_bytes > 0 || r.stats.nodes == 0);
+    }
+
+    #[test]
+    fn snapshots_always_resume_to_optimum(inst in instance_strategy()) {
+        let (hstatus, hobj) = host_optimum(&inst);
+        if hstatus != MipStatus::Optimal {
+            return Ok(());
+        }
+        let partial = solve_parallel(
+            &inst,
+            ParallelConfig {
+                node_limit: 4,
+                checkpoint_every: Some(2),
+                ..par_cfg(2)
+            },
+        ).expect("partial run");
+        for snap in &partial.snapshots {
+            let resumed = Supervisor::restore(inst.clone(), par_cfg(2), snap)
+                .expect("restore")
+                .run()
+                .expect("resumed");
+            prop_assert_eq!(resumed.status, MipStatus::Optimal);
+            prop_assert!((resumed.objective - hobj).abs() < 1e-6,
+                "snapshot resume {} vs host {}", resumed.objective, hobj);
+        }
+    }
+}

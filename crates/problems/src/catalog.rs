@@ -1,0 +1,200 @@
+//! Named instance catalog used by tests, examples, and the experiment
+//! harness.
+
+use crate::generators::{
+    bin_packing, facility_location, fixed_charge_flow, generalized_assignment, knapsack,
+    random_mip, set_cover, unit_commitment, RandomMipConfig,
+};
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+
+/// The tiny instance used to render Figure 1's solution tree: a 4-item
+/// knapsack whose branch-and-bound tree exhibits feasible, infeasible, and
+/// pruned leaves.
+///
+/// maximize `10x₀ + 6x₁ + 4x₂ + 3x₃`
+/// s.t. `5x₀ + 4x₁ + 3x₂ + 2x₃ ≤ 8`, `x` binary. The LP relaxation is
+/// fractional (x₀ = 1, x₁ = 3/4), so real branching occurs.
+/// Optimum: 14 (x₀ = x₂ = 1).
+pub fn figure1_knapsack() -> MipInstance {
+    let mut m = MipInstance::new("figure1", Objective::Maximize);
+    m.add_var(Variable::binary("x0", 10.0));
+    m.add_var(Variable::binary("x1", 6.0));
+    m.add_var(Variable::binary("x2", 4.0));
+    m.add_var(Variable::binary("x3", 3.0));
+    m.add_con(Constraint::new(
+        "cap",
+        vec![(0, 5.0), (1, 4.0), (2, 3.0), (3, 2.0)],
+        Sense::Le,
+        8.0,
+    ));
+    m
+}
+
+/// A 2-variable LP-textbook instance with a fractional LP optimum, solvable
+/// by hand. maximize `5x + 4y` s.t. `6x + 4y ≤ 24`, `x + 2y ≤ 6`,
+/// `x, y ≥ 0` continuous. LP optimum 21 at `(3, 1.5)`.
+pub fn textbook_lp() -> MipInstance {
+    let mut m = MipInstance::new("textbook-lp", Objective::Maximize);
+    m.add_var(Variable::continuous("x", 0.0, f64::INFINITY, 5.0));
+    m.add_var(Variable::continuous("y", 0.0, f64::INFINITY, 4.0));
+    m.add_con(Constraint::new(
+        "c0",
+        vec![(0, 6.0), (1, 4.0)],
+        Sense::Le,
+        24.0,
+    ));
+    m.add_con(Constraint::new(
+        "c1",
+        vec![(0, 1.0), (1, 2.0)],
+        Sense::Le,
+        6.0,
+    ));
+    m
+}
+
+/// The same instance with integrality imposed; MIP optimum 20 at `(4, 0)`
+/// (LP rounding (3,1) or (3,2) is infeasible/suboptimal, so branching is
+/// exercised).
+pub fn textbook_mip() -> MipInstance {
+    let mut m = MipInstance::new("textbook-mip", Objective::Maximize);
+    m.add_var(Variable::integer("x", 0.0, 10.0, 5.0));
+    m.add_var(Variable::integer("y", 0.0, 10.0, 4.0));
+    m.add_con(Constraint::new(
+        "c0",
+        vec![(0, 6.0), (1, 4.0)],
+        Sense::Le,
+        24.0,
+    ));
+    m.add_con(Constraint::new(
+        "c1",
+        vec![(0, 1.0), (1, 2.0)],
+        Sense::Le,
+        6.0,
+    ));
+    m
+}
+
+/// An infeasible instance (`x ≥ 2` and `x ≤ 1`), for error-path coverage.
+pub fn infeasible_instance() -> MipInstance {
+    let mut m = MipInstance::new("infeasible", Objective::Maximize);
+    m.add_var(Variable::continuous("x", 0.0, 10.0, 1.0));
+    m.add_con(Constraint::new("ge2", vec![(0, 1.0)], Sense::Ge, 2.0));
+    m.add_con(Constraint::new("le1", vec![(0, 1.0)], Sense::Le, 1.0));
+    m
+}
+
+/// An unbounded instance (maximize x with no finite upper bound), for
+/// error-path coverage.
+pub fn unbounded_instance() -> MipInstance {
+    let mut m = MipInstance::new("unbounded", Objective::Maximize);
+    m.add_var(Variable::continuous("x", 0.0, f64::INFINITY, 1.0));
+    m.add_con(Constraint::new("dummy", vec![(0, -1.0)], Sense::Le, 0.0));
+    m
+}
+
+/// A descriptor in the benchmark suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Short identifier used in report tables.
+    pub id: &'static str,
+    /// The instance.
+    pub instance: MipInstance,
+}
+
+/// The standard small benchmark suite: one instance per generator family,
+/// sized to solve in well under a second so sweeps stay fast.
+pub fn small_suite() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry {
+            id: "knapsack-20",
+            instance: knapsack(20, 0.5, 101),
+        },
+        SuiteEntry {
+            id: "setcover-15x12",
+            instance: set_cover(15, 12, 0.3, 102),
+        },
+        SuiteEntry {
+            id: "gap-3x6",
+            instance: generalized_assignment(3, 6, 103),
+        },
+        SuiteEntry {
+            id: "ucommit-3x4",
+            instance: unit_commitment(3, 4, 104),
+        },
+        SuiteEntry {
+            id: "netflow-8",
+            instance: fixed_charge_flow(8, 4, 10.0, 105),
+        },
+        SuiteEntry {
+            id: "binpack-4",
+            instance: bin_packing(4, 1.0, 107),
+        },
+        SuiteEntry {
+            id: "facility-4x3",
+            instance: facility_location(4, 3, 40.0, 108),
+        },
+        SuiteEntry {
+            id: "random-12x24",
+            instance: random_mip(&RandomMipConfig {
+                rows: 12,
+                cols: 24,
+                density: 0.5,
+                integral_fraction: 0.5,
+                seed: 106,
+            }),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_instance_is_well_formed() {
+        let m = figure1_knapsack();
+        assert!(m.validate().is_ok());
+        // Known optimum by enumeration: x0=x2=1 → value 14, weight 8.
+        assert!(m.is_integer_feasible(&[1.0, 0.0, 1.0, 0.0], 1e-9));
+        assert_eq!(m.objective_value(&[1.0, 0.0, 1.0, 0.0]), 14.0);
+        // x0 and x1 together exceed the capacity.
+        assert!(!m.is_feasible(&[1.0, 1.0, 0.0, 0.0], 1e-9));
+        // The LP relaxation is fractional: x0=1, x1=3/4 is LP-feasible.
+        assert!(m.is_feasible(&[1.0, 0.75, 0.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn textbook_instances() {
+        let lp = textbook_lp();
+        assert!(lp.is_feasible(&[3.0, 1.5], 1e-9));
+        assert_eq!(lp.objective_value(&[3.0, 1.5]), 21.0);
+        let mip = textbook_mip();
+        assert!(mip.is_integer_feasible(&[4.0, 0.0], 1e-9));
+        assert_eq!(mip.objective_value(&[4.0, 0.0]), 20.0);
+        // The LP optimum is not integral.
+        assert!(!mip.is_integer_feasible(&[3.0, 1.5], 1e-9));
+    }
+
+    #[test]
+    fn pathological_instances() {
+        let inf = infeasible_instance();
+        assert!(!inf.is_feasible(&[1.5], 1e-9));
+        let unb = unbounded_instance();
+        assert!(unb.is_feasible(&[1e9], 1e-9));
+    }
+
+    #[test]
+    fn suite_is_valid_and_diverse() {
+        let suite = small_suite();
+        assert_eq!(suite.len(), 8);
+        for e in &suite {
+            assert!(e.instance.validate().is_ok(), "{} invalid", e.id);
+            assert!(e.instance.num_vars() > 0);
+        }
+        // Mixed continuous/integer present in at least one entry.
+        assert!(suite
+            .iter()
+            .any(|e| e.instance.num_integral() < e.instance.num_vars()
+                && e.instance.num_integral() > 0));
+    }
+}

@@ -1,0 +1,106 @@
+//! Generalized assignment problem (GAP) instances.
+//!
+//! Assign every task to exactly one agent, respecting per-agent capacity,
+//! maximizing profit. A mixed equality/inequality family whose LP
+//! relaxations are naturally degenerate — good stress for the dual simplex
+//! and for branching-rule comparisons.
+
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+use rand::Rng;
+
+/// Generates a GAP instance with `agents × tasks` binary assignment
+/// variables `x[a][t]`:
+///
+/// * `Σ_a x[a][t] = 1` for every task `t` (each task assigned once);
+/// * `Σ_t w[a][t] x[a][t] ≤ cap_a` for every agent `a`;
+/// * maximize `Σ p[a][t] x[a][t]`.
+///
+/// Capacities are sized so the balanced round-robin assignment fits with a
+/// 10% margin — instances are always feasible, but capacities bind.
+///
+/// # Panics
+/// Panics if `agents == 0` or `tasks == 0`.
+pub fn generalized_assignment(agents: usize, tasks: usize, seed: u64) -> MipInstance {
+    assert!(agents > 0 && tasks > 0, "need agents and tasks");
+    let mut rng = super::rng(seed);
+
+    let weights: Vec<Vec<f64>> = (0..agents)
+        .map(|_| (0..tasks).map(|_| rng.gen_range(5..=25) as f64).collect())
+        .collect();
+    let profits: Vec<Vec<f64>> = (0..agents)
+        .map(|_| (0..tasks).map(|_| rng.gen_range(10..=50) as f64).collect())
+        .collect();
+    // Size capacities so the balanced round-robin assignment (task t → agent
+    // t mod agents) fits with a 10% margin: instances are feasible by
+    // construction while capacities still bind.
+    let mut rr_load = vec![0.0; agents];
+    for t in 0..tasks {
+        let a = t % agents;
+        rr_load[a] += weights[a][t];
+    }
+    let capacity = (1.1 * rr_load.iter().copied().fold(0.0, f64::max)).ceil();
+
+    let mut m = MipInstance::new(format!("gap-{agents}x{tasks}-s{seed}"), Objective::Maximize);
+    // Variable index: a * tasks + t.
+    for a in 0..agents {
+        for t in 0..tasks {
+            m.add_var(Variable::binary(format!("x_{a}_{t}"), profits[a][t]));
+        }
+    }
+    for t in 0..tasks {
+        m.add_con(Constraint::new(
+            format!("assign{t}"),
+            (0..agents).map(|a| (a * tasks + t, 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        ));
+    }
+    for a in 0..agents {
+        m.add_con(Constraint::new(
+            format!("cap{a}"),
+            (0..tasks).map(|t| (a * tasks + t, weights[a][t])).collect(),
+            Sense::Le,
+            capacity,
+        ));
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_validation() {
+        let m = generalized_assignment(3, 5, 11);
+        assert_eq!(m.num_vars(), 15);
+        assert_eq!(m.num_cons(), 5 + 3);
+        assert_eq!(m.num_integral(), 15);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn round_robin_feasible_by_construction() {
+        // Capacities are sized from the round-robin load, so this assignment
+        // must be feasible for every seed.
+        for seed in 0..10 {
+            let agents = 3;
+            let tasks = 7;
+            let m = generalized_assignment(agents, tasks, seed);
+            let mut x = vec![0.0; agents * tasks];
+            for t in 0..tasks {
+                x[(t % agents) * tasks + t] = 1.0;
+            }
+            assert!(m.is_integer_feasible(&x, 1e-9), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generalized_assignment(2, 4, 3),
+            generalized_assignment(2, 4, 3)
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Bin-packing instances.
+//!
+//! Pack `items` of given sizes into the fewest unit-capacity bins:
+//! a classic all-binary family with equality assignment rows and knapsack
+//! capacity rows — structurally between the GAP and set-cover families, and
+//! a traditional branch-and-bound stress test (symmetric, so pruning and
+//! incumbents matter).
+
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+use rand::Rng;
+
+/// Generates a bin-packing instance with `items` items and `bins`
+/// candidate bins of capacity `capacity`:
+///
+/// * `x[i][b]` binary: item `i` placed in bin `b` (index `i * bins + b`);
+/// * `y[b]` binary: bin `b` opened (index `items * bins + b`), objective 1;
+/// * `Σ_b x[i][b] = 1` per item;
+/// * `Σ_i size_i · x[i][b] ≤ capacity · y[b]` per bin.
+///
+/// Item sizes are uniform in `[0.2, 0.7]·capacity`, so 2–4 items share a
+/// bin. `bins` defaults to `items` (always feasible: one item per bin).
+///
+/// # Panics
+/// Panics if `items == 0` or `capacity <= 0`.
+pub fn bin_packing(items: usize, capacity: f64, seed: u64) -> MipInstance {
+    assert!(items > 0, "need items");
+    assert!(capacity > 0.0, "capacity must be positive");
+    let bins = items;
+    let mut rng = super::rng(seed);
+    let sizes: Vec<f64> = (0..items)
+        .map(|_| (rng.gen_range(0.2..0.7) * capacity * 100.0).round() / 100.0)
+        .collect();
+
+    let mut m = MipInstance::new(format!("binpack-i{items}-s{seed}"), Objective::Minimize);
+    for i in 0..items {
+        for b in 0..bins {
+            m.add_var(Variable::binary(format!("x_{i}_{b}"), 0.0));
+        }
+    }
+    for b in 0..bins {
+        m.add_var(Variable::binary(format!("y_{b}"), 1.0));
+    }
+    let x_idx = |i: usize, b: usize| i * bins + b;
+    let y_idx = |b: usize| items * bins + b;
+
+    for i in 0..items {
+        m.add_con(Constraint::new(
+            format!("place{i}"),
+            (0..bins).map(|b| (x_idx(i, b), 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        ));
+    }
+    for b in 0..bins {
+        let mut coeffs: Vec<(usize, f64)> = (0..items).map(|i| (x_idx(i, b), sizes[i])).collect();
+        coeffs.push((y_idx(b), -capacity));
+        m.add_con(Constraint::new(format!("cap{b}"), coeffs, Sense::Le, 0.0));
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_item_per_bin_is_feasible() {
+        let items = 5;
+        let m = bin_packing(items, 1.0, 3);
+        let bins = items;
+        let mut x = vec![0.0; m.num_vars()];
+        for i in 0..items {
+            x[i * bins + i] = 1.0; // item i in bin i
+            x[items * bins + i] = 1.0; // bin i open
+        }
+        assert!(m.is_integer_feasible(&x, 1e-9));
+        // All-closed is infeasible (items must be placed).
+        assert!(!m.is_feasible(&vec![0.0; m.num_vars()], 1e-9));
+    }
+
+    #[test]
+    fn shape() {
+        let m = bin_packing(4, 1.0, 1);
+        assert_eq!(m.num_vars(), 4 * 4 + 4);
+        assert_eq!(m.num_cons(), 4 + 4);
+        assert_eq!(m.num_integral(), m.num_vars());
+        assert_eq!(m.objective, Objective::Minimize);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(bin_packing(4, 1.0, 9), bin_packing(4, 1.0, 9));
+    }
+
+    #[test]
+    fn sizes_force_sharing_constraints_to_bind() {
+        // An open bin with two large items must violate capacity.
+        let m = bin_packing(3, 1.0, 2);
+        let bins = 3;
+        let mut x = vec![0.0; m.num_vars()];
+        // All three items in bin 0 (sizes ≥ 0.2 each, at least one pair > 1.0
+        // with high probability for this seed — assert the generator's sizes
+        // sum over capacity).
+        for i in 0..3 {
+            x[i * bins] = 1.0;
+        }
+        x[3 * bins] = 1.0;
+        assert!(
+            !m.is_feasible(&x, 1e-9),
+            "three items of ≥0.2..0.7 each should overflow one unit bin"
+        );
+    }
+}

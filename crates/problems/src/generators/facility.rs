@@ -1,0 +1,117 @@
+//! Uncapacitated facility-location instances.
+//!
+//! Open facilities and assign every customer to one open facility,
+//! minimizing opening plus service costs. The canonical mixed 0/1 family
+//! with big-M-free "strong" linking rows (`x_{c,f} ≤ y_f`), whose LP
+//! relaxations are famously tight — a contrast to the weak-linking
+//! unit-commitment family.
+
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+use rand::Rng;
+
+/// Generates an uncapacitated facility-location instance:
+///
+/// * `x[c][f]` binary assignment (index `c * facilities + f`), service cost
+///   from random 2-D locations (rectilinear distance);
+/// * `y[f]` binary opening (index `customers * facilities + f`) with cost
+///   `open_cost`;
+/// * `Σ_f x[c][f] = 1` per customer; `x[c][f] ≤ y[f]` per pair.
+///
+/// # Panics
+/// Panics if `customers == 0` or `facilities == 0`.
+pub fn facility_location(
+    customers: usize,
+    facilities: usize,
+    open_cost: f64,
+    seed: u64,
+) -> MipInstance {
+    assert!(
+        customers > 0 && facilities > 0,
+        "need customers and facilities"
+    );
+    let mut rng = super::rng(seed);
+    let cust_pos: Vec<(f64, f64)> = (0..customers)
+        .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        .collect();
+    let fac_pos: Vec<(f64, f64)> = (0..facilities)
+        .map(|_| (rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        .collect();
+
+    let mut m = MipInstance::new(
+        format!("facility-{customers}x{facilities}-s{seed}"),
+        Objective::Minimize,
+    );
+    for c in 0..customers {
+        for f in 0..facilities {
+            let d = (cust_pos[c].0 - fac_pos[f].0).abs() + (cust_pos[c].1 - fac_pos[f].1).abs();
+            m.add_var(Variable::binary(format!("x_{c}_{f}"), d.round()));
+        }
+    }
+    for f in 0..facilities {
+        m.add_var(Variable::binary(format!("y_{f}"), open_cost));
+    }
+    let x_idx = |c: usize, f: usize| c * facilities + f;
+    let y_idx = |f: usize| customers * facilities + f;
+
+    for c in 0..customers {
+        m.add_con(Constraint::new(
+            format!("serve{c}"),
+            (0..facilities).map(|f| (x_idx(c, f), 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        ));
+    }
+    for c in 0..customers {
+        for f in 0..facilities {
+            m.add_con(Constraint::new(
+                format!("link_{c}_{f}"),
+                vec![(x_idx(c, f), 1.0), (y_idx(f), -1.0)],
+                Sense::Le,
+                0.0,
+            ));
+        }
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_everything_is_feasible() {
+        let (c, f) = (4, 3);
+        let m = facility_location(c, f, 50.0, 7);
+        let mut x = vec![0.0; m.num_vars()];
+        for ci in 0..c {
+            x[ci * f] = 1.0; // everyone served by facility 0
+        }
+        for fi in 0..f {
+            x[c * f + fi] = 1.0; // all open
+        }
+        assert!(m.is_integer_feasible(&x, 1e-9));
+        // Serving from a closed facility violates the link row.
+        let mut bad = x.clone();
+        bad[c * f] = 0.0; // close facility 0 while customers use it
+        assert!(!m.is_feasible(&bad, 1e-9));
+    }
+
+    #[test]
+    fn shape_and_sparsity() {
+        let m = facility_location(6, 4, 30.0, 2);
+        assert_eq!(m.num_vars(), 6 * 4 + 4);
+        assert_eq!(m.num_cons(), 6 + 24);
+        // Strong-linking rows make the matrix very sparse.
+        assert!(m.density() < 0.2);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            facility_location(3, 2, 10.0, 5),
+            facility_location(3, 2, 10.0, 5)
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! 0/1 knapsack instances.
+//!
+//! The earliest GPU branch-and-bound work the paper cites (\[19\], Lalami et
+//! al.) targeted knapsack; it is also the canonical "single dense-ish
+//! constraint, all-binary" family, which stresses branching rather than LP
+//! size.
+
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+use rand::Rng;
+
+/// Generates a 0/1 knapsack instance:
+/// maximize `Σ vᵢ xᵢ` subject to `Σ wᵢ xᵢ ≤ ⌊ratio · Σ wᵢ⌋`, `x` binary.
+///
+/// Weights are uniform in `[10, 100]`; values are weight-correlated
+/// (`v = w + U[1, 20]`), which is the standard "weakly correlated" class
+/// that defeats pure greedy and forces real branching.
+///
+/// # Panics
+/// Panics if `n == 0` or `ratio` is not in `(0, 1)`.
+pub fn knapsack(n: usize, capacity_ratio: f64, seed: u64) -> MipInstance {
+    assert!(n > 0, "knapsack needs at least one item");
+    assert!(
+        capacity_ratio > 0.0 && capacity_ratio < 1.0,
+        "capacity ratio must be in (0,1)"
+    );
+    let mut rng = super::rng(seed);
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(10..=100) as f64).collect();
+    let values: Vec<f64> = weights
+        .iter()
+        .map(|w| w + rng.gen_range(1..=20) as f64)
+        .collect();
+    let capacity = (capacity_ratio * weights.iter().sum::<f64>()).floor();
+
+    let mut m = MipInstance::new(format!("knapsack-n{n}-s{seed}"), Objective::Maximize);
+    for (i, &v) in values.iter().enumerate() {
+        m.add_var(Variable::binary(format!("x{i}"), v));
+    }
+    m.add_con(Constraint::new(
+        "capacity",
+        weights.iter().copied().enumerate().collect(),
+        Sense::Le,
+        capacity,
+    ));
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+/// Exhaustive-search optimum of a knapsack instance produced by
+/// [`knapsack`]. Only usable for small `n` (≤ ~22); used by tests to verify
+/// the branch-and-bound solver end to end.
+pub fn knapsack_brute_force(m: &MipInstance) -> f64 {
+    let n = m.num_vars();
+    assert!(n <= 22, "brute force limited to small instances");
+    let mut best = f64::NEG_INFINITY;
+    let mut x = vec![0.0; n];
+    for bits in 0u32..(1 << n) {
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi = ((bits >> i) & 1) as f64;
+        }
+        if m.is_feasible(&x, 1e-9) {
+            best = best.max(m.objective_value(&x));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = knapsack(10, 0.5, 7);
+        let b = knapsack(10, 0.5, 7);
+        assert_eq!(a, b);
+        let c = knapsack(10, 0.5, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn structure_is_single_le_constraint_all_binary() {
+        let m = knapsack(15, 0.4, 1);
+        assert_eq!(m.num_cons(), 1);
+        assert_eq!(m.num_integral(), 15);
+        assert_eq!(m.cons[0].sense, Sense::Le);
+        assert!(m.validate().is_ok());
+        // All-zeros is always feasible.
+        assert!(m.is_integer_feasible(&[0.0; 15], 1e-9));
+        // All-ones is infeasible (capacity strictly below total weight).
+        assert!(!m.is_feasible(&[1.0; 15], 1e-9));
+    }
+
+    #[test]
+    fn brute_force_on_tiny_instance() {
+        let m = knapsack(8, 0.5, 3);
+        let best = knapsack_brute_force(&m);
+        assert!(best.is_finite());
+        assert!(best > 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Parameterized MIP instance generators.
+//!
+//! Substitutes for the MIPLIB instances the paper's discussion assumes
+//! (MIPLIB files are not redistributable here). Each family is a classic
+//! model class from the MIP literature the paper cites (knapsack and
+//! flow-shop style combinatorial problems in Section 2.3, unit commitment
+//! in the application list of Section 1), with controllable size and
+//! density so the experiments can sweep the regimes of Section 3.
+//!
+//! All generators are deterministic in their `seed`.
+
+pub mod assignment;
+pub mod binpacking;
+pub mod facility;
+pub mod knapsack;
+pub mod netflow;
+pub mod random;
+pub mod setcover;
+pub mod ucommit;
+
+pub use assignment::generalized_assignment;
+pub use binpacking::bin_packing;
+pub use facility::facility_location;
+pub use knapsack::knapsack;
+pub use netflow::fixed_charge_flow;
+pub use random::{random_mip, RandomMipConfig};
+pub use setcover::set_cover;
+pub use ucommit::unit_commitment;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG used by every generator (small, fast, seedable, reproducible).
+pub(crate) fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}

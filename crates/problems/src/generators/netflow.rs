@@ -1,0 +1,150 @@
+//! Fixed-charge network flow instances.
+//!
+//! Single-commodity flow from a source to a sink on a random strongly
+//! connected digraph, where using an arc incurs a fixed charge (binary) in
+//! addition to per-unit flow cost (continuous). Flow conservation gives
+//! equality rows, arc capacity linking gives the classic big-M structure —
+//! a very sparse mixed family that complements the dense knapsack.
+
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+use rand::Rng;
+
+/// Generates a fixed-charge flow instance on `nodes` nodes.
+///
+/// The graph is a directed ring `0 → 1 → … → 0` (guaranteeing a path from
+/// the source to every node) plus `extra_arcs` random chords. Node 0 is the
+/// source with `supply` units; the last node is the sink. Variables per arc
+/// `a`: continuous flow `f_a ∈ [0, cap_a]` with cost `c_a`, binary use
+/// indicator `y_a` with fixed charge; linking `f_a − cap_a y_a ≤ 0`.
+///
+/// # Panics
+/// Panics if `nodes < 2`.
+pub fn fixed_charge_flow(nodes: usize, extra_arcs: usize, supply: f64, seed: u64) -> MipInstance {
+    assert!(nodes >= 2, "need at least source and sink");
+    let mut rng = super::rng(seed);
+
+    // Arc list: ring then chords (self-loops and duplicate chords avoided).
+    let mut arcs: Vec<(usize, usize)> = (0..nodes).map(|i| (i, (i + 1) % nodes)).collect();
+    let mut tries = 0;
+    while arcs.len() < nodes + extra_arcs && tries < 50 * (extra_arcs + 1) {
+        tries += 1;
+        let u = rng.gen_range(0..nodes);
+        let v = rng.gen_range(0..nodes);
+        if u != v && !arcs.contains(&(u, v)) {
+            arcs.push((u, v));
+        }
+    }
+    // Capacities comfortably above supply on the ring so routing the whole
+    // supply along the ring is always feasible.
+    let caps: Vec<f64> = arcs
+        .iter()
+        .map(|_| supply * rng.gen_range(1.2..3.0))
+        .collect();
+    let flow_cost: Vec<f64> = arcs.iter().map(|_| rng.gen_range(1..=10) as f64).collect();
+    let fixed_cost: Vec<f64> = arcs
+        .iter()
+        .map(|_| rng.gen_range(20..=100) as f64)
+        .collect();
+
+    let mut m = MipInstance::new(
+        format!("netflow-n{nodes}-a{}-s{seed}", arcs.len()),
+        Objective::Minimize,
+    );
+    let n_arcs = arcs.len();
+    // Flow variables first, then indicators.
+    for (a, &(u, v)) in arcs.iter().enumerate() {
+        m.add_var(Variable::continuous(
+            format!("f_{u}_{v}_{a}"),
+            0.0,
+            caps[a],
+            flow_cost[a],
+        ));
+    }
+    for (a, &(u, v)) in arcs.iter().enumerate() {
+        m.add_var(Variable::binary(format!("y_{u}_{v}_{a}"), fixed_cost[a]));
+    }
+
+    let sink = nodes - 1;
+    // Flow conservation: out − in = supply at source, −supply at sink, 0 else.
+    for node in 0..nodes {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for (a, &(u, v)) in arcs.iter().enumerate() {
+            if u == node {
+                coeffs.push((a, 1.0));
+            }
+            if v == node {
+                coeffs.push((a, -1.0));
+            }
+        }
+        let rhs = if node == 0 {
+            supply
+        } else if node == sink {
+            -supply
+        } else {
+            0.0
+        };
+        m.add_con(Constraint::new(
+            format!("bal{node}"),
+            coeffs,
+            Sense::Eq,
+            rhs,
+        ));
+    }
+    // Linking: f_a ≤ cap_a · y_a.
+    for a in 0..n_arcs {
+        m.add_con(Constraint::new(
+            format!("link{a}"),
+            vec![(a, 1.0), (n_arcs + a, -caps[a])],
+            Sense::Le,
+            0.0,
+        ));
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_routing_is_feasible() {
+        let nodes = 5;
+        let supply = 10.0;
+        let m = fixed_charge_flow(nodes, 3, supply, 21);
+        // Route the whole supply along ring arcs 0..nodes-1 (the first
+        // `nodes` arcs are the ring, and arc nodes-1 closes the cycle back to
+        // 0, which we leave unused).
+        let n_arcs = (m.num_vars()) / 2;
+        let mut x = vec![0.0; m.num_vars()];
+        for a in 0..nodes - 1 {
+            x[a] = supply;
+            x[n_arcs + a] = 1.0;
+        }
+        assert!(
+            m.is_integer_feasible(&x, 1e-9),
+            "ring routing should be feasible"
+        );
+    }
+
+    #[test]
+    fn sparse_structure() {
+        let m = fixed_charge_flow(20, 10, 5.0, 2);
+        assert!(m.density() < 0.2, "flow instances must be sparse");
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            fixed_charge_flow(6, 2, 4.0, 7),
+            fixed_charge_flow(6, 2, 4.0, 7)
+        );
+    }
+
+    #[test]
+    fn zero_flow_infeasible_with_positive_supply() {
+        let m = fixed_charge_flow(4, 0, 3.0, 1);
+        assert!(!m.is_feasible(&vec![0.0; m.num_vars()], 1e-9));
+    }
+}

@@ -1,0 +1,162 @@
+//! Random MIP instances with controllable shape and density.
+//!
+//! The workhorse of the density sweeps (experiment E2) and the matrix-size
+//! sweeps (E1/E8): every structural knob the paper's strategy analysis
+//! depends on — rows, columns, density, integrality fraction — is a direct
+//! parameter. Feasibility is guaranteed by construction: the right-hand
+//! side is set to leave slack around a planted feasible point.
+
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+use rand::Rng;
+
+/// Configuration for [`random_mip`].
+#[derive(Debug, Clone)]
+pub struct RandomMipConfig {
+    /// Constraint rows.
+    pub rows: usize,
+    /// Variables.
+    pub cols: usize,
+    /// Probability that any matrix entry is nonzero.
+    pub density: f64,
+    /// Fraction of variables that are integral (binary).
+    pub integral_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomMipConfig {
+    fn default() -> Self {
+        Self {
+            rows: 10,
+            cols: 20,
+            density: 0.5,
+            integral_fraction: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a feasible random MIP:
+/// maximize `cᵀx` subject to `Ax ≤ b`, `0 ≤ x ≤ 1`, a leading block of
+/// binaries followed by continuous variables.
+///
+/// Entries of `A` are uniform in `[0.5, 2]` (nonnegative keeps `x = 0`
+/// trivially feasible); a planted point `x*` with roughly half the
+/// variables at 1 sets `b = A x* + slack`, so instances are feasible but
+/// the LP bound is not trivially tight.
+///
+/// # Panics
+/// Panics if `rows == 0`, `cols == 0`, or `density ∉ (0, 1]`, or
+/// `integral_fraction ∉ [0, 1]`.
+pub fn random_mip(config: &RandomMipConfig) -> MipInstance {
+    let RandomMipConfig {
+        rows,
+        cols,
+        density,
+        integral_fraction,
+        seed,
+    } = *config;
+    assert!(rows > 0 && cols > 0, "need rows and cols");
+    assert!(density > 0.0 && density <= 1.0, "density in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&integral_fraction),
+        "integral fraction in [0,1]"
+    );
+    let mut rng = super::rng(seed);
+
+    let n_int = ((cols as f64) * integral_fraction).round() as usize;
+    let mut m = MipInstance::new(
+        format!("random-{rows}x{cols}-d{density}-i{integral_fraction}-s{seed}"),
+        Objective::Maximize,
+    );
+    for j in 0..cols {
+        let obj = rng.gen_range(1.0..10.0);
+        if j < n_int {
+            m.add_var(Variable::binary(format!("z{j}"), obj));
+        } else {
+            m.add_var(Variable::continuous(format!("x{j}"), 0.0, 1.0, obj));
+        }
+    }
+    // Planted point: ~half the variables at 1.
+    let planted: Vec<f64> = (0..cols)
+        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+        .collect();
+    for i in 0..rows {
+        let mut coeffs: Vec<(usize, f64)> = Vec::new();
+        for j in 0..cols {
+            if rng.gen_bool(density) {
+                coeffs.push((j, rng.gen_range(0.5..2.0)));
+            }
+        }
+        if coeffs.is_empty() {
+            // Keep every row structurally nonempty.
+            let j = rng.gen_range(0..cols);
+            coeffs.push((j, rng.gen_range(0.5..2.0)));
+        }
+        let at_planted: f64 = coeffs.iter().map(|&(j, v)| v * planted[j]).sum();
+        let slack = rng.gen_range(0.1..1.0);
+        m.add_con(Constraint::new(
+            format!("r{i}"),
+            coeffs,
+            Sense::Le,
+            at_planted + slack,
+        ));
+    }
+    debug_assert!(m.validate().is_ok());
+    debug_assert!(m.is_feasible(&planted, 1e-9));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_feasible() {
+        let m = random_mip(&RandomMipConfig::default());
+        assert!(m.is_integer_feasible(&vec![0.0; m.num_vars()], 1e-9));
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn density_knob_works() {
+        let sparse = random_mip(&RandomMipConfig {
+            rows: 40,
+            cols: 40,
+            density: 0.05,
+            ..Default::default()
+        });
+        let dense = random_mip(&RandomMipConfig {
+            rows: 40,
+            cols: 40,
+            density: 0.95,
+            ..Default::default()
+        });
+        assert!(sparse.density() < 0.15);
+        assert!(dense.density() > 0.85);
+    }
+
+    #[test]
+    fn integral_fraction_knob_works() {
+        let m = random_mip(&RandomMipConfig {
+            cols: 20,
+            integral_fraction: 0.25,
+            ..Default::default()
+        });
+        assert_eq!(m.num_integral(), 5);
+        let pure_lp = random_mip(&RandomMipConfig {
+            integral_fraction: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(pure_lp.num_integral(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = RandomMipConfig {
+            seed: 33,
+            ..Default::default()
+        };
+        assert_eq!(random_mip(&c), random_mip(&c));
+    }
+}

@@ -1,0 +1,93 @@
+//! Set-cover instances.
+//!
+//! Minimize the cost of chosen sets such that every element is covered —
+//! the classic sparse, ≥-constrained binary family. Its constraint matrix
+//! density is directly controllable, which drives the dense/sparse
+//! dispatch experiments (Section 5.4).
+
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+use rand::Rng;
+
+/// Generates a set-cover instance with `elements` rows and `sets` columns:
+/// minimize `Σ cⱼ xⱼ` subject to `Σ_{j : element i ∈ set j} xⱼ ≥ 1` for all
+/// `i`, `x` binary.
+///
+/// Each set covers each element independently with probability `density`;
+/// rows left uncovered are patched with a random set so the instance is
+/// always feasible. Costs are uniform in `[1, 10]`.
+///
+/// # Panics
+/// Panics if `elements == 0`, `sets == 0`, or `density` is not in `(0, 1]`.
+pub fn set_cover(elements: usize, sets: usize, density: f64, seed: u64) -> MipInstance {
+    assert!(elements > 0 && sets > 0, "need elements and sets");
+    assert!(density > 0.0 && density <= 1.0, "density in (0,1]");
+    let mut rng = super::rng(seed);
+
+    // covers[i] = set indices covering element i.
+    let mut covers: Vec<Vec<usize>> = vec![Vec::new(); elements];
+    for (i, row) in covers.iter_mut().enumerate() {
+        for j in 0..sets {
+            if rng.gen_bool(density) {
+                row.push(j);
+            }
+        }
+        if row.is_empty() {
+            row.push(rng.gen_range(0..sets));
+        }
+        let _ = i;
+    }
+
+    let mut m = MipInstance::new(
+        format!("setcover-{elements}x{sets}-d{density}-s{seed}"),
+        Objective::Minimize,
+    );
+    for j in 0..sets {
+        let cost = rng.gen_range(1..=10) as f64;
+        m.add_var(Variable::binary(format!("s{j}"), cost));
+    }
+    for (i, row) in covers.iter().enumerate() {
+        m.add_con(Constraint::new(
+            format!("cover{i}"),
+            row.iter().map(|&j| (j, 1.0)).collect(),
+            Sense::Ge,
+            1.0,
+        ));
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_feasible_with_all_sets() {
+        let m = set_cover(20, 10, 0.2, 42);
+        assert!(m.is_integer_feasible(&[1.0; 10], 1e-9));
+        assert!(m.validate().is_ok());
+        assert_eq!(m.objective, Objective::Minimize);
+    }
+
+    #[test]
+    fn density_controls_matrix_density() {
+        let sparse = set_cover(50, 50, 0.05, 1);
+        let dense = set_cover(50, 50, 0.6, 1);
+        assert!(sparse.density() < 0.15);
+        assert!(dense.density() > 0.4);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(set_cover(10, 5, 0.3, 9), set_cover(10, 5, 0.3, 9));
+    }
+
+    #[test]
+    fn empty_rows_patched() {
+        // Extremely low density: every row still has ≥ 1 coefficient.
+        let m = set_cover(30, 30, 0.001, 5);
+        for c in &m.cons {
+            assert!(!c.coeffs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Unit-commitment instances (simplified).
+//!
+//! The paper's opening motivates MIP with "many significant sectors" and
+//! cites the unit-commitment formulation of Ostrowski et al. \[26\]. This
+//! generator produces the core of that model: binary on/off decisions per
+//! generator per period, continuous dispatch levels linked to commitment by
+//! min/max output constraints, and per-period demand coverage. It is the
+//! repo's canonical *mixed* (binary + continuous) family.
+
+use crate::instance::{Constraint, MipInstance, Objective, Sense, Variable};
+use rand::Rng;
+
+/// Generates a unit-commitment instance over `generators` units and
+/// `periods` time steps.
+///
+/// Variables (indexed `g * periods + t` within each block):
+/// * `u[g][t]` binary commitment, fixed cost `f_g`;
+/// * `p[g][t]` continuous dispatch, marginal cost `c_g` (block offset
+///   `generators * periods`).
+///
+/// Constraints per `(g, t)`: `p ≤ Pmax_g · u` and `p ≥ Pmin_g · u`; per `t`:
+/// `Σ_g p[g][t] ≥ D_t`. Demand is drawn so the fleet can always cover it
+/// (`D_t ≤ 0.8 Σ Pmax`). Objective: minimize total cost.
+///
+/// # Panics
+/// Panics if `generators == 0` or `periods == 0`.
+pub fn unit_commitment(generators: usize, periods: usize, seed: u64) -> MipInstance {
+    assert!(generators > 0 && periods > 0, "need generators and periods");
+    let mut rng = super::rng(seed);
+
+    let pmax: Vec<f64> = (0..generators)
+        .map(|_| rng.gen_range(50..=200) as f64)
+        .collect();
+    let pmin: Vec<f64> = pmax.iter().map(|&p| (0.2 * p).round()).collect();
+    let fixed: Vec<f64> = (0..generators)
+        .map(|_| rng.gen_range(100..=500) as f64)
+        .collect();
+    let marginal: Vec<f64> = (0..generators)
+        .map(|_| rng.gen_range(5..=30) as f64)
+        .collect();
+    let total_pmax: f64 = pmax.iter().sum();
+    let demand: Vec<f64> = (0..periods)
+        .map(|_| (rng.gen_range(0.3..0.8) * total_pmax).round())
+        .collect();
+
+    let mut m = MipInstance::new(
+        format!("ucommit-g{generators}-t{periods}-s{seed}"),
+        Objective::Minimize,
+    );
+    // Block 1: commitment binaries.
+    for g in 0..generators {
+        for t in 0..periods {
+            m.add_var(Variable::binary(format!("u_{g}_{t}"), fixed[g]));
+        }
+    }
+    // Block 2: dispatch continuums.
+    let p_base = generators * periods;
+    for g in 0..generators {
+        for t in 0..periods {
+            m.add_var(Variable::continuous(
+                format!("p_{g}_{t}"),
+                0.0,
+                pmax[g],
+                marginal[g],
+            ));
+        }
+    }
+    let u_idx = |g: usize, t: usize| g * periods + t;
+    let p_idx = |g: usize, t: usize| p_base + g * periods + t;
+
+    for g in 0..generators {
+        for t in 0..periods {
+            // p - Pmax·u ≤ 0
+            m.add_con(Constraint::new(
+                format!("max_{g}_{t}"),
+                vec![(p_idx(g, t), 1.0), (u_idx(g, t), -pmax[g])],
+                Sense::Le,
+                0.0,
+            ));
+            // Pmin·u - p ≤ 0
+            m.add_con(Constraint::new(
+                format!("min_{g}_{t}"),
+                vec![(u_idx(g, t), pmin[g]), (p_idx(g, t), -1.0)],
+                Sense::Le,
+                0.0,
+            ));
+        }
+    }
+    for (t, &d) in demand.iter().enumerate() {
+        m.add_con(Constraint::new(
+            format!("demand{t}"),
+            (0..generators).map(|g| (p_idx(g, t), 1.0)).collect(),
+            Sense::Ge,
+            d,
+        ));
+    }
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_on_full_dispatch_is_feasible() {
+        let g = 3;
+        let t = 4;
+        let m = unit_commitment(g, t, 17);
+        // u = 1 everywhere, p = Pmax everywhere: satisfies max/min links and
+        // demand (≤ 0.8 total Pmax by construction).
+        let mut x = vec![0.0; m.num_vars()];
+        for i in 0..g * t {
+            x[i] = 1.0;
+        }
+        for gi in 0..g {
+            for ti in 0..t {
+                let p = g * t + gi * t + ti;
+                // Recover Pmax from the variable's upper bound.
+                x[p] = m.vars[p].ub;
+            }
+        }
+        assert!(
+            m.is_integer_feasible(&x, 1e-9),
+            "all-on dispatch infeasible"
+        );
+    }
+
+    #[test]
+    fn shape() {
+        let m = unit_commitment(2, 3, 5);
+        assert_eq!(m.num_vars(), 2 * 3 * 2);
+        // 2 link constraints per (g,t) + 1 demand per t.
+        assert_eq!(m.num_cons(), 2 * 2 * 3 + 3);
+        assert_eq!(m.num_integral(), 6);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn all_off_violates_demand() {
+        let m = unit_commitment(2, 2, 1);
+        let x = vec![0.0; m.num_vars()];
+        assert!(!m.is_feasible(&x, 1e-9));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(unit_commitment(2, 2, 9), unit_commitment(2, 2, 9));
+    }
+}

@@ -1,0 +1,22 @@
+//! # gmip-problems
+//!
+//! MIP instance model, generators, and MPS I/O for the `gmip` stack.
+//!
+//! * [`instance`] — the mixed integer program representation (the paper's
+//!   Equation 1 generalized with senses, bounds, and direction);
+//! * [`generators`] — deterministic, parameterized instance families
+//!   (knapsack, set cover, generalized assignment, unit commitment,
+//!   fixed-charge flow, random) standing in for MIPLIB;
+//! * [`mps`] — an MPS-subset reader/writer for interchange;
+//! * [`catalog`] — named tiny instances (Figure 1's tree, textbook LP/MIP,
+//!   pathological cases) and the standard small benchmark suite.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod generators;
+pub mod instance;
+pub mod mps;
+
+pub use instance::{Constraint, InstanceError, MipInstance, Objective, Sense, VarType, Variable};

@@ -1,0 +1,136 @@
+//! ASCII rendering of the solution tree — the reproduction of Figure 1.
+//!
+//! Each node shows its branching label, state tag (`F`easible,
+//! `I`nfeasible, `P`runed, `B`ranched, `A`ctive, `E`valuating), and bound,
+//! drawn with box-drawing connectors.
+
+use crate::node::{NodeId, NodeState};
+use crate::tree::SearchTree;
+use std::fmt::Write as _;
+
+/// Renders the tree rooted at `tree.root()` as ASCII art.
+pub fn render<D>(tree: &SearchTree<D>) -> String {
+    let mut out = String::new();
+    let root = tree.root();
+    let n = tree.node(root);
+    let _ = writeln!(
+        out,
+        "{} [{}] bound={}",
+        n.label,
+        n.state.tag(),
+        fmt_bound(n.bound)
+    );
+    render_children(tree, root, "", &mut out);
+    out
+}
+
+fn render_children<D>(tree: &SearchTree<D>, id: NodeId, prefix: &str, out: &mut String) {
+    let children = &tree.node(id).children;
+    for (i, &c) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let (branch, cont) = if last {
+            ("└── ", "    ")
+        } else {
+            ("├── ", "│   ")
+        };
+        let n = tree.node(c);
+        let _ = writeln!(
+            out,
+            "{prefix}{branch}{} [{}] bound={}",
+            n.label,
+            n.state.tag(),
+            fmt_bound(n.bound)
+        );
+        let child_prefix = format!("{prefix}{cont}");
+        render_children(tree, c, &child_prefix, out);
+    }
+}
+
+fn fmt_bound(b: f64) -> String {
+    if b == f64::INFINITY {
+        "∞".to_string()
+    } else if b == f64::NEG_INFINITY {
+        "-∞".to_string()
+    } else {
+        format!("{b:.2}")
+    }
+}
+
+/// A one-line legend for the state tags (printed under Figure-1 output).
+pub const LEGEND: &str =
+    "tags: F=feasible  I=infeasible  P=pruned  B=branched  A=active  E=evaluating";
+
+/// Counts nodes per state — the caption summary of the rendered figure.
+pub fn state_summary<D>(tree: &SearchTree<D>) -> String {
+    let mut f = 0;
+    let mut i = 0;
+    let mut p = 0;
+    let mut b = 0;
+    let mut open = 0;
+    for n in tree.iter() {
+        match n.state {
+            NodeState::Feasible => f += 1,
+            NodeState::Infeasible => i += 1,
+            NodeState::Pruned => p += 1,
+            NodeState::Branched => b += 1,
+            _ => open += 1,
+        }
+    }
+    format!("{b} branched, {f} feasible, {i} infeasible, {p} pruned, {open} open")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_tree() -> SearchTree<()> {
+        let mut t = SearchTree::with_root((), 64);
+        t.begin_evaluation(0);
+        let kids = t.branch(0, 16.5, [("x0 ≤ 0".into(), ()), ("x0 ≥ 1".into(), ())]);
+        t.begin_evaluation(kids[0]);
+        t.settle(kids[0], NodeState::Pruned, 12.0);
+        t.begin_evaluation(kids[1]);
+        let kk = t.branch(
+            kids[1],
+            16.0,
+            [("x1 ≤ 0".into(), ()), ("x1 ≥ 1".into(), ())],
+        );
+        t.begin_evaluation(kk[0]);
+        t.settle(kk[0], NodeState::Infeasible, f64::NEG_INFINITY);
+        t.begin_evaluation(kk[1]);
+        t.settle(kk[1], NodeState::Feasible, 16.0);
+        t
+    }
+
+    #[test]
+    fn render_shows_structure_and_tags() {
+        let t = demo_tree();
+        let s = render(&t);
+        assert!(s.contains("root [B] bound=16.50"));
+        assert!(s.contains("├── x0 ≤ 0 [P] bound=12.00"));
+        assert!(s.contains("└── x0 ≥ 1 [B] bound=16.00"));
+        assert!(s.contains("    ├── x1 ≤ 0 [I] bound=-∞"));
+        assert!(s.contains("    └── x1 ≥ 1 [F] bound=16.00"));
+        // Exactly 5 lines.
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let t = demo_tree();
+        assert_eq!(
+            state_summary(&t),
+            "2 branched, 1 feasible, 1 infeasible, 1 pruned, 0 open"
+        );
+    }
+
+    #[test]
+    fn active_nodes_render_with_a_tag() {
+        let mut t = SearchTree::with_root((), 64);
+        t.begin_evaluation(0);
+        t.branch(0, 3.0, [("c".into(), ())]);
+        let s = render(&t);
+        assert!(s.contains("[A]"));
+        assert!(state_summary(&t).contains("1 open"));
+    }
+}

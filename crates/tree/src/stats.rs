@@ -1,0 +1,53 @@
+//! Search-tree statistics.
+
+/// Counters maintained by [`crate::tree::SearchTree`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Nodes ever created (including the root).
+    pub created: usize,
+    /// Nodes expanded into children.
+    pub branched: usize,
+    /// Leaves settled feasible.
+    pub feasible: usize,
+    /// Leaves settled infeasible.
+    pub infeasible: usize,
+    /// Leaves pruned by bound.
+    pub pruned: usize,
+    /// Deepest node created.
+    pub max_depth: usize,
+    /// Largest size of the active set (peak outstanding work — what the
+    /// paper's Strategy 1 must fit in GPU memory).
+    pub max_active: usize,
+}
+
+impl TreeStats {
+    /// Total settled leaves.
+    pub fn leaves(&self) -> usize {
+        self.feasible + self.infeasible + self.pruned
+    }
+
+    /// Nodes evaluated (settled leaves + branched interiors).
+    pub fn evaluated(&self) -> usize {
+        self.leaves() + self.branched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = TreeStats {
+            created: 7,
+            branched: 3,
+            feasible: 1,
+            infeasible: 1,
+            pruned: 2,
+            max_depth: 2,
+            max_active: 4,
+        };
+        assert_eq!(s.leaves(), 4);
+        assert_eq!(s.evaluated(), 7);
+    }
+}

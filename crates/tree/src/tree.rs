@@ -1,0 +1,290 @@
+//! The branch-and-bound search tree store.
+//!
+//! An arena of [`Node`]s plus the *active set* — the frontier of unevaluated
+//! leaves. Strategy 2 of the paper keeps this structure in CPU main memory
+//! ("the large capacity of CPU memory ... would be needed to hold the tree
+//! as it is being evaluated") while each node's relaxation is shipped to the
+//! accelerator; [`SearchTree::approx_bytes`] is what Strategy 1 must fit in
+//! device memory instead.
+
+use crate::node::{Node, NodeId, NodeState};
+use crate::stats::TreeStats;
+
+/// The search tree: arena storage, active-set tracking, statistics.
+#[derive(Debug, Clone)]
+pub struct SearchTree<D> {
+    nodes: Vec<Node<D>>,
+    /// Open (Active) node ids; selection policies draw from this.
+    active: Vec<NodeId>,
+    stats: TreeStats,
+    /// Bytes a node occupies when parked on a device (Strategy 1
+    /// accounting): payload-independent estimate set by the owner.
+    node_bytes: usize,
+}
+
+impl<D> SearchTree<D> {
+    /// Creates a tree with a root node carrying `data`.
+    pub fn with_root(data: D, node_bytes: usize) -> Self {
+        let root = Node {
+            id: 0,
+            parent: None,
+            depth: 0,
+            state: NodeState::Active,
+            bound: f64::INFINITY,
+            children: Vec::new(),
+            label: "root".to_string(),
+            data,
+        };
+        let mut stats = TreeStats::default();
+        stats.created = 1;
+        stats.max_active = 1;
+        Self {
+            nodes: vec![root],
+            active: vec![0],
+            stats,
+            node_bytes,
+        }
+    }
+
+    /// The root's id.
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Total nodes ever created.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree holds only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Immutable node access.
+    ///
+    /// # Panics
+    /// Panics on an invalid id (arena ids never dangle).
+    pub fn node(&self, id: NodeId) -> &Node<D> {
+        &self.nodes[id]
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<D> {
+        &mut self.nodes[id]
+    }
+
+    /// The current active (open, unevaluated) node ids.
+    pub fn active_ids(&self) -> &[NodeId] {
+        &self.active
+    }
+
+    /// Whether any work remains.
+    pub fn has_active(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> &TreeStats {
+        &self.stats
+    }
+
+    /// Removes `id` from the active set and marks it `Evaluating`. Returns
+    /// `false` if the node was not active.
+    pub fn begin_evaluation(&mut self, id: NodeId) -> bool {
+        let Some(pos) = self.active.iter().position(|&a| a == id) else {
+            return false;
+        };
+        self.active.swap_remove(pos);
+        self.nodes[id].state = NodeState::Evaluating;
+        true
+    }
+
+    /// Marks an evaluating node as a terminal leaf with the given state and
+    /// bound.
+    pub fn settle(&mut self, id: NodeId, state: NodeState, bound: f64) {
+        debug_assert!(state.is_terminal_leaf());
+        debug_assert_eq!(self.nodes[id].state, NodeState::Evaluating);
+        self.nodes[id].state = state;
+        self.nodes[id].bound = bound;
+        match state {
+            NodeState::Feasible => self.stats.feasible += 1,
+            NodeState::Infeasible => self.stats.infeasible += 1,
+            NodeState::Pruned => self.stats.pruned += 1,
+            _ => unreachable!("settle called with non-terminal state"),
+        }
+    }
+
+    /// Expands an evaluating node into children; each child becomes Active.
+    /// Returns the new ids.
+    pub fn branch(
+        &mut self,
+        id: NodeId,
+        bound: f64,
+        children: impl IntoIterator<Item = (String, D)>,
+    ) -> Vec<NodeId> {
+        debug_assert_eq!(self.nodes[id].state, NodeState::Evaluating);
+        self.nodes[id].state = NodeState::Branched;
+        self.nodes[id].bound = bound;
+        self.stats.branched += 1;
+        let depth = self.nodes[id].depth + 1;
+        let mut ids = Vec::new();
+        for (label, data) in children {
+            let cid = self.nodes.len();
+            self.nodes.push(Node {
+                id: cid,
+                parent: Some(id),
+                depth,
+                state: NodeState::Active,
+                bound,
+                children: Vec::new(),
+                label,
+                data,
+            });
+            self.active.push(cid);
+            self.stats.created += 1;
+            self.stats.max_depth = self.stats.max_depth.max(depth);
+            ids.push(cid);
+        }
+        self.nodes[id].children = ids.clone();
+        self.stats.max_active = self.stats.max_active.max(self.active.len());
+        ids
+    }
+
+    /// Prunes every *active* node whose inherited bound cannot beat
+    /// `incumbent` (maximize sense: bound ≤ incumbent + tol). Returns the
+    /// number pruned. This is global bound-pruning after a new incumbent.
+    pub fn prune_dominated(&mut self, incumbent: f64, tol: f64) -> usize {
+        let mut pruned = 0;
+        let mut keep = Vec::with_capacity(self.active.len());
+        for &id in &self.active {
+            if self.nodes[id].bound <= incumbent + tol {
+                self.nodes[id].state = NodeState::Pruned;
+                self.stats.pruned += 1;
+                pruned += 1;
+            } else {
+                keep.push(id);
+            }
+        }
+        self.active = keep;
+        pruned
+    }
+
+    /// Best (largest) bound among open nodes — the global dual bound.
+    /// `None` when no work remains.
+    pub fn best_open_bound(&self) -> Option<f64> {
+        self.active
+            .iter()
+            .map(|&id| self.nodes[id].bound)
+            .fold(None, |acc, b| Some(acc.map_or(b, |a: f64| a.max(b))))
+    }
+
+    /// Approximate bytes to store the tree's nodes on a device (Strategy 1
+    /// accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * self.node_bytes
+    }
+
+    /// Verifies the Figure-1 completion invariant: when no active nodes
+    /// remain, every node is Feasible, Infeasible, Pruned, or Branched.
+    pub fn all_settled(&self) -> bool {
+        !self.has_active()
+            && self
+                .nodes
+                .iter()
+                .all(|n| n.state.is_terminal_leaf() || n.state == NodeState::Branched)
+    }
+
+    /// Iterator over all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = &Node<D>> {
+        self.nodes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level_tree() -> SearchTree<u32> {
+        let mut t = SearchTree::with_root(0u32, 64);
+        assert!(t.begin_evaluation(0));
+        t.branch(0, 10.0, [("x0 ≤ 0".into(), 1), ("x0 ≥ 1".into(), 2)]);
+        t
+    }
+
+    #[test]
+    fn root_initialization() {
+        let t = SearchTree::with_root(7u32, 100);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.root(), 0);
+        assert!(t.has_active());
+        assert_eq!(t.node(0).state, NodeState::Active);
+        assert_eq!(t.node(0).bound, f64::INFINITY);
+        assert_eq!(t.approx_bytes(), 100);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn branch_creates_active_children() {
+        let t = two_level_tree();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.active_ids(), &[1, 2]);
+        assert_eq!(t.node(0).state, NodeState::Branched);
+        assert_eq!(t.node(1).parent, Some(0));
+        assert_eq!(t.node(1).depth, 1);
+        assert_eq!(t.node(1).bound, 10.0, "children inherit the parent bound");
+        assert_eq!(t.node(0).children, vec![1, 2]);
+        assert_eq!(t.stats().created, 3);
+        assert_eq!(t.stats().max_depth, 1);
+    }
+
+    #[test]
+    fn begin_evaluation_only_once() {
+        let mut t = two_level_tree();
+        assert!(t.begin_evaluation(1));
+        assert!(!t.begin_evaluation(1), "node already off the active set");
+        assert_eq!(t.node(1).state, NodeState::Evaluating);
+        assert_eq!(t.active_ids(), &[2]);
+    }
+
+    #[test]
+    fn settle_updates_stats() {
+        let mut t = two_level_tree();
+        t.begin_evaluation(1);
+        t.settle(1, NodeState::Feasible, 8.0);
+        t.begin_evaluation(2);
+        t.settle(2, NodeState::Infeasible, f64::NEG_INFINITY);
+        assert_eq!(t.stats().feasible, 1);
+        assert_eq!(t.stats().infeasible, 1);
+        assert!(t.all_settled());
+    }
+
+    #[test]
+    fn prune_dominated_respects_bounds() {
+        let mut t = two_level_tree();
+        // Children carry bound 10. An incumbent of 10 dominates both.
+        let pruned = t.prune_dominated(10.0, 1e-9);
+        assert_eq!(pruned, 2);
+        assert!(!t.has_active());
+        assert_eq!(t.stats().pruned, 2);
+        assert!(t.all_settled());
+        // No active nodes → no open bound.
+        assert_eq!(t.best_open_bound(), None);
+    }
+
+    #[test]
+    fn prune_keeps_improving_nodes() {
+        let mut t = two_level_tree();
+        t.node_mut(1).bound = 20.0;
+        let pruned = t.prune_dominated(15.0, 1e-9);
+        assert_eq!(pruned, 1);
+        assert_eq!(t.active_ids(), &[1]);
+        assert_eq!(t.best_open_bound(), Some(20.0));
+    }
+
+    #[test]
+    fn all_settled_false_while_open() {
+        let t = two_level_tree();
+        assert!(!t.all_settled());
+    }
+}

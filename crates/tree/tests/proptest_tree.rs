@@ -1,0 +1,156 @@
+//! Property-based invariants of the search-tree substrate:
+//!
+//! * random evaluate/branch/settle/prune traces keep the tree consistent
+//!   (state machine, active-set bookkeeping, statistics balance);
+//! * at every step the captured snapshot validates;
+//! * the completion invariant (paper Figure 1) holds once the active set
+//!   drains;
+//! * every selection policy always returns an active node;
+//! * IVM leaf enumeration matches factorials under random interleavings of
+//!   descend/prune.
+
+use gmip_tree::policy::{BestFirst, BreadthFirst, DepthFirst, NodeSelection, ReuseAffinity};
+use gmip_tree::{capture, completion_invariant, validate, IvmTree, NodeState, SearchTree};
+use proptest::prelude::*;
+
+/// One scripted step of a search trace.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Evaluate the chosen node and branch into two children with the given
+    /// bound.
+    Branch(f64),
+    /// Evaluate and settle feasible at the given bound.
+    Feasible(f64),
+    /// Evaluate and settle infeasible.
+    Infeasible,
+    /// Prune everything dominated by the given incumbent.
+    PruneAt(f64),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0.0f64..100.0).prop_map(Step::Branch),
+        (0.0f64..100.0).prop_map(Step::Feasible),
+        Just(Step::Infeasible),
+        (0.0f64..100.0).prop_map(Step::PruneAt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_traces_keep_invariants(
+        steps in proptest::collection::vec(step_strategy(), 1..40),
+        policy_pick in 0usize..4,
+    ) {
+        let mut tree: SearchTree<u32> = SearchTree::with_root(0, 64);
+        let mut best = BestFirst;
+        let mut depth = DepthFirst;
+        let mut breadth = BreadthFirst;
+        let mut reuse = ReuseAffinity::default();
+        for step in steps {
+            let selected = match policy_pick {
+                0 => NodeSelection::<u32>::select(&mut best, &tree),
+                1 => NodeSelection::<u32>::select(&mut depth, &tree),
+                2 => NodeSelection::<u32>::select(&mut breadth, &tree),
+                _ => NodeSelection::<u32>::select(&mut reuse, &tree),
+            };
+            match step {
+                Step::PruneAt(v) => {
+                    tree.prune_dominated(v, 1e-9);
+                }
+                _ => {
+                    let Some(id) = selected else { break };
+                    // Selected nodes must be active.
+                    prop_assert_eq!(tree.node(id).state, NodeState::Active);
+                    prop_assert!(tree.begin_evaluation(id));
+                    // Double-start must be rejected.
+                    prop_assert!(!tree.begin_evaluation(id));
+                    match step {
+                        Step::Branch(bound) => {
+                            let kids = tree.branch(
+                                id,
+                                bound,
+                                [("L".to_string(), 1u32), ("R".to_string(), 2u32)],
+                            );
+                            prop_assert_eq!(kids.len(), 2);
+                            for k in kids {
+                                prop_assert_eq!(tree.node(k).parent, Some(id));
+                                prop_assert_eq!(tree.node(k).state, NodeState::Active);
+                            }
+                        }
+                        Step::Feasible(bound) => {
+                            tree.settle(id, NodeState::Feasible, bound)
+                        }
+                        Step::Infeasible => {
+                            tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY)
+                        }
+                        Step::PruneAt(_) => unreachable!("handled above"),
+                    }
+                }
+            }
+            // Snapshot consistency at every step.
+            let snap = capture(&tree, None);
+            prop_assert!(validate(&tree, &snap).is_ok());
+            // Statistics balance: created = settled leaves + branched + open.
+            let s = tree.stats();
+            let open = tree.active_ids().len()
+                + tree
+                    .iter()
+                    .filter(|n| n.state == NodeState::Evaluating)
+                    .count();
+            prop_assert_eq!(s.created, s.leaves() + s.branched + open);
+        }
+        // Drain the remaining work; the completion invariant must hold.
+        while let Some(&id) = tree.active_ids().first() {
+            tree.begin_evaluation(id);
+            tree.settle(id, NodeState::Pruned, 0.0);
+        }
+        prop_assert!(completion_invariant(&tree));
+        prop_assert!(tree.all_settled());
+    }
+
+    /// Randomly interleaved descend/prune IVM walks never double-count or
+    /// skip leaves: visiting with "always descend, prune at leaves" yields
+    /// exactly n! leaves regardless of where the walk starts pruning first.
+    #[test]
+    fn ivm_walks_partition_the_leaf_space(
+        n in 2usize..6,
+        prune_first in proptest::collection::vec(any::<bool>(), 0..8),
+    ) {
+        let mut t = IvmTree::new(n);
+        // Apply a random prefix of moves.
+        let mut skipped_subtrees = 0usize;
+        for &p in &prune_first {
+            if !t.is_active() {
+                break;
+            }
+            if p && !t.at_leaf() {
+                // Count the subtree we're about to skip, then skip it.
+                let depth = t.depth();
+                let remaining_items = n - depth - 1;
+                let subtree_leaves: usize = (1..=remaining_items).product();
+                skipped_subtrees += subtree_leaves.max(1);
+                if !t.prune_and_advance() {
+                    break;
+                }
+            } else if t.at_leaf() {
+                skipped_subtrees += 1;
+                if !t.prune_and_advance() {
+                    break;
+                }
+            } else {
+                t.descend();
+            }
+        }
+        // Count what's left and check the total.
+        let rest = t.count_leaves();
+        let total: usize = (1..=n).product();
+        prop_assert_eq!(
+            rest + skipped_subtrees,
+            total,
+            "leaves lost or double-counted (n = {})", n
+        );
+    }
+}

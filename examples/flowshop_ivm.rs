@@ -1,0 +1,49 @@
+//! The related-work deep cut (paper Section 2.3): Gmys et al.'s
+//! Integer-Vector-Matrix (IVM) tree encoding for GPU branch and bound.
+//!
+//! "The key principle of their approach is the use of an Integer Vector
+//! Matrix (IVM) representation of the branch-and-bound problem tree rather
+//! than the linked list used in previous implementations. The IVM
+//! representation is well-suited for the GPU programming due to its memory
+//! structure."
+//!
+//! This example solves permutation flow-shop instances exactly with an
+//! IVM-driven depth-first branch and bound and contrasts the **constant**
+//! IVM search-state footprint against what a pointer-based tree of the same
+//! search would occupy — the property that lets the whole state live in GPU
+//! memory (Strategy 1's missing piece for permutation problems).
+//!
+//! Run with: `cargo run --release --example flowshop_ivm`
+
+use gmip::tree::{solve_flowshop_ivm, FlowShop};
+
+fn main() {
+    println!(
+        "{:>6} {:>9} {:>10} {:>9} {:>12} {:>16} {:>9}",
+        "jobs", "machines", "makespan", "nodes", "pruned", "pointer-tree B", "IVM B"
+    );
+    for jobs in [6usize, 7, 8, 9, 10] {
+        let fs = FlowShop::random(jobs, 4, 42);
+        let (best, seq, stats) = solve_flowshop_ivm(&fs);
+        assert_eq!(fs.makespan(&seq), best, "sequence must reproduce makespan");
+        // A pointer/arena tree stores every visited node (~48 B of id,
+        // parent, depth, bound, child links each) — the paper's "linked
+        // list" baseline. The IVM state is n² + n integers, full stop.
+        let pointer_bytes = stats.nodes * 48;
+        println!(
+            "{:>6} {:>9} {:>10} {:>9} {:>12} {:>16} {:>9}",
+            jobs,
+            fs.machines(),
+            best,
+            stats.nodes,
+            stats.pruned,
+            pointer_bytes,
+            stats.state_bytes
+        );
+    }
+    println!(
+        "\nthe IVM search state stays a few hundred bytes while the pointer tree grows \
+         with every visited node — the memory structure that makes GPU-resident \
+         branch and bound viable for permutation problems."
+    );
+}

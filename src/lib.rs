@@ -1,0 +1,59 @@
+//! # gmip — GPU-based Mixed Integer Programming on parallel platforms
+//!
+//! A reproduction of *"Design Considerations for GPU-based Mixed Integer
+//! Programming on Parallel Computing Platforms"* (Perumalla & Alam, ICPP
+//! Workshops 2021) as a working system: a branch-and-cut MIP solver whose
+//! LP relaxations execute on a **simulated GPU accelerator** with a
+//! byte-accurate memory model and a calibrated kernel/transfer cost model,
+//! orchestrated by the four parallel execution strategies the paper
+//! analyzes, up to a discrete-event supervisor–worker cluster.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Role |
+//! |---|---|---|
+//! | [`linalg`] | `gmip-linalg` | dense/sparse kernels, LU, batched ops, eta files |
+//! | [`gpu`] | `gmip-gpu` | the simulated accelerator (memory, transfers, streams, cost model) |
+//! | [`problems`] | `gmip-problems` | instance model, generators, MPS I/O |
+//! | [`lp`] | `gmip-lp` | revised simplex (primal + dual) over host or device engines |
+//! | [`tree`] | `gmip-tree` | branch-and-bound tree, snapshots, selection policies |
+//! | [`core`] | `gmip-core` | the branch-and-cut solver and the four strategies |
+//! | [`parallel`] | `gmip-parallel` | supervisor–worker cluster (discrete-event + threaded) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gmip::core::{MipConfig, MipSolver, MipStatus};
+//! use gmip::problems::catalog::textbook_mip;
+//!
+//! let mut solver = MipSolver::host_baseline(textbook_mip(), MipConfig::default());
+//! let result = solver.solve().unwrap();
+//! assert_eq!(result.status, MipStatus::Optimal);
+//! assert!((result.objective - 20.0).abs() < 1e-6);
+//! ```
+//!
+//! To run on the simulated GPU platform instead, resolve a strategy plan:
+//!
+//! ```
+//! use gmip::core::{plan, MipConfig, MipSolver, MipStatus, Strategy};
+//! use gmip::gpu::CostModel;
+//! use gmip::problems::catalog::textbook_mip;
+//!
+//! let p = plan(Strategy::CpuOrchestrated, MipConfig::default(),
+//!              CostModel::gpu_pcie(), 1 << 30);
+//! let mut solver = MipSolver::with_plan(textbook_mip(), p);
+//! let result = solver.solve().unwrap();
+//! assert_eq!(result.status, MipStatus::Optimal);
+//! // The simulated device ledger is in the stats:
+//! assert!(result.stats.device.kernel_launches > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use gmip_core as core;
+pub use gmip_gpu as gpu;
+pub use gmip_linalg as linalg;
+pub use gmip_lp as lp;
+pub use gmip_parallel as parallel;
+pub use gmip_problems as problems;
+pub use gmip_tree as tree;

@@ -1,0 +1,55 @@
+//! The bundled MPS assets load, validate, and solve to the same optima on
+//! every execution path — the file-based interchange a downstream user
+//! exercises first.
+
+use gmip::core::{MipConfig, MipSolver, MipStatus};
+use gmip::gpu::Accel;
+use gmip::problems::mps::read_mps;
+
+fn load(name: &str) -> gmip::problems::MipInstance {
+    let path = format!("{}/assets/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let m = read_mps(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+    m.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+    m
+}
+
+#[test]
+fn bundled_assets_solve_consistently() {
+    for name in ["knapsack15.mps", "facility5x3.mps", "ucommit3x3.mps"] {
+        let instance = load(name);
+        assert!(instance.num_vars() > 0);
+        let mut host = MipSolver::host_baseline(instance.clone(), MipConfig::default());
+        let hr = host.solve().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(hr.status, MipStatus::Optimal, "{name}");
+        assert!(
+            instance.is_integer_feasible(&hr.x, 1e-5),
+            "{name}: incumbent infeasible"
+        );
+        let mut dev = MipSolver::on_accel(instance.clone(), MipConfig::default(), Accel::gpu(1));
+        let dr = dev.solve().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            (hr.objective - dr.objective).abs() < 1e-5,
+            "{name}: host {} vs device {}",
+            hr.objective,
+            dr.objective
+        );
+    }
+}
+
+#[test]
+fn bundled_knapsack_known_optimum() {
+    // The knapsack asset is deterministic (seed 1); pin its optimum so any
+    // accidental regeneration or parser drift is caught.
+    let instance = load("knapsack15.mps");
+    let mut s = MipSolver::host_baseline(instance, MipConfig::default());
+    let r = s.solve().expect("solve");
+    use gmip::problems::generators::knapsack::{knapsack, knapsack_brute_force};
+    let expected = knapsack_brute_force(&knapsack(15, 0.5, 1));
+    assert!(
+        (r.objective - expected).abs() < 1e-6,
+        "asset optimum {} vs generator brute force {}",
+        r.objective,
+        expected
+    );
+}

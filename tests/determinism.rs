@@ -1,0 +1,76 @@
+//! Determinism guarantees: the simulators use logical clocks and seeded
+//! RNGs only, so identical inputs must produce *bit-identical* outputs —
+//! solve paths, cost ledgers, and cluster makespans alike. (DESIGN.md's
+//! determinism commitment, load-bearing for reproducible experiments.)
+
+use gmip::core::{plan, MipConfig, MipSolver, Strategy};
+use gmip::gpu::CostModel;
+use gmip::parallel::{solve_parallel, ParallelConfig};
+use gmip::problems::generators::{knapsack, random_mip, RandomMipConfig};
+
+#[test]
+fn device_solver_is_bit_deterministic() {
+    let instance = knapsack(18, 0.5, 99);
+    let run = || {
+        let p = plan(
+            Strategy::CpuOrchestrated,
+            MipConfig::default(),
+            CostModel::gpu_pcie(),
+            1 << 30,
+        );
+        let mut s = MipSolver::with_plan(instance.clone(), p);
+        let r = s.solve().expect("solve");
+        (
+            r.objective.to_bits(),
+            r.stats.nodes,
+            r.stats.lp_iterations,
+            r.stats.cuts,
+            r.stats.device.kernel_launches,
+            r.stats.device.h2d_bytes,
+            r.stats.sim_time_ns.to_bits(),
+        )
+    };
+    assert_eq!(run(), run(), "two identical runs diverged");
+}
+
+#[test]
+fn des_cluster_is_bit_deterministic() {
+    let instance = random_mip(&RandomMipConfig {
+        rows: 4,
+        cols: 10,
+        density: 0.6,
+        integral_fraction: 1.0,
+        seed: 5,
+    });
+    let run = || {
+        let r = solve_parallel(
+            &instance,
+            ParallelConfig {
+                workers: 3,
+                gpu_mem: 1 << 24,
+                checkpoint_every: Some(2),
+                ..Default::default()
+            },
+        )
+        .expect("parallel solve");
+        (
+            r.objective.to_bits(),
+            r.stats.nodes,
+            r.stats.messages,
+            r.stats.message_bytes,
+            r.stats.makespan_ns.to_bits(),
+            r.snapshots.len(),
+        )
+    };
+    assert_eq!(run(), run(), "DES cluster runs diverged");
+}
+
+#[test]
+fn generators_are_bit_deterministic() {
+    use gmip::problems::mps::write_mps;
+    for seed in [0u64, 7, 12345] {
+        let a = write_mps(&knapsack(25, 0.5, seed));
+        let b = write_mps(&knapsack(25, 0.5, seed));
+        assert_eq!(a, b);
+    }
+}

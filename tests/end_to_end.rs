@@ -1,0 +1,144 @@
+//! End-to-end integration: every execution path (host baseline, the four
+//! device strategies, the discrete-event cluster, the threaded cluster)
+//! must agree on the optimum of every catalog-suite instance.
+
+use gmip::core::{plan, MipConfig, MipSolver, MipStatus, Strategy};
+use gmip::gpu::CostModel;
+use gmip::parallel::{solve_parallel, solve_threaded, ParallelConfig};
+use gmip::problems::catalog::small_suite;
+
+/// Reference optima from the host baseline.
+fn reference(id: &str, instance: &gmip::problems::MipInstance) -> f64 {
+    let mut s = MipSolver::host_baseline(instance.clone(), MipConfig::default());
+    let r = s
+        .solve()
+        .unwrap_or_else(|e| panic!("{id}: host solve failed: {e}"));
+    assert_eq!(r.status, MipStatus::Optimal, "{id}: host not optimal");
+    assert!(
+        instance.is_integer_feasible(&r.x, 1e-5),
+        "{id}: host incumbent infeasible"
+    );
+    r.objective
+}
+
+#[test]
+fn all_strategies_agree_across_suite() {
+    for entry in small_suite() {
+        let expected = reference(entry.id, &entry.instance);
+        for strategy in [
+            Strategy::GpuOnly,
+            Strategy::CpuOrchestrated,
+            Strategy::Hybrid,
+            Strategy::BigMip { devices: 2 },
+        ] {
+            let p = plan(
+                strategy,
+                MipConfig::default(),
+                CostModel::gpu_pcie(),
+                1 << 30,
+            );
+            let mut s = MipSolver::with_plan(entry.instance.clone(), p);
+            let r = s
+                .solve()
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", entry.id, strategy.name()));
+            assert_eq!(
+                r.status,
+                MipStatus::Optimal,
+                "{}/{}",
+                entry.id,
+                strategy.name()
+            );
+            assert!(
+                (r.objective - expected).abs() < 1e-5,
+                "{}/{}: {} vs {}",
+                entry.id,
+                strategy.name(),
+                r.objective,
+                expected
+            );
+        }
+    }
+}
+
+#[test]
+fn clusters_agree_across_suite() {
+    for entry in small_suite() {
+        let expected = reference(entry.id, &entry.instance);
+        let cfg = ParallelConfig {
+            workers: 3,
+            gpu_mem: 1 << 26,
+            ..Default::default()
+        };
+        let des = solve_parallel(&entry.instance, cfg.clone())
+            .unwrap_or_else(|e| panic!("{}: DES failed: {e}", entry.id));
+        assert_eq!(des.status, MipStatus::Optimal, "{}: DES", entry.id);
+        assert!(
+            (des.objective - expected).abs() < 1e-5,
+            "{}: DES {} vs {}",
+            entry.id,
+            des.objective,
+            expected
+        );
+        let thr = solve_threaded(&entry.instance, &cfg)
+            .unwrap_or_else(|e| panic!("{}: threaded failed: {e}", entry.id));
+        assert_eq!(thr.status, MipStatus::Optimal, "{}: threaded", entry.id);
+        assert!(
+            (thr.objective - expected).abs() < 1e-5,
+            "{}: threaded {} vs {}",
+            entry.id,
+            thr.objective,
+            expected
+        );
+    }
+}
+
+#[test]
+fn mps_roundtrip_preserves_optimum() {
+    use gmip::problems::mps::{read_mps, write_mps};
+    for entry in small_suite() {
+        let expected = reference(entry.id, &entry.instance);
+        let text = write_mps(&entry.instance);
+        let back = read_mps(&text).unwrap_or_else(|e| panic!("{}: {e}", entry.id));
+        let mut s = MipSolver::host_baseline(back, MipConfig::default());
+        let r = s.solve().expect("solve roundtripped instance");
+        assert!(
+            (r.objective - expected).abs() < 1e-5,
+            "{}: roundtrip changed optimum {} vs {}",
+            entry.id,
+            r.objective,
+            expected
+        );
+    }
+}
+
+#[test]
+fn solver_configs_agree_on_one_instance() {
+    use gmip::core::{BranchRule, PolicyKind};
+    let instance = gmip::problems::generators::knapsack(16, 0.5, 77);
+    let expected = reference("config-sweep", &instance);
+    for policy in [
+        PolicyKind::BestFirst,
+        PolicyKind::DepthFirst,
+        PolicyKind::BreadthFirst,
+        PolicyKind::ReuseAffinity,
+    ] {
+        for rule in [BranchRule::MostFractional, BranchRule::PseudoCost] {
+            for cuts in [true, false] {
+                for reuse in [true, false] {
+                    let mut cfg = MipConfig::default();
+                    cfg.policy = policy;
+                    cfg.branching = rule;
+                    cfg.cuts.enabled = cuts;
+                    cfg.engine_reuse = reuse;
+                    let mut s = MipSolver::host_baseline(instance.clone(), cfg);
+                    let r = s.solve().expect("solve");
+                    assert!(
+                        (r.objective - expected).abs() < 1e-6,
+                        "{policy:?}/{rule:?}/cuts={cuts}/reuse={reuse}: {} vs {expected}",
+                        r.objective
+                    );
+                }
+            }
+        }
+    }
+}
