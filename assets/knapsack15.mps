@@ -6,39 +6,39 @@ ROWS
  L  capacity
 COLUMNS
     MARKER                 'MARKER'                 'INTORG'
-    x0        OBJ       66
-    x0        capacity  46
-    x1        OBJ       105
-    x1        capacity  99
-    x2        OBJ       27
-    x2        capacity  17
-    x3        OBJ       39
-    x3        capacity  29
-    x4        OBJ       70
-    x4        capacity  64
-    x5        OBJ       60
-    x5        capacity  45
-    x6        OBJ       112
-    x6        capacity  93
-    x7        OBJ       80
-    x7        capacity  74
-    x8        OBJ       57
-    x8        capacity  55
-    x9        OBJ       79
-    x9        capacity  74
-    x10       OBJ       99
-    x10       capacity  89
-    x11       OBJ       78
-    x11       capacity  74
-    x12       OBJ       13
-    x12       capacity  12
-    x13       OBJ       101
-    x13       capacity  95
-    x14       OBJ       73
-    x14       capacity  62
+    x0        OBJ       88
+    x0        capacity  69
+    x1        OBJ       56
+    x1        capacity  48
+    x2        OBJ       96
+    x2        capacity  88
+    x3        OBJ       27
+    x3        capacity  11
+    x4        OBJ       112
+    x4        capacity  98
+    x5        OBJ       75
+    x5        capacity  58
+    x6        OBJ       98
+    x6        capacity  95
+    x7        OBJ       70
+    x7        capacity  64
+    x8        OBJ       50
+    x8        capacity  36
+    x9        OBJ       47
+    x9        capacity  31
+    x10       OBJ       103
+    x10       capacity  90
+    x11       OBJ       97
+    x11       capacity  81
+    x12       OBJ       70
+    x12       capacity  65
+    x13       OBJ       71
+    x13       capacity  60
+    x14       OBJ       64
+    x14       capacity  58
     MARKER                 'MARKER'                 'INTEND'
 RHS
-    RHS       capacity  464
+    RHS       capacity  476
 BOUNDS
  BV BND       x0
  BV BND       x1

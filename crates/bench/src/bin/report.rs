@@ -1,24 +1,55 @@
 //! Regenerates the reproduction's experiment tables.
 //!
-//! Usage: `report [all | <exp-id>...]` where exp ids are listed in
-//! `gmip_bench::experiments::ALL` (f1, e1, e2, e3a, e3b, e3c, e4–e8).
+//! Usage: `report [--trace <dir>] [all | <exp-id>...]` where exp ids are
+//! listed in `gmip_bench::experiments::ALL` (f1, e1, e2, e3a, e3b, e3c,
+//! e4–e8). With `--trace`, each experiment's span stream is captured and
+//! written to `<dir>/<exp-id>.trace.json` in Chrome trace-event format
+//! (load at ui.perfetto.dev).
 
 use gmip_bench::experiments;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_dir = match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            args.remove(i);
+            if i >= args.len() {
+                eprintln!("--trace needs a directory");
+                std::process::exit(2);
+            }
+            Some(args.remove(i))
+        }
+        None => None,
+    };
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         experiments::ALL.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
     for (i, id) in ids.iter().enumerate() {
+        let session = trace_dir
+            .as_ref()
+            .map(|_| gmip_trace::TraceSession::start());
         match experiments::run(id) {
             Some(text) => {
                 if i > 0 {
                     println!("\n{}\n", "=".repeat(78));
                 }
                 print!("{text}");
+                if let (Some(session), Some(dir)) = (session, &trace_dir) {
+                    let trace = session.finish();
+                    let path = format!("{dir}/{id}.trace.json");
+                    match std::fs::write(&path, trace.to_chrome_json()) {
+                        Ok(()) => eprintln!("trace: {} events -> {path}", trace.len()),
+                        Err(e) => eprintln!("trace: cannot write {path}: {e}"),
+                    }
+                }
             }
             None => {
                 eprintln!("unknown experiment `{id}`; known: {:?}", experiments::ALL);

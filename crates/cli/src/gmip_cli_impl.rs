@@ -6,6 +6,7 @@ use gmip_core::{
     Strategy,
 };
 use gmip_gpu::{Accel, CostModel};
+use gmip_parallel::{solve_parallel, ParallelConfig};
 use gmip_problems::generators;
 use gmip_problems::mps::{read_mps, write_mps};
 use gmip_problems::MipInstance;
@@ -22,7 +23,8 @@ USAGE:
 
 SOLVE OPTIONS:
   --strategy <s>     host | cpu-orchestrated | gpu-only | hybrid |
-                     big-mip:<devices> | auto          (default: cpu-orchestrated)
+                     big-mip:<devices> | cluster:<workers> | auto
+                                                       (default: cpu-orchestrated)
   --gpu-mem <GiB>    device memory per GPU             (default: 1)
   --node-limit <n>   stop after n nodes                (default: 100000)
   --policy <p>       best | depth | breadth | reuse    (default: best)
@@ -33,6 +35,9 @@ SOLVE OPTIONS:
   --presolve         presolve before solving
   --tree             print the solution tree (small instances)
   --stats            print the device/host cost ledger
+  --trace <file>     write a Chrome trace-event JSON of the solve
+                     (open at ui.perfetto.dev)
+  --metrics          print the unified metrics summary table
 
 GENERATE OPTIONS:
   --out <file.mps>   output path                       (default: stdout)
@@ -62,6 +67,8 @@ pub struct Options {
     pub obj_limit: Option<f64>,
     pub tree: bool,
     pub stats: bool,
+    pub trace: Option<String>,
+    pub metrics: bool,
     pub out: Option<String>,
     pub seed: u64,
 }
@@ -81,6 +88,8 @@ impl Default for Options {
             obj_limit: None,
             tree: false,
             stats: false,
+            trace: None,
+            metrics: false,
             out: None,
             seed: 0,
         }
@@ -135,6 +144,8 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--presolve" => o.presolve = true,
             "--tree" => o.tree = true,
             "--stats" => o.stats = true,
+            "--trace" => o.trace = Some(take("--trace")?),
+            "--metrics" => o.metrics = true,
             "--out" => o.out = Some(take("--out")?),
             "--seed" => {
                 o.seed = take("--seed")?
@@ -240,6 +251,43 @@ pub fn generate(o: &Options) -> Result<MipInstance, String> {
     })
 }
 
+/// Finishes the trace session (if one is active) and writes the Chrome
+/// trace-event JSON to the `--trace` path, noting it in the report.
+fn write_trace(
+    session: Option<gmip_trace::TraceSession>,
+    o: &Options,
+    out: &mut String,
+) -> Result<(), String> {
+    if let (Some(session), Some(path)) = (session, &o.trace) {
+        let trace = session.finish();
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        out.push_str(&format!(
+            "trace: {} events written to {path} (load at ui.perfetto.dev)\n",
+            trace.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Maps a solution on the (possibly presolve-reduced) instance back to the
+/// original variable space.
+fn postsolve_map(
+    instance: &MipInstance,
+    pre: &Option<gmip_core::PresolveResult>,
+    objective: f64,
+    x: &[f64],
+) -> (f64, Vec<f64>) {
+    match (pre, x.is_empty()) {
+        (_, true) => (objective, x.to_vec()),
+        (Some(pre), false) => {
+            let full = pre.postsolve(x);
+            (instance.objective_value(&full), full)
+        }
+        (None, false) => (objective, x.to_vec()),
+    }
+}
+
 /// Solves an instance per the options; returns the formatted report.
 pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
     instance.validate().map_err(|e| format!("{e}"))?;
@@ -273,6 +321,47 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
 
     let cfg = mip_config(o);
     let gpu_mem = o.gpu_mem_gib << 30;
+    // Start span recording before the solver is even constructed so device
+    // warm-up (matrix upload, initial factorization) lands in the trace too.
+    let session = o.trace.as_ref().map(|_| gmip_trace::TraceSession::start());
+
+    // The cluster strategy goes through the discrete-event supervisor and
+    // reports its own statistics shape, so it is handled apart from the
+    // single-process MipResult paths below.
+    if let Some(spec) = o.strategy.strip_prefix("cluster:") {
+        let workers = spec
+            .parse()
+            .ok()
+            .filter(|&w: &usize| w >= 1)
+            .ok_or_else(|| "cluster needs a worker count >= 1, e.g. cluster:4".to_string())?;
+        let pcfg = ParallelConfig {
+            workers,
+            gpu_mem,
+            node_limit: o.node_limit,
+            ..Default::default()
+        };
+        let r = solve_parallel(&work, pcfg).map_err(|e| format!("{e}"))?;
+        write_trace(session, o, &mut out)?;
+        let (objective, x) = postsolve_map(&instance, &pre, r.objective, &r.x);
+        out.push_str(&format!("status: {:?}\n", r.status));
+        if !x.is_empty() {
+            out.push_str(&format!("objective: {objective}\n"));
+        }
+        out.push_str(&format!(
+            "nodes: {}   lp iterations: {}   messages: {} ({} B)   makespan: {:.3} ms\n",
+            r.stats.nodes,
+            r.stats.lp_iterations,
+            r.stats.messages,
+            r.stats.message_bytes,
+            r.stats.makespan_ns / 1e6
+        ));
+        if o.metrics {
+            out.push('\n');
+            out.push_str(&gmip_trace::export::summary(&r.stats.metrics));
+        }
+        return Ok(out);
+    }
+
     let result: MipResult = match o.strategy.as_str() {
         "host" => {
             let mut s = MipSolver::host_baseline(work, cfg);
@@ -304,15 +393,10 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
         }
     };
 
+    write_trace(session, o, &mut out)?;
+
     // Map back through presolve if needed.
-    let (objective, x) = match (&pre, result.x.is_empty()) {
-        (_, true) => (result.objective, result.x.clone()),
-        (Some(pre), false) => {
-            let full = pre.postsolve(&result.x);
-            (instance.objective_value(&full), full)
-        }
-        (None, false) => (result.objective, result.x.clone()),
-    };
+    let (objective, x) = postsolve_map(&instance, &pre, result.objective, &result.x);
 
     out.push_str(&format!("status: {:?}\n", result.status));
     if !x.is_empty() {
@@ -346,6 +430,10 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
             "simulated time: {:.3} ms\n",
             result.stats.sim_time_ns / 1e6
         ));
+    }
+    if o.metrics {
+        out.push('\n');
+        out.push_str(&gmip_trace::export::summary(&result.stats.metrics));
     }
     if o.tree {
         out.push('\n');
@@ -460,6 +548,40 @@ mod tests {
         assert!(out.contains("status: Optimal"));
         assert!(out.contains("objective: 14"));
         assert!(out.contains("root"));
+    }
+
+    #[test]
+    fn solve_with_cluster_strategy() {
+        let mut o = Options::default();
+        o.strategy = "cluster:2".into();
+        o.metrics = true;
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert!(out.contains("status: Optimal"), "{out}");
+        assert!(out.contains("makespan:"), "{out}");
+        assert!(out.contains("cluster.messages"), "{out}");
+        let mut bad = Options::default();
+        bad.strategy = "cluster:x".into();
+        assert!(solve(gmip_problems::catalog::figure1_knapsack(), &bad).is_err());
+    }
+
+    #[test]
+    fn solve_with_trace_and_metrics() {
+        let path = std::env::temp_dir().join("gmip_cli_trace_test.json");
+        let mut o = Options::default();
+        o.strategy = "auto".into();
+        o.trace = Some(path.to_string_lossy().into_owned());
+        o.metrics = true;
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert!(out.contains("trace:"), "trace line missing:\n{out}");
+        assert!(
+            out.contains("lp.simplex.iterations"),
+            "summary missing:\n{out}"
+        );
+        assert!(out.contains("gpu.h2d.bytes"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"node\""), "solver node spans missing");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -18,6 +18,7 @@ use gmip_lp::{
     StandardLp,
 };
 use gmip_problems::{MipInstance, Objective};
+use gmip_trace::{names, Event, MetricsRegistry, Track};
 use gmip_tree::{
     BestFirst, BreadthFirst, DepthFirst, NodeId, NodeSelection, NodeState, ReuseAffinity,
     SearchTree,
@@ -92,6 +93,9 @@ pub struct SolveStats {
     pub gap: f64,
     /// Strategy name.
     pub strategy: &'static str,
+    /// Unified metrics ledger: `bb.*` node-lifecycle counters plus the
+    /// merged `lp.*` and `gpu.*` series from the LP solver and executors.
+    pub metrics: MetricsRegistry,
 }
 
 /// The result of a MIP solve.
@@ -278,6 +282,40 @@ impl<E: SimplexEngine> MipSolver<E> {
             .with(|d| d.charge_custom(flops, bytes, false, DEFAULT_STREAM));
     }
 
+    /// The solver's simulated "now", ns: host and LP-device timelines add
+    /// when serialized and take the max under Strategy-3 overlap — the same
+    /// composition as the final `sim_time_ns`.
+    fn sim_now_ns(&self) -> f64 {
+        let h = self.host.elapsed_ns();
+        let d = self.lp_accel.as_ref().map(Accel::elapsed_ns).unwrap_or(0.0);
+        if self.overlap_host {
+            h.max(d)
+        } else {
+            h + d
+        }
+    }
+
+    /// Emits one node-lifecycle span on the solver track, covering the
+    /// node's evaluation from `t0` to the current simulated time.
+    fn node_span(&self, id: NodeId, state: &'static str, t0: f64) {
+        let t1 = self.sim_now_ns().max(t0);
+        gmip_trace::record(|| {
+            Event::complete(Track::solver(), "node", t1 - t0, t0)
+                .arg("node", id as u64)
+                .arg("state", state)
+        });
+    }
+
+    /// Marks an incumbent improvement as an instant on the solver track.
+    fn incumbent_mark(&self, objective: f64, source: &'static str) {
+        let ts = self.sim_now_ns();
+        gmip_trace::record(|| {
+            Event::instant(Track::solver(), "incumbent", ts)
+                .arg("objective", objective)
+                .arg("source", source)
+        });
+    }
+
     /// Strategy-1 accounting: park a node's record in device memory, or
     /// spill (evict to host with a transfer charge) when full. A working-set
     /// reserve is kept free so the LP engine's own buffers never starve —
@@ -358,6 +396,11 @@ impl<E: SimplexEngine> MipSolver<E> {
                 global_cuts.push((coeffs.clone(), *rhs));
                 stats.cuts += 1;
             }
+            let ts = self.sim_now_ns();
+            let n_cuts = cuts.len() as u64;
+            gmip_trace::record(|| {
+                Event::instant(Track::solver(), "cut_round", ts).arg("cuts", n_cuts)
+            });
             *sol = lp.resolve()?;
             stats.lp_iterations += sol.iterations;
         }
@@ -575,6 +618,7 @@ impl<E: SimplexEngine> MipSolver<E> {
             let parent_basis = tree.node_mut(id).data.parent_basis.take();
             let branch_info = tree.node(id).data.branch_info;
 
+            let node_t0 = self.sim_now_ns();
             let (sol, basis) = self.evaluate(
                 &mut lp_slot,
                 is_root,
@@ -588,9 +632,13 @@ impl<E: SimplexEngine> MipSolver<E> {
             match sol.status {
                 LpStatus::Infeasible => {
                     tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY);
+                    self.node_span(id, "infeasible", node_t0);
                 }
                 LpStatus::Unbounded => {
                     if is_root {
+                        if let Some(lp) = &lp_slot {
+                            stats.metrics.merge(lp.metrics());
+                        }
                         return Ok(self.finish(MipStatus::Unbounded, None, stats, tree));
                     }
                     return Err(LpError::Shape(
@@ -614,12 +662,17 @@ impl<E: SimplexEngine> MipSolver<E> {
                         .unwrap_or(f64::NEG_INFINITY);
                     if internal <= inc_val + self.cfg.prune_tol {
                         tree.settle(id, NodeState::Pruned, internal);
+                        self.node_span(id, "pruned", node_t0);
                         continue;
                     }
                     let frac = branch::fractional_vars(&self.instance, &sol.x, self.cfg.int_tol);
                     if frac.is_empty() {
                         tree.settle(id, NodeState::Feasible, internal);
-                        self.accept_incumbent(&sol.x, internal, &mut incumbent);
+                        self.node_span(id, "integer_feasible", node_t0);
+                        if self.accept_incumbent(&sol.x, internal, &mut incumbent) {
+                            stats.metrics.incr(names::BB_INCUMBENTS, 1.0);
+                            self.incumbent_mark(self.to_source(internal), "node");
+                        }
                         if let Some((inc, _)) = &incumbent {
                             tree.prune_dominated(*inc, self.cfg.prune_tol);
                         }
@@ -637,6 +690,8 @@ impl<E: SimplexEngine> MipSolver<E> {
                             if cand > cur + self.cfg.prune_tol {
                                 incumbent = Some((cand, p));
                                 stats.heur_incumbents += 1;
+                                stats.metrics.incr(names::BB_INCUMBENTS, 1.0);
+                                self.incumbent_mark(self.to_source(cand), "rounding");
                                 tree.prune_dominated(cand, self.cfg.prune_tol);
                             }
                         }
@@ -659,6 +714,8 @@ impl<E: SimplexEngine> MipSolver<E> {
                             if cand > cur + self.cfg.prune_tol {
                                 incumbent = Some((cand, p));
                                 stats.heur_incumbents += 1;
+                                stats.metrics.incr(names::BB_INCUMBENTS, 1.0);
+                                self.incumbent_mark(self.to_source(cand), "diving");
                                 tree.prune_dominated(cand, self.cfg.prune_tol);
                             }
                         }
@@ -734,6 +791,7 @@ impl<E: SimplexEngine> MipSolver<E> {
                     };
                     let children = vec![mk_child(false), mk_child(true)];
                     tree.branch(id, internal, children);
+                    self.node_span(id, "branched", node_t0);
                     self.tree_alloc(&mut stats);
                     self.tree_alloc(&mut stats);
                 }
@@ -755,10 +813,19 @@ impl<E: SimplexEngine> MipSolver<E> {
             stats.gap = (best_open - inc).max(0.0);
         }
         stats.tree = tree.stats().clone();
+        if let Some(lp) = &lp_slot {
+            stats.metrics.merge(lp.metrics());
+        }
         Ok(self.finish_with_incumbent(status, incumbent, stats, tree))
     }
 
-    fn accept_incumbent(&self, x: &[f64], internal: f64, incumbent: &mut Option<(f64, Vec<f64>)>) {
+    /// Installs a candidate incumbent if it improves; returns whether it did.
+    fn accept_incumbent(
+        &self,
+        x: &[f64],
+        internal: f64,
+        incumbent: &mut Option<(f64, Vec<f64>)>,
+    ) -> bool {
         // Round integral variables for exact reporting; verify.
         let mut p = x.to_vec();
         for j in self.instance.integral_indices() {
@@ -775,6 +842,9 @@ impl<E: SimplexEngine> MipSolver<E> {
             .unwrap_or(f64::NEG_INFINITY);
         if internal > cur {
             *incumbent = Some((internal, point));
+            true
+        } else {
+            false
         }
     }
 
@@ -810,6 +880,39 @@ impl<E: SimplexEngine> MipSolver<E> {
         };
         if stats.tree.created == 0 {
             stats.tree = tree.stats().clone();
+        }
+        // Fold node-lifecycle counters and the executor ledgers into the
+        // unified metrics registry (the CLI/bench summary view).
+        let (created, branched, feasible, infeas, pruned) = (
+            stats.tree.created,
+            stats.tree.branched,
+            stats.tree.feasible,
+            stats.tree.infeasible,
+            stats.tree.pruned,
+        );
+        let (evaluated, cuts, heur, lp_iters) = (
+            stats.nodes,
+            stats.cuts,
+            stats.heur_incumbents,
+            stats.lp_iterations,
+        );
+        let m = &mut stats.metrics;
+        m.incr(names::BB_NODES_CREATED, created as f64);
+        m.incr(names::BB_NODES_EVALUATED, evaluated as f64);
+        m.incr(names::BB_NODES_BRANCHED, branched as f64);
+        m.incr(names::BB_NODES_INTEGER_FEASIBLE, feasible as f64);
+        m.incr(names::BB_NODES_INFEASIBLE, infeas as f64);
+        m.incr(names::BB_NODES_PRUNED, pruned as f64);
+        m.incr(names::BB_CUTS_ADDED, cuts as f64);
+        m.incr(names::BB_HEUR_INCUMBENTS, heur as f64);
+        // lp.* iterations were merged from the LP solver when an engine was
+        // retained; the fresh-engine-per-node path only has the field count.
+        if m.counter(names::LP_ITERATIONS) == 0.0 {
+            m.incr(names::LP_ITERATIONS, lp_iters as f64);
+        }
+        stats.metrics.merge(&self.host.metrics());
+        if let Some(a) = &self.lp_accel {
+            stats.metrics.merge(&a.metrics());
         }
         let (objective, x) = match &incumbent {
             Some((internal, p)) => (self.to_source(*internal), p.clone()),
@@ -1070,6 +1173,28 @@ mod tests {
             strong_nodes <= plain_nodes,
             "strong branching used more nodes: {strong_nodes} vs {plain_nodes}"
         );
+    }
+
+    #[test]
+    fn solve_populates_unified_metrics_and_trace() {
+        use gmip_gpu::Accel;
+        use gmip_trace::TraceSession;
+        let session = TraceSession::start();
+        let m = knapsack(12, 0.5, 3);
+        let mut s = MipSolver::on_accel(m, MipConfig::default(), Accel::gpu(1));
+        let r = s.solve().unwrap();
+        let trace = session.finish();
+        let mm = &r.stats.metrics;
+        assert_eq!(mm.counter(names::BB_NODES_EVALUATED), r.stats.nodes as f64);
+        assert_eq!(mm.counter(names::BB_CUTS_ADDED), r.stats.cuts as f64);
+        assert!(mm.counter(names::LP_ITERATIONS) > 0.0);
+        assert!(mm.counter(names::GPU_KERNEL_LAUNCHES) > 0.0);
+        // Node-lifecycle spans and device kernel spans landed in the trace.
+        assert!(trace.events.iter().any(|e| e.event.name == "node"));
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| e.event.track.group == gmip_trace::TrackGroup::Gpu(0)));
     }
 
     #[test]

@@ -21,11 +21,12 @@
 use crate::cost::{flops, CostModel};
 use crate::memory::{DeviceMemory, OutOfMemory};
 use crate::stats::DeviceStats;
-use crate::stream::{Event, StreamId, StreamSet};
+use crate::stream::{Event as StreamEvent, StreamId, StreamSet};
 use gmip_linalg::{
     batch as lbatch, CholeskyFactors, CsrMatrix, DenseMatrix, EtaFile, LinalgError, LuFactors,
     SparseEtaFile, SparseLu,
 };
+use gmip_trace::{names, Event, MetricsRegistry, Track, TrackGroup};
 use std::collections::HashMap;
 
 /// Errors surfaced by device operations.
@@ -166,7 +167,8 @@ pub struct GpuDevice {
     cost: CostModel,
     mem: DeviceMemory,
     streams: StreamSet,
-    stats: DeviceStats,
+    registry: MetricsRegistry,
+    track: TrackGroup,
     objects: HashMap<u64, (Obj, usize)>,
     next_id: u64,
 }
@@ -178,7 +180,8 @@ impl GpuDevice {
             cost: config.cost,
             mem: DeviceMemory::new(config.mem_capacity),
             streams: StreamSet::new(config.streams),
-            stats: DeviceStats::default(),
+            registry: MetricsRegistry::new(),
+            track: TrackGroup::Gpu(0),
             objects: HashMap::new(),
             next_id: 1,
         }
@@ -194,9 +197,29 @@ impl GpuDevice {
         &self.mem
     }
 
-    /// Cumulative operation counters.
-    pub fn stats(&self) -> &DeviceStats {
-        &self.stats
+    /// Cumulative operation counters, materialized from the metrics
+    /// registry (the registry is the ledger of record; [`DeviceStats`] is
+    /// the stable reporting view over it).
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats::from_registry(&self.registry)
+    }
+
+    /// The device's metrics registry (counters/gauges under the `gpu.*`
+    /// names of [`gmip_trace::names`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Assigns the trace track group this device's spans land on (which
+    /// GPU index, or the host group for a CPU executor). Defaults to
+    /// `TrackGroup::Gpu(0)`.
+    pub fn set_trace_group(&mut self, group: TrackGroup) {
+        self.track = group;
+    }
+
+    /// The trace track group this device emits spans on.
+    pub fn trace_group(&self) -> TrackGroup {
+        self.track
     }
 
     /// Simulated time at the device completion frontier, ns.
@@ -210,60 +233,92 @@ impl GpuDevice {
     }
 
     /// Records an event on `stream`.
-    pub fn record_event(&self, stream: StreamId) -> Event {
+    pub fn record_event(&self, stream: StreamId) -> StreamEvent {
         self.streams.record(stream)
     }
 
     /// Makes `stream` wait on `event`.
-    pub fn wait_event(&mut self, stream: StreamId, event: Event) {
+    pub fn wait_event(&mut self, stream: StreamId, event: StreamEvent) {
         self.streams.wait(stream, event)
     }
 
     /// Synchronizes all streams; returns the joined timestamp.
     pub fn synchronize(&mut self) -> f64 {
-        self.streams.sync()
+        let t = self.streams.sync();
+        self.registry.incr(names::GPU_SYNCS, 1.0);
+        let track = self.track;
+        gmip_trace::record(|| {
+            Event::instant(
+                Track {
+                    group: track,
+                    lane: 0,
+                },
+                "sync",
+                t,
+            )
+        });
+        t
     }
 
     // ---- internal plumbing ----
 
     fn insert(&mut self, obj: Obj, bytes: usize) -> Result<u64> {
         self.mem.alloc(bytes)?;
+        self.registry
+            .max_gauge(names::GPU_MEM_PEAK_BYTES, self.mem.used() as f64);
         let id = self.next_id;
         self.next_id += 1;
         self.objects.insert(id, (obj, bytes));
         Ok(id)
     }
 
+    /// Emits a span for an operation that occupied `[done - t, done)` on
+    /// `stream` (`enqueue` returns the stream's new completion frontier, so
+    /// the span start is recovered by subtracting the charged cost).
+    fn trace_span(&self, name: &'static str, stream: StreamId, done: f64, t: f64, bytes: f64) {
+        let track = Track {
+            group: self.track,
+            lane: stream as u32,
+        };
+        gmip_trace::record(|| {
+            Event::complete(track, name, done - t, t).arg("bytes", bytes.max(0.0) as u64)
+        });
+    }
+
     fn charge_h2d(&mut self, bytes: usize, stream: StreamId) {
         let t = self.cost.transfer_ns(bytes);
-        self.streams.enqueue(stream, t);
-        self.stats.h2d_transfers += 1;
-        self.stats.h2d_bytes += bytes as u64;
-        self.stats.transfer_ns += t;
+        let done = self.streams.enqueue(stream, t);
+        self.registry.incr(names::GPU_H2D_TRANSFERS, 1.0);
+        self.registry.incr(names::GPU_H2D_BYTES, bytes as f64);
+        self.registry.incr(names::GPU_TRANSFER_NS, t);
+        self.trace_span("h2d", stream, done, t, bytes as f64);
     }
 
     fn charge_d2h(&mut self, bytes: usize, stream: StreamId) {
         let t = self.cost.transfer_ns(bytes);
-        self.streams.enqueue(stream, t);
-        self.stats.d2h_transfers += 1;
-        self.stats.d2h_bytes += bytes as u64;
-        self.stats.transfer_ns += t;
+        let done = self.streams.enqueue(stream, t);
+        self.registry.incr(names::GPU_D2H_TRANSFERS, 1.0);
+        self.registry.incr(names::GPU_D2H_BYTES, bytes as f64);
+        self.registry.incr(names::GPU_TRANSFER_NS, t);
+        self.trace_span("d2h", stream, done, t, bytes as f64);
     }
 
-    fn charge_dense_kernel(&mut self, fl: f64, bytes: f64, stream: StreamId) {
+    fn charge_dense_kernel(&mut self, name: &'static str, fl: f64, bytes: f64, stream: StreamId) {
         let t = self.cost.dense_kernel_ns(fl, bytes);
-        self.streams.enqueue(stream, t);
-        self.stats.kernel_launches += 1;
-        self.stats.flops += fl;
-        self.stats.kernel_ns += t;
+        let done = self.streams.enqueue(stream, t);
+        self.registry.incr(names::GPU_KERNEL_LAUNCHES, 1.0);
+        self.registry.incr(names::GPU_KERNEL_FLOPS, fl);
+        self.registry.incr(names::GPU_KERNEL_NS, t);
+        self.trace_span(name, stream, done, t, bytes);
     }
 
-    fn charge_sparse_kernel(&mut self, fl: f64, bytes: f64, stream: StreamId) {
+    fn charge_sparse_kernel(&mut self, name: &'static str, fl: f64, bytes: f64, stream: StreamId) {
         let t = self.cost.sparse_kernel_ns(fl, bytes);
-        self.streams.enqueue(stream, t);
-        self.stats.kernel_launches += 1;
-        self.stats.flops += fl;
-        self.stats.kernel_ns += t;
+        let done = self.streams.enqueue(stream, t);
+        self.registry.incr(names::GPU_KERNEL_LAUNCHES, 1.0);
+        self.registry.incr(names::GPU_KERNEL_FLOPS, fl);
+        self.registry.incr(names::GPU_KERNEL_NS, t);
+        self.trace_span(name, stream, done, t, bytes);
     }
 
     fn matrix(&self, h: MatrixHandle) -> Result<&DenseMatrix> {
@@ -332,10 +387,24 @@ impl GpuDevice {
     /// heuristics) whose numerics run outside the kernel set, and for
     /// modeling distributed collectives in the Big-MIP strategy.
     pub fn charge_custom(&mut self, flops: f64, bytes: f64, sparse: bool, stream: StreamId) {
+        self.charge_custom_named("custom", flops, bytes, sparse, stream);
+    }
+
+    /// [`charge_custom`](Self::charge_custom) with an explicit span name,
+    /// so modeled work shows up meaningfully in traces ("ipm_iteration",
+    /// "cut_separation", ...) rather than as anonymous kernels.
+    pub fn charge_custom_named(
+        &mut self,
+        name: &'static str,
+        flops: f64,
+        bytes: f64,
+        sparse: bool,
+        stream: StreamId,
+    ) {
         if sparse {
-            self.charge_sparse_kernel(flops, bytes, stream);
+            self.charge_sparse_kernel(name, flops, bytes, stream);
         } else {
-            self.charge_dense_kernel(flops, bytes, stream);
+            self.charge_dense_kernel(name, flops, bytes, stream);
         }
     }
 
@@ -468,7 +537,7 @@ impl GpuDevice {
         }
         let bytes = out.size_bytes();
         // Memory-bound device kernel: read + write the gathered block.
-        self.charge_dense_kernel(0.0, 2.0 * bytes as f64, stream);
+        self.charge_dense_kernel("gather_columns", 0.0, 2.0 * bytes as f64, stream);
         let id = self.insert(Obj::Matrix(out), bytes)?;
         Ok(MatrixHandle(id))
     }
@@ -479,7 +548,7 @@ impl GpuDevice {
         let n = m.rows();
         let f = LuFactors::factorize(m)?;
         let bytes = m.size_bytes() + n * std::mem::size_of::<usize>();
-        self.charge_dense_kernel(flops::lu(n), m.size_bytes() as f64, stream);
+        self.charge_dense_kernel("lu_factor", flops::lu(n), m.size_bytes() as f64, stream);
         let id = self.insert(Obj::Factors(f), bytes)?;
         Ok(FactorHandle(id))
     }
@@ -491,7 +560,7 @@ impl GpuDevice {
         let n = m.rows();
         let mbytes = m.size_bytes();
         let f = CholeskyFactors::factorize(m)?;
-        self.charge_dense_kernel(flops::cholesky(n), mbytes as f64, stream);
+        self.charge_dense_kernel("cholesky_factor", flops::cholesky(n), mbytes as f64, stream);
         let id = self.insert(Obj::Cholesky(f), mbytes)?;
         Ok(CholeskyHandle(id))
     }
@@ -512,7 +581,12 @@ impl GpuDevice {
             fac.solve(rhs)?
         };
         let n = x.len();
-        self.charge_dense_kernel(flops::lu_solve(n), (n * n * 8) as f64, stream);
+        self.charge_dense_kernel(
+            "cholesky_solve",
+            flops::lu_solve(n),
+            (n * n * 8) as f64,
+            stream,
+        );
         let id = self.insert(Obj::Vector(x), n * 8)?;
         Ok(VectorHandle(id))
     }
@@ -530,7 +604,7 @@ impl GpuDevice {
             fac.solve(rhs)?
         };
         let n = x.len();
-        self.charge_dense_kernel(flops::lu_solve(n), (n * n * 8) as f64, stream);
+        self.charge_dense_kernel("lu_solve", flops::lu_solve(n), (n * n * 8) as f64, stream);
         let bytes = n * 8;
         let id = self.insert(Obj::Vector(x), bytes)?;
         Ok(VectorHandle(id))
@@ -549,7 +623,12 @@ impl GpuDevice {
             fac.solve_transposed(rhs)?
         };
         let n = x.len();
-        self.charge_dense_kernel(flops::lu_solve(n), (n * n * 8) as f64, stream);
+        self.charge_dense_kernel(
+            "lu_solve_transposed",
+            flops::lu_solve(n),
+            (n * n * 8) as f64,
+            stream,
+        );
         let id = self.insert(Obj::Vector(x), n * 8)?;
         Ok(VectorHandle(id))
     }
@@ -570,7 +649,12 @@ impl GpuDevice {
             let m = self.matrix(a)?;
             (m.rows(), m.cols())
         };
-        self.charge_dense_kernel(flops::gemv(rows, cols), (rows * cols * 8) as f64, stream);
+        self.charge_dense_kernel(
+            "gemv",
+            flops::gemv(rows, cols),
+            (rows * cols * 8) as f64,
+            stream,
+        );
         let bytes = y.len() * 8;
         let id = self.insert(Obj::Vector(y), bytes)?;
         Ok(VectorHandle(id))
@@ -592,7 +676,12 @@ impl GpuDevice {
             let m = self.matrix(a)?;
             (m.rows(), m.cols())
         };
-        self.charge_dense_kernel(flops::gemv(rows, cols), (rows * cols * 8) as f64, stream);
+        self.charge_dense_kernel(
+            "gemv_transposed",
+            flops::gemv(rows, cols),
+            (rows * cols * 8) as f64,
+            stream,
+        );
         let bytes = y.len() * 8;
         let id = self.insert(Obj::Vector(y), bytes)?;
         Ok(VectorHandle(id))
@@ -630,6 +719,7 @@ impl GpuDevice {
             (m.rows(), m.cols())
         };
         self.charge_dense_kernel(
+            "pricing",
             flops::gemv(rows, cols) + cols as f64,
             (rows * cols * 8) as f64,
             stream,
@@ -665,7 +755,7 @@ impl GpuDevice {
             best
         };
         let n = self.vector(v)?.len();
-        self.charge_dense_kernel(n as f64, (2 * n * 8) as f64, stream);
+        self.charge_dense_kernel("argmin_masked", n as f64, (2 * n * 8) as f64, stream);
         self.charge_d2h(16, stream);
         Ok(result)
     }
@@ -701,7 +791,7 @@ impl GpuDevice {
             best
         };
         let n = self.vector(xb)?.len();
-        self.charge_dense_kernel((2 * n) as f64, (2 * n * 8) as f64, stream);
+        self.charge_dense_kernel("ratio_argmin", (2 * n) as f64, (2 * n * 8) as f64, stream);
         self.charge_d2h(16, stream);
         Ok(result)
     }
@@ -749,7 +839,7 @@ impl GpuDevice {
         let add_bytes = std::mem::size_of_val(row);
         // Charge the transfer and the splice kernel before mutating.
         self.charge_h2d(add_bytes, stream);
-        self.charge_dense_kernel(0.0, add_bytes as f64, stream);
+        self.charge_dense_kernel("append_row", 0.0, add_bytes as f64, stream);
         self.mem.alloc(add_bytes)?;
         match self.objects.get_mut(&h.0) {
             Some((Obj::Matrix(m), bytes)) => {
@@ -783,7 +873,7 @@ impl GpuDevice {
             m.col(j)
         };
         let bytes = col.len() * 8;
-        self.charge_dense_kernel(0.0, (2 * bytes) as f64, stream);
+        self.charge_dense_kernel("extract_column", 0.0, (2 * bytes) as f64, stream);
         let id = self.insert(Obj::Vector(col), bytes)?;
         Ok(VectorHandle(id))
     }
@@ -793,7 +883,7 @@ impl GpuDevice {
     pub fn append_column(&mut self, h: MatrixHandle, col: &[f64], stream: StreamId) -> Result<()> {
         let add_bytes = std::mem::size_of_val(col);
         self.charge_h2d(add_bytes, stream);
-        self.charge_dense_kernel(0.0, add_bytes as f64, stream);
+        self.charge_dense_kernel("append_column", 0.0, add_bytes as f64, stream);
         self.mem.alloc(add_bytes)?;
         match self.objects.get_mut(&h.0) {
             Some((Obj::Matrix(m), bytes)) => {
@@ -837,6 +927,7 @@ impl GpuDevice {
             (m.rows(), m.cols())
         };
         self.charge_dense_kernel(
+            "residual",
             flops::gemv(rows, cols) + rows as f64,
             (rows * cols * 8) as f64,
             stream,
@@ -868,7 +959,7 @@ impl GpuDevice {
                 .collect::<Vec<f64>>()
         };
         let n = c.len();
-        self.charge_dense_kernel(n as f64, (3 * n * 8) as f64, stream);
+        self.charge_dense_kernel("vec_mul", n as f64, (3 * n * 8) as f64, stream);
         let id = self.insert(Obj::Vector(c), n * 8)?;
         Ok(VectorHandle(id))
     }
@@ -889,7 +980,7 @@ impl GpuDevice {
         }
         let mut v = vec![0.0; n];
         v[r] = 1.0;
-        self.charge_dense_kernel(0.0, (n * 8) as f64, stream);
+        self.charge_dense_kernel("alloc_unit_vector", 0.0, (n * 8) as f64, stream);
         let id = self.insert(Obj::Vector(v), n * 8)?;
         Ok(VectorHandle(id))
     }
@@ -953,7 +1044,12 @@ impl GpuDevice {
             best
         };
         let m = self.vector(xb)?.len();
-        self.charge_dense_kernel((4 * m) as f64, (4 * m * 8) as f64, stream);
+        self.charge_dense_kernel(
+            "ratio_test_bounded",
+            (4 * m) as f64,
+            (4 * m * 8) as f64,
+            stream,
+        );
         self.charge_d2h(24, stream);
         Ok(result)
     }
@@ -997,7 +1093,7 @@ impl GpuDevice {
                 x[r] = v;
             }
         }
-        self.charge_dense_kernel((2 * n) as f64, (2 * n * 8) as f64, stream);
+        self.charge_dense_kernel("basic_step", (2 * n) as f64, (2 * n * 8) as f64, stream);
         Ok(())
     }
 
@@ -1038,7 +1134,12 @@ impl GpuDevice {
             best
         };
         let m = self.vector(xb)?.len();
-        self.charge_dense_kernel((2 * m) as f64, (3 * m * 8) as f64, stream);
+        self.charge_dense_kernel(
+            "primal_infeas_argmax",
+            (2 * m) as f64,
+            (3 * m * 8) as f64,
+            stream,
+        );
         self.charge_d2h(24, stream);
         Ok(result)
     }
@@ -1090,7 +1191,12 @@ impl GpuDevice {
             best
         };
         let n = self.vector(d)?.len();
-        self.charge_dense_kernel((3 * n) as f64, (3 * n * 8) as f64, stream);
+        self.charge_dense_kernel(
+            "dual_ratio_argmin",
+            (3 * n) as f64,
+            (3 * n * 8) as f64,
+            stream,
+        );
         self.charge_d2h(16, stream);
         Ok(result)
     }
@@ -1133,7 +1239,7 @@ impl GpuDevice {
             best.map(|(j, _, sd)| (j, sd))
         };
         let n = self.vector(d)?.len();
-        self.charge_dense_kernel((3 * n) as f64, (3 * n * 8) as f64, stream);
+        self.charge_dense_kernel("devex_argmax", (3 * n) as f64, (3 * n * 8) as f64, stream);
         self.charge_d2h(16, stream);
         Ok(result)
     }
@@ -1173,7 +1279,12 @@ impl GpuDevice {
                 }
             }
         }
-        self.charge_dense_kernel((3 * n) as f64, (2 * n * 8) as f64, stream);
+        self.charge_dense_kernel(
+            "devex_weight_update",
+            (3 * n) as f64,
+            (2 * n * 8) as f64,
+            stream,
+        );
         Ok(())
     }
 
@@ -1185,7 +1296,7 @@ impl GpuDevice {
         let n = m.rows();
         let mbytes = m.size_bytes();
         let file = EtaFile::factorize(m)?;
-        self.charge_dense_kernel(flops::lu(n), mbytes as f64, stream);
+        self.charge_dense_kernel("eta_factor", flops::lu(n), mbytes as f64, stream);
         // Account LU + headroom for eta growth (charged as it grows).
         let bytes = mbytes + n * 8;
         let id = self.insert(Obj::Eta(file), bytes)?;
@@ -1209,6 +1320,7 @@ impl GpuDevice {
             (file.dim(), file.eta_count())
         };
         self.charge_dense_kernel(
+            "eta_ftran",
             flops::lu_solve(n) + flops::eta_apply(k, n),
             ((n * n + k * n) * 8) as f64,
             stream,
@@ -1234,6 +1346,7 @@ impl GpuDevice {
             (file.dim(), file.eta_count())
         };
         self.charge_dense_kernel(
+            "eta_btran",
             flops::lu_solve(n) + flops::eta_apply(k, n),
             ((n * n + k * n) * 8) as f64,
             stream,
@@ -1273,7 +1386,7 @@ impl GpuDevice {
             }
         }
         // A small device-side kernel appends the eta column.
-        self.charge_dense_kernel(n as f64, add_bytes as f64, stream);
+        self.charge_dense_kernel("eta_update", n as f64, add_bytes as f64, stream);
         Ok(())
     }
 
@@ -1304,7 +1417,7 @@ impl GpuDevice {
             }
             _ => return Err(GpuError::InvalidHandle(h.0)),
         }
-        self.charge_dense_kernel(flops::lu(n), (n * n * 8) as f64, stream);
+        self.charge_dense_kernel("eta_refactorize", flops::lu(n), (n * n * 8) as f64, stream);
         Ok(())
     }
 
@@ -1323,7 +1436,7 @@ impl GpuDevice {
             m.matvec(v)?
         };
         let nnz = self.sparse(a)?.nnz();
-        self.charge_sparse_kernel(flops::spmv(nnz), (nnz * 16) as f64, stream);
+        self.charge_sparse_kernel("spmv", flops::spmv(nnz), (nnz * 16) as f64, stream);
         let bytes = y.len() * 8;
         let id = self.insert(Obj::Vector(y), bytes)?;
         Ok(VectorHandle(id))
@@ -1342,7 +1455,12 @@ impl GpuDevice {
             m.matvec_transposed(v)?
         };
         let nnz = self.sparse(a)?.nnz();
-        self.charge_sparse_kernel(flops::spmv(nnz), (nnz * 16) as f64, stream);
+        self.charge_sparse_kernel(
+            "spmv_transposed",
+            flops::spmv(nnz),
+            (nnz * 16) as f64,
+            stream,
+        );
         let bytes = y.len() * 8;
         let id = self.insert(Obj::Vector(y), bytes)?;
         Ok(VectorHandle(id))
@@ -1360,7 +1478,12 @@ impl GpuDevice {
             SparseLu::factorize(&m.to_csc())?
         };
         let fill = f.fill_nnz();
-        self.charge_sparse_kernel(flops::sparse_lu(fill), (fill * 16) as f64, stream);
+        self.charge_sparse_kernel(
+            "sparse_lu_factor",
+            flops::sparse_lu(fill),
+            (fill * 16) as f64,
+            stream,
+        );
         let bytes = fill * 16;
         let id = self.insert(Obj::SparseFactors(f), bytes)?;
         Ok(SparseFactorHandle(id))
@@ -1379,7 +1502,12 @@ impl GpuDevice {
             fac.solve(rhs)?
         };
         let fill = self.sparse_factors(f)?.fill_nnz();
-        self.charge_sparse_kernel(flops::spmv(fill), (fill * 16) as f64, stream);
+        self.charge_sparse_kernel(
+            "sparse_solve",
+            flops::spmv(fill),
+            (fill * 16) as f64,
+            stream,
+        );
         let bytes = x.len() * 8;
         let id = self.insert(Obj::Vector(x), bytes)?;
         Ok(VectorHandle(id))
@@ -1410,7 +1538,12 @@ impl GpuDevice {
             col
         };
         let bytes = col.len() * 8;
-        self.charge_sparse_kernel(col.len() as f64, (2 * bytes) as f64, stream);
+        self.charge_sparse_kernel(
+            "extract_column_sparse",
+            col.len() as f64,
+            (2 * bytes) as f64,
+            stream,
+        );
         let id = self.insert(Obj::Vector(col), bytes)?;
         Ok(VectorHandle(id))
     }
@@ -1441,7 +1574,12 @@ impl GpuDevice {
             d
         };
         let nnz = self.sparse(a)?.nnz();
-        self.charge_sparse_kernel(flops::spmv(nnz) + d.len() as f64, (nnz * 16) as f64, stream);
+        self.charge_sparse_kernel(
+            "pricing_sparse",
+            flops::spmv(nnz) + d.len() as f64,
+            (nnz * 16) as f64,
+            stream,
+        );
         let bytes = d.len() * 8;
         let id = self.insert(Obj::Vector(d), bytes)?;
         Ok(VectorHandle(id))
@@ -1471,7 +1609,12 @@ impl GpuDevice {
                 .collect::<Vec<f64>>()
         };
         let nnz = self.sparse(a)?.nnz();
-        self.charge_sparse_kernel(flops::spmv(nnz) + r.len() as f64, (nnz * 16) as f64, stream);
+        self.charge_sparse_kernel(
+            "residual_sparse",
+            flops::spmv(nnz) + r.len() as f64,
+            (nnz * 16) as f64,
+            stream,
+        );
         let bytes = r.len() * 8;
         let id = self.insert(Obj::Vector(r), bytes)?;
         Ok(VectorHandle(id))
@@ -1493,7 +1636,12 @@ impl GpuDevice {
         };
         let fill = file.fill_nnz();
         // Gather traffic + factorization work, all at sparse throughput.
-        self.charge_sparse_kernel(flops::sparse_lu(fill), (fill * 16) as f64, stream);
+        self.charge_sparse_kernel(
+            "sparse_eta_factor",
+            flops::sparse_lu(fill),
+            (fill * 16) as f64,
+            stream,
+        );
         let bytes = fill * 16 + cols.len() * 8;
         let id = self.insert(Obj::SparseEta(file), bytes)?;
         Ok(SparseEtaHandle(id))
@@ -1516,6 +1664,7 @@ impl GpuDevice {
             (file.dim(), file.eta_count(), file.fill_nnz())
         };
         self.charge_sparse_kernel(
+            "sparse_eta_ftran",
             flops::spmv(fill) + flops::eta_apply(k, n),
             (fill * 16 + k * n * 8) as f64,
             stream,
@@ -1541,6 +1690,7 @@ impl GpuDevice {
             (file.dim(), file.eta_count(), file.fill_nnz())
         };
         self.charge_sparse_kernel(
+            "sparse_eta_btran",
             flops::spmv(fill) + flops::eta_apply(k, n),
             (fill * 16 + k * n * 8) as f64,
             stream,
@@ -1576,7 +1726,7 @@ impl GpuDevice {
                 return Err(GpuError::InvalidHandle(h.0));
             }
         }
-        self.charge_dense_kernel(n as f64, add_bytes as f64, stream);
+        self.charge_dense_kernel("sparse_eta_update", n as f64, add_bytes as f64, stream);
         Ok(())
     }
 
@@ -1607,7 +1757,12 @@ impl GpuDevice {
             }
             _ => return Err(GpuError::InvalidHandle(h.0)),
         }
-        self.charge_sparse_kernel(flops::sparse_lu(fill), (fill * 16) as f64, stream);
+        self.charge_sparse_kernel(
+            "sparse_eta_refactorize",
+            flops::sparse_lu(fill),
+            (fill * 16) as f64,
+            stream,
+        );
         Ok(())
     }
 
@@ -1632,7 +1787,7 @@ impl GpuDevice {
     ) -> Result<()> {
         let add_bytes = entries.len() * 16 + 8;
         self.charge_h2d(add_bytes, stream);
-        self.charge_sparse_kernel(0.0, add_bytes as f64, stream);
+        self.charge_sparse_kernel("append_row_sparse", 0.0, add_bytes as f64, stream);
         self.mem.alloc(add_bytes)?;
         match self.objects.get_mut(&h.0) {
             Some((Obj::Sparse(m), bytes)) => {
@@ -1678,13 +1833,28 @@ impl GpuDevice {
             })
             .fold(0.0, f64::max);
         let t = self.cost.batched_kernel_ns(mats.len(), per_op_ns);
-        self.streams.enqueue(stream, t);
-        self.stats.kernel_launches += 1;
-        self.stats.kernel_ns += t;
-        self.stats.flops += mats
+        let done = self.streams.enqueue(stream, t);
+        let batch_flops = mats
             .iter()
             .map(|m| flops::lu(m.rows()) + flops::lu_solve(m.rows()))
             .sum::<f64>();
+        self.registry.incr(names::GPU_KERNEL_LAUNCHES, 1.0);
+        self.registry.incr(names::GPU_KERNEL_NS, t);
+        self.registry.incr(names::GPU_KERNEL_FLOPS, batch_flops);
+        let track = self.track;
+        let batch = mats.len();
+        gmip_trace::record(|| {
+            Event::complete(
+                Track {
+                    group: track,
+                    lane: stream as u32,
+                },
+                "batched_lu_solve",
+                done - t,
+                t,
+            )
+            .arg("batch", batch)
+        });
         let mut out = Vec::with_capacity(xs.len());
         for x in xs {
             let x = x.map_err(GpuError::Linalg)?;

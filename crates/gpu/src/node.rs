@@ -34,12 +34,29 @@ pub enum AccelKind {
 }
 
 impl Accel {
-    /// Wraps a device.
-    pub fn new(device: GpuDevice, kind: AccelKind) -> Self {
+    /// Wraps a device, routing its trace spans to the group matching the
+    /// executor kind (GPU devices default to `Gpu(0)`; see
+    /// [`Accel::with_trace_group`] for multi-GPU nodes).
+    pub fn new(mut device: GpuDevice, kind: AccelKind) -> Self {
+        if kind == AccelKind::Cpu {
+            device.set_trace_group(gmip_trace::TrackGroup::Host);
+        }
         Self {
             inner: Arc::new(Mutex::new(device)),
             kind,
         }
+    }
+
+    /// Reassigns the trace track group (e.g. `TrackGroup::Gpu(i)` for the
+    /// i-th device of a node) and returns the handle.
+    pub fn with_trace_group(self, group: gmip_trace::TrackGroup) -> Self {
+        self.with(|d| d.set_trace_group(group));
+        self
+    }
+
+    /// Snapshot of the device's metrics registry (`gpu.*` series).
+    pub fn metrics(&self) -> gmip_trace::MetricsRegistry {
+        self.inner.lock().metrics().clone()
     }
 
     /// A GPU accelerator with `gib` GiB of memory over PCIe.
@@ -81,7 +98,7 @@ impl Accel {
 
     /// Snapshot of the device's cumulative stats.
     pub fn stats(&self) -> DeviceStats {
-        self.inner.lock().stats().clone()
+        self.inner.lock().stats()
     }
 
     /// The device's cost-model name (preset identification in reports).
@@ -110,11 +127,14 @@ pub struct ComputeNode {
 }
 
 impl ComputeNode {
-    /// Builds a node with `n_gpus` GPUs of `gib` GiB each.
+    /// Builds a node with `n_gpus` GPUs of `gib` GiB each. Each GPU's trace
+    /// spans land on its own track group (`Gpu(0)`, `Gpu(1)`, ...).
     pub fn new(n_gpus: usize, gib: usize) -> Self {
         Self {
             host: Accel::cpu(),
-            gpus: (0..n_gpus).map(|_| Accel::gpu(gib)).collect(),
+            gpus: (0..n_gpus)
+                .map(|i| Accel::gpu(gib).with_trace_group(gmip_trace::TrackGroup::Gpu(i as u16)))
+                .collect(),
         }
     }
 
@@ -123,12 +143,13 @@ impl ComputeNode {
         Self {
             host: Accel::cpu(),
             gpus: (0..n_gpus)
-                .map(|_| {
+                .map(|i| {
                     Accel::gpu_with(DeviceConfig {
                         cost: cost.clone(),
                         mem_capacity,
                         streams: 1,
                     })
+                    .with_trace_group(gmip_trace::TrackGroup::Gpu(i as u16))
                 })
                 .collect(),
         }

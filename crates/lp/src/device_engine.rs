@@ -145,6 +145,10 @@ impl SimplexEngine for DeviceEngine {
         self.m
     }
 
+    fn sim_now_ns(&self) -> Option<f64> {
+        Some(self.accel.elapsed_ns())
+    }
+
     fn n(&self) -> usize {
         self.n
     }

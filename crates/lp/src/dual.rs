@@ -10,8 +10,9 @@
 
 use crate::basis::{Basis, VarStatus};
 use crate::engine::{PivotPlan, ProblemView, SimplexEngine};
-use crate::simplex::PrimalConfig;
+use crate::simplex::{note_refactorization, PrimalConfig};
 use crate::{LpError, LpResult};
+use gmip_trace::{names, MetricsRegistry};
 
 /// Terminal outcome of a dual run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,10 +52,42 @@ pub fn dual_solve<E: SimplexEngine>(
     basis: &mut Basis,
     cfg: &DualConfig,
 ) -> LpResult<(DualOutcome, usize)> {
+    dual_solve_traced(engine, view, basis, cfg, &mut MetricsRegistry::new())
+}
+
+/// [`dual_solve`] with instrumentation mirroring
+/// [`crate::simplex::primal_solve_traced`]: iteration and refactorization
+/// counts accumulate into `metrics`.
+pub fn dual_solve_traced<E: SimplexEngine>(
+    engine: &mut E,
+    view: ProblemView<'_>,
+    basis: &mut Basis,
+    cfg: &DualConfig,
+    metrics: &mut MetricsRegistry,
+) -> LpResult<(DualOutcome, usize)> {
+    let out = dual_loop(engine, view, basis, cfg, metrics);
+    match &out {
+        Ok((_, iters)) => metrics.incr(names::LP_ITERATIONS, *iters as f64),
+        Err(LpError::IterationLimit { iterations }) => {
+            metrics.incr(names::LP_ITERATIONS, *iterations as f64)
+        }
+        Err(_) => {}
+    }
+    out
+}
+
+fn dual_loop<E: SimplexEngine>(
+    engine: &mut E,
+    view: ProblemView<'_>,
+    basis: &mut Basis,
+    cfg: &DualConfig,
+    metrics: &mut MetricsRegistry,
+) -> LpResult<(DualOutcome, usize)> {
     engine.install(view, basis)?;
     for iter in 0..cfg.base.max_iters {
         if engine.eta_count() >= cfg.base.refactor_every {
             engine.install(view, basis)?;
+            note_refactorization(engine, metrics);
         }
         // --- leaving row: the worst bound violation ---
         let Some((r, _viol, below)) = engine.primal_infeas(cfg.feas_tol)? else {

@@ -74,6 +74,13 @@ pub trait SimplexEngine {
     /// Columns of the engine's matrix.
     fn n(&self) -> usize;
 
+    /// Simulated-time frontier of this engine's executor, ns — used to
+    /// timestamp LP trace spans. Engines with no modeled clock (the host
+    /// reference engine) return `None` and their spans are suppressed.
+    fn sim_now_ns(&self) -> Option<f64> {
+        None
+    }
+
     /// Installs a basis: factorizes `B`, computes basic values
     /// `x_B = B⁻¹(b − N x_N)`, and loads objective/status/bound state.
     /// σ is 0 for basic columns *and* for fixed columns (`lb == ub`), which

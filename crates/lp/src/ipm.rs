@@ -177,6 +177,17 @@ pub fn solve_ipm(lp: &StandardLp, cfg: &IpmConfig, accel: Option<&Accel>) -> LpR
                 adat.set(k, i, acc);
             }
         }
+        // Primal regularization: A D Aᵀ is SPD in exact arithmetic, but as
+        // iterates approach the boundary the scaling D spans many orders of
+        // magnitude and a Cholesky pivot can go nonpositive in floating
+        // point. A diagonal shift proportional to the largest diagonal
+        // entry keeps the factorization alive without disturbing the
+        // converged residuals (which are measured exactly above).
+        let max_diag = (0..m).fold(0.0f64, |a, i| a.max(adat.get(i, i)));
+        let delta = 1e-12 * (1.0 + max_diag);
+        for i in 0..m {
+            adat.set(i, i, adat.get(i, i) + delta);
+        }
         let mut rhs = rp.clone();
         for i in 0..m {
             let mut acc = 0.0;

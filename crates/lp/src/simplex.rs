@@ -10,6 +10,7 @@
 use crate::basis::{Basis, VarStatus};
 use crate::engine::{PivotPlan, ProblemView, SimplexEngine};
 use crate::{LpError, LpResult};
+use gmip_trace::{names, Event, MetricsRegistry, Track};
 
 /// Entering-variable pricing rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,6 +75,47 @@ pub fn primal_solve<E: SimplexEngine>(
     basis: &mut Basis,
     cfg: &PrimalConfig,
 ) -> LpResult<(PrimalOutcome, usize)> {
+    primal_solve_traced(engine, view, basis, cfg, &mut MetricsRegistry::new())
+}
+
+/// [`primal_solve`] with instrumentation: iterations and mid-run
+/// refactorizations are accumulated into `metrics` (`lp.*` keys), and each
+/// refactorization lands as an instant on the LP trace track when the
+/// engine has a simulated clock.
+pub fn primal_solve_traced<E: SimplexEngine>(
+    engine: &mut E,
+    view: ProblemView<'_>,
+    basis: &mut Basis,
+    cfg: &PrimalConfig,
+    metrics: &mut MetricsRegistry,
+) -> LpResult<(PrimalOutcome, usize)> {
+    let out = primal_loop(engine, view, basis, cfg, metrics);
+    match &out {
+        Ok((_, iters)) => metrics.incr(names::LP_ITERATIONS, *iters as f64),
+        Err(LpError::IterationLimit { iterations }) => {
+            metrics.incr(names::LP_ITERATIONS, *iterations as f64)
+        }
+        Err(_) => {}
+    }
+    out
+}
+
+/// Marks a mid-run refactorization: bumps the counter and drops an instant
+/// event on the LP track at the engine's simulated-time frontier.
+pub(crate) fn note_refactorization<E: SimplexEngine>(engine: &E, metrics: &mut MetricsRegistry) {
+    metrics.incr(names::LP_REFACTORIZATIONS, 1.0);
+    if let Some(ts) = engine.sim_now_ns() {
+        gmip_trace::record(|| Event::instant(Track::lp(), "refactorize", ts));
+    }
+}
+
+fn primal_loop<E: SimplexEngine>(
+    engine: &mut E,
+    view: ProblemView<'_>,
+    basis: &mut Basis,
+    cfg: &PrimalConfig,
+    metrics: &mut MetricsRegistry,
+) -> LpResult<(PrimalOutcome, usize)> {
     engine.install(view, basis)?;
     let mut degenerate_streak = 0usize;
     let mut bland = false;
@@ -81,6 +123,7 @@ pub fn primal_solve<E: SimplexEngine>(
     for iter in 0..cfg.max_iters {
         if engine.eta_count() >= cfg.refactor_every {
             engine.install(view, basis)?;
+            note_refactorization(engine, metrics);
         }
         // --- entering variable ---
         let q = if bland {

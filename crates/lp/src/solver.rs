@@ -17,12 +17,13 @@
 //! only grows — never re-transferred — matching the paper's reuse doctrine.
 
 use crate::basis::{Basis, VarStatus};
-use crate::dual::{dual_solve, DualConfig, DualOutcome};
+use crate::dual::{dual_solve_traced, DualConfig, DualOutcome};
 use crate::engine::{ProblemView, SimplexEngine};
 use crate::problem::{BoundChange, StandardLp};
-use crate::simplex::{assemble_point, primal_solve, PrimalConfig, PrimalOutcome};
+use crate::simplex::{assemble_point, primal_solve_traced, PrimalConfig, PrimalOutcome};
 use crate::{LpError, LpResult};
 use gmip_linalg::DenseMatrix;
+use gmip_trace::{names, Event, MetricsRegistry, Track};
 
 /// Solver configuration.
 #[derive(Debug, Clone, Default)]
@@ -103,6 +104,8 @@ pub struct LpSolver<E: SimplexEngine> {
     cut_rows: Vec<(Vec<(usize, f64)>, f64)>,
     cfg: LpConfig,
     basis: Option<Basis>,
+    /// Accumulated `lp.*` metrics (solves, iterations, refactorizations).
+    metrics: MetricsRegistry,
 }
 
 impl<E: SimplexEngine> LpSolver<E> {
@@ -169,6 +172,7 @@ impl<E: SimplexEngine> LpSolver<E> {
             cut_rows: Vec::new(),
             cfg,
             basis: None,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -185,6 +189,43 @@ impl<E: SimplexEngine> LpSolver<E> {
     /// Mutable engine access (cut generators pull tableau rows through it).
     pub fn engine_mut(&mut self) -> &mut E {
         &mut self.engine
+    }
+
+    /// The solver's accumulated `lp.*` metrics: solve/re-solve counts,
+    /// simplex iterations, refactorizations, iterations-per-solve histogram.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Drains the metrics registry (e.g. to merge into a session summary
+    /// and reset the window).
+    pub fn take_metrics(&mut self) -> MetricsRegistry {
+        std::mem::take(&mut self.metrics)
+    }
+
+    /// Records one facade-level call: counter bump, per-solve iteration
+    /// histogram, and a span on the LP trace track (engines without a
+    /// simulated clock produce metrics but no span).
+    fn note_lp_call(
+        &mut self,
+        counter: &'static str,
+        span: &'static str,
+        t0: Option<f64>,
+        out: &LpResult<LpSolution>,
+    ) {
+        self.metrics.incr(counter, 1.0);
+        if let Ok(sol) = out {
+            self.metrics
+                .observe(names::LP_ITERATIONS_PER_SOLVE, sol.iterations as f64);
+            if let Some(t0) = t0 {
+                let t1 = self.engine.sim_now_ns().unwrap_or(t0);
+                let iters = sol.iterations as u64;
+                gmip_trace::record(|| {
+                    Event::complete(Track::lp(), span, (t1 - t0).max(0.0), t0)
+                        .arg("iterations", iters)
+                });
+            }
+        }
     }
 
     /// The lowered standard-form problem this solver was built from.
@@ -339,6 +380,13 @@ impl<E: SimplexEngine> LpSolver<E> {
 
     /// Solves from scratch (two-phase primal).
     pub fn solve(&mut self) -> LpResult<LpSolution> {
+        let t0 = self.engine.sim_now_ns();
+        let out = self.solve_inner();
+        self.note_lp_call(names::LP_SOLVES, "lp.solve", t0, &out);
+        out
+    }
+
+    fn solve_inner(&mut self) -> LpResult<LpSolution> {
         let n = self.total_cols();
         // Initial basis: artificial per core row, cut slack per cut row.
         let mut cols = Vec::with_capacity(self.total_rows());
@@ -407,7 +455,13 @@ impl<E: SimplexEngine> LpSolver<E> {
             ub: &ub1,
             b: &self.b,
         };
-        let (out1, it1) = primal_solve(&mut self.engine, view1, &mut basis, &self.cfg.primal)?;
+        let (out1, it1) = primal_solve_traced(
+            &mut self.engine,
+            view1,
+            &mut basis,
+            &self.cfg.primal,
+            &mut self.metrics,
+        )?;
         if let PrimalOutcome::Unbounded { entering } = out1 {
             return Err(LpError::Shape(format!(
                 "phase 1 reported unbounded at column {entering} (internal error)"
@@ -446,7 +500,13 @@ impl<E: SimplexEngine> LpSolver<E> {
             ub: &self.ub,
             b: &self.b,
         };
-        primal_solve(&mut self.engine, view, basis, &self.cfg.primal)
+        primal_solve_traced(
+            &mut self.engine,
+            view,
+            basis,
+            &self.cfg.primal,
+            &mut self.metrics,
+        )
     }
 
     /// Like [`Self::resolve`], but with both drivers capped at `max_iters`
@@ -467,8 +527,18 @@ impl<E: SimplexEngine> LpSolver<E> {
     /// restore feasibility, then a primal polish. Requires a prior solve (or
     /// [`Self::set_warm_basis`]); falls back to [`Self::solve`] otherwise.
     pub fn resolve(&mut self) -> LpResult<LpSolution> {
-        let Some(mut basis) = self.basis.take() else {
+        if self.basis.is_none() {
             return self.solve();
+        }
+        let t0 = self.engine.sim_now_ns();
+        let out = self.resolve_inner();
+        self.note_lp_call(names::LP_RESOLVES, "lp.resolve", t0, &out);
+        out
+    }
+
+    fn resolve_inner(&mut self) -> LpResult<LpSolution> {
+        let Some(mut basis) = self.basis.take() else {
+            return self.solve_inner();
         };
         // Status repair: a bound relaxation can leave a nonbasic variable
         // "at" a bound that is now infinite. Re-anchor it to the finite side
@@ -499,7 +569,13 @@ impl<E: SimplexEngine> LpSolver<E> {
             ub: &self.ub,
             b: &self.b,
         };
-        let (dout, dit) = match dual_solve(&mut self.engine, view, &mut basis, &self.cfg.dual) {
+        let (dout, dit) = match dual_solve_traced(
+            &mut self.engine,
+            view,
+            &mut basis,
+            &self.cfg.dual,
+            &mut self.metrics,
+        ) {
             Ok(r) => r,
             Err(e) => {
                 // Keep the (partially pivoted) basis so the solver object
@@ -849,6 +925,30 @@ mod tests {
         assert_eq!(hs.iterations, ss.iterations, "host vs sparse device");
         assert!((hs.objective - ds.objective).abs() < 1e-8);
         assert!((hs.objective - ss.objective).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solver_metrics_count_solves_and_iterations() {
+        use gmip_trace::names;
+        let std = StandardLp::from_instance(&textbook_lp(), &[]);
+        let mut solver = host_solver(std);
+        let first = solver.solve().unwrap();
+        assert!(first.iterations > 0);
+        let m = solver.metrics();
+        assert_eq!(m.counter(names::LP_SOLVES), 1.0);
+        assert_eq!(m.counter(names::LP_ITERATIONS), first.iterations as f64);
+        let h = m.histogram(names::LP_ITERATIONS_PER_SOLVE).unwrap();
+        assert_eq!(h.count, 1);
+        // A warm re-solve lands in the resolve counter, not the solve one.
+        solver.set_var_bounds(0, 0.0, 2.0).unwrap();
+        solver.resolve().unwrap();
+        let m = solver.metrics();
+        assert_eq!(m.counter(names::LP_SOLVES), 1.0);
+        assert_eq!(m.counter(names::LP_RESOLVES), 1.0);
+        // Draining resets the window.
+        let drained = solver.take_metrics();
+        assert_eq!(drained.counter(names::LP_RESOLVES), 1.0);
+        assert!(solver.metrics().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use gmip_core::MipStatus;
 use gmip_gpu::CostModel;
 use gmip_lp::{Basis, BoundChange, LpConfig, LpResult};
 use gmip_problems::{MipInstance, Objective};
+use gmip_trace::{names, Event as TraceSpan, MetricsRegistry, Track};
 use gmip_tree::{NodeId, NodeState, SearchTree, TreeStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -109,6 +110,9 @@ pub struct ParallelStats {
     pub checkpoints: usize,
     /// Final tree counters.
     pub tree: TreeStats,
+    /// Unified metrics ledger: `cluster.*` counters plus every rank's merged
+    /// `gpu.*`/`lp.*` series.
+    pub metrics: MetricsRegistry,
 }
 
 /// Result of a parallel solve.
@@ -313,12 +317,39 @@ impl Supervisor {
             let send_ns = self.cfg.network.transfer_ns(assignment.bytes());
             self.stats.messages += 1;
             self.stats.message_bytes += assignment.bytes();
+            self.stats
+                .metrics
+                .incr(names::CLUSTER_NODES_DISPATCHED, 1.0);
+            // A dynamic pick landing off the node's static partition is a
+            // load-balance migration (work stealing).
+            if self.tree.node(id).data.partition != w {
+                self.stats.metrics.incr(names::CLUSTER_MIGRATIONS, 1.0);
+            }
             // Evaluate now (numerically); deliver at the modeled time.
             let report = self.workers[w].evaluate(&assignment)?;
             let reply_ns = self.cfg.network.transfer_ns(report.bytes());
             self.stats.messages += 1;
             self.stats.message_bytes += report.bytes();
             let done = self.now + send_ns + report.eval_ns + reply_ns;
+            // Per-rank trace lane (lane 0 is the supervisor): the assignment
+            // transfer, the device evaluation, and the report transfer render
+            // as consecutive spans on the rank's timeline.
+            let rank = Track::cluster_rank((w + 1) as u32);
+            let (t0, a_bytes, r_bytes) = (self.now, assignment.bytes(), report.bytes());
+            let (eval_ns, nid) = (report.eval_ns, id as u64);
+            gmip_trace::record(|| {
+                TraceSpan::complete(rank, "recv", send_ns, t0)
+                    .arg("node", nid)
+                    .arg("bytes", a_bytes as u64)
+            });
+            gmip_trace::record(|| {
+                TraceSpan::complete(rank, "eval", eval_ns, t0 + send_ns).arg("node", nid)
+            });
+            gmip_trace::record(|| {
+                TraceSpan::complete(rank, "send", reply_ns, t0 + send_ns + eval_ns)
+                    .arg("node", nid)
+                    .arg("bytes", r_bytes as u64)
+            });
             self.workers[w].busy_until = done;
             self.in_flight[w] = Some(report);
             self.events.push(Reverse(Event {
@@ -355,6 +386,12 @@ impl Supervisor {
                     }
                     self.incumbent = Some((internal, p));
                     self.tree.prune_dominated(internal, self.cfg.prune_tol);
+                    let (ts, obj) = (self.now, self.to_source(internal));
+                    gmip_trace::record(|| {
+                        TraceSpan::instant(Track::cluster_rank(0), "incumbent", ts)
+                            .arg("objective", obj)
+                            .arg("worker", worker as u64)
+                    });
                 }
             }
             NodeOutcome::Branch {
@@ -409,7 +446,8 @@ impl Supervisor {
                 // binary fan-out near the root (depth d covers 2^(d+1)
                 // partitions), then inherit — every worker owns a subtree
                 // once the frontier is wide enough.
-                let spread = parent_depth < 63 && (1usize << (parent_depth + 1)) <= self.cfg.workers * 2;
+                let spread =
+                    parent_depth < 63 && (1usize << (parent_depth + 1)) <= self.cfg.workers * 2;
                 let children = if spread {
                     vec![
                         mk(false, (parent_partition * 2) % self.cfg.workers.max(1)),
@@ -462,7 +500,14 @@ impl Supervisor {
                     let snap = self.snapshot();
                     // Stop-the-world serialization: the supervisor's clock
                     // advances while the snapshot is written (~1 GB/s).
-                    self.now += 2_000.0 + snap.bytes() as f64;
+                    let (t0, dur) = (self.now, 2_000.0 + snap.bytes() as f64);
+                    let (ck_bytes, frontier) = (snap.bytes() as u64, snap.frontier.len() as u64);
+                    gmip_trace::record(|| {
+                        TraceSpan::complete(Track::cluster_rank(0), "checkpoint", dur, t0)
+                            .arg("bytes", ck_bytes)
+                            .arg("frontier", frontier)
+                    });
+                    self.now += dur;
                     self.snapshots.push(snap);
                     self.stats.checkpoints += 1;
                 }
@@ -476,6 +521,23 @@ impl Supervisor {
             self.stats.idle_fraction = 1.0 - busy_sum / (self.now * self.workers.len() as f64);
         }
         self.stats.tree = self.tree.stats().clone();
+        // Fold the communication counters and every rank's device/LP ledger
+        // into the unified metrics registry.
+        let (msgs, bytes, ckpts) = (
+            self.stats.messages,
+            self.stats.message_bytes,
+            self.stats.checkpoints,
+        );
+        self.stats
+            .metrics
+            .incr(names::CLUSTER_MESSAGES, msgs as f64);
+        self.stats.metrics.incr(names::CLUSTER_BYTES, bytes as f64);
+        self.stats
+            .metrics
+            .incr(names::CLUSTER_CHECKPOINTS, ckpts as f64);
+        for w in &self.workers {
+            self.stats.metrics.merge(&w.metrics());
+        }
         let (objective, x) = match &self.incumbent {
             Some((v, p)) => (self.to_source(*v), p.clone()),
             None => (f64::NAN, Vec::new()),

@@ -39,11 +39,14 @@ impl Worker {
         lp_cfg: LpConfig,
         int_tol: f64,
     ) -> LpResult<Self> {
+        // Each rank's device gets its own trace track group, so a Perfetto
+        // view shows one GPU timeline per worker.
         let accel = Accel::gpu_with(DeviceConfig {
             cost: gpu_cost,
             mem_capacity: gpu_mem,
             streams: 1,
-        });
+        })
+        .with_trace_group(gmip_trace::TrackGroup::Gpu(id as u16));
         let std = StandardLp::from_instance(instance, &[]);
         let factory_accel = accel.clone();
         let lp = LpSolver::try_new(std, lp_cfg, |a| DeviceEngine::new(factory_accel, a))?;
@@ -62,6 +65,13 @@ impl Worker {
     /// The worker's device (stats queries).
     pub fn accel(&self) -> &Accel {
         &self.accel
+    }
+
+    /// Combined `gpu.*` + `lp.*` metrics of this rank.
+    pub fn metrics(&self) -> gmip_trace::MetricsRegistry {
+        let mut m = self.accel.metrics();
+        m.merge(self.lp.metrics());
+        m
     }
 
     fn internal(&self, source: f64) -> f64 {

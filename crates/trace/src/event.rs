@@ -1,0 +1,262 @@
+//! Trace events and the track taxonomy they land on.
+//!
+//! A [`Track`] is one horizontal lane in the exported timeline view. Tracks
+//! are grouped into [`TrackGroup`]s that map to Perfetto "processes": each
+//! simulated GPU is a group whose lanes are its hardware streams, the
+//! cluster is a group whose lanes are worker ranks, and the host-side
+//! subsystems (B&B driver, LP engine) get a group each.
+
+/// The coarse grouping of tracks — exported as a Perfetto "process".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrackGroup {
+    /// The host CPU executor (CPU cost-model device).
+    Host,
+    /// The branch-and-bound driver: node lifecycle, cuts, heuristics.
+    Solver,
+    /// The LP engine: simplex phases, factorizations.
+    Lp,
+    /// A simulated GPU, identified by device tag; lanes are streams.
+    Gpu(u16),
+    /// The parallel cluster; lanes are worker ranks (lane 0 = supervisor).
+    Cluster,
+}
+
+impl TrackGroup {
+    /// Stable "process id" used in the Chrome trace export and in sorting.
+    pub fn pid(self) -> u32 {
+        match self {
+            TrackGroup::Host => 1,
+            TrackGroup::Solver => 2,
+            TrackGroup::Lp => 3,
+            TrackGroup::Cluster => 4,
+            TrackGroup::Gpu(i) => 16 + u32::from(i),
+        }
+    }
+}
+
+/// One timeline lane: a group plus a lane index within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Track {
+    /// Which group (Perfetto process) the lane belongs to.
+    pub group: TrackGroup,
+    /// Lane index within the group (stream id, worker rank, ...).
+    pub lane: u32,
+}
+
+impl Track {
+    /// Stream `stream` of GPU `device`.
+    pub fn gpu_stream(device: u16, stream: u32) -> Self {
+        Track {
+            group: TrackGroup::Gpu(device),
+            lane: stream,
+        }
+    }
+
+    /// The host CPU executor's single lane.
+    pub fn host() -> Self {
+        Track {
+            group: TrackGroup::Host,
+            lane: 0,
+        }
+    }
+
+    /// The branch-and-bound driver's main lane.
+    pub fn solver() -> Self {
+        Track {
+            group: TrackGroup::Solver,
+            lane: 0,
+        }
+    }
+
+    /// The LP engine's lane.
+    pub fn lp() -> Self {
+        Track {
+            group: TrackGroup::Lp,
+            lane: 0,
+        }
+    }
+
+    /// Worker rank `rank` of the cluster (rank 0 is the supervisor).
+    pub fn cluster_rank(rank: u32) -> Self {
+        Track {
+            group: TrackGroup::Cluster,
+            lane: rank,
+        }
+    }
+}
+
+/// A typed event argument (exported into the Chrome `args` object).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer payload (bytes, counts, ids).
+    U64(u64),
+    /// Signed integer payload.
+    I64(i64),
+    /// Floating payload (objective values, ratios).
+    F64(f64),
+    /// Static string payload (outcome labels, kernel variants).
+    Str(&'static str),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<&'static str> for ArgValue {
+    fn from(v: &'static str) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// What shape of event this is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A span with a duration (Chrome `ph:"X"`).
+    Complete {
+        /// Span length in simulated nanoseconds.
+        dur_ns: f64,
+    },
+    /// A point-in-time marker (Chrome `ph:"i"`).
+    Instant,
+}
+
+/// An event as constructed at the instrumentation site (no bookkeeping yet).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The lane the event belongs to.
+    pub track: Track,
+    /// Event name; static so the hot path never allocates for it.
+    pub name: &'static str,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start time in simulated nanoseconds.
+    pub ts_ns: f64,
+    /// Typed key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl Event {
+    /// A span covering `[ts_ns, ts_ns + dur_ns)` on `track`.
+    pub fn complete(track: Track, name: &'static str, ts_ns: f64, dur_ns: f64) -> Self {
+        Event {
+            track,
+            name,
+            kind: EventKind::Complete { dur_ns },
+            ts_ns,
+            args: Vec::new(),
+        }
+    }
+
+    /// An instantaneous marker at `ts_ns` on `track`.
+    pub fn instant(track: Track, name: &'static str, ts_ns: f64) -> Self {
+        Event {
+            track,
+            name,
+            kind: EventKind::Instant,
+            ts_ns,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attaches an argument (builder style).
+    pub fn arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+}
+
+/// A recorded event: an [`Event`] plus recorder bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The event as constructed at the instrumentation site.
+    pub event: Event,
+    /// Per-thread monotonic sequence number; tie-breaks identical
+    /// timestamps so the exported order is deterministic (each track is
+    /// written by exactly one thread).
+    pub seq: u64,
+    /// Wall-clock nanoseconds since the process trace epoch. Captured for
+    /// cross-checking simulated against real time; never exported, so the
+    /// exported stream stays bit-deterministic.
+    pub wall_ns: u64,
+}
+
+impl TraceEvent {
+    /// Sort key giving the deterministic export order: track, then
+    /// simulated time, then per-thread sequence.
+    pub fn sort_key(&self) -> (u32, u32, u64, u64) {
+        (
+            self.event.track.group.pid(),
+            self.event.track.lane,
+            // total_cmp-compatible ordering for non-negative finite floats.
+            self.event.ts_ns.max(0.0).to_bits(),
+            self.seq,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_attaches_args() {
+        let e = Event::complete(Track::gpu_stream(0, 1), "gemm", 5.0, 2.0)
+            .arg("flops", 100u64)
+            .arg("variant", "dense");
+        assert_eq!(e.args.len(), 2);
+        assert_eq!(e.args[1].1, ArgValue::Str("dense"));
+        assert_eq!(e.kind, EventKind::Complete { dur_ns: 2.0 });
+    }
+
+    #[test]
+    fn pids_are_distinct_across_groups() {
+        let groups = [
+            TrackGroup::Host,
+            TrackGroup::Solver,
+            TrackGroup::Lp,
+            TrackGroup::Cluster,
+            TrackGroup::Gpu(0),
+            TrackGroup::Gpu(3),
+        ];
+        let mut pids: Vec<u32> = groups.iter().map(|g| g.pid()).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), groups.len());
+    }
+
+    #[test]
+    fn sort_key_orders_by_track_then_time() {
+        let mk = |track, ts, seq| TraceEvent {
+            event: Event::instant(track, "x", ts),
+            seq,
+            wall_ns: 0,
+        };
+        let a = mk(Track::solver(), 10.0, 0);
+        let b = mk(Track::solver(), 5.0, 1);
+        let c = mk(Track::cluster_rank(1), 0.0, 2);
+        assert!(b.sort_key() < a.sort_key());
+        // Solver pid (2) sorts before cluster pid (4).
+        assert!(a.sort_key() < c.sort_key());
+    }
+}

@@ -1,0 +1,256 @@
+//! Exporters: Chrome trace-event JSON and the human-readable summary table.
+//!
+//! The JSON targets the Chrome trace-event format's stable subset —
+//! complete (`ph:"X"`) and instant (`ph:"i"`) events plus `"M"` metadata
+//! records naming processes and threads — which both `chrome://tracing` and
+//! Perfetto's UI load directly. Timestamps are simulated microseconds (the
+//! format's native unit); wall-clock capture times are deliberately not
+//! serialized so identical runs export identical bytes.
+//!
+//! Serialization is hand-rolled: the shape is tiny and fixed, and keeping
+//! this crate dependency-free matters more than a serde integration.
+
+use crate::event::{ArgValue, EventKind, TraceEvent};
+use crate::metrics::MetricsRegistry;
+use crate::names;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an f64 as a JSON number (finite guaranteed by callers clamping;
+/// non-finite degrades to 0 rather than emitting invalid JSON).
+fn json_num(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn write_args(args: &[(&'static str, ArgValue)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(k, out);
+        out.push_str("\":");
+        match v {
+            ArgValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            ArgValue::F64(x) => json_num(*x, out),
+            ArgValue::Str(s) => {
+                out.push('"');
+                escape_json(s, out);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Serializes an event stream as Chrome trace-event JSON.
+///
+/// Callers normally reach this through
+/// [`Trace::to_chrome_json`](crate::recorder::Trace::to_chrome_json), which
+/// hands in the deterministically sorted stream.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        } else {
+            out.push('\n');
+        }
+    };
+
+    // Metadata: name every (group, lane) pair that appears in the stream so
+    // Perfetto shows "gpu 0 / stream 1" instead of bare pid/tid numbers.
+    let mut groups = BTreeSet::new();
+    let mut tracks = BTreeSet::new();
+    for e in events {
+        groups.insert(e.event.track.group);
+        tracks.insert(e.event.track);
+    }
+    for g in &groups {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":\"",
+            g.pid()
+        );
+        escape_json(&names::group_label(*g), &mut out);
+        out.push_str("\"}}");
+    }
+    for t in &tracks {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"",
+            t.group.pid(),
+            t.lane
+        );
+        escape_json(&names::lane_label(t.group, t.lane), &mut out);
+        out.push_str("\"}}");
+    }
+
+    for e in events {
+        sep(&mut out);
+        out.push_str("{\"name\":\"");
+        escape_json(e.event.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"pid\":{},\"tid\":{},\"ts\":",
+            e.event.track.group.pid(),
+            e.event.track.lane
+        );
+        json_num(e.event.ts_ns / 1_000.0, &mut out);
+        match e.event.kind {
+            EventKind::Complete { dur_ns } => {
+                out.push_str(",\"ph\":\"X\",\"dur\":");
+                json_num(dur_ns / 1_000.0, &mut out);
+            }
+            EventKind::Instant => {
+                // Thread-scoped instant marker.
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+        }
+        if !e.event.args.is_empty() {
+            out.push_str(",\"args\":");
+            write_args(&e.event.args, &mut out);
+        }
+        out.push('}');
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+/// Renders the registry as an aligned, human-readable summary table:
+/// counters, then gauges, then histogram digests, each in name order.
+pub fn summary(registry: &MetricsRegistry) -> String {
+    fn fmt_value(v: f64) -> String {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.3}")
+        }
+    }
+
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (name, v) in registry.counters() {
+        rows.push((name.to_string(), fmt_value(v)));
+    }
+    for (name, v) in registry.gauges() {
+        rows.push((format!("{name} (gauge)"), fmt_value(v)));
+    }
+    for (name, h) in registry.histograms() {
+        rows.push((
+            format!("{name} (hist)"),
+            format!(
+                "n={} mean={} p50={} max={}",
+                h.count,
+                fmt_value(h.mean()),
+                fmt_value(h.quantile(0.5)),
+                fmt_value(if h.count == 0 { 0.0 } else { h.max }),
+            ),
+        ));
+    }
+
+    if rows.is_empty() {
+        return "  (no metrics recorded)\n".to_string();
+    }
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in rows {
+        let _ = writeln!(out, "  {name:<width$}  {value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, TraceEvent, Track};
+
+    fn ev(e: Event) -> TraceEvent {
+        TraceEvent {
+            event: e,
+            seq: 0,
+            wall_ns: 42,
+        }
+    }
+
+    #[test]
+    fn chrome_json_has_metadata_and_events() {
+        let events = vec![
+            ev(
+                Event::complete(Track::gpu_stream(0, 1), "gemm", 2_000.0, 500.0)
+                    .arg("flops", 64u64),
+            ),
+            ev(Event::instant(Track::solver(), "incumbent", 3_000.0).arg("obj", 1.5)),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"gpu 0\""));
+        assert!(json.contains("\"stream 1\""));
+        assert!(json.contains("\"gemm\""));
+        // ns → µs conversion.
+        assert!(json.contains("\"ts\":2"));
+        assert!(json.contains("\"dur\":0.5"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"obj\":1.5"));
+        // Wall time must not leak into the export.
+        assert!(!json.contains("42"));
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        let mut s = String::new();
+        escape_json("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn summary_aligns_and_orders() {
+        let mut r = MetricsRegistry::new();
+        r.incr("gpu.h2d.bytes", 4096.0);
+        r.incr("bb.nodes.evaluated", 7.0);
+        r.set_gauge("gpu.mem.peak_bytes", 123.0);
+        r.observe("lp.iters", 10.0);
+        let s = summary(&r);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bb.nodes.evaluated"));
+        assert!(lines[1].contains("gpu.h2d.bytes"));
+        assert!(lines[1].ends_with("4096"));
+        assert!(lines[2].contains("(gauge)"));
+        assert!(lines[3].contains("n=1"));
+        assert_eq!(
+            summary(&MetricsRegistry::new()),
+            "  (no metrics recorded)\n"
+        );
+    }
+}

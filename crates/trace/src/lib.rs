@@ -1,0 +1,44 @@
+//! Logical-time observability for the gmip simulator.
+//!
+//! The simulator's interesting clock is not the wall clock: every subsystem
+//! (the GPU device model, the LP engine, the branch-and-bound driver, the
+//! DES cluster) advances a *simulated* nanosecond timeline derived from the
+//! paper's cost models. This crate records what happened on those timelines
+//! and exports it in two forms:
+//!
+//! * a **span/event stream** ([`recorder`]) timestamped in simulated
+//!   nanoseconds (wall time is captured alongside for cross-checking but is
+//!   excluded from exports so traces stay bit-deterministic), rendered as
+//!   Chrome trace-event JSON ([`export::chrome_trace_json`]) where GPU
+//!   streams, cluster ranks, and solver phases appear as parallel tracks in
+//!   Perfetto / `chrome://tracing`;
+//! * a **metrics registry** ([`metrics::MetricsRegistry`]) of counters,
+//!   gauges, and histograms (kernel launches, transfer bytes, simplex
+//!   iterations, node lifecycle counts, cluster message volume) rendered as
+//!   a human-readable summary table ([`export::summary`]).
+//!
+//! Recording is globally gated: when no [`TraceSession`] is active the
+//! per-call cost is one relaxed atomic load, and event construction is
+//! deferred behind a closure so argument formatting is never paid for.
+//!
+//! ```
+//! use gmip_trace::{Event, Track, TraceSession, record};
+//!
+//! let session = TraceSession::start();
+//! record(|| Event::complete(Track::gpu_stream(0, 0), "gemm", 100.0, 50.0).arg("flops", 4096u64));
+//! let trace = session.finish();
+//! assert_eq!(trace.events.len(), 1);
+//! assert!(trace.to_chrome_json().contains("\"gemm\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod names;
+pub mod recorder;
+
+pub use event::{ArgValue, Event, EventKind, TraceEvent, Track, TrackGroup};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{enabled, record, Trace, TraceSession};

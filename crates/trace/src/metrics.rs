@@ -1,0 +1,280 @@
+//! A mergeable registry of counters, gauges, and histograms.
+//!
+//! Components own their registries (the GPU device ledger, the solver, each
+//! cluster worker) and the session aggregates them with
+//! [`MetricsRegistry::merge`]. Keys are `&'static str` drawn from the
+//! glossary in [`crate::names`]; storage is `BTreeMap` so every iteration
+//! order — and therefore every export — is deterministic.
+
+use std::collections::BTreeMap;
+
+/// Log-bucketed distribution summary.
+///
+/// Values are binned by magnitude (one bucket per power of two, 64 buckets)
+/// which is plenty for the quantities tracked here — iteration counts per
+/// node, bytes per message, span lengths — where order of magnitude is what
+/// matters. Quantiles are read from the bucket upper edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+    buckets: [u64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 64],
+        }
+    }
+
+    /// Bucket index for a value: 0 for v ≤ 1, else ⌈log2 v⌉ clamped to 63.
+    fn bucket(v: f64) -> usize {
+        if v <= 1.0 {
+            return 0;
+        }
+        (v.log2().ceil() as usize).min(63)
+    }
+
+    /// Upper edge of bucket `i` (`2^i`).
+    fn edge(i: usize) -> f64 {
+        (i as f64).exp2()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket(v)] += 1;
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper edge of the bucket
+    /// containing the q-th observation. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// A deterministic registry of named counters, gauges, and histograms.
+///
+/// * **Counters** accumulate (`incr`) and add under [`merge`](Self::merge).
+/// * **Gauges** hold a last-written value (`set_gauge`) and take the max
+///   under merge (the natural combination for "frontier" quantities like
+///   simulated elapsed time or peak memory).
+/// * **Histograms** record distributions (`observe`) and concatenate under
+///   merge.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, f64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (creating it at zero).
+    pub fn incr(&mut self, name: &'static str, by: f64) {
+        *self.counters.entry(name).or_insert(0.0) += by;
+    }
+
+    /// Reads counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Raises gauge `name` to `value` if larger (no-op otherwise).
+    pub fn max_gauge(&mut self, name: &'static str, value: f64) {
+        let g = self.gauges.entry(name).or_insert(f64::NEG_INFINITY);
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Reads gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Records `value` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Reads histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the max,
+    /// histograms concatenate.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0.0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.max_gauge(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+
+    /// Clears all series.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_merge_adds() {
+        let mut a = MetricsRegistry::new();
+        a.incr("x", 2.0);
+        a.incr("x", 3.0);
+        a.incr("y", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.incr("x", 10.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 15.0);
+        assert_eq!(a.counter("y"), 1.0);
+        assert_eq!(a.counter("absent"), 0.0);
+    }
+
+    #[test]
+    fn gauges_merge_by_max() {
+        let mut a = MetricsRegistry::new();
+        a.set_gauge("t", 5.0);
+        let mut b = MetricsRegistry::new();
+        b.set_gauge("t", 3.0);
+        b.set_gauge("u", 7.0);
+        a.merge(&b);
+        assert_eq!(a.gauge("t"), 5.0);
+        assert_eq!(a.gauge("u"), 7.0);
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0, 1024.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 1024.0);
+        assert!((h.mean() - 1039.0 / 5.0).abs() < 1e-12);
+        // Median lands in the bucket holding 4.0.
+        assert_eq!(h.quantile(0.5), 4.0);
+        assert_eq!(h.quantile(1.0), 1024.0);
+    }
+
+    #[test]
+    fn histogram_merge_concatenates() {
+        let mut reg_a = MetricsRegistry::new();
+        let mut reg_b = MetricsRegistry::new();
+        for v in [1.0, 2.0] {
+            reg_a.observe("h", v);
+        }
+        for v in [100.0, 200.0] {
+            reg_b.observe("h", v);
+        }
+        reg_a.merge(&reg_b);
+        let h = reg_a.histogram("h").unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 303.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 200.0);
+    }
+
+    #[test]
+    fn iteration_order_is_sorted_by_name() {
+        let mut r = MetricsRegistry::new();
+        r.incr("z.last", 1.0);
+        r.incr("a.first", 1.0);
+        r.incr("m.mid", 1.0);
+        let names: Vec<&str> = r.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+    }
+}

@@ -1,0 +1,121 @@
+//! The metric-name glossary and track-label conventions.
+//!
+//! Every counter/gauge/histogram name used across the workspace is a
+//! constant here so the summary table, the docs, and the instrumentation
+//! sites cannot drift apart. Names are dotted paths grouped by subsystem:
+//! `gpu.*` (device ledger), `lp.*` (simplex engine), `bb.*`
+//! (branch-and-bound lifecycle), `cluster.*` (parallel supervisor/workers).
+
+use crate::event::TrackGroup;
+
+// --- GPU device ledger -----------------------------------------------------
+
+/// Host-to-device transfer count.
+pub const GPU_H2D_TRANSFERS: &str = "gpu.h2d.transfers";
+/// Host-to-device bytes moved.
+pub const GPU_H2D_BYTES: &str = "gpu.h2d.bytes";
+/// Device-to-host transfer count.
+pub const GPU_D2H_TRANSFERS: &str = "gpu.d2h.transfers";
+/// Device-to-host bytes moved.
+pub const GPU_D2H_BYTES: &str = "gpu.d2h.bytes";
+/// Kernel launches (dense and sparse).
+pub const GPU_KERNEL_LAUNCHES: &str = "gpu.kernel.launches";
+/// Floating-point operations executed by kernels.
+pub const GPU_KERNEL_FLOPS: &str = "gpu.kernel.flops";
+/// Simulated nanoseconds spent in transfers.
+pub const GPU_TRANSFER_NS: &str = "gpu.transfer.ns";
+/// Simulated nanoseconds spent in kernels.
+pub const GPU_KERNEL_NS: &str = "gpu.kernel.ns";
+/// Stream synchronizations (full-device barriers).
+pub const GPU_SYNCS: &str = "gpu.syncs";
+/// Peak device memory in use, bytes (gauge).
+pub const GPU_MEM_PEAK_BYTES: &str = "gpu.mem.peak_bytes";
+
+// --- LP engine -------------------------------------------------------------
+
+/// Simplex iterations (all phases).
+pub const LP_ITERATIONS: &str = "lp.simplex.iterations";
+/// Basis (re)factorizations.
+pub const LP_REFACTORIZATIONS: &str = "lp.factor.refactorizations";
+/// Cold solves (two-phase from scratch).
+pub const LP_SOLVES: &str = "lp.solves";
+/// Warm-started re-solves (dual/primal polish after a bound change).
+pub const LP_RESOLVES: &str = "lp.resolves";
+/// Iterations per solve (histogram).
+pub const LP_ITERATIONS_PER_SOLVE: &str = "lp.simplex.iterations_per_solve";
+
+// --- Branch-and-bound lifecycle --------------------------------------------
+
+/// Nodes created (root + children of every branching).
+pub const BB_NODES_CREATED: &str = "bb.nodes.created";
+/// Nodes whose relaxation was evaluated.
+pub const BB_NODES_EVALUATED: &str = "bb.nodes.evaluated";
+/// Nodes pruned by bound.
+pub const BB_NODES_PRUNED: &str = "bb.nodes.pruned";
+/// Nodes fathomed infeasible.
+pub const BB_NODES_INFEASIBLE: &str = "bb.nodes.infeasible";
+/// Nodes that produced an integer-feasible relaxation.
+pub const BB_NODES_INTEGER_FEASIBLE: &str = "bb.nodes.integer_feasible";
+/// Nodes branched (two children each).
+pub const BB_NODES_BRANCHED: &str = "bb.nodes.branched";
+/// Incumbent improvements (from any source).
+pub const BB_INCUMBENTS: &str = "bb.incumbents";
+/// Incumbents found by primal heuristics.
+pub const BB_HEUR_INCUMBENTS: &str = "bb.heur.incumbents";
+/// Cutting planes added to the formulation.
+pub const BB_CUTS_ADDED: &str = "bb.cuts.added";
+
+// --- Parallel cluster ------------------------------------------------------
+
+/// Messages crossing the modeled interconnect.
+pub const CLUSTER_MESSAGES: &str = "cluster.messages";
+/// Bytes crossing the modeled interconnect.
+pub const CLUSTER_BYTES: &str = "cluster.bytes";
+/// Nodes dispatched to workers.
+pub const CLUSTER_NODES_DISPATCHED: &str = "cluster.nodes.dispatched";
+/// Work-stealing / load-balance reassignments (node sent to a worker other
+/// than the one that created it).
+pub const CLUSTER_MIGRATIONS: &str = "cluster.migrations";
+/// Checkpoints (stop-the-world snapshots) taken.
+pub const CLUSTER_CHECKPOINTS: &str = "cluster.checkpoints";
+
+// --- Track labels ----------------------------------------------------------
+
+/// Human-readable name for a track group (the Perfetto "process" label).
+pub fn group_label(group: TrackGroup) -> String {
+    match group {
+        TrackGroup::Host => "host cpu".to_string(),
+        TrackGroup::Solver => "solver (branch & bound)".to_string(),
+        TrackGroup::Lp => "lp engine".to_string(),
+        TrackGroup::Cluster => "cluster".to_string(),
+        TrackGroup::Gpu(i) => format!("gpu {i}"),
+    }
+}
+
+/// Human-readable name for a lane within a group (the Perfetto "thread"
+/// label): GPU lanes are streams, cluster lanes are ranks (rank 0 being the
+/// supervisor), single-lane groups collapse to a fixed label.
+pub fn lane_label(group: TrackGroup, lane: u32) -> String {
+    match group {
+        TrackGroup::Gpu(_) => format!("stream {lane}"),
+        TrackGroup::Cluster if lane == 0 => "supervisor".to_string(),
+        TrackGroup::Cluster => format!("rank {lane}"),
+        TrackGroup::Host => "cpu".to_string(),
+        TrackGroup::Solver => "nodes".to_string(),
+        TrackGroup::Lp => "simplex".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(group_label(TrackGroup::Gpu(2)), "gpu 2");
+        assert_eq!(lane_label(TrackGroup::Gpu(2), 1), "stream 1");
+        assert_eq!(lane_label(TrackGroup::Cluster, 0), "supervisor");
+        assert_eq!(lane_label(TrackGroup::Cluster, 3), "rank 3");
+        assert_eq!(lane_label(TrackGroup::Lp, 0), "simplex");
+    }
+}

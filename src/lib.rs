@@ -19,6 +19,7 @@
 //! | [`tree`] | `gmip-tree` | branch-and-bound tree, snapshots, selection policies |
 //! | [`core`] | `gmip-core` | the branch-and-cut solver and the four strategies |
 //! | [`parallel`] | `gmip-parallel` | supervisor–worker cluster (discrete-event + threaded) |
+//! | [`trace`] | `gmip-trace` | logical-time spans, metrics registry, Perfetto export |
 //!
 //! ## Quickstart
 //!
@@ -56,4 +57,5 @@ pub use gmip_linalg as linalg;
 pub use gmip_lp as lp;
 pub use gmip_parallel as parallel;
 pub use gmip_problems as problems;
+pub use gmip_trace as trace;
 pub use gmip_tree as tree;

@@ -1,0 +1,189 @@
+//! Offline stand-in for `criterion`: the group/bench/iter API surface over
+//! a simple wall-clock measurement loop. Each benchmark runs a short warmup
+//! and a fixed number of timed samples, printing mean and min times —
+//! adequate for the regression eyeballing gmip's benches are used for.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per invocation.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup (untimed).
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget (accepted for API
+    /// compatibility; the stub's cost is governed by `sample_size`).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            // Keep the stub cheap: a handful of samples regardless of the
+            // configured size (criterion's statistics don't exist here).
+            iters: self.sample_size.min(10),
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1) as u32;
+        let total: Duration = b.samples.iter().sum();
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {}/{label}: mean {:?} min {:?} ({} samples)",
+            self.name,
+            total / n,
+            min,
+            n
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        self.run(&id.label, f);
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(&id.label, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Applies command-line configuration (accepted, ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        self.benchmark_group(name)
+            .bench_function(BenchmarkId::from_parameter("default"), f);
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| b.iter(|| runs += 1));
+        // warmup + min(3,10) timed samples
+        assert_eq!(runs, 4);
+        g.finish();
+    }
+}

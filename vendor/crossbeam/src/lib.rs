@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam`: the [`channel`] module over
+//! `std::sync::mpsc`. The gmip threaded cluster only needs multi-producer
+//! single-consumer semantics (many workers report to one supervisor; each
+//! worker owns its private work queue), which mpsc provides directly.
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels with the crossbeam API shape.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    pub type RecvError = mpsc::RecvError;
+    /// Error returned by [`Receiver::try_recv`].
+    pub type TryRecvError = mpsc::TryRecvError;
+
+    /// Sending half of an unbounded channel (clonable).
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator over incoming messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(7).unwrap());
+            assert_eq!(rx.recv().unwrap(), 7);
+            drop(tx);
+            assert!(rx.recv().is_err(), "recv fails after all senders drop");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::distributions::{Distribution, Standard};
+
+/// Marker strategy for "any value of `T`".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the canonical strategy for `T` (full-width integers, unit-range
+/// floats, fair bools — whatever [`Standard`] samples).
+pub fn any<T>() -> Any<T>
+where
+    Standard: Distribution<T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    Standard: Distribution<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        Standard.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_case;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let s = any::<bool>();
+        let mut rng = rng_for_case("arbitrary::bool", 0);
+        let trues = (0..100).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 20 && trues < 80, "bool should be fair: {trues}/100");
+    }
+}

@@ -1,0 +1,125 @@
+//! Offline stand-in for `proptest`: a randomized property-testing core with
+//! the strategy/combinator/macro surface the gmip test suite uses.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with the
+//! generated inputs printed), and generation is **deterministically seeded**
+//! per test case, so CI failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::prelude` — the usual wildcard import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Namespace mirror (`prop::collection::vec` style paths).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Asserts a condition inside a property, reporting the failed expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "prop_assert failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Picks one of several strategies uniformly per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @config($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`] — one test fn per recursion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@config($config:expr)) => {};
+    (@config($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut runner_rng = $crate::test_runner::rng_for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                // Each case body runs in a closure returning
+                // `Result<(), TestCaseError>` (the upstream contract), so
+                // `prop_assume!` and explicit `return Ok(())` both skip the
+                // case; assertion macros panic with the case number.
+                let run = |rng: &mut $crate::test_runner::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strategy, rng);)*
+                    let _ = $body;
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(e) = run(&mut runner_rng) {
+                    panic!("property {} failed at case {case}: {e}", stringify!($name));
+                }
+            }
+        }
+        $crate::__proptest_items! { @config($config) $($rest)* }
+    };
+}

@@ -1,0 +1,63 @@
+//! Test-runner configuration and the per-case RNG.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Upper bound on shrink iterations (accepted for API compatibility;
+    /// this implementation does not shrink).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The generator handed to strategies: a seeded ChaCha8 stream.
+pub type TestRng = ChaCha8Rng;
+
+/// The error type a property body may return (`return Ok(())` early-exits
+/// a case; `Err` fails it). Upstream carries reject/fail variants; the
+/// stand-in only needs a printable message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(e: String) -> Self {
+        TestCaseError(e)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(e: &str) -> Self {
+        TestCaseError(e.to_string())
+    }
+}
+
+/// Builds the RNG for `(test identity, case index)` — used by the
+/// `proptest!` expansion to derive a deterministic per-case seed.
+pub fn rng_for_case(test_path: &str, case: u32) -> TestRng {
+    // FNV-1a over the test path, mixed with the case index: stable
+    // across runs and platforms, distinct across tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h ^ (((case as u64) << 32) | case as u64))
+}

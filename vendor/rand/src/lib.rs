@@ -1,0 +1,171 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! trait surface it actually uses: [`RngCore`], [`SeedableRng`], [`Rng`]
+//! (`gen`, `gen_range`, `gen_bool`), and the [`distributions::Standard`]
+//! distribution. Sampling is deterministic and platform-independent — every
+//! value derives from `next_u64` with fixed integer arithmetic — which is
+//! exactly the reproducibility contract the gmip experiments rely on.
+//!
+//! This is **not** a drop-in for the real crate's value streams: a given
+//! seed produces a different (but equally deterministic) sequence.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// Core random-number-generator interface: raw integer output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction of an RNG from a byte seed or a `u64`.
+pub trait SeedableRng: Sized {
+    /// The byte-seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full byte seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it through SplitMix64
+    /// (the same seed always yields the same generator).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        sm.fill_bytes(seed.as_mut());
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64: the seed-expansion generator (also usable directly).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 stream from a state word.
+    pub fn new(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0,1]: {p}");
+        // 53-bit uniform in [0,1) compared against p.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(1..=5u64);
+            assert!((1..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SplitMix64::new(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SplitMix64::new(1);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,27 @@
+//! Named generators. `StdRng` aliases the SplitMix64 stream — deterministic
+//! and seedable, which is all the workspace requires of it.
+
+use crate::{RngCore, SeedableRng, SplitMix64};
+
+/// The "standard" RNG: a deterministic SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct StdRng(SplitMix64);
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&seed[..8]);
+        Self(SplitMix64::new(u64::from_le_bytes(word)))
+    }
+}

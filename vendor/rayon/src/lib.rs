@@ -1,0 +1,107 @@
+//! Offline stand-in for `rayon`: `par_iter`/`into_par_iter` return the
+//! ordinary sequential iterators, so downstream combinator chains
+//! (`map`, `zip`, `collect`) compile and run unchanged.
+//!
+//! Sequential execution keeps results bit-identical to the parallel
+//! version for the pure functions gmip maps (LU factorizations, solves) —
+//! rayon was a throughput optimization, never a semantic one.
+
+#![warn(missing_docs)]
+
+/// The rayon prelude: parallel-iterator entry points.
+pub mod prelude {
+    /// `.par_iter()` on a borrowed collection.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced (here: the sequential borrow iterator).
+        type Iter: Iterator;
+        /// Returns a "parallel" (sequential) iterator over references.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_iter_mut()` on a borrowed collection.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Returns a "parallel" (sequential) iterator over mutable refs.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `.into_par_iter()` on an owned collection.
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator;
+        /// Consumes the collection into a "parallel" (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+/// Runs the two closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let zipped: Vec<i32> = v.par_iter().zip(v.par_iter()).map(|(a, b)| a + b).collect();
+        assert_eq!(zipped, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}
