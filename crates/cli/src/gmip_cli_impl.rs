@@ -6,7 +6,7 @@ use gmip_core::{
     Strategy,
 };
 use gmip_gpu::{Accel, CostModel};
-use gmip_parallel::{solve_parallel, ParallelConfig};
+use gmip_parallel::{solve_parallel, ChaosConfig, ParallelConfig};
 use gmip_problems::generators;
 use gmip_problems::mps::{read_mps, write_mps};
 use gmip_problems::MipInstance;
@@ -38,6 +38,10 @@ SOLVE OPTIONS:
   --trace <file>     write a Chrome trace-event JSON of the solve
                      (open at ui.perfetto.dev)
   --metrics          print the unified metrics summary table
+  --faults <spec>    inject deterministic faults (cluster:<n> only).
+                     <spec> is a bare seed (\"7\") or key=value pairs:
+                     seed=7,crashes=2,drop=0.02,delay=0.05,stragglers=1
+                     (see gmip-parallel chaos docs for all keys)
 
 GENERATE OPTIONS:
   --out <file.mps>   output path                       (default: stdout)
@@ -71,6 +75,7 @@ pub struct Options {
     pub metrics: bool,
     pub out: Option<String>,
     pub seed: u64,
+    pub faults: Option<String>,
 }
 
 impl Default for Options {
@@ -92,6 +97,7 @@ impl Default for Options {
             metrics: false,
             out: None,
             seed: 0,
+            faults: None,
         }
     }
 }
@@ -146,6 +152,7 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--stats" => o.stats = true,
             "--trace" => o.trace = Some(take("--trace")?),
             "--metrics" => o.metrics = true,
+            "--faults" => o.faults = Some(take("--faults")?),
             "--out" => o.out = Some(take("--out")?),
             "--seed" => {
                 o.seed = take("--seed")?
@@ -334,10 +341,17 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
             .ok()
             .filter(|&w: &usize| w >= 1)
             .ok_or_else(|| "cluster needs a worker count >= 1, e.g. cluster:4".to_string())?;
+        let chaos = o
+            .faults
+            .as_deref()
+            .map(ChaosConfig::parse)
+            .transpose()
+            .map_err(|e| format!("--faults: {e}"))?;
         let pcfg = ParallelConfig {
             workers,
             gpu_mem,
             node_limit: o.node_limit,
+            chaos,
             ..Default::default()
         };
         let r = solve_parallel(&work, pcfg).map_err(|e| format!("{e}"))?;
@@ -355,11 +369,28 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
             r.stats.message_bytes,
             r.stats.makespan_ns / 1e6
         ));
+        if o.faults.is_some() {
+            let f = &r.stats.faults;
+            out.push_str(&format!(
+                "faults: {} crashes, {} drops, {} delays, {} straggles   \
+                 recovery: {} reassigned, {} respawned, {} ranks retired\n",
+                f.crashes,
+                f.drops,
+                f.delays,
+                f.straggles,
+                f.reassignments,
+                f.respawns,
+                f.degraded_ranks
+            ));
+        }
         if o.metrics {
             out.push('\n');
             out.push_str(&gmip_trace::export::summary(&r.stats.metrics));
         }
         return Ok(out);
+    }
+    if o.faults.is_some() {
+        return Err("--faults requires the cluster:<workers> strategy".to_string());
     }
 
     let result: MipResult = match o.strategy.as_str() {
@@ -562,6 +593,37 @@ mod tests {
         let mut bad = Options::default();
         bad.strategy = "cluster:x".into();
         assert!(solve(gmip_problems::catalog::figure1_knapsack(), &bad).is_err());
+    }
+
+    #[test]
+    fn solve_cluster_with_faults() {
+        let mut o = Options::default();
+        o.strategy = "cluster:3".into();
+        o.faults = Some("seed=5,crashes=2,drop=0.1".into());
+        o.metrics = true;
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert!(out.contains("status: Optimal"), "{out}");
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("recovery:"), "{out}");
+        assert!(out.contains("fault.drops"), "metrics glossary rows:\n{out}");
+        // Bad spec is a parse error, not a panic.
+        let mut bad = Options::default();
+        bad.strategy = "cluster:2".into();
+        bad.faults = Some("drop=2.5".into());
+        assert!(solve(gmip_problems::catalog::figure1_knapsack(), &bad).is_err());
+        // --faults outside the cluster strategy is rejected.
+        let mut wrong = Options::default();
+        wrong.strategy = "host".into();
+        wrong.faults = Some("7".into());
+        let err = solve(gmip_problems::catalog::figure1_knapsack(), &wrong).unwrap_err();
+        assert!(err.contains("cluster"), "{err}");
+    }
+
+    #[test]
+    fn parse_faults_flag() {
+        let o = parse_options(&s(&["x.mps", "--faults", "42"])).unwrap();
+        assert_eq!(o.faults.as_deref(), Some("42"));
+        assert!(parse_options(&s(&["--faults"])).is_err());
     }
 
     #[test]

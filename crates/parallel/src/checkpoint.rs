@@ -36,6 +36,22 @@ impl Checkpoint {
         self.frontier.is_empty()
     }
 
+    /// Whether the subproblem described by `bounds` lies inside the region
+    /// this checkpoint covers: some frontier entry is an *ancestor prefix*
+    /// of `bounds` (bound changes accumulate root-to-leaf, so a node's
+    /// ancestors are exactly the prefixes of its change list). This is the
+    /// recovery invariant: every subproblem lost to a fault after the
+    /// checkpoint descends from a node the checkpoint holds, so restarting
+    /// from it can never lose the optimum.
+    pub fn covers(&self, bounds: &[BoundChange]) -> bool {
+        self.frontier.iter().any(|f| {
+            bounds.len() >= f.len()
+                && f.iter()
+                    .zip(bounds)
+                    .all(|(a, b)| a.var == b.var && a.lb == b.lb && a.ub == b.ub)
+        })
+    }
+
     /// Serialized-size estimate (what a restart file would occupy / what a
     /// checkpoint broadcast would cost on the wire).
     pub fn bytes(&self) -> usize {
@@ -75,6 +91,29 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());
         assert_eq!(c.bytes(), 16 + 3 * (8 + 48) + (8 + 32));
+    }
+
+    #[test]
+    fn covers_is_ancestor_prefix_inclusion() {
+        let bc = |var: usize, lb: f64, ub: f64| BoundChange { var, lb, ub };
+        let c = Checkpoint::new(
+            vec![
+                vec![bc(0, 1.0, 2.0)],
+                vec![bc(1, 0.0, 0.0), bc(2, 3.0, 5.0)],
+            ],
+            None,
+        );
+        // Exact frontier entries are covered.
+        assert!(c.covers(&[bc(0, 1.0, 2.0)]));
+        // Descendants (frontier entry is a strict prefix) are covered.
+        assert!(c.covers(&[bc(0, 1.0, 2.0), bc(4, 0.0, 1.0)]));
+        assert!(c.covers(&[bc(1, 0.0, 0.0), bc(2, 3.0, 5.0), bc(0, 0.0, 0.0)]));
+        // Siblings and mismatched prefixes are not.
+        assert!(!c.covers(&[bc(0, 0.0, 0.0)]));
+        assert!(!c.covers(&[bc(1, 0.0, 0.0)]), "partial prefix only");
+        assert!(!c.covers(&[]), "the root precedes every checkpoint");
+        // An empty frontier entry (the root) covers everything.
+        assert!(Checkpoint::new(vec![vec![]], None).covers(&[bc(9, 0.0, 1.0)]));
     }
 
     /// The paper's restart property: resuming from a mid-search snapshot

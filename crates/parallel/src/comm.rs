@@ -6,6 +6,7 @@
 //! latency + size/bandwidth cost, and counts messages/bytes so experiment
 //! E6 can report communication overhead alongside speedup.
 
+use crate::chaos::FaultPlan;
 use gmip_lp::{Basis, BoundChange, VarStatus};
 
 /// Point-to-point network cost model.
@@ -39,6 +40,38 @@ impl NetworkModel {
     pub fn transfer_ns(&self, bytes: usize) -> f64 {
         self.latency_ns + bytes as f64 / self.bw_bytes_per_ns
     }
+
+    /// Ships a message of `bytes` across the link, consulting an optional
+    /// fault plan for its fate. Without a plan (or when the plan rolls
+    /// clean) this reduces to [`Self::transfer_ns`].
+    pub fn ship(&self, bytes: usize, plan: Option<&mut FaultPlan>) -> Delivery {
+        let fate = match plan {
+            Some(p) => p.sample_fate(),
+            None => crate::chaos::MessageFate::clean(),
+        };
+        if fate.dropped {
+            return Delivery::Dropped;
+        }
+        Delivery::Delivered {
+            transfer_ns: self.transfer_ns(bytes) + fate.extra_ns,
+            injected_ns: fate.extra_ns,
+        }
+    }
+}
+
+/// The outcome of shipping one message over a (possibly faulty) link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delivery {
+    /// The message arrives after `transfer_ns` (which already includes any
+    /// injected delay, reported separately in `injected_ns`).
+    Delivered {
+        /// Total time on the wire, ns.
+        transfer_ns: f64,
+        /// Injected extra latency included above, ns (0 when clean).
+        injected_ns: f64,
+    },
+    /// The message is silently lost; the receiver never sees it.
+    Dropped,
 }
 
 /// A work assignment shipped supervisor → worker: the subproblem's bound
@@ -154,6 +187,32 @@ mod tests {
         assert!(big > small);
         assert!(small >= net.latency_ns);
         assert!(NetworkModel::ethernet().transfer_ns(1 << 20) > net.transfer_ns(1 << 20));
+    }
+
+    #[test]
+    fn ship_without_plan_is_clean() {
+        let net = NetworkModel::infiniband();
+        assert_eq!(
+            net.ship(64, None),
+            Delivery::Delivered {
+                transfer_ns: net.transfer_ns(64),
+                injected_ns: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn ship_with_always_drop_plan_loses_the_message() {
+        use crate::chaos::{ChaosConfig, FaultPlan};
+        let net = NetworkModel::infiniband();
+        let mut plan = FaultPlan::new(
+            ChaosConfig {
+                drop_prob: 1.0,
+                ..ChaosConfig::quiet(1)
+            },
+            1,
+        );
+        assert_eq!(net.ship(64, Some(&mut plan)), Delivery::Dropped);
     }
 
     #[test]

@@ -14,19 +14,25 @@
 //!   once, warm dual re-solves per assignment (Sections 5.1/5.3);
 //! * [`comm`] — typed messages with byte-accurate transfer charging;
 //! * [`checkpoint`] — distributed consistent snapshots and restart
-//!   (Section 2.1's parallel-snapshot problem + UG's checkpointing).
+//!   (Section 2.1's parallel-snapshot problem + UG's checkpointing);
+//! * [`chaos`] — deterministic fault injection (seeded crash / drop /
+//!   delay / straggler plans) driving the supervisor's recovery protocol:
+//!   heartbeat detection, reassignment from the live checkpoint,
+//!   exponential-backoff respawn, graceful degradation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod comm;
 pub mod supervisor;
 pub mod threaded;
 pub mod worker;
 
+pub use chaos::{ChaosConfig, FaultPlan, FaultStats};
 pub use checkpoint::Checkpoint;
-pub use comm::{Assignment, NetworkModel, NodeOutcome, NodeReport};
+pub use comm::{Assignment, Delivery, NetworkModel, NodeOutcome, NodeReport};
 pub use supervisor::{
     solve_parallel, LoadBalance, ParPayload, ParallelConfig, ParallelResult, ParallelStats,
     Supervisor,

@@ -7,9 +7,19 @@
 //! worker's LP cost comes from its own simulated device, messages pay the
 //! [`NetworkModel`], and the makespan is the supervisor's event clock — so
 //! speedup curves are deterministic and independent of the host machine.
+//!
+//! With a [`ChaosConfig`] installed, the cluster becomes *unreliable*: the
+//! seeded fault plan crashes ranks, drops and delays messages, and slows
+//! stragglers — and the supervisor runs the recovery protocol of the
+//! paper's Section 2.1/2.3 resilience story: heartbeat-timeout crash
+//! detection, reassignment of lost in-flight subproblems (the tree is the
+//! live checkpoint; [`Checkpoint::covers`] is the invariant), exponential
+//! backoff respawns, and graceful degradation to fewer ranks when a rank's
+//! respawn budget is exhausted.
 
+use crate::chaos::{ChaosConfig, FaultPlan, FaultStats};
 use crate::checkpoint::Checkpoint;
-use crate::comm::{Assignment, NetworkModel, NodeOutcome, NodeReport};
+use crate::comm::{Assignment, Delivery, NetworkModel, NodeOutcome, NodeReport};
 use crate::worker::Worker;
 use gmip_core::MipStatus;
 use gmip_gpu::CostModel;
@@ -26,7 +36,8 @@ pub enum LoadBalance {
     /// Any idle worker receives the globally best open node.
     Dynamic,
     /// Nodes are statically partitioned by their depth-1 ancestor; a worker
-    /// only receives nodes of its own partition (idles otherwise).
+    /// only receives nodes of its own partition (idles otherwise). A
+    /// retired rank's partition becomes adoptable by every survivor.
     Static,
 }
 
@@ -57,6 +68,8 @@ pub struct ParallelConfig {
     pub warm_start: bool,
     /// Take a consistent snapshot every `n` nodes (None = never).
     pub checkpoint_every: Option<usize>,
+    /// Deterministic fault injection (None = a reliable machine).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ParallelConfig {
@@ -74,6 +87,7 @@ impl Default for ParallelConfig {
             ramp_up: true,
             warm_start: true,
             checkpoint_every: None,
+            chaos: None,
         }
     }
 }
@@ -102,16 +116,19 @@ pub struct ParallelStats {
     pub messages: usize,
     /// Total message bytes.
     pub message_bytes: usize,
-    /// Per-worker busy simulated time.
+    /// Per-worker busy simulated time (every incarnation of the rank).
     pub worker_busy_ns: Vec<f64>,
     /// Mean worker idle fraction of the makespan.
     pub idle_fraction: f64,
     /// Consistent snapshots taken.
     pub checkpoints: usize,
+    /// Injected faults and the recovery they triggered (all-zero on a
+    /// reliable machine).
+    pub faults: FaultStats,
     /// Final tree counters.
     pub tree: TreeStats,
     /// Unified metrics ledger: `cluster.*` counters plus every rank's merged
-    /// `gpu.*`/`lp.*` series.
+    /// `gpu.*`/`lp.*` series (and `fault.*`/`recovery.*` under chaos).
     pub metrics: MetricsRegistry,
 }
 
@@ -130,10 +147,35 @@ pub struct ParallelResult {
     pub snapshots: Vec<Checkpoint>,
 }
 
+/// What a scheduled DES event means when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// A worker's report arrives at the supervisor.
+    Deliver {
+        /// The exchange it belongs to (stale deliveries are ignored).
+        dispatch: u64,
+    },
+    /// The supervisor gave up waiting for an ack on this exchange.
+    AckTimeout {
+        /// The exchange it guards.
+        dispatch: u64,
+    },
+    /// A planned fault kills the rank.
+    Crash,
+    /// Missing heartbeats make the supervisor notice the dead rank.
+    Detect,
+    /// The rank's replacement comes up after its backoff.
+    Respawn,
+}
+
 #[derive(Debug, PartialEq)]
 struct Event {
     time: f64,
+    /// Global monotone tie-break: identical times resolve in push order,
+    /// keeping the heap order (and therefore the whole run) deterministic.
+    seq: u64,
     worker: usize,
+    kind: EventKind,
 }
 
 impl Eq for Event {}
@@ -149,7 +191,46 @@ impl Ord for Event {
         self.time
             .partial_cmp(&other.time)
             .expect("event times are never NaN")
-            .then(self.worker.cmp(&other.worker))
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// One outstanding supervisor→worker exchange.
+#[derive(Debug)]
+struct InFlight {
+    /// Exchange id; guards against stale Deliver/AckTimeout events.
+    dispatch: u64,
+    /// The node being evaluated.
+    node: NodeId,
+    /// The evaluated report (None when the assignment was dropped on the
+    /// wire and the worker never saw it).
+    report: Option<NodeReport>,
+}
+
+/// Liveness bookkeeping for one rank.
+#[derive(Debug, Clone)]
+struct RankState {
+    /// Currently able to accept work.
+    alive: bool,
+    /// Permanently removed after exhausting its respawn budget.
+    retired: bool,
+    /// A respawn event is scheduled for this rank.
+    respawn_pending: bool,
+    /// Respawns consumed so far.
+    respawns: usize,
+    /// When the current outage began (valid while down).
+    down_since: f64,
+}
+
+impl RankState {
+    fn fresh() -> Self {
+        Self {
+            alive: true,
+            retired: false,
+            respawn_pending: false,
+            respawns: 0,
+            down_since: 0.0,
+        }
     }
 }
 
@@ -160,18 +241,29 @@ pub struct Supervisor {
     cfg: ParallelConfig,
     tree: SearchTree<ParPayload>,
     workers: Vec<Worker>,
-    /// (worker → in-flight report), evaluated at dispatch, delivered at the
-    /// event time.
-    in_flight: Vec<Option<NodeReport>>,
+    ranks: Vec<RankState>,
+    /// Busy time of crashed incarnations, per rank (the replacement worker
+    /// starts its own ledger at zero).
+    lost_busy_ns: Vec<f64>,
+    /// Per-worker outstanding exchange.
+    in_flight: Vec<Option<InFlight>>,
     events: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    next_dispatch: u64,
     now: f64,
     incumbent: Option<(f64, Vec<f64>)>,
     stats: ParallelStats,
     snapshots: Vec<Checkpoint>,
+    /// The most recent consistent snapshot (periodic or taken at a crash
+    /// detection) — what a real deployment would have on disk.
+    last_checkpoint: Option<Checkpoint>,
+    /// The seeded fault plan (None = reliable machine).
+    plan: Option<FaultPlan>,
 }
 
 impl Supervisor {
-    /// Builds a supervisor and its worker ranks.
+    /// Builds a supervisor and its worker ranks; schedules any planned
+    /// crashes on the event queue.
     pub fn new(instance: MipInstance, cfg: ParallelConfig) -> LpResult<Self> {
         assert!(cfg.workers >= 1, "need at least one worker");
         let mut workers = Vec::with_capacity(cfg.workers);
@@ -186,19 +278,35 @@ impl Supervisor {
             )?);
         }
         let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
-        let in_flight = vec![None; cfg.workers];
-        Ok(Self {
-            instance,
-            cfg,
+        let in_flight = (0..cfg.workers).map(|_| None).collect();
+        let plan = cfg
+            .chaos
+            .clone()
+            .map(|chaos| FaultPlan::new(chaos, cfg.workers));
+        let mut sup = Self {
             tree: SearchTree::with_root(ParPayload::default(), node_bytes),
+            ranks: vec![RankState::fresh(); cfg.workers],
+            lost_busy_ns: vec![0.0; cfg.workers],
             workers,
             in_flight,
             events: BinaryHeap::new(),
+            next_seq: 0,
+            next_dispatch: 0,
             now: 0.0,
             incumbent: None,
             stats: ParallelStats::default(),
             snapshots: Vec::new(),
-        })
+            last_checkpoint: None,
+            plan,
+            instance,
+            cfg,
+        };
+        if let Some(plan) = &sup.plan {
+            for &(time, worker) in &plan.crash_schedule().to_vec() {
+                sup.push_event(time, worker, EventKind::Crash);
+            }
+        }
+        Ok(sup)
     }
 
     /// Seeds the frontier from a checkpoint instead of the root (restart).
@@ -227,14 +335,19 @@ impl Supervisor {
             .collect();
         sup.tree.branch(sup.tree.root(), f64::INFINITY, children);
         sup.incumbent = checkpoint.incumbent.clone();
+        sup.last_checkpoint = Some(checkpoint.clone());
         Ok(sup)
     }
 
-    fn internal(&self, source: f64) -> f64 {
-        match self.instance.objective {
-            Objective::Maximize => source,
-            Objective::Minimize => -source,
-        }
+    fn push_event(&mut self, time: f64, worker: usize, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq,
+            worker,
+            kind,
+        }));
     }
 
     fn to_source(&self, internal: f64) -> f64 {
@@ -260,7 +373,12 @@ impl Supervisor {
         let eligible = |id: &&NodeId| -> bool {
             match self.cfg.load_balance {
                 LoadBalance::Dynamic => true,
-                LoadBalance::Static => self.tree.node(**id).data.partition == worker,
+                LoadBalance::Static => {
+                    let p = self.tree.node(**id).data.partition;
+                    // A retired rank's partition is orphaned work: any
+                    // survivor may adopt it (graceful degradation).
+                    p == worker || self.ranks.get(p).is_some_and(|r| r.retired)
+                }
             }
         };
         let ids = self.tree.active_ids();
@@ -292,11 +410,14 @@ impl Supervisor {
         }
     }
 
-    /// Dispatches work to every idle worker. Returns how many were started.
+    /// Dispatches work to every idle alive worker. Returns how many started.
     fn dispatch(&mut self) -> LpResult<usize> {
         let mut started = 0;
         for w in 0..self.workers.len() {
-            if self.in_flight[w].is_some() || self.workers[w].busy_until > self.now {
+            if !self.ranks[w].alive
+                || self.in_flight[w].is_some()
+                || self.workers[w].busy_until > self.now
+            {
                 continue;
             }
             let Some(id) = self.pick_node(w) else {
@@ -314,9 +435,11 @@ impl Supervisor {
                 },
                 incumbent: self.incumbent_internal(),
             };
-            let send_ns = self.cfg.network.transfer_ns(assignment.bytes());
+            let dispatch = self.next_dispatch;
+            self.next_dispatch += 1;
+            let a_bytes = assignment.bytes();
             self.stats.messages += 1;
-            self.stats.message_bytes += assignment.bytes();
+            self.stats.message_bytes += a_bytes;
             self.stats
                 .metrics
                 .incr(names::CLUSTER_NODES_DISPATCHED, 1.0);
@@ -325,47 +448,265 @@ impl Supervisor {
             if self.tree.node(id).data.partition != w {
                 self.stats.metrics.incr(names::CLUSTER_MIGRATIONS, 1.0);
             }
+            started += 1;
+            let net: NetworkModel = self.cfg.network;
+            let ack_ns = self
+                .plan
+                .as_ref()
+                .map(|p| p.cfg().ack_timeout_ns)
+                .unwrap_or(f64::INFINITY);
+            // Supervisor → worker leg.
+            let Delivery::Delivered {
+                transfer_ns: send_ns,
+                injected_ns: send_delay,
+            } = net.ship(a_bytes, self.plan.as_mut())
+            else {
+                // The assignment vanishes on the wire: the worker never
+                // hears of it, the supervisor notices at the ack timeout.
+                self.stats.faults.drops += 1;
+                let (t0, nid) = (self.now, id as u64);
+                gmip_trace::record(|| {
+                    TraceSpan::instant(Track::cluster_rank(0), "fault.drop", t0)
+                        .arg("node", nid)
+                        .arg("leg", "assignment")
+                });
+                self.in_flight[w] = Some(InFlight {
+                    dispatch,
+                    node: id,
+                    report: None,
+                });
+                self.push_event(self.now + ack_ns, w, EventKind::AckTimeout { dispatch });
+                continue;
+            };
+            if send_delay > 0.0 {
+                self.stats.faults.delays += 1;
+            }
+            // Straggler windows slow the device for evaluations starting
+            // inside them.
+            let eval_start = self.now + send_ns;
+            let slow = self
+                .plan
+                .as_ref()
+                .map(|p| p.slowdown(w, eval_start))
+                .unwrap_or(1.0);
+            if slow > 1.0 {
+                self.stats.faults.straggles += 1;
+            }
+            self.workers[w].slowdown = slow;
             // Evaluate now (numerically); deliver at the modeled time.
             let report = self.workers[w].evaluate(&assignment)?;
-            let reply_ns = self.cfg.network.transfer_ns(report.bytes());
+            let r_bytes = report.bytes();
             self.stats.messages += 1;
-            self.stats.message_bytes += report.bytes();
-            let done = self.now + send_ns + report.eval_ns + reply_ns;
+            self.stats.message_bytes += r_bytes;
             // Per-rank trace lane (lane 0 is the supervisor): the assignment
             // transfer, the device evaluation, and the report transfer render
             // as consecutive spans on the rank's timeline.
             let rank = Track::cluster_rank((w + 1) as u32);
-            let (t0, a_bytes, r_bytes) = (self.now, assignment.bytes(), report.bytes());
-            let (eval_ns, nid) = (report.eval_ns, id as u64);
+            let (t0, eval_ns, nid) = (self.now, report.eval_ns, id as u64);
             gmip_trace::record(|| {
                 TraceSpan::complete(rank, "recv", send_ns, t0)
                     .arg("node", nid)
                     .arg("bytes", a_bytes as u64)
+                    .arg("delayed_ns", send_delay)
             });
             gmip_trace::record(|| {
                 TraceSpan::complete(rank, "eval", eval_ns, t0 + send_ns).arg("node", nid)
             });
-            gmip_trace::record(|| {
-                TraceSpan::complete(rank, "send", reply_ns, t0 + send_ns + eval_ns)
-                    .arg("node", nid)
-                    .arg("bytes", r_bytes as u64)
-            });
-            self.workers[w].busy_until = done;
-            self.in_flight[w] = Some(report);
-            self.events.push(Reverse(Event {
-                time: done,
-                worker: w,
-            }));
-            started += 1;
+            // Worker → supervisor leg.
+            match net.ship(r_bytes, self.plan.as_mut()) {
+                Delivery::Delivered {
+                    transfer_ns: reply_ns,
+                    injected_ns: reply_delay,
+                } => {
+                    if reply_delay > 0.0 {
+                        self.stats.faults.delays += 1;
+                    }
+                    let done = self.now + send_ns + report.eval_ns + reply_ns;
+                    gmip_trace::record(|| {
+                        TraceSpan::complete(rank, "send", reply_ns, t0 + send_ns + eval_ns)
+                            .arg("node", nid)
+                            .arg("bytes", r_bytes as u64)
+                            .arg("delayed_ns", reply_delay)
+                    });
+                    self.workers[w].busy_until = done;
+                    self.in_flight[w] = Some(InFlight {
+                        dispatch,
+                        node: id,
+                        report: Some(report),
+                    });
+                    self.push_event(done, w, EventKind::Deliver { dispatch });
+                }
+                Delivery::Dropped => {
+                    // The worker did the work but its report is lost.
+                    self.stats.faults.drops += 1;
+                    let busy = self.now + send_ns + report.eval_ns;
+                    gmip_trace::record(|| {
+                        TraceSpan::instant(rank, "fault.drop", t0 + send_ns + eval_ns)
+                            .arg("node", nid)
+                            .arg("leg", "report")
+                    });
+                    self.workers[w].busy_until = busy;
+                    self.in_flight[w] = Some(InFlight {
+                        dispatch,
+                        node: id,
+                        report: Some(report),
+                    });
+                    self.push_event(
+                        (self.now + ack_ns).max(busy),
+                        w,
+                        EventKind::AckTimeout { dispatch },
+                    );
+                }
+            }
         }
         Ok(started)
     }
 
+    /// Returns a lost in-flight subproblem to the open set so another rank
+    /// can pick it up. The supervisor's tree is the live checkpoint: the
+    /// node's payload (bounds, warm basis) is still there, and the last
+    /// materialized [`Checkpoint`] provably covers it.
+    fn reassign(&mut self, node: NodeId) {
+        if self.tree.reopen(node) {
+            self.stats.faults.reassignments += 1;
+            debug_assert!(
+                self.last_checkpoint
+                    .as_ref()
+                    .is_none_or(|c| c.covers(&self.tree.node(node).data.bounds)),
+                "recovery invariant: the last checkpoint must cover every lost subproblem"
+            );
+            let (ts, nid) = (self.now, node as u64);
+            gmip_trace::record(|| {
+                TraceSpan::instant(Track::cluster_rank(0), "recovery.reassign", ts).arg("node", nid)
+            });
+        }
+    }
+
+    /// A report reaches the supervisor (unless it is stale: the rank died
+    /// or the exchange was already written off).
+    fn on_deliver(&mut self, worker: usize, dispatch: u64) {
+        if !self.ranks[worker].alive {
+            return; // rank died with the report in transit; Detect handles it
+        }
+        if self.in_flight[worker]
+            .as_ref()
+            .is_none_or(|f| f.dispatch != dispatch)
+        {
+            return; // stale delivery of a written-off exchange
+        }
+        let inf = self.in_flight[worker].take().expect("checked above");
+        let report = inf.report.expect("delivered exchanges carry a report");
+        self.process(worker, report);
+    }
+
+    /// The ack timer for a dropped exchange fires: write it off and
+    /// reassign the subproblem.
+    fn on_ack_timeout(&mut self, worker: usize, dispatch: u64) {
+        if self.in_flight[worker]
+            .as_ref()
+            .is_none_or(|f| f.dispatch != dispatch)
+        {
+            return; // already resolved (e.g. crash detection got there first)
+        }
+        let inf = self.in_flight[worker].take().expect("checked above");
+        self.reassign(inf.node);
+    }
+
+    /// A planned crash lands on the rank: device state and any in-flight
+    /// evaluation are gone. The supervisor only *notices* a heartbeat
+    /// timeout later.
+    fn on_crash(&mut self, worker: usize) {
+        if !self.ranks[worker].alive || self.ranks[worker].retired {
+            return; // the planned crash hit an already-dead rank
+        }
+        self.ranks[worker].alive = false;
+        self.ranks[worker].down_since = self.now;
+        self.stats.faults.crashes += 1;
+        let ts = self.now;
+        gmip_trace::record(|| {
+            TraceSpan::instant(Track::cluster_rank((worker + 1) as u32), "fault.crash", ts)
+        });
+        let hb = self
+            .plan
+            .as_ref()
+            .expect("crash events imply a plan")
+            .cfg()
+            .heartbeat_timeout_ns;
+        self.push_event(self.now + hb, worker, EventKind::Detect);
+    }
+
+    /// Missing heartbeats reveal the crash: reassign the lost subproblem,
+    /// refresh the recovery checkpoint, and schedule a respawn (or retire
+    /// the rank when its budget is spent).
+    fn on_detect(&mut self, worker: usize) {
+        if let Some(inf) = self.in_flight[worker].take() {
+            self.reassign(inf.node);
+        }
+        // Refresh the recovery checkpoint: this is the restart file a real
+        // deployment would rewrite once the failure is known.
+        self.last_checkpoint = Some(self.snapshot());
+        let max_respawns = self
+            .plan
+            .as_ref()
+            .expect("detect events imply a plan")
+            .cfg()
+            .max_respawns;
+        let backoff_base = self.plan.as_ref().expect("plan").cfg().respawn_backoff_ns;
+        let others_alive = (0..self.ranks.len())
+            .filter(|&o| o != worker)
+            .any(|o| self.ranks[o].alive || self.ranks[o].respawn_pending);
+        if self.ranks[worker].respawns < max_respawns || !others_alive {
+            // Exponential backoff; the last viable rank is always granted a
+            // respawn so the search can terminate.
+            let exp = self.ranks[worker].respawns.min(20) as u32;
+            let backoff = backoff_base * f64::from(1u32 << exp.min(20));
+            self.ranks[worker].respawn_pending = true;
+            self.push_event(self.now + backoff, worker, EventKind::Respawn);
+        } else {
+            self.ranks[worker].retired = true;
+            self.stats.faults.degraded_ranks += 1;
+            let ts = self.now;
+            gmip_trace::record(|| {
+                TraceSpan::instant(
+                    Track::cluster_rank((worker + 1) as u32),
+                    "recovery.degrade",
+                    ts,
+                )
+            });
+        }
+    }
+
+    /// The replacement rank comes up: fresh device, matrix re-uploaded,
+    /// warm-start state gone.
+    fn on_respawn(&mut self, worker: usize) -> LpResult<()> {
+        self.ranks[worker].respawn_pending = false;
+        self.lost_busy_ns[worker] += self.workers[worker].busy_ns;
+        let mut fresh = Worker::new(
+            worker,
+            &self.instance,
+            self.cfg.gpu_cost.clone(),
+            self.cfg.gpu_mem,
+            self.cfg.lp.clone(),
+            self.cfg.int_tol,
+        )?;
+        fresh.busy_until = self.now;
+        self.workers[worker] = fresh;
+        self.ranks[worker].alive = true;
+        self.ranks[worker].respawns += 1;
+        self.stats.faults.respawns += 1;
+        let (t0, dur) = (
+            self.ranks[worker].down_since,
+            self.now - self.ranks[worker].down_since,
+        );
+        let lane = Track::cluster_rank((worker + 1) as u32);
+        gmip_trace::record(|| TraceSpan::complete(lane, "down", dur, t0));
+        let ts = self.now;
+        gmip_trace::record(|| TraceSpan::instant(lane, "recovery.respawn", ts));
+        Ok(())
+    }
+
     /// Processes one delivered report.
-    fn process(&mut self, worker: usize) {
-        let report = self.in_flight[worker]
-            .take()
-            .expect("event implies an in-flight report");
+    fn process(&mut self, worker: usize, report: NodeReport) {
         self.stats.nodes += 1;
         self.stats.lp_iterations += report.lp_iterations;
         let id = report.node_id;
@@ -482,8 +823,18 @@ impl Supervisor {
                 break MipStatus::NodeLimit;
             }
             self.dispatch()?;
+            // Done when no open nodes remain and nothing is in flight —
+            // fault events scheduled past this point hit a machine whose
+            // job already finished.
+            if !self.tree.has_active() && self.in_flight.iter().all(Option::is_none) {
+                break if self.incumbent.is_some() {
+                    MipStatus::Optimal
+                } else {
+                    MipStatus::Infeasible
+                };
+            }
             let Some(Reverse(ev)) = self.events.pop() else {
-                // No in-flight work and dispatch found nothing: done.
+                // Defensive: outstanding work always has a pending event.
                 break if self.incumbent.is_some() {
                     MipStatus::Optimal
                 } else {
@@ -493,29 +844,45 @@ impl Supervisor {
             // Clock is monotone even when checkpoint serialization pushed it
             // past an already-scheduled completion.
             self.now = self.now.max(ev.time);
-            self.process(ev.worker);
-            if let Some(every) = self.cfg.checkpoint_every {
-                if self.stats.nodes >= last_checkpoint_at + every {
-                    last_checkpoint_at = self.stats.nodes;
-                    let snap = self.snapshot();
-                    // Stop-the-world serialization: the supervisor's clock
-                    // advances while the snapshot is written (~1 GB/s).
-                    let (t0, dur) = (self.now, 2_000.0 + snap.bytes() as f64);
-                    let (ck_bytes, frontier) = (snap.bytes() as u64, snap.frontier.len() as u64);
-                    gmip_trace::record(|| {
-                        TraceSpan::complete(Track::cluster_rank(0), "checkpoint", dur, t0)
-                            .arg("bytes", ck_bytes)
-                            .arg("frontier", frontier)
-                    });
-                    self.now += dur;
-                    self.snapshots.push(snap);
-                    self.stats.checkpoints += 1;
+            let nodes_before = self.stats.nodes;
+            match ev.kind {
+                EventKind::Deliver { dispatch } => self.on_deliver(ev.worker, dispatch),
+                EventKind::AckTimeout { dispatch } => self.on_ack_timeout(ev.worker, dispatch),
+                EventKind::Crash => self.on_crash(ev.worker),
+                EventKind::Detect => self.on_detect(ev.worker),
+                EventKind::Respawn => self.on_respawn(ev.worker)?,
+            }
+            if self.stats.nodes > nodes_before {
+                if let Some(every) = self.cfg.checkpoint_every {
+                    if self.stats.nodes >= last_checkpoint_at + every {
+                        last_checkpoint_at = self.stats.nodes;
+                        let snap = self.snapshot();
+                        // Stop-the-world serialization: the supervisor's clock
+                        // advances while the snapshot is written (~1 GB/s).
+                        let (t0, dur) = (self.now, 2_000.0 + snap.bytes() as f64);
+                        let (ck_bytes, frontier) =
+                            (snap.bytes() as u64, snap.frontier.len() as u64);
+                        gmip_trace::record(|| {
+                            TraceSpan::complete(Track::cluster_rank(0), "checkpoint", dur, t0)
+                                .arg("bytes", ck_bytes)
+                                .arg("frontier", frontier)
+                        });
+                        self.now += dur;
+                        self.last_checkpoint = Some(snap.clone());
+                        self.snapshots.push(snap);
+                        self.stats.checkpoints += 1;
+                    }
                 }
             }
         };
         // Drain bookkeeping.
         self.stats.makespan_ns = self.now;
-        self.stats.worker_busy_ns = self.workers.iter().map(|w| w.busy_ns).collect();
+        self.stats.worker_busy_ns = self
+            .workers
+            .iter()
+            .zip(&self.lost_busy_ns)
+            .map(|(w, lost)| w.busy_ns + lost)
+            .collect();
         if self.now > 0.0 {
             let busy_sum: f64 = self.stats.worker_busy_ns.iter().sum();
             self.stats.idle_fraction = 1.0 - busy_sum / (self.now * self.workers.len() as f64);
@@ -535,6 +902,17 @@ impl Supervisor {
         self.stats
             .metrics
             .incr(names::CLUSTER_CHECKPOINTS, ckpts as f64);
+        if self.plan.is_some() {
+            let f = self.stats.faults;
+            let m = &mut self.stats.metrics;
+            m.incr(names::FAULT_CRASHES, f.crashes as f64);
+            m.incr(names::FAULT_DROPS, f.drops as f64);
+            m.incr(names::FAULT_DELAYS, f.delays as f64);
+            m.incr(names::FAULT_STRAGGLES, f.straggles as f64);
+            m.incr(names::RECOVERY_REASSIGNMENTS, f.reassignments as f64);
+            m.incr(names::RECOVERY_RESPAWNS, f.respawns as f64);
+            m.incr(names::RECOVERY_DEGRADED_RANKS, f.degraded_ranks as f64);
+        }
         for w in &self.workers {
             self.stats.metrics.merge(&w.metrics());
         }
@@ -542,7 +920,6 @@ impl Supervisor {
             Some((v, p)) => (self.to_source(*v), p.clone()),
             None => (f64::NAN, Vec::new()),
         };
-        let _ = self.internal(0.0); // keep helper used in both senses
         Ok(ParallelResult {
             status,
             objective,
@@ -595,6 +972,7 @@ mod tests {
         assert!(r.stats.messages > 0);
         assert!(r.stats.makespan_ns > 0.0);
         assert_eq!(r.stats.worker_busy_ns.len(), 2);
+        assert_eq!(r.stats.faults, crate::chaos::FaultStats::default());
     }
 
     #[test]
@@ -685,5 +1063,97 @@ mod tests {
         .unwrap();
         assert_eq!(r.status, MipStatus::NodeLimit);
         assert!(r.stats.nodes <= 6);
+    }
+
+    #[test]
+    fn dropped_messages_are_reassigned_and_answer_unchanged() {
+        let m = knapsack(12, 0.5, 9);
+        let expected = knapsack_brute_force(&m);
+        let r = solve_parallel(
+            &m,
+            ParallelConfig {
+                chaos: Some(ChaosConfig {
+                    drop_prob: 0.25,
+                    ..ChaosConfig::quiet(3)
+                }),
+                ..cfg(3)
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - expected).abs() < 1e-6);
+        assert!(r.stats.faults.drops > 0, "plan injected no drops");
+        assert!(
+            r.stats.faults.reassignments >= 1,
+            "drops must trigger reassignment: {:?}",
+            r.stats.faults
+        );
+        assert_eq!(r.stats.tree.reopened, r.stats.faults.reassignments);
+    }
+
+    #[test]
+    fn crashes_respawn_and_recover_the_optimum() {
+        let m = knapsack(16, 0.5, 5);
+        let expected = knapsack_brute_force(&m);
+        // Size the crash window to the fault-free makespan so the crashes
+        // land while the cluster is actually busy.
+        let clean = solve_parallel(&m, cfg(3)).unwrap();
+        let r = solve_parallel(
+            &m,
+            ParallelConfig {
+                chaos: Some(ChaosConfig {
+                    crashes: 4,
+                    horizon_ns: clean.stats.makespan_ns * 0.8,
+                    ..ChaosConfig::quiet(11)
+                }),
+                ..cfg(3)
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!(
+            (r.objective - expected).abs() < 1e-6,
+            "chaotic {} vs clean {expected}",
+            r.objective
+        );
+        assert!(
+            r.stats.faults.crashes > 0,
+            "no crash landed: {:?}",
+            r.stats.faults
+        );
+        assert!(
+            r.stats.faults.respawns > 0,
+            "no respawn: {:?}",
+            r.stats.faults
+        );
+        // Failures cost simulated time.
+        assert!(r.stats.makespan_ns >= clean.stats.makespan_ns);
+    }
+
+    #[test]
+    fn exhausted_respawn_budget_degrades_but_terminates() {
+        let m = knapsack(16, 0.5, 5);
+        let expected = knapsack_brute_force(&m);
+        let clean = solve_parallel(&m, cfg(3)).unwrap();
+        let r = solve_parallel(
+            &m,
+            ParallelConfig {
+                chaos: Some(ChaosConfig {
+                    crashes: 5,
+                    horizon_ns: clean.stats.makespan_ns * 0.8,
+                    max_respawns: 0,
+                    ..ChaosConfig::quiet(11)
+                }),
+                ..cfg(3)
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - expected).abs() < 1e-6);
+        assert!(
+            r.stats.faults.degraded_ranks > 0,
+            "budget 0 must retire a rank: {:?}",
+            r.stats.faults
+        );
     }
 }

@@ -6,20 +6,68 @@
 //! report arrival, the way a Pthreads-based `FiberSCIP`-style deployment
 //! would behave (Section 2.3). Results are nondeterministic in *path* but
 //! must be deterministic in *answer*; the tests assert exactly that.
+//!
+//! With [`ParallelConfig::chaos`] set, the fault plan's *thread crash
+//! points* kill worker threads mid-run (silently, with an assignment in
+//! hand); the coordinator detects the dead thread by report timeout,
+//! reopens its subproblem, and respawns a clean replacement — the same
+//! recovery protocol as the discrete-event supervisor, on real threads.
 
+use crate::chaos::FaultPlan;
 use crate::comm::{Assignment, NodeOutcome, NodeReport};
 use crate::supervisor::{ParPayload, ParallelConfig};
 use crate::worker::Worker;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gmip_core::MipStatus;
 use gmip_lp::{BoundChange, LpError, LpResult};
 use gmip_problems::{MipInstance, Objective};
 use gmip_tree::{NodeState, SearchTree};
 use std::collections::HashMap;
+use std::time::Duration;
 
 enum WorkerMsg {
     Work(Assignment),
     Shutdown,
+}
+
+/// How long the coordinator waits on the report channel before suspecting
+/// a dead worker thread (only when chaos is enabled).
+const HEARTBEAT: Duration = Duration::from_millis(25);
+
+/// Spawns one worker thread with its own work channel. `crash_at:
+/// Some(k)` makes the thread die silently when handed its `k+1`-th
+/// assignment (the injected fault); replacements are spawned with `None`.
+fn spawn_worker(
+    id: usize,
+    instance: &MipInstance,
+    cfg: &ParallelConfig,
+    rtx: Sender<Result<NodeReport, LpError>>,
+    crash_at: Option<usize>,
+) -> (Sender<WorkerMsg>, std::thread::JoinHandle<()>) {
+    let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+    let inst = instance.clone();
+    let gpu_cost = cfg.gpu_cost.clone();
+    let (gpu_mem, lp_cfg, int_tol) = (cfg.gpu_mem, cfg.lp.clone(), cfg.int_tol);
+    let handle = std::thread::spawn(move || {
+        let mut worker = match Worker::new(id, &inst, gpu_cost, gpu_mem, lp_cfg, int_tol) {
+            Ok(w) => w,
+            Err(e) => {
+                let _ = rtx.send(Err(e));
+                return;
+            }
+        };
+        let mut handled = 0usize;
+        while let Ok(WorkerMsg::Work(a)) = rx.recv() {
+            if crash_at == Some(handled) {
+                return; // injected crash: die with the assignment in hand
+            }
+            handled += 1;
+            if rtx.send(worker.evaluate(&a)).is_err() {
+                break;
+            }
+        }
+    });
+    (tx, handle)
 }
 
 /// Result of a threaded parallel solve.
@@ -35,37 +83,33 @@ pub struct ThreadedResult {
     pub nodes: usize,
     /// Wall-clock milliseconds of the parallel section.
     pub wall_ms: f64,
+    /// Worker threads respawned after an injected crash (0 without chaos).
+    pub respawns: usize,
+    /// Subproblems reopened after their worker died (0 without chaos).
+    pub reassignments: usize,
 }
 
 /// Solves `instance` with `cfg.workers` OS threads.
 pub fn solve_threaded(instance: &MipInstance, cfg: &ParallelConfig) -> LpResult<ThreadedResult> {
     let started = std::time::Instant::now();
 
+    let chaos_on = cfg.chaos.is_some();
+    let crash_points: Vec<Option<usize>> = match &cfg.chaos {
+        Some(chaos) => FaultPlan::new(chaos.clone(), cfg.workers).thread_crash_points(cfg.workers),
+        None => vec![None; cfg.workers],
+    };
+
     let (report_tx, report_rx): (Sender<Result<NodeReport, LpError>>, Receiver<_>) = unbounded();
     let mut work_txs: Vec<Sender<WorkerMsg>> = Vec::new();
     let mut handles = Vec::new();
     for id in 0..cfg.workers {
-        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
+        let (tx, handle) = spawn_worker(id, instance, cfg, report_tx.clone(), crash_points[id]);
         work_txs.push(tx);
-        let rtx = report_tx.clone();
-        let inst = instance.clone();
-        let gpu_cost = cfg.gpu_cost.clone();
-        let (gpu_mem, lp_cfg, int_tol) = (cfg.gpu_mem, cfg.lp.clone(), cfg.int_tol);
-        handles.push(std::thread::spawn(move || {
-            let mut worker = match Worker::new(id, &inst, gpu_cost, gpu_mem, lp_cfg, int_tol) {
-                Ok(w) => w,
-                Err(e) => {
-                    let _ = rtx.send(Err(e));
-                    return;
-                }
-            };
-            while let Ok(WorkerMsg::Work(a)) = rx.recv() {
-                if rtx.send(worker.evaluate(&a)).is_err() {
-                    break;
-                }
-            }
-        }));
+        handles.push(handle);
     }
+    // Under chaos the coordinator keeps a sender so the report channel never
+    // disconnects while it still needs to respawn workers.
+    let keeper = chaos_on.then(|| report_tx.clone());
     drop(report_tx);
 
     let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
@@ -75,6 +119,8 @@ pub fn solve_threaded(instance: &MipInstance, cfg: &ParallelConfig) -> LpResult<
     let mut incumbent: Option<(f64, Vec<f64>)> = None;
     let mut nodes = 0usize;
     let mut worker_error: Option<LpError> = None;
+    let mut respawns = 0usize;
+    let mut reassignments = 0usize;
 
     loop {
         // Dispatch best-bound nodes to idle workers.
@@ -112,12 +158,46 @@ pub fn solve_threaded(instance: &MipInstance, cfg: &ParallelConfig) -> LpResult<
         if assigned.is_empty() {
             break; // nothing running, nothing dispatchable
         }
-        // Block for the next report.
-        let report = match report_rx.recv().expect("workers alive while in flight") {
-            Ok(r) => r,
-            Err(e) => {
+        // Block for the next report. Under chaos, wake periodically to
+        // check whether a worker thread died with an assignment in hand.
+        let recv_result = if chaos_on {
+            match report_rx.recv_timeout(HEARTBEAT) {
+                Ok(r) => Some(r),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("keeper holds a sender while chaos is on")
+                }
+            }
+        } else {
+            Some(report_rx.recv().expect("workers alive while in flight"))
+        };
+        let report = match recv_result {
+            Some(Ok(r)) => r,
+            Some(Err(e)) => {
                 worker_error = Some(e);
                 break;
+            }
+            None => {
+                // Heartbeat timeout: reopen subproblems held by dead
+                // threads and respawn clean (crash-free) replacements.
+                let stuck: Vec<(usize, usize)> = assigned.iter().map(|(&n, &w)| (n, w)).collect();
+                for (node, w) in stuck {
+                    if !handles[w].is_finished() {
+                        continue; // still computing, just slow
+                    }
+                    assigned.remove(&node);
+                    if tree.reopen(node) {
+                        reassignments += 1;
+                    }
+                    let rtx = keeper.clone().expect("chaos keeps a sender");
+                    let (tx, handle) = spawn_worker(w, instance, cfg, rtx, None);
+                    work_txs[w] = tx;
+                    let dead = std::mem::replace(&mut handles[w], handle);
+                    let _ = dead.join();
+                    respawns += 1;
+                    idle.push(w);
+                }
+                continue;
             }
         };
         nodes += 1;
@@ -226,6 +306,8 @@ pub fn solve_threaded(instance: &MipInstance, cfg: &ParallelConfig) -> LpResult<
         x,
         nodes,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        respawns,
+        reassignments,
     })
 }
 
@@ -271,6 +353,26 @@ mod tests {
             let r = solve_threaded(&m, &cfg(4)).unwrap();
             assert!((r.objective - expected).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn injected_thread_crashes_are_respawned_and_answer_unchanged() {
+        use crate::chaos::ChaosConfig;
+        let m = knapsack(14, 0.5, 8);
+        let expected = knapsack_brute_force(&m);
+        let mut c = cfg(3);
+        c.chaos = Some(ChaosConfig {
+            crashes: 3,
+            ..ChaosConfig::quiet(7)
+        });
+        let r = solve_threaded(&m, &c).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - expected).abs() < 1e-6);
+        assert!(
+            r.respawns >= 1,
+            "crash points must kill at least one thread"
+        );
+        assert!(r.reassignments >= 1, "a dead worker held a subproblem");
     }
 
     #[test]

@@ -26,6 +26,11 @@ pub struct Worker {
     pub busy_ns: f64,
     /// Nodes evaluated.
     pub nodes: usize,
+    /// Evaluation slowdown factor (1.0 = healthy). Set by the fault
+    /// injector while this rank sits in a straggler window: the reported
+    /// `eval_ns` is multiplied by this, modeling a thermally-throttled or
+    /// contended device.
+    pub slowdown: f64,
 }
 
 impl Worker {
@@ -59,6 +64,7 @@ impl Worker {
             busy_until: 0.0,
             busy_ns: 0.0,
             nodes: 0,
+            slowdown: 1.0,
         })
     }
 
@@ -140,7 +146,7 @@ impl Worker {
                 }
             }
         };
-        let eval_ns = self.accel.elapsed_ns() - t0;
+        let eval_ns = (self.accel.elapsed_ns() - t0) * self.slowdown.max(1.0);
         self.busy_ns += eval_ns;
         Ok(NodeReport {
             node_id: a.node_id,
@@ -252,6 +258,23 @@ mod tests {
             })
             .unwrap();
         assert!(matches!(report.outcome, NodeOutcome::Infeasible));
+    }
+
+    #[test]
+    fn straggler_slowdown_scales_eval_time() {
+        let assignment = Assignment {
+            node_id: 0,
+            bounds: vec![],
+            warm_basis: None,
+            incumbent: f64::NEG_INFINITY,
+        };
+        let mut healthy = mk_worker();
+        let fast = healthy.evaluate(&assignment).unwrap().eval_ns;
+        let mut straggler = mk_worker();
+        straggler.slowdown = 4.0;
+        let slow = straggler.evaluate(&assignment).unwrap().eval_ns;
+        assert!((slow - 4.0 * fast).abs() < 1e-6, "{slow} vs 4×{fast}");
+        assert!((straggler.busy_ns - 4.0 * healthy.busy_ns).abs() < 1e-6);
     }
 
     #[test]

@@ -3,11 +3,13 @@
 //! * The discrete-event supervisor–worker solve reaches the same optimum as
 //!   the sequential host solver on random instances;
 //! * worker count never changes the answer;
-//! * every mid-run snapshot restarts to the same optimum;
-//! * message/byte accounting is self-consistent (two messages per node).
+//! * every mid-run snapshot — taken at a *random* interruption point —
+//!   restarts to the same optimum;
+//! * message/byte accounting is self-consistent (two messages per node);
+//! * a cluster under a random fault plan still matches the host optimum.
 
 use gmip_core::{MipConfig, MipSolver, MipStatus};
-use gmip_parallel::{solve_parallel, ParallelConfig, Supervisor};
+use gmip_parallel::{solve_parallel, ChaosConfig, ParallelConfig, Supervisor};
 use gmip_problems::generators::{random_mip, RandomMipConfig};
 use proptest::prelude::*;
 
@@ -55,21 +57,28 @@ proptest! {
     }
 
     #[test]
-    fn snapshots_always_resume_to_optimum(inst in instance_strategy()) {
+    fn snapshots_always_resume_to_optimum(
+        inst in instance_strategy(),
+        node_limit in 2usize..12,
+        every in 1usize..4,
+        workers in 1usize..4,
+    ) {
         let (hstatus, hobj) = host_optimum(&inst);
         if hstatus != MipStatus::Optimal {
             return Ok(());
         }
+        // Interrupt the search at a random point, snapshotting at a random
+        // cadence on the way — every snapshot must resume to the optimum.
         let partial = solve_parallel(
             &inst,
             ParallelConfig {
-                node_limit: 4,
-                checkpoint_every: Some(2),
-                ..par_cfg(2)
+                node_limit,
+                checkpoint_every: Some(every),
+                ..par_cfg(workers)
             },
         ).expect("partial run");
         for snap in &partial.snapshots {
-            let resumed = Supervisor::restore(inst.clone(), par_cfg(2), snap)
+            let resumed = Supervisor::restore(inst.clone(), par_cfg(workers), snap)
                 .expect("restore")
                 .run()
                 .expect("resumed");
@@ -77,5 +86,40 @@ proptest! {
             prop_assert!((resumed.objective - hobj).abs() < 1e-6,
                 "snapshot resume {} vs host {}", resumed.objective, hobj);
         }
+    }
+
+    #[test]
+    fn chaotic_cluster_matches_host(
+        inst in instance_strategy(),
+        seed in 0u64..10_000,
+        drop in 0.0f64..0.3,
+        delay in 0.0f64..0.4,
+        crashes in 0usize..4,
+    ) {
+        let (hstatus, hobj) = host_optimum(&inst);
+        let r = solve_parallel(
+            &inst,
+            ParallelConfig {
+                chaos: Some(ChaosConfig {
+                    crashes,
+                    drop_prob: drop,
+                    delay_prob: delay,
+                    delay_ns: 20_000.0,
+                    ..ChaosConfig::quiet(seed)
+                }),
+                ..par_cfg(3)
+            },
+        ).expect("chaotic solve");
+        prop_assert_eq!(hstatus, r.status);
+        if hstatus == MipStatus::Optimal {
+            prop_assert!((hobj - r.objective).abs() < 1e-6,
+                "host {} vs chaotic cluster {} (faults {:?})",
+                hobj, r.objective, r.stats.faults);
+        }
+        // Every drop is eventually written off and reassigned.
+        prop_assert!(r.stats.faults.reassignments >= r.stats.faults.drops
+            || r.status != MipStatus::Optimal,
+            "drops {} outnumber reassignments {}",
+            r.stats.faults.drops, r.stats.faults.reassignments);
     }
 }

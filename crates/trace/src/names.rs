@@ -4,7 +4,8 @@
 //! constant here so the summary table, the docs, and the instrumentation
 //! sites cannot drift apart. Names are dotted paths grouped by subsystem:
 //! `gpu.*` (device ledger), `lp.*` (simplex engine), `bb.*`
-//! (branch-and-bound lifecycle), `cluster.*` (parallel supervisor/workers).
+//! (branch-and-bound lifecycle), `cluster.*` (parallel supervisor/workers),
+//! `fault.*` (injected chaos) and `recovery.*` (the supervisor's response).
 
 use crate::event::TrackGroup;
 
@@ -78,6 +79,25 @@ pub const CLUSTER_NODES_DISPATCHED: &str = "cluster.nodes.dispatched";
 pub const CLUSTER_MIGRATIONS: &str = "cluster.migrations";
 /// Checkpoints (stop-the-world snapshots) taken.
 pub const CLUSTER_CHECKPOINTS: &str = "cluster.checkpoints";
+
+// --- Fault injection & recovery (gmip-chaos) -------------------------------
+
+/// Injected worker crashes that landed on an alive rank.
+pub const FAULT_CRASHES: &str = "fault.crashes";
+/// Messages (assignments or reports) silently dropped on the wire.
+pub const FAULT_DROPS: &str = "fault.drops";
+/// Messages delayed on the wire beyond the modeled transfer time.
+pub const FAULT_DELAYS: &str = "fault.delays";
+/// Evaluations slowed by a straggler window.
+pub const FAULT_STRAGGLES: &str = "fault.straggles";
+/// Lost subproblems returned to the open set and re-dispatched (after a
+/// crash was detected or an ack timeout fired).
+pub const RECOVERY_REASSIGNMENTS: &str = "recovery.reassignments";
+/// Crashed ranks brought back after their exponential backoff.
+pub const RECOVERY_RESPAWNS: &str = "recovery.respawns";
+/// Ranks permanently retired after exhausting their respawn budget (the
+/// cluster degrades to fewer ranks).
+pub const RECOVERY_DEGRADED_RANKS: &str = "recovery.degraded_ranks";
 
 // --- Track labels ----------------------------------------------------------
 

@@ -18,6 +18,9 @@ pub struct TreeStats {
     /// Largest size of the active set (peak outstanding work — what the
     /// paper's Strategy 1 must fit in GPU memory).
     pub max_active: usize,
+    /// Evaluations lost to faults and returned to the active set (each one
+    /// is a subproblem evaluated more than once).
+    pub reopened: usize,
 }
 
 impl TreeStats {
@@ -46,6 +49,7 @@ mod tests {
             pruned: 2,
             max_depth: 2,
             max_active: 4,
+            reopened: 0,
         };
         assert_eq!(s.leaves(), 4);
         assert_eq!(s.evaluated(), 7);

@@ -100,6 +100,23 @@ impl<D> SearchTree<D> {
         true
     }
 
+    /// Returns an `Evaluating` node to the active set. This is the fault
+    /// recovery primitive: when a worker crashes or its report is lost, the
+    /// supervisor reopens the node so another rank can evaluate it (the
+    /// node's payload — bounds, warm basis — still lives in the tree, which
+    /// is what makes the tree the in-memory checkpoint of Section 2.1).
+    /// Returns `false` unless the node was `Evaluating`.
+    pub fn reopen(&mut self, id: NodeId) -> bool {
+        if self.nodes[id].state != NodeState::Evaluating {
+            return false;
+        }
+        self.nodes[id].state = NodeState::Active;
+        self.active.push(id);
+        self.stats.reopened += 1;
+        self.stats.max_active = self.stats.max_active.max(self.active.len());
+        true
+    }
+
     /// Marks an evaluating node as a terminal leaf with the given state and
     /// bound.
     pub fn settle(&mut self, id: NodeId, state: NodeState, bound: f64) {
@@ -286,5 +303,21 @@ mod tests {
     fn all_settled_false_while_open() {
         let t = two_level_tree();
         assert!(!t.all_settled());
+    }
+
+    #[test]
+    fn reopen_returns_lost_evaluation_to_active_set() {
+        let mut t = two_level_tree();
+        assert!(t.begin_evaluation(1));
+        assert_eq!(t.active_ids(), &[2]);
+        assert!(t.reopen(1), "evaluating node reopens");
+        assert_eq!(t.node(1).state, NodeState::Active);
+        assert!(t.active_ids().contains(&1));
+        assert_eq!(t.stats().reopened, 1);
+        // Only Evaluating nodes can be reopened.
+        assert!(!t.reopen(1), "already active");
+        t.begin_evaluation(1);
+        t.settle(1, NodeState::Pruned, 0.0);
+        assert!(!t.reopen(1), "settled node stays settled");
     }
 }

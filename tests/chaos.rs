@@ -1,0 +1,267 @@
+//! gmip-chaos differential harness: a cluster under deterministic fault
+//! injection must terminate and report the **same optimal objective** (and
+//! an integer-feasible incumbent) as the fault-free run — the recovery
+//! protocol may cost simulated time, never correctness.
+//!
+//! The matrix crosses catalog/generator instances with fault plans of
+//! different character (drop-heavy, delay-heavy, crash-heavy, everything at
+//! once). Crash windows are sized from each instance's measured fault-free
+//! makespan so the injected failures land while the cluster is busy.
+
+use gmip::core::MipStatus;
+use gmip::parallel::{solve_parallel, solve_threaded, ChaosConfig, ParallelConfig, ParallelResult};
+use gmip::problems::catalog::textbook_mip;
+use gmip::problems::generators::knapsack;
+use gmip::problems::MipInstance;
+use gmip::trace::names;
+
+const WORKERS: usize = 3;
+
+fn cluster_cfg() -> ParallelConfig {
+    ParallelConfig {
+        workers: WORKERS,
+        gpu_mem: 1 << 24,
+        ..Default::default()
+    }
+}
+
+fn instances() -> Vec<(&'static str, MipInstance)> {
+    vec![
+        ("textbook", textbook_mip()),
+        ("knapsack-14", knapsack(14, 0.5, 7)),
+        ("knapsack-16", knapsack(16, 0.5, 2)),
+    ]
+}
+
+/// Fault-free baseline: objective + makespan for sizing crash windows.
+fn baseline(id: &str, instance: &MipInstance) -> (f64, f64) {
+    let r = solve_parallel(instance, cluster_cfg())
+        .unwrap_or_else(|e| panic!("{id}: clean solve failed: {e}"));
+    assert_eq!(r.status, MipStatus::Optimal, "{id}: clean run not optimal");
+    (r.objective, r.stats.makespan_ns)
+}
+
+/// The fault plans of the matrix. `makespan` is the instance's fault-free
+/// makespan; crash horizons stop at 80% of it so crashes land mid-search.
+fn plans(makespan: f64) -> Vec<(&'static str, ChaosConfig)> {
+    vec![
+        (
+            "drop-heavy",
+            ChaosConfig {
+                drop_prob: 0.25,
+                ..ChaosConfig::quiet(3)
+            },
+        ),
+        (
+            "delay-heavy",
+            ChaosConfig {
+                delay_prob: 0.5,
+                delay_ns: 40_000.0,
+                ..ChaosConfig::quiet(4)
+            },
+        ),
+        (
+            "crash-heavy",
+            ChaosConfig {
+                crashes: 4,
+                horizon_ns: makespan * 0.8,
+                ..ChaosConfig::quiet(11)
+            },
+        ),
+        (
+            "kitchen-sink",
+            ChaosConfig {
+                crashes: 2,
+                drop_prob: 0.1,
+                delay_prob: 0.2,
+                delay_ns: 20_000.0,
+                stragglers: 1,
+                straggle_factor: 4.0,
+                straggle_ns: makespan * 0.3,
+                horizon_ns: makespan * 0.8,
+                ..ChaosConfig::quiet(9)
+            },
+        ),
+    ]
+}
+
+fn chaotic(instance: &MipInstance, chaos: ChaosConfig) -> ParallelResult {
+    solve_parallel(
+        instance,
+        ParallelConfig {
+            chaos: Some(chaos),
+            ..cluster_cfg()
+        },
+    )
+    .expect("chaotic solve must not error")
+}
+
+/// The tentpole assertion: every (instance, fault plan) cell recovers to
+/// the fault-free optimum with a feasible incumbent.
+#[test]
+fn every_fault_plan_recovers_the_fault_free_optimum() {
+    for (id, instance) in instances() {
+        let (expected, makespan) = baseline(id, &instance);
+        for (plan_id, chaos) in plans(makespan) {
+            let r = chaotic(&instance, chaos);
+            assert_eq!(r.status, MipStatus::Optimal, "{id}/{plan_id}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "{id}/{plan_id}: chaotic {} vs clean {expected}",
+                r.objective
+            );
+            assert!(
+                instance.is_integer_feasible(&r.x, 1e-5),
+                "{id}/{plan_id}: incumbent not integer-feasible"
+            );
+        }
+    }
+}
+
+/// A crash-heavy plan must demonstrably exercise the recovery machinery:
+/// crashes land, lost subproblems are reassigned, ranks respawn — and the
+/// counters surface in the metrics registry, not just in `FaultStats`.
+#[test]
+fn crash_heavy_plan_exercises_reassignment() {
+    let instance = knapsack(16, 0.5, 5);
+    let (expected, makespan) = baseline("knapsack-16/5", &instance);
+    let r = chaotic(
+        &instance,
+        ChaosConfig {
+            crashes: 6,
+            drop_prob: 0.1,
+            horizon_ns: makespan * 0.8,
+            ..ChaosConfig::quiet(11)
+        },
+    );
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!((r.objective - expected).abs() < 1e-6);
+    let f = &r.stats.faults;
+    assert!(f.crashes > 0, "no crash landed: {f:?}");
+    assert!(f.reassignments > 0, "no subproblem reassigned: {f:?}");
+    assert!(f.respawns > 0, "no rank respawned: {f:?}");
+    let m = &r.stats.metrics;
+    assert!(m.counter(names::FAULT_CRASHES) > 0.0);
+    assert!(m.counter(names::RECOVERY_REASSIGNMENTS) > 0.0);
+    assert!(m.counter(names::RECOVERY_RESPAWNS) > 0.0);
+    assert_eq!(m.counter(names::FAULT_CRASHES), f.crashes as f64);
+    assert_eq!(
+        m.counter(names::RECOVERY_REASSIGNMENTS),
+        f.reassignments as f64
+    );
+}
+
+/// With a zero respawn budget the cluster degrades to fewer ranks — and
+/// still finishes with the right answer (last-rank immunity guarantees at
+/// least one survivor).
+#[test]
+fn respawn_exhaustion_degrades_gracefully() {
+    let instance = knapsack(16, 0.5, 5);
+    let (expected, makespan) = baseline("knapsack-16/5", &instance);
+    let r = chaotic(
+        &instance,
+        ChaosConfig {
+            crashes: 5,
+            horizon_ns: makespan * 0.8,
+            max_respawns: 0,
+            ..ChaosConfig::quiet(11)
+        },
+    );
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!((r.objective - expected).abs() < 1e-6);
+    assert!(
+        r.stats.faults.degraded_ranks > 0,
+        "zero budget must retire ranks: {:?}",
+        r.stats.faults
+    );
+    assert!(r.stats.metrics.counter(names::RECOVERY_DEGRADED_RANKS) > 0.0);
+}
+
+/// Faults cost simulated time: a crash-laden run can't beat the clean one.
+#[test]
+fn recovery_costs_simulated_time() {
+    let instance = knapsack(16, 0.5, 5);
+    let (_, makespan) = baseline("knapsack-16/5", &instance);
+    let r = chaotic(
+        &instance,
+        ChaosConfig {
+            crashes: 4,
+            drop_prob: 0.15,
+            horizon_ns: makespan * 0.8,
+            ..ChaosConfig::quiet(11)
+        },
+    );
+    assert!(r.stats.faults.any(), "plan must inject something");
+    assert!(
+        r.stats.makespan_ns >= makespan,
+        "chaotic makespan {} beat clean {makespan}",
+        r.stats.makespan_ns
+    );
+}
+
+/// A fault-free config reports all-zero fault counters and no `fault.*` /
+/// `recovery.*` rows in the metrics registry.
+#[test]
+fn reliable_cluster_reports_no_faults() {
+    let r = solve_parallel(&knapsack(12, 0.5, 1), cluster_cfg()).unwrap();
+    assert!(!r.stats.faults.any());
+    assert_eq!(r.stats.metrics.counter(names::FAULT_CRASHES), 0.0);
+    assert!(
+        !r.stats
+            .metrics
+            .counters()
+            .any(|(k, _)| k.starts_with("fault.")),
+        "reliable runs must not register fault metrics"
+    );
+}
+
+/// The threaded backend's recovery: injected thread crashes are detected
+/// by report timeout and respawned, and the answer still matches the
+/// fault-free DES cluster.
+#[test]
+fn threaded_crashes_recover_to_the_same_answer() {
+    let instance = knapsack(14, 0.5, 8);
+    let (expected, _) = baseline("knapsack-14/8", &instance);
+    let r = solve_threaded(
+        &instance,
+        &ParallelConfig {
+            chaos: Some(ChaosConfig {
+                crashes: 3,
+                ..ChaosConfig::quiet(7)
+            }),
+            ..cluster_cfg()
+        },
+    )
+    .expect("threaded chaotic solve");
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!((r.objective - expected).abs() < 1e-6);
+    assert!(r.respawns >= 1, "crash point must kill a thread");
+    assert!(r.reassignments >= 1, "the dead thread held a subproblem");
+}
+
+/// Identical seeds ⇒ identical chaotic runs, down to objective bits, fault
+/// counters, and makespan (the determinism contract extends to faults).
+#[test]
+fn chaotic_runs_are_bit_deterministic() {
+    let instance = knapsack(14, 0.5, 7);
+    let run = || {
+        let r = chaotic(
+            &instance,
+            ChaosConfig {
+                crashes: 3,
+                drop_prob: 0.15,
+                delay_prob: 0.2,
+                delay_ns: 20_000.0,
+                ..ChaosConfig::quiet(21)
+            },
+        );
+        (
+            r.objective.to_bits(),
+            r.stats.nodes,
+            r.stats.messages,
+            r.stats.makespan_ns.to_bits(),
+            r.stats.faults,
+        )
+    };
+    assert_eq!(run(), run(), "chaotic runs diverged under identical seeds");
+}

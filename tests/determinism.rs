@@ -135,6 +135,55 @@ fn des_cluster_trace_stream_is_byte_identical() {
 }
 
 #[test]
+fn chaotic_des_cluster_trace_stream_is_byte_identical() {
+    use gmip::parallel::ChaosConfig;
+    let _g = gate();
+    let instance = knapsack(16, 0.5, 5);
+    // Size the crash window from the clean makespan so crashes (and the
+    // crash/recovery spans they emit) actually land mid-run.
+    let clean = solve_parallel(
+        &instance,
+        ParallelConfig {
+            workers: 3,
+            gpu_mem: 1 << 24,
+            ..Default::default()
+        },
+    )
+    .expect("clean solve");
+    let run = || {
+        let session = TraceSession::start();
+        let r = solve_parallel(
+            &instance,
+            ParallelConfig {
+                workers: 3,
+                gpu_mem: 1 << 24,
+                chaos: Some(ChaosConfig {
+                    crashes: 4,
+                    drop_prob: 0.15,
+                    horizon_ns: clean.stats.makespan_ns * 0.8,
+                    ..ChaosConfig::quiet(11)
+                }),
+                ..Default::default()
+            },
+        )
+        .expect("chaotic solve");
+        assert!(r.stats.faults.crashes > 0, "plan must land a crash");
+        session.finish().to_chrome_json()
+    };
+    let (a, b) = (run(), run());
+    assert!(a.contains("fault.crash"), "crash spans missing from trace");
+    assert!(
+        a.contains("recovery.respawn") || a.contains("recovery.degrade"),
+        "recovery spans missing from trace"
+    );
+    assert!(a.contains("recovery.reassign") || a.contains("fault.drop"));
+    assert_eq!(
+        a, b,
+        "identical fault plans must give byte-identical traces"
+    );
+}
+
+#[test]
 fn threaded_cluster_trace_stream_is_byte_identical() {
     let _g = gate();
     let instance = knapsack(12, 0.5, 3);

@@ -92,6 +92,80 @@ fn clusters_agree_across_suite() {
     }
 }
 
+/// Strategy-equivalence over a *seeded* instance set: the single-device
+/// solver, the threaded cluster, and DES clusters of several widths (with
+/// and without fault injection) must all agree with the host baseline on
+/// every generated instance.
+#[test]
+fn seeded_instances_agree_across_device_threaded_and_cluster() {
+    use gmip::parallel::ChaosConfig;
+    use gmip::problems::generators::knapsack;
+    for seed in [13u64, 29, 41] {
+        let instance = knapsack(14, 0.5, seed);
+        let id = format!("knapsack-14/{seed}");
+        let expected = reference(&id, &instance);
+        // Single simulated device.
+        let p = plan(
+            Strategy::CpuOrchestrated,
+            MipConfig::default(),
+            CostModel::gpu_pcie(),
+            1 << 30,
+        );
+        let mut s = MipSolver::with_plan(instance.clone(), p);
+        let dev = s.solve().unwrap_or_else(|e| panic!("{id}: device: {e}"));
+        assert!(
+            (dev.objective - expected).abs() < 1e-5,
+            "{id}: device {} vs {expected}",
+            dev.objective
+        );
+        // Threaded + DES clusters of several widths.
+        for workers in [2usize, 4] {
+            let cfg = ParallelConfig {
+                workers,
+                gpu_mem: 1 << 26,
+                ..Default::default()
+            };
+            let des = solve_parallel(&instance, cfg.clone())
+                .unwrap_or_else(|e| panic!("{id}/cluster:{workers}: {e}"));
+            assert_eq!(des.status, MipStatus::Optimal, "{id}/cluster:{workers}");
+            assert!(
+                (des.objective - expected).abs() < 1e-5,
+                "{id}/cluster:{workers}: {} vs {expected}",
+                des.objective
+            );
+            let thr = solve_threaded(&instance, &cfg)
+                .unwrap_or_else(|e| panic!("{id}/threaded:{workers}: {e}"));
+            assert!(
+                (thr.objective - expected).abs() < 1e-5,
+                "{id}/threaded:{workers}: {} vs {expected}",
+                thr.objective
+            );
+        }
+        // A faulty cluster still lands on the same optimum.
+        let faulty = solve_parallel(
+            &instance,
+            ParallelConfig {
+                workers: 3,
+                gpu_mem: 1 << 26,
+                chaos: Some(ChaosConfig {
+                    drop_prob: 0.2,
+                    delay_prob: 0.2,
+                    delay_ns: 20_000.0,
+                    ..ChaosConfig::quiet(seed)
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{id}/faulty: {e}"));
+        assert_eq!(faulty.status, MipStatus::Optimal, "{id}/faulty");
+        assert!(
+            (faulty.objective - expected).abs() < 1e-5,
+            "{id}/faulty: {} vs {expected}",
+            faulty.objective
+        );
+    }
+}
+
 #[test]
 fn mps_roundtrip_preserves_optimum() {
     use gmip::problems::mps::{read_mps, write_mps};

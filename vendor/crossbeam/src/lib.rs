@@ -15,6 +15,8 @@ pub mod channel {
     pub type RecvError = mpsc::RecvError;
     /// Error returned by [`Receiver::try_recv`].
     pub type TryRecvError = mpsc::TryRecvError;
+    /// Error returned by [`Receiver::recv_timeout`].
+    pub type RecvTimeoutError = mpsc::RecvTimeoutError;
 
     /// Sending half of an unbounded channel (clonable).
     #[derive(Debug)]
@@ -46,6 +48,12 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks until a message arrives, all senders are dropped, or the
+        /// timeout elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Blocking iterator over incoming messages.
