@@ -1,32 +1,40 @@
 //! Regenerates the reproduction's experiment tables.
 //!
-//! Usage: `report [--trace <dir>] [all | <exp-id>...]` where exp ids are
-//! listed in `gmip_bench::experiments::ALL` (f1, e1, e2, e3a, e3b, e3c,
-//! e4–e8). With `--trace`, each experiment's span stream is captured and
-//! written to `<dir>/<exp-id>.trace.json` in Chrome trace-event format
-//! (load at ui.perfetto.dev).
+//! Usage: `report [--trace <dir>] [--bench-json <dir>] [all | <exp-id>...]`
+//! where exp ids are listed in `gmip_bench::experiments::ALL` (f1, e1, e2,
+//! e3a, e3b, e3c, e4–e8). With `--trace`, each experiment's span stream is
+//! captured and written to `<dir>/<exp-id>.trace.json` in Chrome
+//! trace-event format (load at ui.perfetto.dev). With `--bench-json`, the
+//! deterministic simulated-ns records are written to `<dir>/BENCH_e4.json`
+//! (the E4 batched-wave sweep) and `<dir>/BENCH_baseline.json` (the full
+//! regression baseline the `bench-regression` CI job compares against).
 
-use gmip_bench::experiments;
+use gmip_bench::{baseline, experiments};
 
-fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace_dir = match args.iter().position(|a| a == "--trace") {
+fn dir_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    match args.iter().position(|a| a == flag) {
         Some(i) => {
             args.remove(i);
             if i >= args.len() {
-                eprintln!("--trace needs a directory");
+                eprintln!("{flag} needs a directory");
                 std::process::exit(2);
             }
             Some(args.remove(i))
         }
         None => None,
-    };
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_dir = dir_flag(&mut args, "--trace");
+    let bench_dir = dir_flag(&mut args, "--bench-json");
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         experiments::ALL.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
-    if let Some(dir) = &trace_dir {
+    for dir in [&trace_dir, &bench_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
             std::process::exit(2);
@@ -54,6 +62,23 @@ fn main() {
             None => {
                 eprintln!("unknown experiment `{id}`; known: {:?}", experiments::ALL);
                 std::process::exit(2);
+            }
+        }
+    }
+    if let Some(dir) = &bench_dir {
+        for (path, json) in [
+            (
+                format!("{dir}/BENCH_e4.json"),
+                experiments::e4::bench_json(),
+            ),
+            (format!("{dir}/BENCH_baseline.json"), baseline::to_json()),
+        ] {
+            match std::fs::write(&path, json) {
+                Ok(()) => eprintln!("bench: wrote {path}"),
+                Err(e) => {
+                    eprintln!("bench: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
             }
         }
     }

@@ -151,6 +151,44 @@ pub fn run() -> String {
     }
     out.push_str(&t.render());
 
+    // Part C: the batched wave evaluator — one shared device-resident
+    // matrix, one fused launch per kernel class per lockstep superstep,
+    // event-based retire-and-refill — against part B's per-lane engines.
+    out.push_str(
+        "\npart C: batched wave vs per-lane node evaluation \
+         (shared matrix, fused launches)\n",
+    );
+    let sweep = wave_sweep();
+    let mut t = Table::new(&[
+        "width",
+        "per-lane",
+        "launches",
+        "batched wave",
+        "launches",
+        "launch ratio",
+        "time ratio",
+    ]);
+    for r in &sweep {
+        t.row(vec![
+            r.width.to_string(),
+            fmt_ns(r.perlane_ns),
+            r.perlane_launches.to_string(),
+            fmt_ns(r.batched_ns),
+            r.batched_launches.to_string(),
+            format!(
+                "{:.2}",
+                r.perlane_launches as f64 / r.batched_launches as f64
+            ),
+            format!("{:.2}", r.perlane_ns / r.batched_ns),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "shape check: at every width >= 4 the fused wave issues strictly \
+         fewer launches and finishes in less simulated time than the \
+         per-lane evaluator (machine-readable copy: BENCH_e4.json).\n",
+    );
+
     let per_mat = n * n * 8;
     let cap = 1usize << 30;
     out.push_str(&format!(
@@ -164,6 +202,93 @@ pub fn run() -> String {
          4 streams sit between serial and fully batched.\n",
     );
     out
+}
+
+/// One width of the part-C sweep: the same branch-and-bound run evaluated
+/// by the per-lane concurrent engines and by the batched wave.
+pub struct WaveSweepRow {
+    /// Requested (and, at 1 GiB, granted) wave width.
+    pub width: usize,
+    /// Per-lane evaluator makespan in simulated ns.
+    pub perlane_ns: f64,
+    /// Kernel launches charged by the per-lane evaluator.
+    pub perlane_launches: u64,
+    /// Batched-wave makespan in simulated ns.
+    pub batched_ns: f64,
+    /// Kernel launches charged by the batched wave (fused per class).
+    pub batched_launches: u64,
+    /// Lockstep supersteps the wave executed.
+    pub batched_supersteps: usize,
+}
+
+/// Runs the part-C sweep: serial, per-lane, and batched-wave evaluation of
+/// the same knapsack at widths 1/4/8/16. Deterministic (fixed seed, logical
+/// clock), so the numbers double as the regression baseline.
+pub fn wave_sweep() -> Vec<WaveSweepRow> {
+    use gmip_core::{solve_batched_wave, solve_concurrent, BatchedWaveConfig, ConcurrentConfig};
+    use gmip_problems::generators::knapsack;
+    let inst = knapsack(20, 0.5, 4);
+    [1usize, 4, 8, 16]
+        .into_iter()
+        .map(|width| {
+            let per_lane = solve_concurrent(
+                &inst,
+                &ConcurrentConfig {
+                    lanes: width,
+                    ..Default::default()
+                },
+                gpu(1 << 30),
+            )
+            .expect("per-lane solve");
+            let batched = solve_batched_wave(
+                &inst,
+                &BatchedWaveConfig {
+                    lanes: width,
+                    ..Default::default()
+                },
+                gpu(1 << 30),
+            )
+            .expect("batched wave solve");
+            assert!(
+                (per_lane.objective - batched.objective).abs() < 1e-6,
+                "strategies disagree at width {width}"
+            );
+            WaveSweepRow {
+                width,
+                perlane_ns: per_lane.makespan_ns,
+                perlane_launches: per_lane.device.kernel_launches,
+                batched_ns: batched.makespan_ns,
+                batched_launches: batched.device.kernel_launches,
+                batched_supersteps: batched.supersteps,
+            }
+        })
+        .collect()
+}
+
+/// Machine-readable record of the part-C sweep (`BENCH_e4.json`).
+pub fn bench_json() -> String {
+    let mut s = String::from(
+        "{\n  \"schema\": \"gmip-bench-e4/1\",\n  \"instance\": \"knapsack-20/4\",\n  \"metrics\": {\n",
+    );
+    let rows = wave_sweep();
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    \"e4.wave.w{w}.perlane_ns\": {:.1},\n    \
+             \"e4.wave.w{w}.perlane_launches\": {},\n    \
+             \"e4.wave.w{w}.batched_ns\": {:.1},\n    \
+             \"e4.wave.w{w}.batched_launches\": {},\n    \
+             \"e4.wave.w{w}.batched_supersteps\": {}{sep}\n",
+            r.perlane_ns,
+            r.perlane_launches,
+            r.batched_ns,
+            r.batched_launches,
+            r.batched_supersteps,
+            w = r.width,
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
 }
 
 #[cfg(test)]
@@ -187,5 +312,37 @@ mod tests {
             last > first && last > 3.0,
             "speedup should grow with batch: {speedups:?}"
         );
+    }
+
+    /// The acceptance bar for the batched wave: strictly fewer launches AND
+    /// lower simulated ns than the per-lane evaluator at every width >= 4.
+    #[test]
+    fn batched_wave_beats_per_lane_at_every_width() {
+        let sweep = super::wave_sweep();
+        assert!(sweep.iter().any(|r| r.width >= 4), "sweep too narrow");
+        for r in sweep.iter().filter(|r| r.width >= 4) {
+            assert!(
+                r.batched_launches < r.perlane_launches,
+                "width {}: {} fused launches vs {} per-lane",
+                r.width,
+                r.batched_launches,
+                r.perlane_launches
+            );
+            assert!(
+                r.batched_ns < r.perlane_ns,
+                "width {}: {} ns batched vs {} ns per-lane",
+                r.width,
+                r.batched_ns,
+                r.perlane_ns
+            );
+        }
+    }
+
+    #[test]
+    fn bench_json_is_deterministic_and_well_formed() {
+        let a = super::bench_json();
+        assert_eq!(a, super::bench_json(), "sweep must be deterministic");
+        assert!(a.contains("\"e4.wave.w16.batched_ns\""));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
     }
 }

@@ -14,5 +14,6 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod table;

@@ -2,10 +2,11 @@
 //! `generate` subcommands, and result formatting.
 
 use gmip_core::{
-    choose_path, plan, presolve, solve_with_dispatch, MipConfig, MipResult, MipSolver, PolicyKind,
-    Strategy,
+    choose_path, plan, presolve, solve_batched_wave, solve_with_dispatch, BatchedWaveConfig,
+    MipConfig, MipResult, MipSolver, PolicyKind, Strategy,
 };
 use gmip_gpu::{Accel, CostModel};
+use gmip_lp::PricingRule;
 use gmip_parallel::{solve_parallel, ChaosConfig, ParallelConfig};
 use gmip_problems::generators;
 use gmip_problems::mps::{read_mps, write_mps};
@@ -23,11 +24,17 @@ USAGE:
 
 SOLVE OPTIONS:
   --strategy <s>     host | cpu-orchestrated | gpu-only | hybrid |
-                     big-mip:<devices> | cluster:<workers> | auto
-                                                       (default: cpu-orchestrated)
+                     big-mip:<devices> | batched:<lanes> | cluster:<workers> |
+                     auto                              (default: cpu-orchestrated)
+                     batched:<lanes> evaluates up to <lanes> node LPs in a
+                     lockstep wave on one device: one shared constraint
+                     matrix, one fused kernel launch per class per step
+                     (the width shrinks automatically if --gpu-mem is tight)
   --gpu-mem <GiB>    device memory per GPU             (default: 1)
   --node-limit <n>   stop after n nodes                (default: 100000)
   --policy <p>       best | depth | breadth | reuse    (default: best)
+  --pricing <r>      dantzig | devex — simplex entering-variable pricing
+                     rule for all LP engines            (default: dantzig)
   --gap <frac>       accept a relative optimality gap (e.g. 0.01)
   --obj-limit <v>    stop at the first incumbent at least this good
   --no-cuts          disable root cutting planes
@@ -64,6 +71,7 @@ pub struct Options {
     pub gpu_mem_gib: usize,
     pub node_limit: usize,
     pub policy: PolicyKind,
+    pub pricing: PricingRule,
     pub cuts: bool,
     pub heuristics: bool,
     pub presolve: bool,
@@ -86,6 +94,7 @@ impl Default for Options {
             gpu_mem_gib: 1,
             node_limit: 100_000,
             policy: PolicyKind::BestFirst,
+            pricing: PricingRule::Dantzig,
             cuts: true,
             heuristics: true,
             presolve: false,
@@ -133,6 +142,13 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown policy `{other}`")),
                 }
             }
+            "--pricing" => {
+                o.pricing = match take("--pricing")?.as_str() {
+                    "dantzig" => PricingRule::Dantzig,
+                    "devex" => PricingRule::Devex,
+                    other => return Err(format!("unknown pricing rule `{other}`")),
+                }
+            }
             "--gap" => {
                 o.gap = take("--gap")?
                     .parse()
@@ -172,6 +188,7 @@ fn mip_config(o: &Options) -> MipConfig {
     let mut cfg = MipConfig::default();
     cfg.node_limit = o.node_limit;
     cfg.policy = o.policy;
+    cfg.lp.primal.pricing = o.pricing;
     cfg.cuts.enabled = o.cuts;
     cfg.heuristics.rounding = o.heuristics;
     cfg.gap_rel = o.gap;
@@ -391,6 +408,52 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
     }
     if o.faults.is_some() {
         return Err("--faults requires the cluster:<workers> strategy".to_string());
+    }
+
+    // The batched wave reports wave-level statistics (supersteps, retires,
+    // refills) that have no slot in MipResult, so it too is handled apart.
+    if let Some(spec) = o.strategy.strip_prefix("batched:") {
+        let lanes = spec
+            .parse()
+            .ok()
+            .filter(|&l: &usize| l >= 1)
+            .ok_or_else(|| "batched needs a lane count >= 1, e.g. batched:8".to_string())?;
+        let wcfg = BatchedWaveConfig {
+            lanes,
+            lp: cfg.lp.clone(),
+            node_limit: o.node_limit,
+            ..Default::default()
+        };
+        let accel = Accel::gpu(o.gpu_mem_gib);
+        let r = solve_batched_wave(&work, &wcfg, accel).map_err(|e| format!("{e}"))?;
+        write_trace(session, o, &mut out)?;
+        let (objective, x) = postsolve_map(&instance, &pre, r.objective, &r.x);
+        out.push_str(&format!("status: {:?}\n", r.status));
+        if !x.is_empty() {
+            out.push_str(&format!("objective: {objective}\n"));
+        }
+        out.push_str(&format!(
+            "nodes: {}   wave width: {}   supersteps: {}   retires: {}   refills: {}\n",
+            r.nodes, r.width, r.supersteps, r.retires, r.refills
+        ));
+        out.push_str(&format!("makespan: {:.3} ms\n", r.makespan_ns / 1e6));
+        if o.stats {
+            let d = &r.device;
+            out.push_str(&format!(
+                "device: {} kernels, {} H2D ({} B), {} D2H ({} B), peak mem {} B\n",
+                d.kernel_launches,
+                d.h2d_transfers,
+                d.h2d_bytes,
+                d.d2h_transfers,
+                d.d2h_bytes,
+                r.peak_device_bytes
+            ));
+        }
+        if o.metrics {
+            out.push('\n');
+            out.push_str(&gmip_trace::export::summary(&r.metrics));
+        }
+        return Ok(out);
     }
 
     let result: MipResult = match o.strategy.as_str() {
@@ -617,6 +680,40 @@ mod tests {
         wrong.faults = Some("7".into());
         let err = solve(gmip_problems::catalog::figure1_knapsack(), &wrong).unwrap_err();
         assert!(err.contains("cluster"), "{err}");
+    }
+
+    #[test]
+    fn parse_pricing_flag() {
+        let o = parse_options(&s(&["x.mps", "--pricing", "devex"])).unwrap();
+        assert_eq!(o.pricing, PricingRule::Devex);
+        let o = parse_options(&s(&["x.mps", "--pricing", "dantzig"])).unwrap();
+        assert_eq!(o.pricing, PricingRule::Dantzig);
+        assert!(parse_options(&s(&["x.mps", "--pricing", "steepest"])).is_err());
+    }
+
+    #[test]
+    fn solve_with_batched_strategy() {
+        let mut o = Options::default();
+        o.strategy = "batched:4".into();
+        o.stats = true;
+        o.metrics = true;
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert!(out.contains("status: Optimal"), "{out}");
+        assert!(out.contains("objective: 14"), "{out}");
+        assert!(out.contains("wave width:"), "{out}");
+        assert!(out.contains("wave.fused_launches"), "{out}");
+        // Devex pricing runs the same strategy to the same answer.
+        let mut dv = Options::default();
+        dv.strategy = "batched:4".into();
+        dv.pricing = PricingRule::Devex;
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &dv).unwrap();
+        assert!(out.contains("objective: 14"), "{out}");
+        // Bad lane counts are parse errors.
+        let mut bad = Options::default();
+        bad.strategy = "batched:0".into();
+        assert!(solve(gmip_problems::catalog::figure1_knapsack(), &bad).is_err());
+        bad.strategy = "batched:x".into();
+        assert!(solve(gmip_problems::catalog::figure1_knapsack(), &bad).is_err());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   Section 5.4 (dense-device / sparse-device / host paths);
 //! * [`concurrent`] — wave-based concurrent node evaluation on one device
 //!   via streams (Section 5.5);
+//! * [`wave`] — the batched-wave driver: fused lockstep node-LP kernels on
+//!   a shared device-resident matrix with event-based retire-and-refill
+//!   (Sections 4.3, 5.5);
 //! * [`colgen`] — column generation (cutting stock): the master LP's dual
 //!   prices feed a pricing knapsack solved by this crate's own
 //!   branch and cut (the Section 3 host-side technique list);
@@ -36,13 +39,16 @@ pub mod heur;
 pub mod presolve;
 pub mod solver;
 pub mod strategy;
+pub mod wave;
 
 pub use colgen::{solve_cutting_stock, CuttingStockResult};
 pub use concurrent::{solve_concurrent, ConcurrentConfig, ConcurrentResult};
 pub use config::{BranchRule, CutConfig, HeurConfig, MipConfig, PolicyKind};
 pub use dispatch::{
-    break_even_density, choose_path, solve_with_dispatch, CodePath, MIN_DEVICE_NNZ,
+    break_even_density, choose_path, solve_with_dispatch, solve_with_dispatch_batched,
+    BatchedDispatch, CodePath, MIN_DEVICE_NNZ,
 };
 pub use presolve::{presolve, solve_host_with_presolve, PresolveResult};
 pub use solver::{BranchInfo, MipResult, MipSolver, MipStatus, NodePayload, SolveStats};
 pub use strategy::{big_mip_cost, plan, Strategy, StrategyPlan};
+pub use wave::{solve_batched_wave, BatchedWaveConfig, WaveResult};

@@ -1,0 +1,461 @@
+//! Batched-wave branch and bound on one device — Section 5.5 with the
+//! Section 4.3 kernel shape.
+//!
+//! Where [`crate::concurrent::solve_concurrent`] keeps one engine (and one
+//! private matrix copy) per lane and joins every wave at a device-wide
+//! `synchronize()`, this driver runs the [`gmip_lp::BatchedWaveEngine`]:
+//! all lanes share one device-resident `[A | I]` matrix, every simplex
+//! kernel class is issued as a single fused batched launch per lockstep
+//! superstep, and lanes that finish their node LP retire at a stream-event
+//! boundary and are refilled from the best-bound frontier immediately — no
+//! lane ever waits in a join-all for the slowest lane of its wave.
+//!
+//! The wave width is auto-sized from device memory
+//! ([`gmip_lp::wave_width`], the paper's `batch ≈ device_mem / matrix_mem`
+//! rule), and parent bases are kept device-resident in an LRU pool so a
+//! child's warm start is usually a pool hit instead of an H2D upload.
+
+use crate::branch;
+use crate::solver::MipStatus;
+use gmip_gpu::{Accel, DeviceStats};
+use gmip_linalg::batch::batch_size_bytes;
+use gmip_linalg::DenseMatrix;
+use gmip_lp::wave::BatchedWaveEngine;
+use gmip_lp::{
+    wave_width, Basis, BoundChange, LpConfig, LpResult, LpSolution, LpSolver, LpStatus,
+    RecordingEngine, StandardLp,
+};
+use gmip_problems::{MipInstance, Objective};
+use gmip_trace::{names, MetricsRegistry};
+use gmip_tree::{NodeId, NodeState, SearchTree};
+
+/// Configuration of the batched-wave solver.
+#[derive(Debug, Clone)]
+pub struct BatchedWaveConfig {
+    /// Requested wave width (lanes); the effective width is clamped by
+    /// device memory next to the shared matrix.
+    pub lanes: usize,
+    /// LP tolerances.
+    pub lp: LpConfig,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Pruning tolerance.
+    pub prune_tol: f64,
+    /// Node budget.
+    pub node_limit: usize,
+    /// Byte budget of the device-resident warm-basis pool.
+    pub basis_pool_bytes: usize,
+}
+
+impl Default for BatchedWaveConfig {
+    fn default() -> Self {
+        Self {
+            lanes: 4,
+            lp: LpConfig::standard(),
+            int_tol: 1e-6,
+            prune_tol: 1e-6,
+            node_limit: 100_000,
+            basis_pool_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Result of a batched-wave solve.
+#[derive(Debug)]
+pub struct WaveResult {
+    /// Terminal status.
+    pub status: MipStatus,
+    /// Incumbent objective (source sense; NaN if none).
+    pub objective: f64,
+    /// Incumbent point.
+    pub x: Vec<f64>,
+    /// Nodes evaluated.
+    pub nodes: usize,
+    /// Lockstep supersteps executed.
+    pub supersteps: usize,
+    /// Lanes retired mid-flight (node LPs completed).
+    pub retires: usize,
+    /// Retired lanes refilled from the frontier without a barrier.
+    pub refills: usize,
+    /// Effective wave width after memory auto-sizing.
+    pub width: usize,
+    /// Device completion frontier, ns.
+    pub makespan_ns: f64,
+    /// Device ledger.
+    pub device: DeviceStats,
+    /// Peak device memory — one shared matrix plus per-lane state, so
+    /// roughly flat in lanes (contrast `solve_concurrent`'s linear growth).
+    pub peak_device_bytes: usize,
+    /// Merged counters: device ledger + `wave.*`/`batch.*` + per-lane LP.
+    pub metrics: MetricsRegistry,
+}
+
+/// Node payload of the batched-wave tree: bounds, the parent's basis for a
+/// warm start, and the parent's id (the warm-basis pool key — both children
+/// share it, so the second child is a pool hit).
+#[derive(Debug, Clone, Default)]
+struct WavePayload {
+    bounds: Vec<BoundChange>,
+    parent_basis: Option<Basis>,
+    parent_id: NodeId,
+}
+
+/// Solves `instance` with a batched lockstep wave of up to `cfg.lanes` node
+/// LPs on `accel`.
+pub fn solve_batched_wave(
+    instance: &MipInstance,
+    cfg: &BatchedWaveConfig,
+    accel: Accel,
+) -> LpResult<WaveResult> {
+    assert!(cfg.lanes >= 1, "need at least one lane");
+    let std = StandardLp::from_instance(instance, &[]);
+
+    // Lane 0 doubles as the probe that captures the extended matrix the
+    // solver lowers to, so the shared upload and the width sizing see the
+    // exact `[A | I]` the engines iterate on.
+    let mut ext: Option<DenseMatrix> = None;
+    let mut lanes: Vec<LpSolver<RecordingEngine>> = vec![LpSolver::new(
+        std.clone(),
+        cfg.lp.clone(),
+        |a: &DenseMatrix| {
+            ext = Some(a.clone());
+            RecordingEngine::new(a.clone())
+        },
+    )];
+    let ext = ext.expect("engine factory runs during solver construction");
+
+    let matrix_bytes = batch_size_bytes(std::slice::from_ref(&ext));
+    let per_lane = BatchedWaveEngine::per_lane_bytes(ext.rows(), ext.cols());
+    let width = wave_width(cfg.lanes, accel.mem_capacity(), matrix_bytes, per_lane);
+    for _ in 1..width {
+        lanes.push(LpSolver::new(std.clone(), cfg.lp.clone(), |a| {
+            RecordingEngine::new(a.clone())
+        }));
+    }
+    lanes.truncate(width);
+    let mut wave = BatchedWaveEngine::new(accel.clone(), &ext, width, cfg.basis_pool_bytes)?;
+
+    let internal = |source: f64| match instance.objective {
+        Objective::Maximize => source,
+        Objective::Minimize => -source,
+    };
+    let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
+    let mut tree: SearchTree<WavePayload> =
+        SearchTree::with_root(WavePayload::default(), node_bytes);
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut nodes = 0usize;
+    let integral = instance.integral_indices();
+
+    // The outcome a slot's in-flight lane will deliver when it retires.
+    let mut in_flight: Vec<Option<(NodeId, LpSolution, Option<Basis>)>> =
+        (0..width).map(|_| None).collect();
+    let mut filled_once = vec![false; width];
+
+    loop {
+        // Refill every idle slot from the best-bound frontier: the lane's
+        // host planner takes the reference pivot path eagerly (journaling
+        // the device kernels), and the journal joins the wave in flight —
+        // no barrier, no waiting on busier lanes.
+        let mut frontier: Vec<NodeId> = tree
+            .active_ids()
+            .iter()
+            .copied()
+            .filter(|&id| {
+                !in_flight
+                    .iter()
+                    .any(|f| matches!(f, Some((fid, _, _)) if *fid == id))
+            })
+            .collect();
+        frontier.sort_by(|&a, &b| {
+            tree.node(b)
+                .bound
+                .partial_cmp(&tree.node(a).bound)
+                .expect("bounds are never NaN")
+                .then(a.cmp(&b))
+        });
+        let mut next = frontier.into_iter();
+        for slot in 0..width {
+            if in_flight[slot].is_some() || nodes >= cfg.node_limit {
+                continue;
+            }
+            let Some(id) = next.next() else { break };
+            tree.begin_evaluation(id);
+            nodes += 1;
+            let bounds = tree.node(id).data.bounds.clone();
+            let warm = tree.node_mut(id).data.parent_basis.take();
+            let parent_id = tree.node(id).data.parent_id;
+            let lane = &mut lanes[slot];
+            lane.apply_node_bounds(&bounds)?;
+            let sol = match warm {
+                Some(b) if b.n() == lane.standard().n() + lane.standard().m() => {
+                    wave.touch_basis(parent_id as u64, 8 * (b.m() + b.n()))?;
+                    lane.set_warm_basis(b)?;
+                    lane.resolve()?
+                }
+                Some(_) | None => lane.solve()?,
+            };
+            let basis = lane.basis().cloned();
+            let ops = lane.engine_mut().take_ops();
+            if filled_once[slot] {
+                wave.note_refill();
+            }
+            filled_once[slot] = true;
+            wave.load_lane(slot, ops);
+            in_flight[slot] = Some((id, sol, basis));
+        }
+
+        if !wave.any_busy() {
+            break;
+        }
+
+        // Advance the wave until at least one lane retires, then fold the
+        // retired outcomes; busy lanes keep their in-flight journals.
+        for slot in wave.run_to_retire() {
+            let (id, sol, basis) = in_flight[slot].take().expect("retired slot was in flight");
+            match sol.status {
+                LpStatus::Infeasible => tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY),
+                LpStatus::Unbounded => {
+                    return Err(gmip_lp::LpError::Shape(
+                        "unbounded node in batched wave solve".into(),
+                    ))
+                }
+                LpStatus::Optimal => {
+                    let bound = internal(sol.objective);
+                    let inc = incumbent
+                        .as_ref()
+                        .map(|(v, _)| *v)
+                        .unwrap_or(f64::NEG_INFINITY);
+                    if bound <= inc + cfg.prune_tol {
+                        tree.settle(id, NodeState::Pruned, bound);
+                        continue;
+                    }
+                    let frac: Vec<usize> = integral
+                        .iter()
+                        .copied()
+                        .filter(|&j| (sol.x[j] - sol.x[j].round()).abs() > cfg.int_tol)
+                        .collect();
+                    if frac.is_empty() {
+                        tree.settle(id, NodeState::Feasible, bound);
+                        let mut p = sol.x.clone();
+                        for &j in &integral {
+                            p[j] = p[j].round();
+                        }
+                        incumbent = Some((bound, p));
+                        tree.prune_dominated(bound, cfg.prune_tol);
+                        continue;
+                    }
+                    let d = branch::decide(
+                        crate::config::BranchRule::MostFractional,
+                        instance,
+                        &sol.x,
+                        &frac,
+                        &branch::PseudoCosts::default(),
+                    );
+                    let parent_bounds = tree.node(id).data.bounds.clone();
+                    let (mut lo, mut hi) = (instance.vars[d.var].lb, instance.vars[d.var].ub);
+                    for bc in &parent_bounds {
+                        if bc.var == d.var {
+                            lo = bc.lb;
+                            hi = bc.ub;
+                        }
+                    }
+                    let mk = |up: bool| {
+                        let mut b = parent_bounds.clone();
+                        let label = if up {
+                            b.push(BoundChange {
+                                var: d.var,
+                                lb: d.up_lb,
+                                ub: hi,
+                            });
+                            format!("x{} ≥ {}", d.var, d.up_lb)
+                        } else {
+                            b.push(BoundChange {
+                                var: d.var,
+                                lb: lo,
+                                ub: d.down_ub,
+                            });
+                            format!("x{} ≤ {}", d.var, d.down_ub)
+                        };
+                        (
+                            label,
+                            WavePayload {
+                                bounds: b,
+                                parent_basis: basis.clone(),
+                                parent_id: id,
+                            },
+                        )
+                    };
+                    tree.branch(id, bound, vec![mk(false), mk(true)]);
+                }
+            }
+        }
+    }
+
+    let status = if tree.has_active() || in_flight.iter().any(Option::is_some) {
+        MipStatus::NodeLimit
+    } else if incumbent.is_some() {
+        MipStatus::Optimal
+    } else {
+        MipStatus::Infeasible
+    };
+    let (objective, x) = match incumbent {
+        Some((v, p)) => (
+            match instance.objective {
+                Objective::Maximize => v,
+                Objective::Minimize => -v,
+            },
+            p,
+        ),
+        None => (f64::NAN, Vec::new()),
+    };
+
+    let mut metrics = accel.with(|d| d.metrics().clone());
+    metrics.merge(wave.metrics());
+    let wave_counters = wave.metrics().clone();
+    for lane in &mut lanes {
+        metrics.merge(&lane.take_metrics());
+    }
+    let peak = accel.with(|d| d.memory().peak());
+    Ok(WaveResult {
+        status,
+        objective,
+        x,
+        nodes,
+        supersteps: wave_counters.counter(names::WAVE_SUPERSTEPS) as usize,
+        retires: wave_counters.counter(names::WAVE_RETIRES) as usize,
+        refills: wave_counters.counter(names::WAVE_REFILLS) as usize,
+        width,
+        makespan_ns: accel.elapsed_ns(),
+        device: accel.stats(),
+        peak_device_bytes: peak,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{solve_concurrent, ConcurrentConfig};
+    use gmip_problems::catalog::textbook_mip;
+    use gmip_problems::generators::knapsack::{knapsack, knapsack_brute_force};
+
+    #[test]
+    fn batched_matches_brute_force() {
+        for seed in [1u64, 5] {
+            let m = knapsack(13, 0.5, seed);
+            let expected = knapsack_brute_force(&m);
+            let r = solve_batched_wave(
+                &m,
+                &BatchedWaveConfig {
+                    lanes: 3,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "seed {seed}: {} vs {expected}",
+                r.objective
+            );
+            assert!(m.is_integer_feasible(&r.x, 1e-5), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn textbook_batched() {
+        let r = solve_batched_wave(
+            &textbook_mip(),
+            &BatchedWaveConfig::default(),
+            Accel::gpu(1),
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 20.0).abs() < 1e-6);
+        assert!(r.supersteps > 0);
+        assert!(r.retires >= r.nodes, "every node's lane must retire");
+    }
+
+    #[test]
+    fn fewer_launches_and_ns_than_per_lane_concurrent() {
+        let m = knapsack(16, 0.5, 7);
+        for lanes in [4usize, 8] {
+            let per_lane = solve_concurrent(
+                &m,
+                &ConcurrentConfig {
+                    lanes,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .unwrap();
+            let batched = solve_batched_wave(
+                &m,
+                &BatchedWaveConfig {
+                    lanes,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .unwrap();
+            assert!((batched.objective - per_lane.objective).abs() < 1e-6);
+            assert!(
+                batched.device.kernel_launches < per_lane.device.kernel_launches,
+                "lanes {lanes}: {} vs {}",
+                batched.device.kernel_launches,
+                per_lane.device.kernel_launches
+            );
+            assert!(
+                batched.makespan_ns < per_lane.makespan_ns,
+                "lanes {lanes}: {} vs {}",
+                batched.makespan_ns,
+                per_lane.makespan_ns
+            );
+        }
+    }
+
+    #[test]
+    fn shared_matrix_keeps_memory_flat() {
+        let m = knapsack(16, 0.5, 7);
+        let narrow = solve_batched_wave(
+            &m,
+            &BatchedWaveConfig {
+                lanes: 1,
+                ..Default::default()
+            },
+            Accel::gpu(1),
+        )
+        .unwrap();
+        let wide = solve_batched_wave(
+            &m,
+            &BatchedWaveConfig {
+                lanes: 8,
+                ..Default::default()
+            },
+            Accel::gpu(1),
+        )
+        .unwrap();
+        assert!((narrow.objective - wide.objective).abs() < 1e-6);
+        assert_eq!(wide.width, 8);
+        // Widening 8× adds only per-lane state, not matrix copies.
+        assert!(wide.peak_device_bytes < 2 * narrow.peak_device_bytes);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let m = knapsack(22, 0.5, 9);
+        let r = solve_batched_wave(
+            &m,
+            &BatchedWaveConfig {
+                lanes: 2,
+                node_limit: 6,
+                ..Default::default()
+            },
+            Accel::gpu(1),
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::NodeLimit);
+        assert!(r.nodes <= 8);
+    }
+}

@@ -1805,6 +1805,53 @@ impl GpuDevice {
 
     // ---- batched kernels (Sections 4.3, 5.5) ----
 
+    /// One **fused** batched launch of a wave-kernel class: `per_lane`
+    /// carries the `(flops, bytes)` of each active lane's instance of the
+    /// kernel. The batch pays a single launch latency; execution time is
+    /// the [`CostModel::batched_kernel_ns`] wave model over the worst
+    /// per-lane roofline, and the flop ledger accrues the per-lane sum —
+    /// the Rennich-style amortization of Section 4.3 applied to the
+    /// lockstep node-LP wave of Section 5.5. Returns the charged ns.
+    pub fn batched_wave_kernel(
+        &mut self,
+        name: &'static str,
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64 {
+        if per_lane.is_empty() {
+            return 0.0;
+        }
+        let per_op_ns = per_lane
+            .iter()
+            .map(|&(fl, by)| {
+                (fl / self.cost.dense_flops_per_ns).max(by / self.cost.mem_bw_bytes_per_ns)
+            })
+            .fold(0.0, f64::max);
+        let t = self.cost.batched_kernel_ns(per_lane.len(), per_op_ns);
+        let done = self.streams.enqueue(stream, t);
+        let batch_flops: f64 = per_lane.iter().map(|p| p.0).sum();
+        let batch_bytes: f64 = per_lane.iter().map(|p| p.1).sum();
+        self.registry.incr(names::GPU_KERNEL_LAUNCHES, 1.0);
+        self.registry.incr(names::GPU_KERNEL_FLOPS, batch_flops);
+        self.registry.incr(names::GPU_KERNEL_NS, t);
+        let track = self.track;
+        let batch = per_lane.len();
+        gmip_trace::record(|| {
+            Event::complete(
+                Track {
+                    group: track,
+                    lane: stream as u32,
+                },
+                name,
+                done - t,
+                t,
+            )
+            .arg("batch", batch)
+            .arg("bytes", batch_bytes.max(0.0) as u64)
+        });
+        t
+    }
+
     /// Batched factor-and-solve: one launch covering `systems.len()`
     /// independent small dense systems already resident on the device.
     /// Results are new device vectors, one per system.

@@ -18,6 +18,9 @@
 //!   branching bound changes and cut rounds (Sections 5.2, 5.3);
 //! * [`ipm`] — a primal-dual interior-point method over normal equations +
 //!   Cholesky, the alternative LP algorithm of the paper's related work;
+//! * [`wave`] — the batched wave evaluator: host-journaled node LPs
+//!   replayed in lockstep with one fused launch per kernel class per
+//!   superstep on a shared device-resident matrix (Sections 4.3, 5.5);
 //! * [`solver`] — the [`solver::LpSolver`] facade tying it together.
 
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod problem;
 pub mod simplex;
 pub mod solver;
 pub mod sparse_engine;
+pub mod wave;
 
 pub use basis::{Basis, VarStatus};
 pub use device_engine::DeviceEngine;
@@ -41,6 +45,7 @@ pub use problem::{BoundChange, StandardLp};
 pub use simplex::{PricingRule, PrimalConfig};
 pub use solver::{ColKind, LpConfig, LpSolution, LpSolver, LpStatus};
 pub use sparse_engine::SparseDeviceEngine;
+pub use wave::{wave_width, BatchedWaveEngine, RecordingEngine, WaveClass, WaveOp};
 
 use gmip_gpu::GpuError;
 use gmip_linalg::LinalgError;

@@ -1,0 +1,683 @@
+//! The batched wave evaluator — Section 5.5's lockstep node-LP batching.
+//!
+//! "In modern GPUs, the memory capacity has increased sufficiently to
+//! consider housing and solving multiple branch-and-cut nodes concurrently
+//! on the same GPU" — and Section 4.3 adds that *batched* small-matrix
+//! routines (Rennich-style) are the right kernel shape for it, because one
+//! fused launch amortizes the launch latency that per-lane engines pay per
+//! kernel per lane per pivot.
+//!
+//! The per-lane baseline ([`crate::DeviceEngine`] lanes in
+//! `gmip_core::concurrent`) parks one private matrix copy per lane and
+//! charges one launch per FTRAN/BTRAN/pricing kernel per lane. This module
+//! inverts both decisions:
+//!
+//! * **one shared device-resident `[A | I]` matrix** serves every lane
+//!   (per-lane state is a small reservation), so the wave width is bounded
+//!   by `batch ≈ device_mem / matrix_mem` ([`wave_width`]) instead of
+//!   `device_mem / (lanes × matrix_mem)`;
+//! * **one fused batched launch per kernel class per superstep**
+//!   ([`GpuDevice::batched_wave_kernel`]): every active lane contributes
+//!   its instance of the class (BTRAN, FTRAN, pricing scan, ratio
+//!   reduction, pivot update) and the batch pays a single launch latency;
+//! * **event-based retire-and-refill**: a lane whose node LP reaches
+//!   optimality exits the wave at a superstep boundary (a stream event,
+//!   *not* a device-wide `synchronize`) and is refilled immediately, so
+//!   short lanes never wait for the longest lane in a join-all;
+//! * a **device-resident warm-basis pool** ([`BatchedWaveEngine`] LRU)
+//!   keeps parent bases on the device across refills; evictions are
+//!   charged as real D2H spills and re-loads as H2D transfers.
+//!
+//! Numerically, each lane is a [`RecordingEngine`]: a [`HostEngine`] that
+//! takes the exact pivot path of the reference implementation while
+//! journaling one [`WaveOp`] per device kernel the equivalent
+//! [`crate::DeviceEngine`] would have launched. The wave engine then
+//! replays those journals in lockstep against the simulated device, which
+//! is where the simulated-ns clock and the kernel/transfer ledger accrue.
+//! Identical pivot paths are the repository's standing engine-equivalence
+//! property, so the batched strategy reproduces host objectives bit-for-bit
+//! while the *platform* cost model changes underneath.
+
+use crate::basis::Basis;
+use crate::engine::{HostEngine, PivotPlan, ProblemView, SimplexEngine};
+use crate::LpResult;
+use gmip_gpu::cost::flops;
+use gmip_gpu::{Accel, MatrixHandle, RawHandle, StreamId, DEFAULT_STREAM};
+use gmip_linalg::DenseMatrix;
+use gmip_trace::{names, MetricsRegistry};
+use std::collections::VecDeque;
+
+/// The kernel classes a wave superstep can fuse. Each class maps to one
+/// fused batched launch when at least one lane's next op belongs to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaveClass {
+    /// Basis gather + LU/eta factorization (install, refactorization).
+    Factor,
+    /// Eta-file FTRAN of an entering column.
+    Ftran,
+    /// Eta-file BTRAN of duals or a leaving row.
+    Btran,
+    /// Reduced-cost / pricing scan over all columns.
+    Pricing,
+    /// Ratio-test / infeasibility argmin-argmax reductions.
+    Ratio,
+    /// Basic-value step, eta append, status writes after a pivot or flip.
+    Update,
+    /// O(1) scalar gathers crossing the link (pivot entries).
+    Gather,
+}
+
+/// Deterministic fusion order within a superstep.
+const CLASS_ORDER: [WaveClass; 7] = [
+    WaveClass::Factor,
+    WaveClass::Ftran,
+    WaveClass::Btran,
+    WaveClass::Pricing,
+    WaveClass::Ratio,
+    WaveClass::Update,
+    WaveClass::Gather,
+];
+
+impl WaveClass {
+    /// The trace span name of this class's fused launch.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            WaveClass::Factor => "wave.factor",
+            WaveClass::Ftran => "wave.ftran",
+            WaveClass::Btran => "wave.btran",
+            WaveClass::Pricing => "wave.pricing",
+            WaveClass::Ratio => "wave.ratio",
+            WaveClass::Update => "wave.update",
+            WaveClass::Gather => "wave.gather",
+        }
+    }
+}
+
+/// One journaled device operation of a lane's node-LP solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WaveOp {
+    /// A kernel instance: fused with same-class instances of other lanes.
+    Kernel {
+        /// Kernel class (decides which fused launch it joins).
+        class: WaveClass,
+        /// Floating-point operations of this lane's instance.
+        flops: f64,
+        /// Memory traffic of this lane's instance, bytes.
+        bytes: f64,
+    },
+    /// A host↔device transfer (charged per lane; transfers are latency, not
+    /// launches, and per-lane engines pay the identical ones).
+    Transfer {
+        /// Payload bytes.
+        bytes: usize,
+        /// Direction (`true` = host to device).
+        h2d: bool,
+    },
+}
+
+/// A [`SimplexEngine`] that runs the reference host numerics while
+/// journaling the device kernels an equivalent [`crate::DeviceEngine`]
+/// would have launched, one [`WaveOp`] per kernel.
+///
+/// `sim_now_ns` stays `None`: the eager host solve is *planning*, not
+/// execution — simulated time accrues only when the journal is replayed
+/// through [`BatchedWaveEngine`] (this also keeps stray `lp.*` spans off
+/// the trace during planning).
+#[derive(Debug)]
+pub struct RecordingEngine {
+    inner: HostEngine,
+    ops: Vec<WaveOp>,
+}
+
+impl RecordingEngine {
+    /// Wraps a host engine over the extended matrix.
+    pub fn new(a: DenseMatrix) -> Self {
+        Self {
+            inner: HostEngine::new(a),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Drains the journal accumulated since the last call.
+    pub fn take_ops(&mut self) -> Vec<WaveOp> {
+        std::mem::take(&mut self.ops)
+    }
+
+    fn kernel(&mut self, class: WaveClass, flops: f64, bytes: f64) {
+        self.ops.push(WaveOp::Kernel {
+            class,
+            flops,
+            bytes,
+        });
+    }
+
+    fn transfer(&mut self, bytes: usize, h2d: bool) {
+        self.ops.push(WaveOp::Transfer { bytes, h2d });
+    }
+
+    /// Etas currently in the inner engine's file (sizes FTRAN/BTRAN work).
+    fn k(&self) -> usize {
+        self.inner.eta_count()
+    }
+
+    fn btran_op(&mut self) {
+        let (m, k) = (self.inner.m(), self.k());
+        self.kernel(
+            WaveClass::Btran,
+            flops::eta_apply(k + 1, m),
+            8.0 * (m * (k + 2)) as f64,
+        );
+    }
+
+    fn pricing_op(&mut self, extra_flops: f64) {
+        let (m, n) = (self.inner.m(), self.inner.n());
+        self.kernel(
+            WaveClass::Pricing,
+            flops::gemv(m, n) + extra_flops,
+            8.0 * (m * n + 2 * n) as f64,
+        );
+    }
+}
+
+impl SimplexEngine for RecordingEngine {
+    fn m(&self) -> usize {
+        self.inner.m()
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn install(&mut self, view: ProblemView<'_>, basis: &Basis) -> LpResult<()> {
+        let (m, n) = (self.inner.m(), self.inner.n());
+        // The DeviceEngine install leg: seven small vectors up (c, b, σ,
+        // c_B, l_B, u_B, x_N), then residual + basis gather + factorization
+        // + the initial FTRAN, then γ up.
+        self.transfer(8 * (3 * n + 4 * m), true);
+        self.kernel(
+            WaveClass::Factor,
+            flops::gemv(m, n) + flops::lu(m) + flops::lu_solve(m),
+            8.0 * (m * n + 2 * m * m) as f64,
+        );
+        self.inner.install(view, basis)
+    }
+
+    fn append_cut(&mut self, row: &[f64], col: &[f64]) -> LpResult<()> {
+        self.transfer(8 * (row.len() + col.len()), true);
+        let m = self.inner.m();
+        self.kernel(WaveClass::Update, 0.0, 8.0 * (row.len() + m) as f64);
+        self.inner.append_cut(row, col)
+    }
+
+    fn price(&mut self) -> LpResult<Option<(usize, f64)>> {
+        self.btran_op();
+        // Pricing scan + σ-mask multiply + argmin reduction, fused.
+        self.pricing_op(2.0 * self.inner.n() as f64);
+        self.inner.price()
+    }
+
+    fn reduced_costs_host(&mut self) -> LpResult<Vec<f64>> {
+        self.btran_op();
+        self.pricing_op(0.0);
+        self.transfer(8 * self.inner.n(), false);
+        self.inner.reduced_costs_host()
+    }
+
+    fn ftran_column(&mut self, q: usize) -> LpResult<()> {
+        let (m, k) = (self.inner.m(), self.k());
+        self.kernel(
+            WaveClass::Ftran,
+            flops::eta_apply(k + 1, m),
+            8.0 * (m * (k + 2)) as f64,
+        );
+        self.inner.ftran_column(q)
+    }
+
+    fn alpha_entry(&mut self, i: usize) -> LpResult<f64> {
+        self.kernel(WaveClass::Gather, 1.0, 8.0);
+        self.inner.alpha_entry(i)
+    }
+
+    fn ratio_test(&mut self, dir: f64, tol: f64) -> LpResult<Option<(usize, f64, bool)>> {
+        let m = self.inner.m();
+        self.kernel(WaveClass::Ratio, 4.0 * m as f64, 8.0 * (4 * m) as f64);
+        self.inner.ratio_test(dir, tol)
+    }
+
+    fn apply_flip(&mut self, q: usize, dir: f64, t: f64, new_sigma: f64) -> LpResult<()> {
+        let m = self.inner.m();
+        self.kernel(WaveClass::Update, 2.0 * m as f64, 8.0 * (2 * m) as f64);
+        self.inner.apply_flip(q, dir, t, new_sigma)
+    }
+
+    fn apply_pivot(&mut self, plan: &PivotPlan) -> LpResult<()> {
+        let m = self.inner.m();
+        // Basic step + eta append + the five status/bound writes.
+        self.kernel(
+            WaveClass::Update,
+            2.0 * m as f64 + 8.0,
+            8.0 * (2 * m + 8) as f64,
+        );
+        self.inner.apply_pivot(plan)
+    }
+
+    fn basic_values(&mut self) -> LpResult<Vec<f64>> {
+        self.transfer(8 * self.inner.m(), false);
+        self.inner.basic_values()
+    }
+
+    fn basic_entry(&mut self, i: usize) -> LpResult<f64> {
+        self.kernel(WaveClass::Gather, 1.0, 8.0);
+        self.inner.basic_entry(i)
+    }
+
+    fn eta_count(&self) -> usize {
+        self.inner.eta_count()
+    }
+
+    fn primal_infeas(&mut self, tol: f64) -> LpResult<Option<(usize, f64, bool)>> {
+        let m = self.inner.m();
+        self.kernel(WaveClass::Ratio, 2.0 * m as f64, 8.0 * (2 * m) as f64);
+        self.inner.primal_infeas(tol)
+    }
+
+    fn btran_row(&mut self, r: usize) -> LpResult<()> {
+        self.btran_op();
+        self.pricing_op(0.0);
+        self.inner.btran_row(r)
+    }
+
+    fn dual_ratio(&mut self, leaving_below: bool, tol: f64) -> LpResult<Option<(usize, f64)>> {
+        let n = self.inner.n();
+        self.kernel(WaveClass::Ratio, 4.0 * n as f64, 8.0 * (2 * n) as f64);
+        self.inner.dual_ratio(leaving_below, tol)
+    }
+
+    fn alpha_r_entry(&mut self, j: usize) -> LpResult<f64> {
+        self.kernel(WaveClass::Gather, 1.0, 8.0);
+        self.inner.alpha_r_entry(j)
+    }
+
+    fn btran_row_host(&mut self, r: usize) -> LpResult<Vec<f64>> {
+        self.btran_op();
+        self.pricing_op(0.0);
+        self.transfer(8 * self.inner.n(), false);
+        self.inner.btran_row_host(r)
+    }
+
+    fn dual_prices(&mut self) -> LpResult<Vec<f64>> {
+        self.btran_op();
+        self.transfer(8 * self.inner.m(), false);
+        self.inner.dual_prices()
+    }
+
+    fn price_devex(&mut self) -> LpResult<Option<(usize, f64)>> {
+        self.btran_op();
+        self.pricing_op(3.0 * self.inner.n() as f64);
+        self.inner.price_devex()
+    }
+
+    fn devex_update(&mut self, q: usize, leaving_j: usize) -> LpResult<()> {
+        let n = self.inner.n();
+        self.kernel(WaveClass::Gather, 2.0, 16.0);
+        self.kernel(WaveClass::Update, 2.0 * n as f64, 8.0 * (2 * n) as f64);
+        self.inner.devex_update(q, leaving_j)
+    }
+}
+
+/// Sizes the wave: how many lanes fit next to the shared matrix, per the
+/// paper's `batch ≈ device_mem / matrix_mem` rule (Section 5.5) — except
+/// the matrix is shared, so the divisor is the *per-lane state*, not a
+/// per-lane matrix copy. Clamped to `[1, requested]`.
+pub fn wave_width(
+    requested: usize,
+    mem_capacity: usize,
+    matrix_bytes: usize,
+    per_lane_bytes: usize,
+) -> usize {
+    let free = mem_capacity.saturating_sub(matrix_bytes);
+    let fit = free / per_lane_bytes.max(1);
+    requested.max(1).min(fit.max(1))
+}
+
+/// An entry in the device-resident warm-basis pool.
+#[derive(Debug)]
+struct PoolEntry {
+    key: u64,
+    bytes: usize,
+    handle: RawHandle,
+}
+
+/// The lockstep replayer: owns the shared device matrix, the per-lane
+/// journals, and the warm-basis pool; every superstep issues at most one
+/// fused launch per [`WaveClass`] present across the active lanes.
+#[derive(Debug)]
+pub struct BatchedWaveEngine {
+    accel: Accel,
+    stream: StreamId,
+    matrix: MatrixHandle,
+    matrix_bytes: usize,
+    lane_state: Vec<RawHandle>,
+    logs: Vec<VecDeque<WaveOp>>,
+    /// LRU, most-recent first.
+    pool: Vec<PoolEntry>,
+    pool_budget: usize,
+    metrics: MetricsRegistry,
+}
+
+impl BatchedWaveEngine {
+    /// Uploads the shared `[A | I]` matrix once, reserves `width` lane
+    /// states, and sets up an empty warm-basis pool with `pool_budget`
+    /// device bytes.
+    pub fn new(
+        accel: Accel,
+        ext: &DenseMatrix,
+        width: usize,
+        pool_budget: usize,
+    ) -> LpResult<Self> {
+        assert!(width >= 1, "need at least one lane");
+        let matrix_bytes = ext.size_bytes();
+        let (m, n) = (ext.rows(), ext.cols());
+        let per_lane = Self::per_lane_bytes(m, n);
+        let (matrix, lane_state) = accel.with(|d| -> gmip_gpu::device::Result<_> {
+            let matrix = d.upload_matrix(ext, DEFAULT_STREAM)?;
+            let mut lanes = Vec::with_capacity(width);
+            for _ in 0..width {
+                lanes.push(d.alloc_raw(per_lane)?);
+            }
+            Ok((matrix, lanes))
+        })?;
+        let mut metrics = MetricsRegistry::new();
+        metrics.max_gauge(names::BATCH_MATRIX_BYTES, matrix_bytes as f64);
+        metrics.max_gauge(names::WAVE_WIDTH, width as f64);
+        Ok(Self {
+            accel,
+            stream: DEFAULT_STREAM,
+            matrix,
+            matrix_bytes,
+            lane_state,
+            logs: (0..width).map(|_| VecDeque::new()).collect(),
+            pool: Vec::new(),
+            pool_budget,
+            metrics,
+        })
+    }
+
+    /// Device bytes a lane's iteration state occupies (basic values,
+    /// statuses, bounds, duals — everything but the shared matrix).
+    pub fn per_lane_bytes(m: usize, n: usize) -> usize {
+        8 * (4 * m + 3 * n) + 128
+    }
+
+    /// Bytes of the shared device-resident matrix.
+    pub fn matrix_bytes(&self) -> usize {
+        self.matrix_bytes
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// Whether `slot` still has journaled ops to replay.
+    pub fn lane_busy(&self, slot: usize) -> bool {
+        !self.logs[slot].is_empty()
+    }
+
+    /// Whether any lane has work left.
+    pub fn any_busy(&self) -> bool {
+        self.logs.iter().any(|l| !l.is_empty())
+    }
+
+    /// Loads a freshly journaled node LP into `slot` (a refill when the
+    /// lane retired earlier; counted as such by the caller).
+    pub fn load_lane(&mut self, slot: usize, ops: Vec<WaveOp>) {
+        debug_assert!(self.logs[slot].is_empty(), "lane refilled while busy");
+        self.metrics.incr(names::WAVE_LANE_OPS, ops.len() as f64);
+        self.logs[slot] = ops.into();
+    }
+
+    /// Wave-level counters (`wave.*` / `batch.*`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Marks a refill (frontier node loaded into a retired lane).
+    pub fn note_refill(&mut self) {
+        self.metrics.incr(names::WAVE_REFILLS, 1.0);
+    }
+
+    /// Touches the warm-basis pool for `key` (a node id whose basis warm
+    /// starts a child). A hit costs nothing — the basis is already device
+    /// resident; a miss uploads it (H2D) and may LRU-evict older bases,
+    /// each spill charged as a real D2H transfer.
+    pub fn touch_basis(&mut self, key: u64, bytes: usize) -> LpResult<()> {
+        if let Some(pos) = self.pool.iter().position(|e| e.key == key) {
+            let e = self.pool.remove(pos);
+            self.pool.insert(0, e);
+            self.metrics.incr(names::BATCH_BASIS_HITS, 1.0);
+            return Ok(());
+        }
+        self.metrics.incr(names::BATCH_BASIS_MISSES, 1.0);
+        let stream = self.stream;
+        let handle = self.accel.with(|d| -> gmip_gpu::device::Result<_> {
+            d.charge_transfer(bytes, true, stream);
+            d.alloc_raw(bytes)
+        })?;
+        self.pool.insert(0, PoolEntry { key, bytes, handle });
+        let mut used: usize = self.pool.iter().map(|e| e.bytes).sum();
+        while used > self.pool_budget && self.pool.len() > 1 {
+            let victim = self.pool.pop().expect("len > 1");
+            used -= victim.bytes;
+            self.metrics.incr(names::BATCH_BASIS_EVICTIONS, 1.0);
+            self.metrics
+                .incr(names::BATCH_BASIS_SPILL_BYTES, victim.bytes as f64);
+            self.accel.with(|d| -> gmip_gpu::device::Result<_> {
+                d.charge_transfer(victim.bytes, false, stream);
+                d.free_raw(victim.handle)?;
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Executes one lockstep superstep: every busy lane advances by exactly
+    /// one journaled op; same-class kernels fuse into one batched launch;
+    /// transfers are charged per lane. Returns the slots that retired
+    /// (journal exhausted) at this step's boundary — the stream-event
+    /// moment the driver refills them, with no device-wide barrier.
+    pub fn superstep(&mut self) -> Vec<usize> {
+        let mut kernels: Vec<(WaveClass, f64, f64)> = Vec::new();
+        let mut transfers: Vec<(usize, bool)> = Vec::new();
+        let mut retired = Vec::new();
+        for slot in 0..self.logs.len() {
+            let Some(op) = self.logs[slot].pop_front() else {
+                continue;
+            };
+            match op {
+                WaveOp::Kernel {
+                    class,
+                    flops,
+                    bytes,
+                } => kernels.push((class, flops, bytes)),
+                WaveOp::Transfer { bytes, h2d } => transfers.push((bytes, h2d)),
+            }
+            if self.logs[slot].is_empty() {
+                retired.push(slot);
+            }
+        }
+        if kernels.is_empty() && transfers.is_empty() {
+            return retired;
+        }
+        self.metrics.incr(names::WAVE_SUPERSTEPS, 1.0);
+        let stream = self.stream;
+        self.accel.with(|d| {
+            for &(bytes, h2d) in &transfers {
+                d.charge_transfer(bytes, h2d, stream);
+            }
+            for class in CLASS_ORDER {
+                let lanes: Vec<(f64, f64)> = kernels
+                    .iter()
+                    .filter(|k| k.0 == class)
+                    .map(|k| (k.1, k.2))
+                    .collect();
+                if !lanes.is_empty() {
+                    d.batched_wave_kernel(class.span_name(), &lanes, stream);
+                }
+            }
+        });
+        let fused = CLASS_ORDER
+            .iter()
+            .filter(|&&c| kernels.iter().any(|k| k.0 == c))
+            .count();
+        self.metrics.incr(names::WAVE_FUSED_LAUNCHES, fused as f64);
+        self.metrics.incr(names::WAVE_RETIRES, retired.len() as f64);
+        // The retire boundary is a stream event, not a synchronize: the
+        // host observes it on this stream's timeline only.
+        let _ = self.accel.with(|d| d.record_event(stream));
+        retired
+    }
+
+    /// Runs supersteps until at least one lane retires (or nothing is
+    /// busy). Returns the retired slots.
+    pub fn run_to_retire(&mut self) -> Vec<usize> {
+        while self.any_busy() {
+            let retired = self.superstep();
+            if !retired.is_empty() {
+                return retired;
+            }
+        }
+        Vec::new()
+    }
+}
+
+impl Drop for BatchedWaveEngine {
+    fn drop(&mut self) {
+        self.accel.with(|d| {
+            let _ = d.free_matrix(self.matrix);
+            for &h in &self.lane_state {
+                let _ = d.free_raw(h);
+            }
+            for e in &self.pool {
+                let _ = d.free_raw(e.handle);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{LpConfig, LpSolver, LpStatus};
+    use crate::HostEngine;
+    use gmip_gpu::{CostModel, DeviceConfig};
+    use gmip_problems::catalog::textbook_mip;
+
+    fn textbook_std() -> crate::StandardLp {
+        crate::StandardLp::from_instance(&textbook_mip(), &[])
+    }
+
+    #[test]
+    fn recording_engine_takes_host_pivot_path() {
+        let std = textbook_std();
+        let mut host = LpSolver::new(std.clone(), LpConfig::standard(), |a| {
+            HostEngine::new(a.clone())
+        });
+        let mut rec = LpSolver::new(std, LpConfig::standard(), |a| {
+            RecordingEngine::new(a.clone())
+        });
+        let hs = host.solve().unwrap();
+        let rs = rec.solve().unwrap();
+        assert_eq!(hs.status, LpStatus::Optimal);
+        assert_eq!(rs.status, LpStatus::Optimal);
+        assert!((hs.objective - rs.objective).abs() < 1e-9);
+        assert_eq!(hs.iterations, rs.iterations, "pivot paths must match");
+        let ops = rec.engine_mut().take_ops();
+        assert!(!ops.is_empty(), "solve must journal device ops");
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            WaveOp::Kernel {
+                class: WaveClass::Pricing,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn width_respects_device_memory() {
+        // Plenty of memory: the request wins.
+        assert_eq!(wave_width(8, 1 << 30, 1 << 20, 1 << 10), 8);
+        // Shrinking memory shrinks the wave.
+        let matrix = 1 << 20;
+        let lane = 64 << 10;
+        let roomy = wave_width(16, (1 << 20) + 16 * lane, matrix, lane);
+        let tight = wave_width(16, (1 << 20) + 4 * lane, matrix, lane);
+        let none = wave_width(16, 1 << 10, matrix, lane);
+        assert_eq!(roomy, 16);
+        assert_eq!(tight, 4);
+        assert_eq!(none, 1, "always at least one lane");
+        assert!(tight < roomy);
+    }
+
+    #[test]
+    fn fused_replay_charges_fewer_launches_than_per_lane() {
+        let std = textbook_std();
+        // Journal one node LP.
+        let mut rec = LpSolver::new(std.clone(), LpConfig::standard(), |a| {
+            RecordingEngine::new(a.clone())
+        });
+        rec.solve().unwrap();
+        let ops = rec.engine_mut().take_ops();
+        let kernel_ops = ops
+            .iter()
+            .filter(|o| matches!(o, WaveOp::Kernel { .. }))
+            .count();
+
+        // Replay the same journal on 4 lanes of one wave; the shared matrix
+        // only needs the extended dimensions, not its numbers (the journal
+        // already carries each op's flop/byte weights).
+        let accel = Accel::gpu_with(DeviceConfig {
+            cost: CostModel::gpu_pcie(),
+            mem_capacity: 1 << 26,
+            streams: 1,
+        });
+        let ext = DenseMatrix::zeros(rec.engine().m(), rec.engine().n());
+        let mut wave = BatchedWaveEngine::new(accel.clone(), &ext, 4, 1 << 16).unwrap();
+        for slot in 0..4 {
+            wave.load_lane(slot, ops.clone());
+        }
+        while wave.any_busy() {
+            wave.superstep();
+        }
+        let launches = accel.stats().kernel_launches as usize;
+        // Per-lane engines would pay ≥ one launch per kernel op per lane.
+        let per_lane_floor = 4 * kernel_ops;
+        assert!(
+            launches < per_lane_floor,
+            "fused {launches} vs per-lane floor {per_lane_floor}"
+        );
+    }
+
+    #[test]
+    fn basis_pool_hits_avoid_transfers_and_evictions_spill() {
+        let accel = Accel::gpu_with(DeviceConfig {
+            cost: CostModel::gpu_pcie(),
+            mem_capacity: 1 << 24,
+            streams: 1,
+        });
+        let ext = DenseMatrix::zeros(4, 8);
+        let mut wave = BatchedWaveEngine::new(accel.clone(), &ext, 2, 300).unwrap();
+        wave.touch_basis(1, 128).unwrap(); // miss
+        let h2d_after_first = accel.stats().h2d_transfers;
+        wave.touch_basis(1, 128).unwrap(); // hit: no new transfer
+        assert_eq!(accel.stats().h2d_transfers, h2d_after_first);
+        wave.touch_basis(2, 128).unwrap(); // miss, fits
+        wave.touch_basis(3, 128).unwrap(); // miss: evicts key 1 (LRU)
+        let m = wave.metrics();
+        assert_eq!(m.counter(names::BATCH_BASIS_HITS), 1.0);
+        assert_eq!(m.counter(names::BATCH_BASIS_MISSES), 3.0);
+        assert!(m.counter(names::BATCH_BASIS_EVICTIONS) >= 1.0);
+        assert!(m.counter(names::BATCH_BASIS_SPILL_BYTES) >= 128.0);
+        assert!(accel.stats().d2h_transfers >= 1, "spill must be charged");
+    }
+}

@@ -8,8 +8,29 @@
 
 use crate::comm::{Assignment, NodeOutcome, NodeReport};
 use gmip_gpu::{Accel, CostModel, DeviceConfig};
-use gmip_lp::{DeviceEngine, LpConfig, LpResult, LpSolver, LpStatus, StandardLp};
+use gmip_lp::wave::BatchedWaveEngine;
+use gmip_lp::{
+    wave_width, DeviceEngine, LpConfig, LpResult, LpSolution, LpSolver, LpStatus, RecordingEngine,
+    StandardLp,
+};
 use gmip_problems::{MipInstance, Objective};
+
+/// The worker's LP execution backend.
+#[derive(Debug)]
+enum LpBackend {
+    /// One device kernel launch per simplex operation (the Strategy-2
+    /// baseline).
+    PerKernel(Box<LpSolver<DeviceEngine>>),
+    /// The batched wave evaluator: the node LP runs on the host reference
+    /// engine while journaling its device kernels, then the journal replays
+    /// through fused batched launches on this rank's device, with a
+    /// device-resident warm-basis pool (Sections 4.3, 5.5 opt-in).
+    Wave {
+        lp: Box<LpSolver<RecordingEngine>>,
+        wave: Box<BatchedWaveEngine>,
+        slot: usize,
+    },
+}
 
 /// A worker rank in the simulated cluster.
 #[derive(Debug)]
@@ -17,7 +38,7 @@ pub struct Worker {
     /// Rank id (0-based).
     pub id: usize,
     accel: Accel,
-    lp: LpSolver<DeviceEngine>,
+    backend: LpBackend,
     instance: MipInstance,
     int_tol: f64,
     /// Completion time of this worker's last assignment (DES bookkeeping).
@@ -44,6 +65,21 @@ impl Worker {
         lp_cfg: LpConfig,
         int_tol: f64,
     ) -> LpResult<Self> {
+        Self::new_with_lanes(id, instance, gpu_cost, gpu_mem, lp_cfg, int_tol, None)
+    }
+
+    /// Like [`Worker::new`], but `batched_lanes: Some(n)` switches this
+    /// rank's LP backend to the batched wave evaluator with up to `n` lane
+    /// reservations (clamped by device memory next to the shared matrix).
+    pub fn new_with_lanes(
+        id: usize,
+        instance: &MipInstance,
+        gpu_cost: CostModel,
+        gpu_mem: usize,
+        lp_cfg: LpConfig,
+        int_tol: f64,
+        batched_lanes: Option<usize>,
+    ) -> LpResult<Self> {
         // Each rank's device gets its own trace track group, so a Perfetto
         // view shows one GPU timeline per worker.
         let accel = Accel::gpu_with(DeviceConfig {
@@ -53,12 +89,38 @@ impl Worker {
         })
         .with_trace_group(gmip_trace::TrackGroup::Gpu(id as u16));
         let std = StandardLp::from_instance(instance, &[]);
-        let factory_accel = accel.clone();
-        let lp = LpSolver::try_new(std, lp_cfg, |a| DeviceEngine::new(factory_accel, a))?;
+        let backend = match batched_lanes {
+            None => {
+                let factory_accel = accel.clone();
+                LpBackend::PerKernel(Box::new(LpSolver::try_new(std, lp_cfg, |a| {
+                    DeviceEngine::new(factory_accel, a)
+                })?))
+            }
+            Some(lanes) => {
+                let mut ext = None;
+                let lp = LpSolver::new(std, lp_cfg, |a| {
+                    ext = Some(a.clone());
+                    RecordingEngine::new(a.clone())
+                });
+                let ext = ext.expect("engine factory runs during solver construction");
+                let width = wave_width(
+                    lanes,
+                    gpu_mem,
+                    ext.size_bytes(),
+                    BatchedWaveEngine::per_lane_bytes(ext.rows(), ext.cols()),
+                );
+                let wave = BatchedWaveEngine::new(accel.clone(), &ext, width, 1 << 18)?;
+                LpBackend::Wave {
+                    lp: Box::new(lp),
+                    wave: Box::new(wave),
+                    slot: 0,
+                }
+            }
+        };
         Ok(Self {
             id,
             accel,
-            lp,
+            backend,
             instance: instance.clone(),
             int_tol,
             busy_until: 0.0,
@@ -73,11 +135,60 @@ impl Worker {
         &self.accel
     }
 
-    /// Combined `gpu.*` + `lp.*` metrics of this rank.
+    /// Combined `gpu.*` + `lp.*` (and, on the wave backend, `wave.*` /
+    /// `batch.*`) metrics of this rank.
     pub fn metrics(&self) -> gmip_trace::MetricsRegistry {
         let mut m = self.accel.metrics();
-        m.merge(self.lp.metrics());
+        match &self.backend {
+            LpBackend::PerKernel(lp) => m.merge(lp.metrics()),
+            LpBackend::Wave { lp, wave, .. } => {
+                m.merge(lp.metrics());
+                m.merge(wave.metrics());
+            }
+        }
         m
+    }
+
+    /// Runs one node LP on whichever backend the rank was built with.
+    fn solve_assignment(
+        &mut self,
+        a: &Assignment,
+    ) -> LpResult<(LpSolution, Option<gmip_lp::Basis>)> {
+        match &mut self.backend {
+            LpBackend::PerKernel(lp) => {
+                lp.apply_node_bounds(&a.bounds)?;
+                let sol = match a.warm_basis.clone() {
+                    Some(b) => {
+                        lp.set_warm_basis(b)?;
+                        lp.resolve()?
+                    }
+                    None => lp.solve()?,
+                };
+                Ok((sol, lp.basis().cloned()))
+            }
+            LpBackend::Wave { lp, wave, slot } => {
+                lp.apply_node_bounds(&a.bounds)?;
+                let sol = match a.warm_basis.clone() {
+                    Some(b) => {
+                        // Pool the basis under the node id: a reassigned or
+                        // re-dispatched node hits instead of re-uploading.
+                        wave.touch_basis(a.node_id as u64, 8 * (b.m() + b.n()))?;
+                        lp.set_warm_basis(b)?;
+                        lp.resolve()?
+                    }
+                    None => lp.solve()?,
+                };
+                // Replay the journaled kernels through fused batched
+                // launches; successive assignments rotate the lane state.
+                let ops = lp.engine_mut().take_ops();
+                wave.load_lane(*slot, ops);
+                while wave.any_busy() {
+                    wave.superstep();
+                }
+                *slot = (*slot + 1) % wave.width();
+                Ok((sol, lp.basis().cloned()))
+            }
+        }
     }
 
     fn internal(&self, source: f64) -> f64 {
@@ -91,14 +202,7 @@ impl Worker {
     /// time consumed is measured as the device-frontier delta.
     pub fn evaluate(&mut self, a: &Assignment) -> LpResult<NodeReport> {
         let t0 = self.accel.elapsed_ns();
-        self.lp.apply_node_bounds(&a.bounds)?;
-        let sol = match a.warm_basis.clone() {
-            Some(b) => {
-                self.lp.set_warm_basis(b)?;
-                self.lp.resolve()?
-            }
-            None => self.lp.solve()?,
-        };
+        let (sol, basis) = self.solve_assignment(a)?;
         self.nodes += 1;
         let outcome = match sol.status {
             LpStatus::Infeasible => NodeOutcome::Infeasible,
@@ -140,7 +244,7 @@ impl Worker {
                             bound: internal,
                             var,
                             value: sol.x[var],
-                            basis: self.lp.basis().cloned(),
+                            basis,
                         }
                     }
                 }
@@ -275,6 +379,73 @@ mod tests {
         let slow = straggler.evaluate(&assignment).unwrap().eval_ns;
         assert!((slow - 4.0 * fast).abs() < 1e-6, "{slow} vs 4×{fast}");
         assert!((straggler.busy_ns - 4.0 * healthy.busy_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wave_backend_matches_per_kernel_with_fewer_launches() {
+        let mk = |lanes: Option<usize>| {
+            Worker::new_with_lanes(
+                0,
+                &textbook_mip(),
+                CostModel::gpu_pcie(),
+                1 << 24,
+                LpConfig::standard(),
+                1e-6,
+                lanes,
+            )
+            .unwrap()
+        };
+        let assignments = [
+            Assignment {
+                node_id: 0,
+                bounds: vec![],
+                warm_basis: None,
+                incumbent: f64::NEG_INFINITY,
+            },
+            Assignment {
+                node_id: 1,
+                bounds: vec![BoundChange {
+                    var: 1,
+                    lb: 0.0,
+                    ub: 1.0,
+                }],
+                warm_basis: None,
+                incumbent: f64::NEG_INFINITY,
+            },
+        ];
+        let mut per_kernel = mk(None);
+        let mut wave = mk(Some(2));
+        for a in &assignments {
+            let rk = per_kernel.evaluate(a).unwrap();
+            let rw = wave.evaluate(a).unwrap();
+            // Same pivot path, same outcome.
+            match (&rk.outcome, &rw.outcome) {
+                (
+                    NodeOutcome::Branch {
+                        bound: bk, var: vk, ..
+                    },
+                    NodeOutcome::Branch {
+                        bound: bw, var: vw, ..
+                    },
+                ) => {
+                    assert!((bk - bw).abs() < 1e-9);
+                    assert_eq!(vk, vw);
+                }
+                (k, w) => assert_eq!(
+                    std::mem::discriminant(k),
+                    std::mem::discriminant(w),
+                    "{k:?} vs {w:?}"
+                ),
+            }
+            assert_eq!(rk.lp_iterations, rw.lp_iterations);
+        }
+        assert!(
+            wave.accel().stats().kernel_launches < per_kernel.accel().stats().kernel_launches,
+            "{} vs {}",
+            wave.accel().stats().kernel_launches,
+            per_kernel.accel().stats().kernel_launches
+        );
+        assert!(wave.metrics().counter("wave.fused_launches") > 0.0);
     }
 
     #[test]

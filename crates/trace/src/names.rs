@@ -80,6 +80,34 @@ pub const CLUSTER_MIGRATIONS: &str = "cluster.migrations";
 /// Checkpoints (stop-the-world snapshots) taken.
 pub const CLUSTER_CHECKPOINTS: &str = "cluster.checkpoints";
 
+// --- Batched wave evaluator (Sections 4.3, 5.5) ----------------------------
+
+/// Lockstep supersteps executed by the batched wave engine (each superstep
+/// advances every active lane by one recorded kernel).
+pub const WAVE_SUPERSTEPS: &str = "wave.supersteps";
+/// Lanes that finished their node LP and exited the wave mid-flight.
+pub const WAVE_RETIRES: &str = "wave.retires";
+/// Retired lanes refilled from the best-bound frontier without a barrier.
+pub const WAVE_REFILLS: &str = "wave.refills";
+/// Wave width actually used after the device-memory auto-sizing
+/// (`batch ≈ device_mem / matrix_mem`, gauge).
+pub const WAVE_WIDTH: &str = "wave.width";
+/// Fused batched kernel launches (one per kernel class per superstep).
+pub const WAVE_FUSED_LAUNCHES: &str = "wave.fused_launches";
+/// Per-lane kernel operations replayed through fused launches.
+pub const WAVE_LANE_OPS: &str = "wave.lane_ops";
+/// Bytes of the shared device-resident `[A | I]` matrix (gauge; uploaded
+/// once for all lanes — the Section 5.5 memory-for-concurrency trade).
+pub const BATCH_MATRIX_BYTES: &str = "batch.matrix.bytes";
+/// Warm-basis pool: parent basis already device-resident (no transfer).
+pub const BATCH_BASIS_HITS: &str = "batch.basis_pool.hits";
+/// Warm-basis pool: basis uploaded (H2D) before a lane could warm-start.
+pub const BATCH_BASIS_MISSES: &str = "batch.basis_pool.misses";
+/// Warm-basis pool: LRU evictions under the pool's byte budget.
+pub const BATCH_BASIS_EVICTIONS: &str = "batch.basis_pool.evictions";
+/// Warm-basis pool: bytes spilled to the host (D2H) by LRU eviction.
+pub const BATCH_BASIS_SPILL_BYTES: &str = "batch.basis_pool.spill_bytes";
+
 // --- Fault injection & recovery (gmip-chaos) -------------------------------
 
 /// Injected worker crashes that landed on an alive rank.

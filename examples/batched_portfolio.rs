@@ -1,109 +1,107 @@
-//! Section 5.5 in action: many small independent subproblems solved
-//! concurrently on one device. A "portfolio" of small linear systems (the
-//! size of branch-and-cut node LP bases) is solved two ways — one kernel
-//! launch per system vs. a single batched launch — and the simulated times
-//! show the batching win, sized against device memory as the paper
-//! prescribes ("dozens of branch-and-cut nodes could be solved
-//! simultaneously").
+//! Section 5.5 in action: many branch-and-cut node LPs solved concurrently
+//! on one device, through the solver's real `batched:<lanes>` strategy.
+//!
+//! The same MIP is solved two ways on the simulated GPU:
+//!
+//! * **per-lane** ([`gmip::core::solve_concurrent`]): one engine and one
+//!   private matrix copy per lane, one kernel launch per simplex operation
+//!   per lane per pivot;
+//! * **batched wave** ([`gmip::core::solve_batched_wave`]): one shared
+//!   device-resident matrix for every lane and one *fused* batched launch
+//!   per kernel class per lockstep superstep, with finished lanes retiring
+//!   mid-flight and refilling from the best-bound frontier.
+//!
+//! Both reach the same optimum; the ledgers show the batching win ("dozens
+//! of branch-and-cut nodes could be solved simultaneously"), and the wave
+//! width is sized against device memory as the paper prescribes.
 //!
 //! Run with: `cargo run --release --example batched_portfolio`
 
-use gmip::gpu::{Accel, DEFAULT_STREAM as S};
-use gmip::linalg::DenseMatrix;
-use rand::{Rng, SeedableRng};
-
-fn make_system(n: usize, rng: &mut impl Rng) -> (DenseMatrix, Vec<f64>) {
-    // Diagonally dominant → always solvable.
-    let mut a = DenseMatrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            let v = if i == j {
-                n as f64 + rng.gen_range(1.0..4.0)
-            } else {
-                rng.gen_range(-1.0..1.0)
-            };
-            a.set(i, j, v);
-        }
-    }
-    let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
-    (a, b)
-}
+use gmip::core::{
+    solve_batched_wave, solve_concurrent, BatchedWaveConfig, ConcurrentConfig, MipStatus,
+};
+use gmip::gpu::Accel;
+use gmip::problems::generators::knapsack;
 
 fn main() {
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-    let n = 24; // small per-problem basis
-    let batch = 64;
-    let systems: Vec<(DenseMatrix, Vec<f64>)> =
-        (0..batch).map(|_| make_system(n, &mut rng)).collect();
-    let per_mat = systems[0].0.size_bytes();
-    println!("portfolio: {batch} systems of {n}x{n} ({per_mat} B each)\n");
-
-    // Serial: one launch per factor+solve.
-    let serial = Accel::gpu(1);
-    serial
-        .with(|d| -> Result<(), gmip::gpu::GpuError> {
-            for (a, b) in &systems {
-                let ah = d.upload_matrix(a, S)?;
-                let bh = d.upload_vector(b, S)?;
-                let f = d.lu_factor(ah, S)?;
-                let x = d.lu_solve(f, bh, S)?;
-                d.download_vector(x, S)?;
-            }
-            Ok(())
-        })
-        .expect("serial path");
-    let serial_ns = serial.elapsed_ns();
-    let serial_launches = serial.stats().kernel_launches;
-
-    // Batched: upload all, one batched factor+solve launch.
-    let batched = Accel::gpu(1);
-    let results = batched
-        .with(|d| -> Result<Vec<Vec<f64>>, gmip::gpu::GpuError> {
-            let mut handles = Vec::new();
-            for (a, b) in &systems {
-                let ah = d.upload_matrix(a, S)?;
-                let bh = d.upload_vector(b, S)?;
-                handles.push((ah, bh));
-            }
-            let xs = d.batched_lu_solve(&handles, S)?;
-            xs.into_iter().map(|x| d.download_vector(x, S)).collect()
-        })
-        .expect("batched path");
-    let batched_ns = batched.elapsed_ns();
-    let batched_launches = batched.stats().kernel_launches;
-
-    // Verify both paths solve correctly.
-    for ((a, b), x) in systems.iter().zip(&results) {
-        let ax = a.matvec(x).expect("dims");
-        for (got, want) in ax.iter().zip(b) {
-            assert!((got - want).abs() < 1e-8, "batched solve wrong");
-        }
-    }
-
-    println!("{:<10} {:>10} {:>14}", "mode", "launches", "sim time (µs)");
+    let instance = knapsack(18, 0.5, 11);
     println!(
-        "{:<10} {:>10} {:>14.1}",
-        "serial",
-        serial_launches,
-        serial_ns / 1e3
+        "portfolio of node LPs from: {} ({} vars, {} cons)\n",
+        instance.name,
+        instance.num_vars(),
+        instance.num_cons()
+    );
+
+    let lanes = 8;
+
+    // Per-lane evaluator: `lanes` engines, `lanes` matrix copies, a
+    // device-wide synchronize joining every wave.
+    let per_lane = solve_concurrent(
+        &instance,
+        &ConcurrentConfig {
+            lanes,
+            ..Default::default()
+        },
+        Accel::gpu(1),
+    )
+    .expect("per-lane solve");
+    assert_eq!(per_lane.status, MipStatus::Optimal);
+
+    // Batched wave: one shared matrix, fused launches, retire-and-refill.
+    let batched = solve_batched_wave(
+        &instance,
+        &BatchedWaveConfig {
+            lanes,
+            ..Default::default()
+        },
+        Accel::gpu(1),
+    )
+    .expect("batched wave solve");
+    assert_eq!(batched.status, MipStatus::Optimal);
+    assert!(
+        (batched.objective - per_lane.objective).abs() < 1e-6,
+        "strategies must agree on the optimum"
+    );
+    println!("optimum (both strategies): {}\n", batched.objective);
+
+    println!(
+        "{:<14} {:>7} {:>10} {:>14} {:>12}",
+        "mode", "nodes", "launches", "sim time (µs)", "peak mem (B)"
     );
     println!(
-        "{:<10} {:>10} {:>14.1}",
-        "batched",
-        batched_launches,
-        batched_ns / 1e3
+        "{:<14} {:>7} {:>10} {:>14.1} {:>12}",
+        "per-lane",
+        per_lane.nodes,
+        per_lane.device.kernel_launches,
+        per_lane.makespan_ns / 1e3,
+        per_lane.peak_device_bytes
     );
     println!(
-        "\nbatched speedup: {:.1}x (launch latency amortized over the batch)",
-        serial_ns / batched_ns
+        "{:<14} {:>7} {:>10} {:>14.1} {:>12}",
+        "batched wave",
+        batched.nodes,
+        batched.device.kernel_launches,
+        batched.makespan_ns / 1e3,
+        batched.peak_device_bytes
     );
-    // Paper's sizing rule: how many such problems fit in device memory.
-    let capacity = batched.mem_capacity();
+
     println!(
-        "device could hold ~{} such matrices at once ({} GiB / {} B)",
-        capacity / per_mat,
-        capacity >> 30,
-        per_mat
+        "\nbatched wave: width {} (memory-sized), {} supersteps, \
+         {} retires, {} refills",
+        batched.width, batched.supersteps, batched.retires, batched.refills
     );
-    assert!(batched_ns < serial_ns, "batching must win at this size");
+    println!(
+        "speedup: {:.1}x in simulated time, {:.1}x fewer kernel launches \
+         (one fused launch per kernel class per superstep)",
+        per_lane.makespan_ns / batched.makespan_ns,
+        per_lane.device.kernel_launches as f64 / batched.device.kernel_launches as f64
+    );
+    assert!(
+        batched.device.kernel_launches < per_lane.device.kernel_launches,
+        "fused launches must undercut per-lane launches"
+    );
+    assert!(
+        batched.makespan_ns < per_lane.makespan_ns,
+        "batching must win at this size"
+    );
 }

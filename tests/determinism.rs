@@ -105,6 +105,43 @@ fn device_solver_trace_stream_is_byte_identical() {
 }
 
 #[test]
+fn batched_wave_trace_stream_is_byte_identical() {
+    use gmip::core::{solve_batched_wave, BatchedWaveConfig};
+    use gmip::gpu::Accel;
+    let _g = gate();
+    let instance = knapsack(15, 0.5, 7);
+    let run = || {
+        let session = TraceSession::start();
+        let r = solve_batched_wave(
+            &instance,
+            &BatchedWaveConfig {
+                lanes: 4,
+                ..Default::default()
+            },
+            Accel::gpu(1),
+        )
+        .expect("batched solve");
+        (
+            r.objective.to_bits(),
+            r.nodes,
+            r.supersteps,
+            r.retires,
+            r.refills,
+            r.device.kernel_launches,
+            r.makespan_ns.to_bits(),
+            session.finish().to_chrome_json(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert!(
+        a.7.contains("wave.pricing") && a.7.contains("wave.factor"),
+        "fused wave kernel spans missing from trace"
+    );
+    assert!(a.7.contains("gpu 0"), "GPU track missing");
+    assert_eq!(a, b, "batched wave runs diverged");
+}
+
+#[test]
 fn des_cluster_trace_stream_is_byte_identical() {
     let _g = gate();
     let instance = random_mip(&RandomMipConfig {

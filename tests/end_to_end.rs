@@ -166,6 +166,110 @@ fn seeded_instances_agree_across_device_threaded_and_cluster() {
     }
 }
 
+/// Differential check for the batched-wave strategy: lockstep fused
+/// evaluation over a shared device matrix must reproduce the host
+/// baseline's optimal objective — with a feasible incumbent — on every
+/// seeded instance, at several wave widths.
+#[test]
+fn batched_wave_matches_host_on_seeded_suite() {
+    use gmip::core::{solve_batched_wave, BatchedWaveConfig};
+    use gmip::gpu::Accel;
+    use gmip::problems::generators::knapsack;
+    for seed in [13u64, 29, 41] {
+        let instance = knapsack(14, 0.5, seed);
+        let id = format!("knapsack-14/{seed}");
+        let expected = reference(&id, &instance);
+        for lanes in [1usize, 4, 8] {
+            let r = solve_batched_wave(
+                &instance,
+                &BatchedWaveConfig {
+                    lanes,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .unwrap_or_else(|e| panic!("{id}/batched:{lanes}: {e}"));
+            assert_eq!(r.status, MipStatus::Optimal, "{id}/batched:{lanes}");
+            assert!(
+                (r.objective - expected).abs() < 1e-5,
+                "{id}/batched:{lanes}: {} vs {expected}",
+                r.objective
+            );
+            assert!(
+                instance.is_integer_feasible(&r.x, 1e-5),
+                "{id}/batched:{lanes}: incumbent infeasible"
+            );
+        }
+    }
+}
+
+/// The batched wave must also agree on the catalog suite, and its fused
+/// launches must undercut the per-lane concurrent evaluator at the same
+/// width on an instance big enough to branch.
+#[test]
+fn batched_wave_agrees_on_catalog_and_undercuts_per_lane() {
+    use gmip::core::{solve_batched_wave, solve_concurrent, BatchedWaveConfig, ConcurrentConfig};
+    use gmip::gpu::Accel;
+    for entry in small_suite() {
+        let expected = reference(entry.id, &entry.instance);
+        let r = solve_batched_wave(
+            &entry.instance,
+            &BatchedWaveConfig {
+                lanes: 4,
+                ..Default::default()
+            },
+            Accel::gpu(1),
+        )
+        .unwrap_or_else(|e| panic!("{}/batched: {e}", entry.id));
+        assert_eq!(r.status, MipStatus::Optimal, "{}/batched", entry.id);
+        assert!(
+            (r.objective - expected).abs() < 1e-5,
+            "{}/batched: {} vs {}",
+            entry.id,
+            r.objective,
+            expected
+        );
+    }
+    let instance = gmip::problems::generators::knapsack(16, 0.5, 21);
+    let lanes = 4;
+    let per_lane = solve_concurrent(
+        &instance,
+        &ConcurrentConfig {
+            lanes,
+            ..Default::default()
+        },
+        Accel::gpu(1),
+    )
+    .expect("per-lane solve");
+    let batched = solve_batched_wave(
+        &instance,
+        &BatchedWaveConfig {
+            lanes,
+            ..Default::default()
+        },
+        Accel::gpu(1),
+    )
+    .expect("batched solve");
+    assert!(
+        (batched.objective - per_lane.objective).abs() < 1e-5,
+        "strategies disagree: {} vs {}",
+        batched.objective,
+        per_lane.objective
+    );
+    assert!(
+        batched.device.kernel_launches < per_lane.device.kernel_launches,
+        "fused launches ({}) must undercut per-lane ({})",
+        batched.device.kernel_launches,
+        per_lane.device.kernel_launches
+    );
+    assert!(
+        batched.makespan_ns < per_lane.makespan_ns,
+        "batched wave must be faster in simulated time: {} vs {}",
+        batched.makespan_ns,
+        per_lane.makespan_ns
+    );
+}
+
 #[test]
 fn mps_roundtrip_preserves_optimum() {
     use gmip::problems::mps::{read_mps, write_mps};
