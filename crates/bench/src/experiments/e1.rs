@@ -20,6 +20,11 @@ struct Regime {
     name: &'static str,
     instance: MipInstance,
     device_mem: usize,
+    /// Certify the strategies' agreed optimum against the exact rational
+    /// oracle. Off for the dense 60x60 regime: exact arithmetic on an
+    /// LP-heavy instance that size is outside the oracle envelope, so the
+    /// strategies there are held to mutual agreement only.
+    oracle_check: bool,
 }
 
 fn regimes() -> Vec<Regime> {
@@ -28,11 +33,13 @@ fn regimes() -> Vec<Regime> {
             name: "fits-device",
             instance: knapsack(24, 0.5, 31),
             device_mem: 1 << 30,
+            oracle_check: true,
         },
         Regime {
             name: "tree>device",
             instance: knapsack(26, 0.5, 42),
             device_mem: 192 << 10,
+            oracle_check: true,
         },
         Regime {
             name: "matrix>device",
@@ -44,6 +51,7 @@ fn regimes() -> Vec<Regime> {
                 seed: 77,
             }),
             device_mem: 96 << 10,
+            oracle_check: false,
         },
     ]
 }
@@ -121,9 +129,21 @@ pub fn run() -> String {
                 }
             }
         }
-        // All successful strategies must agree.
+        // All successful strategies must agree — and where the exact
+        // oracle is affordable, agree with the certified optimum.
         for w in optima.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-6, "strategies disagree");
+        }
+        if regime.oracle_check {
+            let exact = crate::experiments::oracle_optimum(&regime.instance);
+            for (i, &obj) in optima.iter().enumerate() {
+                assert!(
+                    (obj - exact).abs() < 1e-6,
+                    "regime `{}`: strategy #{i} optimum {obj} disagrees with \
+                     the exact oracle {exact}",
+                    regime.name
+                );
+            }
         }
         out.push_str(&t.render());
         out.push('\n');

@@ -21,7 +21,13 @@ pub fn run() -> String {
     // the restart-correctness section needs snapshots captured while work
     // is genuinely outstanding, which a root-integral instance never hits.
     let instance = knapsack(22, 0.5, 1);
-    let expected = knapsack_brute_force(&instance);
+    // Ground truth from the exact rational oracle, cross-checked against
+    // exhaustive enumeration: two independent derivations of the optimum.
+    let expected = crate::experiments::oracle_optimum(&instance);
+    assert!(
+        (expected - knapsack_brute_force(&instance)).abs() < 1e-6,
+        "oracle and brute force disagree on the E5 instance"
+    );
 
     // Overhead sweep.
     let mut t = Table::new(&["checkpoint every", "checkpoints", "makespan", "overhead"]);

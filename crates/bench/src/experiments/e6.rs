@@ -16,6 +16,7 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str("E6: supervisor–worker scaling (paper Section 2.3)\n\n");
     let instance = knapsack(28, 0.5, 7);
+    let exact = crate::experiments::oracle_optimum(&instance);
 
     // Part A: worker-count sweep.
     let mut t = Table::new(&[
@@ -38,6 +39,11 @@ pub fn run() -> String {
             },
         )
         .expect("parallel solve");
+        assert!(
+            (r.objective - exact).abs() < 1e-6,
+            "{workers}-worker optimum {} disagrees with the exact oracle {exact}",
+            r.objective
+        );
         if workers == 1 {
             t1_ns = r.stats.makespan_ns;
         }
@@ -98,6 +104,11 @@ pub fn run() -> String {
     let mut makespans = Vec::new();
     for (name, cfg) in variants {
         let r = solve_parallel(&instance, cfg).expect("variant solve");
+        assert!(
+            (r.objective - exact).abs() < 1e-6,
+            "variant `{name}` optimum {} disagrees with the exact oracle {exact}",
+            r.objective
+        );
         makespans.push((name, r.stats.makespan_ns));
         t.row(vec![
             name.into(),

@@ -15,13 +15,19 @@ pub fn run() -> String {
     cfg.policy = PolicyKind::DepthFirst;
     cfg.cuts.enabled = false;
     cfg.heuristics.rounding = false;
+    let exact = crate::experiments::oracle_optimum(&instance);
     let mut solver = MipSolver::host_baseline(instance, cfg);
     let result = solver.solve().expect("figure-1 solve");
+    assert!(
+        (result.objective - exact).abs() < 1e-6,
+        "figure-1 optimum {} disagrees with the exact oracle {exact}",
+        result.objective
+    );
 
     let mut out = String::new();
     out.push_str("F1: solution tree (paper Figure 1)\n");
     out.push_str(&format!(
-        "instance: figure1 knapsack — optimum {} at x = {:?}\n\n",
+        "instance: figure1 knapsack — optimum {} (oracle-certified) at x = {:?}\n\n",
         result.objective, result.x
     ));
     out.push_str(&render::render(&result.tree));

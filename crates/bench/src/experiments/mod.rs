@@ -18,6 +18,24 @@ pub mod f1;
 
 use gmip_gpu::{Accel, CostModel, DeviceConfig};
 
+/// The exact optimum of `m`, certified by the `gmip-verify` rational
+/// oracle. Experiments assert their claimed optima against this instead of
+/// hard-coded floats, so a generator or solver drift can't silently
+/// invalidate a table. Only call on instances inside the oracle envelope
+/// (small knapsacks and catalog instances; exact arithmetic on dense
+/// LP-heavy instances is out of budget).
+pub(crate) fn oracle_optimum(m: &gmip_problems::MipInstance) -> f64 {
+    let r = gmip_verify::solve_oracle(m).unwrap_or_else(|e| panic!("{}: oracle: {e}", m.name));
+    assert_eq!(
+        r.status,
+        gmip_verify::OracleStatus::Optimal,
+        "{}: oracle says {:?}, experiment expects an optimum",
+        m.name,
+        r.status
+    );
+    r.objective.expect("optimal => objective").approx()
+}
+
 /// A GPU accel with the standard PCIe cost model and `mem` bytes.
 pub(crate) fn gpu(mem: usize) -> Accel {
     Accel::gpu_with(DeviceConfig {

@@ -3,7 +3,7 @@
 
 use gmip_core::{
     choose_path, plan, presolve, solve_batched_wave, solve_with_dispatch, BatchedWaveConfig,
-    MipConfig, MipResult, MipSolver, PolicyKind, Strategy,
+    MipConfig, MipResult, MipSolver, MipStatus, PolicyKind, Strategy,
 };
 use gmip_gpu::{Accel, CostModel};
 use gmip_lp::PricingRule;
@@ -19,8 +19,16 @@ gmip — MIP solving on a simulated GPU-accelerated platform
 
 USAGE:
   gmip solve <file.mps> [options]
+  gmip verify <file.mps> [options]
   gmip generate <family> [options]
   gmip help
+
+VERIFY:
+  solve with the float host path, then certify the result against the
+  gmip-verify exact rational oracle: the proven optimum, exact incumbent
+  re-evaluation, and exact validation of every collected dual-bound /
+  Farkas certificate. Exits nonzero on any discrepancy. Accepts the
+  solver-shaping SOLVE OPTIONS (--policy, --no-cuts, --gap, ...).
 
 SOLVE OPTIONS:
   --strategy <s>     host | cpu-orchestrated | gpu-only | hybrid |
@@ -207,6 +215,17 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let instance = read_mps(&text).map_err(|e| format!("{e}"))?;
             solve(instance, &o)
         }
+        "verify" => {
+            let o = parse_options(&args[1..])?;
+            let path = o
+                .positional
+                .first()
+                .ok_or("verify needs an MPS file path")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let instance = read_mps(&text).map_err(|e| format!("{e}"))?;
+            verify(instance, &o)
+        }
         "generate" => {
             let o = parse_options(&args[1..])?;
             let instance = generate(&o)?;
@@ -292,6 +311,81 @@ fn write_trace(
         ));
     }
     Ok(())
+}
+
+/// Solves with the float host path and certifies the result against the
+/// exact rational oracle; errors on any discrepancy so the process exits
+/// nonzero.
+pub fn verify(instance: MipInstance, o: &Options) -> Result<String, String> {
+    const TOL: f64 = 1e-5;
+    instance.validate().map_err(|e| format!("{e}"))?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "instance: {} ({} vars / {} integral, {} cons)\n",
+        instance.name,
+        instance.num_vars(),
+        instance.num_integral(),
+        instance.num_cons()
+    ));
+
+    let mut cfg = mip_config(o);
+    cfg.collect_certificates = true;
+    let mut solver = MipSolver::host_baseline(instance.clone(), cfg);
+    let r = solver.solve().map_err(|e| format!("{e}"))?;
+
+    let oracle = gmip_verify::solve_oracle(&instance).map_err(|e| format!("oracle: {e}"))?;
+    let exact = oracle.objective.as_ref().map(gmip_verify::Rat::approx);
+    out.push_str(&format!("float host:   {:?}", r.status));
+    if !r.x.is_empty() {
+        out.push_str(&format!(", objective {}", r.objective));
+    }
+    out.push_str(&format!("\nexact oracle: {:?}", oracle.status));
+    if let Some(v) = exact {
+        out.push_str(&format!(
+            ", proven optimum {v} ({} exact B&B nodes)",
+            oracle.nodes
+        ));
+    }
+    out.push('\n');
+
+    let status_ok = matches!(
+        (r.status, oracle.status),
+        (MipStatus::Optimal, gmip_verify::OracleStatus::Optimal)
+            | (MipStatus::Infeasible, gmip_verify::OracleStatus::Infeasible)
+            | (MipStatus::Unbounded, gmip_verify::OracleStatus::Unbounded)
+    );
+    if !status_ok {
+        return Err(format!(
+            "status mismatch: float host {:?} vs exact oracle {:?}",
+            r.status, oracle.status
+        ));
+    }
+    if let Some(want) = exact {
+        if (r.objective - want).abs() > TOL * (1.0 + want.abs()) {
+            return Err(format!(
+                "objective mismatch: float host {} vs proven optimum {want}",
+                r.objective
+            ));
+        }
+        gmip_verify::check_incumbent(&instance, &r.x, r.objective, TOL)
+            .map_err(|e| format!("incumbent check: {e}"))?;
+        out.push_str("incumbent: exactly feasible, objective certified\n");
+    }
+    let certs = gmip_verify::check_certificates(&instance, &r.stats.certificates, TOL);
+    if !certs.failures.is_empty() {
+        return Err(format!(
+            "{} of {} certificates invalid:\n  {}",
+            certs.failures.len(),
+            certs.checked,
+            certs.failures.join("\n  ")
+        ));
+    }
+    out.push_str(&format!(
+        "certificates: {} checked ({} dual bounds, {} Farkas), all exactly valid\n",
+        certs.checked, certs.dual_bounds, certs.farkas
+    ));
+    out.push_str("VERIFIED\n");
+    Ok(out)
 }
 
 /// Maps a solution on the (possibly presolve-reduced) instance back to the

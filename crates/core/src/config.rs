@@ -112,6 +112,11 @@ pub struct MipConfig {
     pub strong_candidates: usize,
     /// Strong branching: iteration cap per probe re-solve.
     pub strong_iter_cap: usize,
+    /// Record an exactly-checkable [`gmip_lp::LpCertificate`] for every node
+    /// LP outcome in `SolveStats::certificates` (dual bounds for optimal
+    /// nodes, Farkas witnesses for infeasible ones). Off by default: the
+    /// record grows with the tree and exists for the `gmip-verify` oracle.
+    pub collect_certificates: bool,
 }
 
 impl Default for MipConfig {
@@ -131,6 +136,7 @@ impl Default for MipConfig {
             objective_limit: None,
             strong_candidates: 4,
             strong_iter_cap: 50,
+            collect_certificates: false,
         }
     }
 }

@@ -14,8 +14,8 @@ use crate::heur;
 use gmip_gpu::{Accel, DeviceStats, DEFAULT_STREAM};
 use gmip_linalg::DenseMatrix;
 use gmip_lp::{
-    Basis, BoundChange, LpError, LpResult, LpSolution, LpSolver, LpStatus, SimplexEngine,
-    StandardLp,
+    Basis, BoundChange, CertKind, LpCertificate, LpError, LpResult, LpSolution, LpSolver, LpStatus,
+    SimplexEngine, StandardLp,
 };
 use gmip_problems::{MipInstance, Objective};
 use gmip_trace::{names, Event, MetricsRegistry, Track};
@@ -96,6 +96,10 @@ pub struct SolveStats {
     /// Unified metrics ledger: `bb.*` node-lifecycle counters plus the
     /// merged `lp.*` and `gpu.*` series from the LP solver and executors.
     pub metrics: MetricsRegistry,
+    /// Exactly-checkable node LP certificates, one per evaluated node that
+    /// produced dual evidence. Empty unless
+    /// `MipConfig::collect_certificates` is set.
+    pub certificates: Vec<LpCertificate>,
 }
 
 /// The result of a MIP solve.
@@ -407,6 +411,37 @@ impl<E: SimplexEngine> MipSolver<E> {
         Ok(())
     }
 
+    /// Records the exactly-checkable certificate of one node LP outcome
+    /// (when `collect_certificates` is set): dual prices + claimed objective
+    /// for optimal nodes, the Farkas witness for infeasible ones. Best
+    /// effort — nodes whose engine can't produce the evidence are skipped.
+    fn capture_certificate(
+        lp: &mut LpSolver<E>,
+        sol: &LpSolution,
+        bounds: &[BoundChange],
+        stats: &mut SolveStats,
+    ) {
+        let kind = match sol.status {
+            LpStatus::Optimal => match lp.dual_prices_internal() {
+                Ok(y) => CertKind::DualBound {
+                    y,
+                    objective: lp.internal_objective(sol.objective),
+                },
+                Err(_) => return,
+            },
+            LpStatus::Infeasible => match lp.farkas_ray() {
+                Some(w) => CertKind::Farkas { w: w.to_vec() },
+                None => return,
+            },
+            LpStatus::Unbounded => return,
+        };
+        stats.certificates.push(LpCertificate {
+            bounds: bounds.to_vec(),
+            cuts: lp.cuts().to_vec(),
+            kind,
+        });
+    }
+
     /// Evaluates one node, returning the LP solution and the post-solve
     /// basis (for children warm starts).
     #[allow(clippy::too_many_arguments)]
@@ -428,6 +463,9 @@ impl<E: SimplexEngine> MipSolver<E> {
                 if sol.status == LpStatus::Optimal {
                     self.cut_rounds(&mut lp, &mut sol, global_cuts, stats)?;
                 }
+                if self.cfg.collect_certificates {
+                    Self::capture_certificate(&mut lp, &sol, bounds, stats);
+                }
                 let basis = lp.basis().cloned();
                 // Root diving (Hybrid strategy).
                 if self.cfg.heuristics.diving && sol.status == LpStatus::Optimal {
@@ -447,6 +485,9 @@ impl<E: SimplexEngine> MipSolver<E> {
                     lp.solve()?
                 };
                 stats.lp_iterations += sol.iterations;
+                if self.cfg.collect_certificates {
+                    Self::capture_certificate(lp, &sol, bounds, stats);
+                }
                 Ok((sol.clone(), lp.basis().cloned()))
             }
         } else {
@@ -467,6 +508,9 @@ impl<E: SimplexEngine> MipSolver<E> {
             stats.lp_iterations += sol.iterations;
             if is_root && sol.status == LpStatus::Optimal {
                 self.cut_rounds(&mut lp, &mut sol, global_cuts, stats)?;
+            }
+            if self.cfg.collect_certificates {
+                Self::capture_certificate(&mut lp, &sol, bounds, stats);
             }
             let basis = lp.basis().cloned();
             if is_root {

@@ -54,7 +54,7 @@ pub use dense::{DenseMatrix, DenseVector};
 pub use eta::{EtaFactor, EtaFile};
 pub use eta_sparse::SparseEtaFile;
 pub use lu::LuFactors;
-pub use scalar::{APPROX_TOL, PIVOT_TOL, ZERO_TOL};
+pub use scalar::{Scalar, APPROX_TOL, PIVOT_TOL, ZERO_TOL};
 pub use sparse::{CooMatrix, CscMatrix, CsrMatrix};
 pub use sparse_lu::SparseLu;
 

@@ -1,0 +1,50 @@
+//! LP result *certificates*: the data an exact checker needs to validate a
+//! float solve without trusting any float code path.
+//!
+//! A certificate pins down the node LP (bound changes over the instance,
+//! cuts present at solve time) plus the dual evidence the engine produced:
+//!
+//! * an optimal node emits a [`CertKind::DualBound`] — the dual prices `y`
+//!   of the optimal basis. Weak duality makes
+//!   `yᵀb + Σⱼ max(dⱼ·lⱼ, dⱼ·uⱼ)` (with `dⱼ = cⱼ − yᵀaⱼ`) a valid upper
+//!   bound on the node LP for *any* `y`, so an exact evaluator can confirm
+//!   the claimed objective and hence the pruning decisions made from it;
+//! * an infeasible node emits a [`CertKind::Farkas`] — a row multiplier
+//!   vector `w` with `Σⱼ min(zⱼ·lⱼ, zⱼ·uⱼ) > wᵀb` where `zⱼ = wᵀaⱼ`,
+//!   an exact witness that no point in the bound box satisfies `Ax = b`.
+//!
+//! Certificates are collected by `gmip-core` when
+//! `MipConfig::collect_certificates` is set and checked exactly by the
+//! `gmip-verify` crate.
+
+use crate::problem::BoundChange;
+
+/// The dual evidence attached to one node LP outcome.
+#[derive(Debug, Clone)]
+pub enum CertKind {
+    /// Optimal node: dual prices and the claimed objective, both in the
+    /// **internal maximize** sense (minimize sources are negated).
+    DualBound {
+        /// Dual prices of the optimal basis, one per row (cut rows last).
+        y: Vec<f64>,
+        /// Claimed optimal objective of the node LP (internal sense).
+        objective: f64,
+    },
+    /// Infeasible node: a Farkas row-multiplier vector, one per row.
+    Farkas {
+        /// The infeasibility witness `w`.
+        w: Vec<f64>,
+    },
+}
+
+/// A self-contained, exactly-checkable record of one node LP outcome.
+#[derive(Debug, Clone)]
+pub struct LpCertificate {
+    /// The node's cumulative bound changes over the instance.
+    pub bounds: Vec<BoundChange>,
+    /// Cuts present in the LP at solve time: `(coeffs, rhs)` over
+    /// structural variables, each a `≤` row.
+    pub cuts: Vec<(Vec<(usize, f64)>, f64)>,
+    /// The dual evidence.
+    pub kind: CertKind,
+}

@@ -20,8 +20,17 @@ pub enum DualOutcome {
     /// All basic variables are within bounds — the point is primal feasible
     /// (and optimal, if dual feasibility was maintained).
     PrimalFeasible,
-    /// The dual is unbounded ⇒ the primal LP is infeasible.
-    Infeasible,
+    /// The dual is unbounded ⇒ the primal LP is infeasible. The payload
+    /// identifies the certifying pivot row so a Farkas witness can be
+    /// extracted: `row` is the leaving row whose dual ratio test found no
+    /// entering column, `below` whether its basic variable violated its
+    /// lower (vs upper) bound.
+    Infeasible {
+        /// Leaving row of the terminal dual iteration.
+        row: usize,
+        /// `true` if the row's basic variable was below its lower bound.
+        below: bool,
+    },
 }
 
 /// Tuning knobs of the dual driver (reuses the primal's tolerances).
@@ -96,7 +105,7 @@ fn dual_loop<E: SimplexEngine>(
         // --- entering column via the dual ratio test on the BTRAN row ---
         engine.btran_row(r)?;
         let Some((q, _ratio)) = engine.dual_ratio(below, cfg.base.ratio_tol)? else {
-            return Ok((DualOutcome::Infeasible, iter));
+            return Ok((DualOutcome::Infeasible { row: r, below }, iter));
         };
         let alpha_rq = engine.alpha_r_entry(q)?;
         if alpha_rq.abs() < cfg.base.ratio_tol {
@@ -220,7 +229,7 @@ mod tests {
         };
         let (outcome, _) =
             dual_solve(&mut engine, view2, &mut basis, &DualConfig::standard()).unwrap();
-        assert_eq!(outcome, DualOutcome::Infeasible);
+        assert!(matches!(outcome, DualOutcome::Infeasible { .. }));
     }
 
     /// A dual start that is already primal feasible terminates immediately.

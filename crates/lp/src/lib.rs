@@ -6,6 +6,8 @@
 //! * [`problem`] — lowering MIP relaxations to bounded-variable equality
 //!   form, with per-node bound overrides and appended cut rows;
 //! * [`basis`] — basis/status bookkeeping and warm-start snapshots;
+//! * [`certificate`] — exactly-checkable result certificates (weak-duality
+//!   bounds, Farkas infeasibility witnesses) consumed by `gmip-verify`;
 //! * [`engine`] — the per-iteration numerical interface
 //!   ([`engine::SimplexEngine`]) with the pure-host reference engine;
 //! * [`device_engine`] — the same interface executed as simulated device
@@ -27,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod basis;
+pub mod certificate;
 pub mod device_engine;
 pub mod dual;
 pub mod engine;
@@ -38,6 +41,7 @@ pub mod sparse_engine;
 pub mod wave;
 
 pub use basis::{Basis, VarStatus};
+pub use certificate::{CertKind, LpCertificate};
 pub use device_engine::DeviceEngine;
 pub use engine::{HostEngine, ProblemView, SimplexEngine};
 pub use ipm::{solve_ipm, IpmConfig, IpmSolution};

@@ -104,6 +104,9 @@ pub struct LpSolver<E: SimplexEngine> {
     cut_rows: Vec<(Vec<(usize, f64)>, f64)>,
     cfg: LpConfig,
     basis: Option<Basis>,
+    /// Farkas infeasibility witness of the most recent solve, if it ended
+    /// `Infeasible` (row multipliers, one per row). Cleared on every solve.
+    farkas: Option<Vec<f64>>,
     /// Accumulated `lp.*` metrics (solves, iterations, refactorizations).
     metrics: MetricsRegistry,
 }
@@ -172,6 +175,7 @@ impl<E: SimplexEngine> LpSolver<E> {
             cut_rows: Vec::new(),
             cfg,
             basis: None,
+            farkas: None,
             metrics: MetricsRegistry::new(),
         }
     }
@@ -286,6 +290,29 @@ impl<E: SimplexEngine> LpSolver<E> {
         })
     }
 
+    /// Dual prices in the **internal maximize** sense (no source-sense
+    /// negation) — the sense certificate checks are stated in. Requires a
+    /// prior solve.
+    pub fn dual_prices_internal(&mut self) -> LpResult<Vec<f64>> {
+        if self.basis.is_none() {
+            return Err(LpError::NotInstalled);
+        }
+        self.engine.dual_prices()
+    }
+
+    /// The host mirror of the engine's extended matrix
+    /// `[A | I | cut slacks]` (rows: core + cuts).
+    pub fn matrix(&self) -> &DenseMatrix {
+        &self.mirror
+    }
+
+    /// The Farkas infeasibility witness of the most recent solve, if that
+    /// solve ended `Infeasible` and a witness could be extracted: row
+    /// multipliers `w` with `Σⱼ min(zⱼlⱼ, zⱼuⱼ) > wᵀb`, `zⱼ = wᵀaⱼ`.
+    pub fn farkas_ray(&self) -> Option<&[f64]> {
+        self.farkas.as_deref()
+    }
+
     /// Current basis snapshot (after a successful solve).
     pub fn basis(&self) -> Option<&Basis> {
         self.basis.as_ref()
@@ -387,6 +414,7 @@ impl<E: SimplexEngine> LpSolver<E> {
     }
 
     fn solve_inner(&mut self) -> LpResult<LpSolution> {
+        self.farkas = None;
         let n = self.total_cols();
         // Initial basis: artificial per core row, cut slack per cut row.
         let mut cols = Vec::with_capacity(self.total_rows());
@@ -471,6 +499,19 @@ impl<E: SimplexEngine> LpSolver<E> {
         let x1 = assemble_point(&mut self.engine, view1, &basis)?;
         let infeasibility: f64 = -c1.iter().zip(&x1).map(|(ci, xi)| ci * xi).sum::<f64>();
         if infeasibility > self.cfg.dual.feas_tol.max(1e-7) * (1.0 + self.b.len() as f64) {
+            // Phase-1 duals are a Farkas witness: with the phase-1 costs
+            // still installed, y = c1_B B⁻¹ satisfies
+            // Σⱼ min(zⱼlⱼ, zⱼuⱼ) = yᵀb + δ > yᵀb (δ = phase-1 infeasibility)
+            // over the real columns (artificial/relaxed terms vanish by
+            // phase-1 complementary slackness). That cancellation argument
+            // covers artificials but NOT phase-1-relaxed cut slacks, whose
+            // unbounded side can carry a wrong-sign zⱼ — so no witness is
+            // published when cut rows are installed.
+            self.farkas = if self.n_cuts == 0 {
+                self.engine.dual_prices().ok()
+            } else {
+                None
+            };
             self.basis = Some(basis);
             return Ok(LpSolution {
                 status: LpStatus::Infeasible,
@@ -537,6 +578,7 @@ impl<E: SimplexEngine> LpSolver<E> {
     }
 
     fn resolve_inner(&mut self) -> LpResult<LpSolution> {
+        self.farkas = None;
         let Some(mut basis) = self.basis.take() else {
             return self.solve_inner();
         };
@@ -577,6 +619,14 @@ impl<E: SimplexEngine> LpSolver<E> {
             &mut self.metrics,
         ) {
             Ok(r) => r,
+            Err(LpError::IterationLimit { .. }) => {
+                // Dual stall: highly degenerate bases (dense cut rows are
+                // the usual culprit) can cycle the dual ratio test, which
+                // has no Bland fallback. Discard the stalled basis and
+                // re-solve cold — the two-phase primal driver carries
+                // anti-cycling and the cost is one scratch solve.
+                return self.solve_inner();
+            }
             Err(e) => {
                 // Keep the (partially pivoted) basis so the solver object
                 // stays warm-startable after iteration-limit probes.
@@ -584,7 +634,12 @@ impl<E: SimplexEngine> LpSolver<E> {
                 return Err(e);
             }
         };
-        if dout == DualOutcome::Infeasible {
+        if let DualOutcome::Infeasible { row, below } = dout {
+            // Extract the Farkas witness from the terminal dual row: with
+            // ρ = B⁻ᵀe_row, the row `ρᵀA x = ρᵀb` restricted to the bound
+            // box is violated (the failed ratio test proves the box-extreme
+            // of ρᵀAx still misses ρᵀb). `below` ⇒ w = ρ, else w = −ρ.
+            self.farkas = self.dual_ray(&basis, row, below);
             self.basis = Some(basis);
             return Ok(LpSolution {
                 status: LpStatus::Infeasible,
@@ -601,6 +656,27 @@ impl<E: SimplexEngine> LpSolver<E> {
             }
         };
         self.finish(basis, pout, dit + pit)
+    }
+
+    /// Computes the Farkas witness `w = ±B⁻ᵀe_row` from the host mirror
+    /// (best-effort: `None` on a singular basis snapshot).
+    fn dual_ray(&self, basis: &Basis, row: usize, below: bool) -> Option<Vec<f64>> {
+        let m = self.total_rows();
+        let mut bmat = DenseMatrix::zeros(m, m);
+        for (i, &j) in basis.cols.iter().enumerate() {
+            for r in 0..m {
+                bmat.set(r, i, self.mirror.get(r, j));
+            }
+        }
+        let lu = gmip_linalg::LuFactors::factorize(&bmat).ok()?;
+        let mut e_r = vec![0.0; m];
+        e_r[row] = 1.0;
+        let rho = lu.solve_transposed(&e_r).ok()?;
+        Some(if below {
+            rho
+        } else {
+            rho.iter().map(|v| -v).collect()
+        })
     }
 
     fn finish(

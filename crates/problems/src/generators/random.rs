@@ -36,6 +36,11 @@ impl Default for RandomMipConfig {
     }
 }
 
+/// Uniform draw quantized to multiples of 1/64 (see [`random_mip`] docs).
+fn dyadic<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    (rng.gen_range(lo..hi) * 64.0).round() / 64.0
+}
+
 /// Generates a feasible random MIP:
 /// maximize `cᵀx` subject to `Ax ≤ b`, `0 ≤ x ≤ 1`, a leading block of
 /// binaries followed by continuous variables.
@@ -44,6 +49,12 @@ impl Default for RandomMipConfig {
 /// trivially feasible); a planted point `x*` with roughly half the
 /// variables at 1 sets `b = A x* + slack`, so instances are feasible but
 /// the LP bound is not trivially tight.
+///
+/// All sampled values are quantized to multiples of 1/64: full-mantissa
+/// doubles are dyadic rationals with ~2⁵² denominators, which makes the
+/// exact-rational verification oracle pay determinant-sized integers for
+/// no extra test coverage. Low-precision coefficients are the norm for
+/// benchmark corpora (cf. MIPLIB) and keep exact arithmetic polynomial.
 ///
 /// # Panics
 /// Panics if `rows == 0`, `cols == 0`, or `density ∉ (0, 1]`, or
@@ -70,7 +81,7 @@ pub fn random_mip(config: &RandomMipConfig) -> MipInstance {
         Objective::Maximize,
     );
     for j in 0..cols {
-        let obj = rng.gen_range(1.0..10.0);
+        let obj = dyadic(&mut rng, 1.0, 10.0);
         if j < n_int {
             m.add_var(Variable::binary(format!("z{j}"), obj));
         } else {
@@ -85,16 +96,16 @@ pub fn random_mip(config: &RandomMipConfig) -> MipInstance {
         let mut coeffs: Vec<(usize, f64)> = Vec::new();
         for j in 0..cols {
             if rng.gen_bool(density) {
-                coeffs.push((j, rng.gen_range(0.5..2.0)));
+                coeffs.push((j, dyadic(&mut rng, 0.5, 2.0)));
             }
         }
         if coeffs.is_empty() {
             // Keep every row structurally nonempty.
             let j = rng.gen_range(0..cols);
-            coeffs.push((j, rng.gen_range(0.5..2.0)));
+            coeffs.push((j, dyadic(&mut rng, 0.5, 2.0)));
         }
         let at_planted: f64 = coeffs.iter().map(|&(j, v)| v * planted[j]).sum();
-        let slack = rng.gen_range(0.1..1.0);
+        let slack = dyadic(&mut rng, 0.1, 1.0);
         m.add_con(Constraint::new(
             format!("r{i}"),
             coeffs,

@@ -89,11 +89,11 @@ pub fn write_mps(m: &MipInstance) -> String {
             in_int = false;
         }
         for (row, val) in &by_col[j] {
-            let _ = writeln!(out, "    {:<10}{:<10}{}", v.name, row, val);
+            let _ = writeln!(out, "    {:<10} {:<10} {}", v.name, row, val);
         }
         if by_col[j].is_empty() {
             // Emit a zero objective entry so the column (variable) exists.
-            let _ = writeln!(out, "    {:<10}{:<10}0", v.name, "OBJ");
+            let _ = writeln!(out, "    {:<10} {:<10} 0", v.name, "OBJ");
         }
     }
     if in_int {
@@ -105,7 +105,7 @@ pub fn write_mps(m: &MipInstance) -> String {
     let _ = writeln!(out, "RHS");
     for c in &m.cons {
         if c.rhs != 0.0 {
-            let _ = writeln!(out, "    RHS       {:<10}{}", c.name, c.rhs);
+            let _ = writeln!(out, "    RHS       {:<10} {}", c.name, c.rhs);
         }
     }
     let _ = writeln!(out, "BOUNDS");
@@ -116,13 +116,13 @@ pub fn write_mps(m: &MipInstance) -> String {
             }
             _ => {
                 if v.lb == v.ub {
-                    let _ = writeln!(out, " FX BND       {:<10}{}", v.name, v.lb);
+                    let _ = writeln!(out, " FX BND       {:<10} {}", v.name, v.lb);
                 } else {
                     if v.lb != 0.0 && v.lb.is_finite() {
-                        let _ = writeln!(out, " LO BND       {:<10}{}", v.name, v.lb);
+                        let _ = writeln!(out, " LO BND       {:<10} {}", v.name, v.lb);
                     }
                     if v.ub.is_finite() {
-                        let _ = writeln!(out, " UP BND       {:<10}{}", v.name, v.ub);
+                        let _ = writeln!(out, " UP BND       {:<10} {}", v.name, v.ub);
                     }
                 }
             }
@@ -220,11 +220,17 @@ pub fn read_mps(text: &str) -> Result<MipInstance, MpsError> {
                 row_order.push((rname, sense));
             }
             Section::Columns => {
-                if fields.len() >= 3 && fields[1].contains("MARKER") {
-                    if raw.contains("INTORG") {
+                // Marker detection must match the quoted keyword exactly: a
+                // column or row legitimately named e.g. "MARKER_COST" would
+                // otherwise be swallowed as a marker line (and `raw.contains`
+                // would misfire on names containing INTORG/INTEND too).
+                if fields.len() >= 3 && fields[1] == "'MARKER'" {
+                    if fields[2..].contains(&"'INTORG'") {
                         in_int = true;
-                    } else if raw.contains("INTEND") {
+                    } else if fields[2..].contains(&"'INTEND'") {
                         in_int = false;
+                    } else {
+                        return Err(err(lineno, "MARKER without INTORG/INTEND".into()));
                     }
                     continue;
                 }

@@ -1,0 +1,421 @@
+//! Exact validation of float-engine certificates.
+//!
+//! The float stack emits [`gmip_lp::LpCertificate`]s (when
+//! `MipConfig::collect_certificates` is on): for every evaluated node,
+//! either the optimal basis's dual prices or a Farkas infeasibility
+//! witness. This module re-checks that evidence in exact rational
+//! arithmetic against an independently re-lowered copy of the node LP:
+//!
+//! * **Dual bound** — for any multiplier vector `y`, weak duality over the
+//!   box `l ≤ x ≤ u` gives `z* ≤ yᵀb + Σⱼ max(dⱼlⱼ, dⱼuⱼ)` with
+//!   `dⱼ = cⱼ − yᵀaⱼ`. At an optimal basis the bound is *tight*, so the
+//!   claimed node objective must match the exactly-evaluated bound within
+//!   the declared float tolerance — this certifies every pruning decision
+//!   made from the node bound.
+//! * **Farkas** — a witness `w` proves infeasibility iff
+//!   `Σⱼ min(zⱼlⱼ, zⱼuⱼ) > wᵀb` with `zⱼ = wᵀaⱼ`: the smallest value
+//!   `wᵀAx` can take over the box still misses `wᵀb`. This is checked as a
+//!   strict exact inequality.
+//! * **Incumbent** — a claimed integer-feasible point is re-evaluated
+//!   exactly: integrality snap, bound and row feasibility, and the claimed
+//!   objective, all in rationals.
+//!
+//! Reduced costs on infinite-bound columns are snapped to zero when below
+//! the float dual tolerance (otherwise a `1e-12 × ∞` term would poison an
+//! otherwise-valid certificate); a *large* wrong-signed entry still fails.
+
+use crate::rat::Rat;
+use gmip_linalg::Scalar;
+use gmip_lp::{CertKind, LpCertificate, StandardLp};
+use gmip_problems::MipInstance;
+
+/// Wrong-sign snap threshold for reduced costs / Farkas coefficients on
+/// infinite-bound columns (matches the float stack's dual tolerance).
+const SNAP_TOL: f64 = 1e-6;
+
+/// Outcome of checking a batch of certificates.
+#[derive(Debug, Clone, Default)]
+pub struct CertReport {
+    /// Certificates examined.
+    pub checked: usize,
+    /// Dual-bound certificates among them.
+    pub dual_bounds: usize,
+    /// Farkas certificates among them.
+    pub farkas: usize,
+    /// Human-readable failure descriptions (empty = all valid).
+    pub failures: Vec<String>,
+}
+
+impl CertReport {
+    /// `true` when every certificate validated.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The exactly re-lowered node LP a certificate refers to: equality form
+/// over `[structural + slack | cut slack]` columns (artificials excluded —
+/// they are fixed to `[0, 0]` outside phase 1 and contribute nothing).
+struct ExactNodeLp {
+    /// Dense rows × cols.
+    a: Vec<Vec<Rat>>,
+    b: Vec<Rat>,
+    /// Internal (maximize) objective.
+    c: Vec<Rat>,
+    lb: Vec<Option<Rat>>,
+    ub: Vec<Option<Rat>>,
+}
+
+fn rat(v: f64) -> Result<Rat, String> {
+    Rat::from_f64_exact(v).ok_or_else(|| format!("non-finite coefficient {v}"))
+}
+
+fn opt_bound(v: f64) -> Result<Option<Rat>, String> {
+    if v.is_finite() {
+        Ok(Some(rat(v)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn exact_node_lp(m: &MipInstance, cert: &LpCertificate) -> Result<ExactNodeLp, String> {
+    let std = StandardLp::from_instance(m, &cert.bounds);
+    let m_core = std.m();
+    let n_core = std.n();
+    let n_cuts = cert.cuts.len();
+    let rows = m_core + n_cuts;
+    let cols = n_core + n_cuts;
+    let mut a = vec![vec![Rat::int(0); cols]; rows];
+    for (i, row) in a.iter_mut().enumerate().take(m_core) {
+        for (j, cell) in row.iter_mut().enumerate().take(n_core) {
+            *cell = rat(std.a.get(i, j))?;
+        }
+    }
+    let mut b = Vec::with_capacity(rows);
+    for &bi in &std.b {
+        b.push(rat(bi)?);
+    }
+    let mut c = Vec::with_capacity(cols);
+    for &cj in &std.c {
+        c.push(rat(cj)?);
+    }
+    let mut lb = Vec::with_capacity(cols);
+    let mut ub = Vec::with_capacity(cols);
+    for j in 0..n_core {
+        lb.push(opt_bound(std.lb[j])?);
+        ub.push(opt_bound(std.ub[j])?);
+    }
+    for (k, (coeffs, rhs)) in cert.cuts.iter().enumerate() {
+        for &(j, v) in coeffs {
+            if j >= std.n_structural {
+                return Err(format!("cut coefficient on non-structural column {j}"));
+            }
+            a[m_core + k][j] = rat(v)?;
+        }
+        a[m_core + k][n_core + k] = Rat::int(1);
+        b.push(rat(*rhs)?);
+        c.push(Rat::int(0));
+        lb.push(Some(Rat::int(0)));
+        ub.push(None);
+    }
+    Ok(ExactNodeLp { a, b, c, lb, ub })
+}
+
+/// `Σᵢ vᵢ · a[i][j]` exactly.
+fn combine_column(a: &[Vec<Rat>], v: &[Rat], j: usize) -> Rat {
+    let mut acc = Rat::int(0);
+    for (row, vi) in a.iter().zip(v) {
+        if !row[j].is_zero() && !vi.is_zero() {
+            acc = acc + vi.clone() * row[j].clone();
+        }
+    }
+    acc
+}
+
+/// `max(d·l, d·u)` over `[l, u]` with infinite sides; `None` = `+∞` (the
+/// bound is vacuous). Tiny `d` on an infinite side snaps to zero.
+fn box_max(d: &Rat, l: &Option<Rat>, u: &Option<Rat>) -> Option<Rat> {
+    let zero = Rat::int(0);
+    if *d == zero {
+        return Some(zero);
+    }
+    if *d > zero {
+        match u {
+            Some(u) => Some(d.clone() * u.clone()),
+            None if d.approx().abs() <= SNAP_TOL => Some(zero),
+            None => None,
+        }
+    } else {
+        match l {
+            Some(l) => Some(d.clone() * l.clone()),
+            None if d.approx().abs() <= SNAP_TOL => Some(zero),
+            None => None,
+        }
+    }
+}
+
+/// `min(z·l, z·u)` over `[l, u]`; `None` = `−∞` (certificate broken).
+fn box_min(z: &Rat, l: &Option<Rat>, u: &Option<Rat>) -> Option<Rat> {
+    box_max(&-z.clone(), l, u).map(|v| -v)
+}
+
+/// Checks one certificate exactly; `Err` describes the failure.
+pub fn check_certificate(m: &MipInstance, cert: &LpCertificate, tol: f64) -> Result<(), String> {
+    let lp = exact_node_lp(m, cert)?;
+    let rows = lp.b.len();
+    let cols = lp.c.len();
+    match &cert.kind {
+        CertKind::DualBound { y, objective } => {
+            if y.len() != rows {
+                return Err(format!("dual vector length {} vs {rows} rows", y.len()));
+            }
+            let yr: Vec<Rat> = y.iter().map(|&v| rat(v)).collect::<Result<_, _>>()?;
+            let mut bound = Rat::int(0);
+            for (yi, bi) in yr.iter().zip(&lp.b) {
+                bound = bound + yi.clone() * bi.clone();
+            }
+            for j in 0..cols {
+                let d = lp.c[j].clone() - combine_column(&lp.a, &yr, j);
+                match box_max(&d, &lp.lb[j], &lp.ub[j]) {
+                    Some(t) => bound = bound + t,
+                    None => {
+                        return Err(format!(
+                            "dual bound is +inf: column {j} has wrong-sign reduced cost {}",
+                            d.approx()
+                        ))
+                    }
+                }
+            }
+            let claimed = rat(*objective)?;
+            let gap = (bound - claimed).approx();
+            let scale = 1.0 + objective.abs();
+            if gap < -tol * scale {
+                return Err(format!(
+                    "claimed objective {objective} exceeds the exact dual bound by {}",
+                    -gap
+                ));
+            }
+            if gap > tol.max(1e-9) * scale * 10.0 {
+                return Err(format!(
+                    "dual bound is loose by {gap} (claimed {objective}): \
+                     the basis duals do not certify the claimed optimum"
+                ));
+            }
+            Ok(())
+        }
+        CertKind::Farkas { w } => {
+            if w.len() != rows {
+                return Err(format!("Farkas vector length {} vs {rows} rows", w.len()));
+            }
+            let wr: Vec<Rat> = w.iter().map(|&v| rat(v)).collect::<Result<_, _>>()?;
+            let mut wtb = Rat::int(0);
+            for (wi, bi) in wr.iter().zip(&lp.b) {
+                wtb = wtb + wi.clone() * bi.clone();
+            }
+            let mut lo = Rat::int(0);
+            for j in 0..cols {
+                let z = combine_column(&lp.a, &wr, j);
+                match box_min(&z, &lp.lb[j], &lp.ub[j]) {
+                    Some(t) => lo = lo + t,
+                    None => {
+                        return Err(format!(
+                            "Farkas witness broken: column {j} sends the row combination \
+                             to -inf (z = {})",
+                            z.approx()
+                        ))
+                    }
+                }
+            }
+            if lo > wtb {
+                Ok(())
+            } else {
+                Err(format!(
+                    "Farkas witness does not separate: box-min {} ≤ wᵀb {}",
+                    lo.approx(),
+                    wtb.approx()
+                ))
+            }
+        }
+    }
+}
+
+/// Checks every certificate of a solve; failures are collected, not fatal.
+pub fn check_certificates(m: &MipInstance, certs: &[LpCertificate], tol: f64) -> CertReport {
+    let mut report = CertReport::default();
+    for (i, cert) in certs.iter().enumerate() {
+        report.checked += 1;
+        match cert.kind {
+            CertKind::DualBound { .. } => report.dual_bounds += 1,
+            CertKind::Farkas { .. } => report.farkas += 1,
+        }
+        if let Err(e) = check_certificate(m, cert, tol) {
+            report.failures.push(format!("certificate {i}: {e}"));
+        }
+    }
+    report
+}
+
+/// Exactly re-evaluates a claimed incumbent: integral variables must be
+/// within `tol` of an integer, the snapped point must satisfy every bound
+/// and row within `tol`, and its exact objective must match `objective`.
+pub fn check_incumbent(m: &MipInstance, x: &[f64], objective: f64, tol: f64) -> Result<(), String> {
+    if x.len() != m.num_vars() {
+        return Err(format!(
+            "incumbent length {} vs {} variables",
+            x.len(),
+            m.num_vars()
+        ));
+    }
+    let integral = m.integral_indices();
+    let mut xr: Vec<Rat> = Vec::with_capacity(x.len());
+    for (j, &v) in x.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(format!("incumbent x[{j}] = {v}"));
+        }
+        if integral.contains(&j) {
+            let snapped = v.round();
+            if (v - snapped).abs() > tol {
+                return Err(format!("x[{j}] = {v} is not integral within {tol}"));
+            }
+            xr.push(rat(snapped)?);
+        } else {
+            xr.push(rat(v)?);
+        }
+    }
+    let tolr = rat(tol)?;
+    for (j, (v, xj)) in m.vars.iter().zip(&xr).enumerate() {
+        if let Some(l) = opt_bound(v.lb)? {
+            if *xj < l.clone() - tolr.clone() {
+                return Err(format!(
+                    "x[{j}] = {} below lower bound {}",
+                    xj.approx(),
+                    v.lb
+                ));
+            }
+        }
+        if let Some(u) = opt_bound(v.ub)? {
+            if *xj > u.clone() + tolr.clone() {
+                return Err(format!(
+                    "x[{j}] = {} above upper bound {}",
+                    xj.approx(),
+                    v.ub
+                ));
+            }
+        }
+    }
+    for c in &m.cons {
+        let mut lhs = Rat::int(0);
+        for &(j, a) in &c.coeffs {
+            lhs = lhs + rat(a)? * xr[j].clone();
+        }
+        let rhs = rat(c.rhs)?;
+        let slack = tolr.clone() * (Rat::int(1) + rhs.clone().abs_val());
+        let bad = match c.sense {
+            gmip_problems::Sense::Le => lhs > rhs.clone() + slack,
+            gmip_problems::Sense::Ge => lhs < rhs.clone() - slack,
+            gmip_problems::Sense::Eq => {
+                lhs.clone() > rhs.clone() + slack.clone() || lhs < rhs.clone() - slack
+            }
+        };
+        if bad {
+            return Err(format!(
+                "row {} violated: lhs {} vs rhs {}",
+                c.name,
+                lhs.approx(),
+                c.rhs
+            ));
+        }
+    }
+    let mut obj = Rat::int(0);
+    for (v, xj) in m.vars.iter().zip(&xr) {
+        obj = obj + rat(v.obj)? * xj.clone();
+    }
+    let claimed = rat(objective)?;
+    if (obj.clone() - claimed).approx().abs() > tol * (1.0 + objective.abs()) {
+        return Err(format!(
+            "claimed objective {objective} vs exact re-evaluation {}",
+            obj.approx()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmip_core::{MipConfig, MipSolver, MipStatus};
+    use gmip_problems::catalog::{figure1_knapsack, infeasible_instance, textbook_mip};
+
+    fn solve_with_certs(m: &MipInstance) -> (gmip_core::MipResult, Vec<LpCertificate>) {
+        let cfg = MipConfig {
+            collect_certificates: true,
+            ..MipConfig::default()
+        };
+        let mut s = MipSolver::host_baseline(m.clone(), cfg);
+        let r = s.solve().expect("solve");
+        let certs = r.stats.certificates.clone();
+        (r, certs)
+    }
+
+    #[test]
+    fn optimal_solve_emits_valid_dual_bound_certificates() {
+        for m in [figure1_knapsack(), textbook_mip()] {
+            let (r, certs) = solve_with_certs(&m);
+            assert_eq!(r.status, MipStatus::Optimal);
+            assert!(!certs.is_empty(), "no certificates collected");
+            let report = check_certificates(&m, &certs, 1e-6);
+            assert!(report.ok(), "failures: {:?}", report.failures);
+            assert!(report.dual_bounds > 0, "no dual-bound certificates");
+        }
+    }
+
+    #[test]
+    fn infeasible_root_emits_valid_farkas_certificate() {
+        let m = infeasible_instance();
+        let (r, certs) = solve_with_certs(&m);
+        assert_eq!(r.status, MipStatus::Infeasible);
+        let report = check_certificates(&m, &certs, 1e-6);
+        assert!(report.ok(), "failures: {:?}", report.failures);
+        assert!(
+            report.farkas > 0,
+            "no Farkas certificate at infeasible root"
+        );
+    }
+
+    #[test]
+    fn branch_infeasible_nodes_emit_valid_farkas_certificates() {
+        // A knapsack-style instance whose branching produces infeasible
+        // children via the dual-ray detection path.
+        let m = gmip_problems::generators::set_cover(6, 5, 0.5, 11);
+        let (_, certs) = solve_with_certs(&m);
+        let report = check_certificates(&m, &certs, 1e-6);
+        assert!(report.ok(), "failures: {:?}", report.failures);
+    }
+
+    #[test]
+    fn tampered_objective_is_rejected() {
+        let m = figure1_knapsack();
+        let (_, mut certs) = solve_with_certs(&m);
+        let idx = certs
+            .iter()
+            .position(|c| matches!(c.kind, CertKind::DualBound { .. }))
+            .expect("a dual-bound certificate");
+        if let CertKind::DualBound { objective, .. } = &mut certs[idx].kind {
+            *objective += 1.0;
+        }
+        let report = check_certificates(&m, &certs, 1e-6);
+        assert!(!report.ok(), "tampered certificate passed validation");
+    }
+
+    #[test]
+    fn incumbent_checks_exactly() {
+        let m = figure1_knapsack();
+        let (r, _) = solve_with_certs(&m);
+        check_incumbent(&m, &r.x, r.objective, 1e-6).expect("true incumbent validates");
+        // Off-by-one objective is caught.
+        assert!(check_incumbent(&m, &r.x, r.objective + 1.0, 1e-6).is_err());
+        // An infeasible point is caught.
+        let bad = vec![1.0; m.num_vars()];
+        assert!(check_incumbent(&m, &bad, m.objective_value(&bad), 1e-6).is_err());
+    }
+}

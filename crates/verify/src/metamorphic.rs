@@ -1,0 +1,274 @@
+//! Metamorphic instance transforms.
+//!
+//! Each transform rewrites an instance into an equivalent one whose
+//! optimum is an affine image of the original's:
+//! `opt' = scale · opt + offset` (statuses are preserved, `scale > 0`).
+//! Solving both and mapping back is a correctness check that needs **no
+//! ground truth** — a solver bug that breaks equivariance (ordering
+//! sensitivity, scaling sensitivity, bound-handling bugs) is caught even
+//! when the absolute optimum is unknown.
+//!
+//! Scales are powers of two so coefficient rewrites stay exactly
+//! representable in `f64`; remaining rewrite rounding (e.g. `rhs − a` in
+//! complementation) is covered by the declared float tolerance.
+
+use gmip_problems::{Constraint, MipInstance, Sense, VarType, Variable};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A transformed instance plus the affine map from the original optimum:
+/// `expected_transformed_opt = scale · original_opt + offset`.
+#[derive(Debug, Clone)]
+pub struct Transformed {
+    /// Transform name (for diagnostics).
+    pub name: &'static str,
+    /// The rewritten instance.
+    pub instance: MipInstance,
+    /// Multiplicative part of the objective map (always > 0).
+    pub scale: f64,
+    /// Additive part of the objective map.
+    pub offset: f64,
+}
+
+impl Transformed {
+    /// Maps an optimum of the *transformed* instance back to the
+    /// original's scale: `(opt' − offset) / scale`.
+    pub fn map_back(&self, transformed_opt: f64) -> f64 {
+        (transformed_opt - self.offset) / self.scale
+    }
+}
+
+fn identity(name: &'static str, instance: MipInstance) -> Transformed {
+    Transformed {
+        name,
+        instance,
+        scale: 1.0,
+        offset: 0.0,
+    }
+}
+
+fn shuffle<T>(v: &mut [T], rng: &mut ChaCha8Rng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        v.swap(i, j);
+    }
+}
+
+/// Permutes constraint order.
+pub fn row_permutation(m: &MipInstance, rng: &mut ChaCha8Rng) -> Transformed {
+    let mut t = m.clone();
+    shuffle(&mut t.cons, rng);
+    identity("row-permutation", t)
+}
+
+/// Permutes variable order (remapping every coefficient index).
+pub fn col_permutation(m: &MipInstance, rng: &mut ChaCha8Rng) -> Transformed {
+    let n = m.num_vars();
+    let mut perm: Vec<usize> = (0..n).collect();
+    shuffle(&mut perm, rng);
+    // perm[k] = old index placed at new position k; old -> new inverse map.
+    let mut new_of_old = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        new_of_old[old] = new;
+    }
+    let mut t = MipInstance::new(m.name.clone(), m.objective);
+    for &old in &perm {
+        t.add_var(m.vars[old].clone());
+    }
+    for c in &m.cons {
+        let coeffs = c.coeffs.iter().map(|&(j, v)| (new_of_old[j], v)).collect();
+        t.add_con(Constraint::new(c.name.clone(), coeffs, c.sense, c.rhs));
+    }
+    identity("col-permutation", t)
+}
+
+/// Scales each constraint row by an independent positive power of two.
+pub fn row_scaling(m: &MipInstance, rng: &mut ChaCha8Rng) -> Transformed {
+    let mut t = m.clone();
+    for c in &mut t.cons {
+        let s = [0.5, 2.0, 4.0, 0.25][rng.gen_range(0..4usize)];
+        for (_, v) in &mut c.coeffs {
+            *v *= s;
+        }
+        c.rhs *= s;
+    }
+    identity("row-scaling", t)
+}
+
+/// Scales the objective by a positive power of two: `opt' = s · opt`.
+pub fn objective_scale(m: &MipInstance, rng: &mut ChaCha8Rng) -> Transformed {
+    let s = [2.0, 0.5, 4.0][rng.gen_range(0..3usize)];
+    let mut t = m.clone();
+    for v in &mut t.vars {
+        v.obj *= s;
+    }
+    Transformed {
+        name: "objective-scale",
+        instance: t,
+        scale: s,
+        offset: 0.0,
+    }
+}
+
+/// Shifts the objective by a constant via a variable fixed to 1:
+/// `opt' = opt + k`.
+pub fn objective_shift(m: &MipInstance, rng: &mut ChaCha8Rng) -> Transformed {
+    let k = rng.gen_range(1..8i64) as f64;
+    let mut t = m.clone();
+    t.add_var(Variable::continuous("shift1", 1.0, 1.0, k));
+    Transformed {
+        name: "objective-shift",
+        instance: t,
+        scale: 1.0,
+        offset: k,
+    }
+}
+
+/// Appends a redundant constraint: a relaxed duplicate of an existing row
+/// (implied by the original, so the feasible set is unchanged).
+pub fn redundant_constraint(m: &MipInstance, rng: &mut ChaCha8Rng) -> Transformed {
+    if m.cons.is_empty() {
+        return identity("redundant-constraint", m.clone());
+    }
+    let i = rng.gen_range(0..m.num_cons());
+    let src = &m.cons[i];
+    let (sense, rhs) = match src.sense {
+        Sense::Le => (Sense::Le, src.rhs + 1.0),
+        Sense::Ge => (Sense::Ge, src.rhs - 1.0),
+        // An equality row implies both inequalities; keep the ≤ side.
+        Sense::Eq => (Sense::Le, src.rhs + 1.0),
+    };
+    let mut t = m.clone();
+    t.add_con(Constraint::new(
+        format!("{}_red", src.name),
+        src.coeffs.clone(),
+        sense,
+        rhs,
+    ));
+    identity("redundant-constraint", t)
+}
+
+/// Complements one binary variable `x → 1 − x'`: coefficient signs flip,
+/// right-hand sides absorb the constant, `opt' = opt − c_j`.
+pub fn complement_binary(m: &MipInstance, rng: &mut ChaCha8Rng) -> Transformed {
+    let binaries: Vec<usize> = m
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.ty == VarType::Binary)
+        .map(|(j, _)| j)
+        .collect();
+    if binaries.is_empty() {
+        return identity("complement-binary", m.clone());
+    }
+    let j = binaries[rng.gen_range(0..binaries.len())];
+    let cj = m.vars[j].obj;
+    let mut t = m.clone();
+    t.vars[j].obj = -cj;
+    t.vars[j].name = format!("{}_c", m.vars[j].name);
+    for c in &mut t.cons {
+        if let Some(pos) = c.coeffs.iter().position(|&(k, _)| k == j) {
+            let a = c.coeffs[pos].1;
+            c.coeffs[pos].1 = -a;
+            c.rhs -= a;
+        }
+    }
+    Transformed {
+        name: "complement-binary",
+        instance: t,
+        scale: 1.0,
+        offset: -cj,
+    }
+}
+
+/// The full transform suite for one instance, deterministically seeded.
+pub fn transforms(m: &MipInstance, seed: u64) -> Vec<Transformed> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    vec![
+        row_permutation(m, &mut rng),
+        col_permutation(m, &mut rng),
+        row_scaling(m, &mut rng),
+        objective_scale(m, &mut rng),
+        objective_shift(m, &mut rng),
+        redundant_constraint(m, &mut rng),
+        complement_binary(m, &mut rng),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmip_core::{MipConfig, MipSolver, MipStatus};
+    use gmip_problems::catalog::{figure1_knapsack, textbook_mip};
+
+    fn optimum(m: &MipInstance) -> f64 {
+        let mut s = MipSolver::host_baseline(m.clone(), MipConfig::default());
+        let r = s.solve().expect("solve");
+        assert_eq!(r.status, MipStatus::Optimal);
+        r.objective
+    }
+
+    #[test]
+    fn every_transform_preserves_the_mapped_back_optimum() {
+        for m in [figure1_knapsack(), textbook_mip()] {
+            let base = optimum(&m);
+            for t in transforms(&m, 99) {
+                t.instance
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: invalid instance: {e}", t.name));
+                let got = optimum(&t.instance);
+                let back = t.map_back(got);
+                assert!(
+                    (back - base).abs() < 1e-6,
+                    "{}: mapped-back {} vs original {}",
+                    t.name,
+                    back,
+                    base
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_also_agree_with_the_exact_oracle() {
+        let m = figure1_knapsack();
+        let base = crate::solve_oracle(&m).unwrap().objective.unwrap().approx();
+        for t in transforms(&m, 7) {
+            let r = crate::solve_oracle(&t.instance).unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            let back = t.map_back(r.objective.unwrap().approx());
+            assert!(
+                (back - base).abs() < 1e-9,
+                "{}: oracle mapped-back {} vs {}",
+                t.name,
+                back,
+                base
+            );
+        }
+    }
+
+    #[test]
+    fn complementation_flips_exactly_one_binary() {
+        let m = figure1_knapsack();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = complement_binary(&m, &mut rng);
+        assert_eq!(t.instance.num_vars(), m.num_vars());
+        let flipped: Vec<_> = m
+            .vars
+            .iter()
+            .zip(&t.instance.vars)
+            .filter(|(a, b)| a.obj != b.obj)
+            .collect();
+        assert_eq!(flipped.len(), 1);
+        assert_eq!(flipped[0].0.obj, -flipped[0].1.obj);
+    }
+
+    #[test]
+    fn shift_adds_fixed_variable() {
+        let m = textbook_mip();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let t = objective_shift(&m, &mut rng);
+        let v = t.instance.vars.last().unwrap();
+        assert_eq!((v.lb, v.ub), (1.0, 1.0));
+        assert_eq!(t.offset, v.obj);
+    }
+}

@@ -1,0 +1,209 @@
+//! The exact MIP oracle: branch-and-bound over the exact rational simplex.
+//!
+//! Every node LP is solved with zero rounding, branching bounds are exact
+//! integers (`floor`/`ceil` of exact rationals), and incumbent pruning
+//! compares exact objectives — so the returned optimum is the *true*
+//! optimum of the instance, independent of every float code path in the
+//! repo. Instances are oracle-sized (tens of variables); the full-tableau
+//! exact simplex is deliberately simple rather than fast.
+
+use crate::rat::Rat;
+use crate::simplex::{solve_exact, ExactBound, ExactLp, ExactStatus};
+use gmip_problems::{MipInstance, Objective};
+
+/// Terminal status of an exact MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleStatus {
+    /// Exact optimum found (and proven).
+    Optimal,
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// The LP relaxation (and hence the MIP, if feasible) is unbounded.
+    Unbounded,
+}
+
+/// The oracle's verdict on an instance.
+#[derive(Debug, Clone)]
+pub struct OracleResult {
+    /// Terminal status.
+    pub status: OracleStatus,
+    /// Exact optimum in the source sense (None unless optimal).
+    pub objective: Option<Rat>,
+    /// An exact optimal point (structural variables).
+    pub x: Vec<Rat>,
+    /// Branch-and-bound nodes evaluated.
+    pub nodes: usize,
+}
+
+/// Node budget backstop; oracle instances are small, so hitting this means
+/// the caller fed something far outside the intended fuzz envelope.
+const NODE_LIMIT: usize = 200_000;
+
+/// Solves `m` exactly by rational branch-and-bound.
+pub fn solve_oracle(m: &MipInstance) -> Result<OracleResult, String> {
+    let integral = m.integral_indices();
+    let maximize = m.objective == Objective::Maximize;
+    // Internal sense is maximize: exact objectives are compared negated for
+    // minimize sources (mirroring the float stack's `negated` lowering).
+    let internal = |source: &Rat| -> Rat {
+        if maximize {
+            source.clone()
+        } else {
+            -source.clone()
+        }
+    };
+
+    let mut stack: Vec<Vec<ExactBound<Rat>>> = vec![Vec::new()];
+    let mut best: Option<(Rat, Vec<Rat>)> = None; // (internal objective, x)
+    let mut nodes = 0usize;
+
+    while let Some(bounds) = stack.pop() {
+        nodes += 1;
+        if nodes > NODE_LIMIT {
+            return Err("oracle node budget exhausted".into());
+        }
+        let lp = ExactLp::<Rat>::from_instance(m, &bounds)?;
+        let sol = solve_exact(&lp)?;
+        match sol.status {
+            ExactStatus::Infeasible => continue,
+            ExactStatus::Unbounded => {
+                // Root-level unboundedness is a terminal verdict; deeper
+                // nodes cannot be unbounded if the root was bounded.
+                if bounds.is_empty() {
+                    return Ok(OracleResult {
+                        status: OracleStatus::Unbounded,
+                        objective: None,
+                        x: Vec::new(),
+                        nodes,
+                    });
+                }
+                return Err("unbounded child of bounded root (oracle bug)".into());
+            }
+            ExactStatus::Optimal => {}
+        }
+        let obj_internal = internal(&sol.objective.clone().unwrap());
+        // Exact bound pruning: the node bound must beat the incumbent.
+        if let Some((inc, _)) = &best {
+            if obj_internal <= *inc {
+                continue;
+            }
+        }
+        // Exact fractionality test on the integral block.
+        let frac = integral.iter().copied().find(|&j| !sol.x[j].is_integer());
+        match frac {
+            None => {
+                best = Some((obj_internal, sol.x));
+            }
+            Some(j) => {
+                let cur_lb = lp.lb[j].clone();
+                let cur_ub = lp.ub[j].clone();
+                let floor = sol.x[j].floor();
+                let ceil = sol.x[j].ceil();
+                let mut down = bounds.clone();
+                down.retain(|bc| bc.var != j);
+                down.push(ExactBound {
+                    var: j,
+                    lb: cur_lb.clone(),
+                    ub: Some(floor),
+                });
+                let mut up = bounds.clone();
+                up.retain(|bc| bc.var != j);
+                up.push(ExactBound {
+                    var: j,
+                    lb: Some(ceil),
+                    ub: cur_ub.clone(),
+                });
+                stack.push(down);
+                stack.push(up);
+            }
+        }
+    }
+
+    Ok(match best {
+        Some((inc, x)) => OracleResult {
+            status: OracleStatus::Optimal,
+            objective: Some(if maximize { inc } else { -inc }),
+            x,
+            nodes,
+        },
+        None => OracleResult {
+            status: OracleStatus::Infeasible,
+            objective: None,
+            x: Vec::new(),
+            nodes,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmip_problems::catalog::{
+        figure1_knapsack, infeasible_instance, textbook_mip, unbounded_instance,
+    };
+
+    #[test]
+    fn figure1_knapsack_exact_optimum_is_14() {
+        let r = solve_oracle(&figure1_knapsack()).unwrap();
+        assert_eq!(r.status, OracleStatus::Optimal);
+        assert_eq!(r.objective.unwrap(), Rat::int(14));
+    }
+
+    #[test]
+    fn textbook_mip_exact_optimum_is_20() {
+        let r = solve_oracle(&textbook_mip()).unwrap();
+        assert_eq!(r.status, OracleStatus::Optimal);
+        assert_eq!(r.objective.unwrap(), Rat::int(20));
+    }
+
+    #[test]
+    fn degenerate_statuses() {
+        assert_eq!(
+            solve_oracle(&infeasible_instance()).unwrap().status,
+            OracleStatus::Infeasible
+        );
+        assert_eq!(
+            solve_oracle(&unbounded_instance()).unwrap().status,
+            OracleStatus::Unbounded
+        );
+    }
+
+    #[test]
+    fn agrees_with_float_solver_on_catalog_suite() {
+        use gmip_core::{MipConfig, MipSolver, MipStatus};
+        use gmip_problems::catalog::small_suite;
+        for entry in small_suite() {
+            let exact =
+                solve_oracle(&entry.instance).unwrap_or_else(|e| panic!("{}: {e}", entry.id));
+            let mut s = MipSolver::host_baseline(entry.instance.clone(), MipConfig::default());
+            let float = s.solve().unwrap_or_else(|e| panic!("{}: {e}", entry.id));
+            assert_eq!(exact.status, OracleStatus::Optimal, "{}", entry.id);
+            assert_eq!(float.status, MipStatus::Optimal, "{}", entry.id);
+            assert!(
+                (exact.objective.clone().unwrap().approx() - float.objective).abs() < 1e-5,
+                "{}: oracle {} vs float {}",
+                entry.id,
+                exact.objective.unwrap(),
+                float.objective
+            );
+            // The oracle's point is exactly integer feasible.
+            let xf: Vec<f64> = exact.x.iter().map(|v| v.approx()).collect();
+            assert!(
+                entry.instance.is_integer_feasible(&xf, 1e-9),
+                "{}",
+                entry.id
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_point_objective_matches_reported_optimum() {
+        let m = figure1_knapsack();
+        let r = solve_oracle(&m).unwrap();
+        let mut obj = Rat::int(0);
+        for (v, x) in m.vars.iter().zip(&r.x) {
+            obj = obj + Rat::from_f64_exact(v.obj).unwrap() * x.clone();
+        }
+        assert_eq!(obj, r.objective.unwrap());
+    }
+}

@@ -1,0 +1,130 @@
+//! Minimal-counterexample shrinking for fuzz mismatches.
+//!
+//! Greedy delta-debugging over the instance structure: repeatedly try
+//! dropping one constraint or one variable, keeping any candidate on which
+//! the failure predicate still fires, until no single removal preserves
+//! the failure. The result is written as a standalone `.mps` repro so the
+//! bug can be replayed with `gmip-verify --oracle <file>` (or any MPS
+//! consumer) without re-running the fuzzer.
+
+use gmip_problems::{mps, Constraint, MipInstance};
+use std::path::{Path, PathBuf};
+
+/// Removes variable `j`, dropping its coefficients everywhere. Returns
+/// `None` when the candidate would be degenerate (no variables) or invalid.
+fn remove_var(m: &MipInstance, j: usize) -> Option<MipInstance> {
+    if m.num_vars() <= 1 {
+        return None;
+    }
+    let mut t = MipInstance::new(m.name.clone(), m.objective);
+    for (k, v) in m.vars.iter().enumerate() {
+        if k != j {
+            t.add_var(v.clone());
+        }
+    }
+    for c in &m.cons {
+        let coeffs: Vec<(usize, f64)> = c
+            .coeffs
+            .iter()
+            .filter(|&&(k, _)| k != j)
+            .map(|&(k, v)| (if k > j { k - 1 } else { k }, v))
+            .collect();
+        if coeffs.is_empty() {
+            // A row with no remaining support constrains nothing the
+            // candidate can express; drop it.
+            continue;
+        }
+        t.add_con(Constraint::new(c.name.clone(), coeffs, c.sense, c.rhs));
+    }
+    t.validate().ok()?;
+    Some(t)
+}
+
+/// Removes constraint `i`.
+fn remove_con(m: &MipInstance, i: usize) -> Option<MipInstance> {
+    let mut t = m.clone();
+    t.cons.remove(i);
+    t.validate().ok()?;
+    Some(t)
+}
+
+/// Greedily shrinks `instance` while `still_fails` keeps returning `true`.
+/// The predicate is only trusted on valid instances; every candidate is
+/// re-validated before probing. Terminates at a 1-variable floor.
+pub fn shrink_instance(
+    instance: &MipInstance,
+    still_fails: &dyn Fn(&MipInstance) -> bool,
+) -> MipInstance {
+    let mut cur = instance.clone();
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cur.num_cons() {
+            match remove_con(&cur, i) {
+                Some(cand) if still_fails(&cand) => {
+                    cur = cand;
+                    progressed = true;
+                }
+                _ => i += 1,
+            }
+        }
+        let mut j = 0;
+        while j < cur.num_vars() {
+            match remove_var(&cur, j) {
+                Some(cand) if still_fails(&cand) => {
+                    cur = cand;
+                    progressed = true;
+                }
+                _ => j += 1,
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// Writes `instance` as an `.mps` repro file under `dir`; returns the path.
+pub fn write_repro(dir: &Path, stem: &str, instance: &MipInstance) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{stem}.mps"));
+    std::fs::write(&path, mps::write_mps(instance))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmip_problems::catalog::figure1_knapsack;
+    use gmip_problems::generators::knapsack;
+
+    #[test]
+    fn shrinks_to_single_variable_under_always_failing_predicate() {
+        let m = knapsack(10, 0.5, 3);
+        let shrunk = shrink_instance(&m, &|_| true);
+        assert_eq!(shrunk.num_vars(), 1);
+        assert!(shrunk.validate().is_ok());
+    }
+
+    #[test]
+    fn preserves_structure_the_predicate_depends_on() {
+        // Predicate: "still has at least 3 variables and a constraint" —
+        // the shrinker must stop exactly at that boundary.
+        let m = knapsack(10, 0.5, 3);
+        let shrunk = shrink_instance(&m, &|c| c.num_vars() >= 3 && c.num_cons() >= 1);
+        assert_eq!(shrunk.num_vars(), 3);
+        assert_eq!(shrunk.num_cons(), 1);
+    }
+
+    #[test]
+    fn repro_roundtrips_through_mps() {
+        let dir = std::env::temp_dir().join("gmip-verify-shrink-test");
+        let m = figure1_knapsack();
+        let path = write_repro(&dir, "fig1", &m).expect("write repro");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let back = mps::read_mps(&text).expect("parse repro");
+        assert_eq!(back.num_vars(), m.num_vars());
+        assert_eq!(back.num_cons(), m.num_cons());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,601 @@
+//! An exact bounded-variable simplex with Bland's rule.
+//!
+//! Generic over [`gmip_linalg::Scalar`]; instantiated with [`crate::Rat`]
+//! it solves the same lowered problems as the float engines with **zero
+//! rounding**, which makes it the independent correctness oracle the
+//! differential fuzzer compares every strategy against. Bland's least-index
+//! rule guarantees termination without any numerical tolerance, and the
+//! full-tableau update — wasteful for production, fine for oracle-sized
+//! instances — keeps every entry an explicit exact value.
+
+use gmip_linalg::Scalar;
+use gmip_problems::{MipInstance, Objective, Sense};
+
+/// A bound: `None` encodes the corresponding infinity.
+pub type Bound<S> = Option<S>;
+
+/// Exact bound override for one structural variable (a branch decision).
+#[derive(Debug, Clone)]
+pub struct ExactBound<S> {
+    /// Structural column index.
+    pub var: usize,
+    /// New lower bound.
+    pub lb: Bound<S>,
+    /// New upper bound.
+    pub ub: Bound<S>,
+}
+
+/// A problem in equality standard form: maximize `cᵀx`, `Ax = b`,
+/// `l ≤ x ≤ u` — the exact mirror of `gmip_lp::StandardLp`'s lowering
+/// (slack per inequality row, `negated` flag for minimize sources).
+#[derive(Debug, Clone)]
+pub struct ExactLp<S> {
+    /// Dense row-major constraint matrix (structural + slack columns).
+    pub a: Vec<Vec<S>>,
+    /// Right-hand side.
+    pub b: Vec<S>,
+    /// Objective (internal maximize sense).
+    pub c: Vec<S>,
+    /// Lower bounds (`None` = −∞).
+    pub lb: Vec<Bound<S>>,
+    /// Upper bounds (`None` = +∞).
+    pub ub: Vec<Bound<S>>,
+    /// Leading columns that are instance variables (the rest are slacks).
+    pub n_structural: usize,
+    /// True when the source minimized (objective was negated).
+    pub negated: bool,
+}
+
+/// Terminal status of an exact solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactStatus {
+    /// Optimal basic solution found.
+    Optimal,
+    /// The constraint system admits no point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// The result of an exact solve.
+#[derive(Debug, Clone)]
+pub struct ExactSolution<S> {
+    /// Terminal status.
+    pub status: ExactStatus,
+    /// Exact objective in the **source** sense (None unless optimal).
+    pub objective: Option<S>,
+    /// Structural variable values (empty unless optimal).
+    pub x: Vec<S>,
+    /// Simplex pivots + bound flips spent across both phases.
+    pub iterations: usize,
+}
+
+impl<S: Scalar> ExactLp<S> {
+    /// Lowers an instance exactly, mirroring `StandardLp::from_instance`:
+    /// `Le` rows gain a `+1` slack, `Ge` rows a `-1` slack, `Eq` rows
+    /// none; minimize objectives are negated with `negated = true`.
+    pub fn from_instance(m: &MipInstance, changes: &[ExactBound<S>]) -> Result<Self, String> {
+        let conv = |v: f64| -> Result<S, String> {
+            S::from_f64(v).ok_or_else(|| format!("non-finite coefficient {v}"))
+        };
+        let n0 = m.num_vars();
+        let n_slacks = m.cons.iter().filter(|c| c.sense != Sense::Eq).count();
+        let n = n0 + n_slacks;
+        let negated = m.objective == Objective::Minimize;
+        let mut c = Vec::with_capacity(n);
+        for v in &m.vars {
+            let cv = conv(v.obj)?;
+            c.push(if negated { -cv } else { cv });
+        }
+        c.resize(n, S::zero());
+        let mut lb: Vec<Bound<S>> = Vec::with_capacity(n);
+        let mut ub: Vec<Bound<S>> = Vec::with_capacity(n);
+        for v in &m.vars {
+            lb.push(if v.lb.is_finite() {
+                Some(conv(v.lb)?)
+            } else {
+                None
+            });
+            ub.push(if v.ub.is_finite() {
+                Some(conv(v.ub)?)
+            } else {
+                None
+            });
+        }
+        let mut a = vec![vec![S::zero(); n]; m.num_cons()];
+        let mut b = Vec::with_capacity(m.num_cons());
+        let mut slack = n0;
+        for (i, con) in m.cons.iter().enumerate() {
+            for &(j, v) in &con.coeffs {
+                a[i][j] = conv(v)?;
+            }
+            b.push(conv(con.rhs)?);
+            match con.sense {
+                Sense::Le => {
+                    a[i][slack] = S::one();
+                    lb.push(Some(S::zero()));
+                    ub.push(None);
+                    slack += 1;
+                }
+                Sense::Ge => {
+                    a[i][slack] = -S::one();
+                    lb.push(Some(S::zero()));
+                    ub.push(None);
+                    slack += 1;
+                }
+                Sense::Eq => {}
+            }
+        }
+        let mut lp = ExactLp {
+            a,
+            b,
+            c,
+            lb,
+            ub,
+            n_structural: n0,
+            negated,
+        };
+        for bc in changes {
+            if bc.var >= n0 {
+                return Err(format!("bound change on non-structural column {}", bc.var));
+            }
+            lp.lb[bc.var] = bc.lb.clone();
+            lp.ub[bc.var] = bc.ub.clone();
+        }
+        Ok(lp)
+    }
+
+    /// Exact objective of a structural point, in the source sense.
+    pub fn source_objective(&self, x: &[S]) -> S {
+        let mut obj = S::zero();
+        for j in 0..self.n_structural {
+            obj = obj + self.c[j].clone() * x[j].clone();
+        }
+        if self.negated {
+            -obj
+        } else {
+            obj
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stat {
+    Basic,
+    Lower,
+    Upper,
+}
+
+/// The exact simplex state: full tableau `B⁻¹A` plus `B⁻¹b`.
+struct Tableau<S> {
+    tab: Vec<Vec<S>>,
+    rhs: Vec<S>,
+    basis: Vec<usize>,
+    status: Vec<Stat>,
+    lb: Vec<Bound<S>>,
+    ub: Vec<Bound<S>>,
+}
+
+impl<S: Scalar> Tableau<S> {
+    fn ncols(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Value of nonbasic column `j` (its active bound).
+    fn nb_value(&self, j: usize) -> S {
+        match self.status[j] {
+            Stat::Lower => self.lb[j].clone().expect("Lower status needs finite lb"),
+            Stat::Upper => self.ub[j].clone().expect("Upper status needs finite ub"),
+            Stat::Basic => unreachable!("nb_value of basic column"),
+        }
+    }
+
+    /// Current basic values `x_B = B⁻¹b − Σ_nb (B⁻¹a_j)·x_j`.
+    fn basic_values(&self) -> Vec<S> {
+        let mut x = self.rhs.clone();
+        for j in 0..self.ncols() {
+            if self.status[j] == Stat::Basic {
+                continue;
+            }
+            let xj = self.nb_value(j);
+            if xj.is_zero_exact() {
+                continue;
+            }
+            for i in 0..self.tab.len() {
+                if !self.tab[i][j].is_zero_exact() {
+                    x[i] = x[i].clone() - self.tab[i][j].clone() * xj.clone();
+                }
+            }
+        }
+        x
+    }
+
+    /// Full point in column order.
+    fn point(&self) -> Vec<S> {
+        let xb = self.basic_values();
+        (0..self.ncols())
+            .map(|j| match self.status[j] {
+                Stat::Basic => {
+                    let r = self.basis.iter().position(|&bj| bj == j).unwrap();
+                    xb[r].clone()
+                }
+                _ => self.nb_value(j),
+            })
+            .collect()
+    }
+
+    fn pivot(&mut self, r: usize, q: usize) {
+        let p = self.tab[r][q].clone();
+        debug_assert!(!p.is_zero_exact());
+        for v in self.tab[r].iter_mut() {
+            *v = v.clone() / p.clone();
+        }
+        self.rhs[r] = self.rhs[r].clone() / p;
+        for i in 0..self.tab.len() {
+            if i == r {
+                continue;
+            }
+            let f = self.tab[i][q].clone();
+            if f.is_zero_exact() {
+                continue;
+            }
+            for j in 0..self.ncols() {
+                let delta = f.clone() * self.tab[r][j].clone();
+                self.tab[i][j] = self.tab[i][j].clone() - delta;
+            }
+            self.rhs[i] = self.rhs[i].clone() - f * self.rhs[r].clone();
+        }
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+/// Backstop only — Bland's rule cannot cycle, so hitting this means a bug.
+const MAX_ITERS: usize = 200_000;
+
+/// One primal simplex phase under Bland's rule (maximize `c`).
+/// `frozen` marks columns excluded from entering (fixed artificials).
+fn primal_bland<S: Scalar>(
+    t: &mut Tableau<S>,
+    c: &[S],
+    iters: &mut usize,
+) -> Result<PhaseOutcome, String> {
+    loop {
+        if *iters > MAX_ITERS {
+            return Err("exact simplex iteration backstop hit (bug: Bland cycled?)".into());
+        }
+        // Reduced costs d_j = c_j − c_Bᵀ (B⁻¹a_j); Bland: least eligible j.
+        let cb: Vec<S> = t.basis.iter().map(|&j| c[j].clone()).collect();
+        let mut entering: Option<(usize, bool)> = None; // (col, increasing)
+        for j in 0..t.ncols() {
+            if t.status[j] == Stat::Basic {
+                continue;
+            }
+            // Fixed columns (l == u) can never improve; skip them.
+            if let (Some(l), Some(u)) = (&t.lb[j], &t.ub[j]) {
+                if l == u {
+                    continue;
+                }
+            }
+            let mut d = c[j].clone();
+            for i in 0..t.tab.len() {
+                if !cb[i].is_zero_exact() && !t.tab[i][j].is_zero_exact() {
+                    d = d - cb[i].clone() * t.tab[i][j].clone();
+                }
+            }
+            let up = t.status[j] == Stat::Lower;
+            let eligible = if up { d > S::zero() } else { d < S::zero() };
+            if eligible {
+                entering = Some((j, up));
+                break;
+            }
+        }
+        let Some((q, increasing)) = entering else {
+            return Ok(PhaseOutcome::Optimal);
+        };
+        *iters += 1;
+
+        let xb = t.basic_values();
+        let sigma = if increasing { S::one() } else { -S::one() };
+        // Bound-flip limit for the entering variable itself.
+        let flip: Option<S> = match (&t.lb[q], &t.ub[q]) {
+            (Some(l), Some(u)) => Some(u.clone() - l.clone()),
+            _ => None,
+        };
+        // Row ratio test: smallest step at which a basic variable hits a
+        // bound; ties broken by least basic column index (Bland).
+        let mut best: Option<(S, usize)> = None; // (t, row)
+        for i in 0..t.tab.len() {
+            let delta = sigma.clone() * t.tab[i][q].clone();
+            if delta.is_zero_exact() {
+                continue;
+            }
+            let limit = if delta > S::zero() {
+                // x_B[i] decreases toward its lower bound.
+                t.lb[t.basis[i]]
+                    .as_ref()
+                    .map(|l| (xb[i].clone() - l.clone()) / delta.clone())
+            } else {
+                // x_B[i] increases toward its upper bound.
+                t.ub[t.basis[i]]
+                    .as_ref()
+                    .map(|u| (u.clone() - xb[i].clone()) / -delta.clone())
+            };
+            let Some(mut ratio) = limit else { continue };
+            if ratio < S::zero() {
+                ratio = S::zero(); // degenerate guard
+            }
+            let replace = match &best {
+                None => true,
+                Some((bt, bi)) => ratio < *bt || (ratio == *bt && t.basis[i] < t.basis[*bi]),
+            };
+            if replace {
+                best = Some((ratio, i));
+            }
+        }
+
+        let use_flip = match (&best, &flip) {
+            (_, None) => false,
+            (None, Some(_)) => true,
+            (Some((t, _)), Some(span)) => span <= t,
+        };
+        if use_flip {
+            // Entering variable runs to its opposite bound: pure flip.
+            t.status[q] = if increasing { Stat::Upper } else { Stat::Lower };
+        } else if let Some((_, r)) = best {
+            let delta_r = sigma.clone() * t.tab[r][q].clone();
+            let leaving = t.basis[r];
+            t.status[leaving] = if delta_r > S::zero() {
+                Stat::Lower
+            } else {
+                Stat::Upper
+            };
+            t.status[q] = Stat::Basic;
+            t.pivot(r, q);
+            t.basis[r] = q;
+        } else {
+            return Ok(PhaseOutcome::Unbounded);
+        }
+    }
+}
+
+/// Solves an [`ExactLp`] by the two-phase exact simplex.
+pub fn solve_exact<S: Scalar>(lp: &ExactLp<S>) -> Result<ExactSolution<S>, String> {
+    let m = lp.b.len();
+    let n = lp.c.len();
+
+    // Initial nonbasic point: every column at a finite bound.
+    let mut status = Vec::with_capacity(n + m);
+    for j in 0..n {
+        match (&lp.lb[j], &lp.ub[j]) {
+            (Some(_), _) => status.push(Stat::Lower),
+            (None, Some(_)) => status.push(Stat::Upper),
+            (None, None) => return Err(format!("free column {j} unsupported")),
+        }
+    }
+
+    // Residual decides per-row sign flips so artificial values start ≥ 0.
+    let mut tab: Vec<Vec<S>> = lp.a.iter().map(|row| row.to_vec()).collect();
+    let mut rhs = lp.b.clone();
+    let mut resid = rhs.clone();
+    for j in 0..n {
+        let xj = match status[j] {
+            Stat::Lower => lp.lb[j].clone().unwrap(),
+            Stat::Upper => lp.ub[j].clone().unwrap(),
+            Stat::Basic => unreachable!(),
+        };
+        if xj.is_zero_exact() {
+            continue;
+        }
+        for i in 0..m {
+            if !tab[i][j].is_zero_exact() {
+                resid[i] = resid[i].clone() - tab[i][j].clone() * xj.clone();
+            }
+        }
+    }
+    for i in 0..m {
+        if resid[i] < S::zero() {
+            for v in tab[i].iter_mut() {
+                *v = -v.clone();
+            }
+            rhs[i] = -rhs[i].clone();
+        }
+    }
+    // Artificial identity block; artificials start basic.
+    let mut lb = lp.lb.clone();
+    let mut ub = lp.ub.clone();
+    let mut basis = Vec::with_capacity(m);
+    for i in 0..m {
+        for (k, row) in tab.iter_mut().enumerate() {
+            row.push(if k == i { S::one() } else { S::zero() });
+        }
+        lb.push(Some(S::zero()));
+        ub.push(None);
+        status.push(Stat::Basic);
+        basis.push(n + i);
+    }
+    let mut t = Tableau {
+        tab,
+        rhs,
+        basis,
+        status,
+        lb,
+        ub,
+    };
+
+    // Phase 1: maximize −Σ artificials.
+    let mut c1 = vec![S::zero(); n + m];
+    for j in n..n + m {
+        c1[j] = -S::one();
+    }
+    let mut iterations = 0usize;
+    match primal_bland(&mut t, &c1, &mut iterations)? {
+        PhaseOutcome::Unbounded => return Err("phase 1 unbounded (internal error)".into()),
+        PhaseOutcome::Optimal => {}
+    }
+    let point = t.point();
+    let mut infeas = S::zero();
+    for j in n..n + m {
+        infeas = infeas + point[j].clone();
+    }
+    if !infeas.is_zero_exact() {
+        return Ok(ExactSolution {
+            status: ExactStatus::Infeasible,
+            objective: None,
+            x: Vec::new(),
+            iterations,
+        });
+    }
+
+    // Fix artificials to zero; pivot basic ones out where a nonzero
+    // non-artificial tableau entry exists (degenerate t = 0 pivots).
+    for j in n..n + m {
+        t.ub[j] = Some(S::zero());
+    }
+    for r in 0..m {
+        if t.basis[r] < n {
+            continue;
+        }
+        if let Some(q) =
+            (0..n).find(|&j| t.status[j] != Stat::Basic && !t.tab[r][j].is_zero_exact())
+        {
+            let leaving = t.basis[r];
+            t.status[leaving] = Stat::Lower;
+            t.status[q] = Stat::Basic;
+            t.pivot(r, q);
+            t.basis[r] = q;
+        }
+        // else: redundant row — the artificial stays basic, pinned at 0 by
+        // its [0,0] bounds in every later ratio test.
+    }
+
+    // Phase 2: the real objective.
+    let mut c2 = lp.c.clone();
+    c2.resize(n + m, S::zero());
+    match primal_bland(&mut t, &c2, &mut iterations)? {
+        PhaseOutcome::Unbounded => Ok(ExactSolution {
+            status: ExactStatus::Unbounded,
+            objective: None,
+            x: Vec::new(),
+            iterations,
+        }),
+        PhaseOutcome::Optimal => {
+            let point = t.point();
+            let x: Vec<S> = point[..lp.n_structural].to_vec();
+            let mut obj = S::zero();
+            for j in 0..n {
+                if !lp.c[j].is_zero_exact() {
+                    obj = obj + lp.c[j].clone() * point[j].clone();
+                }
+            }
+            Ok(ExactSolution {
+                status: ExactStatus::Optimal,
+                objective: Some(if lp.negated { -obj } else { obj }),
+                x,
+                iterations,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat::Rat;
+    use gmip_problems::catalog::{
+        figure1_knapsack, infeasible_instance, textbook_lp, unbounded_instance,
+    };
+
+    fn solve_rat(m: &MipInstance) -> ExactSolution<Rat> {
+        let lp = ExactLp::<Rat>::from_instance(m, &[]).unwrap();
+        solve_exact(&lp).unwrap()
+    }
+
+    #[test]
+    fn textbook_lp_exact_optimum_is_21() {
+        let s = solve_rat(&textbook_lp());
+        assert_eq!(s.status, ExactStatus::Optimal);
+        assert_eq!(s.objective.unwrap(), Rat::int(21));
+        assert_eq!(s.x[0], Rat::int(3));
+        assert_eq!(s.x[1], Rat::new(3, 2));
+    }
+
+    #[test]
+    fn infeasible_and_unbounded_detected_exactly() {
+        assert_eq!(
+            solve_rat(&infeasible_instance()).status,
+            ExactStatus::Infeasible
+        );
+        assert_eq!(
+            solve_rat(&unbounded_instance()).status,
+            ExactStatus::Unbounded
+        );
+    }
+
+    #[test]
+    fn matches_float_relaxation_across_catalog() {
+        use gmip_problems::catalog::small_suite;
+        for entry in small_suite() {
+            let exact = solve_rat(&entry.instance);
+            let float = gmip_lp::solver::solve_relaxation_host(&entry.instance, &[])
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.id));
+            assert_eq!(exact.status, ExactStatus::Optimal, "{}", entry.id);
+            assert_eq!(float.status, gmip_lp::LpStatus::Optimal, "{}", entry.id);
+            let diff = (exact.objective.unwrap().approx() - float.objective).abs();
+            assert!(
+                diff < 1e-6,
+                "{}: exact {} vs float {}",
+                entry.id,
+                diff,
+                float.objective
+            );
+        }
+    }
+
+    #[test]
+    fn branch_bounds_are_exact() {
+        // Figure-1 knapsack root relaxation is fractional; branching on the
+        // fractional variable with exact integer bounds must reproduce the
+        // float solver's child bounds.
+        let m = figure1_knapsack();
+        let root = solve_rat(&m);
+        assert_eq!(root.status, ExactStatus::Optimal);
+        let frac = root
+            .x
+            .iter()
+            .position(|v| !v.is_integer())
+            .expect("root must be fractional");
+        let down = ExactBound {
+            var: frac,
+            lb: Some(Rat::int(0)),
+            ub: Some(root.x[frac].floor()),
+        };
+        let lp = ExactLp::<Rat>::from_instance(&m, &[down]).unwrap();
+        let child = solve_exact(&lp).unwrap();
+        assert_eq!(child.status, ExactStatus::Optimal);
+        assert!(child.objective.unwrap() <= root.objective.unwrap());
+    }
+
+    #[test]
+    fn float_instantiation_of_the_same_generic_solver() {
+        // The Scalar abstraction really is generic: f64 runs the identical
+        // Bland tableau code (inexactly) and agrees on the textbook LP.
+        let lp = ExactLp::<f64>::from_instance(&textbook_lp(), &[]).unwrap();
+        let s = solve_exact(&lp).unwrap();
+        assert_eq!(s.status, ExactStatus::Optimal);
+        assert!((s.objective.unwrap() - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimize_source_objective_sign() {
+        use gmip_problems::generators::set_cover;
+        let m = set_cover(6, 5, 0.5, 3);
+        let s = solve_rat(&m);
+        assert_eq!(s.status, ExactStatus::Optimal);
+        // Covers minimize positive costs: source objective must be > 0.
+        assert!(s.objective.unwrap().is_positive());
+    }
+}

@@ -4,7 +4,8 @@
 
 use gmip::core::{MipConfig, MipSolver, MipStatus};
 use gmip::gpu::Accel;
-use gmip::problems::mps::read_mps;
+use gmip::problems::mps::{read_mps, write_mps};
+use proptest::prelude::*;
 
 fn load(name: &str) -> gmip::problems::MipInstance {
     let path = format!("{}/assets/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -52,4 +53,155 @@ fn bundled_knapsack_known_optimum() {
         r.objective,
         expected
     );
+}
+
+fn roundtrip_identity(m: &gmip::problems::MipInstance) {
+    let text = write_mps(m);
+    let back =
+        read_mps(&text).unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", m.name));
+    assert_eq!(*m, back, "{}: write->parse is not the identity", m.name);
+}
+
+#[test]
+fn writer_parser_roundtrip_is_identity_on_catalog() {
+    use gmip::problems::catalog::{figure1_knapsack, textbook_lp, textbook_mip};
+    use gmip::problems::generators::{
+        bin_packing, facility_location, fixed_charge_flow, generalized_assignment, knapsack,
+        random_mip, set_cover, unit_commitment, RandomMipConfig,
+    };
+    let mut catalog = vec![
+        figure1_knapsack(),
+        textbook_lp(),
+        textbook_mip(),
+        knapsack(15, 0.5, 1),
+        set_cover(8, 6, 0.4, 2),
+        bin_packing(6, 1.0, 3),
+        unit_commitment(3, 3, 4),
+        generalized_assignment(3, 4, 5),
+        facility_location(5, 3, 2.5, 6),
+        fixed_charge_flow(5, 3, 4.0, 7),
+    ];
+    for seed in 0..4u64 {
+        catalog.push(random_mip(&RandomMipConfig {
+            rows: 6,
+            cols: 9,
+            seed,
+            ..Default::default()
+        }));
+    }
+    for m in &catalog {
+        roundtrip_identity(m);
+    }
+}
+
+#[test]
+fn exotic_names_roundtrip_identity() {
+    // Free-format MPS delimits fields by whitespace only, so any
+    // non-whitespace bytes are legal names — including names longer than
+    // the writer's 10-column padding, which must still be separated from
+    // the following field.
+    use gmip::problems::{Constraint, MipInstance, Objective, Sense, Variable};
+    let mut m = MipInstance::new("exotic#names@µ", Objective::Maximize);
+    m.add_var(Variable::binary("x#1@µ", 3.0));
+    m.add_var(Variable::continuous("a[0].b", 0.0, 2.5, 1.0));
+    m.add_var(Variable::integer(
+        "a_very_long_variable_name_over_ten_columns",
+        0.0,
+        7.0,
+        2.0,
+    ));
+    m.add_con(Constraint::new(
+        "row/with:long_name_exceeding_padding",
+        vec![(0, 1.0), (1, 0.5), (2, 1.25)],
+        Sense::Le,
+        4.0,
+    ));
+    m.add_con(Constraint::new(
+        "c=2",
+        vec![(0, 2.0), (2, 1.0)],
+        Sense::Ge,
+        1.0,
+    ));
+    roundtrip_identity(&m);
+}
+
+#[test]
+fn free_row_objective_name_is_accepted() {
+    // The objective row may carry any name; the parser keys on the N
+    // sense, not on the literal "OBJ".
+    let text = "\
+NAME          freerow
+ROWS
+ N  COST
+ L  CAP
+COLUMNS
+    X1        COST      3.0   CAP       1.0
+    X2        COST      5.0   CAP       2.0
+RHS
+    RHS       CAP       2.0
+BOUNDS
+ UP BND       X1        1.0
+ UP BND       X2        1.0
+ENDATA
+";
+    let m = read_mps(text).expect("free-row objective must parse");
+    assert_eq!(m.num_vars(), 2);
+    assert_eq!(m.num_cons(), 1);
+    assert_eq!(m.vars[0].obj, 3.0);
+    assert_eq!(m.vars[1].obj, 5.0);
+    assert_eq!(m.cons[0].rhs, 2.0);
+}
+
+#[test]
+fn marker_lines_require_quoted_marker_keyword() {
+    // A column literally named MARKER must not be mistaken for an
+    // integrality marker, and a marker without INTORG/INTEND is an error.
+    let ok = "\
+NAME t
+ROWS
+ N  OBJ
+ L  R1
+COLUMNS
+    MARKER    OBJ       1.0   R1        1.0
+RHS
+    RHS       R1        1.0
+ENDATA
+";
+    let m = read_mps(ok).expect("column named MARKER must parse as data");
+    assert_eq!(m.num_vars(), 1);
+    assert_eq!(m.vars[0].name, "MARKER");
+
+    let bad = "\
+NAME t
+ROWS
+ N  OBJ
+COLUMNS
+    M1        'MARKER'  'WHATEVER'
+ENDATA
+";
+    assert!(
+        read_mps(bad).is_err(),
+        "MARKER without INTORG/INTEND must be rejected"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_mip_roundtrips_identically(
+        rows in 1usize..8,
+        cols in 2usize..10,
+        density in 0.2f64..1.0,
+        integral_fraction in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        use gmip::problems::generators::{random_mip, RandomMipConfig};
+        let m = random_mip(&RandomMipConfig { rows, cols, density, integral_fraction, seed });
+        let back = read_mps(&write_mps(&m)).expect("reparse");
+        prop_assert_eq!(m, back);
+    }
 }

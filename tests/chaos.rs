@@ -177,6 +177,47 @@ fn respawn_exhaustion_degrades_gracefully() {
     assert!(r.stats.metrics.counter(names::RECOVERY_DEGRADED_RANKS) > 0.0);
 }
 
+/// The extreme degradation edge case: a crash storm with a zero respawn
+/// budget kills every rank except the immune last survivor mid-solve. The
+/// cluster must finish on that one rank and still report the fault-free
+/// optimum.
+#[test]
+fn killing_all_but_the_immune_last_rank_still_finds_the_optimum() {
+    let instance = knapsack(16, 0.5, 5);
+    let (expected, makespan) = baseline("knapsack-16/5", &instance);
+    let r = chaotic(
+        &instance,
+        ChaosConfig {
+            // Far more crash draws than ranks: every rank is hit within
+            // the horizon, and the sole survivor is hit repeatedly.
+            crashes: 32,
+            horizon_ns: makespan * 0.8,
+            max_respawns: 0,
+            ..ChaosConfig::quiet(11)
+        },
+    );
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!(
+        (r.objective - expected).abs() < 1e-6,
+        "single-survivor run {} vs clean {expected}",
+        r.objective
+    );
+    assert!(
+        instance.is_integer_feasible(&r.x, 1e-5),
+        "survivor incumbent not integer-feasible"
+    );
+    let f = &r.stats.faults;
+    assert_eq!(
+        f.degraded_ranks,
+        WORKERS - 1,
+        "every rank but the immune survivor must retire: {f:?}"
+    );
+    assert!(
+        f.respawns > 0,
+        "crashes on the immune survivor must respawn it: {f:?}"
+    );
+}
+
 /// Faults cost simulated time: a crash-laden run can't beat the clean one.
 #[test]
 fn recovery_costs_simulated_time() {
