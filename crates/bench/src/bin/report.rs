@@ -6,8 +6,9 @@
 //! captured and written to `<dir>/<exp-id>.trace.json` in Chrome
 //! trace-event format (load at ui.perfetto.dev). With `--bench-json`, the
 //! deterministic simulated-ns records are written to `<dir>/BENCH_e4.json`
-//! (the E4 batched-wave sweep) and `<dir>/BENCH_baseline.json` (the full
-//! regression baseline the `bench-regression` CI job compares against).
+//! (the E4 batched-wave sweep), `<dir>/BENCH_serve.json` (the E9 serving
+//! SLO sweep), and `<dir>/BENCH_baseline.json` (the full regression
+//! baseline the `bench-regression` CI job compares against).
 
 use gmip_bench::{baseline, experiments};
 
@@ -70,6 +71,10 @@ fn main() {
             (
                 format!("{dir}/BENCH_e4.json"),
                 experiments::e4::bench_json(),
+            ),
+            (
+                format!("{dir}/BENCH_serve.json"),
+                experiments::e9::bench_json(),
             ),
             (format!("{dir}/BENCH_baseline.json"), baseline::to_json()),
         ] {

@@ -14,6 +14,7 @@ pub mod e5;
 pub mod e6;
 pub mod e7;
 pub mod e8;
+pub mod e9;
 pub mod f1;
 
 use gmip_gpu::{Accel, CostModel, DeviceConfig};
@@ -66,7 +67,7 @@ pub(crate) fn e2_matrix(n: usize) -> gmip_linalg::DenseMatrix {
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "f1", "e1", "e2", "e3a", "e3b", "e3c", "e4", "e5", "e6", "e7", "e8",
+    "f1", "e1", "e2", "e3a", "e3b", "e3c", "e4", "e5", "e6", "e7", "e8", "e9",
 ];
 
 /// Dispatches an experiment id to its runner.
@@ -83,6 +84,7 @@ pub fn run(id: &str) -> Option<String> {
         "e6" => Some(e6::run()),
         "e7" => Some(e7::run()),
         "e8" => Some(e8::run()),
+        "e9" => Some(e9::run()),
         _ => None,
     }
 }

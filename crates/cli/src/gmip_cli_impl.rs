@@ -20,8 +20,27 @@ gmip — MIP solving on a simulated GPU-accelerated platform
 USAGE:
   gmip solve <file.mps> [options]
   gmip verify <file.mps> [options]
+  gmip serve [options]
   gmip generate <family> [options]
   gmip help
+
+SERVE:
+  replay a seeded open-loop traffic tape (Poisson arrivals, heavy-tailed
+  job sizes, duplicate and perturbed re-submissions) through the
+  multi-tenant solve service: admission control, priority scheduling,
+  rank sharding, and the solution-pool warm-start cache. Deterministic:
+  the same --seed reproduces every answer and trace byte. Accepts
+  --seed, --node-limit, --faults, --trace, --metrics, plus:
+  --jobs <n>           jobs in the tape                 (default: 200)
+  --ranks <n>          cluster ranks shared by jobs     (default: 8)
+  --tenants <n>        tenants (priorities cycle 0,1,2) (default: 3)
+  --mean-gap-us <f>    mean inter-arrival gap, µs       (default: 2000)
+  --dup <frac>         exact-duplicate fraction         (default: 0.15)
+  --perturb <frac>     perturbed-resubmission fraction  (default: 0.15)
+  --max-items <n>      job size ceiling (knapsack items) (default: 14)
+  --verify-sample <n>  audit n served answers against the exact oracle;
+                       exits nonzero on any mismatch     (default: 0)
+  --max-shed-rate <f>  exit nonzero if the shed+reject fraction exceeds f
 
 VERIFY:
   solve with the float host path, then certify the result against the
@@ -92,6 +111,15 @@ pub struct Options {
     pub out: Option<String>,
     pub seed: u64,
     pub faults: Option<String>,
+    pub jobs: usize,
+    pub ranks: usize,
+    pub tenants: usize,
+    pub mean_gap_us: f64,
+    pub dup: f64,
+    pub perturb: f64,
+    pub max_items: usize,
+    pub verify_sample: usize,
+    pub max_shed_rate: Option<f64>,
 }
 
 impl Default for Options {
@@ -115,6 +143,15 @@ impl Default for Options {
             out: None,
             seed: 0,
             faults: None,
+            jobs: 200,
+            ranks: 8,
+            tenants: 3,
+            mean_gap_us: 2000.0,
+            dup: 0.15,
+            perturb: 0.15,
+            max_items: 14,
+            verify_sample: 0,
+            max_shed_rate: None,
         }
     }
 }
@@ -177,6 +214,71 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => o.trace = Some(take("--trace")?),
             "--metrics" => o.metrics = true,
             "--faults" => o.faults = Some(take("--faults")?),
+            "--jobs" => {
+                o.jobs = take("--jobs")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| "--jobs must be an integer >= 1".to_string())?
+            }
+            "--ranks" => {
+                o.ranks = take("--ranks")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| "--ranks must be an integer >= 1".to_string())?
+            }
+            "--tenants" => {
+                o.tenants = take("--tenants")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| "--tenants must be an integer >= 1".to_string())?
+            }
+            "--mean-gap-us" => {
+                o.mean_gap_us = take("--mean-gap-us")?
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| v > 0.0)
+                    .ok_or_else(|| "--mean-gap-us must be a positive number".to_string())?
+            }
+            "--dup" => {
+                o.dup = take("--dup")?
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| (0.0..=1.0).contains(&v))
+                    .ok_or_else(|| "--dup must be a fraction in [0, 1]".to_string())?
+            }
+            "--perturb" => {
+                o.perturb = take("--perturb")?
+                    .parse()
+                    .ok()
+                    .filter(|&v: &f64| (0.0..=1.0).contains(&v))
+                    .ok_or_else(|| "--perturb must be a fraction in [0, 1]".to_string())?
+            }
+            "--max-items" => {
+                o.max_items = take("--max-items")?
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 3)
+                    .ok_or_else(|| "--max-items must be an integer >= 3".to_string())?
+            }
+            "--verify-sample" => {
+                o.verify_sample = take("--verify-sample")?
+                    .parse()
+                    .map_err(|_| "--verify-sample must be an integer".to_string())?
+            }
+            "--max-shed-rate" => {
+                o.max_shed_rate = Some(
+                    take("--max-shed-rate")?
+                        .parse()
+                        .ok()
+                        .filter(|&v: &f64| (0.0..=1.0).contains(&v))
+                        .ok_or_else(|| {
+                            "--max-shed-rate must be a fraction in [0, 1]".to_string()
+                        })?,
+                )
+            }
             "--out" => o.out = Some(take("--out")?),
             "--seed" => {
                 o.seed = take("--seed")?
@@ -225,6 +327,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let instance = read_mps(&text).map_err(|e| format!("{e}"))?;
             verify(instance, &o)
+        }
+        "serve" => {
+            let o = parse_options(&args[1..])?;
+            serve(&o)
         }
         "generate" => {
             let o = parse_options(&args[1..])?;
@@ -385,6 +491,74 @@ pub fn verify(instance: MipInstance, o: &Options) -> Result<String, String> {
         certs.checked, certs.dual_bounds, certs.farkas
     ));
     out.push_str("VERIFIED\n");
+    Ok(out)
+}
+
+/// Replays a seeded traffic tape through the multi-tenant solve service
+/// and reports the SLO summary; optionally audits served answers against
+/// the exact oracle and gates on the shed rate.
+pub fn serve(o: &Options) -> Result<String, String> {
+    let chaos = o
+        .faults
+        .as_deref()
+        .map(ChaosConfig::parse)
+        .transpose()
+        .map_err(|e| format!("--faults: {e}"))?;
+    let tcfg = gmip_serve::TrafficConfig {
+        jobs: o.jobs,
+        seed: o.seed,
+        mean_interarrival_ns: o.mean_gap_us * 1e3,
+        tenants: o.tenants,
+        max_items: o.max_items,
+        dup_prob: o.dup,
+        perturb_prob: o.perturb,
+    };
+    let (tenants, jobs) = gmip_serve::generate(&tcfg);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "traffic: {} jobs, {} tenants, seed {}, mean gap {:.0} µs{}\n",
+        o.jobs,
+        o.tenants,
+        o.seed,
+        o.mean_gap_us,
+        if o.faults.is_some() {
+            " (chaos overlay)"
+        } else {
+            ""
+        }
+    ));
+    let session = o.trace.as_ref().map(|_| gmip_trace::TraceSession::start());
+    let scfg = gmip_serve::ServeConfig {
+        ranks: o.ranks,
+        node_limit: o.node_limit,
+        chaos,
+        ..Default::default()
+    };
+    let report = gmip_serve::Service::new(scfg, tenants).run(jobs.clone());
+    write_trace(session, o, &mut out)?;
+    out.push_str(&report.summary());
+    if o.verify_sample > 0 {
+        let audited = gmip_serve::spot_check(&jobs, &report, o.verify_sample, o.seed)
+            .map_err(|e| format!("oracle spot-check FAILED: {e}"))?;
+        out.push_str(&format!(
+            "oracle spot-check: {audited} served answers audited, all match\n"
+        ));
+    }
+    if let Some(cap) = o.max_shed_rate {
+        let rate = report.shed_rate();
+        if rate > cap {
+            return Err(format!(
+                "shed rate {rate:.3} exceeds the --max-shed-rate bound {cap:.3}"
+            ));
+        }
+        out.push_str(&format!(
+            "shed rate: {rate:.3} (within the {cap:.3} bound)\n"
+        ));
+    }
+    if o.metrics {
+        out.push('\n');
+        out.push_str(&gmip_trace::export::summary(&report.metrics));
+    }
     Ok(out)
 }
 
@@ -570,7 +744,11 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
                 s if s.starts_with("big-mip:") => {
                     let devices = s["big-mip:".len()..]
                         .parse()
-                        .map_err(|_| "big-mip needs a device count, e.g. big-mip:4".to_string())?;
+                        .ok()
+                        .filter(|&d: &usize| d >= 1)
+                        .ok_or_else(|| {
+                            "big-mip needs a device count >= 1, e.g. big-mip:4".to_string()
+                        })?;
                     Strategy::BigMip { devices }
                 }
                 other => return Err(format!("unknown strategy `{other}`")),
@@ -808,6 +986,92 @@ mod tests {
         assert!(solve(gmip_problems::catalog::figure1_knapsack(), &bad).is_err());
         bad.strategy = "batched:x".into();
         assert!(solve(gmip_problems::catalog::figure1_knapsack(), &bad).is_err());
+    }
+
+    #[test]
+    fn zero_or_garbage_strategy_widths_error_cleanly() {
+        // Satellite: `cluster:0`, `batched:0`, `big-mip:0` and unparsable
+        // widths must come back as Err (the binary maps Err to a nonzero
+        // exit), never as a panic.
+        let m = gmip_problems::catalog::figure1_knapsack;
+        for bad in [
+            "cluster:0",
+            "cluster:x",
+            "cluster:",
+            "batched:0",
+            "batched:-1",
+            "batched:",
+            "big-mip:0",
+            "big-mip:x",
+            "big-mip:",
+        ] {
+            let mut o = Options::default();
+            o.strategy = bad.into();
+            let err = solve(m(), &o).unwrap_err();
+            assert!(err.contains(">= 1"), "strategy {bad}: got `{err}`");
+        }
+    }
+
+    #[test]
+    fn serve_subcommand_runs_and_reports() {
+        let mut o = Options::default();
+        o.jobs = 30;
+        o.seed = 9;
+        o.ranks = 4;
+        o.max_items = 9;
+        o.verify_sample = 5;
+        o.max_shed_rate = Some(0.5);
+        o.metrics = true;
+        let out = serve(&o).unwrap();
+        assert!(out.contains("jobs submitted     30"), "{out}");
+        assert!(out.contains("latency p50/p99"), "{out}");
+        assert!(out.contains("oracle spot-check:"), "{out}");
+        assert!(out.contains("serve.jobs.completed"), "{out}");
+        // Same seed → byte-identical report.
+        assert_eq!(out, serve(&o).unwrap());
+    }
+
+    #[test]
+    fn serve_with_chaos_overlay_still_answers_correctly() {
+        let mut o = Options::default();
+        o.jobs = 20;
+        o.seed = 4;
+        o.ranks = 4;
+        o.max_items = 8;
+        o.faults = Some("seed=3,crashes=1,drop=0.05".into());
+        o.verify_sample = 5;
+        let out = serve(&o).unwrap();
+        assert!(out.contains("chaos overlay"), "{out}");
+        assert!(out.contains("all match"), "{out}");
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let o = parse_options(&s(&[
+            "--jobs",
+            "50",
+            "--ranks",
+            "6",
+            "--tenants",
+            "2",
+            "--dup",
+            "0.2",
+            "--verify-sample",
+            "10",
+            "--max-shed-rate",
+            "0.25",
+        ]))
+        .unwrap();
+        assert_eq!(o.jobs, 50);
+        assert_eq!(o.ranks, 6);
+        assert_eq!(o.tenants, 2);
+        assert_eq!(o.dup, 0.2);
+        assert_eq!(o.verify_sample, 10);
+        assert_eq!(o.max_shed_rate, Some(0.25));
+        assert!(parse_options(&s(&["--jobs", "0"])).is_err());
+        assert!(parse_options(&s(&["--ranks", "x"])).is_err());
+        assert!(parse_options(&s(&["--dup", "1.5"])).is_err());
+        assert!(parse_options(&s(&["--max-shed-rate", "-0.1"])).is_err());
     }
 
     #[test]

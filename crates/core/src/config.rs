@@ -1,6 +1,6 @@
 //! Solver configuration.
 
-use gmip_lp::LpConfig;
+use gmip_lp::{Basis, LpConfig};
 
 /// Node-selection policy choice (dispatches to `gmip_tree::policy`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +117,17 @@ pub struct MipConfig {
     /// nodes, Farkas witnesses for infeasible ones). Off by default: the
     /// record grows with the tree and exists for the `gmip-verify` oracle.
     pub collect_certificates: bool,
+    /// A candidate solution (source-sense point over the structural
+    /// variables) installed as the initial incumbent if it validates
+    /// integer-feasible on the instance. Lets a caller — the `gmip-serve`
+    /// solution pool in particular — warm-start a perturbed re-submission
+    /// from a pooled answer so the tree prunes against it from node one.
+    /// Silently ignored when infeasible for this instance.
+    pub warm_solution: Option<Vec<f64>>,
+    /// A warm basis for the root relaxation (e.g. the final basis of a
+    /// structurally identical solve), used exactly like a parent basis.
+    /// Requires `warm_start`; ignored otherwise.
+    pub root_basis: Option<Basis>,
 }
 
 impl Default for MipConfig {
@@ -137,6 +148,8 @@ impl Default for MipConfig {
             strong_candidates: 4,
             strong_iter_cap: 50,
             collect_certificates: false,
+            warm_solution: None,
+            root_basis: None,
         }
     }
 }

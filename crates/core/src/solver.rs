@@ -100,6 +100,10 @@ pub struct SolveStats {
     /// produced dual evidence. Empty unless
     /// `MipConfig::collect_certificates` is set.
     pub certificates: Vec<LpCertificate>,
+    /// The root relaxation's optimal basis, for pooling: a structurally
+    /// identical re-submission can warm-start from it via
+    /// [`MipConfig::root_basis`](crate::MipConfig).
+    pub root_basis: Option<Basis>,
 }
 
 /// The result of a MIP solve.
@@ -616,6 +620,33 @@ impl<E: SimplexEngine> MipSolver<E> {
             ..Default::default()
         };
         let mut incumbent: Option<(f64, Vec<f64>)> = None; // (internal, x)
+                                                           // Warm-start entry points: a pooled solution becomes the initial
+                                                           // incumbent (after validating on *this* instance — a perturbed
+                                                           // re-submission may have made it infeasible), and a pooled basis
+                                                           // warm-starts the root relaxation like a parent basis would.
+        if let Some(seed) = &self.cfg.warm_solution {
+            let mut p = seed.clone();
+            for j in self.instance.integral_indices() {
+                if let Some(v) = p.get_mut(j) {
+                    *v = v.round();
+                }
+            }
+            if self.instance.is_integer_feasible(&p, 1e-6) {
+                let internal = self.internal(self.instance.objective_value(&p));
+                incumbent = Some((internal, p));
+                stats.metrics.incr(names::BB_WARM_SEEDS, 1.0);
+                let obj = self.to_source(internal);
+                gmip_trace::record(|| {
+                    Event::instant(Track::solver(), "warm_seed", 0.0).arg("objective", obj)
+                });
+            }
+        }
+        if self.cfg.warm_start {
+            if let Some(b) = self.cfg.root_basis.clone() {
+                let root = tree.root();
+                tree.node_mut(root).data.parent_basis = Some(b);
+            }
+        }
         let mut lp_slot: Option<LpSolver<E>> = None;
         let mut global_cuts: Vec<Cut> = Vec::new();
         let mut early_stop: Option<MipStatus> = None;
@@ -691,6 +722,9 @@ impl<E: SimplexEngine> MipSolver<E> {
                 }
                 LpStatus::Optimal => {
                     let internal = self.internal(sol.objective);
+                    if is_root {
+                        stats.root_basis = basis.clone();
+                    }
                     // Pseudocost learning from the parent bound.
                     if let Some(bi) = branch_info {
                         pseudo.record(

@@ -17,7 +17,8 @@
 //!   by `batch ≈ device_mem / matrix_mem` ([`wave_width`]) instead of
 //!   `device_mem / (lanes × matrix_mem)`;
 //! * **one fused batched launch per kernel class per superstep**
-//!   ([`GpuDevice::batched_wave_kernel`]): every active lane contributes
+//!   ([`gmip_gpu::GpuDevice::batched_wave_kernel`]): every active lane
+//!   contributes
 //!   its instance of the class (BTRAN, FTRAN, pricing scan, ratio
 //!   reduction, pivot update) and the batch pays a single launch latency;
 //! * **event-based retire-and-refill**: a lane whose node LP reaches

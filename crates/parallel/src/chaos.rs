@@ -100,6 +100,20 @@ impl ChaosConfig {
         }
     }
 
+    /// Re-seeds this profile deterministically for a sub-scope (one job of
+    /// a traffic stream, one retry attempt): the fault *knobs* are shared
+    /// while the concrete schedule differs per salt. SplitMix64 on
+    /// `seed ^ salt` keeps nearby salts decorrelated.
+    pub fn derive(&self, salt: u64) -> Self {
+        let mut z = self.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Self {
+            seed: z ^ (z >> 31),
+            ..self.clone()
+        }
+    }
+
     /// Parses a `--faults` spec: either a bare seed (`"42"`, the default
     /// chaos profile) or comma-separated `key=value` pairs, e.g.
     /// `"seed=42,crash=3,drop=0.05,delay=0.1,straggle=2,horizon=2e6"`.

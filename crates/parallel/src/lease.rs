@@ -1,0 +1,143 @@
+//! Multi-job rank leasing: carving one cluster into per-job shards.
+//!
+//! A serving front-end runs many concurrent solves against one pool of
+//! worker ranks. Rather than giving every job the whole machine, the pool
+//! hands out *leases* — disjoint rank subsets sized to the job — and
+//! reclaims them at completion, so independent jobs shard the cluster the
+//! way UG shards one tree across ranks. Allocation is deterministic
+//! (lowest free ranks first, monotonically increasing lease ids), which
+//! keeps any discrete-event schedule built on top byte-reproducible.
+
+use std::collections::BTreeSet;
+
+/// A granted rank subset. Hold it until the job completes, then hand it
+/// back with [`RankPool::release`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankLease {
+    /// Monotone lease id (unique across the pool's lifetime).
+    pub id: u64,
+    /// The granted rank ids, ascending.
+    pub ranks: Vec<usize>,
+}
+
+impl RankLease {
+    /// Number of ranks granted.
+    pub fn width(&self) -> usize {
+        self.ranks.len()
+    }
+}
+
+/// A deterministic allocator over a fixed set of cluster ranks.
+#[derive(Debug)]
+pub struct RankPool {
+    free: BTreeSet<usize>,
+    total: usize,
+    next_id: u64,
+    leased_out: usize,
+}
+
+impl RankPool {
+    /// A pool over ranks `0..total`.
+    pub fn new(total: usize) -> Self {
+        assert!(total >= 1, "a rank pool needs at least one rank");
+        Self {
+            free: (0..total).collect(),
+            total,
+            next_id: 0,
+            leased_out: 0,
+        }
+    }
+
+    /// Total ranks managed.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Ranks currently free.
+    pub fn free(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Ranks currently leased out.
+    pub fn leased(&self) -> usize {
+        self.leased_out
+    }
+
+    /// Grants the `width` lowest free ranks, or `None` if fewer are free.
+    /// `width` is clamped to the pool size so an oversized job degrades to
+    /// whole-machine execution instead of deadlocking.
+    pub fn lease(&mut self, width: usize) -> Option<RankLease> {
+        let width = width.clamp(1, self.total);
+        if self.free.len() < width {
+            return None;
+        }
+        let ranks: Vec<usize> = self.free.iter().take(width).copied().collect();
+        for r in &ranks {
+            self.free.remove(r);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.leased_out += width;
+        Some(RankLease { id, ranks })
+    }
+
+    /// Returns a lease's ranks to the free set.
+    pub fn release(&mut self, lease: RankLease) {
+        for r in lease.ranks {
+            assert!(r < self.total, "foreign rank {r} returned to pool");
+            assert!(self.free.insert(r), "rank {r} released twice");
+            self.leased_out -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_lowest_free_ranks_first() {
+        let mut pool = RankPool::new(4);
+        let a = pool.lease(2).unwrap();
+        assert_eq!(a.ranks, vec![0, 1]);
+        let b = pool.lease(2).unwrap();
+        assert_eq!(b.ranks, vec![2, 3]);
+        assert!(pool.lease(1).is_none());
+        pool.release(a);
+        let c = pool.lease(1).unwrap();
+        assert_eq!(c.ranks, vec![0]);
+        assert_eq!(pool.free(), 1);
+        assert_eq!(pool.leased(), 3);
+    }
+
+    #[test]
+    fn oversized_requests_clamp_to_the_pool() {
+        let mut pool = RankPool::new(2);
+        let a = pool.lease(16).unwrap();
+        assert_eq!(a.ranks, vec![0, 1]);
+        pool.release(a);
+        assert_eq!(pool.free(), 2);
+    }
+
+    #[test]
+    fn lease_ids_are_monotone() {
+        let mut pool = RankPool::new(3);
+        let a = pool.lease(1).unwrap();
+        let b = pool.lease(1).unwrap();
+        pool.release(a);
+        let c = pool.lease(1).unwrap();
+        assert_eq!((0, 1, 2), {
+            let ids = (0, b.id, c.id);
+            (ids.0, ids.1 as usize, ids.2 as usize)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn double_release_is_a_bug() {
+        let mut pool = RankPool::new(2);
+        let a = pool.lease(1).unwrap();
+        pool.release(a.clone());
+        pool.release(a);
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`worker`] — a worker rank: one simulated device, matrix uploaded
 //!   once, warm dual re-solves per assignment (Sections 5.1/5.3);
 //! * [`comm`] — typed messages with byte-accurate transfer charging;
+//! * [`lease`] — multi-job rank leasing: deterministic carving of the
+//!   rank set into per-job shards for the serving front-end;
 //! * [`checkpoint`] — distributed consistent snapshots and restart
 //!   (Section 2.1's parallel-snapshot problem + UG's checkpointing);
 //! * [`chaos`] — deterministic fault injection (seeded crash / drop /
@@ -26,6 +28,7 @@
 pub mod chaos;
 pub mod checkpoint;
 pub mod comm;
+pub mod lease;
 pub mod supervisor;
 pub mod threaded;
 pub mod worker;
@@ -33,6 +36,7 @@ pub mod worker;
 pub use chaos::{ChaosConfig, FaultPlan, FaultStats};
 pub use checkpoint::Checkpoint;
 pub use comm::{Assignment, Delivery, NetworkModel, NodeOutcome, NodeReport};
+pub use lease::{RankLease, RankPool};
 pub use supervisor::{
     solve_parallel, LoadBalance, ParPayload, ParallelConfig, ParallelResult, ParallelStats,
     Supervisor,

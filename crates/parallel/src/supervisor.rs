@@ -74,6 +74,15 @@ pub struct ParallelConfig {
     /// evaluator (fused kernel launches on a shared device matrix, up to
     /// `n` lane reservations) instead of one launch per simplex operation.
     pub batched_lanes: Option<usize>,
+    /// A candidate solution (source-sense point) installed as the initial
+    /// incumbent if it validates integer-feasible on the instance — the
+    /// multi-job serving layer seeds perturbed re-submissions from its
+    /// solution pool this way. Ignored when infeasible.
+    pub seed_solution: Option<Vec<f64>>,
+    /// A warm basis for the root relaxation (a pooled basis from a
+    /// structurally identical solve). Requires `warm_start`; shipped to the
+    /// rank that evaluates the root exactly like a parent basis.
+    pub root_basis: Option<Basis>,
 }
 
 impl Default for ParallelConfig {
@@ -93,6 +102,8 @@ impl Default for ParallelConfig {
             checkpoint_every: None,
             chaos: None,
             batched_lanes: None,
+            seed_solution: None,
+            root_basis: None,
         }
     }
 }
@@ -135,6 +146,10 @@ pub struct ParallelStats {
     /// Unified metrics ledger: `cluster.*` counters plus every rank's merged
     /// `gpu.*`/`lp.*` series (and `fault.*`/`recovery.*` under chaos).
     pub metrics: MetricsRegistry,
+    /// The root relaxation's optimal basis (when the root branched), for
+    /// pooling: a structurally identical re-submission can warm-start its
+    /// root from it via [`ParallelConfig::root_basis`].
+    pub root_basis: Option<Basis>,
 }
 
 /// Result of a parallel solve.
@@ -310,6 +325,32 @@ impl Supervisor {
         if let Some(plan) = &sup.plan {
             for &(time, worker) in &plan.crash_schedule().to_vec() {
                 sup.push_event(time, worker, EventKind::Crash);
+            }
+        }
+        // Warm-start entry point: a pooled solution becomes the initial
+        // incumbent once it re-validates on this (possibly perturbed)
+        // instance, so every dispatched assignment prunes against it.
+        if let Some(seed) = sup.cfg.seed_solution.clone() {
+            let mut p = seed;
+            for j in sup.instance.integral_indices() {
+                if let Some(v) = p.get_mut(j) {
+                    *v = v.round();
+                }
+            }
+            if sup.instance.is_integer_feasible(&p, 1e-6) {
+                let source = sup.instance.objective_value(&p);
+                let internal = match sup.instance.objective {
+                    Objective::Maximize => source,
+                    Objective::Minimize => -source,
+                };
+                sup.incumbent = Some((internal, p));
+                sup.stats.metrics.incr(names::BB_WARM_SEEDS, 1.0);
+            }
+        }
+        if sup.cfg.warm_start {
+            if let Some(b) = sup.cfg.root_basis.clone() {
+                let root = sup.tree.root();
+                sup.tree.node_mut(root).data.warm_basis = Some(b);
             }
         }
         Ok(sup)
@@ -748,6 +789,9 @@ impl Supervisor {
                 value,
                 basis,
             } => {
+                if id == self.tree.root() && self.stats.root_basis.is_none() {
+                    self.stats.root_basis = basis.clone();
+                }
                 if bound <= self.incumbent_internal() + self.cfg.prune_tol {
                     self.tree.settle(id, NodeState::Pruned, bound);
                     return;

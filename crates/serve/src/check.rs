@@ -1,0 +1,76 @@
+//! Oracle spot-checks: sample answered jobs and re-solve them with the
+//! exact rational oracle from `gmip-verify`. A serving stack that sheds,
+//! retries, and serves from cache has many more ways to return a *wrong*
+//! answer than a bare solver; this is the independent audit.
+
+use gmip_verify::{solve_oracle, OracleStatus};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::service::{JobSpec, ServeReport};
+
+/// Re-solves up to `sample` answered proven-optimal jobs with the exact
+/// oracle and compares objectives. `jobs` must be the same tape (same
+/// order) that produced `report`. Returns the number of jobs audited, or
+/// a description of the first mismatch.
+pub fn spot_check(
+    jobs: &[JobSpec],
+    report: &ServeReport,
+    sample: usize,
+    seed: u64,
+) -> Result<usize, String> {
+    assert_eq!(
+        jobs.len(),
+        report.records.len(),
+        "job tape and report are misaligned"
+    );
+    let mut candidates: Vec<usize> = report
+        .records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.answered() && r.status == Some(gmip_core::MipStatus::Optimal))
+        .map(|(i, _)| i)
+        .collect();
+    // Seeded Fisher–Yates; audit a random subset when over the budget.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for i in (1..candidates.len()).rev() {
+        candidates.swap(i, rng.gen_range(0..=i));
+    }
+    candidates.truncate(sample);
+    candidates.sort_unstable();
+
+    for &i in &candidates {
+        let rec = &report.records[i];
+        assert_eq!(jobs[i].id, rec.id, "job tape and report are misaligned");
+        let oracle = solve_oracle(&jobs[i].instance)
+            .map_err(|e| format!("job {}: oracle failed: {e}", rec.id))?;
+        match oracle.status {
+            OracleStatus::Optimal => {
+                let want = oracle
+                    .objective
+                    .as_ref()
+                    .map(gmip_verify::Rat::approx)
+                    .unwrap_or(f64::NAN);
+                let tol = 1e-6 * want.abs().max(1.0);
+                let diff = (rec.objective - want).abs();
+                // NaN-safe: a NaN served objective must fail the audit.
+                if !matches!(
+                    diff.partial_cmp(&tol),
+                    Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                ) {
+                    return Err(format!(
+                        "job {} ({:?}): served objective {} but oracle optimum is {}",
+                        rec.id, rec.disposition, rec.objective, want
+                    ));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "job {}: served Optimal but oracle says {other:?}",
+                    rec.id
+                ));
+            }
+        }
+    }
+    Ok(candidates.len())
+}

@@ -1,0 +1,182 @@
+//! Seeded open-loop traffic generation.
+//!
+//! Models a serving day the way the SLO literature does: Poisson arrivals
+//! (exponential inter-arrival gaps) carrying heavy-tailed job sizes (a
+//! Pareto-ish tail over knapsack item counts — most jobs are small, a few
+//! are much larger and request wider rank shards). A fraction of
+//! submissions are *exact duplicates* of earlier jobs (dashboards
+//! re-asking the same question → exact cache hits) and a fraction are
+//! *perturbed re-submissions* — the same model with relaxed capacities,
+//! the rolling re-solve pattern of unit-commitment shops → structural
+//! warm-start hits.
+//!
+//! Everything derives from one `ChaCha8Rng` seed, so a traffic tape is
+//! reproducible byte-for-byte.
+
+use gmip_problems::generators::knapsack;
+use gmip_problems::{MipInstance, Sense};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::service::{JobSpec, TenantSpec};
+
+/// Traffic-tape parameters.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of jobs to emit.
+    pub jobs: usize,
+    /// Master seed for the whole tape.
+    pub seed: u64,
+    /// Mean inter-arrival gap, simulated ns (exponential).
+    pub mean_interarrival_ns: f64,
+    /// Number of tenants (priorities cycle 0,1,2,...).
+    pub tenants: usize,
+    /// Upper clamp on knapsack item count (controls solve cost).
+    pub max_items: usize,
+    /// Probability a job is an exact duplicate of an earlier one.
+    pub dup_prob: f64,
+    /// Probability a job is a perturbed re-submission of an earlier one.
+    pub perturb_prob: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            jobs: 200,
+            seed: 42,
+            mean_interarrival_ns: 2.0e6,
+            tenants: 3,
+            max_items: 14,
+            dup_prob: 0.15,
+            perturb_prob: 0.15,
+        }
+    }
+}
+
+/// Rank width requested for a job of `n` items: small jobs run on one
+/// rank, the heavy tail asks for wider shards.
+pub fn width_for(n: usize) -> usize {
+    match n {
+        0..=7 => 1,
+        8..=10 => 2,
+        11..=13 => 3,
+        _ => 4,
+    }
+}
+
+/// Relaxes the capacities of `m` in place: `Le` right-hand sides grow and
+/// `Ge` right-hand sides shrink by up to 10%, so every previously feasible
+/// point stays feasible — exactly the perturbation a pooled incumbent can
+/// warm-start.
+fn relax_capacities(m: &mut MipInstance, rng: &mut ChaCha8Rng) {
+    for c in &mut m.cons {
+        let bump = 1.0 + 0.05 * (1.0 + rng.gen::<f64>());
+        match c.sense {
+            Sense::Le => c.rhs *= bump,
+            Sense::Ge => c.rhs /= bump,
+            Sense::Eq => {}
+        }
+    }
+}
+
+/// Generates the tenant table and the job tape for `cfg`.
+pub fn generate(cfg: &TrafficConfig) -> (Vec<TenantSpec>, Vec<JobSpec>) {
+    assert!(cfg.jobs > 0 && cfg.tenants > 0, "need jobs and tenants");
+    let tenants: Vec<TenantSpec> = (0..cfg.tenants)
+        .map(|i| TenantSpec::new(format!("tenant{i}"), (i % 3) as u8))
+        .collect();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut history: Vec<MipInstance> = Vec::new();
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    let mut t = 0.0f64;
+
+    for id in 0..cfg.jobs {
+        let gap: f64 = rng.gen();
+        t += -cfg.mean_interarrival_ns * (1.0 - gap).max(f64::MIN_POSITIVE).ln();
+        let tenant = rng.gen_range(0..cfg.tenants);
+        let kind: f64 = rng.gen();
+        let instance = if kind < cfg.dup_prob && !history.is_empty() {
+            history[rng.gen_range(0..history.len())].clone()
+        } else if kind < cfg.dup_prob + cfg.perturb_prob && !history.is_empty() {
+            let mut m = history[rng.gen_range(0..history.len())].clone();
+            relax_capacities(&mut m, &mut rng);
+            m
+        } else {
+            // Heavy-tailed size: n ~ 4/u^0.7 gives a mostly-small, sometimes
+            // large item count, clamped to the configured ceiling.
+            let u: f64 = rng.gen::<f64>().max(1e-9);
+            let n = ((4.0 / u.powf(0.7)).ceil() as usize).clamp(3, cfg.max_items.max(3));
+            let fresh = knapsack(n, 0.5, rng.gen());
+            history.push(fresh.clone());
+            fresh
+        };
+        jobs.push(JobSpec {
+            id: id as u64,
+            tenant,
+            arrival_ns: t,
+            width: width_for(instance.num_vars()),
+            instance,
+        });
+    }
+    (tenants, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tape_is_deterministic() {
+        let cfg = TrafficConfig {
+            jobs: 40,
+            ..TrafficConfig::default()
+        };
+        let (_, a) = generate(&cfg);
+        let (_, b) = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_ns.to_bits(), y.arrival_ns.to_bits());
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.width, y.width);
+            assert_eq!(x.instance.name, y.instance.name);
+            assert_eq!(x.instance.num_vars(), y.instance.num_vars());
+        }
+    }
+
+    #[test]
+    fn tape_contains_duplicates_and_perturbations() {
+        let cfg = TrafficConfig {
+            jobs: 120,
+            ..TrafficConfig::default()
+        };
+        let (_, jobs) = generate(&cfg);
+        use crate::fingerprint::canonicalize;
+        use std::collections::BTreeMap;
+        let mut exact: BTreeMap<u64, usize> = BTreeMap::new();
+        let mut structural: BTreeMap<u64, usize> = BTreeMap::new();
+        for j in &jobs {
+            let c = canonicalize(&j.instance);
+            *exact.entry(c.exact).or_insert(0) += 1;
+            *structural.entry(c.structural).or_insert(0) += 1;
+        }
+        assert!(
+            exact.values().any(|&n| n > 1),
+            "expected exact duplicates in the tape"
+        );
+        let exact_dups: usize = exact.values().map(|&n| n - 1).sum();
+        let struct_dups: usize = structural.values().map(|&n| n - 1).sum();
+        assert!(
+            struct_dups > exact_dups,
+            "expected perturbed re-submissions beyond exact duplicates"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let (_, jobs) = generate(&TrafficConfig::default());
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival_ns <= w[1].arrival_ns);
+        }
+    }
+}

@@ -19,6 +19,9 @@ pub enum TrackGroup {
     Gpu(u16),
     /// The parallel cluster; lanes are worker ranks (lane 0 = supervisor).
     Cluster,
+    /// The solve service front-end; lane 0 is the admission/reactor loop,
+    /// lanes 1.. are rank-lease executors.
+    Serve,
 }
 
 impl TrackGroup {
@@ -29,6 +32,7 @@ impl TrackGroup {
             TrackGroup::Solver => 2,
             TrackGroup::Lp => 3,
             TrackGroup::Cluster => 4,
+            TrackGroup::Serve => 5,
             TrackGroup::Gpu(i) => 16 + u32::from(i),
         }
     }
@@ -81,6 +85,15 @@ impl Track {
         Track {
             group: TrackGroup::Cluster,
             lane: rank,
+        }
+    }
+
+    /// Lane `lane` of the solve service (lane 0 is the reactor, lanes 1..
+    /// are rank-lease executors).
+    pub fn serve(lane: u32) -> Self {
+        Track {
+            group: TrackGroup::Serve,
+            lane,
         }
     }
 }
@@ -236,6 +249,7 @@ mod tests {
             TrackGroup::Solver,
             TrackGroup::Lp,
             TrackGroup::Cluster,
+            TrackGroup::Serve,
             TrackGroup::Gpu(0),
             TrackGroup::Gpu(3),
         ];

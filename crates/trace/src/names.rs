@@ -65,6 +65,10 @@ pub const BB_INCUMBENTS: &str = "bb.incumbents";
 pub const BB_HEUR_INCUMBENTS: &str = "bb.heur.incumbents";
 /// Cutting planes added to the formulation.
 pub const BB_CUTS_ADDED: &str = "bb.cuts.added";
+/// Warm-start seed solutions accepted as the initial incumbent (a caller
+/// supplied `MipConfig::warm_solution` / `ParallelConfig::seed_solution`
+/// that validated feasible on this instance).
+pub const BB_WARM_SEEDS: &str = "bb.warm.seeds";
 
 // --- Parallel cluster ------------------------------------------------------
 
@@ -127,6 +131,39 @@ pub const RECOVERY_RESPAWNS: &str = "recovery.respawns";
 /// cluster degrades to fewer ranks).
 pub const RECOVERY_DEGRADED_RANKS: &str = "recovery.degraded_ranks";
 
+// --- Solve service (gmip-serve) --------------------------------------------
+
+/// Jobs submitted to the service (before admission control).
+pub const SERVE_JOBS_SUBMITTED: &str = "serve.jobs.submitted";
+/// Jobs completed with an answer (cached or solved).
+pub const SERVE_JOBS_COMPLETED: &str = "serve.jobs.completed";
+/// Jobs shed at admission (queue over the shed threshold).
+pub const SERVE_JOBS_SHED: &str = "serve.jobs.shed";
+/// Jobs rejected because their tenant was over quota.
+pub const SERVE_JOBS_QUOTA_REJECTS: &str = "serve.jobs.quota_rejects";
+/// Jobs that failed permanently (retry budget exhausted).
+pub const SERVE_JOBS_FAILED: &str = "serve.jobs.failed";
+/// Solve attempts retried after an attempt timeout (chaos overlay).
+pub const SERVE_RETRIES: &str = "serve.retries";
+/// Solution pool: exact-fingerprint hits served straight from the cache.
+pub const SERVE_CACHE_EXACT_HITS: &str = "serve.cache.exact_hits";
+/// Solution pool: structural hits that warm-started a perturbed re-solve.
+pub const SERVE_CACHE_WARM_HITS: &str = "serve.cache.warm_hits";
+/// Solution pool: misses (cold solves).
+pub const SERVE_CACHE_MISSES: &str = "serve.cache.misses";
+/// Solution pool: entries evicted under the capacity bound.
+pub const SERVE_CACHE_EVICTIONS: &str = "serve.cache.evictions";
+/// End-to-end job latency, simulated ns (histogram).
+pub const SERVE_LATENCY_NS: &str = "serve.latency.ns";
+/// Time jobs waited in the admission queue, simulated ns (histogram).
+pub const SERVE_QUEUE_WAIT_NS: &str = "serve.queue.wait_ns";
+/// Solve execution time per attempt, simulated ns (histogram).
+pub const SERVE_EXEC_NS: &str = "serve.exec.ns";
+/// Peak admission-queue depth (gauge).
+pub const SERVE_QUEUE_DEPTH_PEAK: &str = "serve.queue.depth_peak";
+/// Completed jobs per simulated second over the run (gauge).
+pub const SERVE_GOODPUT_JOBS_PER_S: &str = "serve.goodput.jobs_per_s";
+
 // --- Track labels ----------------------------------------------------------
 
 /// Human-readable name for a track group (the Perfetto "process" label).
@@ -136,6 +173,7 @@ pub fn group_label(group: TrackGroup) -> String {
         TrackGroup::Solver => "solver (branch & bound)".to_string(),
         TrackGroup::Lp => "lp engine".to_string(),
         TrackGroup::Cluster => "cluster".to_string(),
+        TrackGroup::Serve => "serve".to_string(),
         TrackGroup::Gpu(i) => format!("gpu {i}"),
     }
 }
@@ -148,6 +186,8 @@ pub fn lane_label(group: TrackGroup, lane: u32) -> String {
         TrackGroup::Gpu(_) => format!("stream {lane}"),
         TrackGroup::Cluster if lane == 0 => "supervisor".to_string(),
         TrackGroup::Cluster => format!("rank {lane}"),
+        TrackGroup::Serve if lane == 0 => "reactor".to_string(),
+        TrackGroup::Serve => format!("lease {lane}"),
         TrackGroup::Host => "cpu".to_string(),
         TrackGroup::Solver => "nodes".to_string(),
         TrackGroup::Lp => "simplex".to_string(),
