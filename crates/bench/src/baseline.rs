@@ -80,6 +80,30 @@ pub fn collect() -> Vec<(String, f64)> {
             "cluster.des.w3.batched2.makespan_ns".into(),
             batched.stats.makespan_ns,
         ));
+        // The two-tier hierarchy on the same instance: tracks the makespan
+        // and the root-link control-message count (the E10 quantity the
+        // full BENCH_scale.json sweeps over rank counts).
+        let hier = gmip_parallel::solve_hierarchical(
+            &inst,
+            ParallelConfig {
+                workers: 8,
+                gpu_mem: 1 << 26,
+                ..Default::default()
+            },
+            gmip_parallel::HierarchyConfig {
+                fanout: 4,
+                ..Default::default()
+            },
+        )
+        .expect("hier cluster solve");
+        m.push((
+            "cluster.hier.w8x4.makespan_ns".into(),
+            hier.stats.makespan_ns,
+        ));
+        m.push((
+            "cluster.hier.w8x4.root_msgs".into(),
+            hier.hier.root_messages as f64,
+        ));
     }
 
     m
@@ -113,6 +137,8 @@ mod tests {
             "mip.device.knapsack18.sim_ns",
             "cluster.des.w3.makespan_ns",
             "cluster.des.w3.batched2.makespan_ns",
+            "cluster.hier.w8x4.makespan_ns",
+            "cluster.hier.w8x4.root_msgs",
         ] {
             assert!(j.contains(key), "missing tracked metric {key}");
         }

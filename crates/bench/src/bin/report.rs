@@ -1,14 +1,20 @@
 //! Regenerates the reproduction's experiment tables.
 //!
-//! Usage: `report [--trace <dir>] [--bench-json <dir>] [all | <exp-id>...]`
-//! where exp ids are listed in `gmip_bench::experiments::ALL` (f1, e1, e2,
-//! e3a, e3b, e3c, e4–e8). With `--trace`, each experiment's span stream is
-//! captured and written to `<dir>/<exp-id>.trace.json` in Chrome
-//! trace-event format (load at ui.perfetto.dev). With `--bench-json`, the
-//! deterministic simulated-ns records are written to `<dir>/BENCH_e4.json`
-//! (the E4 batched-wave sweep), `<dir>/BENCH_serve.json` (the E9 serving
-//! SLO sweep), and `<dir>/BENCH_baseline.json` (the full regression
-//! baseline the `bench-regression` CI job compares against).
+//! Usage: `report [--trace <dir>] [--bench-json <dir>] [--scale-smoke <dir>]
+//! [all | <exp-id>...]` where exp ids are listed in
+//! `gmip_bench::experiments::ALL` (f1, e1, e2, e3a, e3b, e3c, e4–e10).
+//! With `--trace`, each experiment's span stream is captured and written
+//! to `<dir>/<exp-id>.trace.json` in Chrome trace-event format (load at
+//! ui.perfetto.dev). With `--bench-json`, the deterministic simulated-ns
+//! records are written to `<dir>/BENCH_e4.json` (the E4 batched-wave
+//! sweep), `<dir>/BENCH_serve.json` (the E9 serving SLO sweep),
+//! `<dir>/BENCH_scale.json` (the E10 rank-scaling sweep), and
+//! `<dir>/BENCH_baseline.json` (the full regression baseline the
+//! `bench-regression` CI job compares against). With `--scale-smoke`,
+//! only the E10 4/64/256-rank cells are re-run and written to
+//! `<dir>/BENCH_scale_smoke.json` (the `scale-smoke` CI job compares them
+//! against the committed full record); no experiments are printed unless
+//! ids are also given.
 
 use gmip_bench::{baseline, experiments};
 
@@ -30,12 +36,18 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let trace_dir = dir_flag(&mut args, "--trace");
     let bench_dir = dir_flag(&mut args, "--bench-json");
+    let smoke_dir = dir_flag(&mut args, "--scale-smoke");
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        experiments::ALL.to_vec()
+        // `--scale-smoke` with no explicit ids runs only the smoke subset.
+        if smoke_dir.is_some() && args.is_empty() {
+            Vec::new()
+        } else {
+            experiments::ALL.to_vec()
+        }
     } else {
         args.iter().map(String::as_str).collect()
     };
-    for dir in [&trace_dir, &bench_dir].into_iter().flatten() {
+    for dir in [&trace_dir, &bench_dir, &smoke_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {dir}: {e}");
             std::process::exit(2);
@@ -76,6 +88,10 @@ fn main() {
                 format!("{dir}/BENCH_serve.json"),
                 experiments::e9::bench_json(),
             ),
+            (
+                format!("{dir}/BENCH_scale.json"),
+                experiments::e10::bench_json(),
+            ),
             (format!("{dir}/BENCH_baseline.json"), baseline::to_json()),
         ] {
             match std::fs::write(&path, json) {
@@ -84,6 +100,16 @@ fn main() {
                     eprintln!("bench: cannot write {path}: {e}");
                     std::process::exit(2);
                 }
+            }
+        }
+    }
+    if let Some(dir) = &smoke_dir {
+        let path = format!("{dir}/BENCH_scale_smoke.json");
+        match std::fs::write(&path, experiments::e10::smoke_json()) {
+            Ok(()) => eprintln!("bench: wrote {path}"),
+            Err(e) => {
+                eprintln!("bench: cannot write {path}: {e}");
+                std::process::exit(2);
             }
         }
     }

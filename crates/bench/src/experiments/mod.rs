@@ -5,6 +5,7 @@
 //! deterministic (fixed seeds) so EXPERIMENTS.md numbers are reproducible.
 
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3a;
 pub mod e3b;
@@ -67,7 +68,7 @@ pub(crate) fn e2_matrix(n: usize) -> gmip_linalg::DenseMatrix {
 
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
-    "f1", "e1", "e2", "e3a", "e3b", "e3c", "e4", "e5", "e6", "e7", "e8", "e9",
+    "f1", "e1", "e2", "e3a", "e3b", "e3c", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
 ];
 
 /// Dispatches an experiment id to its runner.
@@ -85,6 +86,7 @@ pub fn run(id: &str) -> Option<String> {
         "e7" => Some(e7::run()),
         "e8" => Some(e8::run()),
         "e9" => Some(e9::run()),
+        "e10" => Some(e10::run()),
         _ => None,
     }
 }

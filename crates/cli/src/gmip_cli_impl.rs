@@ -7,7 +7,9 @@ use gmip_core::{
 };
 use gmip_gpu::{Accel, CostModel};
 use gmip_lp::PricingRule;
-use gmip_parallel::{solve_parallel, ChaosConfig, ParallelConfig};
+use gmip_parallel::{
+    solve_hierarchical, solve_parallel, ChaosConfig, HierarchyConfig, ParallelConfig, MAX_RANKS,
+};
 use gmip_problems::generators;
 use gmip_problems::mps::{read_mps, write_mps};
 use gmip_problems::MipInstance;
@@ -52,7 +54,11 @@ VERIFY:
 SOLVE OPTIONS:
   --strategy <s>     host | cpu-orchestrated | gpu-only | hybrid |
                      big-mip:<devices> | batched:<lanes> | cluster:<workers> |
-                     auto                              (default: cpu-orchestrated)
+                     cluster:<ranks>x<fanout> | auto   (default: cpu-orchestrated)
+                     cluster:<ranks>x<fanout> groups the ranks under
+                     sub-supervisors (<fanout> ranks each); the root
+                     exchanges only aggregated summaries, incumbent
+                     values, and deterministic work steals with them
                      batched:<lanes> evaluates up to <lanes> node LPs in a
                      lockstep wave on one device: one shared constraint
                      matrix, one fused kernel launch per class per step
@@ -72,9 +78,11 @@ SOLVE OPTIONS:
   --trace <file>     write a Chrome trace-event JSON of the solve
                      (open at ui.perfetto.dev)
   --metrics          print the unified metrics summary table
-  --faults <spec>    inject deterministic faults (cluster:<n> only).
+  --faults <spec>    inject deterministic faults (cluster strategies only).
                      <spec> is a bare seed (\"7\") or key=value pairs:
                      seed=7,crashes=2,drop=0.02,delay=0.05,stragglers=1
+                     hierarchy-only keys: sub-crash=<n>, root-slow=<f>,
+                     kill-group=<g>, kill-group-at=<ns>
                      (see gmip-parallel chaos docs for all keys)
 
 GENERATE OPTIONS:
@@ -621,11 +629,30 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
     // reports its own statistics shape, so it is handled apart from the
     // single-process MipResult paths below.
     if let Some(spec) = o.strategy.strip_prefix("cluster:") {
-        let workers = spec
+        // `cluster:<ranks>` is the flat star; `cluster:<ranks>x<fanout>`
+        // groups the ranks under sub-supervisors of width <fanout>.
+        let (ranks_spec, fanout) = match spec.split_once('x') {
+            Some((r, f)) => {
+                let fanout = f.parse().ok().filter(|&f: &usize| f >= 1).ok_or_else(|| {
+                    "cluster fan-out needs a group width >= 1, e.g. cluster:64x8".to_string()
+                })?;
+                (r, Some(fanout))
+            }
+            None => (spec, None),
+        };
+        let workers = ranks_spec
             .parse()
             .ok()
             .filter(|&w: &usize| w >= 1)
             .ok_or_else(|| "cluster needs a worker count >= 1, e.g. cluster:4".to_string())?;
+        if workers > MAX_RANKS {
+            // Guard against absurd widths: the DES keeps O(ranks) state per
+            // event round, so a typo like cluster:10000000 would exhaust
+            // memory instead of producing a curve.
+            return Err(format!(
+                "cluster:{workers} exceeds the simulation ceiling of {MAX_RANKS} ranks"
+            ));
+        }
         let chaos = o
             .faults
             .as_deref()
@@ -639,6 +666,63 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
             chaos,
             ..Default::default()
         };
+        if let Some(fanout) = fanout {
+            let hcfg = HierarchyConfig {
+                fanout,
+                ..Default::default()
+            };
+            let r = solve_hierarchical(&work, pcfg, hcfg).map_err(|e| format!("{e}"))?;
+            write_trace(session, o, &mut out)?;
+            let (objective, x) = postsolve_map(&instance, &pre, r.objective, &r.x);
+            out.push_str(&format!("status: {:?}\n", r.status));
+            if !x.is_empty() {
+                out.push_str(&format!("objective: {objective}\n"));
+            }
+            out.push_str(&format!(
+                "nodes: {}   lp iterations: {}   messages: {} ({} B)   makespan: {:.3} ms\n",
+                r.stats.nodes,
+                r.stats.lp_iterations,
+                r.stats.messages,
+                r.stats.message_bytes,
+                r.stats.makespan_ns / 1e6
+            ));
+            let h = &r.hier;
+            out.push_str(&format!(
+                "hierarchy: {} groups x {}   root messages: {} ({} B)   \
+                 summaries: {}   steals: {} ({} subtrees, {} denied)\n",
+                h.groups,
+                h.fanout,
+                h.root_messages,
+                h.root_message_bytes,
+                h.summaries,
+                h.steals,
+                h.stolen_subtrees,
+                h.steal_denied
+            ));
+            if o.faults.is_some() {
+                let f = &r.stats.faults;
+                out.push_str(&format!(
+                    "faults: {} crashes, {} sub-crashes, {} drops, {} delays, {} straggles   \
+                     recovery: {} reassigned, {} group subtrees shipped, {} respawned, \
+                     {} sub-respawned, {} ranks retired\n",
+                    f.crashes,
+                    f.sub_crashes,
+                    f.drops,
+                    f.delays,
+                    f.straggles,
+                    f.reassignments,
+                    f.group_reassigned_subtrees,
+                    f.respawns,
+                    f.sub_respawns,
+                    f.degraded_ranks
+                ));
+            }
+            if o.metrics {
+                out.push('\n');
+                out.push_str(&gmip_trace::export::summary(&r.stats.metrics));
+            }
+            return Ok(out);
+        }
         let r = solve_parallel(&work, pcfg).map_err(|e| format!("{e}"))?;
         write_trace(session, o, &mut out)?;
         let (objective, x) = postsolve_map(&instance, &pre, r.objective, &r.x);
@@ -952,6 +1036,62 @@ mod tests {
         wrong.faults = Some("7".into());
         let err = solve(gmip_problems::catalog::figure1_knapsack(), &wrong).unwrap_err();
         assert!(err.contains("cluster"), "{err}");
+    }
+
+    #[test]
+    fn solve_with_hierarchical_cluster_strategy() {
+        let mut o = Options::default();
+        o.strategy = "cluster:8x2".into();
+        o.metrics = true;
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert!(out.contains("status: Optimal"), "{out}");
+        assert!(out.contains("objective: 14"), "{out}");
+        assert!(out.contains("hierarchy: 4 groups x 2"), "{out}");
+        assert!(out.contains("root messages:"), "{out}");
+        assert!(out.contains("hier.root.messages"), "{out}");
+        // Same topology, same bytes.
+        let again = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert_eq!(out, again, "hierarchical solve must be deterministic");
+    }
+
+    #[test]
+    fn solve_hierarchical_with_faults() {
+        let mut o = Options::default();
+        o.strategy = "cluster:8x2".into();
+        o.faults = Some("seed=5,sub-crash=1,root-slow=4,horizon=2e5".into());
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert!(out.contains("status: Optimal"), "{out}");
+        assert!(out.contains("sub-crashes"), "{out}");
+        assert!(out.contains("group subtrees shipped"), "{out}");
+    }
+
+    #[test]
+    fn absurd_cluster_widths_are_rejected_before_the_des() {
+        // Satellite regression: `cluster:` parsing used to accept widths
+        // that OOM the discrete-event simulation; anything past MAX_RANKS
+        // must now fail fast with a clean error.
+        let m = gmip_problems::catalog::figure1_knapsack;
+        for bad in [
+            "cluster:1000000",
+            "cluster:4097",
+            "cluster:1000000x8",
+            "cluster:8x0",
+            "cluster:8x",
+            "cluster:0x8",
+            "cluster:x8",
+        ] {
+            let mut o = Options::default();
+            o.strategy = bad.into();
+            let err = solve(m(), &o).unwrap_err();
+            assert!(
+                err.contains(">= 1") || err.contains("ceiling"),
+                "strategy {bad}: got `{err}`"
+            );
+        }
+        // The ceiling itself is inclusive: E10's largest cell must stay
+        // legal, so cluster:1024x32 has to make it past the guard.
+        let o = parse_options(&s(&["x.mps", "--strategy", "cluster:1024x32"])).unwrap();
+        assert_eq!(o.strategy, "cluster:1024x32");
     }
 
     #[test]

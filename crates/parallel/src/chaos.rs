@@ -65,6 +65,22 @@ pub struct ChaosConfig {
     /// cluster degrades to fewer ranks. The last alive rank is immune so
     /// the search always terminates.
     pub max_respawns: usize,
+    /// Sub-supervisor crashes to schedule, uniform over `[0, horizon_ns)`
+    /// (hierarchical clusters only; each takes a whole group down until the
+    /// root detects it, reassigns the group's subtrees, and respawns it).
+    pub sub_crashes: usize,
+    /// Slowdown factor applied to every root ↔ sub-supervisor transfer
+    /// (hierarchical clusters only; 1.0 = healthy root link). Models a
+    /// straggling top-of-fabric switch: summaries, incumbent broadcasts and
+    /// stolen subtrees all pay the inflated latency.
+    pub root_slow_factor: f64,
+    /// Targeted wipe: crash *every* rank of this group at
+    /// [`ChaosConfig::kill_group_at_ns`] (hierarchical clusters only). The
+    /// sub-supervisor survives, detects each rank, and recovers via the
+    /// normal respawn path.
+    pub kill_group: Option<usize>,
+    /// When the [`ChaosConfig::kill_group`] wipe fires, ns.
+    pub kill_group_at_ns: f64,
 }
 
 impl Default for ChaosConfig {
@@ -83,6 +99,10 @@ impl Default for ChaosConfig {
             ack_timeout_ns: 40_000.0,
             respawn_backoff_ns: 50_000.0,
             max_respawns: 3,
+            sub_crashes: 0,
+            root_slow_factor: 1.0,
+            kill_group: None,
+            kill_group_at_ns: 0.0,
         }
     }
 }
@@ -120,7 +140,8 @@ impl ChaosConfig {
     ///
     /// Keys: `seed`, `crash`, `drop`, `delay`, `delay-ns`, `straggle`,
     /// `factor`, `straggle-ns`, `horizon`, `heartbeat`, `ack`, `backoff`,
-    /// `respawns`.
+    /// `respawns`, and the hierarchy-only knobs `sub-crash`, `root-slow`,
+    /// `kill-group`, `kill-group-at`.
     pub fn parse(spec: &str) -> Result<Self, String> {
         if let Ok(seed) = spec.trim().parse::<u64>() {
             return Ok(Self {
@@ -165,11 +186,18 @@ impl ChaosConfig {
                 "ack" => cfg.ack_timeout_ns = fnum()?,
                 "backoff" => cfg.respawn_backoff_ns = fnum()?,
                 "respawns" => cfg.max_respawns = unum()?,
+                "sub-crash" | "sub-crashes" => cfg.sub_crashes = unum()?,
+                "root-slow" => cfg.root_slow_factor = fnum()?,
+                "kill-group" => cfg.kill_group = Some(unum()?),
+                "kill-group-at" => cfg.kill_group_at_ns = fnum()?,
                 other => return Err(format!("unknown fault spec key `{other}`")),
             }
         }
         if !(0.0..=1.0).contains(&cfg.drop_prob) || !(0.0..=1.0).contains(&cfg.delay_prob) {
             return Err("fault probabilities must be in [0, 1]".into());
+        }
+        if cfg.root_slow_factor < 1.0 {
+            return Err("root-slow must be >= 1.0 (it is a slowdown factor)".into());
         }
         Ok(cfg)
     }
@@ -275,6 +303,28 @@ impl FaultPlan {
         1.0
     }
 
+    /// Scheduled sub-supervisor crashes for a hierarchy of `groups` groups,
+    /// as `(time_ns, group)` sorted by time. Sampled from a fork of the
+    /// seed (like [`Self::thread_crash_points`]) so the schedule neither
+    /// consumes nor perturbs the per-message fate stream.
+    pub fn sub_crash_schedule(&self, groups: usize) -> Vec<(f64, usize)> {
+        assert!(groups >= 1, "hierarchy needs at least one group");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ 0xD6E8_FEB8_6659_FD93);
+        let mut crashes: Vec<(f64, usize)> = (0..self.cfg.sub_crashes)
+            .map(|_| {
+                let t = rng.gen_range(0.0..self.cfg.horizon_ns.max(1.0));
+                let g = rng.gen_range(0..groups);
+                (t, g)
+            })
+            .collect();
+        crashes.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite times")
+                .then(a.1.cmp(&b.1))
+        });
+        crashes
+    }
+
     /// Crash points for the *threaded* backend, which has no simulated
     /// clock: for each rank, `Some(k)` means its worker thread dies when
     /// handed its `k+1`-th assignment (silently, without reporting).
@@ -311,12 +361,19 @@ pub struct FaultStats {
     pub respawns: usize,
     /// Ranks permanently retired after exhausting their respawn budget.
     pub degraded_ranks: usize,
+    /// Sub-supervisor crashes that landed on an alive group (hierarchy).
+    pub sub_crashes: usize,
+    /// Sub-supervisors brought back after their backoff (hierarchy).
+    pub sub_respawns: usize,
+    /// Subtrees the root shipped off a dead or fully-retired group to
+    /// survivors (hierarchy; open nodes plus written-off in-flight work).
+    pub group_reassigned_subtrees: usize,
 }
 
 impl FaultStats {
     /// Whether any fault was injected at all.
     pub fn any(&self) -> bool {
-        self.crashes + self.drops + self.delays + self.straggles > 0
+        self.crashes + self.drops + self.delays + self.straggles + self.sub_crashes > 0
     }
 }
 
@@ -416,5 +473,50 @@ mod tests {
         assert!(ChaosConfig::parse("drop=2.0").is_err(), "probability > 1");
         assert!(ChaosConfig::parse("bogus=1").is_err());
         assert!(ChaosConfig::parse("crash").is_err(), "missing value");
+    }
+
+    #[test]
+    fn hierarchy_spec_keys() {
+        let cfg =
+            ChaosConfig::parse("seed=5,sub-crash=2,root-slow=8,kill-group=1,kill-group-at=4e5")
+                .unwrap();
+        assert_eq!(cfg.sub_crashes, 2);
+        assert!((cfg.root_slow_factor - 8.0).abs() < 1e-12);
+        assert_eq!(cfg.kill_group, Some(1));
+        assert!((cfg.kill_group_at_ns - 4e5).abs() < 1e-6);
+        assert!(
+            ChaosConfig::parse("root-slow=0.5").is_err(),
+            "a speedup is not a straggle"
+        );
+    }
+
+    #[test]
+    fn sub_crash_schedule_is_deterministic_and_independent_of_fates() {
+        let mk = || {
+            FaultPlan::new(
+                ChaosConfig {
+                    sub_crashes: 3,
+                    drop_prob: 0.3,
+                    horizon_ns: 9_000.0,
+                    ..ChaosConfig::quiet(13)
+                },
+                8,
+            )
+        };
+        let (mut a, b) = (mk(), mk());
+        // Consuming message fates must not move the sub-crash schedule.
+        for _ in 0..10 {
+            a.sample_fate();
+        }
+        assert_eq!(a.sub_crash_schedule(4), b.sub_crash_schedule(4));
+        let sched = b.sub_crash_schedule(4);
+        assert_eq!(sched.len(), 3);
+        for w in sched.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for &(t, g) in &sched {
+            assert!((0.0..9_000.0).contains(&t));
+            assert!(g < 4);
+        }
     }
 }

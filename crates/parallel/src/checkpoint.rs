@@ -36,6 +36,26 @@ impl Checkpoint {
         self.frontier.is_empty()
     }
 
+    /// Merges per-group checkpoints into one cluster-wide snapshot: the
+    /// frontier is the union of the parts' frontiers and the incumbent is
+    /// the best (largest internal objective) any part carries. This is how
+    /// the hierarchical supervisor materializes a consistent global
+    /// checkpoint from sub-supervisor snapshots without shipping trees —
+    /// each group contributes only the subproblems it owns.
+    pub fn merge(parts: impl IntoIterator<Item = Checkpoint>) -> Checkpoint {
+        let mut frontier = Vec::new();
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+        for part in parts {
+            frontier.extend(part.frontier);
+            if let Some((v, x)) = part.incumbent {
+                if incumbent.as_ref().is_none_or(|(best, _)| v > *best) {
+                    incumbent = Some((v, x));
+                }
+            }
+        }
+        Checkpoint::new(frontier, incumbent)
+    }
+
     /// Whether the subproblem described by `bounds` lies inside the region
     /// this checkpoint covers: some frontier entry is an *ancestor prefix*
     /// of `bounds` (bound changes accumulate root-to-leaf, so a node's
@@ -114,6 +134,25 @@ mod tests {
         assert!(!c.covers(&[]), "the root precedes every checkpoint");
         // An empty frontier entry (the root) covers everything.
         assert!(Checkpoint::new(vec![vec![]], None).covers(&[bc(9, 0.0, 1.0)]));
+    }
+
+    #[test]
+    fn merge_unions_frontiers_and_keeps_best_incumbent() {
+        let bc = |var: usize| BoundChange {
+            var,
+            lb: 0.0,
+            ub: 1.0,
+        };
+        let a = Checkpoint::new(vec![vec![bc(0)]], Some((3.0, vec![1.0])));
+        let b = Checkpoint::new(vec![vec![bc(1)], vec![bc(2)]], Some((7.0, vec![2.0])));
+        let c = Checkpoint::new(vec![], None);
+        let merged = Checkpoint::merge([a, b, c]);
+        assert_eq!(merged.len(), 3);
+        assert!(merged.covers(&[bc(1), bc(9)]));
+        let (v, x) = merged.incumbent.expect("best part incumbent survives");
+        assert_eq!(v, 7.0);
+        assert_eq!(x, vec![2.0]);
+        assert!(Checkpoint::merge(std::iter::empty()).is_empty());
     }
 
     /// The paper's restart property: resuming from a mid-search snapshot

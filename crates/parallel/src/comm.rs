@@ -163,6 +163,60 @@ impl NodeReport {
     }
 }
 
+/// A periodic sub-supervisor → root load summary: the only per-group state
+/// the hierarchical root sees. Its size is *independent of the frontier* —
+/// that is the whole point of the hierarchy: root-link traffic aggregates a
+/// group's backlog into one fixed-size record instead of per-node reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSummary {
+    /// The reporting group.
+    pub group: usize,
+    /// Open (dispatchable) subproblems the group owns at send time.
+    pub open: usize,
+    /// Best (largest, internal sense) bound among them; `-inf` when idle.
+    pub best_bound: f64,
+}
+
+impl LoadSummary {
+    /// Serialized size estimate: `(usize, usize, f64)`.
+    pub fn bytes(&self) -> usize {
+        24
+    }
+}
+
+/// An incumbent a group pushes up to the root: value plus the point (the
+/// root keeps the best point; groups only ever need the value to prune).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncumbentUpdate {
+    /// Internal (maximize-sense) objective.
+    pub value: f64,
+    /// The feasible point.
+    pub x: Vec<f64>,
+}
+
+impl IncumbentUpdate {
+    /// Serialized size estimate.
+    pub fn bytes(&self) -> usize {
+        16 + self.x.len() * 8
+    }
+}
+
+/// Root → group incumbent broadcast size: the aggregated bound *value*
+/// only, never the point — root-link bytes stay O(1) per improvement.
+pub const INCUMBENT_BROADCAST_BYTES: usize = 16;
+
+/// Steal-protocol control messages (request, deny, root → victim order)
+/// are fixed-size headers: `(thief, victim, fence)`.
+pub const STEAL_CONTROL_BYTES: usize = 24;
+
+/// Serialized size of one frontier subtree root crossing the root link
+/// during a steal grant or a group reassignment: the node's cumulative
+/// bound changes plus a header (no warm basis — a stolen subtree cold
+/// starts on its new group, like a post-crash reassignment).
+pub fn subtree_bytes(bounds: &[BoundChange]) -> usize {
+    16 + bounds.len() * 24
+}
+
 /// Compact basis size helper (used when sizing checkpoint payloads).
 pub fn basis_bytes(b: &Basis) -> usize {
     b.cols.len() * 8
@@ -259,6 +313,36 @@ mod tests {
             lp_iterations: 1,
         };
         assert_eq!(feas.bytes(), 32 + 8 + 32);
+    }
+
+    #[test]
+    fn hierarchy_control_messages_are_frontier_independent() {
+        let small = LoadSummary {
+            group: 0,
+            open: 2,
+            best_bound: 1.0,
+        };
+        let huge = LoadSummary {
+            group: 3,
+            open: 1 << 20,
+            best_bound: 9.0,
+        };
+        // A summary costs the same no matter how deep the backlog is.
+        assert_eq!(small.bytes(), huge.bytes());
+        let upd = IncumbentUpdate {
+            value: 5.0,
+            x: vec![1.0; 10],
+        };
+        assert_eq!(upd.bytes(), 16 + 80);
+        // Broadcasts strip the point.
+        assert!(INCUMBENT_BROADCAST_BYTES < upd.bytes());
+        let bc = BoundChange {
+            var: 0,
+            lb: 0.0,
+            ub: 1.0,
+        };
+        assert_eq!(subtree_bytes(&[bc; 3]), 16 + 72);
+        assert_eq!(subtree_bytes(&[]), 16);
     }
 
     #[test]

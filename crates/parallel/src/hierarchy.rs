@@ -1,0 +1,1794 @@
+//! Hierarchical supervisor-of-supervisors tree parallelism.
+//!
+//! The flat [`crate::supervisor`] is a star: every rank exchanges every
+//! node with one coordinator, so root-link traffic grows linearly with the
+//! rank count — exactly the scalability wall Section 2.3 attributes to
+//! centrally coordinated branch and bound on leadership machines. This
+//! module adds the paper's remedy, a *two-tier hierarchy*: ranks are
+//! grouped under sub-supervisors (`cluster:256x16` = 256 ranks in groups
+//! of 16), and the root exchanges only three kinds of aggregated,
+//! frontier-independent messages with the sub-supervisors:
+//!
+//! * periodic fixed-size [`LoadSummary`]s (one per group per interval);
+//! * incumbent flow — a group pushes an [`IncumbentUpdate`] up, the root
+//!   broadcasts the improved *value* (never the point) back down;
+//! * the steal protocol — an idle group asks the root for work, the root
+//!   picks a victim from its summary view with a *seeded* policy, and the
+//!   victim ships frontier subtrees over.
+//!
+//! Everything runs on the same simulated-ns DES clock as the flat
+//! cluster, so the whole schedule — including steals — is a pure function
+//! of (instance, config, seeds) and reruns are byte-identical.
+//!
+//! **Fencing invariant.** A subtree leaving its group is moved to
+//! `Evaluating` *before* the transfer is scheduled, and only re-enters an
+//! active set at its [`HEventKind::SubtreeArrive`] event. While in
+//! transit it is invisible to dispatch, stealing, and pruning on *both*
+//! sides, so no node can be evaluated by two groups or dropped between
+//! them, regardless of how steal timing interleaves with crashes — the
+//! merge order at the root is canonical because every exchange is guarded
+//! by its dispatch id and every migration by its transfer id.
+
+use crate::chaos::FaultPlan;
+use crate::checkpoint::Checkpoint;
+use crate::comm::{
+    subtree_bytes, Assignment, Delivery, IncumbentUpdate, LoadSummary, NetworkModel, NodeOutcome,
+    NodeReport, INCUMBENT_BROADCAST_BYTES, STEAL_CONTROL_BYTES,
+};
+use crate::supervisor::{ParPayload, ParallelConfig, ParallelStats};
+use crate::worker::Worker;
+use gmip_core::MipStatus;
+use gmip_lp::{BoundChange, LpResult};
+use gmip_problems::{MipInstance, Objective};
+use gmip_trace::{names, Event as TraceSpan, Track};
+use gmip_tree::{NodeId, NodeState, SearchTree};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Hard ceiling on the simulated rank count. The DES keeps O(ranks) state
+/// per event round; widths beyond this are almost certainly a typo
+/// (`cluster:1000000x8`) and would OOM the simulation, so strategy parsing
+/// rejects them up front.
+pub const MAX_RANKS: usize = 4096;
+
+/// Topology and steal-policy knobs of the hierarchical cluster.
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Ranks per sub-supervisor group (the last group may be narrower).
+    pub fanout: usize,
+    /// Seed of the root's steal-victim policy: identical seeds make
+    /// identical steal decisions given identical summary views.
+    pub steal_seed: u64,
+    /// Sub-supervisor → root load-summary cadence, simulated ns.
+    pub summary_every_ns: f64,
+    /// Most subtrees one steal grant may ship.
+    pub steal_max: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self {
+            fanout: 8,
+            steal_seed: 0x5EED,
+            summary_every_ns: 25_000.0,
+            steal_max: 4,
+        }
+    }
+}
+
+/// Hierarchy-tier counters (the flat-tier counters live in
+/// [`ParallelStats`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HierStats {
+    /// Sub-supervisor groups.
+    pub groups: usize,
+    /// Configured group width.
+    pub fanout: usize,
+    /// Messages crossing the root ↔ sub-supervisor links. The hierarchy's
+    /// whole point: this grows with the *group* count and the summary
+    /// cadence, not with the node count × rank count of the flat star.
+    pub root_messages: usize,
+    /// Bytes crossing the root links.
+    pub root_message_bytes: usize,
+    /// Load summaries delivered to the root.
+    pub summaries: usize,
+    /// Incumbent value broadcasts fanned out by the root.
+    pub incumbent_broadcasts: usize,
+    /// Steal orders the root granted.
+    pub steals: usize,
+    /// Frontier subtrees shipped by those grants.
+    pub stolen_subtrees: usize,
+    /// Steal requests the root denied (no viable victim).
+    pub steal_denied: usize,
+    /// Subtrees that completed a migration (steal, spread handoff, or
+    /// group reassignment) and re-entered an active set.
+    pub transit_arrivals: usize,
+    /// Determinism audit: how often the most-evaluated node was merged.
+    /// Exactly 1 on a fault-free run — steals never duplicate work.
+    pub max_evaluations_per_node: u32,
+}
+
+/// Result of a hierarchical solve: the flat result shape plus the
+/// hierarchy-tier counters.
+#[derive(Debug)]
+pub struct HierResult {
+    /// Terminal status.
+    pub status: MipStatus,
+    /// Incumbent objective (source sense; NaN if none).
+    pub objective: f64,
+    /// Incumbent point.
+    pub x: Vec<f64>,
+    /// Flat-tier statistics (makespan, nodes, messages, faults, tree).
+    pub stats: ParallelStats,
+    /// Hierarchy-tier statistics.
+    pub hier: HierStats,
+    /// Snapshots captured during the run (if configured).
+    pub snapshots: Vec<Checkpoint>,
+}
+
+/// What a scheduled hierarchy DES event means when it fires. `entity` on
+/// the event is a rank id for the rank-tier kinds and a group id for the
+/// group-tier kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HEventKind {
+    /// A worker's report reaches its sub-supervisor (and the merge).
+    Deliver {
+        /// Exchange id; stale deliveries are ignored.
+        dispatch: u64,
+    },
+    /// The sub-supervisor gave up waiting for an ack on this exchange.
+    AckTimeout {
+        /// Exchange id it guards.
+        dispatch: u64,
+    },
+    /// A planned fault kills the rank.
+    RankCrash,
+    /// Missing heartbeats reveal the dead rank to its sub-supervisor.
+    RankDetect,
+    /// The rank's replacement comes up.
+    RankRespawn,
+    /// A planned fault kills a whole sub-supervisor.
+    SubCrash,
+    /// Missing heartbeats reveal the dead sub-supervisor to the root.
+    SubDetect,
+    /// The sub-supervisor's replacement comes up (its group re-acquires
+    /// work by stealing).
+    SubRespawn,
+    /// A group's summary timer fires (reschedules itself).
+    SummaryDue,
+    /// A group's load summary reaches the root.
+    SummaryArrive {
+        /// Open nodes the group reported.
+        open: usize,
+        /// Best open bound it reported.
+        bound: f64,
+    },
+    /// A group's incumbent update reaches the root.
+    IncumbentAtRoot {
+        /// Key into the pending-update side table.
+        xfer: u64,
+    },
+    /// The root's incumbent value broadcast reaches a group.
+    IncumbentAtGroup {
+        /// The broadcast internal-sense value.
+        value: f64,
+    },
+    /// An idle group's steal request reaches the root.
+    StealRequestAtRoot {
+        /// The requesting group.
+        thief: usize,
+    },
+    /// The root's denial reaches the requesting group.
+    StealDenyAtGroup,
+    /// The root's steal order reaches the victim group.
+    StealOrderAtVictim {
+        /// Where the victim must ship subtrees.
+        thief: usize,
+    },
+    /// A migrating subtree batch arrives at its destination group.
+    SubtreeArrive {
+        /// Key into the in-transit side table.
+        xfer: u64,
+    },
+}
+
+#[derive(Debug, PartialEq)]
+struct HEvent {
+    time: f64,
+    /// Global monotone tie-break, as in the flat supervisor: identical
+    /// times resolve in push order, keeping the run deterministic.
+    seq: u64,
+    entity: usize,
+    kind: HEventKind,
+}
+
+impl Eq for HEvent {}
+
+impl PartialOrd for HEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are never NaN")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// One outstanding sub-supervisor → worker exchange.
+#[derive(Debug)]
+struct InFlight {
+    dispatch: u64,
+    node: NodeId,
+    report: Option<NodeReport>,
+}
+
+/// Liveness bookkeeping for one rank (mirrors the flat supervisor's).
+#[derive(Debug, Clone)]
+struct RankState {
+    alive: bool,
+    retired: bool,
+    respawn_pending: bool,
+    respawns: usize,
+    down_since: f64,
+}
+
+impl RankState {
+    fn fresh() -> Self {
+        Self {
+            alive: true,
+            retired: false,
+            respawn_pending: false,
+            respawns: 0,
+            down_since: 0.0,
+        }
+    }
+}
+
+/// Liveness + protocol state of one sub-supervisor group.
+#[derive(Debug, Clone)]
+struct GroupState {
+    /// The sub-supervisor process is up.
+    alive: bool,
+    respawn_pending: bool,
+    respawns: usize,
+    down_since: f64,
+    /// Best incumbent *value* this group knows (internal maximize sense).
+    /// Groups never hold the point — only the root does.
+    incumbent: f64,
+    /// A steal request or granted transfer is outstanding.
+    steal_pending: bool,
+    /// No new steal request before this time (set by a denial).
+    steal_backoff_until: f64,
+    /// Consecutive denials since the last granted steal; drives the
+    /// exponential request backoff so an idle group doesn't spam the root
+    /// for the whole tail of the solve.
+    deny_streak: u32,
+    /// The `(open, best_bound)` the group last shipped to the root.
+    /// Summaries are delta-compressed: an unchanged load report is not
+    /// resent, so a drained group goes silent after one final `open = 0`.
+    last_summary: Option<(usize, f64)>,
+}
+
+impl GroupState {
+    fn fresh() -> Self {
+        Self {
+            alive: true,
+            respawn_pending: false,
+            respawns: 0,
+            down_since: 0.0,
+            incumbent: f64::NEG_INFINITY,
+            steal_pending: false,
+            steal_backoff_until: 0.0,
+            deny_streak: 0,
+            last_summary: None,
+        }
+    }
+}
+
+/// SplitMix64: the root's stateless steal-victim hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The two-tier discrete-event supervisor.
+#[derive(Debug)]
+pub struct HierSupervisor {
+    instance: MipInstance,
+    cfg: ParallelConfig,
+    hcfg: HierarchyConfig,
+    groups: usize,
+    tree: SearchTree<ParPayload>,
+    workers: Vec<Worker>,
+    ranks: Vec<RankState>,
+    lost_busy_ns: Vec<f64>,
+    in_flight: Vec<Option<InFlight>>,
+    gstate: Vec<GroupState>,
+    /// The root's (lagged) view of each group: last summarized
+    /// (open, best bound).
+    root_view: Vec<(usize, f64)>,
+    events: BinaryHeap<Reverse<HEvent>>,
+    next_seq: u64,
+    next_dispatch: u64,
+    next_xfer: u64,
+    now: f64,
+    /// The only place a feasible *point* lives above the workers.
+    root_incumbent: Option<(f64, Vec<f64>)>,
+    /// Migrating subtree batches: xfer id → (destination group, nodes).
+    in_transit: BTreeMap<u64, (usize, Vec<NodeId>)>,
+    /// Incumbent updates on the wire: xfer id → (from group, value, point).
+    inc_updates: BTreeMap<u64, (usize, f64, Vec<f64>)>,
+    /// Group → root incumbent updates not yet merged; termination must
+    /// wait for them or the final objective could be stale.
+    pending_root_updates: usize,
+    steal_counter: u64,
+    /// Determinism audit: merges per node id.
+    eval_counts: Vec<u32>,
+    stats: ParallelStats,
+    hier: HierStats,
+    snapshots: Vec<Checkpoint>,
+    last_checkpoint: Option<Checkpoint>,
+    plan: Option<FaultPlan>,
+}
+
+impl HierSupervisor {
+    /// Builds the hierarchy and schedules planned faults plus the first
+    /// round of summary timers.
+    pub fn new(
+        instance: MipInstance,
+        cfg: ParallelConfig,
+        hcfg: HierarchyConfig,
+    ) -> LpResult<Self> {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(hcfg.fanout >= 1, "need at least one rank per group");
+        assert!(
+            cfg.workers <= MAX_RANKS,
+            "rank count {} exceeds MAX_RANKS {MAX_RANKS}",
+            cfg.workers
+        );
+        let groups = cfg.workers.div_ceil(hcfg.fanout);
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for id in 0..cfg.workers {
+            workers.push(Worker::new_with_lanes(
+                id,
+                &instance,
+                cfg.gpu_cost.clone(),
+                cfg.gpu_mem,
+                cfg.lp.clone(),
+                cfg.int_tol,
+                cfg.batched_lanes,
+            )?);
+        }
+        let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
+        let plan = cfg
+            .chaos
+            .clone()
+            .map(|chaos| FaultPlan::new(chaos, cfg.workers));
+        let mut sup = Self {
+            tree: SearchTree::with_root(ParPayload::default(), node_bytes),
+            ranks: vec![RankState::fresh(); cfg.workers],
+            lost_busy_ns: vec![0.0; cfg.workers],
+            in_flight: (0..cfg.workers).map(|_| None).collect(),
+            gstate: vec![GroupState::fresh(); groups],
+            root_view: vec![(0, f64::NEG_INFINITY); groups],
+            workers,
+            groups,
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            next_dispatch: 0,
+            next_xfer: 0,
+            now: 0.0,
+            root_incumbent: None,
+            in_transit: BTreeMap::new(),
+            inc_updates: BTreeMap::new(),
+            pending_root_updates: 0,
+            steal_counter: 0,
+            eval_counts: Vec::new(),
+            stats: ParallelStats::default(),
+            hier: HierStats {
+                groups,
+                fanout: hcfg.fanout,
+                ..HierStats::default()
+            },
+            snapshots: Vec::new(),
+            last_checkpoint: None,
+            plan,
+            instance,
+            cfg,
+            hcfg,
+        };
+        if let Some(plan) = &sup.plan {
+            let rank_crashes = plan.crash_schedule().to_vec();
+            let sub_crashes = plan.sub_crash_schedule(groups);
+            let chaos = plan.cfg().clone();
+            for (time, worker) in rank_crashes {
+                sup.push_event(time, worker, HEventKind::RankCrash);
+            }
+            for (time, group) in sub_crashes {
+                sup.push_event(time, group, HEventKind::SubCrash);
+            }
+            if let Some(g) = chaos.kill_group {
+                if g < groups {
+                    for w in sup.ranks_of(g) {
+                        sup.push_event(chaos.kill_group_at_ns, w, HEventKind::RankCrash);
+                    }
+                }
+            }
+        }
+        for g in 0..groups {
+            sup.push_event(sup.hcfg.summary_every_ns, g, HEventKind::SummaryDue);
+        }
+        // Warm-start entry point: a pooled solution seeds the root *and*
+        // every group's pruning value, exactly like the flat cluster.
+        if let Some(seed) = sup.cfg.seed_solution.clone() {
+            let mut p = seed;
+            for j in sup.instance.integral_indices() {
+                if let Some(v) = p.get_mut(j) {
+                    *v = v.round();
+                }
+            }
+            if sup.instance.is_integer_feasible(&p, 1e-6) {
+                let source = sup.instance.objective_value(&p);
+                let internal = match sup.instance.objective {
+                    Objective::Maximize => source,
+                    Objective::Minimize => -source,
+                };
+                sup.root_incumbent = Some((internal, p));
+                for g in &mut sup.gstate {
+                    g.incumbent = internal;
+                }
+                sup.stats.metrics.incr(names::BB_WARM_SEEDS, 1.0);
+            }
+        }
+        if sup.cfg.warm_start {
+            if let Some(b) = sup.cfg.root_basis.clone() {
+                let root = sup.tree.root();
+                sup.tree.node_mut(root).data.warm_basis = Some(b);
+            }
+        }
+        Ok(sup)
+    }
+
+    fn push_event(&mut self, time: f64, entity: usize, kind: HEventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(HEvent {
+            time,
+            seq,
+            entity,
+            kind,
+        }));
+    }
+
+    fn group_of(&self, rank: usize) -> usize {
+        rank / self.hcfg.fanout
+    }
+
+    fn ranks_of(&self, group: usize) -> std::ops::Range<usize> {
+        let lo = group * self.hcfg.fanout;
+        lo..((group + 1) * self.hcfg.fanout).min(self.cfg.workers)
+    }
+
+    fn to_source(&self, internal: f64) -> f64 {
+        match self.instance.objective {
+            Objective::Maximize => internal,
+            Objective::Minimize => -internal,
+        }
+    }
+
+    fn root_slow(&self) -> f64 {
+        self.plan
+            .as_ref()
+            .map(|p| p.cfg().root_slow_factor)
+            .unwrap_or(1.0)
+    }
+
+    /// Charges one message on a root ↔ sub-supervisor link and returns its
+    /// transfer time. The root link is a *reliable* control channel (it
+    /// never consumes the per-message fate stream, keeping the worker-tier
+    /// fates aligned with the flat cluster) but a chaos plan can straggle
+    /// it via `root_slow_factor`.
+    fn ship_root(&mut self, bytes: usize) -> f64 {
+        self.hier.root_messages += 1;
+        self.hier.root_message_bytes += bytes;
+        self.stats.messages += 1;
+        self.stats.message_bytes += bytes;
+        self.cfg.network.transfer_ns(bytes) * self.root_slow()
+    }
+
+    /// Moves `nodes` (already `Evaluating`) onto the wire toward group
+    /// `dest` over `hops` root-link messages, retagging their partition.
+    fn ship_subtrees(&mut self, dest: usize, nodes: Vec<NodeId>, hops: usize) {
+        debug_assert!(!nodes.is_empty());
+        let mut bytes = 0usize;
+        for &id in &nodes {
+            self.tree.node_mut(id).data.partition = dest;
+            bytes += subtree_bytes(&self.tree.node(id).data.bounds);
+        }
+        let mut transfer = 0.0;
+        for _ in 0..hops {
+            transfer += self.ship_root(bytes);
+        }
+        let xfer = self.next_xfer;
+        self.next_xfer += 1;
+        self.in_transit.insert(xfer, (dest, nodes));
+        self.push_event(
+            self.now + transfer,
+            dest,
+            HEventKind::SubtreeArrive { xfer },
+        );
+    }
+
+    /// Dispatches work inside every group, then lets starved groups ask
+    /// the root for steals. Returns how many evaluations started.
+    fn dispatch(&mut self) -> LpResult<usize> {
+        // Bucket the open frontier by owning group once per round; picks
+        // below are content-ordered, so removal order cannot leak in.
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); self.groups];
+        for &id in self.tree.active_ids() {
+            buckets[self.tree.node(id).data.partition].push(id);
+        }
+        let mut inflight_per_group = vec![0usize; self.groups];
+        for (w, f) in self.in_flight.iter().enumerate() {
+            if f.is_some() {
+                inflight_per_group[self.group_of(w)] += 1;
+            }
+        }
+        let mut started = 0;
+        for w in 0..self.workers.len() {
+            let g = self.group_of(w);
+            if !self.gstate[g].alive
+                || !self.ranks[w].alive
+                || self.in_flight[w].is_some()
+                || self.workers[w].busy_until > self.now
+            {
+                continue;
+            }
+            let width = self.ranks_of(g).len();
+            let ramping = self.cfg.ramp_up && (buckets[g].len() + inflight_per_group[g]) < width;
+            let pick = if buckets[g].is_empty() {
+                None
+            } else if ramping {
+                // Breadth-first widening inside the group.
+                buckets[g]
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        self.tree
+                            .node(a)
+                            .depth
+                            .cmp(&self.tree.node(b).depth)
+                            .then(a.cmp(&b))
+                    })
+                    .map(|(i, _)| i)
+            } else {
+                // Best bound first.
+                buckets[g]
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        self.tree
+                            .node(b)
+                            .bound
+                            .partial_cmp(&self.tree.node(a).bound)
+                            .expect("bounds are never NaN")
+                            .then(a.cmp(&b))
+                    })
+                    .map(|(i, _)| i)
+            };
+            let Some(i) = pick else {
+                continue;
+            };
+            let id = buckets[g].swap_remove(i);
+            inflight_per_group[g] += 1;
+            self.tree.begin_evaluation(id);
+            let node = self.tree.node(id);
+            let assignment = Assignment {
+                node_id: id,
+                bounds: node.data.bounds.clone(),
+                warm_basis: if self.cfg.warm_start {
+                    node.data.warm_basis.clone()
+                } else {
+                    None
+                },
+                incumbent: self.gstate[g].incumbent,
+            };
+            let dispatch = self.next_dispatch;
+            self.next_dispatch += 1;
+            let a_bytes = assignment.bytes();
+            self.stats.messages += 1;
+            self.stats.message_bytes += a_bytes;
+            self.stats
+                .metrics
+                .incr(names::CLUSTER_NODES_DISPATCHED, 1.0);
+            started += 1;
+            let net: NetworkModel = self.cfg.network;
+            let ack_ns = self
+                .plan
+                .as_ref()
+                .map(|p| p.cfg().ack_timeout_ns)
+                .unwrap_or(f64::INFINITY);
+            // Sub-supervisor → worker leg (intra-group: the unmodified
+            // network model, the unmodified fate stream).
+            let Delivery::Delivered {
+                transfer_ns: send_ns,
+                injected_ns: send_delay,
+            } = net.ship(a_bytes, self.plan.as_mut())
+            else {
+                self.stats.faults.drops += 1;
+                let (t0, nid) = (self.now, id as u64);
+                gmip_trace::record(|| {
+                    TraceSpan::instant(Track::cluster_rank(0), "fault.drop", t0)
+                        .arg("node", nid)
+                        .arg("leg", "assignment")
+                });
+                self.in_flight[w] = Some(InFlight {
+                    dispatch,
+                    node: id,
+                    report: None,
+                });
+                self.push_event(self.now + ack_ns, w, HEventKind::AckTimeout { dispatch });
+                continue;
+            };
+            if send_delay > 0.0 {
+                self.stats.faults.delays += 1;
+            }
+            let eval_start = self.now + send_ns;
+            let slow = self
+                .plan
+                .as_ref()
+                .map(|p| p.slowdown(w, eval_start))
+                .unwrap_or(1.0);
+            if slow > 1.0 {
+                self.stats.faults.straggles += 1;
+            }
+            self.workers[w].slowdown = slow;
+            let report = self.workers[w].evaluate(&assignment)?;
+            let r_bytes = report.bytes();
+            self.stats.messages += 1;
+            self.stats.message_bytes += r_bytes;
+            let rank = Track::cluster_rank((w + 1) as u32);
+            let (t0, eval_ns, nid) = (self.now, report.eval_ns, id as u64);
+            gmip_trace::record(|| {
+                TraceSpan::complete(rank, "recv", send_ns, t0)
+                    .arg("node", nid)
+                    .arg("bytes", a_bytes as u64)
+                    .arg("delayed_ns", send_delay)
+            });
+            gmip_trace::record(|| {
+                TraceSpan::complete(rank, "eval", eval_ns, t0 + send_ns).arg("node", nid)
+            });
+            // Worker → sub-supervisor leg.
+            match net.ship(r_bytes, self.plan.as_mut()) {
+                Delivery::Delivered {
+                    transfer_ns: reply_ns,
+                    injected_ns: reply_delay,
+                } => {
+                    if reply_delay > 0.0 {
+                        self.stats.faults.delays += 1;
+                    }
+                    let done = self.now + send_ns + report.eval_ns + reply_ns;
+                    gmip_trace::record(|| {
+                        TraceSpan::complete(rank, "send", reply_ns, t0 + send_ns + eval_ns)
+                            .arg("node", nid)
+                            .arg("bytes", r_bytes as u64)
+                            .arg("delayed_ns", reply_delay)
+                    });
+                    self.workers[w].busy_until = done;
+                    self.in_flight[w] = Some(InFlight {
+                        dispatch,
+                        node: id,
+                        report: Some(report),
+                    });
+                    self.push_event(done, w, HEventKind::Deliver { dispatch });
+                }
+                Delivery::Dropped => {
+                    self.stats.faults.drops += 1;
+                    let busy = self.now + send_ns + report.eval_ns;
+                    gmip_trace::record(|| {
+                        TraceSpan::instant(rank, "fault.drop", t0 + send_ns + eval_ns)
+                            .arg("node", nid)
+                            .arg("leg", "report")
+                    });
+                    self.workers[w].busy_until = busy;
+                    self.in_flight[w] = Some(InFlight {
+                        dispatch,
+                        node: id,
+                        report: Some(report),
+                    });
+                    self.push_event(
+                        (self.now + ack_ns).max(busy),
+                        w,
+                        HEventKind::AckTimeout { dispatch },
+                    );
+                }
+            }
+        }
+        // A group whose frontier ran dry while it still has an idle rank
+        // asks the root for work — unless a request or an inbound transfer
+        // is already pending, or it is inside a denial backoff.
+        if self.groups >= 2 {
+            for g in 0..self.groups {
+                let gs = &self.gstate[g];
+                if !gs.alive
+                    || gs.steal_pending
+                    || self.now < gs.steal_backoff_until
+                    || !buckets[g].is_empty()
+                {
+                    continue;
+                }
+                let idle = self.ranks_of(g).any(|w| {
+                    self.ranks[w].alive
+                        && self.in_flight[w].is_none()
+                        && self.workers[w].busy_until <= self.now
+                });
+                if !idle || self.in_transit.values().any(|(d, _)| *d == g) {
+                    continue;
+                }
+                self.gstate[g].steal_pending = true;
+                let transfer = self.ship_root(STEAL_CONTROL_BYTES);
+                let ts = self.now;
+                gmip_trace::record(|| {
+                    TraceSpan::instant(Track::cluster_rank(0), names::SPAN_HIER_STEAL_REQUEST, ts)
+                        .arg("thief", g as u64)
+                });
+                self.push_event(
+                    self.now + transfer,
+                    0,
+                    HEventKind::StealRequestAtRoot { thief: g },
+                );
+            }
+        }
+        Ok(started)
+    }
+
+    /// A group whose ranks are *all* permanently retired can never make
+    /// progress again (sub-supervisor respawns are always granted, rank
+    /// retirements are forever): routing work there would deadlock the
+    /// solve, so every migration path checks this first.
+    fn group_retired(&self, g: usize) -> bool {
+        self.ranks_of(g).all(|w| self.ranks[w].retired)
+    }
+
+    /// Returns a lost in-flight subproblem to its group's open set.
+    fn reassign(&mut self, node: NodeId) {
+        if self.tree.reopen(node) {
+            self.stats.faults.reassignments += 1;
+            debug_assert!(
+                self.last_checkpoint
+                    .as_ref()
+                    .is_none_or(|c| c.covers(&self.tree.node(node).data.bounds)),
+                "recovery invariant: the last checkpoint must cover every lost subproblem"
+            );
+            let (ts, nid) = (self.now, node as u64);
+            gmip_trace::record(|| {
+                TraceSpan::instant(Track::cluster_rank(0), "recovery.reassign", ts).arg("node", nid)
+            });
+        }
+    }
+
+    fn on_deliver(&mut self, worker: usize, dispatch: u64) {
+        let g = self.group_of(worker);
+        if !self.ranks[worker].alive || !self.gstate[g].alive {
+            return; // rank or its sub-supervisor died with the report in transit
+        }
+        if self.in_flight[worker]
+            .as_ref()
+            .is_none_or(|f| f.dispatch != dispatch)
+        {
+            return; // stale delivery of a written-off exchange
+        }
+        let inf = self.in_flight[worker].take().expect("checked above");
+        let report = inf.report.expect("delivered exchanges carry a report");
+        self.process(worker, report);
+    }
+
+    fn on_ack_timeout(&mut self, worker: usize, dispatch: u64) {
+        if self.in_flight[worker]
+            .as_ref()
+            .is_none_or(|f| f.dispatch != dispatch)
+        {
+            return;
+        }
+        let inf = self.in_flight[worker].take().expect("checked above");
+        self.reassign(inf.node);
+    }
+
+    fn on_rank_crash(&mut self, worker: usize) {
+        if !self.ranks[worker].alive || self.ranks[worker].retired {
+            return;
+        }
+        self.ranks[worker].alive = false;
+        self.ranks[worker].down_since = self.now;
+        self.stats.faults.crashes += 1;
+        let ts = self.now;
+        gmip_trace::record(|| {
+            TraceSpan::instant(Track::cluster_rank((worker + 1) as u32), "fault.crash", ts)
+        });
+        let hb = self
+            .plan
+            .as_ref()
+            .expect("crash events imply a plan")
+            .cfg()
+            .heartbeat_timeout_ns;
+        self.push_event(self.now + hb, worker, HEventKind::RankDetect);
+    }
+
+    fn on_rank_detect(&mut self, worker: usize) {
+        if let Some(inf) = self.in_flight[worker].take() {
+            self.reassign(inf.node);
+        }
+        self.last_checkpoint = Some(self.snapshot());
+        let max_respawns = self
+            .plan
+            .as_ref()
+            .expect("detect events imply a plan")
+            .cfg()
+            .max_respawns;
+        let backoff_base = self.plan.as_ref().expect("plan").cfg().respawn_backoff_ns;
+        let others_alive = (0..self.ranks.len())
+            .filter(|&o| o != worker)
+            .any(|o| self.ranks[o].alive || self.ranks[o].respawn_pending);
+        if self.ranks[worker].respawns < max_respawns || !others_alive {
+            let exp = self.ranks[worker].respawns.min(20) as u32;
+            let backoff = backoff_base * f64::from(1u32 << exp.min(20));
+            self.ranks[worker].respawn_pending = true;
+            self.push_event(self.now + backoff, worker, HEventKind::RankRespawn);
+        } else {
+            self.ranks[worker].retired = true;
+            self.stats.faults.degraded_ranks += 1;
+            let ts = self.now;
+            gmip_trace::record(|| {
+                TraceSpan::instant(
+                    Track::cluster_rank((worker + 1) as u32),
+                    "recovery.degrade",
+                    ts,
+                )
+            });
+            // If that retired the group's last rank, its frontier would
+            // starve forever: ship it to groups that still have ranks.
+            let g = self.group_of(worker);
+            if self.ranks_of(g).all(|w| self.ranks[w].retired) {
+                self.evacuate_group(g);
+            }
+        }
+    }
+
+    fn on_rank_respawn(&mut self, worker: usize) -> LpResult<()> {
+        self.ranks[worker].respawn_pending = false;
+        self.lost_busy_ns[worker] += self.workers[worker].busy_ns;
+        let mut fresh = Worker::new_with_lanes(
+            worker,
+            &self.instance,
+            self.cfg.gpu_cost.clone(),
+            self.cfg.gpu_mem,
+            self.cfg.lp.clone(),
+            self.cfg.int_tol,
+            self.cfg.batched_lanes,
+        )?;
+        fresh.busy_until = self.now;
+        self.workers[worker] = fresh;
+        self.ranks[worker].alive = true;
+        self.ranks[worker].respawns += 1;
+        self.stats.faults.respawns += 1;
+        let (t0, dur) = (
+            self.ranks[worker].down_since,
+            self.now - self.ranks[worker].down_since,
+        );
+        let lane = Track::cluster_rank((worker + 1) as u32);
+        gmip_trace::record(|| TraceSpan::complete(lane, "down", dur, t0));
+        let ts = self.now;
+        gmip_trace::record(|| TraceSpan::instant(lane, "recovery.respawn", ts));
+        Ok(())
+    }
+
+    /// Ships every open subproblem group `g` owns (plus any written-off
+    /// in-flight work) round-robin to groups that can still make progress.
+    /// Falls back to leaving the nodes in place when no such group exists —
+    /// the pending respawn will revive `g` and its frontier with it.
+    fn evacuate_group(&mut self, g: usize) {
+        // Write off the group's outstanding exchanges first: the subtree
+        // is the unit of recovery, the exchange results are gone.
+        let mut lost: Vec<NodeId> = Vec::new();
+        for w in self.ranks_of(g) {
+            if let Some(inf) = self.in_flight[w].take() {
+                lost.push(inf.node);
+            }
+        }
+        let mut open: Vec<NodeId> = self
+            .tree
+            .active_ids()
+            .iter()
+            .copied()
+            .filter(|&id| self.tree.node(id).data.partition == g)
+            .collect();
+        open.sort_unstable();
+        // Active nodes enter transit through the same fence as steals.
+        for &id in &open {
+            self.tree.begin_evaluation(id);
+        }
+        lost.extend(open);
+        lost.sort_unstable();
+        if lost.is_empty() {
+            return;
+        }
+        // Any group that still has a rank qualifies: a dead sub-supervisor
+        // will be respawned (always granted), and the arrival path re-routes
+        // if it is still down when the batch lands.
+        let dests: Vec<usize> = (0..self.groups)
+            .filter(|&o| o != g && !self.group_retired(o))
+            .collect();
+        if dests.is_empty() {
+            // Nobody can adopt the work: reopen locally and wait for the
+            // group's own recovery.
+            for id in lost {
+                self.reassign(id);
+            }
+            return;
+        }
+        self.stats.faults.group_reassigned_subtrees += lost.len();
+        let (ts, n) = (self.now, lost.len() as u64);
+        gmip_trace::record(|| {
+            TraceSpan::instant(
+                Track::cluster_rank(0),
+                names::SPAN_RECOVERY_GROUP_REASSIGN,
+                ts,
+            )
+            .arg("group", g as u64)
+            .arg("subtrees", n)
+        });
+        let mut batches: Vec<Vec<NodeId>> = vec![Vec::new(); dests.len()];
+        for (i, id) in lost.into_iter().enumerate() {
+            batches[i % dests.len()].push(id);
+        }
+        for (dest, batch) in dests.into_iter().zip(batches) {
+            if !batch.is_empty() {
+                // One hop: the root already holds the covering checkpoint.
+                self.ship_subtrees(dest, batch, 1);
+            }
+        }
+    }
+
+    fn on_sub_crash(&mut self, g: usize) {
+        if !self.gstate[g].alive {
+            return; // the planned crash hit an already-dead sub-supervisor
+        }
+        self.gstate[g].alive = false;
+        self.gstate[g].down_since = self.now;
+        self.stats.faults.sub_crashes += 1;
+        let ts = self.now;
+        gmip_trace::record(|| {
+            TraceSpan::instant(Track::cluster_rank(0), names::SPAN_FAULT_SUB_CRASH, ts)
+                .arg("group", g as u64)
+        });
+        let hb = self
+            .plan
+            .as_ref()
+            .expect("sub-crash events imply a plan")
+            .cfg()
+            .heartbeat_timeout_ns;
+        self.push_event(self.now + hb, g, HEventKind::SubDetect);
+    }
+
+    /// The root notices the dead sub-supervisor: every subtree the group
+    /// owned — open or in flight under it — is shipped to survivors, and a
+    /// replacement sub-supervisor is scheduled (always granted: a group is
+    /// infrastructure, not a device, so it has no retirement path; it
+    /// comes back empty and re-acquires work by stealing).
+    fn on_sub_detect(&mut self, g: usize) {
+        self.last_checkpoint = Some(self.snapshot());
+        self.root_view[g] = (0, f64::NEG_INFINITY);
+        self.gstate[g].steal_pending = false;
+        self.evacuate_group(g);
+        let backoff_base = self
+            .plan
+            .as_ref()
+            .expect("sub-detect events imply a plan")
+            .cfg()
+            .respawn_backoff_ns;
+        let exp = self.gstate[g].respawns.min(20) as u32;
+        let backoff = backoff_base * f64::from(1u32 << exp.min(20));
+        self.gstate[g].respawn_pending = true;
+        self.push_event(self.now + backoff, g, HEventKind::SubRespawn);
+    }
+
+    fn on_sub_respawn(&mut self, g: usize) {
+        self.gstate[g].respawn_pending = false;
+        self.gstate[g].alive = true;
+        self.gstate[g].respawns += 1;
+        self.gstate[g].deny_streak = 0;
+        // The replacement must re-announce its (empty) load: drop the
+        // delta-compression memory so the next due tick ships a summary.
+        self.gstate[g].last_summary = None;
+        self.stats.faults.sub_respawns += 1;
+        // The replacement knows nothing: it re-learns the incumbent from
+        // the root's next broadcast — but the root can tell it the current
+        // value right here, in the respawn handshake.
+        if let Some((v, _)) = &self.root_incumbent {
+            self.gstate[g].incumbent = *v;
+        }
+        let (t0, dur) = (
+            self.gstate[g].down_since,
+            self.now - self.gstate[g].down_since,
+        );
+        gmip_trace::record(|| {
+            TraceSpan::complete(Track::cluster_rank(0), "sub.down", dur, t0).arg("group", g as u64)
+        });
+        let ts = self.now;
+        gmip_trace::record(|| {
+            TraceSpan::instant(Track::cluster_rank(0), names::SPAN_RECOVERY_SUB_RESPAWN, ts)
+                .arg("group", g as u64)
+        });
+    }
+
+    fn on_summary_due(&mut self, g: usize) {
+        // The timer always re-arms, even through an outage — the group's
+        // replacement resumes the cadence without root involvement.
+        self.push_event(
+            self.now + self.hcfg.summary_every_ns,
+            g,
+            HEventKind::SummaryDue,
+        );
+        if !self.gstate[g].alive {
+            return;
+        }
+        let mut open = 0usize;
+        let mut bound = f64::NEG_INFINITY;
+        for &id in self.tree.active_ids() {
+            let n = self.tree.node(id);
+            if n.data.partition == g {
+                open += 1;
+                bound = bound.max(n.bound);
+            }
+        }
+        // Delta compression: ship only when the load report changed since
+        // the last one. Idle groups fall silent (the root's view of them is
+        // already exact), so root traffic follows *activity*, not wall time.
+        if self.gstate[g].last_summary == Some((open, bound)) {
+            return;
+        }
+        self.gstate[g].last_summary = Some((open, bound));
+        let summary = LoadSummary {
+            group: g,
+            open,
+            best_bound: bound,
+        };
+        let transfer = self.ship_root(summary.bytes());
+        self.push_event(
+            self.now + transfer,
+            g,
+            HEventKind::SummaryArrive { open, bound },
+        );
+    }
+
+    fn on_summary_arrive(&mut self, g: usize, open: usize, bound: f64) {
+        self.hier.summaries += 1;
+        self.root_view[g] = (open, bound);
+        let (ts, o) = (self.now, open as u64);
+        gmip_trace::record(|| {
+            TraceSpan::instant(Track::cluster_rank(0), names::SPAN_HIER_SUMMARY, ts)
+                .arg("group", g as u64)
+                .arg("open", o)
+        });
+    }
+
+    fn on_incumbent_at_root(&mut self, xfer: u64) {
+        self.pending_root_updates -= 1;
+        let Some((from, value, x)) = self.inc_updates.remove(&xfer) else {
+            return;
+        };
+        let best = self.root_incumbent.as_ref().map(|(v, _)| *v);
+        if best.is_none_or(|b| value > b) {
+            self.root_incumbent = Some((value, x));
+            let (ts, obj) = (self.now, self.to_source(value));
+            gmip_trace::record(|| {
+                TraceSpan::instant(Track::cluster_rank(0), names::SPAN_HIER_INCUMBENT, ts)
+                    .arg("objective", obj)
+                    .arg("from", from as u64)
+            });
+            // Fan the improved *value* out to every other live group.
+            for g in 0..self.groups {
+                if g == from || !self.gstate[g].alive {
+                    continue;
+                }
+                self.hier.incumbent_broadcasts += 1;
+                let transfer = self.ship_root(INCUMBENT_BROADCAST_BYTES);
+                self.push_event(
+                    self.now + transfer,
+                    g,
+                    HEventKind::IncumbentAtGroup { value },
+                );
+            }
+        }
+    }
+
+    fn on_incumbent_at_group(&mut self, g: usize, value: f64) {
+        if !self.gstate[g].alive || value <= self.gstate[g].incumbent {
+            return;
+        }
+        self.gstate[g].incumbent = value;
+        // Group-scoped pruning: only the frontier this group owns — other
+        // groups prune when their own broadcast arrives, so pruning power
+        // honestly lags the root-link latency.
+        let tol = self.cfg.prune_tol;
+        self.tree
+            .prune_dominated_where(value, tol, |n| n.data.partition == g);
+    }
+
+    /// The root arbitrates a steal: pick a victim from the summary view
+    /// with the seeded policy, or deny.
+    fn on_steal_request(&mut self, thief: usize) {
+        let mut cands: Vec<usize> = (0..self.groups)
+            .filter(|&g| {
+                g != thief
+                    && self.gstate[g].alive
+                    && !self.group_retired(g)
+                    && self.root_view[g].0 >= 2
+            })
+            .collect();
+        cands.sort_by(|&a, &b| {
+            self.root_view[b]
+                .0
+                .cmp(&self.root_view[a].0)
+                .then(a.cmp(&b))
+        });
+        if cands.is_empty() || !self.gstate[thief].alive {
+            let transfer = self.ship_root(STEAL_CONTROL_BYTES);
+            self.push_event(self.now + transfer, thief, HEventKind::StealDenyAtGroup);
+            return;
+        }
+        // Seeded choice among the top-2 most-loaded candidates: determinism
+        // with a pinch of decorrelation so thieves don't all mob one victim.
+        let pick =
+            splitmix64(self.hcfg.steal_seed ^ self.steal_counter) as usize % cands.len().min(2);
+        self.steal_counter += 1;
+        let victim = cands[pick];
+        let transfer = self.ship_root(STEAL_CONTROL_BYTES);
+        let (ts, v) = (self.now, victim as u64);
+        gmip_trace::record(|| {
+            TraceSpan::instant(Track::cluster_rank(0), names::SPAN_HIER_STEAL_GRANT, ts)
+                .arg("thief", thief as u64)
+                .arg("victim", v)
+        });
+        self.push_event(
+            self.now + transfer,
+            victim,
+            HEventKind::StealOrderAtVictim { thief },
+        );
+    }
+
+    fn deny_steal(&mut self, thief: usize) {
+        let transfer = self.ship_root(STEAL_CONTROL_BYTES);
+        self.push_event(self.now + transfer, thief, HEventKind::StealDenyAtGroup);
+    }
+
+    fn on_steal_deny(&mut self, g: usize) {
+        self.gstate[g].steal_pending = false;
+        self.hier.steal_denied += 1;
+        // Exponential backoff on consecutive denials (capped at 1024x the
+        // summary period): a starved group probes the root a logarithmic
+        // number of times per idle stretch instead of once per tick.
+        let shift = self.gstate[g].deny_streak.min(10);
+        self.gstate[g].steal_backoff_until =
+            self.now + self.hcfg.summary_every_ns * (1u64 << shift) as f64;
+        self.gstate[g].deny_streak = self.gstate[g].deny_streak.saturating_add(1);
+        let ts = self.now;
+        gmip_trace::record(|| {
+            TraceSpan::instant(Track::cluster_rank(0), names::SPAN_HIER_STEAL_DENY, ts)
+                .arg("thief", g as u64)
+        });
+    }
+
+    /// The steal order lands on the victim: ship up to `steal_max`
+    /// shallowest frontier subtrees to the thief (shallow nodes root the
+    /// largest unexplored subtrees, the classic steal-half heuristic), or
+    /// bounce a denial if the summary view was stale.
+    fn on_steal_order(&mut self, victim: usize, thief: usize) {
+        if !self.gstate[victim].alive {
+            self.deny_steal(thief);
+            return;
+        }
+        let mut owned: Vec<NodeId> = self
+            .tree
+            .active_ids()
+            .iter()
+            .copied()
+            .filter(|&id| self.tree.node(id).data.partition == victim)
+            .collect();
+        if owned.len() < 2 {
+            self.deny_steal(thief);
+            return;
+        }
+        owned.sort_by(|&a, &b| {
+            self.tree
+                .node(a)
+                .depth
+                .cmp(&self.tree.node(b).depth)
+                .then(a.cmp(&b))
+        });
+        let n = (owned.len() / 2).max(1).min(self.hcfg.steal_max);
+        let batch: Vec<NodeId> = owned.into_iter().take(n).collect();
+        for &id in &batch {
+            self.tree.begin_evaluation(id); // the fence: out of the active set
+        }
+        self.hier.steals += 1;
+        self.hier.stolen_subtrees += batch.len();
+        let (ts, k) = (self.now, batch.len() as u64);
+        gmip_trace::record(|| {
+            TraceSpan::instant(Track::cluster_rank(0), names::SPAN_HIER_HANDOFF, ts)
+                .arg("from", victim as u64)
+                .arg("to", thief as u64)
+                .arg("subtrees", k)
+        });
+        // Two hops: victim → root → thief.
+        self.ship_subtrees(thief, batch, 2);
+    }
+
+    fn on_subtree_arrive(&mut self, g: usize, xfer: u64) {
+        let Some((dest, nodes)) = self.in_transit.remove(&xfer) else {
+            return;
+        };
+        debug_assert_eq!(dest, g);
+        if !self.gstate[g].alive || self.group_retired(g) {
+            // The destination died (or lost its last rank for good) while
+            // the batch was on the wire: re-route to the first group that
+            // can take it, or hold for the respawn.
+            let alt = (0..self.groups)
+                .find(|&o| o != g && self.gstate[o].alive && !self.group_retired(o))
+                .or_else(|| (0..self.groups).find(|&o| o != g && !self.group_retired(o)));
+            match alt {
+                Some(o) => {
+                    self.ship_subtrees(o, nodes, 1);
+                }
+                None => {
+                    // Whole hierarchy dark: park the batch until the
+                    // respawn backoff has revived someone.
+                    let xfer2 = self.next_xfer;
+                    self.next_xfer += 1;
+                    self.in_transit.insert(xfer2, (g, nodes));
+                    self.push_event(
+                        self.now + self.hcfg.summary_every_ns,
+                        g,
+                        HEventKind::SubtreeArrive { xfer: xfer2 },
+                    );
+                }
+            }
+            return;
+        }
+        self.gstate[g].steal_pending = false;
+        self.gstate[g].deny_streak = 0; // fed: probe eagerly again next time
+        self.hier.transit_arrivals += nodes.len();
+        for id in nodes {
+            debug_assert_eq!(self.tree.node(id).data.partition, g);
+            self.tree.reopen(id);
+        }
+    }
+
+    /// Processes one merged report (counted toward the determinism audit).
+    fn process(&mut self, worker: usize, report: NodeReport) {
+        self.stats.nodes += 1;
+        self.stats.lp_iterations += report.lp_iterations;
+        let id = report.node_id;
+        if id >= self.eval_counts.len() {
+            self.eval_counts.resize(id + 1, 0);
+        }
+        self.eval_counts[id] += 1;
+        let g = self.group_of(worker);
+        match report.outcome {
+            NodeOutcome::Infeasible => {
+                self.tree
+                    .settle(id, NodeState::Infeasible, f64::NEG_INFINITY);
+            }
+            NodeOutcome::Pruned { bound } => {
+                self.tree.settle(id, NodeState::Pruned, bound);
+            }
+            NodeOutcome::IntegerFeasible { internal, x } => {
+                self.tree.settle(id, NodeState::Feasible, internal);
+                if internal > self.gstate[g].incumbent {
+                    self.gstate[g].incumbent = internal;
+                    let mut p = x;
+                    for j in self.instance.integral_indices() {
+                        p[j] = p[j].round();
+                    }
+                    // Scoped prune now; the rest of the cluster prunes when
+                    // the root's broadcast reaches it.
+                    let tol = self.cfg.prune_tol;
+                    self.tree
+                        .prune_dominated_where(internal, tol, |n| n.data.partition == g);
+                    // Push the update (value + point) to the root.
+                    let upd = IncumbentUpdate {
+                        value: internal,
+                        x: p.clone(),
+                    };
+                    let transfer = self.ship_root(upd.bytes());
+                    let xfer = self.next_xfer;
+                    self.next_xfer += 1;
+                    self.inc_updates.insert(xfer, (g, internal, p));
+                    self.pending_root_updates += 1;
+                    self.push_event(self.now + transfer, 0, HEventKind::IncumbentAtRoot { xfer });
+                }
+            }
+            NodeOutcome::Branch {
+                bound,
+                var,
+                value,
+                basis,
+            } => {
+                if id == self.tree.root() && self.stats.root_basis.is_none() {
+                    self.stats.root_basis = basis.clone();
+                }
+                if bound <= self.gstate[g].incumbent + self.cfg.prune_tol {
+                    self.tree.settle(id, NodeState::Pruned, bound);
+                    return;
+                }
+                let parent = self.tree.node(id);
+                let parent_partition = parent.data.partition;
+                let parent_depth = parent.depth;
+                let bounds = parent.data.bounds.clone();
+                let (mut lo, mut hi) = (self.instance.vars[var].lb, self.instance.vars[var].ub);
+                for bc in &bounds {
+                    if bc.var == var {
+                        lo = bc.lb;
+                        hi = bc.ub;
+                    }
+                }
+                let name = self.instance.vars[var].name.clone();
+                let mk = |up: bool, part: usize| {
+                    let mut child_bounds = bounds.clone();
+                    let label = if up {
+                        child_bounds.push(BoundChange {
+                            var,
+                            lb: value.ceil(),
+                            ub: hi,
+                        });
+                        format!("{name} ≥ {}", value.ceil())
+                    } else {
+                        child_bounds.push(BoundChange {
+                            var,
+                            lb: lo,
+                            ub: value.floor(),
+                        });
+                        format!("{name} ≤ {}", value.floor())
+                    };
+                    (
+                        label,
+                        ParPayload {
+                            bounds: child_bounds,
+                            warm_basis: basis.clone(),
+                            partition: part,
+                        },
+                    )
+                };
+                // Spread subtrees over *groups* by binary fan-out near the
+                // root, then inherit: once the frontier is wide enough every
+                // group owns a subtree and intra-group dispatch takes over.
+                // A permanently retired group must never be a target — fall
+                // back to the parent's group, or to any group that still
+                // has ranks (last-rank immunity guarantees one exists).
+                let route = |p: usize| {
+                    if !self.group_retired(p) {
+                        p
+                    } else if !self.group_retired(parent_partition) {
+                        parent_partition
+                    } else {
+                        (0..self.groups)
+                            .find(|&o| !self.group_retired(o))
+                            .expect("last-rank immunity: some group has a rank")
+                    }
+                };
+                let spread = parent_depth < 63 && (1usize << (parent_depth + 1)) <= self.groups * 2;
+                let children = if spread {
+                    let (d, u) = (
+                        route((parent_partition * 2) % self.groups),
+                        route((parent_partition * 2 + 1) % self.groups),
+                    );
+                    vec![mk(false, d), mk(true, u)]
+                } else {
+                    let p = route(parent_partition);
+                    vec![mk(false, p), mk(true, p)]
+                };
+                let ids = self.tree.branch(id, bound, children);
+                // A child spread to a *different* group physically travels
+                // there: through the same in-transit fence as a steal, over
+                // two root-link hops. Same-group children are live at once.
+                for cid in ids {
+                    let dest = self.tree.node(cid).data.partition;
+                    if dest != g {
+                        self.tree.begin_evaluation(cid);
+                        self.ship_subtrees(dest, vec![cid], 2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cluster-wide consistent snapshot, materialized the hierarchical
+    /// way: one part per group (the subproblems it owns, open or in
+    /// flight) merged with the root's incumbent part.
+    pub fn snapshot(&self) -> Checkpoint {
+        let mut parts: Vec<Checkpoint> = (0..self.groups)
+            .map(|g| {
+                let frontier: Vec<Vec<BoundChange>> = self
+                    .tree
+                    .iter()
+                    .filter(|n| n.state.is_open() && n.data.partition == g)
+                    .map(|n| n.data.bounds.clone())
+                    .collect();
+                Checkpoint::new(frontier, None)
+            })
+            .collect();
+        parts.push(Checkpoint::new(Vec::new(), self.root_incumbent.clone()));
+        Checkpoint::merge(parts)
+    }
+
+    /// Runs to completion (or node limit); consumes the supervisor.
+    pub fn run(mut self) -> LpResult<HierResult> {
+        let mut last_checkpoint_at = 0usize;
+        let status = loop {
+            if self.stats.nodes >= self.cfg.node_limit {
+                break MipStatus::NodeLimit;
+            }
+            self.dispatch()?;
+            // Done only when nothing is open, in flight, in transit, *or*
+            // still climbing to the root — terminating before the last
+            // incumbent update lands would report a stale objective.
+            if !self.tree.has_active()
+                && self.in_flight.iter().all(Option::is_none)
+                && self.in_transit.is_empty()
+                && self.pending_root_updates == 0
+            {
+                break if self.root_incumbent.is_some() {
+                    MipStatus::Optimal
+                } else {
+                    MipStatus::Infeasible
+                };
+            }
+            let Some(Reverse(ev)) = self.events.pop() else {
+                break if self.root_incumbent.is_some() {
+                    MipStatus::Optimal
+                } else {
+                    MipStatus::Infeasible
+                };
+            };
+            self.now = self.now.max(ev.time);
+            let nodes_before = self.stats.nodes;
+            match ev.kind {
+                HEventKind::Deliver { dispatch } => self.on_deliver(ev.entity, dispatch),
+                HEventKind::AckTimeout { dispatch } => self.on_ack_timeout(ev.entity, dispatch),
+                HEventKind::RankCrash => self.on_rank_crash(ev.entity),
+                HEventKind::RankDetect => self.on_rank_detect(ev.entity),
+                HEventKind::RankRespawn => self.on_rank_respawn(ev.entity)?,
+                HEventKind::SubCrash => self.on_sub_crash(ev.entity),
+                HEventKind::SubDetect => self.on_sub_detect(ev.entity),
+                HEventKind::SubRespawn => self.on_sub_respawn(ev.entity),
+                HEventKind::SummaryDue => self.on_summary_due(ev.entity),
+                HEventKind::SummaryArrive { open, bound } => {
+                    self.on_summary_arrive(ev.entity, open, bound)
+                }
+                HEventKind::IncumbentAtRoot { xfer } => self.on_incumbent_at_root(xfer),
+                HEventKind::IncumbentAtGroup { value } => {
+                    self.on_incumbent_at_group(ev.entity, value)
+                }
+                HEventKind::StealRequestAtRoot { thief } => self.on_steal_request(thief),
+                HEventKind::StealDenyAtGroup => self.on_steal_deny(ev.entity),
+                HEventKind::StealOrderAtVictim { thief } => self.on_steal_order(ev.entity, thief),
+                HEventKind::SubtreeArrive { xfer } => self.on_subtree_arrive(ev.entity, xfer),
+            }
+            if self.stats.nodes > nodes_before {
+                if let Some(every) = self.cfg.checkpoint_every {
+                    if self.stats.nodes >= last_checkpoint_at + every {
+                        last_checkpoint_at = self.stats.nodes;
+                        let snap = self.snapshot();
+                        let (t0, dur) = (self.now, 2_000.0 + snap.bytes() as f64);
+                        let (ck_bytes, frontier) =
+                            (snap.bytes() as u64, snap.frontier.len() as u64);
+                        gmip_trace::record(|| {
+                            TraceSpan::complete(Track::cluster_rank(0), "checkpoint", dur, t0)
+                                .arg("bytes", ck_bytes)
+                                .arg("frontier", frontier)
+                        });
+                        self.now += dur;
+                        self.last_checkpoint = Some(snap.clone());
+                        self.snapshots.push(snap);
+                        self.stats.checkpoints += 1;
+                    }
+                }
+            }
+        };
+        self.stats.makespan_ns = self.now;
+        self.stats.worker_busy_ns = self
+            .workers
+            .iter()
+            .zip(&self.lost_busy_ns)
+            .map(|(w, lost)| w.busy_ns + lost)
+            .collect();
+        if self.now > 0.0 {
+            let busy_sum: f64 = self.stats.worker_busy_ns.iter().sum();
+            self.stats.idle_fraction = 1.0 - busy_sum / (self.now * self.workers.len() as f64);
+        }
+        self.stats.tree = self.tree.stats().clone();
+        self.hier.max_evaluations_per_node = self.eval_counts.iter().copied().max().unwrap_or(0);
+        let (msgs, bytes, ckpts) = (
+            self.stats.messages,
+            self.stats.message_bytes,
+            self.stats.checkpoints,
+        );
+        self.stats
+            .metrics
+            .incr(names::CLUSTER_MESSAGES, msgs as f64);
+        self.stats.metrics.incr(names::CLUSTER_BYTES, bytes as f64);
+        self.stats
+            .metrics
+            .incr(names::CLUSTER_CHECKPOINTS, ckpts as f64);
+        {
+            let h = self.hier.clone();
+            let m = &mut self.stats.metrics;
+            m.set_gauge(names::HIER_GROUPS, h.groups as f64);
+            m.incr(names::HIER_ROOT_MESSAGES, h.root_messages as f64);
+            m.incr(names::HIER_ROOT_BYTES, h.root_message_bytes as f64);
+            m.incr(names::HIER_SUMMARIES, h.summaries as f64);
+            m.incr(
+                names::HIER_INCUMBENT_BROADCASTS,
+                h.incumbent_broadcasts as f64,
+            );
+            m.incr(names::HIER_STEALS, h.steals as f64);
+            m.incr(names::HIER_STEAL_SUBTREES, h.stolen_subtrees as f64);
+            m.incr(names::HIER_STEAL_DENIED, h.steal_denied as f64);
+            m.incr(names::HIER_TRANSIT_ARRIVALS, h.transit_arrivals as f64);
+        }
+        if self.plan.is_some() {
+            let f = self.stats.faults;
+            let m = &mut self.stats.metrics;
+            m.incr(names::FAULT_CRASHES, f.crashes as f64);
+            m.incr(names::FAULT_DROPS, f.drops as f64);
+            m.incr(names::FAULT_DELAYS, f.delays as f64);
+            m.incr(names::FAULT_STRAGGLES, f.straggles as f64);
+            m.incr(names::RECOVERY_REASSIGNMENTS, f.reassignments as f64);
+            m.incr(names::RECOVERY_RESPAWNS, f.respawns as f64);
+            m.incr(names::RECOVERY_DEGRADED_RANKS, f.degraded_ranks as f64);
+            m.incr(names::FAULT_SUB_CRASHES, f.sub_crashes as f64);
+            m.incr(names::RECOVERY_SUB_RESPAWNS, f.sub_respawns as f64);
+            m.incr(
+                names::RECOVERY_GROUP_REASSIGNED,
+                f.group_reassigned_subtrees as f64,
+            );
+        }
+        for w in &self.workers {
+            self.stats.metrics.merge(&w.metrics());
+        }
+        let (objective, x) = match &self.root_incumbent {
+            Some((v, p)) => (self.to_source(*v), p.clone()),
+            None => (f64::NAN, Vec::new()),
+        };
+        Ok(HierResult {
+            status,
+            objective,
+            x,
+            stats: self.stats,
+            hier: self.hier,
+            snapshots: self.snapshots,
+        })
+    }
+}
+
+/// Convenience: solve an instance on a simulated hierarchical cluster.
+pub fn solve_hierarchical(
+    instance: &MipInstance,
+    cfg: ParallelConfig,
+    hcfg: HierarchyConfig,
+) -> LpResult<HierResult> {
+    HierSupervisor::new(instance.clone(), cfg, hcfg)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ChaosConfig;
+    use crate::supervisor::solve_parallel;
+    use gmip_problems::catalog::{infeasible_instance, textbook_mip};
+    use gmip_problems::generators::knapsack::{knapsack, knapsack_brute_force};
+
+    fn cfg(workers: usize) -> ParallelConfig {
+        ParallelConfig {
+            workers,
+            gpu_mem: 1 << 24,
+            ..Default::default()
+        }
+    }
+
+    fn hcfg(fanout: usize) -> HierarchyConfig {
+        HierarchyConfig {
+            fanout,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn hierarchical_matches_brute_force() {
+        for seed in 0..3 {
+            let m = knapsack(12, 0.5, seed);
+            let expected = knapsack_brute_force(&m);
+            let r = solve_hierarchical(&m, cfg(8), hcfg(2)).unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "seed {seed}: {} vs {expected}",
+                r.objective
+            );
+            assert_eq!(r.hier.groups, 4);
+            assert_eq!(
+                r.hier.max_evaluations_per_node, 1,
+                "a fault-free run must merge every node exactly once"
+            );
+            assert!(r.stats.tree.reopened as usize >= r.hier.transit_arrivals);
+        }
+    }
+
+    #[test]
+    fn textbook_mip_hierarchical() {
+        let r = solve_hierarchical(&textbook_mip(), cfg(4), hcfg(2)).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - 20.0).abs() < 1e-6);
+        assert!(r.hier.root_messages > 0);
+        assert!(r.hier.summaries > 0, "summary cadence must tick");
+        assert_eq!(r.stats.faults, crate::chaos::FaultStats::default());
+    }
+
+    #[test]
+    fn infeasible_detected_hierarchically() {
+        let r = solve_hierarchical(&infeasible_instance(), cfg(4), hcfg(2)).unwrap();
+        assert_eq!(r.status, MipStatus::Infeasible);
+        assert!(r.objective.is_nan());
+    }
+
+    #[test]
+    fn fanout_edges_solve() {
+        let m = knapsack(12, 0.5, 4);
+        let expected = knapsack_brute_force(&m);
+        // fanout 1: every rank its own group; fanout >= workers: one group.
+        for fanout in [1, 4, 16] {
+            let r = solve_hierarchical(&m, cfg(4), hcfg(fanout)).unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "fanout {fanout}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "fanout {fanout}: {} vs {expected}",
+                r.objective
+            );
+            assert_eq!(r.hier.groups, 4usize.div_ceil(fanout));
+        }
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let m = knapsack(16, 0.5, 9);
+        let run = || solve_hierarchical(&m, cfg(16), hcfg(4)).unwrap();
+        let (a, b) = (run(), run());
+        assert_eq!(a.stats.makespan_ns.to_bits(), b.stats.makespan_ns.to_bits());
+        assert_eq!(a.stats.nodes, b.stats.nodes);
+        assert_eq!(a.stats.messages, b.stats.messages);
+        assert_eq!(a.hier, b.hier);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    }
+
+    #[test]
+    fn steals_happen_and_conserve_work() {
+        // Few groups, one subtree spread: stealing is the only way idle
+        // groups acquire work once their spread share prunes out.
+        let m = knapsack(18, 0.5, 3);
+        let expected = knapsack_brute_force(&m);
+        let r = solve_hierarchical(&m, cfg(8), hcfg(2)).unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - expected).abs() < 1e-6);
+        assert!(
+            r.hier.steals + r.hier.steal_denied > 0,
+            "an 18-var tree over 4 groups must exercise the steal protocol: {:?}",
+            r.hier
+        );
+        assert_eq!(r.hier.max_evaluations_per_node, 1);
+        assert!(r.stats.tree.reopened as usize == r.hier.transit_arrivals);
+    }
+
+    #[test]
+    fn hierarchy_matches_flat_cluster() {
+        let m = knapsack(14, 0.5, 7);
+        let flat = solve_parallel(&m, cfg(8)).unwrap();
+        let hier = solve_hierarchical(&m, cfg(8), hcfg(4)).unwrap();
+        assert_eq!(hier.status, flat.status);
+        assert!((hier.objective - flat.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_optimum_under_sub_supervisor_crash() {
+        let m = knapsack(16, 0.5, 5);
+        let expected = knapsack_brute_force(&m);
+        let clean = solve_hierarchical(&m, cfg(8), hcfg(2)).unwrap();
+        let r = solve_hierarchical(
+            &m,
+            ParallelConfig {
+                chaos: Some(ChaosConfig {
+                    sub_crashes: 2,
+                    horizon_ns: clean.stats.makespan_ns * 0.8,
+                    ..ChaosConfig::quiet(11)
+                }),
+                ..cfg(8)
+            },
+            hcfg(2),
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Optimal);
+        assert!((r.objective - expected).abs() < 1e-6);
+        assert!(
+            r.stats.faults.sub_crashes > 0,
+            "no sub-crash landed: {:?}",
+            r.stats.faults
+        );
+        assert_eq!(r.stats.faults.sub_respawns, r.stats.faults.sub_crashes);
+        assert!(r.stats.makespan_ns >= clean.stats.makespan_ns);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let m = knapsack(24, 0.5, 1);
+        let r = solve_hierarchical(
+            &m,
+            ParallelConfig {
+                node_limit: 5,
+                ..cfg(4)
+            },
+            hcfg(2),
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::NodeLimit);
+        assert!(r.stats.nodes <= 6);
+    }
+
+    #[test]
+    fn snapshots_taken_when_configured() {
+        let m = knapsack(16, 0.5, 2);
+        let r = solve_hierarchical(
+            &m,
+            ParallelConfig {
+                checkpoint_every: Some(3),
+                ..cfg(4)
+            },
+            hcfg(2),
+        )
+        .unwrap();
+        assert!(r.stats.checkpoints > 0);
+        assert_eq!(r.snapshots.len(), r.stats.checkpoints);
+    }
+
+    #[test]
+    fn root_link_straggle_costs_time_but_not_correctness() {
+        let m = knapsack(14, 0.5, 2);
+        let expected = knapsack_brute_force(&m);
+        let clean = solve_hierarchical(&m, cfg(8), hcfg(2)).unwrap();
+        let slow = solve_hierarchical(
+            &m,
+            ParallelConfig {
+                chaos: Some(ChaosConfig {
+                    root_slow_factor: 50.0,
+                    ..ChaosConfig::quiet(1)
+                }),
+                ..cfg(8)
+            },
+            hcfg(2),
+        )
+        .unwrap();
+        assert_eq!(slow.status, MipStatus::Optimal);
+        assert!((slow.objective - expected).abs() < 1e-6);
+        assert!(
+            slow.stats.makespan_ns > clean.stats.makespan_ns,
+            "a 50x root-link straggle must show up in the makespan: {} vs {}",
+            slow.stats.makespan_ns,
+            clean.stats.makespan_ns
+        );
+    }
+}

@@ -28,6 +28,7 @@
 pub mod chaos;
 pub mod checkpoint;
 pub mod comm;
+pub mod hierarchy;
 pub mod lease;
 pub mod supervisor;
 pub mod threaded;
@@ -35,7 +36,12 @@ pub mod worker;
 
 pub use chaos::{ChaosConfig, FaultPlan, FaultStats};
 pub use checkpoint::Checkpoint;
-pub use comm::{Assignment, Delivery, NetworkModel, NodeOutcome, NodeReport};
+pub use comm::{
+    Assignment, Delivery, IncumbentUpdate, LoadSummary, NetworkModel, NodeOutcome, NodeReport,
+};
+pub use hierarchy::{
+    solve_hierarchical, HierResult, HierStats, HierSupervisor, HierarchyConfig, MAX_RANKS,
+};
 pub use lease::{RankLease, RankPool};
 pub use supervisor::{
     solve_parallel, LoadBalance, ParPayload, ParallelConfig, ParallelResult, ParallelStats,

@@ -412,9 +412,12 @@ impl Supervisor {
     }
 
     /// Picks the next node for `worker` under the configured policy, or
-    /// `None` if nothing eligible is open.
-    fn pick_node(&self, worker: usize) -> Option<NodeId> {
-        let in_flight_count = self.in_flight.iter().filter(|f| f.is_some()).count();
+    /// `None` if nothing eligible is open. `in_flight_count` is the number
+    /// of outstanding exchanges, hoisted by [`Self::dispatch`]: a dispatch
+    /// moves one node from the active set to in-flight, so the ramping
+    /// predicate's sum is invariant across one dispatch round and counting
+    /// per candidate worker would be O(ranks²) at four-digit rank counts.
+    fn pick_node(&self, worker: usize, in_flight_count: usize) -> Option<NodeId> {
         let ramping =
             self.cfg.ramp_up && (self.tree.active_ids().len() + in_flight_count) < self.cfg.workers;
         let eligible = |id: &&NodeId| -> bool {
@@ -460,6 +463,7 @@ impl Supervisor {
     /// Dispatches work to every idle alive worker. Returns how many started.
     fn dispatch(&mut self) -> LpResult<usize> {
         let mut started = 0;
+        let mut in_flight_count = self.in_flight.iter().filter(|f| f.is_some()).count();
         for w in 0..self.workers.len() {
             if !self.ranks[w].alive
                 || self.in_flight[w].is_some()
@@ -467,9 +471,11 @@ impl Supervisor {
             {
                 continue;
             }
-            let Some(id) = self.pick_node(w) else {
+            let Some(id) = self.pick_node(w, in_flight_count) else {
                 continue;
             };
+            // Every path below parks an exchange in `in_flight[w]`.
+            in_flight_count += 1;
             self.tree.begin_evaluation(id);
             let node = self.tree.node(id);
             let assignment = Assignment {

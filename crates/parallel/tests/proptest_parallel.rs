@@ -6,10 +6,15 @@
 //! * every mid-run snapshot — taken at a *random* interruption point —
 //!   restarts to the same optimum;
 //! * message/byte accounting is self-consistent (two messages per node);
-//! * a cluster under a random fault plan still matches the host optimum.
+//! * a cluster under a random fault plan still matches the host optimum;
+//! * the hierarchical cluster, at random fan-outs and steal seeds, matches
+//!   the host optimum with every stolen subtree evaluated exactly once —
+//!   migration never duplicates or drops dispatched work.
 
 use gmip_core::{MipConfig, MipSolver, MipStatus};
-use gmip_parallel::{solve_parallel, ChaosConfig, ParallelConfig, Supervisor};
+use gmip_parallel::{
+    solve_hierarchical, solve_parallel, ChaosConfig, HierarchyConfig, ParallelConfig, Supervisor,
+};
 use gmip_problems::generators::{random_mip, RandomMipConfig};
 use proptest::prelude::*;
 
@@ -121,5 +126,38 @@ proptest! {
             || r.status != MipStatus::Optimal,
             "drops {} outnumber reassignments {}",
             r.stats.faults.drops, r.stats.faults.reassignments);
+    }
+
+    #[test]
+    fn hierarchy_conserves_stolen_work(
+        inst in instance_strategy(),
+        workers in 2usize..12,
+        fanout in 1usize..5,
+        steal_seed in 0u64..10_000,
+        steal_max in 1usize..6,
+    ) {
+        let (hstatus, hobj) = host_optimum(&inst);
+        let r = solve_hierarchical(
+            &inst,
+            par_cfg(workers),
+            HierarchyConfig { fanout, steal_seed, steal_max, ..Default::default() },
+        ).expect("hierarchical solve");
+        prop_assert_eq!(hstatus, r.status,
+            "topology changed the status (workers {}, fanout {})", workers, fanout);
+        if hstatus == MipStatus::Optimal {
+            prop_assert!((hobj - r.objective).abs() < 1e-6,
+                "host {} vs hierarchy({}x{}) {}", hobj, workers, fanout, r.objective);
+        }
+        // Conservation of dispatched node ids: no node is ever evaluated
+        // twice in a fault-free run (stolen subtrees included), and every
+        // migrated subtree that left a group arrived somewhere — transit
+        // arrivals are exactly the reopen events, so nothing in flight was
+        // dropped on the floor.
+        prop_assert_eq!(r.hier.max_evaluations_per_node, 1,
+            "a stolen subtree was evaluated more than once: {:?}", r.hier);
+        prop_assert_eq!(r.stats.tree.reopened, r.hier.transit_arrivals,
+            "fault-free reopens must all be migration arrivals: {:?}", r.hier);
+        prop_assert_eq!(r.stats.faults.group_reassigned_subtrees, 0,
+            "no group evacuation may fire without faults");
     }
 }

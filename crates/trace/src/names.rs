@@ -84,6 +84,54 @@ pub const CLUSTER_MIGRATIONS: &str = "cluster.migrations";
 /// Checkpoints (stop-the-world snapshots) taken.
 pub const CLUSTER_CHECKPOINTS: &str = "cluster.checkpoints";
 
+// --- Hierarchical cluster (supervisor-of-supervisors) ----------------------
+
+/// Sub-supervisor groups in the hierarchy (gauge).
+pub const HIER_GROUPS: &str = "hier.groups";
+/// Messages crossing the root ↔ sub-supervisor link (summaries, incumbent
+/// traffic, steal control, subtree handoffs — *not* intra-group traffic).
+pub const HIER_ROOT_MESSAGES: &str = "hier.root.messages";
+/// Bytes crossing the root link.
+pub const HIER_ROOT_BYTES: &str = "hier.root.bytes";
+/// Periodic load summaries received by the root.
+pub const HIER_SUMMARIES: &str = "hier.summaries";
+/// Incumbent value broadcasts the root fanned out to groups.
+pub const HIER_INCUMBENT_BROADCASTS: &str = "hier.incumbent.broadcasts";
+/// Steal grants executed (victim shipped at least one subtree).
+pub const HIER_STEALS: &str = "hier.steals";
+/// Frontier subtrees that changed owner through a steal grant.
+pub const HIER_STEAL_SUBTREES: &str = "hier.steal.subtrees";
+/// Steal requests the root denied (no viable victim).
+pub const HIER_STEAL_DENIED: &str = "hier.steal.denied";
+/// Subtree transfers (steals + spread + reassignments) that arrived and
+/// re-entered a group's dispatchable frontier.
+pub const HIER_TRANSIT_ARRIVALS: &str = "hier.transit.arrivals";
+/// Injected sub-supervisor crashes that landed on an alive group.
+pub const FAULT_SUB_CRASHES: &str = "fault.sub_crashes";
+/// Sub-supervisors brought back after their backoff.
+pub const RECOVERY_SUB_RESPAWNS: &str = "recovery.sub_respawns";
+/// Subtrees the root shipped off a dead or fully-retired group.
+pub const RECOVERY_GROUP_REASSIGNED: &str = "recovery.group_reassigned_subtrees";
+
+/// Span name for a load summary instant on the root lane.
+pub const SPAN_HIER_SUMMARY: &str = "hier.summary";
+/// Span name for a steal request reaching the root.
+pub const SPAN_HIER_STEAL_REQUEST: &str = "hier.steal.request";
+/// Span name for a steal grant (victim ships subtrees).
+pub const SPAN_HIER_STEAL_GRANT: &str = "hier.steal.grant";
+/// Span name for a denied steal request.
+pub const SPAN_HIER_STEAL_DENY: &str = "hier.steal.deny";
+/// Span name for a subtree handoff arriving at its new group.
+pub const SPAN_HIER_HANDOFF: &str = "hier.handoff";
+/// Span name for an incumbent broadcast leaving the root.
+pub const SPAN_HIER_INCUMBENT: &str = "hier.incumbent.broadcast";
+/// Span name for a sub-supervisor crash instant.
+pub const SPAN_FAULT_SUB_CRASH: &str = "fault.sub_crash";
+/// Span name for a sub-supervisor respawn instant.
+pub const SPAN_RECOVERY_SUB_RESPAWN: &str = "recovery.sub_respawn";
+/// Span name for the root reassigning a dead group's subtree.
+pub const SPAN_RECOVERY_GROUP_REASSIGN: &str = "recovery.group_reassign";
+
 // --- Batched wave evaluator (Sections 4.3, 5.5) ----------------------------
 
 /// Lockstep supersteps executed by the batched wave engine (each superstep
@@ -197,6 +245,29 @@ pub fn lane_label(group: TrackGroup, lane: u32) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hier_names_stay_in_their_namespaces() {
+        // Metric constants keep the dotted-path convention: steal/traffic
+        // counters under `hier.*`, faults and recovery under the shared
+        // `fault.*` / `recovery.*` namespaces the summary table groups by.
+        for name in [
+            HIER_GROUPS,
+            HIER_ROOT_MESSAGES,
+            HIER_ROOT_BYTES,
+            HIER_SUMMARIES,
+            HIER_INCUMBENT_BROADCASTS,
+            HIER_STEALS,
+            HIER_STEAL_SUBTREES,
+            HIER_STEAL_DENIED,
+            HIER_TRANSIT_ARRIVALS,
+        ] {
+            assert!(name.starts_with("hier."), "{name}");
+        }
+        assert!(FAULT_SUB_CRASHES.starts_with("fault."));
+        assert!(RECOVERY_SUB_RESPAWNS.starts_with("recovery."));
+        assert!(RECOVERY_GROUP_REASSIGNED.starts_with("recovery."));
+    }
 
     #[test]
     fn labels_are_stable() {

@@ -187,6 +187,31 @@ impl<D> SearchTree<D> {
         pruned
     }
 
+    /// Like [`Self::prune_dominated`], but only prunes active nodes for
+    /// which `eligible` holds. The hierarchical cluster uses this for
+    /// *group-scoped* pruning: a sub-supervisor that learns a new incumbent
+    /// may only prune the frontier it owns — other groups prune when the
+    /// root's broadcast reaches them, so pruning power honestly lags the
+    /// modeled message latency.
+    pub fn prune_dominated_where<F>(&mut self, incumbent: f64, tol: f64, eligible: F) -> usize
+    where
+        F: Fn(&Node<D>) -> bool,
+    {
+        let mut pruned = 0;
+        let mut keep = Vec::with_capacity(self.active.len());
+        for &id in &self.active {
+            if self.nodes[id].bound <= incumbent + tol && eligible(&self.nodes[id]) {
+                self.nodes[id].state = NodeState::Pruned;
+                self.stats.pruned += 1;
+                pruned += 1;
+            } else {
+                keep.push(id);
+            }
+        }
+        self.active = keep;
+        pruned
+    }
+
     /// Best (largest) bound among open nodes — the global dual bound.
     /// `None` when no work remains.
     pub fn best_open_bound(&self) -> Option<f64> {
@@ -297,6 +322,19 @@ mod tests {
         assert_eq!(pruned, 1);
         assert_eq!(t.active_ids(), &[1]);
         assert_eq!(t.best_open_bound(), Some(20.0));
+    }
+
+    #[test]
+    fn scoped_prune_only_touches_eligible_nodes() {
+        let mut t = two_level_tree();
+        // Both children carry bound 10; prune only the even-id one.
+        let pruned = t.prune_dominated_where(10.0, 1e-9, |n| n.id % 2 == 0);
+        assert_eq!(pruned, 1);
+        assert_eq!(t.active_ids(), &[1]);
+        assert_eq!(t.node(2).state, NodeState::Pruned);
+        // The survivor is still prunable by an unscoped pass.
+        assert_eq!(t.prune_dominated(10.0, 1e-9), 1);
+        assert!(t.all_settled());
     }
 
     #[test]

@@ -280,6 +280,196 @@ fn threaded_crashes_recover_to_the_same_answer() {
     assert!(r.reassignments >= 1, "the dead thread held a subproblem");
 }
 
+// ---- hierarchical (supervisor-of-supervisors) fault matrix ----
+
+use gmip::parallel::{solve_hierarchical, HierResult, HierarchyConfig};
+
+fn hier_cfg(workers: usize) -> ParallelConfig {
+    ParallelConfig {
+        workers,
+        gpu_mem: 1 << 24,
+        ..Default::default()
+    }
+}
+
+fn hier_baseline(id: &str, instance: &MipInstance) -> (f64, f64) {
+    let r = solve_hierarchical(
+        instance,
+        hier_cfg(16),
+        HierarchyConfig {
+            fanout: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{id}: clean hier solve failed: {e}"));
+    assert_eq!(
+        r.status,
+        MipStatus::Optimal,
+        "{id}: clean hier run not optimal"
+    );
+    (r.objective, r.stats.makespan_ns)
+}
+
+fn chaotic_hier(instance: &MipInstance, chaos: ChaosConfig) -> HierResult {
+    solve_hierarchical(
+        instance,
+        ParallelConfig {
+            chaos: Some(chaos),
+            ..hier_cfg(16)
+        },
+        HierarchyConfig {
+            fanout: 4,
+            ..Default::default()
+        },
+    )
+    .expect("chaotic hier solve must not error")
+}
+
+/// Every subtree a recovery moves is accounted for: reopen events match
+/// rank-level reassignments plus hierarchical transit arrivals exactly, so
+/// nothing is double-counted or silently dropped.
+fn assert_reassignment_ledger(id: &str, r: &HierResult) {
+    assert_eq!(
+        r.stats.tree.reopened,
+        r.stats.faults.reassignments + r.hier.transit_arrivals,
+        "{id}: reopen ledger out of balance: {:?} / {:?}",
+        r.stats.faults,
+        r.hier
+    );
+    assert!(
+        r.hier.transit_arrivals >= r.stats.faults.group_reassigned_subtrees,
+        "{id}: evacuated subtrees never arrived"
+    );
+}
+
+/// A sub-supervisor crash mid-solve takes its whole group down; the root
+/// must evacuate the group's subtrees, respawn it, and still land on the
+/// fault-free optimum — with the recovery counters visible in the metrics
+/// registry and the subtree ledger balanced.
+#[test]
+fn sub_supervisor_crash_recovers_the_optimum() {
+    let instance = knapsack(16, 0.5, 5);
+    let (expected, makespan) = hier_baseline("knapsack-16/5", &instance);
+    let r = chaotic_hier(
+        &instance,
+        ChaosConfig {
+            sub_crashes: 2,
+            horizon_ns: makespan * 0.8,
+            ..ChaosConfig::quiet(11)
+        },
+    );
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!(
+        (r.objective - expected).abs() < 1e-6,
+        "sub-crash run {} vs clean {expected}",
+        r.objective
+    );
+    assert!(instance.is_integer_feasible(&r.x, 1e-5));
+    let f = &r.stats.faults;
+    assert!(f.sub_crashes > 0, "no sub-supervisor crash landed: {f:?}");
+    assert!(f.sub_respawns > 0, "crashed group never respawned: {f:?}");
+    assert_reassignment_ledger("sub-crash", &r);
+    let m = &r.stats.metrics;
+    assert_eq!(m.counter(names::FAULT_SUB_CRASHES), f.sub_crashes as f64);
+    assert_eq!(
+        m.counter(names::RECOVERY_SUB_RESPAWNS),
+        f.sub_respawns as f64
+    );
+    assert_eq!(
+        m.counter(names::RECOVERY_GROUP_REASSIGNED),
+        f.group_reassigned_subtrees as f64
+    );
+}
+
+/// Targeted wipe: every rank of one group crashes at once mid-solve. The
+/// survivors absorb the group's frontier and the answer still matches the
+/// fault-free run.
+#[test]
+fn killing_every_rank_in_one_group_recovers() {
+    let instance = knapsack(16, 0.5, 5);
+    let (expected, makespan) = hier_baseline("knapsack-16/5", &instance);
+    let r = chaotic_hier(
+        &instance,
+        ChaosConfig {
+            kill_group: Some(1),
+            kill_group_at_ns: makespan * 0.3,
+            max_respawns: 0,
+            ..ChaosConfig::quiet(13)
+        },
+    );
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!(
+        (r.objective - expected).abs() < 1e-6,
+        "group-wipe run {} vs clean {expected}",
+        r.objective
+    );
+    assert!(instance.is_integer_feasible(&r.x, 1e-5));
+    assert!(
+        r.stats.faults.crashes >= 4,
+        "the wipe must land on all 4 ranks of the group: {:?}",
+        r.stats.faults
+    );
+    assert_reassignment_ledger("group-wipe", &r);
+}
+
+/// A straggling root link slows every summary, broadcast, and stolen
+/// subtree — it may cost simulated time, never the answer.
+#[test]
+fn straggling_root_link_costs_time_not_correctness() {
+    let instance = knapsack(16, 0.5, 5);
+    let (expected, makespan) = hier_baseline("knapsack-16/5", &instance);
+    let r = chaotic_hier(
+        &instance,
+        ChaosConfig {
+            root_slow_factor: 16.0,
+            ..ChaosConfig::quiet(17)
+        },
+    );
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!(
+        (r.objective - expected).abs() < 1e-6,
+        "straggled-root run {} vs clean {expected}",
+        r.objective
+    );
+    assert!(
+        r.stats.makespan_ns >= makespan,
+        "a 16x slower root link can't beat the clean makespan ({} < {makespan})",
+        r.stats.makespan_ns
+    );
+}
+
+/// The hierarchical fault plans are deterministic too: identical seeds give
+/// identical objectives, counters, and makespans.
+#[test]
+fn chaotic_hier_runs_are_bit_deterministic() {
+    let instance = knapsack(16, 0.5, 5);
+    let (_, makespan) = hier_baseline("knapsack-16/5", &instance);
+    let run = || {
+        let r = chaotic_hier(
+            &instance,
+            ChaosConfig {
+                sub_crashes: 1,
+                crashes: 2,
+                root_slow_factor: 2.0,
+                horizon_ns: makespan * 0.8,
+                ..ChaosConfig::quiet(23)
+            },
+        );
+        (
+            r.objective.to_bits(),
+            r.stats.nodes,
+            r.hier.clone(),
+            r.stats.faults,
+            r.stats.makespan_ns.to_bits(),
+        )
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "chaotic hier runs diverged under identical seeds"
+    );
+}
+
 /// Identical seeds ⇒ identical chaotic runs, down to objective bits, fault
 /// counters, and makespan (the determinism contract extends to faults).
 #[test]
