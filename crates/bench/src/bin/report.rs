@@ -2,13 +2,14 @@
 //!
 //! Usage: `report [--trace <dir>] [--bench-json <dir>] [--scale-smoke <dir>]
 //! [all | <exp-id>...]` where exp ids are listed in
-//! `gmip_bench::experiments::ALL` (f1, e1, e2, e3a, e3b, e3c, e4–e10).
+//! `gmip_bench::experiments::ALL` (f1, e1, e2, e3a, e3b, e3c, e4–e11).
 //! With `--trace`, each experiment's span stream is captured and written
 //! to `<dir>/<exp-id>.trace.json` in Chrome trace-event format (load at
 //! ui.perfetto.dev). With `--bench-json`, the deterministic simulated-ns
 //! records are written to `<dir>/BENCH_e4.json` (the E4 batched-wave
 //! sweep), `<dir>/BENCH_serve.json` (the E9 serving SLO sweep),
-//! `<dir>/BENCH_scale.json` (the E10 rank-scaling sweep), and
+//! `<dir>/BENCH_scale.json` (the E10 rank-scaling sweep),
+//! `<dir>/BENCH_e11.json` (the E11 node-LP engine crossover sweep), and
 //! `<dir>/BENCH_baseline.json` (the full regression baseline the
 //! `bench-regression` CI job compares against). With `--scale-smoke`,
 //! only the E10 4/64/256-rank cells are re-run and written to
@@ -91,6 +92,10 @@ fn main() {
             (
                 format!("{dir}/BENCH_scale.json"),
                 experiments::e10::bench_json(),
+            ),
+            (
+                format!("{dir}/BENCH_e11.json"),
+                experiments::e11::bench_json(),
             ),
             (format!("{dir}/BENCH_baseline.json"), baseline::to_json()),
         ] {

@@ -2,8 +2,9 @@
 //! `generate` subcommands, and result formatting.
 
 use gmip_core::{
-    choose_path, plan, presolve, solve_batched_wave, solve_with_dispatch, BatchedWaveConfig,
-    MipConfig, MipResult, MipSolver, MipStatus, PolicyKind, Strategy,
+    choose_path, plan, presolve, solve_batched_wave, solve_first_order_wave, solve_with_dispatch,
+    BatchedWaveConfig, FirstOrderWaveConfig, MipConfig, MipResult, MipSolver, MipStatus,
+    PolicyKind, Strategy,
 };
 use gmip_gpu::{Accel, CostModel};
 use gmip_lp::PricingRule;
@@ -53,8 +54,9 @@ VERIFY:
 
 SOLVE OPTIONS:
   --strategy <s>     host | cpu-orchestrated | gpu-only | hybrid |
-                     big-mip:<devices> | batched:<lanes> | cluster:<workers> |
-                     cluster:<ranks>x<fanout> | auto   (default: cpu-orchestrated)
+                     big-mip:<devices> | batched:<lanes> | firstorder:<lanes> |
+                     cluster:<workers> | cluster:<ranks>x<fanout> | auto
+                                              (default: cpu-orchestrated)
                      cluster:<ranks>x<fanout> groups the ranks under
                      sub-supervisors (<fanout> ranks each); the root
                      exchanges only aggregated summaries, incumbent
@@ -63,6 +65,11 @@ SOLVE OPTIONS:
                      lockstep wave on one device: one shared constraint
                      matrix, one fused kernel launch per class per step
                      (the width shrinks automatically if --gpu-mem is tight)
+                     firstorder:<lanes> evaluates node LPs with restarted
+                     PDHG lanes in lockstep against one shared CSR matrix:
+                     three fused SpMV/axpy launches per superstep at any
+                     width, safe dual bounds for early prunes, and exact
+                     simplex cleanup of converged lanes before branching
   --gpu-mem <GiB>    device memory per GPU             (default: 1)
   --node-limit <n>   stop after n nodes                (default: 100000)
   --policy <p>       best | depth | breadth | reuse    (default: best)
@@ -808,6 +815,58 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
         return Ok(out);
     }
 
+    // First-order wave: restarted PDHG lanes in lockstep, reported with
+    // the same wave-level statistics plus the PDHG-specific counters.
+    if let Some(spec) = o.strategy.strip_prefix("firstorder:") {
+        let lanes = spec
+            .parse()
+            .ok()
+            .filter(|&l: &usize| l >= 1)
+            .ok_or_else(|| "firstorder needs a lane count >= 1, e.g. firstorder:64".to_string())?;
+        let wcfg = FirstOrderWaveConfig {
+            lanes,
+            node_limit: o.node_limit,
+            ..Default::default()
+        };
+        let accel = Accel::gpu(o.gpu_mem_gib);
+        let r = solve_first_order_wave(&work, &wcfg, accel).map_err(|e| format!("{e}"))?;
+        write_trace(session, o, &mut out)?;
+        let (objective, x) = postsolve_map(&instance, &pre, r.objective, &r.x);
+        out.push_str(&format!("status: {:?}\n", r.status));
+        if !x.is_empty() {
+            out.push_str(&format!("objective: {objective}\n"));
+        }
+        out.push_str(&format!(
+            "nodes: {}   wave width: {}   supersteps: {}   retires: {}   refills: {}\n",
+            r.nodes, r.width, r.supersteps, r.retires, r.refills
+        ));
+        out.push_str(&format!(
+            "pdhg: {} iterations, {} restarts, {} bound-pruned, {} cleanups\n",
+            r.metrics.counter("fo.iterations"),
+            r.metrics.counter("fo.restarts"),
+            r.metrics.counter("fo.bound_pruned"),
+            r.metrics.counter("fo.cleanups"),
+        ));
+        out.push_str(&format!("makespan: {:.3} ms\n", r.makespan_ns / 1e6));
+        if o.stats {
+            let d = &r.device;
+            out.push_str(&format!(
+                "device: {} kernels, {} H2D ({} B), {} D2H ({} B), peak mem {} B\n",
+                d.kernel_launches,
+                d.h2d_transfers,
+                d.h2d_bytes,
+                d.d2h_transfers,
+                d.d2h_bytes,
+                r.peak_device_bytes
+            ));
+        }
+        if o.metrics {
+            out.push('\n');
+            out.push_str(&gmip_trace::export::summary(&r.metrics));
+        }
+        return Ok(out);
+    }
+
     let result: MipResult = match o.strategy.as_str() {
         "host" => {
             let mut s = MipSolver::host_baseline(work, cfg);
@@ -1129,10 +1188,27 @@ mod tests {
     }
 
     #[test]
+    fn solve_with_firstorder_strategy() {
+        let mut o = Options::default();
+        o.strategy = "firstorder:4".into();
+        o.stats = true;
+        o.metrics = true;
+        let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert!(out.contains("status: Optimal"), "{out}");
+        assert!(out.contains("objective: 14"), "{out}");
+        assert!(out.contains("wave width:"), "{out}");
+        assert!(out.contains("pdhg:"), "{out}");
+        assert!(out.contains("fo.fused_launches"), "{out}");
+        // Deterministic: a rerun produces byte-identical output.
+        let again = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+        assert_eq!(out, again, "firstorder output must replay byte-identically");
+    }
+
+    #[test]
     fn zero_or_garbage_strategy_widths_error_cleanly() {
-        // Satellite: `cluster:0`, `batched:0`, `big-mip:0` and unparsable
-        // widths must come back as Err (the binary maps Err to a nonzero
-        // exit), never as a panic.
+        // Satellite: `cluster:0`, `batched:0`, `firstorder:0`, `big-mip:0`
+        // and unparsable widths must come back as Err (the binary maps Err
+        // to a nonzero exit), never as a panic.
         let m = gmip_problems::catalog::figure1_knapsack;
         for bad in [
             "cluster:0",
@@ -1141,6 +1217,10 @@ mod tests {
             "batched:0",
             "batched:-1",
             "batched:",
+            "firstorder:0",
+            "firstorder:-1",
+            "firstorder:",
+            "firstorder:x",
             "big-mip:0",
             "big-mip:x",
             "big-mip:",

@@ -35,7 +35,9 @@ pub mod concurrent;
 pub mod config;
 pub mod cut;
 pub mod dispatch;
+pub mod fo_wave;
 pub mod heur;
+pub mod node_bnb;
 pub mod presolve;
 pub mod solver;
 pub mod strategy;
@@ -48,6 +50,8 @@ pub use dispatch::{
     break_even_density, choose_path, solve_with_dispatch, solve_with_dispatch_batched,
     BatchedDispatch, CodePath, MIN_DEVICE_NNZ,
 };
+pub use fo_wave::{solve_first_order_wave, FirstOrderWaveConfig};
+pub use node_bnb::{solve_with_node_engine, NodeBnbConfig, NodeBnbResult};
 pub use presolve::{presolve, solve_host_with_presolve, PresolveResult};
 pub use solver::{BranchInfo, MipResult, MipSolver, MipStatus, NodePayload, SolveStats};
 pub use strategy::{big_mip_cost, plan, Strategy, StrategyPlan};

@@ -1852,6 +1852,53 @@ impl GpuDevice {
         t
     }
 
+    /// One fused batched launch of a **sparse** wave-kernel class: same
+    /// wave model as [`Self::batched_wave_kernel`], but per-lane flops are
+    /// charged at the device's sparse throughput (irregular gather/scatter
+    /// access, Section 5.4) instead of the dense rate. This is the launch
+    /// shape of the first-order engine's `fo.spmv` / `fo.spmv_t` classes,
+    /// whose cost is proportional to `nnz` rather than to basis size.
+    /// Returns the charged ns.
+    pub fn batched_wave_kernel_sparse(
+        &mut self,
+        name: &'static str,
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64 {
+        if per_lane.is_empty() {
+            return 0.0;
+        }
+        let per_op_ns = per_lane
+            .iter()
+            .map(|&(fl, by)| {
+                (fl / self.cost.sparse_flops_per_ns).max(by / self.cost.mem_bw_bytes_per_ns)
+            })
+            .fold(0.0, f64::max);
+        let t = self.cost.batched_kernel_ns(per_lane.len(), per_op_ns);
+        let done = self.streams.enqueue(stream, t);
+        let batch_flops: f64 = per_lane.iter().map(|p| p.0).sum();
+        let batch_bytes: f64 = per_lane.iter().map(|p| p.1).sum();
+        self.registry.incr(names::GPU_KERNEL_LAUNCHES, 1.0);
+        self.registry.incr(names::GPU_KERNEL_FLOPS, batch_flops);
+        self.registry.incr(names::GPU_KERNEL_NS, t);
+        let track = self.track;
+        let batch = per_lane.len();
+        gmip_trace::record(|| {
+            Event::complete(
+                Track {
+                    group: track,
+                    lane: stream as u32,
+                },
+                name,
+                done - t,
+                t,
+            )
+            .arg("batch", batch)
+            .arg("bytes", batch_bytes.max(0.0) as u64)
+        });
+        t
+    }
+
     /// Batched factor-and-solve: one launch covering `systems.len()`
     /// independent small dense systems already resident on the device.
     /// Results are new device vectors, one per system.

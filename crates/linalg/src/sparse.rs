@@ -229,12 +229,29 @@ impl CsrMatrix {
 
     /// Sparse matrix–vector product `y = A x`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.cols {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// In-place sparse matrix–vector product `y = A x` (no allocation).
+    ///
+    /// This is the single row-SpMV kernel every consumer routes through —
+    /// the sparse simplex engine, the first-order PDHG engine, and the
+    /// kernel-level benches — so the arithmetic (and therefore bit-exact
+    /// determinism) is defined in exactly one place.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
             return Err(LinalgError::DimensionMismatch {
-                context: format!("spmv: A {}x{}, x {}", self.rows, self.cols, x.len()),
+                context: format!(
+                    "spmv: A {}x{}, x {}, y {}",
+                    self.rows,
+                    self.cols,
+                    x.len(),
+                    y.len()
+                ),
             });
         }
-        let mut y = vec![0.0; self.rows];
         for i in 0..self.rows {
             let mut acc = 0.0;
             for (j, v) in self.row_iter(i) {
@@ -242,17 +259,35 @@ impl CsrMatrix {
             }
             y[i] = acc;
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Transposed product `y = Aᵀ x`.
     pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>> {
-        if x.len() != self.rows {
+        let mut y = vec![0.0; self.cols];
+        self.matvec_transposed_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// In-place transposed product `y = Aᵀ x` (no allocation).
+    ///
+    /// Row-major scatter: deterministic accumulation order regardless of
+    /// how many lanes share the matrix.
+    pub fn matvec_transposed_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.rows || y.len() != self.cols {
             return Err(LinalgError::DimensionMismatch {
-                context: format!("spmv_t: A {}x{}, x {}", self.rows, self.cols, x.len()),
+                context: format!(
+                    "spmv_t: A {}x{}, x {}, y {}",
+                    self.rows,
+                    self.cols,
+                    x.len(),
+                    y.len()
+                ),
             });
         }
-        let mut y = vec![0.0; self.cols];
+        for v in y.iter_mut() {
+            *v = 0.0;
+        }
         for i in 0..self.rows {
             let xi = x[i];
             if xi == 0.0 {
@@ -262,7 +297,14 @@ impl CsrMatrix {
                 y[j] += v * xi;
             }
         }
-        Ok(y)
+        Ok(())
+    }
+
+    /// Frobenius norm `‖A‖_F = sqrt(Σ aᵢⱼ²)` — an upper bound on the
+    /// spectral norm `‖A‖₂`, which makes `1/‖A‖_F` a guaranteed-safe (and
+    /// deterministically computable) primal-dual step-size scale.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
     }
 
     /// Converts to CSC (a transpose-style counting pass).
@@ -598,6 +640,36 @@ mod tests {
         assert_eq!(z, vec![5.0, 3.0, 7.0]);
         assert!(csr.matvec(&[1.0]).is_err());
         assert!(csr.matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn csr_matvec_into_matches_allocating_and_checks_shapes() {
+        let csr = sample_coo().to_csr();
+        let x = [2.0, -1.0, 0.5];
+        let mut y = vec![7.0; 3];
+        csr.matvec_into(&x, &mut y).unwrap();
+        assert_eq!(y, csr.matvec(&x).unwrap());
+        let mut z = vec![7.0; 3];
+        csr.matvec_transposed_into(&x, &mut z).unwrap();
+        assert_eq!(z, csr.matvec_transposed(&x).unwrap());
+        // Output-shape mismatches are rejected, not silently truncated.
+        let mut short = vec![0.0; 2];
+        assert!(csr.matvec_into(&x, &mut short).is_err());
+        assert!(csr.matvec_transposed_into(&x, &mut short).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_dominates_spectral_action() {
+        let csr = sample_coo().to_csr();
+        let f = csr.frobenius_norm();
+        assert!((f - (1.0f64 + 4.0 + 9.0 + 16.0 + 25.0).sqrt()).abs() < 1e-12);
+        // ‖Ax‖ ≤ ‖A‖_F ‖x‖ on a few deterministic probes.
+        for x in [[1.0, 0.0, 0.0], [1.0, -1.0, 2.0], [0.3, 0.3, 0.3]] {
+            let y = csr.matvec(&x).unwrap();
+            let nx: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let ny: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(ny <= f * nx + 1e-12);
+        }
     }
 
     #[test]

@@ -1,0 +1,1019 @@
+//! The batched first-order node-LP engine: restarted PDHG waves.
+//!
+//! Where the simplex wave ([`crate::wave`]) replays per-lane pivot journals
+//! whose kernel classes desynchronize as lanes progress, a first-order lane
+//! has exactly one iteration shape — two SpMVs against the one shared
+//! device-resident CSR matrix plus vector axpy/projection work — so *every*
+//! active lane is always on the same kernel class and a superstep is three
+//! fused launches (`fo.spmv_t`, `fo.axpy`, `fo.spmv`), four on KKT-check
+//! steps (`fo.norm`). No factorization state exists at all: per-lane memory
+//! is a handful of vectors, which is what lets the wave scale to hundreds
+//! of lanes ("Batched First-Order Methods for Parallel LP Solving in MIP").
+//!
+//! Numerically each lane runs **restarted PDHG** (primal-dual hybrid
+//! gradient) on the internal maximize form `max cᵀx, Ax = b, l ≤ x ≤ u`:
+//!
+//! ```text
+//! x⁺ = proj_[l,u](x − τ(−c + Aᵀy))        τ = η/ω
+//! y⁺ = y + σ(A(2x⁺ − x) − b)              σ = η·ω
+//! ```
+//!
+//! with `η = 1/‖A‖_F` (the Frobenius norm upper-bounds the spectral norm,
+//! so `τσ‖A‖₂² ≤ 1` holds unconditionally and deterministically) and a
+//! per-lane primal weight `ω` adapted at restarts from the observed
+//! primal/dual movement ratio. Every `check_every` iterations the lane
+//! evaluates its **running average** iterate: if the KKT merit decayed by
+//! `restart_beta` since the last restart the lane restarts *to* the
+//! average (Halpern-style, the PDLP recipe).
+//!
+//! First-order iterates are inexact, so per-node bounds are stated
+//! **safely**: [`safe_dual_bound`] clamps the dual sign on inequality-slack
+//! rows (dual-feasibility adjustment) and evaluates the Lagrangian box
+//! bound, which is a valid upper bound on the node optimum for *any* dual
+//! vector — an inexact iterate can therefore never prune a true optimum,
+//! and a `+∞` bound (when a free column's reduced cost has the wrong sign)
+//! is simply a bound that prunes nothing. The moment a lane's safe bound
+//! falls below the incumbent cutoff it retires as
+//! [`FoOutcome::BoundPruned`] — *without* solving its LP to optimality,
+//! which is the structural advantage over a simplex lane that must pivot
+//! to optimality before it can state any bound. Converged (or
+//! iteration-capped) survivors are handed to exact simplex cleanup by the
+//! driver before branching, as the paper does.
+
+use crate::problem::StandardLp;
+use crate::{LpError, LpResult};
+use gmip_gpu::cost::flops;
+use gmip_gpu::{Accel, RawHandle, SparseHandle, StreamId, DEFAULT_STREAM};
+use gmip_linalg::CsrMatrix;
+use gmip_trace::{names, MetricsRegistry};
+
+/// Tuning parameters of the restarted-PDHG lanes.
+#[derive(Debug, Clone)]
+pub struct PdhgConfig {
+    /// Relative KKT tolerance at which a lane counts as converged and is
+    /// handed to simplex cleanup (loose on purpose: cleanup is exact, the
+    /// first-order pass only needs to get *close* and to state safe
+    /// bounds).
+    pub tol: f64,
+    /// Per-lane iteration cap; capped lanes retire as
+    /// [`FoOutcome::IterLimit`] and cleanup decides the node.
+    pub max_iters: usize,
+    /// KKT-check cadence in iterations (each check is one extra fused
+    /// `fo.norm` launch for the checking lanes).
+    pub check_every: usize,
+    /// Restart when the average's KKT merit decayed by this factor since
+    /// the last restart.
+    pub restart_beta: f64,
+}
+
+impl Default for PdhgConfig {
+    fn default() -> Self {
+        Self {
+            tol: 1e-4,
+            max_iters: 20_000,
+            check_every: 4,
+            restart_beta: 0.5,
+        }
+    }
+}
+
+/// Why a lane left the wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoOutcome {
+    /// KKT residuals of the running average met `tol`: the iterate is a
+    /// near-optimal warm start and the node needs exact simplex cleanup
+    /// before branching.
+    Converged,
+    /// The safe dual bound fell below the incumbent cutoff: the node is
+    /// pruned outright, no cleanup needed.
+    BoundPruned,
+    /// The load-time activity-bound check proved the node's row system
+    /// infeasible under its branch bounds.
+    Infeasible,
+    /// The iteration cap was hit before convergence; cleanup decides.
+    IterLimit,
+}
+
+/// A retired lane's report: outcome, safe bound, and the (averaged)
+/// iterates that warm-start the node's children.
+#[derive(Debug, Clone)]
+pub struct FoLaneReport {
+    /// Caller's node token (the id passed to [`FirstOrderWaveEngine::load_lane`]).
+    pub token: u64,
+    /// Why the lane retired.
+    pub outcome: FoOutcome,
+    /// PDHG iterations this lane ran.
+    pub iterations: usize,
+    /// Restarts triggered.
+    pub restarts: usize,
+    /// Best (smallest) safe dual bound observed, in the internal maximize
+    /// sense; `+∞` until the first finite bound. Never below the node's
+    /// true optimum.
+    pub safe_bound: f64,
+    /// Final primal iterate (length `n`, the running average at retire).
+    pub x: Vec<f64>,
+    /// Final dual iterate (length `m`).
+    pub y: Vec<f64>,
+}
+
+/// One lane's PDHG state.
+#[derive(Debug)]
+struct FoLane {
+    token: u64,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    x_sum: Vec<f64>,
+    y_sum: Vec<f64>,
+    sum_count: usize,
+    iters: usize,
+    restarts: usize,
+    /// Primal weight ω; τ = η/ω, σ = η·ω.
+    omega: f64,
+    /// KKT merit at the last restart point (`+∞` until first measured).
+    merit0: f64,
+    x_restart: Vec<f64>,
+    y_restart: Vec<f64>,
+    /// Best safe dual bound seen (monotone min; every sample is valid).
+    safe_bound: f64,
+    outcome: Option<FoOutcome>,
+    reported: bool,
+}
+
+/// Activity-based implied-bound tightening over the equality rows.
+///
+/// For row `i` (`Σₖ aᵢₖxₖ = bᵢ`) and a column `j` with `aᵢⱼ ≠ 0`,
+/// the row implies `aᵢⱼxⱼ = bᵢ − Σ_{k≠j} aᵢₖxₖ`, so the min/max
+/// activity of the *other* terms caps `xⱼ` from above/below. Implied
+/// bounds never shrink the feasible region — any feasible point already
+/// satisfies them — so the node optimum is untouched; what they buy is
+/// **finite** column boxes, without which the safe Lagrangian bound of
+/// [`safe_dual_bound`] degenerates to `+∞` whenever an unbounded
+/// column's reduced cost has the wrong (inexact) sign. Two passes are
+/// enough in practice to make every column the generators emit finite.
+/// Returns `false` if tightening crossed a bound pair — an infeasibility
+/// proof for the node.
+pub fn tighten_bounds(a: &CsrMatrix, b: &[f64], lb: &mut [f64], ub: &mut [f64]) -> bool {
+    for _ in 0..2 {
+        for i in 0..a.rows() {
+            // Min/max activity of the full row, with infinite
+            // contributions counted separately so a single unbounded
+            // column can still receive an implied bound.
+            let (mut sum_min, mut sum_max) = (0.0f64, 0.0f64);
+            let (mut n_min_inf, mut n_max_inf) = (0usize, 0usize);
+            for (j, v) in a.row_iter(i) {
+                let (p, q) = (v * lb[j], v * ub[j]);
+                let (t_min, t_max) = (p.min(q), p.max(q));
+                if t_min.is_finite() {
+                    sum_min += t_min;
+                } else {
+                    n_min_inf += 1;
+                }
+                if t_max.is_finite() {
+                    sum_max += t_max;
+                } else {
+                    n_max_inf += 1;
+                }
+            }
+            for (j, v) in a.row_iter(i) {
+                let (p, q) = (v * lb[j], v * ub[j]);
+                let (t_min, t_max) = (p.min(q), p.max(q));
+                // Upper cap from the other terms' min activity.
+                let others_min = if n_min_inf == 0 {
+                    Some(sum_min - t_min)
+                } else if n_min_inf == 1 && !t_min.is_finite() {
+                    Some(sum_min)
+                } else {
+                    None
+                };
+                if let Some(o) = others_min {
+                    let cap = (b[i] - o) / v;
+                    if v > 0.0 {
+                        ub[j] = ub[j].min(cap);
+                    } else {
+                        lb[j] = lb[j].max(cap);
+                    }
+                }
+                // Lower cap from the other terms' max activity.
+                let others_max = if n_max_inf == 0 {
+                    Some(sum_max - t_max)
+                } else if n_max_inf == 1 && !t_max.is_finite() {
+                    Some(sum_max)
+                } else {
+                    None
+                };
+                if let Some(o) = others_max {
+                    let floor = (b[i] - o) / v;
+                    if v > 0.0 {
+                        lb[j] = lb[j].max(floor);
+                    } else {
+                        ub[j] = ub[j].min(floor);
+                    }
+                }
+            }
+        }
+    }
+    lb.iter().zip(ub.iter()).all(|(&l, &u)| l <= u + 1e-9)
+}
+
+/// The safe Lagrangian box bound, dual-feasibility-adjusted.
+///
+/// For the internal maximize form `max cᵀx, Ax = b, l ≤ x ≤ u` and **any**
+/// dual vector `y`, weak duality gives the upper bound
+///
+/// ```text
+/// bound(y) = bᵀy + Σⱼ sup_{xⱼ ∈ [lⱼ,uⱼ]} rⱼ xⱼ,      r = c − Aᵀy,
+/// ```
+///
+/// which is finite only if every column with an infinite bound has the
+/// right reduced-cost sign. Inequality-slack columns (`ub = +∞`) would
+/// make raw PDHG iterates useless here, so the dual is first *clamped* on
+/// slack rows — `yᵢ ≥ 0` where the slack coefficient is `+1` (a `≤` row),
+/// `yᵢ ≤ 0` where it is `−1` (a `≥` row) — which zeroes every slack
+/// contribution exactly. Clamping only changes *which* valid bound is
+/// evaluated, never its validity. Any remaining infinite term yields
+/// `+∞`: a bound that prunes nothing, which is the safe direction.
+/// `slack_rows` lists `(row, coefficient)` per inequality slack.
+pub fn safe_dual_bound(
+    a: &CsrMatrix,
+    b: &[f64],
+    c: &[f64],
+    lb: &[f64],
+    ub: &[f64],
+    slack_rows: &[(usize, f64)],
+    y: &[f64],
+) -> f64 {
+    let mut yc = y.to_vec();
+    for &(row, coef) in slack_rows {
+        if coef > 0.0 {
+            yc[row] = yc[row].max(0.0);
+        } else {
+            yc[row] = yc[row].min(0.0);
+        }
+    }
+    let aty = a.matvec_transposed(&yc).expect("engine shapes match");
+    let mut bound: f64 = b.iter().zip(&yc).map(|(&bi, &yi)| bi * yi).sum();
+    for j in 0..c.len() {
+        let r = c[j] - aty[j];
+        let term = if r > 0.0 {
+            if ub[j].is_finite() {
+                r * ub[j]
+            } else {
+                return f64::INFINITY;
+            }
+        } else if r < 0.0 {
+            if lb[j].is_finite() {
+                r * lb[j]
+            } else {
+                return f64::INFINITY;
+            }
+        } else {
+            0.0
+        };
+        bound += term;
+    }
+    bound
+}
+
+/// The lockstep restarted-PDHG wave: all lanes iterate against one shared
+/// device-resident CSR matrix; each superstep is one PDHG iteration for
+/// every busy lane, issued as at most four fused batched launches.
+#[derive(Debug)]
+pub struct FirstOrderWaveEngine {
+    accel: Accel,
+    stream: StreamId,
+    csr: CsrMatrix,
+    matrix: SparseHandle,
+    matrix_bytes: usize,
+    b: Vec<f64>,
+    /// Internal maximize objective.
+    c: Vec<f64>,
+    /// `−c`: the minimization gradient the x-step descends.
+    c_tilde: Vec<f64>,
+    /// `(row, coefficient)` of each inequality slack (dual sign clamps).
+    slack_rows: Vec<(usize, f64)>,
+    /// Base step scale `η = 1/‖A‖_F`.
+    eta: f64,
+    b_norm: f64,
+    /// Incumbent cutoff in the internal maximize sense: lanes whose safe
+    /// bound drops to or below this retire pruned.
+    cutoff: f64,
+    cfg: PdhgConfig,
+    lanes: Vec<Option<FoLane>>,
+    lane_state: Vec<RawHandle>,
+    /// Scratch: `Aᵀy` / `x̂` (length n) and `Ax̂` (length m).
+    scratch_n: Vec<f64>,
+    scratch_n2: Vec<f64>,
+    scratch_m: Vec<f64>,
+    metrics: MetricsRegistry,
+}
+
+impl FirstOrderWaveEngine {
+    /// Uploads the shared CSR matrix of `std.a` once and reserves `width`
+    /// lane states. The standard form must be cut-free (the wave drivers
+    /// never add cuts mid-wave).
+    pub fn new(accel: Accel, std: &StandardLp, width: usize, cfg: PdhgConfig) -> LpResult<Self> {
+        assert!(width >= 1, "need at least one lane");
+        let csr = CsrMatrix::from_dense(&std.a);
+        let matrix_bytes = csr.size_bytes();
+        let (m, n) = (csr.rows(), csr.cols());
+        let per_lane = Self::per_lane_bytes(m, n);
+        let (matrix, lane_state) = accel.with(|d| -> gmip_gpu::device::Result<_> {
+            let matrix = d.upload_sparse(&csr, DEFAULT_STREAM)?;
+            let mut lanes = Vec::with_capacity(width);
+            for _ in 0..width {
+                lanes.push(d.alloc_raw(per_lane)?);
+            }
+            Ok((matrix, lanes))
+        })?;
+        let fro = csr.frobenius_norm();
+        let eta = if fro > 0.0 { 1.0 / fro } else { 1.0 };
+        let b_norm = std.b.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let mut metrics = MetricsRegistry::new();
+        metrics.max_gauge(names::FO_WIDTH, width as f64);
+        metrics.max_gauge(names::FO_MATRIX_BYTES, matrix_bytes as f64);
+        Ok(Self {
+            accel,
+            stream: DEFAULT_STREAM,
+            matrix,
+            matrix_bytes,
+            b: std.b.clone(),
+            c: std.c.clone(),
+            c_tilde: std.c.iter().map(|&v| -v).collect(),
+            slack_rows: std
+                .slacks
+                .iter()
+                .map(|&(_, row, coef)| (row, coef))
+                .collect(),
+            eta,
+            b_norm,
+            cutoff: f64::NEG_INFINITY,
+            cfg,
+            lanes: (0..width).map(|_| None).collect(),
+            lane_state,
+            scratch_n: vec![0.0; n],
+            scratch_n2: vec![0.0; n],
+            scratch_m: vec![0.0; m],
+            csr,
+            metrics,
+        })
+    }
+
+    /// Device bytes of one lane's iteration state: `x`, `x̄`-sum, bounds
+    /// (4·n), duals + `ȳ`-sum + residual scratch (3·m), plus fixed
+    /// per-lane bookkeeping. No factorization state — the reason hundreds
+    /// of first-order lanes fit where tens of simplex lanes do.
+    pub fn per_lane_bytes(m: usize, n: usize) -> usize {
+        8 * (4 * n + 3 * m) + 128
+    }
+
+    /// Bytes of the shared device-resident CSR matrix.
+    pub fn matrix_bytes(&self) -> usize {
+        self.matrix_bytes
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Rows of the standard form.
+    pub fn m(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Columns of the standard form.
+    pub fn n(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Whether `slot` holds a lane still iterating.
+    pub fn lane_busy(&self, slot: usize) -> bool {
+        self.lanes[slot]
+            .as_ref()
+            .is_some_and(|l| l.outcome.is_none())
+    }
+
+    /// Whether any lane is still iterating.
+    pub fn any_busy(&self) -> bool {
+        (0..self.lanes.len()).any(|s| self.lane_busy(s))
+    }
+
+    /// Whether `slot` is free for [`Self::load_lane`].
+    pub fn lane_idle(&self, slot: usize) -> bool {
+        self.lanes[slot].is_none()
+    }
+
+    /// Updates the incumbent cutoff (internal maximize sense). Lanes whose
+    /// safe bound is at or below the cutoff retire pruned at their next
+    /// KKT check — incumbents found mid-wave start pruning *in-flight*
+    /// lanes immediately, not just future refills.
+    pub fn set_cutoff(&mut self, cutoff: f64) {
+        self.cutoff = cutoff;
+    }
+
+    /// Wave counters (`fo.*`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Takes (and resets) the accumulated `fo.*` counters.
+    pub fn take_metrics(&mut self) -> MetricsRegistry {
+        std::mem::replace(&mut self.metrics, MetricsRegistry::new())
+    }
+
+    /// Marks a refill (frontier node loaded into a previously retired
+    /// lane).
+    pub fn note_refill(&mut self) {
+        self.metrics.incr(names::FO_REFILLS, 1.0);
+    }
+
+    /// Records a host-simplex cleanup of a converged (or capped) lane:
+    /// `fo.cleanups` and the pivots it spent (`fo.cleanup.iterations`).
+    pub fn note_cleanup(&mut self, simplex_iterations: usize) {
+        self.metrics.incr(names::FO_CLEANUPS, 1.0);
+        self.metrics
+            .incr(names::FO_CLEANUP_ITERS, simplex_iterations as f64);
+    }
+
+    /// Loads a node into idle `slot`: per-node bounds (length `n`,
+    /// including slack columns), an optional `(x, y)` warm start (the
+    /// parent's averaged iterates), and the caller's `token` to identify
+    /// the lane's report. Charges the H2D transfer of the lane's vectors
+    /// and runs the load-time activity-bound infeasibility check; an
+    /// infeasible lane retires at the next superstep boundary without
+    /// iterating.
+    pub fn load_lane(
+        &mut self,
+        slot: usize,
+        token: u64,
+        lb: &[f64],
+        ub: &[f64],
+        warm: Option<(&[f64], &[f64])>,
+    ) -> LpResult<()> {
+        let (m, n) = (self.m(), self.n());
+        if !self.lane_idle(slot) {
+            return Err(LpError::Shape(format!("lane {slot} loaded while occupied")));
+        }
+        if lb.len() != n || ub.len() != n {
+            return Err(LpError::Shape(format!(
+                "lane bounds: engine n={n}, lb {} ub {}",
+                lb.len(),
+                ub.len()
+            )));
+        }
+        let mut lb = lb.to_vec();
+        let mut ub = ub.to_vec();
+        // Implied-bound tightening: gives every column a finite box (so
+        // safe bounds stay finite) and doubles as a cheap infeasibility
+        // proof when branch bounds cross.
+        let tight_ok = tighten_bounds(&self.csr, &self.b, &mut lb, &mut ub);
+        let mut h2d = 8 * 2 * n;
+        let (mut x, y) = match warm {
+            Some((wx, wy)) => {
+                if wx.len() != n || wy.len() != m {
+                    return Err(LpError::Shape(format!(
+                        "warm start: engine {m}x{n}, x {} y {}",
+                        wx.len(),
+                        wy.len()
+                    )));
+                }
+                h2d += 8 * (n + m);
+                (wx.to_vec(), wy.to_vec())
+            }
+            None => {
+                let x0 = (0..n)
+                    .map(|j| match (lb[j].is_finite(), ub[j].is_finite()) {
+                        (true, true) => 0.5 * (lb[j] + ub[j]),
+                        (true, false) => lb[j],
+                        (false, true) => ub[j],
+                        (false, false) => 0.0,
+                    })
+                    .collect();
+                (x0, vec![0.0; m])
+            }
+        };
+        for j in 0..n {
+            x[j] = x[j].max(lb[j]).min(ub[j]);
+        }
+        let stream = self.stream;
+        self.accel.with(|d| d.charge_transfer(h2d, true, stream));
+
+        // Activity-bound infeasibility check: a row whose minimal (or
+        // maximal) activity over the box already misses `b` can never be
+        // satisfied — the branch bounds fixed this node dead. Catches the
+        // common case (conflicting binary fixings) for the cost of one
+        // host pass over the nonzeros.
+        let infeasible = !tight_ok
+            || (0..m).any(|i| {
+                let (mut lo, mut hi) = (0.0f64, 0.0f64);
+                for (j, v) in self.csr.row_iter(i) {
+                    let (p, q) = (v * lb[j], v * ub[j]);
+                    lo += p.min(q);
+                    hi += p.max(q);
+                }
+                lo > self.b[i] + 1e-9 || hi < self.b[i] - 1e-9
+            });
+
+        let lane = FoLane {
+            token,
+            lb,
+            ub,
+            x_sum: vec![0.0; n],
+            y_sum: vec![0.0; m],
+            sum_count: 0,
+            iters: 0,
+            restarts: 0,
+            omega: 1.0,
+            merit0: f64::INFINITY,
+            x_restart: x.clone(),
+            y_restart: y.clone(),
+            safe_bound: f64::INFINITY,
+            outcome: infeasible.then_some(FoOutcome::Infeasible),
+            reported: false,
+            x,
+            y,
+        };
+        if infeasible {
+            self.metrics.incr(names::FO_INFEASIBLE, 1.0);
+        }
+        self.lanes[slot] = Some(lane);
+        Ok(())
+    }
+
+    /// Executes one lockstep superstep: every busy lane advances by one
+    /// PDHG iteration via fused `fo.spmv_t` / `fo.axpy` / `fo.spmv`
+    /// launches (plus `fo.norm` for lanes on a KKT check), then
+    /// convergence / safe-bound-prune / restart decisions fire at the
+    /// boundary. Returns the slots that retired (including lanes found
+    /// infeasible at load time).
+    pub fn superstep(&mut self) -> Vec<usize> {
+        let mut retired = Vec::new();
+        for slot in 0..self.lanes.len() {
+            if let Some(l) = self.lanes[slot].as_mut() {
+                if l.outcome.is_some() && !l.reported {
+                    l.reported = true;
+                    retired.push(slot);
+                }
+            }
+        }
+        let busy: Vec<usize> = (0..self.lanes.len())
+            .filter(|&s| self.lane_busy(s))
+            .collect();
+        if busy.is_empty() {
+            if !retired.is_empty() {
+                self.metrics.incr(names::FO_RETIRES, retired.len() as f64);
+                let stream = self.stream;
+                let _ = self.accel.with(|d| d.record_event(stream));
+            }
+            return retired;
+        }
+
+        self.metrics.incr(names::FO_SUPERSTEPS, 1.0);
+        self.metrics.incr(names::FO_ITERATIONS, busy.len() as f64);
+        let (m, n) = (self.m(), self.n());
+        let nnz = self.csr.nnz();
+
+        let mut checking = 0usize;
+        for &slot in &busy {
+            let lane = self.lanes[slot].as_mut().expect("busy slot occupied");
+            let tau = self.eta / lane.omega;
+            let sigma = self.eta * lane.omega;
+            self.csr
+                .matvec_transposed_into(&lane.y, &mut self.scratch_n)
+                .expect("lane shapes fixed at load");
+            for j in 0..n {
+                let step = lane.x[j] - tau * (self.c_tilde[j] + self.scratch_n[j]);
+                let xj = step.max(lane.lb[j]).min(lane.ub[j]);
+                self.scratch_n2[j] = 2.0 * xj - lane.x[j];
+                lane.x[j] = xj;
+            }
+            self.csr
+                .matvec_into(&self.scratch_n2, &mut self.scratch_m)
+                .expect("lane shapes fixed at load");
+            for i in 0..m {
+                lane.y[i] += sigma * (self.scratch_m[i] - self.b[i]);
+            }
+            for j in 0..n {
+                lane.x_sum[j] += lane.x[j];
+            }
+            for i in 0..m {
+                lane.y_sum[i] += lane.y[i];
+            }
+            lane.sum_count += 1;
+            lane.iters += 1;
+            if lane.iters.is_multiple_of(self.cfg.check_every) || lane.iters >= self.cfg.max_iters {
+                checking += 1;
+            }
+        }
+
+        // The fused launches of this superstep: every busy lane is on the
+        // identical kernel class — perfect lockstep, three launches, plus
+        // one `fo.norm` reduction for the lanes on a check boundary.
+        let spmv: Vec<(f64, f64)> = busy
+            .iter()
+            .map(|_| (flops::spmv(nnz), (16 * nnz + 8 * (m + n)) as f64))
+            .collect();
+        let axpy: Vec<(f64, f64)> = busy
+            .iter()
+            .map(|_| ((6 * n + 4 * m) as f64, (8 * (4 * n + 3 * m)) as f64))
+            .collect();
+        let norm: Vec<(f64, f64)> = (0..checking)
+            .map(|_| ((4 * (n + m)) as f64, (8 * (n + m)) as f64))
+            .collect();
+        let stream = self.stream;
+        self.accel.with(|d| {
+            d.batched_wave_kernel_sparse("fo.spmv_t", &spmv, stream);
+            d.batched_wave_kernel("fo.axpy", &axpy, stream);
+            d.batched_wave_kernel_sparse("fo.spmv", &spmv, stream);
+            if !norm.is_empty() {
+                d.batched_wave_kernel("fo.norm", &norm, stream);
+            }
+        });
+        self.metrics.incr(
+            names::FO_FUSED_LAUNCHES,
+            if norm.is_empty() { 3.0 } else { 4.0 },
+        );
+
+        for &slot in &busy {
+            if let Some(outcome) = self.check_lane(slot) {
+                let lane = self.lanes[slot].as_mut().expect("busy slot occupied");
+                lane.outcome = Some(outcome);
+                lane.reported = true;
+                retired.push(slot);
+                let counter = match outcome {
+                    FoOutcome::Converged => names::FO_CONVERGED,
+                    FoOutcome::BoundPruned => names::FO_BOUND_PRUNED,
+                    FoOutcome::Infeasible => names::FO_INFEASIBLE,
+                    FoOutcome::IterLimit => names::FO_ITER_LIMIT,
+                };
+                self.metrics.incr(counter, 1.0);
+            }
+        }
+        if !retired.is_empty() {
+            self.metrics.incr(names::FO_RETIRES, retired.len() as f64);
+        }
+        // Retire boundaries are stream events, not device barriers.
+        let _ = self.accel.with(|d| d.record_event(stream));
+        retired
+    }
+
+    /// KKT check at the running average; decides retire/restart. Returns
+    /// the outcome if the lane retires at this boundary.
+    fn check_lane(&mut self, slot: usize) -> Option<FoOutcome> {
+        let (m, n) = (self.m(), self.n());
+        let lane = self.lanes[slot].as_mut().expect("busy slot occupied");
+        let at_cap = lane.iters >= self.cfg.max_iters;
+        if !lane.iters.is_multiple_of(self.cfg.check_every) && !at_cap {
+            return None;
+        }
+        let inv = 1.0 / lane.sum_count.max(1) as f64;
+        for j in 0..n {
+            self.scratch_n2[j] = lane.x_sum[j] * inv;
+        }
+        let y_avg: Vec<f64> = lane.y_sum.iter().map(|&v| v * inv).collect();
+
+        self.csr
+            .matvec_into(&self.scratch_n2[..n], &mut self.scratch_m)
+            .expect("lane shapes fixed at load");
+        let primal_res = self
+            .scratch_m
+            .iter()
+            .zip(&self.b)
+            .map(|(&ax, &bi)| (ax - bi) * (ax - bi))
+            .sum::<f64>()
+            .sqrt();
+        let obj: f64 = self
+            .c
+            .iter()
+            .zip(self.scratch_n2.iter())
+            .map(|(&cj, &xj)| cj * xj)
+            .sum();
+        let bound = safe_dual_bound(
+            &self.csr,
+            &self.b,
+            &self.c,
+            &lane.lb,
+            &lane.ub,
+            &self.slack_rows,
+            &y_avg,
+        );
+        lane.safe_bound = lane.safe_bound.min(bound);
+
+        // Early safe-bound prune: the wave's structural advantage — the
+        // lane states a valid bound after a handful of iterations and
+        // retires the moment the incumbent dominates it.
+        if lane.safe_bound <= self.cutoff {
+            self.adopt_average(slot, inv, &y_avg);
+            return Some(FoOutcome::BoundPruned);
+        }
+
+        let gap = (bound - obj).max(0.0);
+        let converged = primal_res <= self.cfg.tol * (1.0 + self.b_norm)
+            && bound.is_finite()
+            && gap <= self.cfg.tol * (1.0 + obj.abs());
+        if converged {
+            self.adopt_average(slot, inv, &y_avg);
+            return Some(FoOutcome::Converged);
+        }
+        if at_cap {
+            self.adopt_average(slot, inv, &y_avg);
+            return Some(FoOutcome::IterLimit);
+        }
+
+        let merit = if bound.is_finite() {
+            primal_res.hypot(gap)
+        } else {
+            f64::INFINITY
+        };
+        let lane = self.lanes[slot].as_mut().expect("busy slot occupied");
+        if lane.merit0.is_infinite() {
+            if merit.is_finite() {
+                lane.merit0 = merit;
+            }
+        } else if merit <= self.cfg.restart_beta * lane.merit0 {
+            // Restart to the running average, and adapt the primal weight
+            // from the movement ratio since the last restart point.
+            let mut dx = 0.0;
+            let mut dy = 0.0;
+            for j in 0..n {
+                let d = self.scratch_n2[j] - lane.x_restart[j];
+                dx += d * d;
+            }
+            for i in 0..m {
+                let d = y_avg[i] - lane.y_restart[i];
+                dy += d * d;
+            }
+            let (dx, dy) = (dx.sqrt(), dy.sqrt());
+            if dx > 1e-12 && dy > 1e-12 {
+                lane.omega = (lane.omega * dy / dx).sqrt().clamp(1e-4, 1e4);
+            }
+            lane.x.copy_from_slice(&self.scratch_n2[..n]);
+            lane.y.copy_from_slice(&y_avg);
+            lane.x_restart.copy_from_slice(&lane.x);
+            lane.y_restart.copy_from_slice(&lane.y);
+            for v in lane.x_sum.iter_mut() {
+                *v = 0.0;
+            }
+            for v in lane.y_sum.iter_mut() {
+                *v = 0.0;
+            }
+            lane.sum_count = 0;
+            lane.merit0 = merit;
+            lane.restarts += 1;
+            self.metrics.incr(names::FO_RESTARTS, 1.0);
+        }
+        None
+    }
+
+    /// Writes the running average into the lane's iterates (the vectors a
+    /// retired lane reports).
+    fn adopt_average(&mut self, slot: usize, inv: f64, y_avg: &[f64]) {
+        let n = self.c.len();
+        let lane = self.lanes[slot].as_mut().expect("slot occupied");
+        if lane.sum_count > 0 {
+            for j in 0..n {
+                lane.x[j] = lane.x_sum[j] * inv;
+            }
+            lane.y.copy_from_slice(y_avg);
+        }
+    }
+
+    /// Runs supersteps until at least one lane retires (or nothing is
+    /// busy). Returns the retired slots.
+    pub fn run_to_retire(&mut self) -> Vec<usize> {
+        loop {
+            let retired = self.superstep();
+            if !retired.is_empty() {
+                return retired;
+            }
+            if !self.any_busy() {
+                return Vec::new();
+            }
+        }
+    }
+
+    /// Takes the report of a retired lane, freeing `slot` for a refill.
+    /// Charges the D2H transfer of the reported iterates.
+    pub fn take_lane(&mut self, slot: usize) -> LpResult<FoLaneReport> {
+        let lane = self.lanes[slot]
+            .take()
+            .ok_or_else(|| LpError::Shape(format!("take_lane on empty slot {slot}")))?;
+        let outcome = lane
+            .outcome
+            .ok_or_else(|| LpError::Shape(format!("take_lane on busy slot {slot}")))?;
+        let bytes = 8 * (lane.x.len() + lane.y.len());
+        let stream = self.stream;
+        self.accel.with(|d| d.charge_transfer(bytes, false, stream));
+        Ok(FoLaneReport {
+            token: lane.token,
+            outcome,
+            iterations: lane.iters,
+            restarts: lane.restarts,
+            safe_bound: lane.safe_bound,
+            x: lane.x,
+            y: lane.y,
+        })
+    }
+}
+
+impl Drop for FirstOrderWaveEngine {
+    fn drop(&mut self) {
+        self.accel.with(|d| {
+            let _ = d.free_sparse(self.matrix);
+            for &h in &self.lane_state {
+                let _ = d.free_raw(h);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::HostEngine;
+    use crate::solver::{LpConfig, LpSolver, LpStatus};
+    use gmip_problems::catalog::{textbook_lp, textbook_mip};
+
+    fn engine(std: &StandardLp, width: usize, cfg: PdhgConfig) -> FirstOrderWaveEngine {
+        FirstOrderWaveEngine::new(Accel::gpu(1), std, width, cfg).expect("engine")
+    }
+
+    fn host_optimum(std: &StandardLp) -> f64 {
+        let mut lp = LpSolver::new(std.clone(), LpConfig::standard(), |a| {
+            HostEngine::new(a.clone())
+        });
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // Internal maximize value.
+        if std.negated {
+            -sol.objective
+        } else {
+            sol.objective
+        }
+    }
+
+    #[test]
+    fn pdhg_converges_to_lp_optimum_and_restarts() {
+        let std = StandardLp::from_instance(&textbook_lp(), &[]);
+        let expected = host_optimum(&std);
+        let mut fo = engine(&std, 1, PdhgConfig::default());
+        fo.load_lane(0, 7, &std.lb, &std.ub, None).unwrap();
+        let retired = fo.run_to_retire();
+        assert_eq!(retired, vec![0]);
+        let r = fo.take_lane(0).unwrap();
+        assert_eq!(r.token, 7);
+        assert_eq!(r.outcome, FoOutcome::Converged);
+        assert!(
+            r.restarts >= 1,
+            "adaptive restarts must trigger on a real solve"
+        );
+        let obj: f64 = std.c.iter().zip(&r.x).map(|(c, x)| c * x).sum();
+        assert!(
+            (obj - expected).abs() <= 1e-3 * (1.0 + expected.abs()),
+            "pdhg {obj} vs simplex {expected}"
+        );
+        // The safe bound never dips below the true optimum.
+        assert!(
+            r.safe_bound >= expected - 1e-9,
+            "{} < {expected}",
+            r.safe_bound
+        );
+    }
+
+    #[test]
+    fn safe_bound_is_valid_at_arbitrary_duals() {
+        let std = StandardLp::from_instance(&textbook_lp(), &[]);
+        let opt = host_optimum(&std);
+        let csr = CsrMatrix::from_dense(&std.a);
+        let slack_rows: Vec<(usize, f64)> = std.slacks.iter().map(|&(_, r, cf)| (r, cf)).collect();
+        // Any dual vector — including wildly wrong ones — must bound the
+        // optimum from above.
+        for y in [
+            vec![0.0; std.m()],
+            vec![1.0; std.m()],
+            vec![-3.5; std.m()],
+            (0..std.m()).map(|i| (i as f64) - 1.7).collect(),
+        ] {
+            let b = safe_dual_bound(&csr, &std.b, &std.c, &std.lb, &std.ub, &slack_rows, &y);
+            assert!(b >= opt - 1e-9, "bound {b} < optimum {opt} at y={y:?}");
+        }
+    }
+
+    #[test]
+    fn infeasible_bounds_detected_at_load() {
+        let mip = textbook_mip();
+        let std = StandardLp::from_instance(&mip, &[]);
+        let mut fo = engine(&std, 2, PdhgConfig::default());
+        // Fix x0 beyond what row feasibility allows: lb far above any
+        // attainable activity.
+        let mut lb = std.lb.clone();
+        let mut ub = std.ub.clone();
+        lb[0] = 1e6;
+        ub[0] = 1e6;
+        fo.load_lane(0, 1, &lb, &ub, None).unwrap();
+        let retired = fo.run_to_retire();
+        assert_eq!(retired, vec![0]);
+        let r = fo.take_lane(0).unwrap();
+        assert_eq!(r.outcome, FoOutcome::Infeasible);
+        assert_eq!(r.iterations, 0, "infeasible lanes never iterate");
+        assert_eq!(fo.metrics().counter(names::FO_INFEASIBLE), 1.0);
+    }
+
+    #[test]
+    fn cutoff_prunes_lane_early_without_convergence() {
+        let std = StandardLp::from_instance(&textbook_lp(), &[]);
+        let expected = host_optimum(&std);
+        let mut fo = engine(&std, 1, PdhgConfig::default());
+        // An incumbent far above the optimum dominates every node bound.
+        fo.set_cutoff(expected + 1e3);
+        fo.load_lane(0, 3, &std.lb, &std.ub, None).unwrap();
+        let retired = fo.run_to_retire();
+        assert_eq!(retired, vec![0]);
+        let r = fo.take_lane(0).unwrap();
+        assert_eq!(r.outcome, FoOutcome::BoundPruned);
+        assert!(
+            r.iterations < 200,
+            "prune must fire at an early check, ran {}",
+            r.iterations
+        );
+        assert!(r.safe_bound <= expected + 1e3);
+    }
+
+    #[test]
+    fn retire_refill_bookkeeping() {
+        let std = StandardLp::from_instance(&textbook_lp(), &[]);
+        let mut fo = engine(&std, 2, PdhgConfig::default());
+        fo.load_lane(0, 10, &std.lb, &std.ub, None).unwrap();
+        fo.load_lane(1, 11, &std.lb, &std.ub, None).unwrap();
+        assert!(fo.any_busy());
+        // Loading an occupied slot is rejected.
+        assert!(fo.load_lane(0, 12, &std.lb, &std.ub, None).is_err());
+        let mut taken = 0;
+        while fo.any_busy() || (0..fo.width()).any(|s| !fo.lane_idle(s)) {
+            for slot in fo.run_to_retire() {
+                let r = fo.take_lane(slot).unwrap();
+                taken += 1;
+                // Refill once with a warm start from the retired lane.
+                if taken <= 1 {
+                    fo.load_lane(slot, 12, &std.lb, &std.ub, Some((&r.x, &r.y)))
+                        .unwrap();
+                    fo.note_refill();
+                }
+            }
+            if !fo.any_busy() {
+                break;
+            }
+        }
+        assert_eq!(taken, 3, "two initial lanes + one refill");
+        let m = fo.metrics();
+        assert_eq!(m.counter(names::FO_RETIRES), 3.0);
+        assert_eq!(m.counter(names::FO_REFILLS), 1.0);
+        assert_eq!(m.counter(names::FO_CONVERGED), 3.0);
+        // Taking an empty slot is rejected.
+        assert!(fo.take_lane(0).is_err());
+    }
+
+    #[test]
+    fn warm_started_lane_converges_faster() {
+        let std = StandardLp::from_instance(&textbook_lp(), &[]);
+        let mut fo = engine(&std, 1, PdhgConfig::default());
+        fo.load_lane(0, 0, &std.lb, &std.ub, None).unwrap();
+        fo.run_to_retire();
+        let cold = fo.take_lane(0).unwrap();
+        assert_eq!(cold.outcome, FoOutcome::Converged);
+        // Re-solve the same node from the parent's iterates.
+        fo.load_lane(0, 1, &std.lb, &std.ub, Some((&cold.x, &cold.y)))
+            .unwrap();
+        fo.run_to_retire();
+        let warm = fo.take_lane(0).unwrap();
+        assert_eq!(warm.outcome, FoOutcome::Converged);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn supersteps_fuse_launches_in_lockstep() {
+        let std = StandardLp::from_instance(&textbook_lp(), &[]);
+        let accel = Accel::gpu(1);
+        let mut fo =
+            FirstOrderWaveEngine::new(accel.clone(), &std, 4, PdhgConfig::default()).unwrap();
+        for slot in 0..4 {
+            fo.load_lane(slot, slot as u64, &std.lb, &std.ub, None)
+                .unwrap();
+        }
+        let before = accel.stats().kernel_launches;
+        fo.superstep();
+        let after = accel.stats().kernel_launches;
+        // Four lanes, one iteration each: 3 fused launches (spmv_t, axpy,
+        // spmv) — not 12 per-lane ones. (First check lands later.)
+        assert_eq!(after - before, 3, "lockstep fuses all lanes per class");
+        assert_eq!(fo.metrics().counter(names::FO_SUPERSTEPS), 1.0);
+        assert_eq!(fo.metrics().counter(names::FO_ITERATIONS), 4.0);
+    }
+}

@@ -33,7 +33,9 @@ pub mod certificate;
 pub mod device_engine;
 pub mod dual;
 pub mod engine;
+pub mod firstorder;
 pub mod ipm;
+pub mod node_engine;
 pub mod problem;
 pub mod simplex;
 pub mod solver;
@@ -44,7 +46,12 @@ pub use basis::{Basis, VarStatus};
 pub use certificate::{CertKind, LpCertificate};
 pub use device_engine::DeviceEngine;
 pub use engine::{HostEngine, ProblemView, SimplexEngine};
+pub use firstorder::{safe_dual_bound, FirstOrderWaveEngine, FoLaneReport, FoOutcome, PdhgConfig};
 pub use ipm::{solve_ipm, IpmConfig, IpmSolution};
+pub use node_engine::{
+    FirstOrderNodeEngine, IpmNodeEngine, NodeLpEngine, NodeLpOutcome, NodeWarmHandoff,
+    NodeWarmStart, SimplexNodeEngine,
+};
 pub use problem::{BoundChange, StandardLp};
 pub use simplex::{PricingRule, PrimalConfig};
 pub use solver::{ColKind, LpConfig, LpSolution, LpSolver, LpStatus};

@@ -22,7 +22,7 @@
 //!
 //! **Fencing invariant.** A subtree leaving its group is moved to
 //! `Evaluating` *before* the transfer is scheduled, and only re-enters an
-//! active set at its [`HEventKind::SubtreeArrive`] event. While in
+//! active set at its `HEventKind::SubtreeArrive` event. While in
 //! transit it is invisible to dispatch, stealing, and pruning on *both*
 //! sides, so no node can be evaluated by two groups or dropped between
 //! them, regardless of how steal timing interleaves with crashes — the
@@ -356,7 +356,7 @@ impl HierSupervisor {
         let groups = cfg.workers.div_ceil(hcfg.fanout);
         let mut workers = Vec::with_capacity(cfg.workers);
         for id in 0..cfg.workers {
-            workers.push(Worker::new_with_lanes(
+            workers.push(Worker::new_with_backend(
                 id,
                 &instance,
                 cfg.gpu_cost.clone(),
@@ -364,6 +364,7 @@ impl HierSupervisor {
                 cfg.lp.clone(),
                 cfg.int_tol,
                 cfg.batched_lanes,
+                cfg.first_order_lanes,
             )?);
         }
         let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
@@ -864,7 +865,7 @@ impl HierSupervisor {
     fn on_rank_respawn(&mut self, worker: usize) -> LpResult<()> {
         self.ranks[worker].respawn_pending = false;
         self.lost_busy_ns[worker] += self.workers[worker].busy_ns;
-        let mut fresh = Worker::new_with_lanes(
+        let mut fresh = Worker::new_with_backend(
             worker,
             &self.instance,
             self.cfg.gpu_cost.clone(),
@@ -872,6 +873,7 @@ impl HierSupervisor {
             self.cfg.lp.clone(),
             self.cfg.int_tol,
             self.cfg.batched_lanes,
+            self.cfg.first_order_lanes,
         )?;
         fresh.busy_until = self.now;
         self.workers[worker] = fresh;

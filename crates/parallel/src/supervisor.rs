@@ -74,6 +74,12 @@ pub struct ParallelConfig {
     /// evaluator (fused kernel launches on a shared device matrix, up to
     /// `n` lane reservations) instead of one launch per simplex operation.
     pub batched_lanes: Option<usize>,
+    /// `Some(n)`: workers run their node LPs through the first-order
+    /// (restarted PDHG) evaluator — fused SpMV/axpy launches on a shared
+    /// device-resident CSR matrix, safe dual bounds for early incumbent
+    /// prunes, and exact host-simplex cleanup of converged lanes. Takes
+    /// precedence over `batched_lanes`.
+    pub first_order_lanes: Option<usize>,
     /// A candidate solution (source-sense point) installed as the initial
     /// incumbent if it validates integer-feasible on the instance — the
     /// multi-job serving layer seeds perturbed re-submissions from its
@@ -102,6 +108,7 @@ impl Default for ParallelConfig {
             checkpoint_every: None,
             chaos: None,
             batched_lanes: None,
+            first_order_lanes: None,
             seed_solution: None,
             root_basis: None,
         }
@@ -288,7 +295,7 @@ impl Supervisor {
         assert!(cfg.workers >= 1, "need at least one worker");
         let mut workers = Vec::with_capacity(cfg.workers);
         for id in 0..cfg.workers {
-            workers.push(Worker::new_with_lanes(
+            workers.push(Worker::new_with_backend(
                 id,
                 &instance,
                 cfg.gpu_cost.clone(),
@@ -296,6 +303,7 @@ impl Supervisor {
                 cfg.lp.clone(),
                 cfg.int_tol,
                 cfg.batched_lanes,
+                cfg.first_order_lanes,
             )?);
         }
         let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
@@ -734,7 +742,7 @@ impl Supervisor {
     fn on_respawn(&mut self, worker: usize) -> LpResult<()> {
         self.ranks[worker].respawn_pending = false;
         self.lost_busy_ns[worker] += self.workers[worker].busy_ns;
-        let mut fresh = Worker::new_with_lanes(
+        let mut fresh = Worker::new_with_backend(
             worker,
             &self.instance,
             self.cfg.gpu_cost.clone(),
@@ -742,6 +750,7 @@ impl Supervisor {
             self.cfg.lp.clone(),
             self.cfg.int_tol,
             self.cfg.batched_lanes,
+            self.cfg.first_order_lanes,
         )?;
         fresh.busy_until = self.now;
         self.workers[worker] = fresh;
@@ -1044,6 +1053,26 @@ mod tests {
             launches(&baseline)
         );
         assert!(batched.stats.metrics.counter("wave.fused_launches") > 0.0);
+    }
+
+    #[test]
+    fn first_order_workers_match_default() {
+        let m = knapsack(12, 0.5, 1);
+        let baseline = solve_parallel(&m, cfg(3)).unwrap();
+        let fo = solve_parallel(
+            &m,
+            ParallelConfig {
+                first_order_lanes: Some(2),
+                ..cfg(3)
+            },
+        )
+        .unwrap();
+        assert_eq!(fo.status, MipStatus::Optimal);
+        assert!((fo.objective - baseline.objective).abs() < 1e-6);
+        // The ranks really ran the PDHG evaluator, and incumbent cutoffs
+        // reached in-flight lanes (safe-bound prunes).
+        assert!(fo.stats.metrics.counter("fo.iterations") > 0.0);
+        assert!(fo.stats.metrics.counter("fo.cleanups") > 0.0);
     }
 
     #[test]

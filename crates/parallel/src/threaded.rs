@@ -49,15 +49,17 @@ fn spawn_worker(
     let gpu_cost = cfg.gpu_cost.clone();
     let (gpu_mem, lp_cfg, int_tol) = (cfg.gpu_mem, cfg.lp.clone(), cfg.int_tol);
     let lanes = cfg.batched_lanes;
+    let fo_lanes = cfg.first_order_lanes;
     let handle = std::thread::spawn(move || {
-        let mut worker =
-            match Worker::new_with_lanes(id, &inst, gpu_cost, gpu_mem, lp_cfg, int_tol, lanes) {
-                Ok(w) => w,
-                Err(e) => {
-                    let _ = rtx.send(Err(e));
-                    return;
-                }
-            };
+        let mut worker = match Worker::new_with_backend(
+            id, &inst, gpu_cost, gpu_mem, lp_cfg, int_tol, lanes, fo_lanes,
+        ) {
+            Ok(w) => w,
+            Err(e) => {
+                let _ = rtx.send(Err(e));
+                return;
+            }
+        };
         let mut handled = 0usize;
         while let Ok(WorkerMsg::Work(a)) = rx.recv() {
             if crash_at == Some(handled) {

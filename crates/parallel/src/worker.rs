@@ -10,8 +10,8 @@ use crate::comm::{Assignment, NodeOutcome, NodeReport};
 use gmip_gpu::{Accel, CostModel, DeviceConfig};
 use gmip_lp::wave::BatchedWaveEngine;
 use gmip_lp::{
-    wave_width, DeviceEngine, LpConfig, LpResult, LpSolution, LpSolver, LpStatus, RecordingEngine,
-    StandardLp,
+    wave_width, DeviceEngine, FirstOrderWaveEngine, FoOutcome, HostEngine, LpConfig, LpResult,
+    LpSolution, LpSolver, LpStatus, PdhgConfig, RecordingEngine, StandardLp,
 };
 use gmip_problems::{MipInstance, Objective};
 
@@ -28,6 +28,17 @@ enum LpBackend {
     Wave {
         lp: Box<LpSolver<RecordingEngine>>,
         wave: Box<BatchedWaveEngine>,
+        slot: usize,
+    },
+    /// The first-order (restarted PDHG) evaluator: the node LP iterates as
+    /// fused SpMV/axpy launches against this rank's device-resident CSR
+    /// matrix, states a safe dual bound (early incumbent prunes without
+    /// solving to optimality), and converged lanes are finished by exact
+    /// host simplex before the outcome is reported.
+    FirstOrder {
+        std: Box<StandardLp>,
+        fo: Box<FirstOrderWaveEngine>,
+        cleanup: Box<LpSolver<HostEngine>>,
         slot: usize,
     },
 }
@@ -80,6 +91,32 @@ impl Worker {
         int_tol: f64,
         batched_lanes: Option<usize>,
     ) -> LpResult<Self> {
+        Self::new_with_backend(
+            id,
+            instance,
+            gpu_cost,
+            gpu_mem,
+            lp_cfg,
+            int_tol,
+            batched_lanes,
+            None,
+        )
+    }
+
+    /// Like [`Worker::new_with_lanes`], but `first_order_lanes: Some(n)`
+    /// switches this rank to the restarted-PDHG evaluator with up to `n`
+    /// lane reservations. Takes precedence over `batched_lanes`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_backend(
+        id: usize,
+        instance: &MipInstance,
+        gpu_cost: CostModel,
+        gpu_mem: usize,
+        lp_cfg: LpConfig,
+        int_tol: f64,
+        batched_lanes: Option<usize>,
+        first_order_lanes: Option<usize>,
+    ) -> LpResult<Self> {
         // Each rank's device gets its own trace track group, so a Perfetto
         // view shows one GPU timeline per worker.
         let accel = Accel::gpu_with(DeviceConfig {
@@ -89,6 +126,33 @@ impl Worker {
         })
         .with_trace_group(gmip_trace::TrackGroup::Gpu(id as u16));
         let std = StandardLp::from_instance(instance, &[]);
+        if let Some(lanes) = first_order_lanes {
+            let csr_bytes = gmip_linalg::CsrMatrix::from_dense(&std.a).size_bytes();
+            let width = wave_width(
+                lanes,
+                gpu_mem,
+                csr_bytes,
+                FirstOrderWaveEngine::per_lane_bytes(std.m(), std.n()),
+            );
+            let fo = FirstOrderWaveEngine::new(accel.clone(), &std, width, PdhgConfig::default())?;
+            let cleanup = LpSolver::new(std.clone(), lp_cfg, |a| HostEngine::new(a.clone()));
+            return Ok(Self {
+                id,
+                accel,
+                backend: LpBackend::FirstOrder {
+                    std: Box::new(std),
+                    fo: Box::new(fo),
+                    cleanup: Box::new(cleanup),
+                    slot: 0,
+                },
+                instance: instance.clone(),
+                int_tol,
+                busy_until: 0.0,
+                busy_ns: 0.0,
+                nodes: 0,
+                slowdown: 1.0,
+            });
+        }
         let backend = match batched_lanes {
             None => {
                 let factory_accel = accel.clone();
@@ -145,6 +209,10 @@ impl Worker {
                 m.merge(lp.metrics());
                 m.merge(wave.metrics());
             }
+            LpBackend::FirstOrder { fo, cleanup, .. } => {
+                m.merge(fo.metrics());
+                m.merge(cleanup.metrics());
+            }
         }
         m
     }
@@ -187,6 +255,61 @@ impl Worker {
                 }
                 *slot = (*slot + 1) % wave.width();
                 Ok((sol, lp.basis().cloned()))
+            }
+            LpBackend::FirstOrder {
+                std,
+                fo,
+                cleanup,
+                slot,
+            } => {
+                let mut lb = std.lb.clone();
+                let mut ub = std.ub.clone();
+                for bc in &a.bounds {
+                    lb[bc.var] = bc.lb;
+                    ub[bc.var] = bc.ub;
+                }
+                // The lane prunes itself the moment its safe bound drops
+                // to the incumbent — matching the report-side prune rule.
+                fo.set_cutoff(a.incumbent);
+                fo.load_lane(*slot, a.node_id as u64, &lb, &ub, None)?;
+                fo.run_to_retire();
+                let r = fo.take_lane(*slot)?;
+                *slot = (*slot + 1) % fo.width();
+                let to_source = |internal: f64| match self.instance.objective {
+                    Objective::Maximize => internal,
+                    Objective::Minimize => -internal,
+                };
+                match r.outcome {
+                    FoOutcome::Infeasible => Ok((
+                        LpSolution {
+                            status: LpStatus::Infeasible,
+                            objective: 0.0,
+                            x: Vec::new(),
+                            iterations: r.iterations,
+                        },
+                        None,
+                    )),
+                    // The safe bound is at or below the incumbent cutoff:
+                    // report it as the node's (dominated) objective bound;
+                    // the prune rule in `evaluate` retires it without ever
+                    // reading `x`.
+                    FoOutcome::BoundPruned => Ok((
+                        LpSolution {
+                            status: LpStatus::Optimal,
+                            objective: to_source(r.safe_bound),
+                            x: Vec::new(),
+                            iterations: r.iterations,
+                        },
+                        None,
+                    )),
+                    FoOutcome::Converged | FoOutcome::IterLimit => {
+                        // Exact host cleanup before the outcome is acted on.
+                        cleanup.apply_node_bounds(&a.bounds)?;
+                        let sol = cleanup.solve()?;
+                        fo.note_cleanup(sol.iterations);
+                        Ok((sol, None))
+                    }
+                }
             }
         }
     }
@@ -446,6 +569,71 @@ mod tests {
             per_kernel.accel().stats().kernel_launches
         );
         assert!(wave.metrics().counter("wave.fused_launches") > 0.0);
+    }
+
+    #[test]
+    fn first_order_backend_matches_per_kernel_outcomes() {
+        let mk_fo = || {
+            Worker::new_with_backend(
+                0,
+                &textbook_mip(),
+                CostModel::gpu_pcie(),
+                1 << 24,
+                LpConfig::standard(),
+                1e-6,
+                None,
+                Some(2),
+            )
+            .unwrap()
+        };
+        // Root relaxation: exact cleanup makes the branch decision match
+        // the per-kernel simplex worker exactly.
+        let root = Assignment {
+            node_id: 0,
+            bounds: vec![],
+            warm_basis: None,
+            incumbent: f64::NEG_INFINITY,
+        };
+        let mut fo = mk_fo();
+        let r = fo.evaluate(&root).unwrap();
+        match r.outcome {
+            NodeOutcome::Branch { bound, var, .. } => {
+                assert!((bound - 21.0).abs() < 1e-6);
+                assert_eq!(var, 1);
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+        // A dominating incumbent: the lane retires on its safe bound
+        // after a handful of PDHG iterations, never reaching optimality.
+        let mut fo = mk_fo();
+        let r = fo
+            .evaluate(&Assignment {
+                node_id: 1,
+                bounds: vec![],
+                warm_basis: None,
+                incumbent: 25.0,
+            })
+            .unwrap();
+        assert!(matches!(r.outcome, NodeOutcome::Pruned { .. }));
+        assert!(
+            fo.metrics().counter("fo.bound_pruned") >= 1.0,
+            "prune must come from the safe-bound path"
+        );
+        // Infeasible branch bounds are caught at lane load.
+        let mut fo = mk_fo();
+        let r = fo
+            .evaluate(&Assignment {
+                node_id: 2,
+                bounds: vec![BoundChange {
+                    var: 0,
+                    lb: 5.0,
+                    ub: 10.0,
+                }],
+                warm_basis: None,
+                incumbent: f64::NEG_INFINITY,
+            })
+            .unwrap();
+        assert!(matches!(r.outcome, NodeOutcome::Infeasible));
     }
 
     #[test]

@@ -160,6 +160,39 @@ pub const BATCH_BASIS_EVICTIONS: &str = "batch.basis_pool.evictions";
 /// Warm-basis pool: bytes spilled to the host (D2H) by LRU eviction.
 pub const BATCH_BASIS_SPILL_BYTES: &str = "batch.basis_pool.spill_bytes";
 
+// --- First-order (restarted PDHG) wave engine -------------------------------
+
+/// Lockstep PDHG supersteps (one primal-dual iteration across every active
+/// lane, at most one fused launch per `fo.*` kernel class).
+pub const FO_SUPERSTEPS: &str = "fo.supersteps";
+/// PDHG iterations summed over all lanes (lane-iterations).
+pub const FO_ITERATIONS: &str = "fo.iterations";
+/// KKT-residual-triggered restarts to the running average.
+pub const FO_RESTARTS: &str = "fo.restarts";
+/// Lanes that left the wave at a superstep boundary (any outcome).
+pub const FO_RETIRES: &str = "fo.retires";
+/// Retired lanes refilled from the best-bound frontier without a barrier.
+pub const FO_REFILLS: &str = "fo.refills";
+/// Lanes retired by KKT convergence (handed to simplex cleanup).
+pub const FO_CONVERGED: &str = "fo.converged";
+/// Lanes retired early because their safe dual bound fell below the
+/// incumbent cutoff — no cleanup needed, the node is pruned.
+pub const FO_BOUND_PRUNED: &str = "fo.bound_pruned";
+/// Lanes retired by the load-time activity-bound infeasibility check.
+pub const FO_INFEASIBLE: &str = "fo.infeasible";
+/// Lanes retired at the per-lane iteration cap (cleanup decides the node).
+pub const FO_ITER_LIMIT: &str = "fo.iter_limit";
+/// Fused batched launches (one per `fo.*` kernel class per superstep).
+pub const FO_FUSED_LAUNCHES: &str = "fo.fused_launches";
+/// Effective first-order wave width after memory auto-sizing (gauge).
+pub const FO_WIDTH: &str = "fo.width";
+/// Bytes of the shared device-resident CSR matrix (gauge).
+pub const FO_MATRIX_BYTES: &str = "fo.matrix.bytes";
+/// Host simplex cleanup solves of converged/capped lanes.
+pub const FO_CLEANUPS: &str = "fo.cleanups";
+/// Simplex iterations spent inside cleanup solves.
+pub const FO_CLEANUP_ITERS: &str = "fo.cleanup.iterations";
+
 // --- Fault injection & recovery (gmip-chaos) -------------------------------
 
 /// Injected worker crashes that landed on an alive rank.
@@ -267,6 +300,28 @@ mod tests {
         assert!(FAULT_SUB_CRASHES.starts_with("fault."));
         assert!(RECOVERY_SUB_RESPAWNS.starts_with("recovery."));
         assert!(RECOVERY_GROUP_REASSIGNED.starts_with("recovery."));
+    }
+
+    #[test]
+    fn fo_names_stay_in_their_namespace() {
+        for name in [
+            FO_SUPERSTEPS,
+            FO_ITERATIONS,
+            FO_RESTARTS,
+            FO_RETIRES,
+            FO_REFILLS,
+            FO_CONVERGED,
+            FO_BOUND_PRUNED,
+            FO_INFEASIBLE,
+            FO_ITER_LIMIT,
+            FO_FUSED_LAUNCHES,
+            FO_WIDTH,
+            FO_MATRIX_BYTES,
+            FO_CLEANUPS,
+            FO_CLEANUP_ITERS,
+        ] {
+            assert!(name.starts_with("fo."), "{name}");
+        }
     }
 
     #[test]
