@@ -9,7 +9,9 @@
 //! records are written to `<dir>/BENCH_e4.json` (the E4 batched-wave
 //! sweep), `<dir>/BENCH_serve.json` (the E9 serving SLO sweep),
 //! `<dir>/BENCH_scale.json` (the E10 rank-scaling sweep),
-//! `<dir>/BENCH_e11.json` (the E11 node-LP engine crossover sweep), and
+//! `<dir>/BENCH_e11.json` (the E11 node-LP engine crossover sweep),
+//! `<dir>/BENCH_e12.json` (the E12 time-to-first-incumbent grid:
+//! propagation on/off × fix-and-propagate dive on/off), and
 //! `<dir>/BENCH_baseline.json` (the full regression baseline the
 //! `bench-regression` CI job compares against). With `--scale-smoke`,
 //! only the E10 4/64/256-rank cells are re-run and written to
@@ -96,6 +98,10 @@ fn main() {
             (
                 format!("{dir}/BENCH_e11.json"),
                 experiments::e11::bench_json(),
+            ),
+            (
+                format!("{dir}/BENCH_e12.json"),
+                experiments::e12::bench_json(),
             ),
             (format!("{dir}/BENCH_baseline.json"), baseline::to_json()),
         ] {

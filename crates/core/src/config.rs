@@ -64,6 +64,10 @@ pub struct HeurConfig {
     pub diving: bool,
     /// Maximum diving depth (variables fixed).
     pub dive_depth: usize,
+    /// Run the fix-and-propagate dive every this many evaluated nodes
+    /// (`gmip-prop`); `0` disables it. Off by default — opt-in, so the
+    /// committed baselines stay valid.
+    pub fix_and_propagate_period: usize,
 }
 
 impl Default for HeurConfig {
@@ -72,6 +76,7 @@ impl Default for HeurConfig {
             rounding: true,
             diving: false,
             dive_depth: 20,
+            fix_and_propagate_period: 0,
         }
     }
 }
@@ -95,6 +100,13 @@ pub struct MipConfig {
     pub cuts: CutConfig,
     /// Primal heuristics.
     pub heuristics: HeurConfig,
+    /// Run iterated activity-based bound propagation (`gmip-prop`) on every
+    /// node's box before LP work: infeasible nodes settle without touching
+    /// the engine and integer bounds tighten. Off by default (opt-in).
+    pub propagate: bool,
+    /// Propagation round cap per node (`prop.activity`/`prop.tighten`/
+    /// `prop.reduce` kernel trios); only read when [`Self::propagate`] is on.
+    pub propagate_rounds: usize,
     /// Reuse one LP engine across tree nodes (Section 5.3). When false, a
     /// fresh engine is built per node — on a device backend that re-uploads
     /// the matrix every node, the costly baseline of experiment E3c/E8.
@@ -141,6 +153,8 @@ impl Default for MipConfig {
             branching: BranchRule::MostFractional,
             cuts: CutConfig::default(),
             heuristics: HeurConfig::default(),
+            propagate: false,
+            propagate_rounds: 8,
             engine_reuse: true,
             warm_start: true,
             gap_rel: 0.0,
@@ -166,6 +180,9 @@ mod tests {
         assert!(c.cuts.enabled);
         assert!(c.heuristics.rounding);
         assert!(!c.heuristics.diving);
+        assert!(!c.propagate, "propagation must be opt-in");
+        assert_eq!(c.heuristics.fix_and_propagate_period, 0);
+        assert!(c.propagate_rounds >= 1);
         assert!(c.int_tol > 0.0 && c.int_tol < 1e-3);
         assert!(c.node_limit > 1000);
         assert_eq!(c.gap_rel, 0.0);

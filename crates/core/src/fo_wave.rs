@@ -50,6 +50,15 @@ pub struct FirstOrderWaveConfig {
     pub prune_tol: f64,
     /// Node budget.
     pub node_limit: usize,
+    /// Run batched domain propagation (`prop.*` kernel trios over the
+    /// shared CSR matrix) on every refilled lane's box before its PDHG
+    /// work. Off by default — opt-in, so committed baselines stay valid.
+    pub propagate: bool,
+    /// Propagation round cap per lane.
+    pub propagate_rounds: usize,
+    /// Run the batched fix-and-propagate dive across the collected frontier
+    /// seeds every this many retired nodes; `0` disables it.
+    pub heuristic_period: usize,
 }
 
 impl Default for FirstOrderWaveConfig {
@@ -60,6 +69,9 @@ impl Default for FirstOrderWaveConfig {
             int_tol: 1e-6,
             prune_tol: 1e-6,
             node_limit: 100_000,
+            propagate: false,
+            propagate_rounds: 8,
+            heuristic_period: 0,
         }
     }
 }
@@ -110,6 +122,14 @@ pub fn solve_first_order_wave(
     let mut in_flight: Vec<Option<NodeId>> = (0..width).map(|_| None).collect();
     let mut filled_once = vec![false; width];
 
+    // Domain propagation + fix-and-propagate support (gmip-prop).
+    let propagator =
+        (cfg.propagate || cfg.heuristic_period > 0).then(|| gmip_prop::Propagator::new(instance));
+    let mut aux = gmip_trace::MetricsRegistry::default();
+    let mut first_incumbent_ns: Option<f64> = None;
+    let mut heur_seeds: Vec<(Vec<BoundChange>, Vec<f64>)> = Vec::new();
+    let mut since_heur = 0usize;
+
     loop {
         // Refill idle lanes from the best-bound frontier.
         let mut frontier: Vec<NodeId> = tree
@@ -126,6 +146,7 @@ pub fn solve_first_order_wave(
                 .then(a.cmp(&b))
         });
         let mut next = frontier.into_iter();
+        let mut pending: Vec<(usize, NodeId)> = Vec::new();
         for slot in 0..width {
             if in_flight[slot].is_some() || nodes >= cfg.node_limit {
                 continue;
@@ -133,7 +154,43 @@ pub fn solve_first_order_wave(
             let Some(id) = next.next() else { break };
             tree.begin_evaluation(id);
             nodes += 1;
-            let bounds = tree.node(id).data.bounds.clone();
+            pending.push((slot, id));
+        }
+
+        // Batched domain propagation across the refill batch: one fused
+        // `prop.*` kernel-trio sequence tightens every lane's box; boxes
+        // that propagate to a contradiction settle without any PDHG work.
+        let mut loads: Vec<(usize, NodeId, Vec<BoundChange>)> = Vec::new();
+        let mut settled_by_prop = 0usize;
+        if cfg.propagate {
+            let p = propagator.as_ref().expect("propagator built");
+            let mut rounds = Vec::with_capacity(pending.len());
+            for &(slot, id) in &pending {
+                let bounds = tree.node(id).data.bounds.clone();
+                let (mut plb, mut pub_) = p.node_box(&bounds);
+                let out = p.propagate(&mut plb, &mut pub_, cfg.propagate_rounds);
+                rounds.push(out.rounds);
+                aux.incr(names::PROP_NODES, 1.0);
+                aux.incr(names::PROP_ROUNDS, out.rounds as f64);
+                aux.incr(names::PROP_TIGHTENINGS, out.tightenings as f64);
+                if out.infeasible {
+                    aux.incr(names::PROP_INFEASIBLE, 1.0);
+                    tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY);
+                    settled_by_prop += 1;
+                } else {
+                    loads.push((slot, id, p.bound_changes(&plb, &pub_)));
+                }
+            }
+            if !rounds.is_empty() {
+                gmip_prop::charge_wave(&accel, p.nnz(), p.num_vars(), &rounds);
+            }
+        } else {
+            for &(slot, id) in &pending {
+                loads.push((slot, id, tree.node(id).data.bounds.clone()));
+            }
+        }
+
+        for (slot, id, bounds) in loads {
             let warm = tree.node_mut(id).data.parent_iterates.take();
             let mut lb = std.lb.clone();
             let mut ub = std.ub.clone();
@@ -151,6 +208,11 @@ pub fn solve_first_order_wave(
         }
 
         if !fo.any_busy() && in_flight.iter().all(Option::is_none) {
+            // A refill batch fully settled by propagation leaves no lane
+            // busy while the frontier may still hold work: refill again.
+            if settled_by_prop > 0 && tree.has_active() && nodes < cfg.node_limit {
+                continue;
+            }
             break;
         }
 
@@ -203,12 +265,19 @@ pub fn solve_first_order_wave(
                                     p[j] = p[j].round();
                                 }
                                 incumbent = Some((bound, p));
+                                first_incumbent_ns.get_or_insert_with(|| accel.elapsed_ns());
                                 tree.prune_dominated(bound, cfg.prune_tol);
                                 // In-flight lanes start pruning against
                                 // the new incumbent at their next check.
                                 fo.set_cutoff(bound + cfg.prune_tol);
                                 continue;
                             }
+                            // Seed the fix-and-propagate wave with this
+                            // fractional retiree (one seed per lane).
+                            if cfg.heuristic_period > 0 && heur_seeds.len() < width {
+                                heur_seeds.push((tree.node(id).data.bounds.clone(), sol.x.clone()));
+                            }
+                            since_heur += 1;
                             let d = branch::decide(
                                 crate::config::BranchRule::MostFractional,
                                 instance,
@@ -257,6 +326,47 @@ pub fn solve_first_order_wave(
                 }
             }
         }
+
+        // Batched fix-and-propagate across the collected frontier seeds:
+        // one fused dive wave, best improving candidate becomes an early
+        // incumbent and immediately cuts off in-flight lanes.
+        if cfg.heuristic_period > 0 && since_heur >= cfg.heuristic_period && !heur_seeds.is_empty()
+        {
+            let p = propagator.as_ref().expect("propagator built");
+            let mut rounds = Vec::with_capacity(heur_seeds.len());
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for (bounds, x) in heur_seeds.drain(..) {
+                let (lb, ub) = p.node_box(&bounds);
+                let out = p.fix_and_propagate(&x, &lb, &ub, cfg.int_tol, cfg.propagate_rounds);
+                rounds.push(out.rounds.max(1));
+                aux.incr(names::HEUR_ATTEMPTS, 1.0);
+                aux.incr(names::HEUR_REPAIRS, out.repairs as f64);
+                if out.aborted {
+                    aux.incr(names::HEUR_ABORTS, 1.0);
+                }
+                if let Some((obj, pt)) = out.candidate {
+                    let cand = internal(obj);
+                    if best.as_ref().map(|(b, _)| cand > *b).unwrap_or(true) {
+                        best = Some((cand, pt));
+                    }
+                }
+            }
+            gmip_prop::charge_wave(&accel, p.nnz(), p.num_vars(), &rounds);
+            since_heur = 0;
+            if let Some((cand, pt)) = best {
+                let cur = incumbent
+                    .as_ref()
+                    .map(|(v, _)| *v)
+                    .unwrap_or(f64::NEG_INFINITY);
+                if cand > cur + cfg.prune_tol {
+                    incumbent = Some((cand, pt));
+                    first_incumbent_ns.get_or_insert_with(|| accel.elapsed_ns());
+                    aux.incr(names::HEUR_INCUMBENTS, 1.0);
+                    tree.prune_dominated(cand, cfg.prune_tol);
+                    fo.set_cutoff(cand + cfg.prune_tol);
+                }
+            }
+        }
     }
 
     let status = if tree.has_active() || in_flight.iter().any(Option::is_some) {
@@ -281,6 +391,10 @@ pub fn solve_first_order_wave(
     let fo_counters = fo.take_metrics();
     metrics.merge(&fo_counters);
     metrics.merge(&cleanup.take_metrics());
+    metrics.merge(&aux);
+    if let Some(t) = first_incumbent_ns {
+        metrics.set_gauge(names::HEUR_FIRST_INCUMBENT_NS, t);
+    }
     let peak = accel.with(|d| d.memory().peak());
     Ok(WaveResult {
         status,
@@ -295,6 +409,7 @@ pub fn solve_first_order_wave(
         device: accel.stats(),
         peak_device_bytes: peak,
         metrics,
+        first_incumbent_ns,
     })
 }
 
@@ -397,6 +512,33 @@ mod tests {
         };
         assert_eq!(run(), run(), "byte-identical replay under a fixed seed");
         let _ = MetricsRegistry::new();
+    }
+
+    #[test]
+    fn propagation_and_heuristic_preserve_the_optimum() {
+        for seed in [2u64, 6] {
+            let m = knapsack(13, 0.5, seed);
+            let expected = knapsack_brute_force(&m);
+            let r = solve_first_order_wave(
+                &m,
+                &FirstOrderWaveConfig {
+                    lanes: 4,
+                    propagate: true,
+                    heuristic_period: 2,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "seed {seed}: {} vs {expected}",
+                r.objective
+            );
+            assert!(r.metrics.counter(names::PROP_NODES) >= r.nodes as f64);
+            assert!(r.first_incumbent_ns.is_some());
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use gmip_lp::{
     SimplexEngine, StandardLp,
 };
 use gmip_problems::{MipInstance, Objective};
+use gmip_prop::Propagator;
 use gmip_trace::{names, Event, MetricsRegistry, Track};
 use gmip_tree::{
     BestFirst, BreadthFirst, DepthFirst, NodeId, NodeSelection, NodeState, ReuseAffinity,
@@ -322,6 +323,21 @@ impl<E: SimplexEngine> MipSolver<E> {
                 .arg("objective", objective)
                 .arg("source", source)
         });
+    }
+
+    /// Charges the propagation kernel trios for `rounds` (one entry per
+    /// lane; the per-kernel solver always runs one lane). On a device
+    /// backend the cost lands on the LP accelerator as `prop.*` batched
+    /// launches over the resident CSR matrix; the host baseline pays the
+    /// equivalent sweep arithmetic on the host executor.
+    fn charge_prop(&self, p: &Propagator, rounds: &[usize]) {
+        if let Some(a) = &self.lp_accel {
+            gmip_prop::charge_wave(a, p.nnz(), p.num_vars(), rounds);
+        } else {
+            let total: f64 = rounds.iter().sum::<usize>() as f64;
+            let nnz = p.nnz() as f64;
+            self.charge_host(total * 6.0 * nnz, total * 28.0 * nnz);
+        }
     }
 
     /// Strategy-1 accounting: park a node's record in device memory, or
@@ -651,6 +667,9 @@ impl<E: SimplexEngine> MipSolver<E> {
         let mut global_cuts: Vec<Cut> = Vec::new();
         let mut early_stop: Option<MipStatus> = None;
         let nnz: usize = self.instance.cons.iter().map(|c| c.coeffs.len()).sum();
+        let propagator = (self.cfg.propagate || self.cfg.heuristics.fix_and_propagate_period > 0)
+            .then(|| Propagator::new(&self.instance));
+        let mut first_incumbent_ns: Option<f64> = incumbent.as_ref().map(|_| self.sim_now_ns());
 
         self.tree_alloc(&mut stats); // root record
 
@@ -689,11 +708,34 @@ impl<E: SimplexEngine> MipSolver<E> {
             }
             stats.nodes += 1;
             let is_root = id == tree.root();
-            let bounds = tree.node(id).data.bounds.clone();
+            let mut bounds = tree.node(id).data.bounds.clone();
             let parent_basis = tree.node_mut(id).data.parent_basis.take();
             let branch_info = tree.node(id).data.branch_info;
 
             let node_t0 = self.sim_now_ns();
+            // Domain propagation: tighten the node's box (and detect
+            // infeasibility) before any simplex work is spent. Tightened
+            // bounds flow into the node's LP and its children; every
+            // reduction is activity-sound, so the optimum survives.
+            if self.cfg.propagate {
+                let p = propagator.as_ref().expect("propagator built");
+                let (mut lb, mut ub) = p.node_box(&bounds);
+                let out = p.propagate(&mut lb, &mut ub, self.cfg.propagate_rounds);
+                self.charge_prop(p, &[out.rounds]);
+                stats.metrics.incr(names::PROP_NODES, 1.0);
+                stats.metrics.incr(names::PROP_ROUNDS, out.rounds as f64);
+                stats
+                    .metrics
+                    .incr(names::PROP_TIGHTENINGS, out.tightenings as f64);
+                if out.infeasible {
+                    stats.metrics.incr(names::PROP_INFEASIBLE, 1.0);
+                    tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY);
+                    policy.notify(id);
+                    self.node_span(id, "prop_infeasible", node_t0);
+                    continue;
+                }
+                bounds = p.bound_changes(&lb, &ub);
+            }
             let (sol, basis) = self.evaluate(
                 &mut lp_slot,
                 is_root,
@@ -749,6 +791,7 @@ impl<E: SimplexEngine> MipSolver<E> {
                         self.node_span(id, "integer_feasible", node_t0);
                         if self.accept_incumbent(&sol.x, internal, &mut incumbent) {
                             stats.metrics.incr(names::BB_INCUMBENTS, 1.0);
+                            first_incumbent_ns.get_or_insert_with(|| self.sim_now_ns());
                             self.incumbent_mark(self.to_source(internal), "node");
                         }
                         if let Some((inc, _)) = &incumbent {
@@ -769,7 +812,43 @@ impl<E: SimplexEngine> MipSolver<E> {
                                 incumbent = Some((cand, p));
                                 stats.heur_incumbents += 1;
                                 stats.metrics.incr(names::BB_INCUMBENTS, 1.0);
+                                first_incumbent_ns.get_or_insert_with(|| self.sim_now_ns());
                                 self.incumbent_mark(self.to_source(cand), "rounding");
+                                tree.prune_dominated(cand, self.cfg.prune_tol);
+                            }
+                        }
+                    }
+                    // Fix-and-propagate dive (gmip-prop), on its period.
+                    let fp_period = self.cfg.heuristics.fix_and_propagate_period;
+                    if fp_period > 0 && stats.nodes.is_multiple_of(fp_period) {
+                        let p = propagator.as_ref().expect("propagator built");
+                        let (lb, ub) = p.node_box(&bounds);
+                        let out = p.fix_and_propagate(
+                            &sol.x,
+                            &lb,
+                            &ub,
+                            self.cfg.int_tol,
+                            self.cfg.propagate_rounds,
+                        );
+                        self.charge_prop(p, &[out.rounds]);
+                        stats.metrics.incr(names::HEUR_ATTEMPTS, 1.0);
+                        stats.metrics.incr(names::HEUR_REPAIRS, out.repairs as f64);
+                        if out.aborted {
+                            stats.metrics.incr(names::HEUR_ABORTS, 1.0);
+                        }
+                        if let Some((obj, pt)) = out.candidate {
+                            let cand = self.internal(obj);
+                            let cur = incumbent
+                                .as_ref()
+                                .map(|(v, _)| *v)
+                                .unwrap_or(f64::NEG_INFINITY);
+                            if cand > cur + self.cfg.prune_tol {
+                                incumbent = Some((cand, pt));
+                                stats.heur_incumbents += 1;
+                                stats.metrics.incr(names::BB_INCUMBENTS, 1.0);
+                                stats.metrics.incr(names::HEUR_INCUMBENTS, 1.0);
+                                first_incumbent_ns.get_or_insert_with(|| self.sim_now_ns());
+                                self.incumbent_mark(self.to_source(cand), "fix_and_propagate");
                                 tree.prune_dominated(cand, self.cfg.prune_tol);
                             }
                         }
@@ -793,6 +872,7 @@ impl<E: SimplexEngine> MipSolver<E> {
                                 incumbent = Some((cand, p));
                                 stats.heur_incumbents += 1;
                                 stats.metrics.incr(names::BB_INCUMBENTS, 1.0);
+                                first_incumbent_ns.get_or_insert_with(|| self.sim_now_ns());
                                 self.incumbent_mark(self.to_source(cand), "diving");
                                 tree.prune_dominated(cand, self.cfg.prune_tol);
                             }
@@ -893,6 +973,9 @@ impl<E: SimplexEngine> MipSolver<E> {
         stats.tree = tree.stats().clone();
         if let Some(lp) = &lp_slot {
             stats.metrics.merge(lp.metrics());
+        }
+        if let Some(t) = first_incumbent_ns {
+            stats.metrics.set_gauge(names::HEUR_FIRST_INCUMBENT_NS, t);
         }
         Ok(self.finish_with_incumbent(status, incumbent, stats, tree))
     }
@@ -1035,6 +1118,40 @@ mod tests {
         let r = solve_host(figure1_knapsack());
         assert_eq!(r.status, MipStatus::Optimal);
         assert!((r.objective - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn propagation_and_fix_and_propagate_match_brute_force() {
+        for seed in 0..4 {
+            let m = knapsack(14, 0.5, seed);
+            let expected = knapsack_brute_force(&m);
+            let mut cfg = MipConfig::default();
+            cfg.propagate = true;
+            cfg.heuristics.fix_and_propagate_period = 3;
+            let mut s = MipSolver::host_baseline(m, cfg);
+            let r = s.solve().unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "seed {seed}: got {} expected {expected}",
+                r.objective
+            );
+            assert!(r.stats.metrics.counter(names::PROP_NODES) > 0.0);
+            assert!(
+                r.stats.metrics.gauge(names::HEUR_FIRST_INCUMBENT_NS) > 0.0,
+                "first-incumbent time must be recorded"
+            );
+        }
+    }
+
+    #[test]
+    fn propagation_detects_infeasibility_before_lp() {
+        let mut cfg = MipConfig::default();
+        cfg.propagate = true;
+        let mut s = MipSolver::host_baseline(infeasible_instance(), cfg);
+        let r = s.solve().unwrap();
+        assert_eq!(r.status, MipStatus::Infeasible);
+        assert!(r.stats.metrics.counter(names::PROP_INFEASIBLE) >= 1.0);
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub struct BatchedWaveConfig {
     pub node_limit: usize,
     /// Byte budget of the device-resident warm-basis pool.
     pub basis_pool_bytes: usize,
+    /// Run batched domain propagation (`prop.*` kernel trios over the
+    /// shared CSR matrix) on every refilled lane's box before its node LP.
+    /// Off by default — opt-in, so committed baselines stay valid.
+    pub propagate: bool,
+    /// Propagation round cap per lane.
+    pub propagate_rounds: usize,
+    /// Run the batched fix-and-propagate dive across the collected frontier
+    /// seeds every this many retired nodes; `0` disables it.
+    pub heuristic_period: usize,
 }
 
 impl Default for BatchedWaveConfig {
@@ -56,6 +65,9 @@ impl Default for BatchedWaveConfig {
             prune_tol: 1e-6,
             node_limit: 100_000,
             basis_pool_bytes: 1 << 20,
+            propagate: false,
+            propagate_rounds: 8,
+            heuristic_period: 0,
         }
     }
 }
@@ -88,6 +100,9 @@ pub struct WaveResult {
     pub peak_device_bytes: usize,
     /// Merged counters: device ledger + `wave.*`/`batch.*` + per-lane LP.
     pub metrics: MetricsRegistry,
+    /// Device time of the first incumbent, ns (`None` if the solve never
+    /// found one) — the E12 time-to-first-incumbent measure.
+    pub first_incumbent_ns: Option<f64>,
 }
 
 /// Node payload of the batched-wave tree: bounds, the parent's basis for a
@@ -151,6 +166,16 @@ pub fn solve_batched_wave(
         (0..width).map(|_| None).collect();
     let mut filled_once = vec![false; width];
 
+    // Domain propagation + fix-and-propagate support (gmip-prop).
+    let propagator =
+        (cfg.propagate || cfg.heuristic_period > 0).then(|| gmip_prop::Propagator::new(instance));
+    let mut aux = MetricsRegistry::default();
+    let mut first_incumbent_ns: Option<f64> = None;
+    // Fractional retiree seeds awaiting the next heuristic wave, and the
+    // retire count since it last ran.
+    let mut heur_seeds: Vec<(Vec<BoundChange>, Vec<f64>)> = Vec::new();
+    let mut since_heur = 0usize;
+
     loop {
         // Refill every idle slot from the best-bound frontier: the lane's
         // host planner takes the reference pivot path eagerly (journaling
@@ -174,6 +199,7 @@ pub fn solve_batched_wave(
                 .then(a.cmp(&b))
         });
         let mut next = frontier.into_iter();
+        let mut pending: Vec<(usize, NodeId)> = Vec::new();
         for slot in 0..width {
             if in_flight[slot].is_some() || nodes >= cfg.node_limit {
                 continue;
@@ -181,7 +207,45 @@ pub fn solve_batched_wave(
             let Some(id) = next.next() else { break };
             tree.begin_evaluation(id);
             nodes += 1;
-            let bounds = tree.node(id).data.bounds.clone();
+            pending.push((slot, id));
+        }
+
+        // Batched domain propagation across the whole refill batch: every
+        // lane's box tightens in one fused `prop.*` kernel-trio sequence;
+        // boxes that propagate to a contradiction settle without spending a
+        // lane (or any simplex work) on them.
+        let mut loads: Vec<(usize, NodeId, Vec<BoundChange>)> = Vec::new();
+        let mut settled_by_prop = 0usize;
+        if cfg.propagate {
+            let p = propagator.as_ref().expect("propagator built");
+            let mut rounds = Vec::with_capacity(pending.len());
+            for &(slot, id) in &pending {
+                let bounds = tree.node(id).data.bounds.clone();
+                let (mut lb, mut ub) = p.node_box(&bounds);
+                let out = p.propagate(&mut lb, &mut ub, cfg.propagate_rounds);
+                rounds.push(out.rounds);
+                aux.incr(names::PROP_NODES, 1.0);
+                aux.incr(names::PROP_ROUNDS, out.rounds as f64);
+                aux.incr(names::PROP_TIGHTENINGS, out.tightenings as f64);
+                if out.infeasible {
+                    aux.incr(names::PROP_INFEASIBLE, 1.0);
+                    tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY);
+                    settled_by_prop += 1;
+                } else {
+                    loads.push((slot, id, p.bound_changes(&lb, &ub)));
+                }
+            }
+            if !rounds.is_empty() {
+                gmip_prop::charge_wave(&accel, p.nnz(), p.num_vars(), &rounds);
+            }
+        } else {
+            for &(slot, id) in &pending {
+                let bounds = tree.node(id).data.bounds.clone();
+                loads.push((slot, id, bounds));
+            }
+        }
+
+        for (slot, id, bounds) in loads {
             let warm = tree.node_mut(id).data.parent_basis.take();
             let parent_id = tree.node(id).data.parent_id;
             let lane = &mut lanes[slot];
@@ -205,6 +269,11 @@ pub fn solve_batched_wave(
         }
 
         if !wave.any_busy() {
+            // A refill batch fully settled by propagation leaves no lane
+            // busy while the frontier may still hold work: refill again.
+            if settled_by_prop > 0 && tree.has_active() && nodes < cfg.node_limit {
+                continue;
+            }
             break;
         }
 
@@ -241,9 +310,16 @@ pub fn solve_batched_wave(
                             p[j] = p[j].round();
                         }
                         incumbent = Some((bound, p));
+                        first_incumbent_ns.get_or_insert_with(|| accel.elapsed_ns());
                         tree.prune_dominated(bound, cfg.prune_tol);
                         continue;
                     }
+                    // Seed the fix-and-propagate wave with this fractional
+                    // retiree (bounded backlog: one seed per lane).
+                    if cfg.heuristic_period > 0 && heur_seeds.len() < width {
+                        heur_seeds.push((tree.node(id).data.bounds.clone(), sol.x.clone()));
+                    }
+                    since_heur += 1;
                     let d = branch::decide(
                         crate::config::BranchRule::MostFractional,
                         instance,
@@ -289,6 +365,47 @@ pub fn solve_batched_wave(
                 }
             }
         }
+
+        // Batched fix-and-propagate: once enough fractional retirees have
+        // accumulated, dive from every collected seed in one fused wave
+        // (round → propagate → repair or abort per lane) and install the
+        // best improving candidate as an early incumbent.
+        if cfg.heuristic_period > 0 && since_heur >= cfg.heuristic_period && !heur_seeds.is_empty()
+        {
+            let p = propagator.as_ref().expect("propagator built");
+            let mut rounds = Vec::with_capacity(heur_seeds.len());
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for (bounds, x) in heur_seeds.drain(..) {
+                let (lb, ub) = p.node_box(&bounds);
+                let out = p.fix_and_propagate(&x, &lb, &ub, cfg.int_tol, cfg.propagate_rounds);
+                rounds.push(out.rounds.max(1));
+                aux.incr(names::HEUR_ATTEMPTS, 1.0);
+                aux.incr(names::HEUR_REPAIRS, out.repairs as f64);
+                if out.aborted {
+                    aux.incr(names::HEUR_ABORTS, 1.0);
+                }
+                if let Some((obj, pt)) = out.candidate {
+                    let cand = internal(obj);
+                    if best.as_ref().map(|(b, _)| cand > *b).unwrap_or(true) {
+                        best = Some((cand, pt));
+                    }
+                }
+            }
+            gmip_prop::charge_wave(&accel, p.nnz(), p.num_vars(), &rounds);
+            since_heur = 0;
+            if let Some((cand, pt)) = best {
+                let cur = incumbent
+                    .as_ref()
+                    .map(|(v, _)| *v)
+                    .unwrap_or(f64::NEG_INFINITY);
+                if cand > cur + cfg.prune_tol {
+                    incumbent = Some((cand, pt));
+                    first_incumbent_ns.get_or_insert_with(|| accel.elapsed_ns());
+                    aux.incr(names::HEUR_INCUMBENTS, 1.0);
+                    tree.prune_dominated(cand, cfg.prune_tol);
+                }
+            }
+        }
     }
 
     let status = if tree.has_active() || in_flight.iter().any(Option::is_some) {
@@ -315,6 +432,10 @@ pub fn solve_batched_wave(
     for lane in &mut lanes {
         metrics.merge(&lane.take_metrics());
     }
+    metrics.merge(&aux);
+    if let Some(t) = first_incumbent_ns {
+        metrics.set_gauge(names::HEUR_FIRST_INCUMBENT_NS, t);
+    }
     let peak = accel.with(|d| d.memory().peak());
     Ok(WaveResult {
         status,
@@ -329,6 +450,7 @@ pub fn solve_batched_wave(
         device: accel.stats(),
         peak_device_bytes: peak,
         metrics,
+        first_incumbent_ns,
     })
 }
 
@@ -440,6 +562,55 @@ mod tests {
         assert_eq!(wide.width, 8);
         // Widening 8× adds only per-lane state, not matrix copies.
         assert!(wide.peak_device_bytes < 2 * narrow.peak_device_bytes);
+    }
+
+    #[test]
+    fn propagation_and_heuristic_preserve_the_optimum() {
+        for seed in [2u64, 6, 11] {
+            let m = knapsack(14, 0.5, seed);
+            let expected = knapsack_brute_force(&m);
+            let r = solve_batched_wave(
+                &m,
+                &BatchedWaveConfig {
+                    lanes: 4,
+                    propagate: true,
+                    heuristic_period: 2,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "seed {seed}: {} vs {expected}",
+                r.objective
+            );
+            assert!(m.is_integer_feasible(&r.x, 1e-5), "seed {seed}");
+            assert!(r.metrics.counter(names::PROP_NODES) >= r.nodes as f64);
+            assert!(r.first_incumbent_ns.is_some());
+            assert_eq!(
+                r.metrics.gauge(names::HEUR_FIRST_INCUMBENT_NS),
+                r.first_incumbent_ns.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn propagation_settles_infeasible_instances_without_lp_work() {
+        use gmip_problems::catalog::infeasible_instance;
+        let r = solve_batched_wave(
+            &infeasible_instance(),
+            &BatchedWaveConfig {
+                lanes: 2,
+                propagate: true,
+                ..Default::default()
+            },
+            Accel::gpu(1),
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Infeasible);
+        assert!(r.metrics.counter(names::PROP_INFEASIBLE) >= 1.0);
     }
 
     #[test]

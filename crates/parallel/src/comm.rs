@@ -113,6 +113,11 @@ pub struct NodeReport {
     pub eval_ns: f64,
     /// LP iterations spent.
     pub lp_iterations: usize,
+    /// An early incumbent candidate from the worker-side fix-and-propagate
+    /// dive: `(internal objective, point)`, already re-checked feasible on
+    /// the instance. Rides along with the node outcome and feeds the
+    /// supervisor's normal incumbent-broadcast path.
+    pub heur: Option<(f64, Vec<f64>)>,
 }
 
 /// Evaluation outcome variants.
@@ -159,7 +164,12 @@ impl NodeReport {
                     .unwrap_or(0)
             }
         };
-        32 + payload
+        let heur = self
+            .heur
+            .as_ref()
+            .map(|(_, x)| 8 + x.len() * 8)
+            .unwrap_or(0);
+        32 + payload + heur
     }
 }
 
@@ -301,6 +311,7 @@ mod tests {
             outcome: NodeOutcome::Infeasible,
             eval_ns: 1.0,
             lp_iterations: 1,
+            heur: None,
         };
         assert_eq!(inf.bytes(), 32);
         let feas = NodeReport {
@@ -311,8 +322,15 @@ mod tests {
             },
             eval_ns: 1.0,
             lp_iterations: 1,
+            heur: None,
         };
         assert_eq!(feas.bytes(), 32 + 8 + 32);
+        // A ridden-along heuristic candidate pays for its point.
+        let with_heur = NodeReport {
+            heur: Some((4.0, vec![1.0; 4])),
+            ..inf.clone()
+        };
+        assert_eq!(with_heur.bytes(), 32 + 8 + 32);
     }
 
     #[test]

@@ -336,6 +336,9 @@ pub struct HierSupervisor {
     snapshots: Vec<Checkpoint>,
     last_checkpoint: Option<Checkpoint>,
     plan: Option<FaultPlan>,
+    /// Simulated time the root first held an incumbent (E12's
+    /// time-to-first-incumbent; the `heur.first_incumbent_ns` gauge).
+    first_incumbent_ns: Option<f64>,
 }
 
 impl HierSupervisor {
@@ -356,16 +359,19 @@ impl HierSupervisor {
         let groups = cfg.workers.div_ceil(hcfg.fanout);
         let mut workers = Vec::with_capacity(cfg.workers);
         for id in 0..cfg.workers {
-            workers.push(Worker::new_with_backend(
-                id,
-                &instance,
-                cfg.gpu_cost.clone(),
-                cfg.gpu_mem,
-                cfg.lp.clone(),
-                cfg.int_tol,
-                cfg.batched_lanes,
-                cfg.first_order_lanes,
-            )?);
+            workers.push(
+                Worker::new_with_backend(
+                    id,
+                    &instance,
+                    cfg.gpu_cost.clone(),
+                    cfg.gpu_mem,
+                    cfg.lp.clone(),
+                    cfg.int_tol,
+                    cfg.batched_lanes,
+                    cfg.first_order_lanes,
+                )?
+                .with_propagation(cfg.propagate, cfg.heuristic_period),
+            );
         }
         let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
         let plan = cfg
@@ -401,6 +407,7 @@ impl HierSupervisor {
             snapshots: Vec::new(),
             last_checkpoint: None,
             plan,
+            first_incumbent_ns: None,
             instance,
             cfg,
             hcfg,
@@ -442,6 +449,7 @@ impl HierSupervisor {
                     Objective::Minimize => -source,
                 };
                 sup.root_incumbent = Some((internal, p));
+                sup.first_incumbent_ns = Some(0.0);
                 for g in &mut sup.gstate {
                     g.incumbent = internal;
                 }
@@ -874,7 +882,8 @@ impl HierSupervisor {
             self.cfg.int_tol,
             self.cfg.batched_lanes,
             self.cfg.first_order_lanes,
-        )?;
+        )?
+        .with_propagation(self.cfg.propagate, self.cfg.heuristic_period);
         fresh.busy_until = self.now;
         self.workers[worker] = fresh;
         self.ranks[worker].alive = true;
@@ -1089,6 +1098,7 @@ impl HierSupervisor {
         let best = self.root_incumbent.as_ref().map(|(v, _)| *v);
         if best.is_none_or(|b| value > b) {
             self.root_incumbent = Some((value, x));
+            self.first_incumbent_ns.get_or_insert(self.now);
             let (ts, obj) = (self.now, self.to_source(value));
             gmip_trace::record(|| {
                 TraceSpan::instant(Track::cluster_rank(0), names::SPAN_HIER_INCUMBENT, ts)
@@ -1283,6 +1293,31 @@ impl HierSupervisor {
         }
         self.eval_counts[id] += 1;
         let g = self.group_of(worker);
+        // A fix-and-propagate candidate rides along with any outcome and
+        // enters the group's incumbent path (scoped prune now, root push for
+        // the cluster-wide broadcast) before the node itself is settled.
+        if let Some((internal, x)) = report.heur {
+            if internal > self.gstate[g].incumbent {
+                self.gstate[g].incumbent = internal;
+                let mut p = x;
+                for j in self.instance.integral_indices() {
+                    p[j] = p[j].round();
+                }
+                let tol = self.cfg.prune_tol;
+                self.tree
+                    .prune_dominated_where(internal, tol, |n| n.data.partition == g);
+                let upd = IncumbentUpdate {
+                    value: internal,
+                    x: p.clone(),
+                };
+                let transfer = self.ship_root(upd.bytes());
+                let xfer = self.next_xfer;
+                self.next_xfer += 1;
+                self.inc_updates.insert(xfer, (g, internal, p));
+                self.pending_root_updates += 1;
+                self.push_event(self.now + transfer, 0, HEventKind::IncumbentAtRoot { xfer });
+            }
+        }
         match report.outcome {
             NodeOutcome::Infeasible => {
                 self.tree
@@ -1565,6 +1600,11 @@ impl HierSupervisor {
         for w in &self.workers {
             self.stats.metrics.merge(&w.metrics());
         }
+        if let Some(t) = self.first_incumbent_ns {
+            self.stats
+                .metrics
+                .set_gauge(names::HEUR_FIRST_INCUMBENT_NS, t);
+        }
         let (objective, x) = match &self.root_incumbent {
             Some((v, p)) => (self.to_source(*v), p.clone()),
             None => (f64::NAN, Vec::new()),
@@ -1630,6 +1670,32 @@ mod tests {
                 "a fault-free run must merge every node exactly once"
             );
             assert!(r.stats.tree.reopened as usize >= r.hier.transit_arrivals);
+        }
+    }
+
+    #[test]
+    fn propagating_hierarchy_matches_brute_force() {
+        for seed in 0..2 {
+            let m = knapsack(12, 0.5, seed);
+            let expected = knapsack_brute_force(&m);
+            let r = solve_hierarchical(
+                &m,
+                ParallelConfig {
+                    propagate: true,
+                    heuristic_period: 2,
+                    ..cfg(4)
+                },
+                hcfg(2),
+            )
+            .unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "seed {seed}: {} vs {expected}",
+                r.objective
+            );
+            assert!(r.stats.metrics.counter(names::PROP_NODES) > 0.0);
+            assert!(r.stats.metrics.gauge(names::HEUR_FIRST_INCUMBENT_NS) > 0.0);
         }
     }
 

@@ -89,6 +89,16 @@ pub struct ParallelConfig {
     /// structurally identical solve). Requires `warm_start`; shipped to the
     /// rank that evaluates the root exactly like a parent basis.
     pub root_basis: Option<Basis>,
+    /// Workers run iterated activity-based bound propagation on every
+    /// assignment before the node LP (`prop.*` kernels on their device),
+    /// settling infeasible nodes without simplex work and tightening
+    /// integer bounds.
+    pub propagate: bool,
+    /// Every `n` nodes a worker runs a fix-and-propagate dive from its
+    /// fractional LP point; feasible improving candidates ride back on the
+    /// node report and enter the supervisor's incumbent-broadcast path
+    /// (0 = off).
+    pub heuristic_period: usize,
 }
 
 impl Default for ParallelConfig {
@@ -111,6 +121,8 @@ impl Default for ParallelConfig {
             first_order_lanes: None,
             seed_solution: None,
             root_basis: None,
+            propagate: false,
+            heuristic_period: 0,
         }
     }
 }
@@ -286,6 +298,9 @@ pub struct Supervisor {
     last_checkpoint: Option<Checkpoint>,
     /// The seeded fault plan (None = reliable machine).
     plan: Option<FaultPlan>,
+    /// Simulated time of the first incumbent (E12's time-to-first-incumbent
+    /// metric; surfaced as the `heur.first_incumbent_ns` gauge).
+    first_incumbent_ns: Option<f64>,
 }
 
 impl Supervisor {
@@ -295,16 +310,19 @@ impl Supervisor {
         assert!(cfg.workers >= 1, "need at least one worker");
         let mut workers = Vec::with_capacity(cfg.workers);
         for id in 0..cfg.workers {
-            workers.push(Worker::new_with_backend(
-                id,
-                &instance,
-                cfg.gpu_cost.clone(),
-                cfg.gpu_mem,
-                cfg.lp.clone(),
-                cfg.int_tol,
-                cfg.batched_lanes,
-                cfg.first_order_lanes,
-            )?);
+            workers.push(
+                Worker::new_with_backend(
+                    id,
+                    &instance,
+                    cfg.gpu_cost.clone(),
+                    cfg.gpu_mem,
+                    cfg.lp.clone(),
+                    cfg.int_tol,
+                    cfg.batched_lanes,
+                    cfg.first_order_lanes,
+                )?
+                .with_propagation(cfg.propagate, cfg.heuristic_period),
+            );
         }
         let node_bytes = (instance.num_cons() + 2 * instance.num_vars()) * 8 + 128;
         let in_flight = (0..cfg.workers).map(|_| None).collect();
@@ -327,6 +345,7 @@ impl Supervisor {
             snapshots: Vec::new(),
             last_checkpoint: None,
             plan,
+            first_incumbent_ns: None,
             instance,
             cfg,
         };
@@ -352,6 +371,7 @@ impl Supervisor {
                     Objective::Minimize => -source,
                 };
                 sup.incumbent = Some((internal, p));
+                sup.first_incumbent_ns = Some(0.0);
                 sup.stats.metrics.incr(names::BB_WARM_SEEDS, 1.0);
             }
         }
@@ -751,7 +771,8 @@ impl Supervisor {
             self.cfg.int_tol,
             self.cfg.batched_lanes,
             self.cfg.first_order_lanes,
-        )?;
+        )?
+        .with_propagation(self.cfg.propagate, self.cfg.heuristic_period);
         fresh.busy_until = self.now;
         self.workers[worker] = fresh;
         self.ranks[worker].alive = true;
@@ -773,6 +794,27 @@ impl Supervisor {
         self.stats.nodes += 1;
         self.stats.lp_iterations += report.lp_iterations;
         let id = report.node_id;
+        // A fix-and-propagate candidate rides along with any outcome; it
+        // enters the incumbent path before the node itself is settled so the
+        // broadcastable bound is as tight as possible.
+        if let Some((internal, x)) = report.heur {
+            if internal > self.incumbent_internal() {
+                let mut p = x;
+                for j in self.instance.integral_indices() {
+                    p[j] = p[j].round();
+                }
+                self.incumbent = Some((internal, p));
+                self.first_incumbent_ns.get_or_insert(self.now);
+                self.tree.prune_dominated(internal, self.cfg.prune_tol);
+                let (ts, obj) = (self.now, self.to_source(internal));
+                gmip_trace::record(|| {
+                    TraceSpan::instant(Track::cluster_rank(0), "incumbent", ts)
+                        .arg("objective", obj)
+                        .arg("worker", worker as u64)
+                        .arg("source", "fix_and_propagate")
+                });
+            }
+        }
         match report.outcome {
             NodeOutcome::Infeasible => {
                 self.tree
@@ -789,6 +831,7 @@ impl Supervisor {
                         p[j] = p[j].round();
                     }
                     self.incumbent = Some((internal, p));
+                    self.first_incumbent_ns.get_or_insert(self.now);
                     self.tree.prune_dominated(internal, self.cfg.prune_tol);
                     let (ts, obj) = (self.now, self.to_source(internal));
                     gmip_trace::record(|| {
@@ -982,6 +1025,11 @@ impl Supervisor {
         for w in &self.workers {
             self.stats.metrics.merge(&w.metrics());
         }
+        if let Some(t) = self.first_incumbent_ns {
+            self.stats
+                .metrics
+                .set_gauge(names::HEUR_FIRST_INCUMBENT_NS, t);
+        }
         let (objective, x) = match &self.incumbent {
             Some((v, p)) => (self.to_source(*v), p.clone()),
             None => (f64::NAN, Vec::new()),
@@ -1073,6 +1121,47 @@ mod tests {
         // reached in-flight lanes (safe-bound prunes).
         assert!(fo.stats.metrics.counter("fo.iterations") > 0.0);
         assert!(fo.stats.metrics.counter("fo.cleanups") > 0.0);
+    }
+
+    #[test]
+    fn propagating_workers_match_brute_force() {
+        for seed in 0..3 {
+            let m = knapsack(12, 0.5, seed);
+            let expected = knapsack_brute_force(&m);
+            let r = solve_parallel(
+                &m,
+                ParallelConfig {
+                    propagate: true,
+                    heuristic_period: 2,
+                    ..cfg(3)
+                },
+            )
+            .unwrap();
+            assert_eq!(r.status, MipStatus::Optimal, "seed {seed}");
+            assert!(
+                (r.objective - expected).abs() < 1e-6,
+                "seed {seed}: {} vs {expected}",
+                r.objective
+            );
+            // The ranks really propagated, and the first incumbent's
+            // simulated timestamp is on the ledger.
+            assert!(r.stats.metrics.counter(names::PROP_NODES) > 0.0);
+            assert!(r.stats.metrics.gauge(names::HEUR_FIRST_INCUMBENT_NS) > 0.0);
+        }
+    }
+
+    #[test]
+    fn propagation_settles_infeasible_instances_without_lp_iterations() {
+        let r = solve_parallel(
+            &infeasible_instance(),
+            ParallelConfig {
+                propagate: true,
+                ..cfg(2)
+            },
+        )
+        .unwrap();
+        assert_eq!(r.status, MipStatus::Infeasible);
+        assert!(r.stats.metrics.counter(names::PROP_INFEASIBLE) >= 1.0);
     }
 
     #[test]

@@ -50,11 +50,12 @@ fn spawn_worker(
     let (gpu_mem, lp_cfg, int_tol) = (cfg.gpu_mem, cfg.lp.clone(), cfg.int_tol);
     let lanes = cfg.batched_lanes;
     let fo_lanes = cfg.first_order_lanes;
+    let (propagate, heur_period) = (cfg.propagate, cfg.heuristic_period);
     let handle = std::thread::spawn(move || {
         let mut worker = match Worker::new_with_backend(
             id, &inst, gpu_cost, gpu_mem, lp_cfg, int_tol, lanes, fo_lanes,
         ) {
-            Ok(w) => w,
+            Ok(w) => w.with_propagation(propagate, heur_period),
             Err(e) => {
                 let _ = rtx.send(Err(e));
                 return;
@@ -209,6 +210,18 @@ pub fn solve_threaded(instance: &MipInstance, cfg: &ParallelConfig) -> LpResult<
         let w = assigned.remove(&id).expect("node was assigned");
         idle.push(w);
 
+        // Install any ridden-along fix-and-propagate candidate first so the
+        // node outcome below prunes against the tightest incumbent.
+        if let Some((hv, hx)) = report.heur.clone() {
+            let cur = incumbent
+                .as_ref()
+                .map(|(v, _)| *v)
+                .unwrap_or(f64::NEG_INFINITY);
+            if hv > cur {
+                incumbent = Some((hv, hx));
+                tree.prune_dominated(hv, cfg.prune_tol);
+            }
+        }
         match report.outcome {
             NodeOutcome::Infeasible => tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY),
             NodeOutcome::Pruned { bound } => tree.settle(id, NodeState::Pruned, bound),

@@ -14,6 +14,8 @@ use gmip_lp::{
     LpSolution, LpSolver, LpStatus, PdhgConfig, RecordingEngine, StandardLp,
 };
 use gmip_problems::{MipInstance, Objective};
+use gmip_prop::Propagator;
+use gmip_trace::names;
 
 /// The worker's LP execution backend.
 #[derive(Debug)]
@@ -63,6 +65,18 @@ pub struct Worker {
     /// `eval_ns` is multiplied by this, modeling a thermally-throttled or
     /// contended device.
     pub slowdown: f64,
+    /// Domain propagation + fix-and-propagate support; `None` when both are
+    /// off (the default).
+    propagator: Option<Propagator>,
+    /// Propagate every assignment's box before its LP when set.
+    propagate: bool,
+    /// Run the fix-and-propagate dive on every this-many-th branched node
+    /// (`0` = off).
+    heuristic_period: usize,
+    /// Propagation round cap per node.
+    prop_rounds: usize,
+    /// `prop.*` / `heur.*` counters of this rank.
+    prop_metrics: gmip_trace::MetricsRegistry,
 }
 
 impl Worker {
@@ -151,6 +165,11 @@ impl Worker {
                 busy_ns: 0.0,
                 nodes: 0,
                 slowdown: 1.0,
+                propagator: None,
+                propagate: false,
+                heuristic_period: 0,
+                prop_rounds: 8,
+                prop_metrics: gmip_trace::MetricsRegistry::default(),
             });
         }
         let backend = match batched_lanes {
@@ -191,7 +210,22 @@ impl Worker {
             busy_ns: 0.0,
             nodes: 0,
             slowdown: 1.0,
+            propagator: None,
+            propagate: false,
+            heuristic_period: 0,
+            prop_rounds: 8,
+            prop_metrics: gmip_trace::MetricsRegistry::default(),
         })
+    }
+
+    /// Enables domain propagation and/or the fix-and-propagate dive on this
+    /// rank (both off by default). `heuristic_period = 0` disables the dive.
+    pub fn with_propagation(mut self, propagate: bool, heuristic_period: usize) -> Self {
+        self.propagate = propagate;
+        self.heuristic_period = heuristic_period;
+        self.propagator =
+            (propagate || heuristic_period > 0).then(|| Propagator::new(&self.instance));
+        self
     }
 
     /// The worker's device (stats queries).
@@ -214,6 +248,7 @@ impl Worker {
                 m.merge(cleanup.metrics());
             }
         }
+        m.merge(&self.prop_metrics);
         m
     }
 
@@ -325,6 +360,38 @@ impl Worker {
     /// time consumed is measured as the device-frontier delta.
     pub fn evaluate(&mut self, a: &Assignment) -> LpResult<NodeReport> {
         let t0 = self.accel.elapsed_ns();
+        // Domain propagation before any LP work: infeasible boxes settle
+        // with `prop.*` kernel charges only, feasible ones tighten.
+        let mut tightened: Option<Assignment> = None;
+        if self.propagate {
+            let p = self.propagator.as_ref().expect("propagator built");
+            let (mut lb, mut ub) = p.node_box(&a.bounds);
+            let out = p.propagate(&mut lb, &mut ub, self.prop_rounds);
+            gmip_prop::charge_wave(&self.accel, p.nnz(), p.num_vars(), &[out.rounds]);
+            self.prop_metrics.incr(names::PROP_NODES, 1.0);
+            self.prop_metrics
+                .incr(names::PROP_ROUNDS, out.rounds as f64);
+            self.prop_metrics
+                .incr(names::PROP_TIGHTENINGS, out.tightenings as f64);
+            if out.infeasible {
+                self.prop_metrics.incr(names::PROP_INFEASIBLE, 1.0);
+                self.nodes += 1;
+                let eval_ns = (self.accel.elapsed_ns() - t0) * self.slowdown.max(1.0);
+                self.busy_ns += eval_ns;
+                return Ok(NodeReport {
+                    node_id: a.node_id,
+                    outcome: NodeOutcome::Infeasible,
+                    eval_ns,
+                    lp_iterations: 0,
+                    heur: None,
+                });
+            }
+            tightened = Some(Assignment {
+                bounds: p.bound_changes(&lb, &ub),
+                ..a.clone()
+            });
+        }
+        let a = tightened.as_ref().unwrap_or(a);
         let (sol, basis) = self.solve_assignment(a)?;
         self.nodes += 1;
         let outcome = match sol.status {
@@ -373,6 +440,32 @@ impl Worker {
                 }
             }
         };
+        // Fix-and-propagate dive on branched nodes, every
+        // `heuristic_period`-th evaluation: the candidate rides along in
+        // the report and feeds the supervisor's incumbent-broadcast path.
+        let mut heur: Option<(f64, Vec<f64>)> = None;
+        if self.heuristic_period > 0
+            && self.nodes.is_multiple_of(self.heuristic_period)
+            && matches!(outcome, NodeOutcome::Branch { .. })
+        {
+            let p = self.propagator.as_ref().expect("propagator built");
+            let (lb, ub) = p.node_box(&a.bounds);
+            let out = p.fix_and_propagate(&sol.x, &lb, &ub, self.int_tol, self.prop_rounds);
+            gmip_prop::charge_wave(&self.accel, p.nnz(), p.num_vars(), &[out.rounds.max(1)]);
+            self.prop_metrics.incr(names::HEUR_ATTEMPTS, 1.0);
+            self.prop_metrics
+                .incr(names::HEUR_REPAIRS, out.repairs as f64);
+            if out.aborted {
+                self.prop_metrics.incr(names::HEUR_ABORTS, 1.0);
+            }
+            if let Some((obj, pt)) = out.candidate {
+                let internal = self.internal(obj);
+                if internal > a.incumbent + 1e-9 {
+                    self.prop_metrics.incr(names::HEUR_INCUMBENTS, 1.0);
+                    heur = Some((internal, pt));
+                }
+            }
+        }
         let eval_ns = (self.accel.elapsed_ns() - t0) * self.slowdown.max(1.0);
         self.busy_ns += eval_ns;
         Ok(NodeReport {
@@ -380,6 +473,7 @@ impl Worker {
             outcome,
             eval_ns,
             lp_iterations: sol.iterations,
+            heur,
         })
     }
 }

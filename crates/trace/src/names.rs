@@ -193,6 +193,44 @@ pub const FO_CLEANUPS: &str = "fo.cleanups";
 /// Simplex iterations spent inside cleanup solves.
 pub const FO_CLEANUP_ITERS: &str = "fo.cleanup.iterations";
 
+// --- Domain propagation (gmip-prop) -----------------------------------------
+
+/// Span name of the fused batched row-activity kernel: per-lane min/max row
+/// activities over the shared device-resident CSR matrix (cost ∝ nnz).
+pub const PROP_KERNEL_ACTIVITY: &str = "prop.activity";
+/// Span name of the fused batched bound-tightening kernel: per-row residual
+/// activities turned into candidate variable bounds with integral rounding
+/// (cost ∝ nnz).
+pub const PROP_KERNEL_TIGHTEN: &str = "prop.tighten";
+/// Span name of the fused batched reduction kernel: per-lane min/changed
+/// flags over the variable vector deciding fixpoint / infeasibility
+/// (cost ∝ n).
+pub const PROP_KERNEL_REDUCE: &str = "prop.reduce";
+/// Nodes whose box went through at least one propagation round.
+pub const PROP_NODES: &str = "prop.nodes";
+/// Propagation rounds executed (summed over nodes/lanes; every round is
+/// one activity + tighten + reduce kernel trio).
+pub const PROP_ROUNDS: &str = "prop.rounds";
+/// Strict bound tightenings applied by node propagation.
+pub const PROP_TIGHTENINGS: &str = "prop.tightenings";
+/// Nodes proven infeasible by propagation before any LP work was spent.
+pub const PROP_INFEASIBLE: &str = "prop.nodes_infeasible";
+
+// --- Fix-and-propagate primal heuristic --------------------------------------
+
+/// Fix-and-propagate attempts (one per lane per heuristic wave).
+pub const HEUR_ATTEMPTS: &str = "heur.attempts";
+/// Incumbents produced by the fix-and-propagate heuristic.
+pub const HEUR_INCUMBENTS: &str = "heur.incumbents";
+/// Lanes that repaired a failed fixing by taking the opposite rounding.
+pub const HEUR_REPAIRS: &str = "heur.repairs";
+/// Lanes aborted on integer infeasibility (both roundings propagate to a
+/// contradiction, or the final point fails the exact feasibility check).
+pub const HEUR_ABORTS: &str = "heur.aborts";
+/// Simulated time of the solve's first incumbent, ns (gauge; set once —
+/// the time-to-first-incumbent headline of experiment E12).
+pub const HEUR_FIRST_INCUMBENT_NS: &str = "heur.first_incumbent_ns";
+
 // --- Fault injection & recovery (gmip-chaos) -------------------------------
 
 /// Injected worker crashes that landed on an alive rank.
@@ -322,6 +360,33 @@ mod tests {
         ] {
             assert!(name.starts_with("fo."), "{name}");
         }
+    }
+
+    #[test]
+    fn prop_and_heur_names_stay_in_their_namespaces() {
+        for name in [
+            PROP_KERNEL_ACTIVITY,
+            PROP_KERNEL_TIGHTEN,
+            PROP_KERNEL_REDUCE,
+            PROP_NODES,
+            PROP_ROUNDS,
+            PROP_TIGHTENINGS,
+            PROP_INFEASIBLE,
+        ] {
+            assert!(name.starts_with("prop."), "{name}");
+        }
+        for name in [
+            HEUR_ATTEMPTS,
+            HEUR_INCUMBENTS,
+            HEUR_REPAIRS,
+            HEUR_ABORTS,
+            HEUR_FIRST_INCUMBENT_NS,
+        ] {
+            assert!(name.starts_with("heur."), "{name}");
+        }
+        // The report table's time-to-first-incumbent column reads this
+        // exact key out of the merged registry.
+        assert_eq!(HEUR_FIRST_INCUMBENT_NS, "heur.first_incumbent_ns");
     }
 
     #[test]

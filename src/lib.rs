@@ -19,6 +19,7 @@
 //! | [`tree`] | `gmip-tree` | branch-and-bound tree, snapshots, selection policies |
 //! | [`core`] | `gmip-core` | the branch-and-cut solver and the four strategies |
 //! | [`parallel`] | `gmip-parallel` | supervisor–worker cluster (discrete-event + threaded) |
+//! | [`prop`] | `gmip-prop` | batched domain propagation + fix-and-propagate heuristic |
 //! | [`serve`] | `gmip-serve` | multi-tenant solve service: admission, sharding, solution pool |
 //! | [`verify`] | `gmip-verify` | exact rational oracle, certificates, metamorphic fuzzing |
 //! | [`trace`] | `gmip-trace` | logical-time spans, metrics registry, Perfetto export |
@@ -59,6 +60,7 @@ pub use gmip_linalg as linalg;
 pub use gmip_lp as lp;
 pub use gmip_parallel as parallel;
 pub use gmip_problems as problems;
+pub use gmip_prop as prop;
 pub use gmip_serve as serve;
 pub use gmip_trace as trace;
 pub use gmip_tree as tree;

@@ -248,6 +248,174 @@ fn threaded_cluster_trace_stream_is_byte_identical() {
 }
 
 #[test]
+fn propagation_on_and_off_reach_the_same_oracle_checked_optimum_everywhere() {
+    use gmip::core::{
+        solve_batched_wave, solve_first_order_wave, BatchedWaveConfig, FirstOrderWaveConfig,
+    };
+    use gmip::gpu::Accel;
+    use gmip::parallel::{solve_hierarchical, HierarchyConfig};
+    let _g = gate();
+    let instance = knapsack(14, 0.5, 7);
+    let oracle = gmip::verify::solve_oracle(&instance).expect("oracle");
+    let exact = oracle
+        .objective
+        .as_ref()
+        .expect("optimal instance")
+        .approx();
+    let mut objectives: Vec<(String, f64)> = Vec::new();
+    for enabled in [false, true] {
+        let tag = if enabled { "prop" } else { "base" };
+        let period = if enabled { 2 } else { 0 };
+        // Single-device host path.
+        let mut cfg = MipConfig::default();
+        cfg.propagate = enabled;
+        cfg.heuristics.fix_and_propagate_period = period;
+        let mut s = MipSolver::host_baseline(instance.clone(), cfg);
+        objectives.push((format!("host/{tag}"), s.solve().expect("host").objective));
+        // Threaded cluster (real OS threads; answer-deterministic).
+        let pcfg = ParallelConfig {
+            workers: 2,
+            gpu_mem: 1 << 24,
+            propagate: enabled,
+            heuristic_period: period,
+            ..Default::default()
+        };
+        objectives.push((
+            format!("threaded/{tag}"),
+            solve_threaded(&instance, &pcfg)
+                .expect("threaded")
+                .objective,
+        ));
+        // Discrete-event cluster, flat and hierarchical.
+        objectives.push((
+            format!("cluster/{tag}"),
+            solve_parallel(&instance, pcfg.clone())
+                .expect("cluster")
+                .objective,
+        ));
+        objectives.push((
+            format!("hierarchy/{tag}"),
+            solve_hierarchical(
+                &instance,
+                ParallelConfig {
+                    workers: 4,
+                    ..pcfg.clone()
+                },
+                HierarchyConfig {
+                    fanout: 2,
+                    ..Default::default()
+                },
+            )
+            .expect("hierarchy")
+            .objective,
+        ));
+        // Batched simplex wave.
+        objectives.push((
+            format!("batched/{tag}"),
+            solve_batched_wave(
+                &instance,
+                &BatchedWaveConfig {
+                    lanes: 4,
+                    propagate: enabled,
+                    heuristic_period: period,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .expect("batched")
+            .objective,
+        ));
+        // First-order (PDHG) wave.
+        objectives.push((
+            format!("firstorder/{tag}"),
+            solve_first_order_wave(
+                &instance,
+                &FirstOrderWaveConfig {
+                    lanes: 4,
+                    propagate: enabled,
+                    heuristic_period: period,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .expect("firstorder")
+            .objective,
+        ));
+    }
+    for (path, obj) in &objectives {
+        assert!(
+            (obj - exact).abs() < 1e-6,
+            "{path}: objective {obj} disagrees with the proven optimum {exact}"
+        );
+    }
+}
+
+#[test]
+fn propagating_batched_wave_trace_stream_is_byte_identical() {
+    use gmip::core::{solve_batched_wave, BatchedWaveConfig};
+    use gmip::gpu::Accel;
+    let _g = gate();
+    let instance = knapsack(15, 0.5, 7);
+    let run = || {
+        let session = TraceSession::start();
+        let r = solve_batched_wave(
+            &instance,
+            &BatchedWaveConfig {
+                lanes: 4,
+                propagate: true,
+                heuristic_period: 2,
+                ..Default::default()
+            },
+            Accel::gpu(1),
+        )
+        .expect("batched solve");
+        (
+            r.objective.to_bits(),
+            r.nodes,
+            r.first_incumbent_ns.map(f64::to_bits),
+            r.metrics.counter("prop.tightenings").to_bits(),
+            session.finish().to_chrome_json(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert!(
+        a.4.contains("prop.activity") && a.4.contains("prop.tighten"),
+        "propagation kernel spans missing from trace"
+    );
+    assert_eq!(a, b, "propagating batched wave runs diverged");
+}
+
+#[test]
+fn propagating_des_cluster_trace_stream_is_byte_identical() {
+    let _g = gate();
+    let instance = knapsack(14, 0.5, 5);
+    let run = || {
+        let session = TraceSession::start();
+        let r = solve_parallel(
+            &instance,
+            ParallelConfig {
+                workers: 3,
+                gpu_mem: 1 << 24,
+                propagate: true,
+                heuristic_period: 2,
+                ..Default::default()
+            },
+        )
+        .expect("parallel solve");
+        (
+            r.objective.to_bits(),
+            r.stats.nodes,
+            r.stats.makespan_ns.to_bits(),
+            r.stats.metrics.counter("prop.nodes").to_bits(),
+            session.finish().to_chrome_json(),
+        )
+    };
+    let (a, b) = (run(), run());
+    assert!(f64::from_bits(a.3) > 0.0, "ranks never propagated");
+    assert_eq!(a, b, "propagating DES cluster runs diverged");
+}
+
+#[test]
 fn generators_are_bit_deterministic() {
     let _g = gate();
     use gmip::problems::mps::write_mps;
