@@ -11,7 +11,9 @@
 //! `<dir>/BENCH_scale.json` (the E10 rank-scaling sweep),
 //! `<dir>/BENCH_e11.json` (the E11 node-LP engine crossover sweep),
 //! `<dir>/BENCH_e12.json` (the E12 time-to-first-incumbent grid:
-//! propagation on/off × fix-and-propagate dive on/off), and
+//! propagation on/off × fix-and-propagate dive on/off),
+//! `<dir>/BENCH_e13.json` (the E13 executing-backend identity + wall-clock
+//! scaling sweep; its `wall` keys are real time and exempt from the gate), and
 //! `<dir>/BENCH_baseline.json` (the full regression baseline the
 //! `bench-regression` CI job compares against). With `--scale-smoke`,
 //! only the E10 4/64/256-rank cells are re-run and written to
@@ -102,6 +104,10 @@ fn main() {
             (
                 format!("{dir}/BENCH_e12.json"),
                 experiments::e12::bench_json(),
+            ),
+            (
+                format!("{dir}/BENCH_e13.json"),
+                experiments::e13::bench_json(),
             ),
             (format!("{dir}/BENCH_baseline.json"), baseline::to_json()),
         ] {

@@ -8,6 +8,7 @@ pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e13;
 pub mod e2;
 pub mod e3a;
 pub mod e3b;
@@ -71,6 +72,7 @@ pub(crate) fn e2_matrix(n: usize) -> gmip_linalg::DenseMatrix {
 /// All experiment ids, in report order.
 pub const ALL: &[&str] = &[
     "f1", "e1", "e2", "e3a", "e3b", "e3c", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+    "e13",
 ];
 
 /// Dispatches an experiment id to its runner.
@@ -91,6 +93,7 @@ pub fn run(id: &str) -> Option<String> {
         "e10" => Some(e10::run()),
         "e11" => Some(e11::run()),
         "e12" => Some(e12::run()),
+        "e13" => Some(e13::run()),
         _ => None,
     }
 }

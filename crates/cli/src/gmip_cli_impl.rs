@@ -88,6 +88,11 @@ SOLVE OPTIONS:
   --heur-period <n>  run a fix-and-propagate dive every n nodes (waves: one
                      fused dive across the whole frontier); improving
                      feasible candidates become incumbents early (0 = off)
+  --backend <b>      sim | native — who executes the fused lane kernels.
+                     sim charges the cost model only; native additionally
+                     runs them across host threads (RAYON_NUM_THREADS)
+                     and reports real wall.* metrics. Simulated traces
+                     and ns are bit-identical either way (default: sim)
   --presolve         presolve before solving
   --tree             print the solution tree (small instances)
   --stats            print the device/host cost ledger
@@ -128,6 +133,7 @@ pub struct Options {
     pub propagate: bool,
     pub prop_rounds: usize,
     pub heur_period: usize,
+    pub backend: gmip_gpu::BackendKind,
     pub presolve: bool,
     pub gap: f64,
     pub obj_limit: Option<f64>,
@@ -163,6 +169,7 @@ impl Default for Options {
             propagate: false,
             prop_rounds: 8,
             heur_period: 0,
+            backend: gmip_gpu::BackendKind::Sim,
             presolve: false,
             gap: 0.0,
             obj_limit: None,
@@ -250,6 +257,11 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.heur_period = take("--heur-period")?
                     .parse()
                     .map_err(|_| "--heur-period must be an integer (0 = off)".to_string())?
+            }
+            "--backend" => {
+                let v = take("--backend")?;
+                o.backend = gmip_gpu::BackendKind::parse(&v)
+                    .ok_or_else(|| format!("--backend must be sim or native, got `{v}`"))?
             }
             "--presolve" => o.presolve = true,
             "--tree" => o.tree = true,
@@ -704,6 +716,7 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
             chaos,
             propagate: o.propagate,
             heuristic_period: o.heur_period,
+            backend: o.backend,
             ..Default::default()
         };
         if let Some(fanout) = fanout {
@@ -817,6 +830,7 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
             propagate: o.propagate,
             propagate_rounds: o.prop_rounds,
             heuristic_period: o.heur_period,
+            backend: o.backend,
             ..Default::default()
         };
         let accel = Accel::gpu(o.gpu_mem_gib);
@@ -865,6 +879,7 @@ pub fn solve(instance: MipInstance, o: &Options) -> Result<String, String> {
             propagate: o.propagate,
             propagate_rounds: o.prop_rounds,
             heuristic_period: o.heur_period,
+            backend: o.backend,
             ..Default::default()
         };
         let accel = Accel::gpu(o.gpu_mem_gib);
@@ -1291,6 +1306,32 @@ mod tests {
         // Deterministic: a rerun produces byte-identical output.
         let again = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
         assert_eq!(out, again, "firstorder output must replay byte-identically");
+    }
+
+    #[test]
+    fn backend_flag_parses_and_native_output_matches_sim() {
+        let o = parse_options(&s(&["x.mps", "--backend", "native"])).unwrap();
+        assert_eq!(o.backend, gmip_gpu::BackendKind::Native { threads: 0 });
+        assert!(parse_options(&s(&["x.mps", "--backend", "cuda"])).is_err());
+        assert!(parse_options(&s(&["x.mps", "--backend"])).is_err());
+
+        // The native backend's report must match sim byte-for-byte once
+        // the (real, run-dependent) wall.* lines are filtered out.
+        let run = |backend| {
+            let mut o = Options::default();
+            o.strategy = "firstorder:4".into();
+            o.propagate = true;
+            o.metrics = true;
+            o.backend = backend;
+            let out = solve(gmip_problems::catalog::figure1_knapsack(), &o).unwrap();
+            out.lines()
+                .filter(|l| !l.contains("wall."))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let sim = run(gmip_gpu::BackendKind::Sim);
+        assert!(sim.contains("status: Optimal"), "{sim}");
+        assert_eq!(run(gmip_gpu::BackendKind::Native { threads: 2 }), sim);
     }
 
     #[test]

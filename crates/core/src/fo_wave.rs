@@ -26,7 +26,7 @@
 use crate::branch;
 use crate::solver::MipStatus;
 use crate::wave::WaveResult;
-use gmip_gpu::Accel;
+use gmip_gpu::{Accel, BackendKind};
 use gmip_linalg::CsrMatrix;
 use gmip_lp::{
     wave_width, BoundChange, FirstOrderWaveEngine, FoOutcome, HostEngine, LpConfig, LpResult,
@@ -59,6 +59,11 @@ pub struct FirstOrderWaveConfig {
     /// Run the batched fix-and-propagate dive across the collected frontier
     /// seeds every this many retired nodes; `0` disables it.
     pub heuristic_period: usize,
+    /// Which executing backend runs the fused lane dispatches. The
+    /// simulated charges (and therefore every traced ns) are identical
+    /// either way; `Native` additionally executes lanes across host
+    /// threads and records real wall-clock under `wall.*`.
+    pub backend: BackendKind,
 }
 
 impl Default for FirstOrderWaveConfig {
@@ -72,6 +77,7 @@ impl Default for FirstOrderWaveConfig {
             propagate: false,
             propagate_rounds: 8,
             heuristic_period: 0,
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -93,6 +99,7 @@ pub fn solve_first_order_wave(
     accel: Accel,
 ) -> LpResult<WaveResult> {
     assert!(cfg.lanes >= 1, "need at least one lane");
+    let accel = accel.with_backend(cfg.backend);
     let std = StandardLp::from_instance(instance, &[]);
     let (m, n) = (std.m(), std.n());
 
@@ -164,12 +171,12 @@ pub fn solve_first_order_wave(
         let mut settled_by_prop = 0usize;
         if cfg.propagate {
             let p = propagator.as_ref().expect("propagator built");
-            let mut rounds = Vec::with_capacity(pending.len());
-            for &(slot, id) in &pending {
-                let bounds = tree.node(id).data.bounds.clone();
-                let (mut plb, mut pub_) = p.node_box(&bounds);
-                let out = p.propagate(&mut plb, &mut pub_, cfg.propagate_rounds);
-                rounds.push(out.rounds);
+            let mut boxes: Vec<(Vec<f64>, Vec<f64>)> = pending
+                .iter()
+                .map(|&(_, id)| p.node_box(&tree.node(id).data.bounds))
+                .collect();
+            let outs = p.propagate_wave(&accel, &mut boxes, cfg.propagate_rounds);
+            for ((&(slot, id), out), (plb, pub_)) in pending.iter().zip(&outs).zip(&boxes) {
                 aux.incr(names::PROP_NODES, 1.0);
                 aux.incr(names::PROP_ROUNDS, out.rounds as f64);
                 aux.incr(names::PROP_TIGHTENINGS, out.tightenings as f64);
@@ -178,11 +185,8 @@ pub fn solve_first_order_wave(
                     tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY);
                     settled_by_prop += 1;
                 } else {
-                    loads.push((slot, id, p.bound_changes(&plb, &pub_)));
+                    loads.push((slot, id, p.bound_changes(plb, pub_)));
                 }
-            }
-            if !rounds.is_empty() {
-                gmip_prop::charge_wave(&accel, p.nnz(), p.num_vars(), &rounds);
             }
         } else {
             for &(slot, id) in &pending {
@@ -333,11 +337,25 @@ pub fn solve_first_order_wave(
         if cfg.heuristic_period > 0 && since_heur >= cfg.heuristic_period && !heur_seeds.is_empty()
         {
             let p = propagator.as_ref().expect("propagator built");
-            let mut rounds = Vec::with_capacity(heur_seeds.len());
+            let staged: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = heur_seeds
+                .drain(..)
+                .map(|(bounds, x)| {
+                    let (lb, ub) = p.node_box(&bounds);
+                    (x, lb, ub)
+                })
+                .collect();
+            let seeds: Vec<gmip_prop::DiveSeed<'_>> = staged
+                .iter()
+                .map(|(x, lb, ub)| gmip_prop::DiveSeed {
+                    x0: x,
+                    lb0: lb,
+                    ub0: ub,
+                })
+                .collect();
+            let outs = p.dive_wave(&accel, &seeds, cfg.int_tol, cfg.propagate_rounds);
+            let mut rounds = Vec::with_capacity(outs.len());
             let mut best: Option<(f64, Vec<f64>)> = None;
-            for (bounds, x) in heur_seeds.drain(..) {
-                let (lb, ub) = p.node_box(&bounds);
-                let out = p.fix_and_propagate(&x, &lb, &ub, cfg.int_tol, cfg.propagate_rounds);
+            for out in outs {
                 rounds.push(out.rounds.max(1));
                 aux.incr(names::HEUR_ATTEMPTS, 1.0);
                 aux.incr(names::HEUR_REPAIRS, out.repairs as f64);
@@ -392,6 +410,10 @@ pub fn solve_first_order_wave(
     metrics.merge(&fo_counters);
     metrics.merge(&cleanup.take_metrics());
     metrics.merge(&aux);
+    // Real wall-clock of the executing backend (`wall.*`, empty under the
+    // simulator) — reported, but never part of the byte-determinism
+    // surface: diffs and bench gates skip the namespace.
+    metrics.merge(&accel.wall_metrics());
     if let Some(t) = first_incumbent_ns {
         metrics.set_gauge(names::HEUR_FIRST_INCUMBENT_NS, t);
     }
@@ -538,6 +560,49 @@ mod tests {
             );
             assert!(r.metrics.counter(names::PROP_NODES) >= r.nodes as f64);
             assert!(r.first_incumbent_ns.is_some());
+        }
+    }
+
+    #[test]
+    fn native_backend_matches_sim_byte_for_byte() {
+        // The executing backend must be invisible to everything but
+        // `wall.*`: same optimum, same node count, bitwise-equal simulated
+        // makespan, identical counters — at every thread count.
+        let m = knapsack(13, 0.5, 5);
+        let run = |backend: BackendKind| {
+            let r = solve_first_order_wave(
+                &m,
+                &FirstOrderWaveConfig {
+                    lanes: 4,
+                    propagate: true,
+                    heuristic_period: 2,
+                    backend,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .unwrap();
+            let mut counters: Vec<(String, String)> = r
+                .metrics
+                .counters()
+                .filter(|(k, _)| !k.starts_with("wall."))
+                .map(|(k, v)| (k.to_string(), format!("{v:?}")))
+                .collect();
+            counters.sort();
+            (
+                format!("{:?}", r.objective),
+                r.nodes,
+                format!("{:?}", r.makespan_ns),
+                counters,
+            )
+        };
+        let sim = run(BackendKind::Sim);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                run(BackendKind::Native { threads }),
+                sim,
+                "native @ {threads} threads"
+            );
         }
     }
 

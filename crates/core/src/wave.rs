@@ -17,7 +17,7 @@
 
 use crate::branch;
 use crate::solver::MipStatus;
-use gmip_gpu::{Accel, DeviceStats};
+use gmip_gpu::{Accel, BackendKind, DeviceStats};
 use gmip_linalg::batch::batch_size_bytes;
 use gmip_linalg::DenseMatrix;
 use gmip_lp::wave::BatchedWaveEngine;
@@ -54,6 +54,10 @@ pub struct BatchedWaveConfig {
     /// Run the batched fix-and-propagate dive across the collected frontier
     /// seeds every this many retired nodes; `0` disables it.
     pub heuristic_period: usize,
+    /// Which executing backend runs the fused lane dispatches (the
+    /// `prop.*` / `heur.*` waves here; simplex lanes journal on the host
+    /// either way). Simulated charges are identical across backends.
+    pub backend: BackendKind,
 }
 
 impl Default for BatchedWaveConfig {
@@ -68,6 +72,7 @@ impl Default for BatchedWaveConfig {
             propagate: false,
             propagate_rounds: 8,
             heuristic_period: 0,
+            backend: BackendKind::Sim,
         }
     }
 }
@@ -123,6 +128,7 @@ pub fn solve_batched_wave(
     accel: Accel,
 ) -> LpResult<WaveResult> {
     assert!(cfg.lanes >= 1, "need at least one lane");
+    let accel = accel.with_backend(cfg.backend);
     let std = StandardLp::from_instance(instance, &[]);
 
     // Lane 0 doubles as the probe that captures the extended matrix the
@@ -218,12 +224,12 @@ pub fn solve_batched_wave(
         let mut settled_by_prop = 0usize;
         if cfg.propagate {
             let p = propagator.as_ref().expect("propagator built");
-            let mut rounds = Vec::with_capacity(pending.len());
-            for &(slot, id) in &pending {
-                let bounds = tree.node(id).data.bounds.clone();
-                let (mut lb, mut ub) = p.node_box(&bounds);
-                let out = p.propagate(&mut lb, &mut ub, cfg.propagate_rounds);
-                rounds.push(out.rounds);
+            let mut boxes: Vec<(Vec<f64>, Vec<f64>)> = pending
+                .iter()
+                .map(|&(_, id)| p.node_box(&tree.node(id).data.bounds))
+                .collect();
+            let outs = p.propagate_wave(&accel, &mut boxes, cfg.propagate_rounds);
+            for ((&(slot, id), out), (lb, ub)) in pending.iter().zip(&outs).zip(&boxes) {
                 aux.incr(names::PROP_NODES, 1.0);
                 aux.incr(names::PROP_ROUNDS, out.rounds as f64);
                 aux.incr(names::PROP_TIGHTENINGS, out.tightenings as f64);
@@ -232,11 +238,8 @@ pub fn solve_batched_wave(
                     tree.settle(id, NodeState::Infeasible, f64::NEG_INFINITY);
                     settled_by_prop += 1;
                 } else {
-                    loads.push((slot, id, p.bound_changes(&lb, &ub)));
+                    loads.push((slot, id, p.bound_changes(lb, ub)));
                 }
-            }
-            if !rounds.is_empty() {
-                gmip_prop::charge_wave(&accel, p.nnz(), p.num_vars(), &rounds);
             }
         } else {
             for &(slot, id) in &pending {
@@ -373,11 +376,25 @@ pub fn solve_batched_wave(
         if cfg.heuristic_period > 0 && since_heur >= cfg.heuristic_period && !heur_seeds.is_empty()
         {
             let p = propagator.as_ref().expect("propagator built");
-            let mut rounds = Vec::with_capacity(heur_seeds.len());
+            let staged: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = heur_seeds
+                .drain(..)
+                .map(|(bounds, x)| {
+                    let (lb, ub) = p.node_box(&bounds);
+                    (x, lb, ub)
+                })
+                .collect();
+            let seeds: Vec<gmip_prop::DiveSeed<'_>> = staged
+                .iter()
+                .map(|(x, lb, ub)| gmip_prop::DiveSeed {
+                    x0: x,
+                    lb0: lb,
+                    ub0: ub,
+                })
+                .collect();
+            let outs = p.dive_wave(&accel, &seeds, cfg.int_tol, cfg.propagate_rounds);
+            let mut rounds = Vec::with_capacity(outs.len());
             let mut best: Option<(f64, Vec<f64>)> = None;
-            for (bounds, x) in heur_seeds.drain(..) {
-                let (lb, ub) = p.node_box(&bounds);
-                let out = p.fix_and_propagate(&x, &lb, &ub, cfg.int_tol, cfg.propagate_rounds);
+            for out in outs {
                 rounds.push(out.rounds.max(1));
                 aux.incr(names::HEUR_ATTEMPTS, 1.0);
                 aux.incr(names::HEUR_REPAIRS, out.repairs as f64);
@@ -433,6 +450,9 @@ pub fn solve_batched_wave(
         metrics.merge(&lane.take_metrics());
     }
     metrics.merge(&aux);
+    // Real wall-clock of the executing backend (`wall.*`, empty under the
+    // simulator) — outside the byte-determinism surface.
+    metrics.merge(&accel.wall_metrics());
     if let Some(t) = first_incumbent_ns {
         metrics.set_gauge(names::HEUR_FIRST_INCUMBENT_NS, t);
     }
@@ -562,6 +582,46 @@ mod tests {
         assert_eq!(wide.width, 8);
         // Widening 8× adds only per-lane state, not matrix copies.
         assert!(wide.peak_device_bytes < 2 * narrow.peak_device_bytes);
+    }
+
+    #[test]
+    fn native_backend_matches_sim_byte_for_byte() {
+        let m = knapsack(12, 0.5, 4);
+        let run = |backend: BackendKind| {
+            let r = solve_batched_wave(
+                &m,
+                &BatchedWaveConfig {
+                    lanes: 4,
+                    propagate: true,
+                    heuristic_period: 2,
+                    backend,
+                    ..Default::default()
+                },
+                Accel::gpu(1),
+            )
+            .unwrap();
+            let mut counters: Vec<(String, String)> = r
+                .metrics
+                .counters()
+                .filter(|(k, _)| !k.starts_with("wall."))
+                .map(|(k, v)| (k.to_string(), format!("{v:?}")))
+                .collect();
+            counters.sort();
+            (
+                format!("{:?}", r.objective),
+                r.nodes,
+                format!("{:?}", r.makespan_ns),
+                counters,
+            )
+        };
+        let sim = run(BackendKind::Sim);
+        for threads in [1, 3] {
+            assert_eq!(
+                run(BackendKind::Native { threads }),
+                sim,
+                "native @ {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! The [`Accelerator`] trait: fused kernel-class dispatch as an interface,
+//! with a cost-model-only simulator and a natively *executing* backend.
+//!
+//! Every fused launch the wave engines issue goes through this trait. Both
+//! implementations charge the **same** simulated nanoseconds through the
+//! same [`GpuDevice`] — the simulator stays the deterministic oracle and
+//! the only source of traced time. They differ in *who runs the lane
+//! numerics*:
+//!
+//! * [`SimAccelerator`] runs each lane body sequentially on the calling
+//!   thread (exactly the pre-trait host loops), then applies the charge.
+//! * [`NativeAccelerator`] fans the lane bodies across a persistent
+//!   [`rayon::ThreadPool`] — one parallel dispatch per kernel class per
+//!   superstep — and measures real wall-clock per class into a `wall.*`
+//!   metric family. Within a lane the floating-point operation order is
+//!   untouched (the bodies in [`crate::kernels`] are shared verbatim), so
+//!   lane outcomes are bit-identical across backends and thread counts;
+//!   only wall-clock varies, and wall-clock never enters traces or
+//!   simulated `_ns` totals.
+
+use crate::device::GpuDevice;
+use crate::kernels::{self, AxpyLane, SpmvLane, SpmvTLane};
+use crate::stream::StreamId;
+use gmip_linalg::CsrMatrix;
+use gmip_trace::{names, MetricsRegistry};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which executing backend an [`crate::Accel`] dispatches lane bodies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Sequential host execution + cost-model charges (the oracle).
+    #[default]
+    Sim,
+    /// Lane-parallel execution on the vendored rayon pool. `threads == 0`
+    /// sizes the pool from `RAYON_NUM_THREADS` / available parallelism.
+    Native {
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
+}
+
+impl BackendKind {
+    /// Parses a CLI `--backend` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(Self::Sim),
+            "native" => Some(Self::Native { threads: 0 }),
+            _ => None,
+        }
+    }
+
+    /// Stable label for reports and errors.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Sim => "sim",
+            Self::Native { .. } => "native",
+        }
+    }
+}
+
+/// One simulated cost charge a fused dispatch applies after executing its
+/// lane bodies: the same `(flops, bytes)` pairs the pre-trait code handed
+/// to `batched_wave_kernel{_sparse}` directly.
+#[derive(Debug)]
+pub struct WaveCharge<'a> {
+    /// Kernel-class span name (`fo.spmv`, `prop.activity`, ...).
+    pub name: &'static str,
+    /// Per-active-lane `(flops, bytes)` of this class.
+    pub per_lane: &'a [(f64, f64)],
+    /// Charge at the sparse throughput instead of the dense rate.
+    pub sparse: bool,
+}
+
+/// A per-lane executing body for classes whose numerics live outside
+/// `gmip-gpu` (the `fo.norm` convergence checks, propagation rounds,
+/// fix-and-propagate dives). Each body is called exactly once per
+/// dispatch, by exactly one thread.
+pub type LaneBody<'a> = &'a mut (dyn FnMut() + Send);
+
+/// Fused kernel-class dispatch: execute the lane payloads, then charge the
+/// simulated cost. All methods return the simulated ns charged.
+pub trait Accelerator: Send + Sync + std::fmt::Debug {
+    /// Backend label (`"sim"` / `"native"`).
+    fn name(&self) -> &'static str;
+
+    /// Threads lane bodies fan across (1 for the simulator).
+    fn threads(&self) -> usize;
+
+    /// Fused `fo.spmv_t` over all active lanes: `aty = Aᵀy`.
+    fn fo_spmv_t(
+        &self,
+        csr: &CsrMatrix,
+        lanes: &mut [SpmvTLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64;
+
+    /// Fused `fo.axpy`: projected primal step + over-relaxation.
+    fn fo_axpy(
+        &self,
+        c_tilde: &[f64],
+        lanes: &mut [AxpyLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64;
+
+    /// Fused `fo.spmv`: `ax = Ax̂`, dual ascent, averaging sums.
+    fn fo_spmv(
+        &self,
+        csr: &CsrMatrix,
+        b: &[f64],
+        lanes: &mut [SpmvLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64;
+
+    /// Fused dispatch of opaque per-lane bodies under wall-clock class
+    /// `class`, followed by the listed cost charges in order. Used for the
+    /// `fo.norm` checks (whose safe-bound math lives in `gmip-lp`) and the
+    /// propagation/dive sweeps (whose math lives in `gmip-prop`).
+    fn fused_dispatch(
+        &self,
+        class: &'static str,
+        bodies: &mut [LaneBody<'_>],
+        charges: &[WaveCharge<'_>],
+        stream: StreamId,
+    ) -> f64;
+
+    /// Charges a host↔device transfer on the underlying device.
+    fn transfer(&self, bytes: usize, h2d: bool, stream: StreamId);
+
+    /// Records a stream event on the underlying device.
+    fn record_event(&self, stream: StreamId);
+
+    /// Snapshot of the backend's `wall.*` registry (empty for the
+    /// simulator). Kept outside the device's `gpu.*` registry so the
+    /// byte-determinism surface never sees wall-clock.
+    fn wall(&self) -> MetricsRegistry;
+}
+
+fn apply_charges(dev: &Mutex<GpuDevice>, charges: &[WaveCharge<'_>], stream: StreamId) -> f64 {
+    let mut d = dev.lock();
+    let mut total = 0.0;
+    for c in charges {
+        total += if c.sparse {
+            d.batched_wave_kernel_sparse(c.name, c.per_lane, stream)
+        } else {
+            d.batched_wave_kernel(c.name, c.per_lane, stream)
+        };
+    }
+    total
+}
+
+/// The cost-model backend: sequential lane execution, simulated charges.
+/// This is bitwise the pre-trait behavior and remains the oracle every
+/// other backend is checked against.
+#[derive(Debug, Clone)]
+pub struct SimAccelerator {
+    dev: Arc<Mutex<GpuDevice>>,
+}
+
+impl SimAccelerator {
+    /// Wraps a shared device.
+    pub fn new(dev: Arc<Mutex<GpuDevice>>) -> Self {
+        Self { dev }
+    }
+}
+
+impl Accelerator for SimAccelerator {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn threads(&self) -> usize {
+        1
+    }
+
+    fn fo_spmv_t(
+        &self,
+        csr: &CsrMatrix,
+        lanes: &mut [SpmvTLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64 {
+        for lane in lanes.iter_mut() {
+            kernels::spmv_t_lane(csr, lane);
+        }
+        self.dev
+            .lock()
+            .batched_wave_kernel_sparse("fo.spmv_t", per_lane, stream)
+    }
+
+    fn fo_axpy(
+        &self,
+        c_tilde: &[f64],
+        lanes: &mut [AxpyLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64 {
+        for lane in lanes.iter_mut() {
+            kernels::axpy_lane(c_tilde, lane);
+        }
+        self.dev
+            .lock()
+            .batched_wave_kernel("fo.axpy", per_lane, stream)
+    }
+
+    fn fo_spmv(
+        &self,
+        csr: &CsrMatrix,
+        b: &[f64],
+        lanes: &mut [SpmvLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64 {
+        for lane in lanes.iter_mut() {
+            kernels::spmv_lane(csr, b, lane);
+        }
+        self.dev
+            .lock()
+            .batched_wave_kernel_sparse("fo.spmv", per_lane, stream)
+    }
+
+    fn fused_dispatch(
+        &self,
+        _class: &'static str,
+        bodies: &mut [LaneBody<'_>],
+        charges: &[WaveCharge<'_>],
+        stream: StreamId,
+    ) -> f64 {
+        for body in bodies.iter_mut() {
+            body();
+        }
+        apply_charges(&self.dev, charges, stream)
+    }
+
+    fn transfer(&self, bytes: usize, h2d: bool, stream: StreamId) {
+        self.dev.lock().charge_transfer(bytes, h2d, stream);
+    }
+
+    fn record_event(&self, stream: StreamId) {
+        let _ = self.dev.lock().record_event(stream);
+    }
+
+    fn wall(&self) -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+/// The executing backend: identical charges, but the lane bodies really
+/// run — fanned across a persistent thread pool, one fused dispatch per
+/// kernel class — with real wall-clock per class recorded under `wall.*`.
+#[derive(Debug)]
+pub struct NativeAccelerator {
+    dev: Arc<Mutex<GpuDevice>>,
+    pool: rayon::ThreadPool,
+    wall: Mutex<MetricsRegistry>,
+}
+
+impl NativeAccelerator {
+    /// Builds the backend over a shared device with `threads` pool
+    /// threads (0 = `rayon::current_num_threads()`).
+    pub fn new(dev: Arc<Mutex<GpuDevice>>, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            threads
+        };
+        let mut wall = MetricsRegistry::new();
+        wall.set_gauge(names::WALL_THREADS, threads as f64);
+        Self {
+            dev,
+            pool: rayon::ThreadPool::new(threads),
+            wall: Mutex::new(wall),
+        }
+    }
+
+    fn wall_key(class: &str) -> &'static str {
+        match class {
+            "fo.spmv_t" => names::WALL_FO_SPMV_T,
+            "fo.axpy" => names::WALL_FO_AXPY,
+            "fo.spmv" => names::WALL_FO_SPMV,
+            "fo.norm" => names::WALL_FO_NORM,
+            "prop.round" => names::WALL_PROP_ROUND,
+            "heur.dive" => names::WALL_HEUR_DIVE,
+            _ => names::WALL_OTHER,
+        }
+    }
+
+    /// Runs `f` over every lane, each lane touched by exactly one pool
+    /// thread, timing the fan-out under the class's wall key.
+    fn run_lanes<T: Send>(&self, class: &'static str, lanes: &mut [T], f: impl Fn(&mut T) + Sync) {
+        let t0 = Instant::now();
+        let base = lanes.as_mut_ptr() as usize;
+        self.pool.dispatch(lanes.len(), &|i| {
+            // Safety: `dispatch` hands each index to exactly one thread and
+            // blocks until all are done, so the `&mut` borrows are disjoint
+            // and live for the call.
+            let lane = unsafe { &mut *(base as *mut T).add(i) };
+            f(lane);
+        });
+        let mut wall = self.wall.lock();
+        wall.incr(Self::wall_key(class), t0.elapsed().as_nanos() as f64);
+        wall.incr(names::WALL_DISPATCHES, 1.0);
+    }
+}
+
+impl Accelerator for NativeAccelerator {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    fn fo_spmv_t(
+        &self,
+        csr: &CsrMatrix,
+        lanes: &mut [SpmvTLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64 {
+        self.run_lanes("fo.spmv_t", lanes, |lane| kernels::spmv_t_lane(csr, lane));
+        self.dev
+            .lock()
+            .batched_wave_kernel_sparse("fo.spmv_t", per_lane, stream)
+    }
+
+    fn fo_axpy(
+        &self,
+        c_tilde: &[f64],
+        lanes: &mut [AxpyLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64 {
+        self.run_lanes("fo.axpy", lanes, |lane| kernels::axpy_lane(c_tilde, lane));
+        self.dev
+            .lock()
+            .batched_wave_kernel("fo.axpy", per_lane, stream)
+    }
+
+    fn fo_spmv(
+        &self,
+        csr: &CsrMatrix,
+        b: &[f64],
+        lanes: &mut [SpmvLane<'_>],
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+    ) -> f64 {
+        self.run_lanes("fo.spmv", lanes, |lane| kernels::spmv_lane(csr, b, lane));
+        self.dev
+            .lock()
+            .batched_wave_kernel_sparse("fo.spmv", per_lane, stream)
+    }
+
+    fn fused_dispatch(
+        &self,
+        class: &'static str,
+        bodies: &mut [LaneBody<'_>],
+        charges: &[WaveCharge<'_>],
+        stream: StreamId,
+    ) -> f64 {
+        self.run_lanes(class, bodies, |body| body());
+        apply_charges(&self.dev, charges, stream)
+    }
+
+    fn transfer(&self, bytes: usize, h2d: bool, stream: StreamId) {
+        self.dev.lock().charge_transfer(bytes, h2d, stream);
+    }
+
+    fn record_event(&self, stream: StreamId) {
+        let _ = self.dev.lock().record_event(stream);
+    }
+
+    fn wall(&self) -> MetricsRegistry {
+        self.wall.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceConfig, DEFAULT_STREAM};
+    use gmip_linalg::DenseMatrix;
+
+    fn dev() -> Arc<Mutex<GpuDevice>> {
+        Arc::new(Mutex::new(GpuDevice::new(DeviceConfig::gpu(1))))
+    }
+
+    #[test]
+    fn backend_kind_parses() {
+        assert_eq!(BackendKind::parse("sim"), Some(BackendKind::Sim));
+        assert_eq!(
+            BackendKind::parse("native"),
+            Some(BackendKind::Native { threads: 0 })
+        );
+        assert_eq!(BackendKind::parse("cuda"), None);
+        assert_eq!(BackendKind::default().label(), "sim");
+        assert_eq!(BackendKind::Native { threads: 3 }.label(), "native");
+    }
+
+    #[test]
+    fn both_backends_charge_identical_ns() {
+        let per_lane = vec![(1000.0, 4000.0); 4];
+        let sim = SimAccelerator::new(dev());
+        let nat = NativeAccelerator::new(dev(), 2);
+        let csr = CsrMatrix::from_dense(&DenseMatrix::identity(3));
+        let run = |a: &dyn Accelerator| {
+            let mut ys = vec![vec![1.0, 2.0, 3.0]; 4];
+            let mut atys = vec![vec![0.0; 3]; 4];
+            let mut lanes: Vec<SpmvTLane<'_>> = ys
+                .iter_mut()
+                .zip(atys.iter_mut())
+                .map(|(y, aty)| SpmvTLane { y, aty })
+                .collect();
+            let t = a.fo_spmv_t(&csr, &mut lanes, &per_lane, DEFAULT_STREAM);
+            (t, atys)
+        };
+        let (t_sim, out_sim) = run(&sim);
+        let (t_nat, out_nat) = run(&nat);
+        assert_eq!(t_sim.to_bits(), t_nat.to_bits());
+        assert_eq!(out_sim, out_nat);
+        // Wall clock exists only on the native side and never under gpu.*.
+        assert!(sim.wall().is_empty());
+        let wall = nat.wall();
+        assert!(wall.counter(names::WALL_DISPATCHES) >= 1.0);
+        assert!(wall.counter(names::WALL_FO_SPMV_T) > 0.0);
+    }
+
+    #[test]
+    fn fused_dispatch_runs_bodies_and_charges_in_order() {
+        let nat = NativeAccelerator::new(dev(), 3);
+        let mut hits = [0u32; 8];
+        let mut closures: Vec<_> = hits
+            .iter_mut()
+            .map(|h| {
+                move || {
+                    *h += 1;
+                }
+            })
+            .collect();
+        let mut bodies: Vec<LaneBody<'_>> = closures
+            .iter_mut()
+            .map(|c| c as &mut (dyn FnMut() + Send))
+            .collect();
+        let per_lane = vec![(10.0, 10.0); 8];
+        let t = nat.fused_dispatch(
+            "prop.round",
+            &mut bodies,
+            &[
+                WaveCharge {
+                    name: "prop.activity",
+                    per_lane: &per_lane,
+                    sparse: true,
+                },
+                WaveCharge {
+                    name: "prop.reduce",
+                    per_lane: &per_lane,
+                    sparse: false,
+                },
+            ],
+            DEFAULT_STREAM,
+        );
+        assert!(t > 0.0);
+        drop(bodies);
+        drop(closures);
+        assert!(hits.iter().all(|&h| h == 1));
+        assert!(nat.wall().counter(names::WALL_PROP_ROUND) > 0.0);
+    }
+}

@@ -1818,14 +1818,25 @@ impl GpuDevice {
         per_lane: &[(f64, f64)],
         stream: StreamId,
     ) -> f64 {
+        let rate = self.cost.dense_flops_per_ns;
+        self.batched_wave_kernel_at(name, per_lane, stream, rate)
+    }
+
+    /// Shared body of the dense/sparse fused wave launches, parameterized
+    /// by the flop throughput the per-lane roofline charges against.
+    fn batched_wave_kernel_at(
+        &mut self,
+        name: &'static str,
+        per_lane: &[(f64, f64)],
+        stream: StreamId,
+        flops_per_ns: f64,
+    ) -> f64 {
         if per_lane.is_empty() {
             return 0.0;
         }
         let per_op_ns = per_lane
             .iter()
-            .map(|&(fl, by)| {
-                (fl / self.cost.dense_flops_per_ns).max(by / self.cost.mem_bw_bytes_per_ns)
-            })
+            .map(|&(fl, by)| (fl / flops_per_ns).max(by / self.cost.mem_bw_bytes_per_ns))
             .fold(0.0, f64::max);
         let t = self.cost.batched_kernel_ns(per_lane.len(), per_op_ns);
         let done = self.streams.enqueue(stream, t);
@@ -1865,38 +1876,8 @@ impl GpuDevice {
         per_lane: &[(f64, f64)],
         stream: StreamId,
     ) -> f64 {
-        if per_lane.is_empty() {
-            return 0.0;
-        }
-        let per_op_ns = per_lane
-            .iter()
-            .map(|&(fl, by)| {
-                (fl / self.cost.sparse_flops_per_ns).max(by / self.cost.mem_bw_bytes_per_ns)
-            })
-            .fold(0.0, f64::max);
-        let t = self.cost.batched_kernel_ns(per_lane.len(), per_op_ns);
-        let done = self.streams.enqueue(stream, t);
-        let batch_flops: f64 = per_lane.iter().map(|p| p.0).sum();
-        let batch_bytes: f64 = per_lane.iter().map(|p| p.1).sum();
-        self.registry.incr(names::GPU_KERNEL_LAUNCHES, 1.0);
-        self.registry.incr(names::GPU_KERNEL_FLOPS, batch_flops);
-        self.registry.incr(names::GPU_KERNEL_NS, t);
-        let track = self.track;
-        let batch = per_lane.len();
-        gmip_trace::record(|| {
-            Event::complete(
-                Track {
-                    group: track,
-                    lane: stream as u32,
-                },
-                name,
-                done - t,
-                t,
-            )
-            .arg("batch", batch)
-            .arg("bytes", batch_bytes.max(0.0) as u64)
-        });
-        t
+        let rate = self.cost.sparse_flops_per_ns;
+        self.batched_wave_kernel_at(name, per_lane, stream, rate)
     }
 
     /// Batched factor-and-solve: one launch covering `systems.len()`

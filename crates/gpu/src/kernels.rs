@@ -1,0 +1,175 @@
+//! Typed lane payloads and canonical per-lane bodies of the executing
+//! kernel classes.
+//!
+//! A fused wave launch in the simulator takes pre-reduced `(flops, bytes)`
+//! pairs; the executing [`crate::Accelerator`] variants instead take these
+//! payload structs — the shared CSR matrix plus each lane's dense vectors —
+//! and run the per-lane body below once per lane. The bodies are plain
+//! sequential loops in the *exact* floating-point operation order the
+//! first-order wave engine used when it ran lane-by-lane on the host, which
+//! is what makes a lane's result bit-identical no matter which backend (or
+//! how many threads) executed the dispatch: parallelism only ever crosses
+//! lane boundaries, never reorders math within one.
+
+use gmip_linalg::CsrMatrix;
+
+/// Per-lane payload of the fused `fo.spmv_t` class: `aty = Aᵀ·y` over the
+/// shared CSR matrix.
+#[derive(Debug)]
+pub struct SpmvTLane<'a> {
+    /// The lane's dual iterate (length `m`).
+    pub y: &'a [f64],
+    /// Output: `Aᵀ y` (length `n`), fully overwritten.
+    pub aty: &'a mut [f64],
+}
+
+/// Canonical body of one `fo.spmv_t` lane.
+pub fn spmv_t_lane(csr: &CsrMatrix, lane: &mut SpmvTLane<'_>) {
+    csr.matvec_transposed_into(lane.y, lane.aty)
+        .expect("fo.spmv_t shape");
+}
+
+/// Per-lane payload of the fused `fo.axpy` class: the projected primal
+/// gradient step plus the over-relaxed point `x̂ = 2x⁺ − x`.
+#[derive(Debug)]
+pub struct AxpyLane<'a> {
+    /// Primal iterate (length `n`), updated in place.
+    pub x: &'a mut [f64],
+    /// Output: the over-relaxed point (length `n`), fully overwritten.
+    pub xhat: &'a mut [f64],
+    /// `Aᵀ y` from the preceding `fo.spmv_t` (length `n`).
+    pub aty: &'a [f64],
+    /// The lane's lower bounds (length `n`).
+    pub lb: &'a [f64],
+    /// The lane's upper bounds (length `n`).
+    pub ub: &'a [f64],
+    /// Primal step size `τ = η/ω`.
+    pub tau: f64,
+}
+
+/// Canonical body of one `fo.axpy` lane: for each variable, step along
+/// `−(c̃ + Aᵀy)`, clamp to the box, and emit the over-relaxed point using
+/// the *old* `x[j]`.
+pub fn axpy_lane(c_tilde: &[f64], lane: &mut AxpyLane<'_>) {
+    for j in 0..c_tilde.len() {
+        let step = lane.x[j] - lane.tau * (c_tilde[j] + lane.aty[j]);
+        let xj = step.max(lane.lb[j]).min(lane.ub[j]);
+        lane.xhat[j] = 2.0 * xj - lane.x[j];
+        lane.x[j] = xj;
+    }
+}
+
+/// Per-lane payload of the fused `fo.spmv` class: `ax = A·x̂`, the dual
+/// ascent step, and the running-average accumulators (the epilogue rides in
+/// the same class because it consumes `ax` in place).
+#[derive(Debug)]
+pub struct SpmvLane<'a> {
+    /// The over-relaxed primal point from `fo.axpy` (length `n`).
+    pub xhat: &'a [f64],
+    /// Output: `A x̂` (length `m`), fully overwritten.
+    pub ax: &'a mut [f64],
+    /// The updated primal iterate (length `n`), read by the averaging sum.
+    pub x: &'a [f64],
+    /// Dual iterate (length `m`), updated in place.
+    pub y: &'a mut [f64],
+    /// Running primal-average accumulator (length `n`).
+    pub x_sum: &'a mut [f64],
+    /// Running dual-average accumulator (length `m`).
+    pub y_sum: &'a mut [f64],
+    /// Dual step size `σ = η·ω`.
+    pub sigma: f64,
+}
+
+/// Canonical body of one `fo.spmv` lane: matvec, dual update against the
+/// rhs, then the two averaging sums — in that order.
+pub fn spmv_lane(csr: &CsrMatrix, b: &[f64], lane: &mut SpmvLane<'_>) {
+    csr.matvec_into(lane.xhat, lane.ax).expect("fo.spmv shape");
+    for i in 0..b.len() {
+        lane.y[i] += lane.sigma * (lane.ax[i] - b[i]);
+    }
+    for j in 0..lane.x.len() {
+        lane.x_sum[j] += lane.x[j];
+    }
+    for i in 0..b.len() {
+        lane.y_sum[i] += lane.y[i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmip_linalg::DenseMatrix;
+
+    fn small_csr() -> CsrMatrix {
+        let d = DenseMatrix::from_rows(&[vec![1.0, 2.0, 0.0], vec![0.0, -1.0, 3.0]]).unwrap();
+        CsrMatrix::from_dense(&d)
+    }
+
+    #[test]
+    fn spmv_t_matches_reference() {
+        let csr = small_csr();
+        let y = vec![2.0, -1.0];
+        let mut aty = vec![0.0; 3];
+        spmv_t_lane(
+            &csr,
+            &mut SpmvTLane {
+                y: &y,
+                aty: &mut aty,
+            },
+        );
+        assert_eq!(aty, csr.matvec_transposed(&y).unwrap());
+    }
+
+    #[test]
+    fn axpy_clamps_and_over_relaxes_with_old_x() {
+        let c_tilde = vec![1.0, -1.0];
+        let mut x = vec![0.5, 0.5];
+        let mut xhat = vec![0.0; 2];
+        let aty = vec![0.0, 0.0];
+        let (lb, ub) = (vec![0.0, 0.0], vec![1.0, 0.6]);
+        axpy_lane(
+            &c_tilde,
+            &mut AxpyLane {
+                x: &mut x,
+                xhat: &mut xhat,
+                aty: &aty,
+                lb: &lb,
+                ub: &ub,
+                tau: 1.0,
+            },
+        );
+        // Var 0 steps to -0.5, clamps to 0; var 1 steps to 1.5, clamps to
+        // 0.6; both over-relax against the pre-update x = 0.5.
+        assert_eq!(x, vec![0.0, 0.6]);
+        assert_eq!(xhat, vec![-0.5, 0.7]);
+    }
+
+    #[test]
+    fn spmv_runs_dual_update_then_sums() {
+        let csr = small_csr();
+        let b = vec![1.0, 1.0];
+        let xhat = vec![1.0, 1.0, 1.0];
+        let x = vec![0.25, 0.25, 0.25];
+        let mut ax = vec![0.0; 2];
+        let mut y = vec![0.0, 0.0];
+        let mut x_sum = vec![0.0; 3];
+        let mut y_sum = vec![0.0; 2];
+        spmv_lane(
+            &csr,
+            &b,
+            &mut SpmvLane {
+                xhat: &xhat,
+                ax: &mut ax,
+                x: &x,
+                y: &mut y,
+                x_sum: &mut x_sum,
+                y_sum: &mut y_sum,
+                sigma: 0.5,
+            },
+        );
+        assert_eq!(ax, vec![3.0, 2.0]);
+        assert_eq!(y, vec![1.0, 0.5]);
+        assert_eq!(x_sum, x);
+        assert_eq!(y_sum, y);
+    }
+}

@@ -26,18 +26,24 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod cost;
 pub mod device;
+pub mod kernels;
 pub mod memory;
 pub mod node;
 pub mod stats;
 pub mod stream;
 
+pub use backend::{
+    Accelerator, BackendKind, LaneBody, NativeAccelerator, SimAccelerator, WaveCharge,
+};
 pub use cost::CostModel;
 pub use device::{
     CholeskyHandle, DeviceConfig, EtaHandle, FactorHandle, GpuDevice, GpuError, MatrixHandle,
     RawHandle, SparseEtaHandle, SparseFactorHandle, SparseHandle, VectorHandle, DEFAULT_STREAM,
 };
+pub use kernels::{AxpyLane, SpmvLane, SpmvTLane};
 pub use memory::{DeviceMemory, OutOfMemory};
 pub use node::{Accel, AccelKind, ComputeNode};
 pub use stats::DeviceStats;

@@ -7,6 +7,7 @@
 //! orchestrator, the LP engine, the cut separator) the way a CUDA context
 //! is shared by host threads.
 
+use crate::backend::{Accelerator, BackendKind, NativeAccelerator, SimAccelerator};
 use crate::cost::CostModel;
 use crate::device::{DeviceConfig, GpuDevice};
 use crate::stats::DeviceStats;
@@ -16,11 +17,17 @@ use std::sync::Arc;
 /// A cloneable, shareable handle to a simulated device.
 ///
 /// All device methods are reachable through [`Accel::with`]; convenience
-/// accessors cover the common queries.
+/// accessors cover the common queries. Fused lane dispatches go through
+/// the handle's executing backend ([`Accel::exec`]), which defaults to the
+/// sequential cost-model simulator and can be swapped via
+/// [`Accel::with_backend`]. Either way the *simulated* charges land on the
+/// same shared device.
 #[derive(Debug, Clone)]
 pub struct Accel {
     inner: Arc<Mutex<GpuDevice>>,
     kind: AccelKind,
+    backend: BackendKind,
+    exec: Arc<dyn Accelerator>,
 }
 
 /// What kind of executor an [`Accel`] wraps — used by the solver's strategy
@@ -41,10 +48,44 @@ impl Accel {
         if kind == AccelKind::Cpu {
             device.set_trace_group(gmip_trace::TrackGroup::Host);
         }
+        let inner = Arc::new(Mutex::new(device));
         Self {
-            inner: Arc::new(Mutex::new(device)),
+            exec: Arc::new(SimAccelerator::new(Arc::clone(&inner))),
+            inner,
             kind,
+            backend: BackendKind::Sim,
         }
+    }
+
+    /// Swaps the executing backend (default [`BackendKind::Sim`]). The
+    /// simulated device — and therefore every traced ns — is shared
+    /// unchanged; only who runs the lane numerics differs.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.exec = match backend {
+            BackendKind::Sim => Arc::new(SimAccelerator::new(Arc::clone(&self.inner))),
+            BackendKind::Native { threads } => {
+                Arc::new(NativeAccelerator::new(Arc::clone(&self.inner), threads))
+            }
+        };
+        self.backend = backend;
+        self
+    }
+
+    /// The executing backend fused lane dispatches run on.
+    pub fn exec(&self) -> Arc<dyn Accelerator> {
+        Arc::clone(&self.exec)
+    }
+
+    /// The configured backend kind.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Snapshot of the executing backend's `wall.*` registry (real
+    /// wall-clock; empty under the simulator). Strictly outside the
+    /// byte-determinism surface.
+    pub fn wall_metrics(&self) -> gmip_trace::MetricsRegistry {
+        self.exec.wall()
     }
 
     /// Reassigns the trace track group (e.g. `TrackGroup::Gpu(i)` for the

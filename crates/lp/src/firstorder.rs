@@ -43,7 +43,10 @@
 use crate::problem::StandardLp;
 use crate::{LpError, LpResult};
 use gmip_gpu::cost::flops;
-use gmip_gpu::{Accel, RawHandle, SparseHandle, StreamId, DEFAULT_STREAM};
+use gmip_gpu::{
+    Accel, AxpyLane, RawHandle, SparseHandle, SpmvLane, SpmvTLane, StreamId, WaveCharge,
+    DEFAULT_STREAM,
+};
 use gmip_linalg::CsrMatrix;
 use gmip_trace::{names, MetricsRegistry};
 
@@ -139,6 +142,38 @@ struct FoLane {
     safe_bound: f64,
     outcome: Option<FoOutcome>,
     reported: bool,
+    /// Executing-kernel buffers (`Aᵀy`, the over-relaxed point `x̂`, and
+    /// `Ax̂`): host memory backing the lane's share of the fused
+    /// dispatches. Per-lane (not engine-shared) so backends may run lanes
+    /// concurrently; the modeled device footprint is unchanged
+    /// ([`FirstOrderWaveEngine::per_lane_bytes`] already charges these
+    /// vectors as lane state).
+    aty: Vec<f64>,
+    xhat: Vec<f64>,
+    ax: Vec<f64>,
+}
+
+/// KKT quantities a `fo.norm` check body computes for one lane; consumed
+/// sequentially by the retire/restart decision at the superstep boundary.
+#[derive(Debug, Default)]
+struct CheckOut {
+    x_avg: Vec<f64>,
+    y_avg: Vec<f64>,
+    primal_res: f64,
+    obj: f64,
+    bound: f64,
+}
+
+/// Borrowed lane state a `fo.norm` check body works on.
+struct CheckCell<'a> {
+    slot: usize,
+    inv: f64,
+    lb: &'a [f64],
+    ub: &'a [f64],
+    x_sum: &'a [f64],
+    y_sum: &'a [f64],
+    ax: &'a mut [f64],
+    out: CheckOut,
 }
 
 /// Activity-based implied-bound tightening over the equality rows.
@@ -302,10 +337,6 @@ pub struct FirstOrderWaveEngine {
     cfg: PdhgConfig,
     lanes: Vec<Option<FoLane>>,
     lane_state: Vec<RawHandle>,
-    /// Scratch: `Aᵀy` / `x̂` (length n) and `Ax̂` (length m).
-    scratch_n: Vec<f64>,
-    scratch_n2: Vec<f64>,
-    scratch_m: Vec<f64>,
     metrics: MetricsRegistry,
 }
 
@@ -352,9 +383,6 @@ impl FirstOrderWaveEngine {
             cfg,
             lanes: (0..width).map(|_| None).collect(),
             lane_state,
-            scratch_n: vec![0.0; n],
-            scratch_n2: vec![0.0; n],
-            scratch_m: vec![0.0; m],
             csr,
             metrics,
         })
@@ -498,7 +526,7 @@ impl FirstOrderWaveEngine {
             x[j] = x[j].max(lb[j]).min(ub[j]);
         }
         let stream = self.stream;
-        self.accel.with(|d| d.charge_transfer(h2d, true, stream));
+        self.accel.exec().transfer(h2d, true, stream);
 
         // Activity-bound infeasibility check: a row whose minimal (or
         // maximal) activity over the box already misses `b` can never be
@@ -532,6 +560,9 @@ impl FirstOrderWaveEngine {
             safe_bound: f64::INFINITY,
             outcome: infeasible.then_some(FoOutcome::Infeasible),
             reported: false,
+            aty: vec![0.0; n],
+            xhat: vec![0.0; n],
+            ax: vec![0.0; m],
             x,
             y,
         };
@@ -561,11 +592,12 @@ impl FirstOrderWaveEngine {
         let busy: Vec<usize> = (0..self.lanes.len())
             .filter(|&s| self.lane_busy(s))
             .collect();
+        let exec = self.accel.exec();
+        let stream = self.stream;
         if busy.is_empty() {
             if !retired.is_empty() {
                 self.metrics.incr(names::FO_RETIRES, retired.len() as f64);
-                let stream = self.stream;
-                let _ = self.accel.with(|d| d.record_event(stream));
+                exec.record_event(stream);
             }
             return retired;
         }
@@ -575,42 +607,13 @@ impl FirstOrderWaveEngine {
         let (m, n) = (self.m(), self.n());
         let nnz = self.csr.nnz();
 
-        let mut checking = 0usize;
-        for &slot in &busy {
-            let lane = self.lanes[slot].as_mut().expect("busy slot occupied");
-            let tau = self.eta / lane.omega;
-            let sigma = self.eta * lane.omega;
-            self.csr
-                .matvec_transposed_into(&lane.y, &mut self.scratch_n)
-                .expect("lane shapes fixed at load");
-            for j in 0..n {
-                let step = lane.x[j] - tau * (self.c_tilde[j] + self.scratch_n[j]);
-                let xj = step.max(lane.lb[j]).min(lane.ub[j]);
-                self.scratch_n2[j] = 2.0 * xj - lane.x[j];
-                lane.x[j] = xj;
-            }
-            self.csr
-                .matvec_into(&self.scratch_n2, &mut self.scratch_m)
-                .expect("lane shapes fixed at load");
-            for i in 0..m {
-                lane.y[i] += sigma * (self.scratch_m[i] - self.b[i]);
-            }
-            for j in 0..n {
-                lane.x_sum[j] += lane.x[j];
-            }
-            for i in 0..m {
-                lane.y_sum[i] += lane.y[i];
-            }
-            lane.sum_count += 1;
-            lane.iters += 1;
-            if lane.iters.is_multiple_of(self.cfg.check_every) || lane.iters >= self.cfg.max_iters {
-                checking += 1;
-            }
-        }
-
         // The fused launches of this superstep: every busy lane is on the
         // identical kernel class — perfect lockstep, three launches, plus
-        // one `fo.norm` reduction for the lanes on a check boundary.
+        // one `fo.norm` reduction for the lanes on a check boundary. Each
+        // class is one executing dispatch through the backend, which also
+        // applies the simulated charge; within a lane the operation order
+        // is fixed by the `gmip_gpu::kernels` bodies, so outcomes are
+        // backend- and thread-count-independent.
         let spmv: Vec<(f64, f64)> = busy
             .iter()
             .map(|_| (flops::spmv(nnz), (16 * nnz + 8 * (m + n)) as f64))
@@ -619,25 +622,157 @@ impl FirstOrderWaveEngine {
             .iter()
             .map(|_| ((6 * n + 4 * m) as f64, (8 * (4 * n + 3 * m)) as f64))
             .collect();
+
+        let eta = self.eta;
+        {
+            let mut lanes: Vec<SpmvTLane<'_>> = self
+                .lanes
+                .iter_mut()
+                .filter_map(|o| o.as_mut())
+                .filter(|l| l.outcome.is_none())
+                .map(|l| SpmvTLane {
+                    y: &l.y,
+                    aty: &mut l.aty,
+                })
+                .collect();
+            exec.fo_spmv_t(&self.csr, &mut lanes, &spmv, stream);
+        }
+        {
+            let c_tilde = &self.c_tilde;
+            let mut lanes: Vec<AxpyLane<'_>> = self
+                .lanes
+                .iter_mut()
+                .filter_map(|o| o.as_mut())
+                .filter(|l| l.outcome.is_none())
+                .map(|l| AxpyLane {
+                    tau: eta / l.omega,
+                    x: &mut l.x,
+                    xhat: &mut l.xhat,
+                    aty: &l.aty,
+                    lb: &l.lb,
+                    ub: &l.ub,
+                })
+                .collect();
+            exec.fo_axpy(c_tilde, &mut lanes, &axpy, stream);
+        }
+        {
+            let mut lanes: Vec<SpmvLane<'_>> = self
+                .lanes
+                .iter_mut()
+                .filter_map(|o| o.as_mut())
+                .filter(|l| l.outcome.is_none())
+                .map(|l| SpmvLane {
+                    sigma: eta * l.omega,
+                    xhat: &l.xhat,
+                    ax: &mut l.ax,
+                    x: &l.x,
+                    y: &mut l.y,
+                    x_sum: &mut l.x_sum,
+                    y_sum: &mut l.y_sum,
+                })
+                .collect();
+            exec.fo_spmv(&self.csr, &self.b, &mut lanes, &spmv, stream);
+        }
+
+        // Host bookkeeping at the iteration boundary.
+        let (check_every, max_iters) = (self.cfg.check_every, self.cfg.max_iters);
+        let mut checking = 0usize;
+        for &slot in &busy {
+            let lane = self.lanes[slot].as_mut().expect("busy slot occupied");
+            lane.sum_count += 1;
+            lane.iters += 1;
+            if lane.iters.is_multiple_of(check_every) || lane.iters >= max_iters {
+                checking += 1;
+            }
+        }
         let norm: Vec<(f64, f64)> = (0..checking)
             .map(|_| ((4 * (n + m)) as f64, (8 * (n + m)) as f64))
             .collect();
-        let stream = self.stream;
-        self.accel.with(|d| {
-            d.batched_wave_kernel_sparse("fo.spmv_t", &spmv, stream);
-            d.batched_wave_kernel("fo.axpy", &axpy, stream);
-            d.batched_wave_kernel_sparse("fo.spmv", &spmv, stream);
-            if !norm.is_empty() {
-                d.batched_wave_kernel("fo.norm", &norm, stream);
-            }
-        });
         self.metrics.incr(
             names::FO_FUSED_LAUNCHES,
             if norm.is_empty() { 3.0 } else { 4.0 },
         );
 
-        for &slot in &busy {
-            if let Some(outcome) = self.check_lane(slot) {
+        // `fo.norm` phase: KKT evaluation of the running average for the
+        // checking lanes, one executing dispatch; retire/restart decisions
+        // are applied sequentially afterwards (they mutate shared engine
+        // state and must stay in ascending slot order).
+        let mut checks: Vec<(usize, f64, CheckOut)> = Vec::with_capacity(checking);
+        if checking > 0 {
+            let csr = &self.csr;
+            let b = &self.b;
+            let c = &self.c;
+            let slack_rows = &self.slack_rows;
+            let mut cells: Vec<CheckCell<'_>> = self
+                .lanes
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(slot, o)| o.as_mut().map(|l| (slot, l)))
+                .filter(|(_, l)| l.outcome.is_none())
+                .filter(|(_, l)| l.iters.is_multiple_of(check_every) || l.iters >= max_iters)
+                .map(|(slot, l)| CheckCell {
+                    slot,
+                    inv: 1.0 / l.sum_count.max(1) as f64,
+                    lb: &l.lb,
+                    ub: &l.ub,
+                    x_sum: &l.x_sum,
+                    y_sum: &l.y_sum,
+                    ax: &mut l.ax,
+                    out: CheckOut::default(),
+                })
+                .collect();
+            let mut closures: Vec<_> = cells
+                .iter_mut()
+                .map(|cell| {
+                    move || {
+                        let x_avg: Vec<f64> = cell.x_sum.iter().map(|&v| v * cell.inv).collect();
+                        let y_avg: Vec<f64> = cell.y_sum.iter().map(|&v| v * cell.inv).collect();
+                        csr.matvec_into(&x_avg, cell.ax)
+                            .expect("lane shapes fixed at load");
+                        let primal_res = cell
+                            .ax
+                            .iter()
+                            .zip(b)
+                            .map(|(&axi, &bi)| (axi - bi) * (axi - bi))
+                            .sum::<f64>()
+                            .sqrt();
+                        let obj: f64 = c.iter().zip(&x_avg).map(|(&cj, &xj)| cj * xj).sum();
+                        let bound =
+                            safe_dual_bound(csr, b, c, cell.lb, cell.ub, slack_rows, &y_avg);
+                        cell.out = CheckOut {
+                            x_avg,
+                            y_avg,
+                            primal_res,
+                            obj,
+                            bound,
+                        };
+                    }
+                })
+                .collect();
+            let mut bodies: Vec<gmip_gpu::LaneBody<'_>> = closures
+                .iter_mut()
+                .map(|c| c as &mut (dyn FnMut() + Send))
+                .collect();
+            exec.fused_dispatch(
+                "fo.norm",
+                &mut bodies,
+                &[WaveCharge {
+                    name: "fo.norm",
+                    per_lane: &norm,
+                    sparse: false,
+                }],
+                stream,
+            );
+            drop(bodies);
+            drop(closures);
+            checks = cells
+                .into_iter()
+                .map(|cell| (cell.slot, cell.inv, cell.out))
+                .collect();
+        }
+
+        for (slot, inv, chk) in checks {
+            if let Some(outcome) = self.decide_lane(slot, inv, &chk) {
                 let lane = self.lanes[slot].as_mut().expect("busy slot occupied");
                 lane.outcome = Some(outcome);
                 lane.reported = true;
@@ -655,75 +790,43 @@ impl FirstOrderWaveEngine {
             self.metrics.incr(names::FO_RETIRES, retired.len() as f64);
         }
         // Retire boundaries are stream events, not device barriers.
-        let _ = self.accel.with(|d| d.record_event(stream));
+        exec.record_event(stream);
         retired
     }
 
-    /// KKT check at the running average; decides retire/restart. Returns
-    /// the outcome if the lane retires at this boundary.
-    fn check_lane(&mut self, slot: usize) -> Option<FoOutcome> {
+    /// Retire/restart decision for one checking lane, fed by the KKT
+    /// quantities its `fo.norm` body computed. Returns the outcome if the
+    /// lane retires at this boundary.
+    fn decide_lane(&mut self, slot: usize, inv: f64, chk: &CheckOut) -> Option<FoOutcome> {
         let (m, n) = (self.m(), self.n());
+        let cutoff = self.cutoff;
         let lane = self.lanes[slot].as_mut().expect("busy slot occupied");
         let at_cap = lane.iters >= self.cfg.max_iters;
-        if !lane.iters.is_multiple_of(self.cfg.check_every) && !at_cap {
-            return None;
-        }
-        let inv = 1.0 / lane.sum_count.max(1) as f64;
-        for j in 0..n {
-            self.scratch_n2[j] = lane.x_sum[j] * inv;
-        }
-        let y_avg: Vec<f64> = lane.y_sum.iter().map(|&v| v * inv).collect();
-
-        self.csr
-            .matvec_into(&self.scratch_n2[..n], &mut self.scratch_m)
-            .expect("lane shapes fixed at load");
-        let primal_res = self
-            .scratch_m
-            .iter()
-            .zip(&self.b)
-            .map(|(&ax, &bi)| (ax - bi) * (ax - bi))
-            .sum::<f64>()
-            .sqrt();
-        let obj: f64 = self
-            .c
-            .iter()
-            .zip(self.scratch_n2.iter())
-            .map(|(&cj, &xj)| cj * xj)
-            .sum();
-        let bound = safe_dual_bound(
-            &self.csr,
-            &self.b,
-            &self.c,
-            &lane.lb,
-            &lane.ub,
-            &self.slack_rows,
-            &y_avg,
-        );
-        lane.safe_bound = lane.safe_bound.min(bound);
+        lane.safe_bound = lane.safe_bound.min(chk.bound);
 
         // Early safe-bound prune: the wave's structural advantage — the
         // lane states a valid bound after a handful of iterations and
         // retires the moment the incumbent dominates it.
-        if lane.safe_bound <= self.cutoff {
-            self.adopt_average(slot, inv, &y_avg);
+        if lane.safe_bound <= cutoff {
+            self.adopt_average(slot, inv, &chk.y_avg);
             return Some(FoOutcome::BoundPruned);
         }
 
-        let gap = (bound - obj).max(0.0);
-        let converged = primal_res <= self.cfg.tol * (1.0 + self.b_norm)
-            && bound.is_finite()
-            && gap <= self.cfg.tol * (1.0 + obj.abs());
+        let gap = (chk.bound - chk.obj).max(0.0);
+        let converged = chk.primal_res <= self.cfg.tol * (1.0 + self.b_norm)
+            && chk.bound.is_finite()
+            && gap <= self.cfg.tol * (1.0 + chk.obj.abs());
         if converged {
-            self.adopt_average(slot, inv, &y_avg);
+            self.adopt_average(slot, inv, &chk.y_avg);
             return Some(FoOutcome::Converged);
         }
         if at_cap {
-            self.adopt_average(slot, inv, &y_avg);
+            self.adopt_average(slot, inv, &chk.y_avg);
             return Some(FoOutcome::IterLimit);
         }
 
-        let merit = if bound.is_finite() {
-            primal_res.hypot(gap)
+        let merit = if chk.bound.is_finite() {
+            chk.primal_res.hypot(gap)
         } else {
             f64::INFINITY
         };
@@ -738,19 +841,19 @@ impl FirstOrderWaveEngine {
             let mut dx = 0.0;
             let mut dy = 0.0;
             for j in 0..n {
-                let d = self.scratch_n2[j] - lane.x_restart[j];
+                let d = chk.x_avg[j] - lane.x_restart[j];
                 dx += d * d;
             }
             for i in 0..m {
-                let d = y_avg[i] - lane.y_restart[i];
+                let d = chk.y_avg[i] - lane.y_restart[i];
                 dy += d * d;
             }
             let (dx, dy) = (dx.sqrt(), dy.sqrt());
             if dx > 1e-12 && dy > 1e-12 {
                 lane.omega = (lane.omega * dy / dx).sqrt().clamp(1e-4, 1e4);
             }
-            lane.x.copy_from_slice(&self.scratch_n2[..n]);
-            lane.y.copy_from_slice(&y_avg);
+            lane.x.copy_from_slice(&chk.x_avg[..n]);
+            lane.y.copy_from_slice(&chk.y_avg);
             lane.x_restart.copy_from_slice(&lane.x);
             lane.y_restart.copy_from_slice(&lane.y);
             for v in lane.x_sum.iter_mut() {
@@ -805,7 +908,7 @@ impl FirstOrderWaveEngine {
             .ok_or_else(|| LpError::Shape(format!("take_lane on busy slot {slot}")))?;
         let bytes = 8 * (lane.x.len() + lane.y.len());
         let stream = self.stream;
-        self.accel.with(|d| d.charge_transfer(bytes, false, stream));
+        self.accel.exec().transfer(bytes, false, stream);
         Ok(FoLaneReport {
             token: lane.token,
             outcome,

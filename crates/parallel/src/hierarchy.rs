@@ -369,6 +369,7 @@ impl HierSupervisor {
                     cfg.int_tol,
                     cfg.batched_lanes,
                     cfg.first_order_lanes,
+                    cfg.backend,
                 )?
                 .with_propagation(cfg.propagate, cfg.heuristic_period),
             );
@@ -882,6 +883,7 @@ impl HierSupervisor {
             self.cfg.int_tol,
             self.cfg.batched_lanes,
             self.cfg.first_order_lanes,
+            self.cfg.backend,
         )?
         .with_propagation(self.cfg.propagate, self.cfg.heuristic_period);
         fresh.busy_until = self.now;

@@ -99,6 +99,10 @@ pub struct ParallelConfig {
     /// node report and enter the supervisor's incumbent-broadcast path
     /// (0 = off).
     pub heuristic_period: usize,
+    /// Which executing backend every rank's fused lane dispatches run on.
+    /// Simulated charges — and therefore the whole deterministic ledger —
+    /// are identical across backends.
+    pub backend: gmip_gpu::BackendKind,
 }
 
 impl Default for ParallelConfig {
@@ -123,6 +127,7 @@ impl Default for ParallelConfig {
             root_basis: None,
             propagate: false,
             heuristic_period: 0,
+            backend: gmip_gpu::BackendKind::Sim,
         }
     }
 }
@@ -320,6 +325,7 @@ impl Supervisor {
                     cfg.int_tol,
                     cfg.batched_lanes,
                     cfg.first_order_lanes,
+                    cfg.backend,
                 )?
                 .with_propagation(cfg.propagate, cfg.heuristic_period),
             );
@@ -771,6 +777,7 @@ impl Supervisor {
             self.cfg.int_tol,
             self.cfg.batched_lanes,
             self.cfg.first_order_lanes,
+            self.cfg.backend,
         )?
         .with_propagation(self.cfg.propagate, self.cfg.heuristic_period);
         fresh.busy_until = self.now;

@@ -51,9 +51,18 @@ fn spawn_worker(
     let lanes = cfg.batched_lanes;
     let fo_lanes = cfg.first_order_lanes;
     let (propagate, heur_period) = (cfg.propagate, cfg.heuristic_period);
+    let exec_backend = cfg.backend;
     let handle = std::thread::spawn(move || {
         let mut worker = match Worker::new_with_backend(
-            id, &inst, gpu_cost, gpu_mem, lp_cfg, int_tol, lanes, fo_lanes,
+            id,
+            &inst,
+            gpu_cost,
+            gpu_mem,
+            lp_cfg,
+            int_tol,
+            lanes,
+            fo_lanes,
+            exec_backend,
         ) {
             Ok(w) => w.with_propagation(propagate, heur_period),
             Err(e) => {

@@ -114,12 +114,15 @@ impl Worker {
             int_tol,
             batched_lanes,
             None,
+            gmip_gpu::BackendKind::Sim,
         )
     }
 
     /// Like [`Worker::new_with_lanes`], but `first_order_lanes: Some(n)`
     /// switches this rank to the restarted-PDHG evaluator with up to `n`
-    /// lane reservations. Takes precedence over `batched_lanes`.
+    /// lane reservations (takes precedence over `batched_lanes`), and
+    /// `exec_backend` selects who executes the rank's fused lane
+    /// dispatches (simulated charges are identical either way).
     #[allow(clippy::too_many_arguments)]
     pub fn new_with_backend(
         id: usize,
@@ -130,6 +133,7 @@ impl Worker {
         int_tol: f64,
         batched_lanes: Option<usize>,
         first_order_lanes: Option<usize>,
+        exec_backend: gmip_gpu::BackendKind,
     ) -> LpResult<Self> {
         // Each rank's device gets its own trace track group, so a Perfetto
         // view shows one GPU timeline per worker.
@@ -138,7 +142,8 @@ impl Worker {
             mem_capacity: gpu_mem,
             streams: 1,
         })
-        .with_trace_group(gmip_trace::TrackGroup::Gpu(id as u16));
+        .with_trace_group(gmip_trace::TrackGroup::Gpu(id as u16))
+        .with_backend(exec_backend);
         let std = StandardLp::from_instance(instance, &[]);
         if let Some(lanes) = first_order_lanes {
             let csr_bytes = gmip_linalg::CsrMatrix::from_dense(&std.a).size_bytes();
@@ -365,9 +370,12 @@ impl Worker {
         let mut tightened: Option<Assignment> = None;
         if self.propagate {
             let p = self.propagator.as_ref().expect("propagator built");
-            let (mut lb, mut ub) = p.node_box(&a.bounds);
-            let out = p.propagate(&mut lb, &mut ub, self.prop_rounds);
-            gmip_prop::charge_wave(&self.accel, p.nnz(), p.num_vars(), &[out.rounds]);
+            // A one-lane wave through the rank's executing backend — the
+            // charges are identical to the host propagate + charge_wave
+            // pair this replaced.
+            let mut boxes = vec![p.node_box(&a.bounds)];
+            let out = p.propagate_wave(&self.accel, &mut boxes, self.prop_rounds)[0];
+            let (lb, ub) = boxes.pop().expect("one lane in, one box out");
             self.prop_metrics.incr(names::PROP_NODES, 1.0);
             self.prop_metrics
                 .incr(names::PROP_ROUNDS, out.rounds as f64);
@@ -450,7 +458,15 @@ impl Worker {
         {
             let p = self.propagator.as_ref().expect("propagator built");
             let (lb, ub) = p.node_box(&a.bounds);
-            let out = p.fix_and_propagate(&sol.x, &lb, &ub, self.int_tol, self.prop_rounds);
+            let seeds = [gmip_prop::DiveSeed {
+                x0: &sol.x,
+                lb0: &lb,
+                ub0: &ub,
+            }];
+            let out = p
+                .dive_wave(&self.accel, &seeds, self.int_tol, self.prop_rounds)
+                .pop()
+                .expect("one seed in, one dive out");
             gmip_prop::charge_wave(&self.accel, p.nnz(), p.num_vars(), &[out.rounds.max(1)]);
             self.prop_metrics.incr(names::HEUR_ATTEMPTS, 1.0);
             self.prop_metrics
@@ -677,6 +693,7 @@ mod tests {
                 1e-6,
                 None,
                 Some(2),
+                gmip_gpu::BackendKind::Sim,
             )
             .unwrap()
         };

@@ -36,7 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use gmip_gpu::{Accel, DEFAULT_STREAM};
+use gmip_gpu::{Accel, LaneBody, DEFAULT_STREAM};
 use gmip_lp::BoundChange;
 use gmip_problems::{MipInstance, Sense};
 use gmip_trace::names;
@@ -88,6 +88,38 @@ pub struct FixPropOutcome {
     /// a contradiction) or the final point failed the exact feasibility
     /// re-check.
     pub aborted: bool,
+}
+
+/// What one [`Propagator::propagate_round`] sweep concluded for a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundStep {
+    /// The sweep hit a contradiction; the lane's box is infeasible.
+    Infeasible,
+    /// A zero-tightening sweep: the lane reached its fixpoint.
+    Fixpoint,
+    /// At least one bound moved; the lane stays in the next round.
+    Tightened,
+}
+
+/// Per-lane mutable state of one lockstep wave round.
+#[derive(Debug)]
+struct RoundCell<'a> {
+    idx: usize,
+    bx: &'a mut (Vec<f64>, Vec<f64>),
+    out: &'a mut PropOutcome,
+    step: RoundStep,
+}
+
+/// One lane's starting point for a [`Propagator::dive_wave`] dispatch.
+#[derive(Debug, Clone, Copy)]
+pub struct DiveSeed<'a> {
+    /// The fractional point to round from (typically the node LP relaxation
+    /// solution).
+    pub x0: &'a [f64],
+    /// The lane's lower bounds.
+    pub lb0: &'a [f64],
+    /// The lane's upper bounds.
+    pub ub0: &'a [f64],
 }
 
 /// Activity-based bound propagation over an instance's rows, reusable
@@ -158,110 +190,18 @@ impl Propagator {
     pub fn propagate(&self, lb: &mut [f64], ub: &mut [f64], max_rounds: usize) -> PropOutcome {
         let mut rounds = 0usize;
         let mut tightenings = 0usize;
-        'rounds: for _ in 0..max_rounds {
+        for _ in 0..max_rounds {
             rounds += 1;
-            let mut changed = false;
-            for con in &self.instance.cons {
-                let (min_act, max_act) = activity(&con.coeffs, lb, ub);
-                match con.sense {
-                    Sense::Le => {
-                        if min_act > con.rhs + TOL {
-                            return PropOutcome {
-                                infeasible: true,
-                                rounds,
-                                tightenings,
-                            };
-                        }
-                    }
-                    Sense::Ge => {
-                        if max_act < con.rhs - TOL {
-                            return PropOutcome {
-                                infeasible: true,
-                                rounds,
-                                tightenings,
-                            };
-                        }
-                    }
-                    Sense::Eq => {
-                        if min_act > con.rhs + TOL || max_act < con.rhs - TOL {
-                            return PropOutcome {
-                                infeasible: true,
-                                rounds,
-                                tightenings,
-                            };
-                        }
+            match self.propagate_round(lb, ub, &mut tightenings) {
+                RoundStep::Infeasible => {
+                    return PropOutcome {
+                        infeasible: true,
+                        rounds,
+                        tightenings,
                     }
                 }
-                // Residual-activity tightening. For ≤ rows (and the ≤ side
-                // of =): a_j > 0 caps x_j from above, a_j < 0 from below;
-                // for ≥ rows, symmetric with the max activity.
-                let le_side = con.sense != Sense::Ge;
-                let ge_side = con.sense != Sense::Le;
-                for &(j, a) in &con.coeffs {
-                    if a.abs() < TOL {
-                        continue;
-                    }
-                    if le_side && min_act.is_finite() {
-                        if a > 0.0 {
-                            let rest = min_act - a * lb[j];
-                            let mut cand = (con.rhs - rest) / a;
-                            if self.integral[j] {
-                                cand = (cand + TOL).floor();
-                            }
-                            if cand < ub[j] - TOL {
-                                ub[j] = cand;
-                                tightenings += 1;
-                                changed = true;
-                            }
-                        } else {
-                            let rest = min_act - a * ub[j];
-                            let mut cand = (con.rhs - rest) / a;
-                            if self.integral[j] {
-                                cand = (cand - TOL).ceil();
-                            }
-                            if cand > lb[j] + TOL {
-                                lb[j] = cand;
-                                tightenings += 1;
-                                changed = true;
-                            }
-                        }
-                    }
-                    if ge_side && max_act.is_finite() {
-                        if a > 0.0 {
-                            let rest = max_act - a * ub[j];
-                            let mut cand = (con.rhs - rest) / a;
-                            if self.integral[j] {
-                                cand = (cand - TOL).ceil();
-                            }
-                            if cand > lb[j] + TOL {
-                                lb[j] = cand;
-                                tightenings += 1;
-                                changed = true;
-                            }
-                        } else {
-                            let rest = max_act - a * lb[j];
-                            let mut cand = (con.rhs - rest) / a;
-                            if self.integral[j] {
-                                cand = (cand + TOL).floor();
-                            }
-                            if cand < ub[j] - TOL {
-                                ub[j] = cand;
-                                tightenings += 1;
-                                changed = true;
-                            }
-                        }
-                    }
-                    if lb[j] > ub[j] + 1e-7 {
-                        return PropOutcome {
-                            infeasible: true,
-                            rounds,
-                            tightenings,
-                        };
-                    }
-                }
-            }
-            if !changed {
-                break 'rounds;
+                RoundStep::Fixpoint => break,
+                RoundStep::Tightened => {}
             }
         }
         PropOutcome {
@@ -269,6 +209,236 @@ impl Propagator {
             rounds,
             tightenings,
         }
+    }
+
+    /// One full activity/tighten sweep over every constraint — the unit a
+    /// lockstep wave round dispatches per lane. Tightened bounds feed the
+    /// activities of later rows *within* the sweep (that interleaving is
+    /// part of the deterministic reference semantics, which is why the
+    /// wave parallelizes across lanes per round, never across the kernel
+    /// phases inside one lane's round). Returns early on a contradiction,
+    /// keeping the partial tightenings applied.
+    fn propagate_round(
+        &self,
+        lb: &mut [f64],
+        ub: &mut [f64],
+        tightenings: &mut usize,
+    ) -> RoundStep {
+        let mut changed = false;
+        for con in &self.instance.cons {
+            let (min_act, max_act) = activity(&con.coeffs, lb, ub);
+            match con.sense {
+                Sense::Le => {
+                    if min_act > con.rhs + TOL {
+                        return RoundStep::Infeasible;
+                    }
+                }
+                Sense::Ge => {
+                    if max_act < con.rhs - TOL {
+                        return RoundStep::Infeasible;
+                    }
+                }
+                Sense::Eq => {
+                    if min_act > con.rhs + TOL || max_act < con.rhs - TOL {
+                        return RoundStep::Infeasible;
+                    }
+                }
+            }
+            // Residual-activity tightening. For ≤ rows (and the ≤ side
+            // of =): a_j > 0 caps x_j from above, a_j < 0 from below;
+            // for ≥ rows, symmetric with the max activity.
+            let le_side = con.sense != Sense::Ge;
+            let ge_side = con.sense != Sense::Le;
+            for &(j, a) in &con.coeffs {
+                if a.abs() < TOL {
+                    continue;
+                }
+                if le_side && min_act.is_finite() {
+                    if a > 0.0 {
+                        let rest = min_act - a * lb[j];
+                        let mut cand = (con.rhs - rest) / a;
+                        if self.integral[j] {
+                            cand = (cand + TOL).floor();
+                        }
+                        if cand < ub[j] - TOL {
+                            ub[j] = cand;
+                            *tightenings += 1;
+                            changed = true;
+                        }
+                    } else {
+                        let rest = min_act - a * ub[j];
+                        let mut cand = (con.rhs - rest) / a;
+                        if self.integral[j] {
+                            cand = (cand - TOL).ceil();
+                        }
+                        if cand > lb[j] + TOL {
+                            lb[j] = cand;
+                            *tightenings += 1;
+                            changed = true;
+                        }
+                    }
+                }
+                if ge_side && max_act.is_finite() {
+                    if a > 0.0 {
+                        let rest = max_act - a * ub[j];
+                        let mut cand = (con.rhs - rest) / a;
+                        if self.integral[j] {
+                            cand = (cand - TOL).ceil();
+                        }
+                        if cand > lb[j] + TOL {
+                            lb[j] = cand;
+                            *tightenings += 1;
+                            changed = true;
+                        }
+                    } else {
+                        let rest = max_act - a * lb[j];
+                        let mut cand = (con.rhs - rest) / a;
+                        if self.integral[j] {
+                            cand = (cand + TOL).floor();
+                        }
+                        if cand < ub[j] - TOL {
+                            ub[j] = cand;
+                            *tightenings += 1;
+                            changed = true;
+                        }
+                    }
+                }
+                if lb[j] > ub[j] + 1e-7 {
+                    return RoundStep::Infeasible;
+                }
+            }
+        }
+        if changed {
+            RoundStep::Tightened
+        } else {
+            RoundStep::Fixpoint
+        }
+    }
+
+    /// Lockstep propagation of a whole wave of boxes through the
+    /// accelerator's **executing** backend: per round, one fused dispatch
+    /// runs [`Self::propagate_round`] for every still-iterating lane
+    /// (lanes drop out as their fixpoints or contradictions land), then
+    /// [`charge_wave`] charges the matching `prop.activity` /
+    /// `prop.tighten` / `prop.reduce` kernel trios — exactly the charges
+    /// the per-lane [`Self::propagate`]-then-[`charge_wave`] pattern
+    /// produced, with bit-identical boxes and outcomes.
+    pub fn propagate_wave(
+        &self,
+        accel: &Accel,
+        boxes: &mut [(Vec<f64>, Vec<f64>)],
+        max_rounds: usize,
+    ) -> Vec<PropOutcome> {
+        let width = boxes.len();
+        let mut outs = vec![
+            PropOutcome {
+                infeasible: false,
+                rounds: 0,
+                tightenings: 0,
+            };
+            width
+        ];
+        if width == 0 || max_rounds == 0 {
+            return outs;
+        }
+        let exec = accel.exec();
+        let mut done = vec![false; width];
+        for _ in 0..max_rounds {
+            let mut cells: Vec<RoundCell<'_>> = boxes
+                .iter_mut()
+                .zip(outs.iter_mut())
+                .enumerate()
+                .filter(|(i, _)| !done[*i])
+                .map(|(i, (bx, out))| RoundCell {
+                    idx: i,
+                    bx,
+                    out,
+                    step: RoundStep::Fixpoint,
+                })
+                .collect();
+            if cells.is_empty() {
+                break;
+            }
+            let mut closures: Vec<_> = cells
+                .iter_mut()
+                .map(|cell| {
+                    move || {
+                        cell.out.rounds += 1;
+                        cell.step = self.propagate_round(
+                            &mut cell.bx.0,
+                            &mut cell.bx.1,
+                            &mut cell.out.tightenings,
+                        );
+                    }
+                })
+                .collect();
+            let mut bodies: Vec<LaneBody<'_>> = closures
+                .iter_mut()
+                .map(|c| c as &mut (dyn FnMut() + Send))
+                .collect();
+            // Execution only — the simulated trios are charged once below
+            // through `charge_wave`, the single pinned charging path.
+            exec.fused_dispatch("prop.round", &mut bodies, &[], DEFAULT_STREAM);
+            drop(bodies);
+            drop(closures);
+            for cell in &mut cells {
+                match cell.step {
+                    RoundStep::Infeasible => {
+                        cell.out.infeasible = true;
+                        done[cell.idx] = true;
+                    }
+                    RoundStep::Fixpoint => done[cell.idx] = true,
+                    RoundStep::Tightened => {}
+                }
+            }
+        }
+        let rounds: Vec<usize> = outs.iter().map(|o| o.rounds).collect();
+        charge_wave(accel, self.nnz, self.num_vars(), &rounds);
+        outs
+    }
+
+    /// Lane-parallel fix-and-propagate dives through the accelerator's
+    /// executing backend: one fused `heur.dive` dispatch runs
+    /// [`Self::fix_and_propagate`] per seed. Dives are charge-free here —
+    /// callers keep charging [`charge_wave`] with the returned rounds, as
+    /// they did around the sequential loop.
+    pub fn dive_wave(
+        &self,
+        accel: &Accel,
+        seeds: &[DiveSeed<'_>],
+        int_tol: f64,
+        max_rounds: usize,
+    ) -> Vec<FixPropOutcome> {
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        let exec = accel.exec();
+        let mut outs: Vec<FixPropOutcome> = seeds
+            .iter()
+            .map(|_| FixPropOutcome {
+                candidate: None,
+                rounds: 0,
+                repairs: 0,
+                aborted: false,
+            })
+            .collect();
+        let mut closures: Vec<_> = seeds
+            .iter()
+            .zip(outs.iter_mut())
+            .map(|(s, out)| {
+                move || {
+                    *out = self.fix_and_propagate(s.x0, s.lb0, s.ub0, int_tol, max_rounds);
+                }
+            })
+            .collect();
+        let mut bodies: Vec<LaneBody<'_>> = closures
+            .iter_mut()
+            .map(|c| c as &mut (dyn FnMut() + Send))
+            .collect();
+        exec.fused_dispatch("heur.dive", &mut bodies, &[], DEFAULT_STREAM);
+        drop(bodies);
+        drop(closures);
+        outs
     }
 
     /// Fix-and-propagate dive from LP point `x0` inside box `lb0`/`ub0`:
@@ -412,20 +582,35 @@ fn activity(coeffs: &[(usize, f64)], lb: &[f64], ub: &[f64]) -> (f64, f64) {
 pub fn charge_wave(accel: &Accel, nnz: usize, num_vars: usize, rounds_per_lane: &[usize]) -> f64 {
     let max_rounds = rounds_per_lane.iter().copied().max().unwrap_or(0);
     if max_rounds == 0 {
+        // Fast path: an empty wave (or one whose every lane did zero
+        // rounds) charges nothing — no device lock, no allocation, no
+        // launches. Hot on propagation-free strategies that still call in.
         return 0.0;
     }
+    // Every lane of a round carries the identical pre-reduced cost pair, so
+    // one allocation at full width serves every round as a prefix slice —
+    // round r's batch is the first `active` lanes (those with k > r rounds,
+    // a count that only shrinks as fixpoints land).
+    let width = rounds_per_lane.iter().filter(|&&k| k > 0).count();
+    let sparse: Vec<(f64, f64)> = vec![(2.0 * nnz as f64, 12.0 * nnz as f64); width];
+    let tighten: Vec<(f64, f64)> = vec![(4.0 * nnz as f64, 16.0 * nnz as f64); width];
+    let reduce: Vec<(f64, f64)> = vec![(num_vars as f64, 16.0 * num_vars as f64); width];
     let mut total = 0.0;
     accel.with(|d| {
         for r in 0..max_rounds {
             let active = rounds_per_lane.iter().filter(|&&k| k > r).count();
-            let sparse: Vec<(f64, f64)> = vec![(2.0 * nnz as f64, 12.0 * nnz as f64); active];
+            total += d.batched_wave_kernel_sparse(
+                names::PROP_KERNEL_ACTIVITY,
+                &sparse[..active],
+                DEFAULT_STREAM,
+            );
+            total += d.batched_wave_kernel_sparse(
+                names::PROP_KERNEL_TIGHTEN,
+                &tighten[..active],
+                DEFAULT_STREAM,
+            );
             total +=
-                d.batched_wave_kernel_sparse(names::PROP_KERNEL_ACTIVITY, &sparse, DEFAULT_STREAM);
-            let tighten: Vec<(f64, f64)> = vec![(4.0 * nnz as f64, 16.0 * nnz as f64); active];
-            total +=
-                d.batched_wave_kernel_sparse(names::PROP_KERNEL_TIGHTEN, &tighten, DEFAULT_STREAM);
-            let reduce: Vec<(f64, f64)> = vec![(num_vars as f64, 16.0 * num_vars as f64); active];
-            total += d.batched_wave_kernel(names::PROP_KERNEL_REDUCE, &reduce, DEFAULT_STREAM);
+                d.batched_wave_kernel(names::PROP_KERNEL_REDUCE, &reduce[..active], DEFAULT_STREAM);
         }
     });
     total
@@ -609,5 +794,148 @@ mod tests {
         assert_eq!(launches, 9.0);
         assert_eq!(charge_wave(&accel, 100, 20, &[]), 0.0);
         assert_eq!(charge_wave(&accel, 100, 20, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn charge_wave_zero_rounds_fast_path_is_free() {
+        // Empty and all-zero waves short-circuit before touching the
+        // device: no simulated time, no launches, no trace events.
+        let accel = Accel::gpu(1);
+        assert_eq!(charge_wave(&accel, 1_000_000, 500, &[]), 0.0);
+        assert_eq!(charge_wave(&accel, 1_000_000, 500, &[0, 0, 0]), 0.0);
+        assert_eq!(accel.elapsed_ns(), 0.0);
+        assert_eq!(
+            accel.with(|d| d.metrics().counter(names::GPU_KERNEL_LAUNCHES)),
+            0.0
+        );
+    }
+
+    /// A small knapsack plus per-lane branch boxes that force different
+    /// round counts (including an immediately-contradictory lane).
+    fn wave_fixture() -> (Propagator, Vec<(Vec<f64>, Vec<f64>)>) {
+        let m = knapsack(12, 0.4, 7);
+        let p = Propagator::new(&m);
+        let mut boxes = Vec::new();
+        boxes.push(p.node_box(&[]));
+        for var in 0..4 {
+            boxes.push(p.node_box(&[BoundChange {
+                var,
+                lb: 1.0,
+                ub: 1.0,
+            }]));
+        }
+        // A box that is already crossed: lb > ub on variable 0.
+        let (mut lb, mut ub) = p.node_box(&[]);
+        lb[0] = 1.0;
+        ub[0] = 0.0;
+        boxes.push((lb, ub));
+        (p, boxes)
+    }
+
+    #[test]
+    fn propagate_wave_is_bit_identical_to_sequential_propagate() {
+        use gmip_gpu::BackendKind;
+        let (p, reference_boxes) = wave_fixture();
+        // Reference: per-lane host propagation + one explicit charge_wave,
+        // the pattern the wave entry point replaces.
+        let ref_accel = Accel::gpu(1);
+        let mut ref_boxes = reference_boxes.clone();
+        let mut ref_outs = Vec::new();
+        for (lb, ub) in ref_boxes.iter_mut() {
+            ref_outs.push(p.propagate(lb, ub, 8));
+        }
+        let rounds: Vec<usize> = ref_outs.iter().map(|o| o.rounds).collect();
+        charge_wave(&ref_accel, p.nnz(), p.num_vars(), &rounds);
+        for backend in [
+            BackendKind::Sim,
+            BackendKind::Native { threads: 1 },
+            BackendKind::Native { threads: 2 },
+            BackendKind::Native { threads: 4 },
+        ] {
+            let accel = Accel::gpu(1).with_backend(backend);
+            let mut boxes = reference_boxes.clone();
+            let outs = p.propagate_wave(&accel, &mut boxes, 8);
+            assert_eq!(outs, ref_outs, "{}", backend.label());
+            for (got, want) in boxes.iter().zip(ref_boxes.iter()) {
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&got.0), bits(&want.0), "{}", backend.label());
+                assert_eq!(bits(&got.1), bits(&want.1), "{}", backend.label());
+            }
+            // Identical simulated ledger: same elapsed time, same launches.
+            assert_eq!(
+                accel.elapsed_ns().to_bits(),
+                ref_accel.elapsed_ns().to_bits(),
+                "{}",
+                backend.label()
+            );
+            assert_eq!(
+                accel.with(|d| d.metrics().counter(names::GPU_KERNEL_LAUNCHES)),
+                ref_accel.with(|d| d.metrics().counter(names::GPU_KERNEL_LAUNCHES)),
+                "{}",
+                backend.label()
+            );
+        }
+    }
+
+    #[test]
+    fn propagate_wave_empty_inputs_charge_nothing() {
+        let (p, mut boxes) = wave_fixture();
+        let accel = Accel::gpu(1);
+        assert!(p.propagate_wave(&accel, &mut [], 8).is_empty());
+        let outs = p.propagate_wave(&accel, &mut boxes, 0);
+        assert!(outs.iter().all(|o| o.rounds == 0 && !o.infeasible));
+        assert_eq!(accel.elapsed_ns(), 0.0);
+    }
+
+    #[test]
+    fn dive_wave_matches_sequential_dives_on_all_backends() {
+        use gmip_gpu::BackendKind;
+        let m = knapsack(16, 0.5, 3);
+        let p = Propagator::new(&m);
+        let (lb, ub) = p.node_box(&[]);
+        let points: Vec<Vec<f64>> = (0..6)
+            .map(|lane| {
+                (0..m.num_vars())
+                    .map(|j| 0.2 + 0.6 * ((j * 5 + lane) % 10) as f64 / 10.0)
+                    .collect()
+            })
+            .collect();
+        let reference: Vec<FixPropOutcome> = points
+            .iter()
+            .map(|x| p.fix_and_propagate(x, &lb, &ub, 1e-6, 8))
+            .collect();
+        for backend in [
+            BackendKind::Sim,
+            BackendKind::Native { threads: 1 },
+            BackendKind::Native { threads: 3 },
+        ] {
+            let accel = Accel::gpu(1).with_backend(backend);
+            let seeds: Vec<DiveSeed<'_>> = points
+                .iter()
+                .map(|x| DiveSeed {
+                    x0: x,
+                    lb0: &lb,
+                    ub0: &ub,
+                })
+                .collect();
+            let outs = p.dive_wave(&accel, &seeds, 1e-6, 8);
+            assert_eq!(outs.len(), reference.len());
+            for (got, want) in outs.iter().zip(reference.iter()) {
+                assert_eq!(got.rounds, want.rounds, "{}", backend.label());
+                assert_eq!(got.repairs, want.repairs, "{}", backend.label());
+                assert_eq!(got.aborted, want.aborted, "{}", backend.label());
+                match (&got.candidate, &want.candidate) {
+                    (Some((go, gx)), Some((wo, wx))) => {
+                        assert_eq!(go.to_bits(), wo.to_bits(), "{}", backend.label());
+                        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                        assert_eq!(bits(gx), bits(wx), "{}", backend.label());
+                    }
+                    (None, None) => {}
+                    _ => panic!("candidate mismatch under {}", backend.label()),
+                }
+            }
+            // Dives are charge-free; callers own the charge_wave call.
+            assert_eq!(accel.elapsed_ns(), 0.0, "{}", backend.label());
+        }
     }
 }

@@ -231,6 +231,33 @@ pub const HEUR_ABORTS: &str = "heur.aborts";
 /// the time-to-first-incumbent headline of experiment E12).
 pub const HEUR_FIRST_INCUMBENT_NS: &str = "heur.first_incumbent_ns";
 
+// --- Executing-backend wall clock (gmip-gpu) --------------------------------
+//
+// Real host nanoseconds measured around the executing backend's fused lane
+// dispatches. The `wall.*` family is deliberately OUTSIDE the determinism
+// surface: it never feeds traces, simulated `_ns` totals, or the bench
+// regression gate — sim-charged ns remain the only timing oracle.
+
+/// Real wall ns spent in fused `fo.spmv_t` dispatches (native backend).
+pub const WALL_FO_SPMV_T: &str = "wall.fo.spmv_t.ns";
+/// Real wall ns spent in fused `fo.axpy` dispatches (native backend).
+pub const WALL_FO_AXPY: &str = "wall.fo.axpy.ns";
+/// Real wall ns spent in fused `fo.spmv` dispatches (native backend).
+pub const WALL_FO_SPMV: &str = "wall.fo.spmv.ns";
+/// Real wall ns spent in fused `fo.norm` check dispatches (native backend).
+pub const WALL_FO_NORM: &str = "wall.fo.norm.ns";
+/// Real wall ns spent in fused propagation-round dispatches (one dispatch
+/// executes a full activity+tighten+reduce sweep per active lane).
+pub const WALL_PROP_ROUND: &str = "wall.prop.round.ns";
+/// Real wall ns spent in fused fix-and-propagate dive dispatches.
+pub const WALL_HEUR_DIVE: &str = "wall.heur.dive.ns";
+/// Real wall ns in fused dispatches with no dedicated class key.
+pub const WALL_OTHER: &str = "wall.other.ns";
+/// Fused executing dispatches issued (all classes).
+pub const WALL_DISPATCHES: &str = "wall.dispatches";
+/// Worker threads the executing backend fans lanes across (gauge).
+pub const WALL_THREADS: &str = "wall.threads";
+
 // --- Fault injection & recovery (gmip-chaos) -------------------------------
 
 /// Injected worker crashes that landed on an alive rank.
@@ -387,6 +414,31 @@ mod tests {
         // The report table's time-to-first-incumbent column reads this
         // exact key out of the merged registry.
         assert_eq!(HEUR_FIRST_INCUMBENT_NS, "heur.first_incumbent_ns");
+    }
+
+    #[test]
+    fn wall_names_stay_in_their_namespace() {
+        // Everything measured by the executing backend lives under
+        // `wall.*` so determinism-sensitive consumers (trace diffs, the
+        // bench gate) can exclude the whole family with one prefix check.
+        for name in [
+            WALL_FO_SPMV_T,
+            WALL_FO_AXPY,
+            WALL_FO_SPMV,
+            WALL_FO_NORM,
+            WALL_PROP_ROUND,
+            WALL_HEUR_DIVE,
+            WALL_OTHER,
+            WALL_DISPATCHES,
+            WALL_THREADS,
+        ] {
+            assert!(name.starts_with("wall."), "{name}");
+        }
+        // Conversely no wall key may end in the `_ns` suffix the bench
+        // gate treats as simulated time.
+        for name in [WALL_FO_SPMV_T, WALL_PROP_ROUND, WALL_HEUR_DIVE] {
+            assert!(!name.ends_with("_ns"), "{name}");
+        }
     }
 
     #[test]

@@ -86,6 +86,206 @@ where
     (a(), b())
 }
 
+/// Number of threads a default-sized pool would use: `RAYON_NUM_THREADS`
+/// if set to a positive integer, else the host's available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+mod pool {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::thread::JoinHandle;
+
+    /// An index-fan-out job: workers call it with every index in
+    /// `0..len` exactly once, partitioned by contiguous chunks.
+    type Job = *const (dyn Fn(usize) + Sync);
+
+    struct Shared {
+        state: Mutex<State>,
+        /// Workers wait here for a new epoch (or shutdown).
+        work_cv: Condvar,
+        /// The dispatching caller waits here for all chunks to finish.
+        done_cv: Condvar,
+        pending: AtomicUsize,
+    }
+
+    struct State {
+        /// Incremented per dispatch; workers run one chunk per epoch.
+        epoch: u64,
+        job: Option<SendJob>,
+        len: usize,
+        shutdown: bool,
+    }
+
+    /// Raw pointer to the borrowed job closure. The dispatching thread
+    /// blocks inside `dispatch` until every worker has finished its chunk,
+    /// so the pointee outlives all uses; `Sync` on the pointee makes the
+    /// shared calls sound.
+    struct SendJob(Job);
+    unsafe impl Send for SendJob {}
+
+    /// A fixed-size pool of parked worker threads for fused lane
+    /// dispatches. Unlike real rayon there is no work stealing: each
+    /// dispatch splits `0..len` into one contiguous chunk per thread
+    /// (the caller's thread runs chunk 0), which keeps the assignment
+    /// deterministic.
+    pub struct ThreadPool {
+        shared: Arc<Shared>,
+        workers: Vec<JoinHandle<()>>,
+        threads: usize,
+    }
+
+    impl std::fmt::Debug for ThreadPool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("ThreadPool")
+                .field("threads", &self.threads)
+                .finish()
+        }
+    }
+
+    fn chunk_bounds(len: usize, threads: usize, slot: usize) -> (usize, usize) {
+        let per = len.div_ceil(threads);
+        let lo = (slot * per).min(len);
+        let hi = ((slot + 1) * per).min(len);
+        (lo, hi)
+    }
+
+    impl ThreadPool {
+        /// Builds a pool that fans dispatches across `threads` threads
+        /// (clamped to at least 1). `threads == 1` spawns no workers and
+        /// runs dispatches inline on the caller.
+        pub fn new(threads: usize) -> Self {
+            let threads = threads.max(1);
+            let shared = Arc::new(Shared {
+                state: Mutex::new(State {
+                    epoch: 0,
+                    job: None,
+                    len: 0,
+                    shutdown: false,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                pending: AtomicUsize::new(0),
+            });
+            let workers = (1..threads)
+                .map(|slot| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("gmip-lane-{slot}"))
+                        .spawn(move || worker_loop(&shared, slot, threads))
+                        .expect("spawn lane worker")
+                })
+                .collect();
+            Self {
+                shared,
+                workers,
+                threads,
+            }
+        }
+
+        /// The pool's thread count (including the dispatching caller).
+        pub fn num_threads(&self) -> usize {
+            self.threads
+        }
+
+        /// Calls `job(i)` for every `i in 0..len`, fanned across the pool.
+        /// Blocks until all indices have been processed. Each index is
+        /// visited by exactly one thread, so `job` may hand out disjoint
+        /// `&mut` state per index.
+        pub fn dispatch(&self, len: usize, job: &(dyn Fn(usize) + Sync)) {
+            if len == 0 {
+                return;
+            }
+            if self.threads == 1 {
+                for i in 0..len {
+                    job(i);
+                }
+                return;
+            }
+            let workers = self.workers.len();
+            {
+                let mut st = self.shared.state.lock().expect("pool lock");
+                self.shared.pending.store(workers, Ordering::Release);
+                // Erase the borrow lifetime: workers only touch the job
+                // between this store and the pending==0 wait below, while
+                // the reference is provably live.
+                let erased: &'static (dyn Fn(usize) + Sync) =
+                    unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(job) };
+                st.job = Some(SendJob(erased as Job));
+                st.len = len;
+                st.epoch += 1;
+                self.shared.work_cv.notify_all();
+            }
+            // Chunk 0 runs on the caller while workers run the rest.
+            let (lo, hi) = chunk_bounds(len, self.threads, 0);
+            for i in lo..hi {
+                job(i);
+            }
+            let mut st = self.shared.state.lock().expect("pool lock");
+            while self.shared.pending.load(Ordering::Acquire) != 0 {
+                st = self.shared.done_cv.wait(st).expect("pool wait");
+            }
+            st.job = None;
+        }
+    }
+
+    impl Drop for ThreadPool {
+        fn drop(&mut self) {
+            {
+                let mut st = self.shared.state.lock().expect("pool lock");
+                st.shutdown = true;
+                self.shared.work_cv.notify_all();
+            }
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+
+    fn worker_loop(shared: &Shared, slot: usize, threads: usize) {
+        let mut seen = 0u64;
+        loop {
+            let (job, len, epoch) = {
+                let mut st = shared.state.lock().expect("pool lock");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch > seen {
+                        break;
+                    }
+                    st = shared.work_cv.wait(st).expect("pool wait");
+                }
+                let job = st.job.as_ref().expect("job set for epoch").0;
+                (job, st.len, st.epoch)
+            };
+            seen = epoch;
+            let (lo, hi) = chunk_bounds(len, threads, slot);
+            for i in lo..hi {
+                // Safety: the dispatcher keeps the pointee alive until
+                // `pending` drains back to zero (below).
+                unsafe { (*job)(i) };
+            }
+            if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _st = shared.state.lock().expect("pool lock");
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+pub use pool::ThreadPool;
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -103,5 +303,39 @@ mod tests {
     fn join_returns_both() {
         let (a, b) = super::join(|| 1, || "x");
         assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn pool_visits_every_index_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1, 2, 3, 8] {
+            let pool = super::ThreadPool::new(threads);
+            assert_eq!(pool.num_threads(), threads);
+            for len in [0, 1, 5, 64, 1000] {
+                let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+                pool.dispatch(len, &|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_dispatches() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = super::ThreadPool::new(4);
+        let sum = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.dispatch(16, &|i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * (0..16).sum::<usize>());
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
